@@ -1,0 +1,70 @@
+//! Hot-path microbenchmarks of the DDR3 access engine.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use memscale_dram::channel::{AccessKind, DramChannel};
+use memscale_dram::rank::PowerDownMode;
+use memscale_types::config::DramTimingConfig;
+use memscale_types::freq::MemFreq;
+use memscale_types::ids::{BankId, RankId};
+use memscale_types::time::Picos;
+
+fn channel(freq: MemFreq) -> DramChannel {
+    DramChannel::new(&DramTimingConfig::default(), 4, 8, freq)
+}
+
+fn bench_service(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dram_service");
+    for freq in [MemFreq::F800, MemFreq::F200] {
+        g.bench_function(format!("closed_read_{freq}"), |b| {
+            let mut ch = channel(freq);
+            let mut now = Picos::ZERO;
+            let mut i = 0u64;
+            b.iter(|| {
+                now += Picos::from_ns(100);
+                let t = ch.service(
+                    RankId((i % 4) as usize),
+                    BankId((i % 8) as usize),
+                    i % 1024,
+                    AccessKind::Read,
+                    now,
+                    false,
+                );
+                i += 1;
+                black_box(t.data_end)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_powerdown_cycle(c: &mut Criterion) {
+    c.bench_function("dram_powerdown_enter_exit", |b| {
+        let mut ch = channel(MemFreq::F800);
+        let mut now = Picos::from_us(1);
+        b.iter(|| {
+            if ch.can_power_down(RankId(0), now) {
+                ch.enter_power_down(RankId(0), PowerDownMode::Fast, now);
+            }
+            let t = ch.service(RankId(0), BankId(0), 1, AccessKind::Read, now, false);
+            now = t.bank_free_at + Picos::from_us(1);
+            black_box(t.pd_exit)
+        });
+    });
+}
+
+fn bench_frequency_relock(c: &mut Criterion) {
+    c.bench_function("dram_frequency_relock", |b| {
+        let mut ch = channel(MemFreq::F800);
+        let mut now = Picos::ZERO;
+        let mut toggle = false;
+        b.iter(|| {
+            now += Picos::from_ms(1);
+            let f = if toggle { MemFreq::F800 } else { MemFreq::F400 };
+            toggle = !toggle;
+            black_box(ch.set_frequency(f, now))
+        });
+    });
+}
+
+criterion_group!(benches, bench_service, bench_powerdown_cycle, bench_frequency_relock);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Whole-simulation throughput: simulated milliseconds per wall second.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use memscale::policies::PolicyKind;
+use memscale_simulator::{SimConfig, Simulation};
+use memscale_types::time::Picos;
+use memscale_workloads::Mix;
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate_2ms");
+    g.sample_size(10);
+    for (mix, policy, label) in [
+        ("ILP2", PolicyKind::Baseline, "ilp2_baseline"),
+        ("MID1", PolicyKind::Baseline, "mid1_baseline"),
+        ("MEM1", PolicyKind::Baseline, "mem1_baseline"),
+        ("MID1", PolicyKind::MemScale, "mid1_memscale"),
+    ] {
+        let mix = Mix::by_name(mix).unwrap();
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let cfg = SimConfig::default().with_duration(Picos::from_ms(2));
+                let sim = Simulation::new(&mix, policy, &cfg);
+                black_box(sim.run_for(cfg.duration, 50.0).counters.reads)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

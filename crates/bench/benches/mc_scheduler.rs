@@ -1,0 +1,60 @@
+//! Memory-controller dispatch-path microbenchmarks.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use memscale_mc::MemoryController;
+use memscale_types::address::PhysAddr;
+use memscale_types::config::SystemConfig;
+use memscale_types::freq::MemFreq;
+use memscale_types::time::Picos;
+
+fn bench_read_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mc_dispatch");
+    g.bench_function("sequential_reads", |b| {
+        let mut mc = MemoryController::new(&SystemConfig::default(), MemFreq::F800);
+        let mut now = Picos::ZERO;
+        let mut line = 0u64;
+        b.iter(|| {
+            now += Picos::from_ns(50);
+            line += 1;
+            black_box(mc.read(PhysAddr::from_cache_line(line), now).completion)
+        });
+    });
+    g.bench_function("random_reads", |b| {
+        let mut mc = MemoryController::new(&SystemConfig::default(), MemFreq::F800);
+        let mut now = Picos::ZERO;
+        let mut state = 0x9E3779B97F4A7C15u64;
+        b.iter(|| {
+            now += Picos::from_ns(50);
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let line = state >> 20;
+            black_box(mc.read(PhysAddr::from_cache_line(line), now).completion)
+        });
+    });
+    g.bench_function("reads_with_writebacks", |b| {
+        let mut mc = MemoryController::new(&SystemConfig::default(), MemFreq::F800);
+        let mut now = Picos::ZERO;
+        let mut line = 0u64;
+        b.iter(|| {
+            now += Picos::from_ns(50);
+            line += 1;
+            if line.is_multiple_of(4) {
+                mc.writeback(PhysAddr::from_cache_line(line + 1_000_000), now);
+            }
+            black_box(mc.read(PhysAddr::from_cache_line(line), now).completion)
+        });
+    });
+    g.finish();
+}
+
+fn bench_stats_snapshot(c: &mut Criterion) {
+    c.bench_function("mc_stats_snapshot", |b| {
+        let mut mc = MemoryController::new(&SystemConfig::default(), MemFreq::F800);
+        for i in 0..1_000u64 {
+            mc.read(PhysAddr::from_cache_line(i), Picos::from_ns(i * 40));
+        }
+        b.iter(|| black_box((mc.rank_stats(), mc.channel_stats())));
+    });
+}
+
+criterion_group!(benches, bench_read_dispatch, bench_stats_snapshot);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Performance-model, power-model and governor microbenchmarks — the code
+//! the OS would execute once per epoch (its overhead must be negligible,
+//! §3.4).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use memscale::governor::{GovernorConfig, MemScaleGovernor};
+use memscale::perf_model::PerfModel;
+use memscale::profile::{AppSample, EpochProfile};
+use memscale_mc::McCounters;
+use memscale_power::{ActivitySummary, PowerModel};
+use memscale_types::config::SystemConfig;
+use memscale_types::freq::MemFreq;
+use memscale_types::time::Picos;
+
+fn profile() -> EpochProfile {
+    EpochProfile {
+        window: Picos::from_us(300),
+        freq: MemFreq::F800,
+        apps: vec![AppSample { tic: 400_000, tlm: 800 }; 16],
+        mc: McCounters {
+            btc: 12_800,
+            bto: 4_000,
+            ctc: 12_800,
+            cto: 9_000,
+            cbmc: 12_600,
+            rbhc: 200,
+            ..McCounters::new()
+        },
+        activity: ActivitySummary {
+            window: Picos::from_us(300),
+            act_rate_hz: 4.2e7,
+            read_burst_frac: 0.05,
+            write_burst_frac: 0.005,
+            active_frac: 0.4,
+            pd_frac: 0.0,
+            bus_util: 0.5,
+        },
+    }
+}
+
+fn bench_perf_model(c: &mut Criterion) {
+    let sys = SystemConfig::default();
+    let model = PerfModel::new(&sys.timing, &sys.cpu);
+    let p = profile();
+    c.bench_function("perf_model_predict_cpi_16apps_10freqs", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for f in MemFreq::ALL {
+                for app in 0..16 {
+                    acc += model.predict_cpi(&p, app, f).unwrap_or(0.0);
+                }
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_power_model(c: &mut Criterion) {
+    let sys = SystemConfig::default();
+    let model = PowerModel::new(&sys);
+    let p = profile();
+    c.bench_function("power_model_from_summary_10freqs", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for f in MemFreq::ALL {
+                acc += model.memory_power_from_summary(&p.activity, f).total_w();
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_governor_decide(c: &mut Criterion) {
+    let sys = SystemConfig::default();
+    let p = profile();
+    c.bench_function("governor_decide_epoch", |b| {
+        let mut gov = MemScaleGovernor::new(&sys, GovernorConfig::default());
+        gov.set_rest_of_system_w(55.0);
+        b.iter(|| black_box(gov.decide(&p)));
+    });
+}
+
+criterion_group!(benches, bench_perf_model, bench_power_model, bench_governor_decide);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Synthetic trace-generation throughput per workload class.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use memscale_types::ids::AppId;
+use memscale_workloads::{spec, AppTrace};
+
+fn bench_next_miss(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_next_miss");
+    for name in ["gzip", "astar", "swim", "apsi"] {
+        g.bench_function(name, |b| {
+            let mut trace =
+                AppTrace::new(spec::profile(name).unwrap(), AppId(0), 1 << 24, 42);
+            b.iter(|| black_box(trace.next_miss()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_next_miss);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerates the `ablation_slack` extension/ablation artifact. See DESIGN.md.
+fn main() {
+    println!("{}", memscale_bench::exp::ablation_slack().to_markdown());
+}

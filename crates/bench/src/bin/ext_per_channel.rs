@@ -1,0 +1,4 @@
+//! Regenerates the `ext_per_channel` extension/ablation artifact. See DESIGN.md.
+fn main() {
+    println!("{}", memscale_bench::exp::ext_per_channel().to_markdown());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig 10 (system energy breakdown by policy).
+fn main() {
+    let data = memscale_bench::exp::policy_dataset();
+    println!("{}", memscale_bench::exp::fig10(&data).to_markdown());
+}

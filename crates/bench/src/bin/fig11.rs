@@ -1,0 +1,5 @@
+//! Regenerates Fig 11 (CPI overhead by policy).
+fn main() {
+    let data = memscale_bench::exp::policy_dataset();
+    println!("{}", memscale_bench::exp::fig11(&data).to_markdown());
+}

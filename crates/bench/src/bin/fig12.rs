@@ -1,0 +1,4 @@
+//! Regenerates the paper's `fig12` artifact. See DESIGN.md for the index.
+fn main() {
+    println!("{}", memscale_bench::exp::fig12().to_markdown());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's `fig13` artifact. See DESIGN.md for the index.
+fn main() {
+    println!("{}", memscale_bench::exp::fig13().to_markdown());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's `fig14` artifact. See DESIGN.md for the index.
+fn main() {
+    println!("{}", memscale_bench::exp::fig14().to_markdown());
+}

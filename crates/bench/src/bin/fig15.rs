@@ -1,0 +1,4 @@
+//! Regenerates the paper's `fig15` artifact. See DESIGN.md for the index.
+fn main() {
+    println!("{}", memscale_bench::exp::fig15().to_markdown());
+}

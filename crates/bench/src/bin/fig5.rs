@@ -1,0 +1,5 @@
+//! Regenerates Fig 5 (and shares its dataset with Fig 6).
+fn main() {
+    let data = memscale_bench::exp::headline_dataset();
+    println!("{}", memscale_bench::exp::fig5(&data).to_markdown());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig 6 (CPI overhead) from the headline dataset.
+fn main() {
+    let data = memscale_bench::exp::headline_dataset();
+    println!("{}", memscale_bench::exp::fig6(&data).to_markdown());
+}

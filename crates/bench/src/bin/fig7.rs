@@ -1,0 +1,4 @@
+//! Regenerates the paper's `fig7` artifact. See DESIGN.md for the index.
+fn main() {
+    println!("{}", memscale_bench::exp::fig7().to_markdown());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's `fig8` artifact. See DESIGN.md for the index.
+fn main() {
+    println!("{}", memscale_bench::exp::fig8().to_markdown());
+}

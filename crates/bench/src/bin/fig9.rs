@@ -1,0 +1,5 @@
+//! Regenerates Fig 9 (policy comparison energy savings).
+fn main() {
+    let data = memscale_bench::exp::policy_dataset();
+    println!("{}", memscale_bench::exp::fig9(&data).to_markdown());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's `sens_cores` artifact. See DESIGN.md for the index.
+fn main() {
+    println!("{}", memscale_bench::exp::sens_cores().to_markdown());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's `table1` artifact. See DESIGN.md for the index.
+fn main() {
+    println!("{}", memscale_bench::exp::table1().to_markdown());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's `table2` artifact. See DESIGN.md for the index.
+fn main() {
+    println!("{}", memscale_bench::exp::table2().to_markdown());
+}

@@ -1,0 +1,51 @@
+//! Shared experiment configuration and helpers.
+
+use memscale_simulator::SimConfig;
+use memscale_types::time::Picos;
+
+/// Simulated horizon for the headline (Figs 5/6, 9–11) experiments.
+///
+/// The paper replays 100 M-instruction SimPoints; at our scale a 20 ms
+/// baseline (≈ 60–80 M instructions per core) reaches the same steady state
+/// in a fraction of the simulation cost. Fig 7/8 timelines use 100 ms to
+/// expose the apsi phase change.
+pub fn headline_cfg() -> SimConfig {
+    SimConfig::default().with_duration(Picos::from_ms(20))
+}
+
+/// Shorter horizon for the multi-point sensitivity sweeps.
+pub fn sweep_cfg() -> SimConfig {
+    SimConfig::default().with_duration(Picos::from_ms(12))
+}
+
+/// Mean of a slice (0 for empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Max of a slice (0 for empty).
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(max(&[1.0, 3.0, 2.0]), 3.0);
+        assert_eq!(max(&[]), 0.0);
+    }
+
+    #[test]
+    fn configs_are_ordered() {
+        assert!(headline_cfg().duration > sweep_cfg().duration);
+    }
+}

@@ -1,0 +1,152 @@
+//! Figs 5 and 6 — headline MemScale energy savings and CPI overhead for all
+//! twelve workloads at γ = 10 %.
+
+use crate::exp::common::{headline_cfg, mean};
+use crate::report::{pct, Table};
+use memscale::policies::PolicyKind;
+use memscale_simulator::harness::{Comparison, Experiment};
+use memscale_simulator::RunResult;
+use memscale_workloads::Mix;
+
+/// The shared Fig 5 / Fig 6 data: one calibrated baseline and one MemScale
+/// run per Table 1 workload.
+pub struct HeadlineDataset {
+    /// (mix, experiment, MemScale run, comparison) per workload.
+    pub entries: Vec<(Mix, Experiment, RunResult, Comparison)>,
+}
+
+/// Runs the headline experiment set once (12 baselines + 12 MemScale runs).
+pub fn headline_dataset() -> HeadlineDataset {
+    let cfg = headline_cfg();
+    let entries = Mix::table1()
+        .into_iter()
+        .map(|mix| {
+            let exp = Experiment::calibrate(&mix, &cfg);
+            let (run, cmp) = exp.evaluate(PolicyKind::MemScale);
+            (mix, exp, run, cmp)
+        })
+        .collect();
+    HeadlineDataset { entries }
+}
+
+/// Regenerates Fig 5: memory and full-system energy savings per workload.
+pub fn fig5(data: &HeadlineDataset) -> Table {
+    let mut t = Table::new(
+        "fig5",
+        "MemScale energy savings per workload, gamma = 10% (Fig 5)",
+        &["Workload", "Full-system energy saved", "Memory energy saved"],
+    );
+    let mut mem = Vec::new();
+    let mut sys = Vec::new();
+    let mut ilp_sys = Vec::new();
+    let mut mem_sys = Vec::new();
+    for (mix, _, _, cmp) in &data.entries {
+        t.row(vec![
+            mix.name.to_string(),
+            pct(cmp.system_savings),
+            pct(cmp.memory_savings),
+        ]);
+        mem.push(cmp.memory_savings);
+        sys.push(cmp.system_savings);
+        match mix.class {
+            memscale_workloads::WorkloadClass::Ilp => ilp_sys.push(cmp.system_savings),
+            memscale_workloads::WorkloadClass::Mem => mem_sys.push(cmp.system_savings),
+            _ => {}
+        }
+    }
+    t.row(vec![
+        "AVERAGE".into(),
+        pct(mean(&sys)),
+        pct(mean(&mem)),
+    ]);
+    let min_mem = mem.iter().copied().fold(f64::INFINITY, f64::min);
+    let max_mem = mem.iter().copied().fold(0.0f64, f64::max);
+    t.check(
+        &format!(
+            "memory savings span a wide band (ours {:.0}%-{:.0}%; paper 17%-71%)",
+            min_mem * 100.0,
+            max_mem * 100.0
+        ),
+        min_mem > 0.05 && max_mem > 0.5,
+    );
+    t.check(
+        "ILP workloads save the most system energy (paper: >= 30%)",
+        mean(&ilp_sys) > 0.25,
+    );
+    t.check(
+        "MEM workloads save the least but still save (paper: >= 6%)",
+        mean(&mem_sys) > 0.0 && mean(&mem_sys) < mean(&ilp_sys),
+    );
+    t.note("Paper: memory savings 17-71%, system savings 6-31%, average 18.3%.");
+    t
+}
+
+/// Regenerates Fig 6: average and worst-program CPI increases.
+pub fn fig6(data: &HeadlineDataset) -> Table {
+    let mut t = Table::new(
+        "fig6",
+        "MemScale CPI overhead per workload, bound 10% (Fig 6)",
+        &["Workload", "Multiprogram average", "Worst program in mix"],
+    );
+    let mut worst_overall: f64 = 0.0;
+    let mut avg_all = Vec::new();
+    for (mix, _, _, cmp) in &data.entries {
+        let avg = cmp.avg_cpi_increase();
+        let worst = cmp.max_cpi_increase();
+        worst_overall = worst_overall.max(worst);
+        avg_all.push(avg);
+        t.row(vec![mix.name.to_string(), pct(avg), pct(worst)]);
+    }
+    t.row(vec![
+        "AVERAGE".into(),
+        pct(mean(&avg_all)),
+        String::new(),
+    ]);
+    t.check(
+        &format!(
+            "no application exceeds the 10% bound plus modeling tolerance (worst {:.1}%)",
+            worst_overall * 100.0
+        ),
+        worst_overall < 0.115,
+    );
+    t.check(
+        "average degradation well under the bound (paper: <= 7.2% per mix)",
+        mean(&avg_all) < 0.08,
+    );
+    t.note("Paper: worst 9.2%, per-mix averages <= 7.2%, overall average 4.2%.");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memscale_simulator::SimConfig;
+    use memscale_types::time::Picos;
+
+    /// A two-workload miniature of the headline set, used to keep the test
+    /// fast while exercising the full fig5/fig6 paths.
+    fn mini_dataset() -> HeadlineDataset {
+        let cfg = SimConfig::default().with_duration(Picos::from_ms(6));
+        let entries = ["ILP2", "MID1"]
+            .iter()
+            .map(|name| {
+                let mix = Mix::by_name(name).unwrap();
+                let exp = Experiment::calibrate(&mix, &cfg);
+                let (run, cmp) = exp.evaluate(PolicyKind::MemScale);
+                (mix, exp, run, cmp)
+            })
+            .collect();
+        HeadlineDataset { entries }
+    }
+
+    #[test]
+    fn fig5_and_fig6_render() {
+        let data = mini_dataset();
+        let t5 = fig5(&data);
+        assert_eq!(t5.rows.len(), 3); // 2 workloads + average
+        let t6 = fig6(&data);
+        assert_eq!(t6.rows.len(), 3);
+        // The miniature set still keeps CPI within bound.
+        assert!(t6.all_checks_pass(), "{:?}", t6.notes);
+    }
+}

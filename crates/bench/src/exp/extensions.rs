@@ -1,0 +1,152 @@
+//! Extensions and ablations: the paper's §6 future work (per-channel
+//! frequencies) and the DESIGN.md §5 design-choice ablations.
+
+use crate::exp::common::{mean, sweep_cfg};
+use crate::report::{f, pct, Table};
+use memscale::policies::PolicyKind;
+use memscale_mc::RowPolicy;
+use memscale_simulator::harness::Experiment;
+use memscale_simulator::Simulation;
+use memscale_workloads::{Mix, WorkloadClass};
+
+/// §6 future work: per-channel frequency selection versus tandem MemScale,
+/// over the MID workloads.
+pub fn ext_per_channel() -> Table {
+    let cfg = sweep_cfg();
+    let mut t = Table::new(
+        "ext_per_channel",
+        "Extension: per-channel frequency selection (paper section 6 future work)",
+        &[
+            "Workload",
+            "MemScale sys savings",
+            "Per-channel sys savings",
+            "MemScale worst CPI",
+            "Per-channel worst CPI",
+        ],
+    );
+    let mut tandem = Vec::new();
+    let mut per_ch = Vec::new();
+    let mut per_ch_worst: f64 = 0.0;
+    for mix in Mix::by_class(WorkloadClass::Mid) {
+        let exp = Experiment::calibrate(&mix, &cfg);
+        let (_, base) = exp.evaluate(PolicyKind::MemScale);
+        let (_, ext) = exp.evaluate(PolicyKind::MemScalePerChannel);
+        tandem.push(base.system_savings);
+        per_ch.push(ext.system_savings);
+        per_ch_worst = per_ch_worst.max(ext.max_cpi_increase());
+        t.row(vec![
+            mix.name.to_string(),
+            pct(base.system_savings),
+            pct(ext.system_savings),
+            pct(base.max_cpi_increase()),
+            pct(ext.max_cpi_increase()),
+        ]);
+    }
+    t.row(vec![
+        "AVERAGE".into(),
+        pct(mean(&tandem)),
+        pct(mean(&per_ch)),
+        String::new(),
+        String::new(),
+    ]);
+    t.check(
+        "per-channel selection is competitive with tandem scaling (within 3 pp)",
+        (mean(&per_ch) - mean(&tandem)).abs() < 0.03 || mean(&per_ch) > mean(&tandem),
+    );
+    t.check(
+        "per-channel selection respects the performance bound",
+        per_ch_worst < 0.115,
+    );
+    t.note("Exploratory heuristic (cold channels one step lower); the paper left this to future work.");
+    t
+}
+
+/// DESIGN.md §5 ablation: closed-page versus open-page row management.
+pub fn ablation_row_policy() -> Table {
+    let mut t = Table::new(
+        "ablation_row_policy",
+        "Ablation: closed-page vs open-page row management (MID workloads)",
+        &[
+            "Workload",
+            "Closed latency (ns)",
+            "Open latency (ns)",
+            "Closed row hits",
+            "Open row hits",
+        ],
+    );
+    let mut closed_lat = Vec::new();
+    let mut open_lat = Vec::new();
+    for mix in Mix::by_class(WorkloadClass::Mid) {
+        let mut lat = [0.0f64; 2];
+        let mut hits = [0u64; 2];
+        for (i, policy) in [RowPolicy::ClosedPage, RowPolicy::OpenPage].iter().enumerate() {
+            let mut cfg = sweep_cfg();
+            cfg.row_policy = *policy;
+            let run = Simulation::new(&mix, PolicyKind::Baseline, &cfg)
+                .run_for(cfg.duration, 0.0);
+            lat[i] = run
+                .counters
+                .mean_read_latency()
+                .map(|l| l.as_ns_f64())
+                .unwrap_or(0.0);
+            hits[i] = run.counters.rbhc;
+        }
+        closed_lat.push(lat[0]);
+        open_lat.push(lat[1]);
+        t.row(vec![
+            mix.name.to_string(),
+            f(lat[0], 1),
+            f(lat[1], 1),
+            hits[0].to_string(),
+            hits[1].to_string(),
+        ]);
+    }
+    t.check(
+        "closed-page is no slower on multiprogrammed mixes (paper cites [40])",
+        mean(&closed_lat) <= mean(&open_lat) + 1.0,
+    );
+    t
+}
+
+/// DESIGN.md §5 ablation: slack carry-forward versus per-epoch reset.
+pub fn ablation_slack() -> Table {
+    let cfg = sweep_cfg();
+    let mut t = Table::new(
+        "ablation_slack",
+        "Ablation: slack carry-forward vs per-epoch reset (MID workloads)",
+        &[
+            "Workload",
+            "Carry sys savings",
+            "Reset sys savings",
+            "Carry worst CPI",
+            "Reset worst CPI",
+        ],
+    );
+    let mut carry_all = Vec::new();
+    let mut reset_all = Vec::new();
+    let mut reset_worst: f64 = 0.0;
+    for mix in Mix::by_class(WorkloadClass::Mid) {
+        let exp = Experiment::calibrate(&mix, &cfg);
+        let (_, carry) = exp.evaluate(PolicyKind::MemScale);
+        let mut reset_cfg = cfg.clone();
+        reset_cfg.governor.slack_carry = false;
+        let (_, reset) = exp.evaluate_configured(PolicyKind::MemScale, &reset_cfg);
+        carry_all.push(carry.system_savings);
+        reset_all.push(reset.system_savings);
+        reset_worst = reset_worst.max(reset.max_cpi_increase());
+        t.row(vec![
+            mix.name.to_string(),
+            pct(carry.system_savings),
+            pct(reset.system_savings),
+            pct(carry.max_cpi_increase()),
+            pct(reset.max_cpi_increase()),
+        ]);
+    }
+    t.check(
+        "carrying slack across epochs is no worse than resetting",
+        mean(&carry_all) >= mean(&reset_all) - 0.01,
+    );
+    t.check("reset variant still respects the bound", reset_worst < 0.115);
+    t.note("Fig 3's slack banking lets quiet epochs subsidize deeper scaling later.");
+    t
+}

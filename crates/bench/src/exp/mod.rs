@@ -1,0 +1,21 @@
+//! The per-artifact experiment implementations.
+//!
+//! Every public function regenerates one table or figure of the paper (see
+//! DESIGN.md's experiment index) and returns a [`crate::Table`].
+
+pub mod common;
+pub mod energy;
+pub mod extensions;
+pub mod policies;
+pub mod sensitivity;
+pub mod system;
+pub mod timeline;
+pub mod workloads;
+
+pub use energy::{fig5, fig6, headline_dataset, HeadlineDataset};
+pub use extensions::{ablation_row_policy, ablation_slack, ext_per_channel};
+pub use policies::{fig10, fig11, fig9, policy_dataset, PolicyDataset};
+pub use sensitivity::{fig12, fig13, fig14, fig15, sens_cores, sens_epoch};
+pub use system::{fig2, table2};
+pub use timeline::{fig7, fig8};
+pub use workloads::table1;

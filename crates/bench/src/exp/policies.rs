@@ -1,0 +1,173 @@
+//! Figs 9–11 — policy comparison over the MID workloads.
+
+use crate::exp::common::{headline_cfg, mean};
+use crate::report::{f, pct, Table};
+use memscale::policies::PolicyKind;
+use memscale_simulator::harness::{Comparison, Experiment};
+use memscale_simulator::RunResult;
+use memscale_workloads::{Mix, WorkloadClass};
+
+/// Results of running the §4.2.3 comparison set over the MID workloads.
+pub struct PolicyDataset {
+    /// One calibrated experiment per MID mix.
+    pub experiments: Vec<Experiment>,
+    /// `results[policy][mix]` in `PolicyKind::comparison_set()` order.
+    pub results: Vec<(PolicyKind, Vec<(RunResult, Comparison)>)>,
+}
+
+/// Runs every comparison policy over every MID workload.
+pub fn policy_dataset() -> PolicyDataset {
+    let cfg = headline_cfg();
+    let experiments: Vec<Experiment> = Mix::by_class(WorkloadClass::Mid)
+        .iter()
+        .map(|mix| Experiment::calibrate(mix, &cfg))
+        .collect();
+    let results = PolicyKind::comparison_set()
+        .into_iter()
+        .map(|policy| {
+            let runs = experiments
+                .iter()
+                .map(|exp| exp.evaluate(policy))
+                .collect();
+            (policy, runs)
+        })
+        .collect();
+    PolicyDataset {
+        experiments,
+        results,
+    }
+}
+
+fn avg_savings(runs: &[(RunResult, Comparison)]) -> (f64, f64) {
+    let sys = mean(&runs.iter().map(|(_, c)| c.system_savings).collect::<Vec<_>>());
+    let mem = mean(&runs.iter().map(|(_, c)| c.memory_savings).collect::<Vec<_>>());
+    (sys, mem)
+}
+
+/// Regenerates Fig 9: average MID energy savings per policy.
+pub fn fig9(data: &PolicyDataset) -> Table {
+    let mut t = Table::new(
+        "fig9",
+        "Energy savings by policy, MID average (Fig 9)",
+        &["Policy", "Full-system energy saved", "Memory energy saved"],
+    );
+    let mut by_name = std::collections::HashMap::new();
+    for (policy, runs) in &data.results {
+        let (sys, mem) = avg_savings(runs);
+        by_name.insert(policy.name(), sys);
+        t.row(vec![policy.name().to_string(), pct(sys), pct(mem)]);
+    }
+    let memscale = by_name["MemScale"];
+    t.check(
+        "MemScale beats Decoupled by a wide margin (paper: ~3x)",
+        memscale > 1.5 * by_name["Decoupled"],
+    );
+    t.check(
+        "MemScale beats Static (paper: 16.9% vs 14.5%)",
+        memscale > by_name["Static"],
+    );
+    t.check(
+        "Fast-PD saves little (paper: 0.3-7.4%)",
+        by_name["Fast-PD"] < 0.10 && by_name["Fast-PD"] > -0.02,
+    );
+    t.check("Slow-PD loses energy (paper: negative)", by_name["Slow-PD"] < 0.02);
+    t.check(
+        "adding Fast-PD to MemScale changes little (paper: ~unchanged)",
+        (by_name["MemScale + Fast-PD"] - memscale).abs() < 0.05,
+    );
+    t
+}
+
+/// Regenerates Fig 10: system energy breakdown per policy, normalized to
+/// the baseline's total system energy (MID average).
+pub fn fig10(data: &PolicyDataset) -> Table {
+    let mut t = Table::new(
+        "fig10",
+        "System energy breakdown by policy, normalized to baseline (Fig 10)",
+        &["Policy", "DRAM", "PLL/Reg", "MC", "Rest of system", "Total"],
+    );
+    // Baseline row first.
+    let base_totals: Vec<f64> = data
+        .experiments
+        .iter()
+        .map(|e| e.baseline().energy.system_total_j())
+        .collect();
+    let mut add_row = |name: &str, runs: Vec<&RunResult>| -> f64 {
+        let mut acc = [0.0f64; 4];
+        for (run, base_total) in runs.iter().zip(&base_totals) {
+            let e = &run.energy;
+            acc[0] += e.memory_j.dram_w() / base_total;
+            acc[1] += e.memory_j.pll_reg_w() / base_total;
+            acc[2] += e.memory_j.mc_w / base_total;
+            acc[3] += e.rest_j / base_total;
+        }
+        for v in &mut acc {
+            *v /= base_totals.len() as f64;
+        }
+        let total: f64 = acc.iter().sum();
+        t.row(vec![
+            name.to_string(),
+            f(acc[0], 3),
+            f(acc[1], 3),
+            f(acc[2], 3),
+            f(acc[3], 3),
+            f(total, 3),
+        ]);
+        total
+    };
+    add_row(
+        "Baseline",
+        data.experiments.iter().map(|e| e.baseline()).collect(),
+    );
+    let mut memscale_total = 1.0;
+    let mut static_total = 1.0;
+    for (policy, runs) in &data.results {
+        let total = add_row(policy.name(), runs.iter().map(|(r, _)| r).collect());
+        match policy.name() {
+            "MemScale" => memscale_total = total,
+            "Static" => static_total = total,
+            _ => {}
+        }
+    }
+    t.check(
+        "MemScale's normalized total is the lowest of the static/dynamic pair",
+        memscale_total <= static_total,
+    );
+    t.note("Paper: MemScale cuts DRAM background, PLL/Reg and MC energy the most.");
+    t
+}
+
+/// Regenerates Fig 11: CPI overhead per policy (MID average and worst).
+pub fn fig11(data: &PolicyDataset) -> Table {
+    let mut t = Table::new(
+        "fig11",
+        "CPI overhead by policy over MID workloads (Fig 11)",
+        &["Policy", "Multiprogram average", "Worst program in mix"],
+    );
+    let mut worst_by_name = std::collections::HashMap::new();
+    for (policy, runs) in &data.results {
+        let avg = mean(&runs.iter().map(|(_, c)| c.avg_cpi_increase()).collect::<Vec<_>>());
+        let worst = runs
+            .iter()
+            .map(|(_, c)| c.max_cpi_increase())
+            .fold(0.0f64, f64::max);
+        worst_by_name.insert(policy.name(), worst);
+        t.row(vec![policy.name().to_string(), pct(avg), pct(worst)]);
+    }
+    t.check(
+        "MemScale stays within the 10% bound (+ tolerance)",
+        worst_by_name["MemScale"] < 0.115,
+    );
+    t.check(
+        "Slow-PD causes the worst degradation (paper: up to 15%)",
+        worst_by_name["Slow-PD"]
+            >= worst_by_name
+                .iter()
+                .filter(|(k, _)| **k != "Slow-PD")
+                .map(|(_, v)| *v)
+                .fold(0.0, f64::max)
+            || worst_by_name["Slow-PD"] > 0.05,
+    );
+    t.note("Paper: MemScale(MemEnergy) may slightly exceed the bound (by ~0.8%).");
+    t
+}

@@ -1,0 +1,189 @@
+//! Table 2 (system settings) and Fig 2 (baseline power breakdown).
+
+use crate::exp::common::headline_cfg;
+use crate::report::{f, pct, Table};
+use memscale_simulator::harness::Experiment;
+use memscale_types::config::SystemConfig;
+use memscale_types::freq::MemFreq;
+use memscale_workloads::{Mix, WorkloadClass};
+
+/// Regenerates Table 2: the simulated system's settings, with derived
+/// quantities, for checking against the paper.
+pub fn table2() -> Table {
+    let cfg = SystemConfig::default();
+    let mut t = Table::new(
+        "table2",
+        "Main system settings (Table 2)",
+        &["Feature", "Value"],
+    );
+    let rows: Vec<(&str, String)> = vec![
+        (
+            "CPU cores",
+            format!("{} in-order, {} GHz", cfg.cpu.cores, cfg.cpu.freq_ghz),
+        ),
+        (
+            "Memory configuration",
+            format!(
+                "{} DDR3 channels, {} DIMMs ({} ranks x {} banks, {} chips/rank)",
+                cfg.topology.channels,
+                cfg.topology.total_dimms(),
+                cfg.topology.total_ranks(),
+                cfg.topology.banks_per_rank,
+                cfg.topology.chips_per_rank
+            ),
+        ),
+        (
+            "tRCD, tRP, tCL",
+            format!(
+                "{} ns, {} ns, {} ns",
+                cfg.timing.t_rcd_ns, cfg.timing.t_rp_ns, cfg.timing.t_cl_ns
+            ),
+        ),
+        ("tFAW", format!("{} ns", cfg.timing.t_faw_ns)),
+        ("tRTP", format!("{} ns", cfg.timing.t_rtp_ns)),
+        ("tRAS", format!("{} ns", cfg.timing.t_ras_ns)),
+        ("tRRD", format!("{} ns", cfg.timing.t_rrd_ns)),
+        ("Exit fast powerdown (tXP)", format!("{} ns", cfg.timing.t_xp_ns)),
+        (
+            "Exit slow powerdown (tXPDLL)",
+            format!("{} ns", cfg.timing.t_xpdll_ns),
+        ),
+        (
+            "Refresh period",
+            format!(
+                "{} ms ({} commands, tREFI {})",
+                cfg.timing.refresh_period_ms,
+                cfg.timing.refresh_commands,
+                cfg.timing.t_refi()
+            ),
+        ),
+        (
+            "Row buffer read, write current",
+            format!("{} mA, {} mA", cfg.power.i_rd_ma, cfg.power.i_wr_ma),
+        ),
+        (
+            "Activation-precharge current",
+            format!("{} mA", cfg.power.i_act_pre_ma),
+        ),
+        (
+            "Standby currents (act, pre)",
+            format!("{} mA, {} mA", cfg.power.i_act_stby_ma, cfg.power.i_pre_stby_ma),
+        ),
+        (
+            "Powerdown currents (act, pre)",
+            format!("{} mA, {} mA", cfg.power.i_act_pd_ma, cfg.power.i_pre_pd_ma),
+        ),
+        ("Refresh current", format!("{} mA", cfg.power.i_ref_ma)),
+        ("VDD", format!("{} V", cfg.power.vdd)),
+        (
+            "Frequency grid",
+            MemFreq::ALL
+                .iter()
+                .rev()
+                .map(|f| f.mhz().to_string())
+                .collect::<Vec<_>>()
+                .join("/")
+                + " MHz",
+        ),
+        (
+            "MC voltage range",
+            format!(
+                "{:.3} V - {:.2} V",
+                MemFreq::MIN.mc_voltage(),
+                MemFreq::MAX.mc_voltage()
+            ),
+        ),
+        (
+            "MC power (idle-peak)",
+            format!("{} W - {} W", cfg.power.mc_w_idle(), cfg.power.mc_w_peak),
+        ),
+        (
+            "Relock penalty at 800 MHz",
+            format!(
+                "{}",
+                memscale_dram::TimingSet::relock_penalty(&cfg.timing, MemFreq::F800)
+            ),
+        ),
+    ];
+    for (k, v) in rows {
+        t.row(vec![k.to_string(), v]);
+    }
+    t.check(
+        "tRAS = 28 cycles @ 800 MHz = 35 ns",
+        (cfg.timing.t_ras_ns - 35.0).abs() < 1e-9,
+    );
+    t.check(
+        "relock = 512 cycles + 28 ns = 668 ns at 800 MHz",
+        memscale_dram::TimingSet::relock_penalty(&cfg.timing, MemFreq::F800)
+            == memscale_types::time::Picos::from_ns(668),
+    );
+    t
+}
+
+/// Regenerates Fig 2: average memory-subsystem power breakdown per workload
+/// class at maximum frequency, normalized to the MEM-class average total.
+pub fn fig2() -> Table {
+    let cfg = headline_cfg();
+    let mut t = Table::new(
+        "fig2",
+        "Conventional memory power breakdown (Fig 2, normalized to AVG_MEM)",
+        &[
+            "Class",
+            "Background",
+            "Act/Pre",
+            "W/R",
+            "TERM",
+            "PLL/REG",
+            "MC",
+            "Total",
+        ],
+    );
+    let mut class_rows = Vec::new();
+    for class in [WorkloadClass::Mem, WorkloadClass::Mid, WorkloadClass::Ilp] {
+        let mixes = Mix::by_class(class);
+        let mut acc = [0.0f64; 6];
+        for mix in &mixes {
+            let exp = Experiment::calibrate(mix, &cfg);
+            let e = &exp.baseline().energy;
+            let s = e.elapsed.as_secs_f64();
+            acc[0] += e.memory_j.background_w / s;
+            acc[1] += e.memory_j.act_pre_w / s;
+            acc[2] += e.memory_j.rd_wr_w / s;
+            acc[3] += e.memory_j.term_w / s;
+            acc[4] += e.memory_j.pll_reg_w() / s;
+            acc[5] += e.memory_j.mc_w / s;
+        }
+        for v in &mut acc {
+            *v /= mixes.len() as f64;
+        }
+        class_rows.push((class, acc));
+    }
+    let mem_total: f64 = class_rows[0].1.iter().sum();
+    for (class, acc) in &class_rows {
+        let total: f64 = acc.iter().sum();
+        let mut cells = vec![format!("AVG_{class}")];
+        cells.extend(acc.iter().map(|v| pct(v / mem_total)));
+        cells.push(f(total / mem_total, 2));
+        t.row(cells);
+    }
+    let (_, mem) = &class_rows[0];
+    let (_, ilp) = &class_rows[2];
+    t.check(
+        "background is a significant share for ILP (>= 30% of its total)",
+        ilp[0] / ilp.iter().sum::<f64>() >= 0.30,
+    );
+    t.check(
+        "act/pre + rd/wr significant only for MEM (MEM >= 3x ILP)",
+        (mem[1] + mem[2]) >= 3.0 * (ilp[1] + ilp[2]),
+    );
+    t.check(
+        "PLL/REG contributes a non-trivial share (>= 5% for ILP)",
+        ilp[4] / ilp.iter().sum::<f64>() >= 0.05,
+    );
+    t.check(
+        "MC contributes a significant share (>= 15% for ILP)",
+        ilp[5] / ilp.iter().sum::<f64>() >= 0.15,
+    );
+    t.note("Paper: background, PLL/REG and MC power are the MemScale opportunity.");
+    t
+}

@@ -1,0 +1,160 @@
+//! Figs 7 and 8 — dynamic-behaviour timelines.
+
+use crate::report::{f, Table};
+use memscale::policies::PolicyKind;
+use memscale_simulator::{RunResult, SimConfig, Simulation};
+use memscale_types::time::Picos;
+use memscale_workloads::Mix;
+
+fn timeline_run(mix: &Mix, cores: usize, duration_ms: u64) -> RunResult {
+    let mut cfg = SimConfig::default()
+        .with_duration(Picos::from_ms(duration_ms))
+        .with_timeline(Picos::from_ms(1));
+    cfg.system.cpu.cores = cores;
+    let sim = Simulation::new(mix, PolicyKind::MemScale, &cfg);
+    sim.run_for(cfg.duration, 0.0)
+}
+
+fn emit_timeline(t: &mut Table, run: &RunResult, mix: &Mix, every: usize) {
+    for (i, s) in run.timeline.iter().enumerate() {
+        if i % every != 0 {
+            continue;
+        }
+        // Average the instances of each of the 4 applications.
+        let mut app_cpi = [0.0f64; 4];
+        let mut app_n = [0usize; 4];
+        for (core, &cpi) in s.core_cpi.iter().enumerate() {
+            if cpi > 0.0 {
+                app_cpi[core % 4] += cpi;
+                app_n[core % 4] += 1;
+            }
+        }
+        let util = crate::exp::common::mean(&s.channel_util);
+        let mut cells = vec![format!("{:.0}", s.at.as_ms_f64()), s.bus_mhz.to_string()];
+        for a in 0..4 {
+            let v = if app_n[a] > 0 {
+                app_cpi[a] / app_n[a] as f64
+            } else {
+                0.0
+            };
+            cells.push(f(v, 1));
+        }
+        cells.push(f(util, 2));
+        let _ = mix;
+        t.row(cells);
+    }
+}
+
+/// Regenerates Fig 7: the MID3 timeline — bus frequency, per-application
+/// CPI (apsi's phase change) and channel utilization over 100 ms.
+pub fn fig7() -> Table {
+    let mix = Mix::by_name("MID3").expect("MID3");
+    let run = timeline_run(&mix, 16, 100);
+    let mut t = Table::new(
+        "fig7",
+        "MID3 timeline under MemScale (Fig 7)",
+        &[
+            "t (ms)",
+            "Bus MHz",
+            "apsi CPI",
+            "bzip2 CPI",
+            "ammp CPI",
+            "gap CPI",
+            "Avg channel util",
+        ],
+    );
+    emit_timeline(&mut t, &run, &mix, 5);
+
+    // Shape checks: a low-frequency opening, a phase change that raises both
+    // apsi's CPI and the selected frequency.
+    let first_third: Vec<&_> = run
+        .timeline
+        .iter()
+        .filter(|s| s.at <= Picos::from_ms(33))
+        .collect();
+    let last_third: Vec<&_> = run
+        .timeline
+        .iter()
+        .filter(|s| s.at >= Picos::from_ms(67))
+        .collect();
+    let apsi_early = crate::exp::common::mean(
+        &first_third
+            .iter()
+            .map(|s| s.core_cpi[0])
+            .filter(|&c| c > 0.0)
+            .collect::<Vec<_>>(),
+    );
+    let apsi_late = crate::exp::common::mean(
+        &last_third
+            .iter()
+            .map(|s| s.core_cpi[0])
+            .filter(|&c| c > 0.0)
+            .collect::<Vec<_>>(),
+    );
+    let freq_early = crate::exp::common::mean(
+        &first_third.iter().map(|s| s.bus_mhz as f64).collect::<Vec<_>>(),
+    );
+    let freq_late = crate::exp::common::mean(
+        &last_third.iter().map(|s| s.bus_mhz as f64).collect::<Vec<_>>(),
+    );
+    t.check(
+        &format!(
+            "apsi phase change raises its CPI ({:.1} -> {:.1})",
+            apsi_early, apsi_late
+        ),
+        apsi_late > 1.5 * apsi_early,
+    );
+    t.check(
+        &format!(
+            "the policy reacts by raising frequency ({:.0} -> {:.0} MHz)",
+            freq_early, freq_late
+        ),
+        freq_late > freq_early,
+    );
+    t.check(
+        "the quiet opening runs at a deeply scaled frequency (< 450 MHz)",
+        freq_early < 450.0,
+    );
+    t.note("Paper: frequency jumps at apsi's ~46 ms phase change; util ~25%.");
+    t
+}
+
+/// Regenerates Fig 8: the MEM4 timeline on an 8-core system, showing the
+/// "virtual frequency" oscillation between neighbouring operating points.
+pub fn fig8() -> Table {
+    let mix = Mix::by_name("MEM4").expect("MEM4");
+    let run = timeline_run(&mix, 8, 100);
+    let mut t = Table::new(
+        "fig8",
+        "MEM4 timeline on 8 cores under MemScale (Fig 8)",
+        &[
+            "t (ms)",
+            "Bus MHz",
+            "art CPI",
+            "lucas CPI",
+            "mgrid CPI",
+            "fma3d CPI",
+            "Avg channel util",
+        ],
+    );
+    emit_timeline(&mut t, &run, &mix, 5);
+
+    // Oscillation: count transitions between adjacent frequencies.
+    let freqs: Vec<u32> = run.timeline.iter().map(|s| s.bus_mhz).collect();
+    let transitions = freqs.windows(2).filter(|w| w[0] != w[1]).count();
+    let distinct: std::collections::BTreeSet<u32> = freqs.iter().copied().collect();
+    t.check(
+        &format!(
+            "policy oscillates between neighbouring frequencies ({} transitions, {} levels)",
+            transitions,
+            distinct.len()
+        ),
+        transitions >= 4 && distinct.len() >= 2,
+    );
+    t.check(
+        "the 8-core system scales below max frequency",
+        run.mean_frequency_mhz() < 790.0,
+    );
+    t.note("Paper: MEM4 approximates a 'virtual frequency' between two points.");
+    t
+}

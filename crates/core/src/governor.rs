@@ -1,0 +1,485 @@
+//! Frequency selection (§3.2 "Frequency selection" + Eq 10).
+//!
+//! Each epoch, the governor exhaustively scores the ten operating points:
+//! a point is *feasible* if every application's predicted dilation stays
+//! within its slack-adjusted target, and among feasible points the governor
+//! minimizes predicted energy — full-system by default (the SER numerator
+//! `T(f)·P(f)`; the baseline denominator is a constant and drops out of the
+//! arg-min), or memory-only for the MemScale(MemEnergy) variant.
+
+use crate::perf_model::PerfModel;
+use crate::profile::EpochProfile;
+use crate::slack::SlackTracker;
+use memscale_power::PowerModel;
+use memscale_types::config::SystemConfig;
+use memscale_types::freq::MemFreq;
+use memscale_types::time::Picos;
+use serde::{Deserialize, Serialize};
+
+/// What the governor minimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum EnergyObjective {
+    /// Minimize full-system energy (the paper's MemScale).
+    #[default]
+    FullSystem,
+    /// Minimize memory-subsystem energy only (MemScale(MemEnergy), §4.2.3).
+    MemoryOnly,
+}
+
+/// Governor parameters (§3.2 defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GovernorConfig {
+    /// Maximum allowed CPI degradation γ (default 10 %).
+    pub gamma: f64,
+    /// Epoch length (default 5 ms — an OS quantum).
+    pub epoch: Picos,
+    /// Profiling-phase length at the start of each epoch (default 300 µs).
+    pub profile_len: Picos,
+    /// Energy objective.
+    pub objective: EnergyObjective,
+    /// Whether slack carries across epochs (true per the paper; false is
+    /// the per-epoch-reset ablation).
+    pub slack_carry: bool,
+    /// §3.3's optional refinement for deep queues: remember the queue
+    /// factors (ξ) measured at each visited frequency and interpolate them
+    /// for candidate frequencies, instead of reusing the profiled value
+    /// everywhere. Off by default (the paper's default configuration).
+    pub queue_interpolation: bool,
+}
+
+impl Default for GovernorConfig {
+    fn default() -> Self {
+        GovernorConfig {
+            gamma: 0.10,
+            epoch: Picos::from_ms(5),
+            profile_len: Picos::from_us(300),
+            objective: EnergyObjective::FullSystem,
+            slack_carry: true,
+            queue_interpolation: false,
+        }
+    }
+}
+
+/// Per-frequency diagnostic: (dilation vs max freq, predicted memory W,
+/// SER score); `None` when slack rules the frequency out.
+pub type CandidateScore = Option<(f64, f64, f64)>;
+
+/// The MemScale OS governor.
+#[derive(Debug, Clone)]
+pub struct MemScaleGovernor {
+    cfg: GovernorConfig,
+    perf: PerfModel,
+    power: PowerModel,
+    slack: SlackTracker,
+    rest_w: f64,
+    /// Last measured (ξ_bank, ξ_bus) per operating point, for the §3.3
+    /// queue-interpolation refinement.
+    xi_observed: [Option<(f64, f64)>; MemFreq::ALL.len()],
+}
+
+impl MemScaleGovernor {
+    /// Builds a governor for the given system.
+    ///
+    /// The slack tracker is sized on first use; the rest-of-system power
+    /// defaults to the §4.1 memory-fraction estimate for an idle memory
+    /// subsystem and should be calibrated with
+    /// [`set_rest_of_system_w`](Self::set_rest_of_system_w).
+    pub fn new(sys: &SystemConfig, cfg: GovernorConfig) -> Self {
+        let power = PowerModel::new(sys);
+        // Provisional rest-of-system estimate from idle memory power.
+        let idle_mem =
+            power.memory_power(&[], &[], Picos::from_ms(1), MemFreq::MAX).total_w();
+        let rest_w = power.rest_of_system_w(idle_mem.max(1.0) + 20.0);
+        MemScaleGovernor {
+            cfg,
+            perf: PerfModel::new(&sys.timing, &sys.cpu),
+            power,
+            slack: SlackTracker::new(0, cfg.gamma),
+            rest_w,
+            xi_observed: [None; MemFreq::ALL.len()],
+        }
+    }
+
+    /// Estimates the queue factors at candidate frequency `f` by linear
+    /// interpolation (in bus period, to which queueing roughly scales) over
+    /// the observed history; falls back to the profiled values.
+    fn interpolated_xi(&self, profile: &EpochProfile, f: MemFreq) -> Option<(f64, f64)> {
+        if !self.cfg.queue_interpolation {
+            return None;
+        }
+        if let Some(xi) = self.xi_observed[f.index()] {
+            return Some(xi);
+        }
+        // Need two observations to interpolate.
+        let known: Vec<(f64, f64, f64)> = MemFreq::ALL
+            .iter()
+            .filter_map(|&g| {
+                self.xi_observed[g.index()]
+                    .map(|(b, c)| (g.cycle().as_ns_f64(), b, c))
+            })
+            .collect();
+        if known.len() < 2 {
+            return None;
+        }
+        // Linear fit through the two period-nearest observations.
+        let x = f.cycle().as_ns_f64();
+        let mut sorted = known;
+        sorted.sort_by(|a, b| {
+            (a.0 - x).abs().partial_cmp(&(b.0 - x).abs()).expect("finite")
+        });
+        let (x0, b0, c0) = sorted[0];
+        let (x1, b1, c1) = sorted[1];
+        if (x1 - x0).abs() < 1e-12 {
+            return Some((b0, c0));
+        }
+        let t = (x - x0) / (x1 - x0);
+        let _ = profile;
+        Some((
+            (b0 + t * (b1 - b0)).max(1.0),
+            (c0 + t * (c1 - c0)).max(1.0),
+        ))
+    }
+
+    /// A profile whose controller counters are adjusted so the performance
+    /// model sees the interpolated queue factors for frequency `f`.
+    fn profile_for(&self, profile: &EpochProfile, f: MemFreq) -> EpochProfile {
+        let Some((xi_bank, xi_bus)) = self.interpolated_xi(profile, f) else {
+            return profile.clone();
+        };
+        let mut adjusted = profile.clone();
+        let btc = adjusted.mc.btc.max(1);
+        let ctc = adjusted.mc.ctc.max(1);
+        adjusted.mc.bto = ((xi_bank - 1.0).max(0.0) * btc as f64) as u64;
+        adjusted.mc.cto = ((xi_bus - 1.0).max(0.0) * ctc as f64) as u64;
+        adjusted
+    }
+
+    /// The governor's configuration.
+    #[inline]
+    pub fn config(&self) -> &GovernorConfig {
+        &self.cfg
+    }
+
+    /// The performance model in use.
+    #[inline]
+    pub fn perf_model(&self) -> &PerfModel {
+        &self.perf
+    }
+
+    /// Current per-application slack.
+    #[inline]
+    pub fn slack(&self) -> &SlackTracker {
+        &self.slack
+    }
+
+    /// Calibrates the fixed rest-of-system power (W) used by the
+    /// full-system objective.
+    pub fn set_rest_of_system_w(&mut self, rest_w: f64) {
+        self.rest_w = rest_w.max(0.0);
+    }
+
+    /// The rest-of-system power currently assumed (W).
+    #[inline]
+    pub fn rest_of_system_w(&self) -> f64 {
+        self.rest_w
+    }
+
+    fn ensure_slack(&mut self, apps: usize) {
+        if self.slack.len() != apps {
+            self.slack = SlackTracker::new(apps, self.cfg.gamma);
+        }
+    }
+
+    /// Per-candidate diagnostics from one decision pass: predicted mean
+    /// dilation versus max frequency, predicted memory power, and the SER
+    /// numerator score (`None` when slack rules the frequency out).
+    pub fn explain(&mut self, profile: &EpochProfile) -> Vec<(MemFreq, CandidateScore)> {
+        self.ensure_slack(profile.apps.len());
+        MemFreq::ALL
+            .iter()
+            .map(|&f| (f, self.score(profile, f)))
+            .collect()
+    }
+
+    fn score(&self, raw_profile: &EpochProfile, f: MemFreq) -> CandidateScore {
+        let adjusted;
+        let profile = if self.cfg.queue_interpolation {
+            adjusted = self.profile_for(raw_profile, f);
+            &adjusted
+        } else {
+            raw_profile
+        };
+        let mut dil_max_sum = 0.0;
+        let mut dil_prof_sum = 0.0;
+        let mut counted = 0usize;
+        for app in 0..profile.apps.len() {
+            let Some(d_max) = self.perf.predict_dilation(profile, app, f) else {
+                continue;
+            };
+            if !self.slack.permits(app, d_max, self.cfg.epoch) {
+                return None;
+            }
+            let d_prof = self
+                .perf
+                .predict_cpi(profile, app, f)
+                .zip(self.perf.predict_cpi(profile, app, profile.freq))
+                .map(|(a, b)| a / b)
+                .unwrap_or(1.0);
+            dil_max_sum += d_max;
+            dil_prof_sum += d_prof;
+            counted += 1;
+        }
+        let (d_max, d_prof) = if counted > 0 {
+            (
+                dil_max_sum / counted as f64,
+                (dil_prof_sum / counted as f64).max(1e-6),
+            )
+        } else {
+            (1.0, 1.0)
+        };
+        let burst_ratio = self.perf.bus_time(f) / self.perf.bus_time(profile.freq);
+        let activity = profile.activity.rescale(burst_ratio, d_prof);
+        let p_mem = self.power.memory_power_from_summary(&activity, f).total_w();
+        let score = match self.cfg.objective {
+            EnergyObjective::FullSystem => d_max * (p_mem + self.rest_w),
+            EnergyObjective::MemoryOnly => d_max * p_mem,
+        };
+        Some((d_max, p_mem, score))
+    }
+
+    /// Picks the operating point for the remainder of the epoch from the
+    /// profiling window's observations.
+    pub fn decide(&mut self, profile: &EpochProfile) -> MemFreq {
+        self.ensure_slack(profile.apps.len());
+        let mut best = MemFreq::MAX;
+        let mut best_score = f64::INFINITY;
+
+        for &f in &MemFreq::ALL {
+            // SER numerator: relative time × power (denominator constant).
+            if let Some((_, _, score)) = self.score(profile, f) {
+                if score < best_score {
+                    best_score = score;
+                    best = f;
+                }
+            }
+        }
+        best
+    }
+
+    /// End-of-epoch slack update (§3.2 stage 4): from the epoch's measured
+    /// counters, estimate what the epoch's work would have taken at maximum
+    /// frequency and roll the difference into each application's slack.
+    pub fn end_epoch(&mut self, measured: &EpochProfile) {
+        self.ensure_slack(measured.apps.len());
+        // Record the queue factors observed at this operating point for the
+        // interpolation refinement.
+        if measured.mc.btc > 0 {
+            self.xi_observed[measured.freq.index()] = Some((
+                1.0 + measured.mc.bank_queue_avg(),
+                1.0 + measured.mc.channel_queue_avg(),
+            ));
+        }
+        for app in 0..measured.apps.len() {
+            let Some(cpi_actual) = measured.measured_cpi(app, self.perf.cpu_hz()) else {
+                continue;
+            };
+            let Some(cpi_max) = self.perf.predict_cpi(measured, app, MemFreq::MAX) else {
+                continue;
+            };
+            let t_max = measured.window.as_secs_f64() * (cpi_max / cpi_actual).min(1.0);
+            self.slack.update(app, t_max, measured.window);
+        }
+        if !self.cfg.slack_carry {
+            self.slack.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::AppSample;
+    use memscale_mc::McCounters;
+    use memscale_power::ActivitySummary;
+
+    fn governor(objective: EnergyObjective) -> MemScaleGovernor {
+        let mut g = MemScaleGovernor::new(
+            &SystemConfig::default(),
+            GovernorConfig {
+                objective,
+                ..GovernorConfig::default()
+            },
+        );
+        g.set_rest_of_system_w(60.0);
+        g
+    }
+
+    fn ilp_profile() -> EpochProfile {
+        // 0.2 misses per kilo-instruction; almost no queueing.
+        EpochProfile {
+            window: Picos::from_us(300),
+            freq: MemFreq::F800,
+            apps: vec![AppSample { tic: 1_000_000, tlm: 200 }; 16],
+            mc: McCounters {
+                btc: 3_200,
+                bto: 100,
+                ctc: 3_200,
+                cto: 200,
+                cbmc: 3_200,
+                ..McCounters::new()
+            },
+            activity: ActivitySummary {
+                window: Picos::from_us(300),
+                act_rate_hz: 1e6,
+                read_burst_frac: 0.005,
+                write_burst_frac: 0.0005,
+                active_frac: 0.02,
+                pd_frac: 0.0,
+                bus_util: 0.02,
+            },
+        }
+    }
+
+    fn mem_profile() -> EpochProfile {
+        // ~17 RPKI, heavy queueing, high utilization.
+        EpochProfile {
+            window: Picos::from_us(300),
+            freq: MemFreq::F800,
+            apps: vec![AppSample { tic: 60_000, tlm: 1_020 }; 16],
+            mc: McCounters {
+                btc: 16_320,
+                bto: 20_000,
+                ctc: 16_320,
+                cto: 30_000,
+                cbmc: 16_000,
+                rbhc: 320,
+                ..McCounters::new()
+            },
+            activity: ActivitySummary {
+                window: Picos::from_us(300),
+                act_rate_hz: 5.4e7,
+                read_burst_frac: 0.08,
+                write_burst_frac: 0.01,
+                active_frac: 0.5,
+                pd_frac: 0.0,
+                bus_util: 0.68,
+            },
+        }
+    }
+
+    #[test]
+    fn ilp_workload_drops_to_minimum_frequency() {
+        let mut g = governor(EnergyObjective::FullSystem);
+        let f = g.decide(&ilp_profile());
+        assert!(
+            f <= MemFreq::F333,
+            "compute-bound mix should scale deep, got {f}"
+        );
+    }
+
+    #[test]
+    fn mem_workload_stays_fast() {
+        let mut g = governor(EnergyObjective::FullSystem);
+        let f = g.decide(&mem_profile());
+        assert!(
+            f >= MemFreq::F467,
+            "memory-bound mix should stay fast, got {f}"
+        );
+    }
+
+    #[test]
+    fn memory_only_objective_scales_at_least_as_deep() {
+        let mut gs = governor(EnergyObjective::FullSystem);
+        let mut gm = governor(EnergyObjective::MemoryOnly);
+        let p = mem_profile();
+        assert!(gm.decide(&p) <= gs.decide(&p));
+    }
+
+    #[test]
+    fn negative_slack_forces_recovery() {
+        let mut g = governor(EnergyObjective::FullSystem);
+        let p = ilp_profile();
+        g.decide(&p); // size the tracker
+        // Simulate epochs that badly overshot: massive negative slack.
+        for app in 0..16 {
+            g.slack.update(app, 1e-3, Picos::from_ms(5));
+        }
+        let f = g.decide(&p);
+        assert_eq!(f, MemFreq::MAX, "governor must recover lost slack");
+    }
+
+    #[test]
+    fn end_epoch_banks_slack_when_running_at_max() {
+        let mut g = governor(EnergyObjective::FullSystem);
+        let p = ilp_profile();
+        g.decide(&p);
+        g.end_epoch(&p);
+        // Running at max frequency accrues ~gamma x epoch of slack.
+        let s = g.slack().slack_secs(0);
+        assert!(s > 0.0, "expected positive slack, got {s}");
+    }
+
+    #[test]
+    fn slack_reset_ablation() {
+        let mut g = MemScaleGovernor::new(
+            &SystemConfig::default(),
+            GovernorConfig {
+                slack_carry: false,
+                ..GovernorConfig::default()
+            },
+        );
+        let p = ilp_profile();
+        g.decide(&p);
+        g.end_epoch(&p);
+        assert_eq!(g.slack().slack_secs(0), 0.0);
+    }
+
+    #[test]
+    fn queue_interpolation_uses_observed_history() {
+        let mut g = MemScaleGovernor::new(
+            &SystemConfig::default(),
+            GovernorConfig {
+                queue_interpolation: true,
+                ..GovernorConfig::default()
+            },
+        );
+        g.set_rest_of_system_w(60.0);
+        // Teach the governor two observations: light queues at 800 MHz,
+        // heavy queues at 400 MHz.
+        let mut at800 = mem_profile();
+        at800.freq = MemFreq::F800;
+        g.decide(&at800);
+        g.end_epoch(&at800);
+        let mut at400 = mem_profile();
+        at400.freq = MemFreq::F400;
+        at400.mc.bto *= 3;
+        at400.mc.cto *= 3;
+        g.end_epoch(&at400);
+        // Interpolation must now produce finite, >= 1 factors between them.
+        let xi = g.interpolated_xi(&at800, MemFreq::F600).expect("two points");
+        let lo = 1.0 + at800.mc.bank_queue_avg();
+        let hi = 1.0 + at400.mc.bank_queue_avg();
+        assert!(xi.0 >= lo.min(hi) - 1e-9 && xi.0 <= lo.max(hi) + 1e-9, "{xi:?}");
+        // And decide() still returns a safe choice.
+        let f = g.decide(&at800);
+        assert!(f >= MemFreq::F200);
+    }
+
+    #[test]
+    fn queue_interpolation_off_by_default() {
+        let mut g = governor(EnergyObjective::FullSystem);
+        let p = mem_profile();
+        g.end_epoch(&p);
+        assert!(g.interpolated_xi(&p, MemFreq::F400).is_none());
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = GovernorConfig::default();
+        assert_eq!(c.gamma, 0.10);
+        assert_eq!(c.epoch, Picos::from_ms(5));
+        assert_eq!(c.profile_len, Picos::from_us(300));
+        assert!(c.slack_carry);
+        assert!(!c.queue_interpolation);
+    }
+}

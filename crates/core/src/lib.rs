@@ -1,0 +1,47 @@
+//! **MemScale** — active low-power modes for main memory.
+//!
+//! This crate is the paper's primary contribution: an operating-system
+//! energy-management policy that, once per scheduling epoch, picks the
+//! memory-subsystem operating point (bus/DIMM frequency + MC voltage and
+//! frequency) that minimizes *full-system* energy while bounding each
+//! application's CPI degradation (§3).
+//!
+//! The pieces map one-to-one onto the paper:
+//!
+//! * [`profile`] — the per-epoch counter sample the OS reads (§3.1/§3.2).
+//! * [`perf_model`] — Eqs 2–9: CPI decomposition and the counter-based
+//!   queueing model with transfer blocking (ξ_bank, ξ_bus).
+//! * [`slack`] — Eq 1's per-application performance slack, carried across
+//!   epochs.
+//! * [`governor`] — frequency selection: exhaustive search of the ten
+//!   operating points, feasibility under slack, SER minimization (Eq 10).
+//! * [`policies`] — the full §4.2.3 comparison zoo: the MaxFreq baseline,
+//!   Fast-PD, Slow-PD, Static, Decoupled DIMMs, MemScale,
+//!   MemScale(MemEnergy) and MemScale+Fast-PD.
+//!
+//! # Example
+//!
+//! ```
+//! use memscale::governor::{EnergyObjective, GovernorConfig, MemScaleGovernor};
+//! use memscale_types::config::SystemConfig;
+//!
+//! let sys = SystemConfig::default();
+//! let gov = MemScaleGovernor::new(&sys, GovernorConfig::default());
+//! assert_eq!(gov.config().gamma, 0.10);
+//! assert_eq!(gov.config().objective, EnergyObjective::FullSystem);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod governor;
+pub mod perf_model;
+pub mod policies;
+pub mod profile;
+pub mod slack;
+
+pub use governor::{EnergyObjective, GovernorConfig, MemScaleGovernor};
+pub use perf_model::PerfModel;
+pub use policies::{Policy, PolicyKind};
+pub use profile::{AppSample, EpochProfile};
+pub use slack::SlackTracker;

@@ -1,0 +1,264 @@
+//! The counter-based performance model (Eqs 2–9 of the paper).
+//!
+//! The model predicts how each application's CPI changes with memory
+//! frequency:
+//!
+//! ```text
+//! E[CPI](f)    = (E[TPI_cpu] + α · E[TPI_mem](f)) · F_cpu          (Eq 3)
+//! E[TPI_mem]   = ξ_bank · (S_bank(f) + ξ_bus · S_bus(f))           (Eq 9)
+//! S_bank(f)    = T_MC(f) + E[T_device]                             (Eq 5)
+//! E[T_device]  = (T_hit·RBHC + T_cb·CBMC + T_ob·OBMC + T_pd·EPDC)
+//!                / (RBHC + CBMC + OBMC)                            (Eq 6)
+//! ```
+//!
+//! where `ξ_bank = 1 + BTO/BTC` and `ξ_bus = 1 + CTO/CTC` count the average
+//! queue (including the arriving request, per Eq 7's construction),
+//! `T_MC(f)` is five MC cycles, and `S_bus(f)` is the burst time. Only
+//! `T_MC` and `S_bus` vary with frequency; DRAM-core times do not (§2.2).
+//! ξ values measured at the profiled frequency are reused for all candidate
+//! frequencies — the paper's stated approximation, corrected over time by
+//! the slack mechanism.
+
+use crate::profile::{AppSample, EpochProfile};
+use memscale_mc::McCounters;
+use memscale_types::config::{CpuConfig, DramTimingConfig};
+use memscale_types::freq::MemFreq;
+use memscale_types::time::Picos;
+
+/// Eq 2–9 evaluator.
+#[derive(Debug, Clone)]
+pub struct PerfModel {
+    timing: DramTimingConfig,
+    cpu_hz: f64,
+}
+
+impl PerfModel {
+    /// Builds the model from the system's timing and CPU configuration.
+    pub fn new(timing: &DramTimingConfig, cpu: &CpuConfig) -> Self {
+        PerfModel {
+            timing: timing.clone(),
+            cpu_hz: cpu.freq_ghz * 1e9,
+        }
+    }
+
+    /// CPU frequency in Hz.
+    #[inline]
+    pub fn cpu_hz(&self) -> f64 {
+        self.cpu_hz
+    }
+
+    /// Eq 6: expected DRAM-device access time from row-buffer counters
+    /// (frequency-independent). Falls back to a closed-page access when the
+    /// window saw no classified accesses.
+    pub fn device_time(&self, mc: &McCounters) -> f64 {
+        let t = &self.timing;
+        let hit = t.t_cl_ns * 1e-9;
+        let cb = (t.t_rcd_ns + t.t_cl_ns) * 1e-9;
+        let ob = (t.t_rp_ns + t.t_rcd_ns + t.t_cl_ns) * 1e-9;
+        let pd = t.t_xp_ns * 1e-9;
+        let n = mc.row_classified();
+        if n == 0 {
+            return cb;
+        }
+        (hit * mc.rbhc as f64 + cb * mc.cbmc as f64 + ob * mc.obmc as f64 + pd * mc.epdc as f64)
+            / n as f64
+    }
+
+    /// `T_MC(f)`: the controller pipeline in seconds at `freq`.
+    pub fn mc_time(&self, freq: MemFreq) -> f64 {
+        (freq.mc_cycle() * self.timing.mc_pipeline_cycles as u64).as_secs_f64()
+    }
+
+    /// `S_bus(f)`: one burst in seconds at `freq`.
+    pub fn bus_time(&self, freq: MemFreq) -> f64 {
+        (freq.cycle() * self.timing.burst_cycles as u64).as_secs_f64()
+    }
+
+    /// Eq 9: expected memory time per LLC-missing instruction (seconds) at
+    /// `freq`, using queue factors measured in `mc`.
+    pub fn tpi_mem(&self, mc: &McCounters, freq: MemFreq) -> f64 {
+        let xi_bank = 1.0 + mc.bank_queue_avg();
+        let xi_bus = 1.0 + mc.channel_queue_avg();
+        let s_bank = self.mc_time(freq) + self.device_time(mc);
+        let s_bus = self.bus_time(freq);
+        xi_bank * (s_bank + xi_bus * s_bus)
+    }
+
+    /// Decomposes an application's measured time-per-instruction into its
+    /// CPU component, given the window's controller counters and the
+    /// frequency the window ran at: `TPI_cpu = TPI_total − α·TPI_mem(f)`.
+    ///
+    /// Returns `None` when the app retired no instruction in the window.
+    pub fn tpi_cpu(&self, app: &AppSample, window: Picos, mc: &McCounters, freq: MemFreq)
+        -> Option<f64> {
+        let tpi_total = app.tpi_secs(window)?;
+        let mem = app.alpha() * self.tpi_mem(mc, freq);
+        // Clamp: measurement noise can make the memory share exceed the
+        // total for extremely memory-bound windows.
+        Some((tpi_total - mem).max(tpi_total * 0.01))
+    }
+
+    /// Eq 3: predicted CPI of one application at candidate frequency
+    /// `target`, from a window profiled at `profile.freq`.
+    ///
+    /// Returns `None` when the app retired no instruction in the window.
+    pub fn predict_cpi(&self, profile: &EpochProfile, app: usize, target: MemFreq)
+        -> Option<f64> {
+        let sample = profile.apps.get(app)?;
+        let tpi_cpu = self.tpi_cpu(sample, profile.window, &profile.mc, profile.freq)?;
+        let tpi = tpi_cpu + sample.alpha() * self.tpi_mem(&profile.mc, target);
+        Some(tpi * self.cpu_hz)
+    }
+
+    /// Predicted slowdown of `app` at `target` relative to the maximum
+    /// frequency: `CPI(target) / CPI(800 MHz)`. ≥ 1 for slower targets.
+    pub fn predict_dilation(&self, profile: &EpochProfile, app: usize, target: MemFreq)
+        -> Option<f64> {
+        let at_target = self.predict_cpi(profile, app, target)?;
+        let at_max = self.predict_cpi(profile, app, MemFreq::MAX)?;
+        Some(at_target / at_max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memscale_power::ActivitySummary;
+
+    fn model() -> PerfModel {
+        PerfModel::new(&DramTimingConfig::default(), &CpuConfig::default())
+    }
+
+    fn counters(bto: u64, btc: u64, cto: u64, ctc: u64) -> McCounters {
+        McCounters {
+            bto,
+            btc,
+            cto,
+            ctc,
+            cbmc: btc.max(1),
+            ..McCounters::new()
+        }
+    }
+
+    fn profile(apps: Vec<AppSample>, mc: McCounters, freq: MemFreq) -> EpochProfile {
+        EpochProfile {
+            window: Picos::from_us(300),
+            freq,
+            apps,
+            mc,
+            activity: ActivitySummary::default(),
+        }
+    }
+
+    #[test]
+    fn device_time_defaults_to_closed_access() {
+        let m = model();
+        let d = m.device_time(&McCounters::new());
+        assert!((d - 30e-9).abs() < 1e-12); // tRCD + tCL
+    }
+
+    #[test]
+    fn device_time_weights_outcomes() {
+        let m = model();
+        let mc = McCounters {
+            rbhc: 5,
+            cbmc: 5,
+            ..McCounters::new()
+        };
+        // (15*5 + 30*5)/10 = 22.5 ns.
+        assert!((m.device_time(&mc) - 22.5e-9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncontended_tpi_mem_is_the_raw_latency() {
+        let m = model();
+        let mc = counters(0, 10, 0, 10);
+        let t800 = m.tpi_mem(&mc, MemFreq::F800);
+        // T_MC(3.125ns) + 30ns + 5ns burst.
+        assert!((t800 - 38.125e-9).abs() < 1e-12, "{t800}");
+    }
+
+    #[test]
+    fn tpi_mem_grows_when_slowing_down() {
+        let m = model();
+        let mc = counters(0, 10, 0, 10);
+        let t800 = m.tpi_mem(&mc, MemFreq::F800);
+        let t200 = m.tpi_mem(&mc, MemFreq::F200);
+        // 200 MHz: T_MC 12.5ns + 30 + 20 = 62.5ns.
+        assert!((t200 - 62.5e-9).abs() < 1e-12, "{t200}");
+        assert!(t200 / t800 < 2.0, "latency far from linear in frequency");
+    }
+
+    #[test]
+    fn queueing_amplifies_tpi_mem() {
+        let m = model();
+        let quiet = m.tpi_mem(&counters(0, 10, 0, 10), MemFreq::F800);
+        let busy = m.tpi_mem(&counters(20, 10, 10, 10), MemFreq::F800);
+        assert!(busy > 2.0 * quiet);
+    }
+
+    #[test]
+    fn cpu_bound_app_is_frequency_insensitive() {
+        let m = model();
+        // 1 miss per 10k instructions.
+        let app = AppSample {
+            tic: 1_200_000,
+            tlm: 120,
+        };
+        let p = profile(vec![app], counters(0, 120, 0, 120), MemFreq::F800);
+        let d = m.predict_dilation(&p, 0, MemFreq::F200).unwrap();
+        assert!(d < 1.02, "ILP-like app dilated by {d}");
+    }
+
+    #[test]
+    fn memory_bound_app_is_frequency_sensitive() {
+        let m = model();
+        // 20 misses per kilo-instruction, CPI dominated by memory.
+        let app = AppSample {
+            tic: 100_000,
+            tlm: 2_000,
+        };
+        let p = profile(vec![app], counters(1_000, 2_000, 500, 2_000), MemFreq::F800);
+        let d = m.predict_dilation(&p, 0, MemFreq::F200).unwrap();
+        assert!(d > 1.05, "MEM-like app dilated by only {d}");
+    }
+
+    #[test]
+    fn prediction_consistent_at_profiled_frequency() {
+        let m = model();
+        let app = AppSample {
+            tic: 500_000,
+            tlm: 1_000,
+        };
+        let p = profile(vec![app], counters(100, 1_000, 50, 1_000), MemFreq::F800);
+        let measured = p.measured_cpi(0, m.cpu_hz()).unwrap();
+        let predicted = m.predict_cpi(&p, 0, MemFreq::F800).unwrap();
+        assert!(
+            (measured - predicted).abs() / measured < 1e-6,
+            "{measured} vs {predicted}"
+        );
+    }
+
+    #[test]
+    fn missing_app_returns_none() {
+        let m = model();
+        let p = profile(vec![], McCounters::new(), MemFreq::F800);
+        assert_eq!(m.predict_cpi(&p, 0, MemFreq::F800), None);
+    }
+
+    #[test]
+    fn dilation_monotone_in_frequency() {
+        let m = model();
+        let app = AppSample {
+            tic: 200_000,
+            tlm: 3_000,
+        };
+        let p = profile(vec![app], counters(2_000, 3_000, 1_500, 3_000), MemFreq::F800);
+        let mut last = 0.0;
+        for f in MemFreq::ALL.iter().rev() {
+            let d = m.predict_dilation(&p, 0, *f).unwrap();
+            assert!(d >= last, "dilation not monotone at {f}");
+            last = d;
+        }
+    }
+}

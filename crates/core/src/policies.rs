@@ -1,0 +1,374 @@
+//! The §4.2.3 policy comparison zoo.
+//!
+//! Every energy-management scheme the paper evaluates is represented here so
+//! the simulator can run them through one interface:
+//!
+//! | Policy | Mechanism |
+//! |--------|-----------|
+//! | `Baseline` | memory at maximum frequency, no powerdown |
+//! | `FastPd` | immediate fast-exit precharge powerdown on idle ranks |
+//! | `SlowPd` | immediate slow-exit precharge powerdown |
+//! | `Static(f)` | fixed boot-time frequency (the paper uses 467 MHz) |
+//! | `Decoupled` | devices at 400 MHz behind a sync buffer, channel at 800 |
+//! | `MemScale` | the full dynamic policy (full-system objective) |
+//! | `MemScaleMemEnergy` | MemScale minimizing memory energy only |
+//! | `MemScaleFastPd` | MemScale combined with fast-exit powerdown |
+//! | `MemScalePerChannel` | §6 future work: per-channel frequency selection |
+
+use crate::governor::{EnergyObjective, GovernorConfig, MemScaleGovernor};
+use crate::profile::EpochProfile;
+use memscale_dram::rank::PowerDownMode;
+use memscale_types::config::SystemConfig;
+use memscale_types::freq::MemFreq;
+use serde::{Deserialize, Serialize};
+
+/// Which energy-management scheme to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// Max frequency, no energy management (the savings reference).
+    Baseline,
+    /// Today's aggressive controllers: fast-exit powerdown when idle.
+    FastPd,
+    /// Slow-exit powerdown when idle.
+    SlowPd,
+    /// Statically selected frequency (§4.1 picks 467 MHz).
+    Static(MemFreq),
+    /// Decoupled DIMMs: devices at `device`, channel at 800 MHz.
+    Decoupled {
+        /// DRAM-device frequency behind the synchronization buffer.
+        device: MemFreq,
+    },
+    /// The paper's full dynamic policy.
+    MemScale,
+    /// MemScale with the memory-energy-only objective.
+    MemScaleMemEnergy,
+    /// MemScale combined with fast-exit powerdown.
+    MemScaleFastPd,
+    /// §6 future-work extension: MemScale with per-channel frequencies —
+    /// the governor picks a base operating point, then cold channels step
+    /// one notch lower and hot channels one notch higher.
+    MemScalePerChannel,
+}
+
+impl PolicyKind {
+    /// Short display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyKind::Baseline => "Baseline",
+            PolicyKind::FastPd => "Fast-PD",
+            PolicyKind::SlowPd => "Slow-PD",
+            PolicyKind::Static(_) => "Static",
+            PolicyKind::Decoupled { .. } => "Decoupled",
+            PolicyKind::MemScale => "MemScale",
+            PolicyKind::MemScaleMemEnergy => "MemScale (MemEnergy)",
+            PolicyKind::MemScaleFastPd => "MemScale + Fast-PD",
+            PolicyKind::MemScalePerChannel => "MemScale (per-channel)",
+        }
+    }
+
+    /// The §4.2.3 comparison set, in figure order (paper defaults).
+    pub fn comparison_set() -> Vec<PolicyKind> {
+        vec![
+            PolicyKind::FastPd,
+            PolicyKind::SlowPd,
+            PolicyKind::Decoupled {
+                device: MemFreq::F400,
+            },
+            PolicyKind::Static(MemFreq::F467),
+            PolicyKind::MemScale,
+            PolicyKind::MemScaleMemEnergy,
+            PolicyKind::MemScaleFastPd,
+        ]
+    }
+}
+
+/// A runnable policy instance (kind + governor state where applicable).
+#[derive(Debug, Clone)]
+pub struct Policy {
+    kind: PolicyKind,
+    governor: Option<MemScaleGovernor>,
+}
+
+impl Policy {
+    /// Instantiates `kind` for the given system; `gov` supplies γ, epoch and
+    /// profiling lengths for the MemScale variants (the objective field is
+    /// overridden per variant).
+    pub fn new(kind: PolicyKind, sys: &SystemConfig, gov: GovernorConfig) -> Self {
+        let governor = match kind {
+            PolicyKind::MemScale
+            | PolicyKind::MemScaleFastPd
+            | PolicyKind::MemScalePerChannel => {
+                Some(MemScaleGovernor::new(
+                    sys,
+                    GovernorConfig {
+                        objective: EnergyObjective::FullSystem,
+                        ..gov
+                    },
+                ))
+            }
+            PolicyKind::MemScaleMemEnergy => Some(MemScaleGovernor::new(
+                sys,
+                GovernorConfig {
+                    objective: EnergyObjective::MemoryOnly,
+                    ..gov
+                },
+            )),
+            _ => None,
+        };
+        Policy { kind, governor }
+    }
+
+    /// Which scheme this is.
+    #[inline]
+    pub fn kind(&self) -> PolicyKind {
+        self.kind
+    }
+
+    /// Display name.
+    #[inline]
+    pub fn name(&self) -> &'static str {
+        self.kind.name()
+    }
+
+    /// The governor, for MemScale variants.
+    #[inline]
+    pub fn governor(&self) -> Option<&MemScaleGovernor> {
+        self.governor.as_ref()
+    }
+
+    /// Frequency the memory subsystem boots at under this policy.
+    pub fn initial_frequency(&self) -> MemFreq {
+        match self.kind {
+            PolicyKind::Static(f) => f,
+            // Decoupled runs its *channel* at max; the device lag is applied
+            // through timing (see `device_lag_ns`).
+            _ => MemFreq::MAX,
+        }
+    }
+
+    /// Powerdown mode the controller should apply to idle ranks.
+    pub fn auto_power_down(&self) -> Option<PowerDownMode> {
+        match self.kind {
+            PolicyKind::FastPd | PolicyKind::MemScaleFastPd => Some(PowerDownMode::Fast),
+            PolicyKind::SlowPd => Some(PowerDownMode::Slow),
+            _ => None,
+        }
+    }
+
+    /// Whether the policy re-decides the frequency every epoch.
+    pub fn is_adaptive(&self) -> bool {
+        self.governor.is_some()
+    }
+
+    /// The frequency DRAM *devices* run at for power purposes when the
+    /// interface runs at `interface` (differs only for Decoupled DIMMs).
+    pub fn device_power_freq(&self, interface: MemFreq) -> MemFreq {
+        match self.kind {
+            PolicyKind::Decoupled { device } => device,
+            _ => interface,
+        }
+    }
+
+    /// Extra per-access device latency (ns) caused by the Decoupled-DIMM
+    /// synchronization buffer: the slow device burst minus the fast channel
+    /// burst, with `burst_cycles` cycles per burst. Zero for everything
+    /// else.
+    pub fn device_lag_ns(&self, burst_cycles: u32) -> f64 {
+        match self.kind {
+            PolicyKind::Decoupled { device } => {
+                let slow = device.cycle().as_ns_f64() * burst_cycles as f64;
+                let fast = MemFreq::MAX.cycle().as_ns_f64() * burst_cycles as f64;
+                (slow - fast).max(0.0)
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Calibrates the rest-of-system power for the full-system objective.
+    pub fn set_rest_of_system_w(&mut self, rest_w: f64) {
+        if let Some(g) = self.governor.as_mut() {
+            g.set_rest_of_system_w(rest_w);
+        }
+    }
+
+    /// Whether this policy selects frequencies per channel (§6 extension).
+    pub fn is_per_channel(&self) -> bool {
+        matches!(self.kind, PolicyKind::MemScalePerChannel)
+    }
+
+    /// Per-epoch frequency decision. Non-adaptive policies return their
+    /// fixed frequency.
+    pub fn decide(&mut self, profile: &EpochProfile) -> MemFreq {
+        match self.governor.as_mut() {
+            Some(g) => g.decide(profile),
+            None => self.initial_frequency(),
+        }
+    }
+
+    /// Per-channel decision for the §6 extension: the governor's base
+    /// frequency, with lightly loaded channels (utilization < 30 %) stepped
+    /// one operating point lower and heavily loaded channels (> 60 %) one
+    /// point higher. Any residual performance error is corrected by the
+    /// slack mechanism in subsequent epochs.
+    pub fn decide_per_channel(
+        &mut self,
+        profile: &EpochProfile,
+        channel_utils: &[f64],
+    ) -> Vec<MemFreq> {
+        let base = self.decide(profile);
+        channel_utils
+            .iter()
+            .map(|&util| {
+                if util < 0.30 {
+                    base.step_down().unwrap_or(base)
+                } else if util > 0.60 {
+                    base.step_up().unwrap_or(base)
+                } else {
+                    base
+                }
+            })
+            .collect()
+    }
+
+    /// End-of-epoch accounting (slack update) for adaptive policies.
+    pub fn end_epoch(&mut self, measured: &EpochProfile) {
+        if let Some(g) = self.governor.as_mut() {
+            g.end_epoch(measured);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(kind: PolicyKind) -> Policy {
+        Policy::new(kind, &SystemConfig::default(), GovernorConfig::default())
+    }
+
+    #[test]
+    fn comparison_set_has_seven_policies() {
+        let set = PolicyKind::comparison_set();
+        assert_eq!(set.len(), 7);
+        let names: Vec<&str> = set.iter().map(|k| k.name()).collect();
+        assert!(names.contains(&"MemScale"));
+        assert!(names.contains(&"Decoupled"));
+    }
+
+    #[test]
+    fn initial_frequencies() {
+        assert_eq!(policy(PolicyKind::Baseline).initial_frequency(), MemFreq::F800);
+        assert_eq!(
+            policy(PolicyKind::Static(MemFreq::F467)).initial_frequency(),
+            MemFreq::F467
+        );
+        assert_eq!(
+            policy(PolicyKind::Decoupled {
+                device: MemFreq::F400
+            })
+            .initial_frequency(),
+            MemFreq::F800
+        );
+    }
+
+    #[test]
+    fn powerdown_modes() {
+        assert_eq!(policy(PolicyKind::Baseline).auto_power_down(), None);
+        assert_eq!(
+            policy(PolicyKind::FastPd).auto_power_down(),
+            Some(PowerDownMode::Fast)
+        );
+        assert_eq!(
+            policy(PolicyKind::SlowPd).auto_power_down(),
+            Some(PowerDownMode::Slow)
+        );
+        assert_eq!(
+            policy(PolicyKind::MemScaleFastPd).auto_power_down(),
+            Some(PowerDownMode::Fast)
+        );
+    }
+
+    #[test]
+    fn adaptivity() {
+        assert!(!policy(PolicyKind::Baseline).is_adaptive());
+        assert!(!policy(PolicyKind::Static(MemFreq::F467)).is_adaptive());
+        assert!(policy(PolicyKind::MemScale).is_adaptive());
+        assert!(policy(PolicyKind::MemScaleMemEnergy).is_adaptive());
+    }
+
+    #[test]
+    fn decoupled_device_power_and_lag() {
+        let p = policy(PolicyKind::Decoupled {
+            device: MemFreq::F400,
+        });
+        assert_eq!(p.device_power_freq(MemFreq::F800), MemFreq::F400);
+        // 4-cycle burst: 10 ns at 400 MHz minus 5 ns at 800 MHz.
+        assert!((p.device_lag_ns(4) - 5.0).abs() < 1e-9);
+        let b = policy(PolicyKind::Baseline);
+        assert_eq!(b.device_power_freq(MemFreq::F800), MemFreq::F800);
+        assert_eq!(b.device_lag_ns(4), 0.0);
+    }
+
+    #[test]
+    fn per_channel_decisions_follow_utilization() {
+        use crate::profile::EpochProfile;
+        use memscale_mc::McCounters;
+        use memscale_power::ActivitySummary;
+        use memscale_types::time::Picos;
+
+        let mut p = policy(PolicyKind::MemScalePerChannel);
+        assert!(p.is_per_channel());
+        assert!(p.is_adaptive());
+        let profile = EpochProfile {
+            window: Picos::from_us(300),
+            freq: MemFreq::F800,
+            apps: vec![crate::profile::AppSample { tic: 1_000_000, tlm: 500 }; 16],
+            mc: McCounters {
+                btc: 8_000,
+                ctc: 8_000,
+                cbmc: 8_000,
+                ..McCounters::new()
+            },
+            activity: ActivitySummary {
+                window: Picos::from_us(300),
+                bus_util: 0.4,
+                ..ActivitySummary::default()
+            },
+        };
+        let freqs = p.decide_per_channel(&profile, &[0.1, 0.45, 0.7, 0.45]);
+        assert_eq!(freqs.len(), 4);
+        // Cold channel one step below the hot channel's neighborhood.
+        assert!(freqs[0] <= freqs[1]);
+        assert!(freqs[2] >= freqs[1]);
+        // Tandem policies are not per-channel.
+        assert!(!policy(PolicyKind::MemScale).is_per_channel());
+    }
+
+    #[test]
+    fn memenergy_variant_uses_memory_objective() {
+        let p = policy(PolicyKind::MemScaleMemEnergy);
+        assert_eq!(
+            p.governor().unwrap().config().objective,
+            EnergyObjective::MemoryOnly
+        );
+    }
+
+    #[test]
+    fn non_adaptive_decide_returns_fixed_frequency() {
+        use crate::profile::EpochProfile;
+        use memscale_mc::McCounters;
+        use memscale_power::ActivitySummary;
+        use memscale_types::time::Picos;
+
+        let mut p = policy(PolicyKind::Static(MemFreq::F467));
+        let profile = EpochProfile {
+            window: Picos::from_us(300),
+            freq: MemFreq::F467,
+            apps: vec![],
+            mc: McCounters::new(),
+            activity: ActivitySummary::default(),
+        };
+        assert_eq!(p.decide(&profile), MemFreq::F467);
+        p.end_epoch(&profile); // no-op, must not panic
+    }
+}

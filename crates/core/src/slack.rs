@@ -1,0 +1,164 @@
+//! Per-application performance slack (Eq 1).
+//!
+//! `Slack = T_maxfreq · (1 + γ) − T_actual`, accumulated across epochs: an
+//! epoch that ran faster than its target banks slack that later epochs may
+//! spend on deeper frequency reductions; an epoch that overshot produces
+//! negative slack the governor must earn back (Fig 3).
+
+use memscale_types::time::Picos;
+use serde::{Deserialize, Serialize};
+
+/// Tracks accumulated slack, in seconds, for every application of a mix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlackTracker {
+    gamma: f64,
+    slack: Vec<f64>,
+}
+
+impl SlackTracker {
+    /// Creates a tracker for `apps` applications with degradation bound
+    /// `gamma` (e.g. `0.10` for the paper's default 10 %).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma` is negative.
+    pub fn new(apps: usize, gamma: f64) -> Self {
+        assert!(gamma >= 0.0, "gamma must be non-negative");
+        SlackTracker {
+            gamma,
+            slack: vec![0.0; apps],
+        }
+    }
+
+    /// The configured degradation bound γ.
+    #[inline]
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Number of tracked applications.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.slack.len()
+    }
+
+    /// Whether the tracker tracks no applications.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.slack.is_empty()
+    }
+
+    /// Accumulated slack of `app` in seconds (negative = behind target).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `app` is out of range.
+    #[inline]
+    pub fn slack_secs(&self, app: usize) -> f64 {
+        self.slack[app]
+    }
+
+    /// Eq 1 update after an epoch: the epoch took `actual` wall time and
+    /// would have taken `at_max_freq` at the maximum frequency (for the same
+    /// work).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `app` is out of range.
+    pub fn update(&mut self, app: usize, at_max_freq: f64, actual: Picos) {
+        self.slack[app] += at_max_freq * (1.0 + self.gamma) - actual.as_secs_f64();
+    }
+
+    /// Whether running `app`'s next epoch with predicted dilation
+    /// `dilation = CPI(f)/CPI(max)` over a wall-clock `epoch` keeps it
+    /// within its target, counting accumulated slack.
+    ///
+    /// The epoch does `epoch/dilation` worth of max-frequency work, whose
+    /// target time is `(epoch/dilation)·(1+γ)`; feasible iff
+    /// `slack + target − epoch ≥ 0`.
+    pub fn permits(&self, app: usize, dilation: f64, epoch: Picos) -> bool {
+        let e = epoch.as_secs_f64();
+        let target = e / dilation * (1.0 + self.gamma);
+        self.slack[app] + target - e >= -1e-15
+    }
+
+    /// Resets every application's slack (used by the per-epoch-reset
+    /// ablation).
+    pub fn reset(&mut self) {
+        self.slack.fill(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        let s = SlackTracker::new(4, 0.1);
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+        assert_eq!(s.slack_secs(0), 0.0);
+    }
+
+    #[test]
+    fn faster_than_target_banks_slack() {
+        let mut s = SlackTracker::new(1, 0.1);
+        // Ran an epoch of 5 ms that would take 5 ms at max frequency:
+        // target was 5.5 ms, so 0.5 ms of slack accrues.
+        s.update(0, 5e-3, Picos::from_ms(5));
+        assert!((s.slack_secs(0) - 0.5e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slower_than_target_goes_negative() {
+        let mut s = SlackTracker::new(1, 0.1);
+        // The epoch's work would take 4 ms at max frequency (target 4.4 ms)
+        // but we spent 5 ms.
+        s.update(0, 4e-3, Picos::from_ms(5));
+        assert!(s.slack_secs(0) < 0.0);
+    }
+
+    #[test]
+    fn permits_dilation_up_to_gamma_with_no_slack() {
+        let s = SlackTracker::new(1, 0.1);
+        let epoch = Picos::from_ms(5);
+        assert!(s.permits(0, 1.0, epoch));
+        assert!(s.permits(0, 1.0999, epoch));
+        assert!(!s.permits(0, 1.2, epoch));
+    }
+
+    #[test]
+    fn banked_slack_permits_deeper_dilation() {
+        let mut s = SlackTracker::new(1, 0.1);
+        s.update(0, 5e-3, Picos::from_ms(5)); // +0.5 ms slack
+        let epoch = Picos::from_ms(5);
+        // target(d) + slack - epoch >= 0 -> 5.5/d + 0.5 - 5 >= 0 -> d <= 1.22.
+        assert!(s.permits(0, 1.2, epoch));
+        assert!(!s.permits(0, 1.3, epoch));
+    }
+
+    #[test]
+    fn negative_slack_forces_speedup() {
+        let mut s = SlackTracker::new(1, 0.1);
+        s.update(0, 3e-3, Picos::from_ms(5)); // 3.3 - 5 = -1.7 ms slack
+        let epoch = Picos::from_ms(5);
+        // Even dilation 1.0 gives target 5.5 - 5 = +0.5 < 1.7 shortfall.
+        assert!(!s.permits(0, 1.0, epoch));
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut s = SlackTracker::new(2, 0.1);
+        s.update(0, 10e-3, Picos::from_ms(5));
+        s.reset();
+        assert_eq!(s.slack_secs(0), 0.0);
+    }
+
+    #[test]
+    fn zero_gamma_requires_max_speed() {
+        let s = SlackTracker::new(1, 0.0);
+        assert!(s.permits(0, 1.0, Picos::from_ms(5)));
+        assert!(!s.permits(0, 1.01, Picos::from_ms(5)));
+    }
+}

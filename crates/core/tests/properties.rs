@@ -1,0 +1,181 @@
+//! Property-based tests of the MemScale models: slack algebra, performance
+//! model monotonicity, and governor safety.
+
+use memscale::governor::{EnergyObjective, GovernorConfig, MemScaleGovernor};
+use memscale::perf_model::PerfModel;
+use memscale::profile::{AppSample, EpochProfile};
+use memscale::slack::SlackTracker;
+use memscale_mc::McCounters;
+use memscale_power::ActivitySummary;
+use memscale_types::config::SystemConfig;
+use memscale_types::freq::MemFreq;
+use memscale_types::time::Picos;
+use proptest::prelude::*;
+
+fn model() -> PerfModel {
+    let sys = SystemConfig::default();
+    PerfModel::new(&sys.timing, &sys.cpu)
+}
+
+#[derive(Debug, Clone)]
+struct Window {
+    tic: u64,
+    rpki_mille: u64, // misses per million instructions
+    bank_q: u64,     // BTO per 100 BTC
+    chan_q: u64,     // CTO per 100 CTC
+    hit_pct: u64,
+}
+
+fn window_strategy() -> impl Strategy<Value = Window> {
+    (
+        10_000u64..2_000_000,
+        10u64..25_000,
+        0u64..800,
+        0u64..800,
+        0u64..20,
+    )
+        .prop_map(|(tic, rpki_mille, bank_q, chan_q, hit_pct)| Window {
+            tic,
+            rpki_mille,
+            bank_q,
+            chan_q,
+            hit_pct,
+        })
+}
+
+fn profile_from(w: &Window) -> EpochProfile {
+    let tlm = (w.tic * w.rpki_mille / 1_000_000).max(1);
+    let btc = tlm * 16;
+    let hits = btc * w.hit_pct / 100;
+    EpochProfile {
+        window: Picos::from_us(300),
+        freq: MemFreq::F800,
+        apps: vec![AppSample { tic: w.tic, tlm }; 16],
+        mc: McCounters {
+            btc,
+            bto: btc * w.bank_q / 100,
+            ctc: btc,
+            cto: btc * w.chan_q / 100,
+            cbmc: btc - hits,
+            rbhc: hits,
+            ..McCounters::new()
+        },
+        activity: ActivitySummary {
+            window: Picos::from_us(300),
+            act_rate_hz: (btc - hits) as f64 / 300e-6,
+            read_burst_frac: 0.02,
+            write_burst_frac: 0.002,
+            active_frac: 0.2,
+            pd_frac: 0.0,
+            bus_util: 0.3,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Predicted CPI is finite, positive, and decreases (weakly) with
+    /// frequency for every plausible counter window.
+    #[test]
+    fn cpi_prediction_is_monotone(w in window_strategy()) {
+        let m = model();
+        let p = profile_from(&w);
+        let mut last = f64::INFINITY;
+        for f in MemFreq::ALL {
+            let cpi = m.predict_cpi(&p, 0, f).expect("apps present");
+            prop_assert!(cpi.is_finite() && cpi > 0.0);
+            prop_assert!(cpi <= last + 1e-12, "{f}: {cpi} > {last}");
+            last = cpi;
+        }
+    }
+
+    /// Dilation versus max frequency is exactly 1 at 800 MHz and >= 1
+    /// elsewhere.
+    #[test]
+    fn dilation_anchored_at_max(w in window_strategy()) {
+        let m = model();
+        let p = profile_from(&w);
+        let at_max = m.predict_dilation(&p, 0, MemFreq::MAX).unwrap();
+        prop_assert!((at_max - 1.0).abs() < 1e-12);
+        for f in MemFreq::ALL {
+            prop_assert!(m.predict_dilation(&p, 0, f).unwrap() >= 1.0 - 1e-12);
+        }
+    }
+
+    /// Slack algebra: a sequence of updates is order-independent in sum.
+    #[test]
+    fn slack_updates_commute(
+        updates in prop::collection::vec((1u64..10_000, 1u64..10_000), 1..20),
+    ) {
+        let mut fwd = SlackTracker::new(1, 0.1);
+        for (max_us, actual_us) in &updates {
+            fwd.update(0, *max_us as f64 * 1e-6, Picos::from_us(*actual_us));
+        }
+        let mut rev = SlackTracker::new(1, 0.1);
+        for (max_us, actual_us) in updates.iter().rev() {
+            rev.update(0, *max_us as f64 * 1e-6, Picos::from_us(*actual_us));
+        }
+        prop_assert!((fwd.slack_secs(0) - rev.slack_secs(0)).abs() < 1e-12);
+    }
+
+    /// permits() is monotone: if a deeper dilation fits, so does a lighter
+    /// one.
+    #[test]
+    fn permits_is_monotone_in_dilation(
+        slack_us in -5_000i64..5_000,
+        d_mille in 1_000u64..1_500,
+    ) {
+        let mut s = SlackTracker::new(1, 0.1);
+        // Bank (or owe) some slack.
+        if slack_us >= 0 {
+            s.update(0, slack_us as f64 * 1e-6, Picos::ZERO);
+        } else {
+            s.update(0, 0.0, Picos::from_us((-slack_us) as u64));
+        }
+        let epoch = Picos::from_ms(5);
+        let deep = d_mille as f64 / 1_000.0;
+        let light = 1.0 + (deep - 1.0) / 2.0;
+        if s.permits(0, deep, epoch) {
+            prop_assert!(s.permits(0, light, epoch));
+        }
+    }
+
+    /// The governor always returns a frequency whose predicted dilation is
+    /// permitted by the slack state — or the maximum frequency.
+    #[test]
+    fn governor_choice_is_safe(w in window_strategy()) {
+        let sys = SystemConfig::default();
+        let mut gov = MemScaleGovernor::new(&sys, GovernorConfig::default());
+        gov.set_rest_of_system_w(50.0);
+        let p = profile_from(&w);
+        let chosen = gov.decide(&p);
+        if chosen != MemFreq::MAX {
+            let m = model();
+            let d = m.predict_dilation(&p, 0, chosen).unwrap();
+            prop_assert!(
+                d <= 1.0 + gov.config().gamma + 1e-9,
+                "{chosen}: dilation {d}"
+            );
+        }
+    }
+
+    /// The memory-only objective never picks a faster frequency than the
+    /// full-system objective on the same profile.
+    #[test]
+    fn memory_objective_scales_at_least_as_deep(w in window_strategy()) {
+        let sys = SystemConfig::default();
+        let p = profile_from(&w);
+        let mut full = MemScaleGovernor::new(&sys, GovernorConfig::default());
+        full.set_rest_of_system_w(50.0);
+        let mut mem_only = MemScaleGovernor::new(
+            &sys,
+            GovernorConfig {
+                objective: EnergyObjective::MemoryOnly,
+                ..GovernorConfig::default()
+            },
+        );
+        mem_only.set_rest_of_system_w(50.0);
+        prop_assert!(mem_only.decide(&p) <= full.decide(&p));
+    }
+}

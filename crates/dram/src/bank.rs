@@ -1,0 +1,205 @@
+//! Per-bank state.
+//!
+//! Under the closed-page policy of the paper (§4.1), a bank is precharged
+//! after every column access unless the memory controller already has a
+//! pending request for the same row; only in that case does the row stay in
+//! the row buffer and the next access is a *row hit*.
+
+use memscale_types::time::Picos;
+use serde::{Deserialize, Serialize};
+
+/// A closed-page *reopen opportunity*: after an access schedules its
+/// auto-precharge, a same-row request arriving before the CAS actually
+/// issues (`until`) may cancel the precharge and proceed as a row hit, with
+/// its own CAS no earlier than `cas_from` (the previous CAS plus one burst).
+///
+/// This reproduces the paper's closed-page policy: "a bank is kept open
+/// after an access only if another access for the same bank is already
+/// pending" (§4.1) — the keep-open decision is made when the previous
+/// access's CAS (with or without auto-precharge) must be encoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HitWindow {
+    /// The row that would stay open.
+    pub row: u64,
+    /// Earliest CAS time for the follow-up access.
+    pub cas_from: Picos,
+    /// Arrival deadline for the follow-up request.
+    pub until: Picos,
+}
+
+/// State of one DRAM bank.
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bank {
+    /// The row currently latched in the row buffer, if any.
+    open_row: Option<u64>,
+    /// Earliest time the bank can begin its next operation.
+    free_at: Picos,
+    /// Time of the most recent ACT to this bank (enforces tRAS).
+    last_act: Picos,
+    /// Whether an ACT has ever been issued (so `last_act` is meaningful).
+    activated: bool,
+    /// Pending reopen opportunity (closed-page keep-open semantics).
+    hit_window: Option<HitWindow>,
+}
+
+impl Bank {
+    /// A closed, idle bank.
+    pub fn new() -> Self {
+        Bank::default()
+    }
+
+    /// The row currently open, if any.
+    #[inline]
+    pub fn open_row(&self) -> Option<u64> {
+        self.open_row
+    }
+
+    /// Earliest time the bank can begin a new operation.
+    #[inline]
+    pub fn free_at(&self) -> Picos {
+        self.free_at
+    }
+
+    /// Time of the last ACT command, if any.
+    #[inline]
+    pub fn last_act(&self) -> Option<Picos> {
+        self.activated.then_some(self.last_act)
+    }
+
+    /// The pending reopen opportunity, if any.
+    #[inline]
+    pub fn hit_window(&self) -> Option<HitWindow> {
+        self.hit_window
+    }
+
+    /// Records an ACT that opens `row` at `at`.
+    pub fn record_act(&mut self, row: u64, at: Picos) {
+        self.open_row = Some(row);
+        self.last_act = at;
+        self.activated = true;
+        self.hit_window = None;
+    }
+
+    /// Completes an access, leaving the row open (a same-row request is
+    /// already pending at the controller). The bank may start the pending
+    /// CAS as soon as `free_at`.
+    pub fn finish_keep_open(&mut self, row: u64, free_at: Picos) {
+        self.open_row = Some(row);
+        self.free_at = free_at;
+        self.hit_window = None;
+    }
+
+    /// Completes an access with an (auto-)precharge finishing at `free_at`,
+    /// optionally arming a reopen opportunity.
+    pub fn finish_precharge(&mut self, free_at: Picos) {
+        self.open_row = None;
+        self.free_at = free_at;
+        self.hit_window = None;
+    }
+
+    /// Arms a reopen opportunity after an auto-precharging access.
+    pub fn arm_hit_window(&mut self, window: HitWindow) {
+        self.hit_window = Some(window);
+    }
+
+    /// Takes (consumes) the reopen opportunity, re-marking the row open.
+    /// The caller has decided the follow-up access proceeds as a row hit.
+    pub fn reopen(&mut self, row: u64) {
+        self.open_row = Some(row);
+        self.hit_window = None;
+    }
+
+    /// Pushes `free_at` forward (refresh, powerdown exit, relock).
+    pub fn stall_until(&mut self, until: Picos) {
+        self.free_at = self.free_at.max(until);
+    }
+
+    /// Force-closes the row (used when quiescing for refresh or relock).
+    pub fn close(&mut self) {
+        self.open_row = None;
+        self.hit_window = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_bank_is_closed_and_free() {
+        let b = Bank::new();
+        assert_eq!(b.open_row(), None);
+        assert_eq!(b.free_at(), Picos::ZERO);
+        assert_eq!(b.last_act(), None);
+    }
+
+    #[test]
+    fn act_opens_row_and_tracks_time() {
+        let mut b = Bank::new();
+        b.record_act(7, Picos::from_ns(10));
+        assert_eq!(b.open_row(), Some(7));
+        assert_eq!(b.last_act(), Some(Picos::from_ns(10)));
+    }
+
+    #[test]
+    fn precharge_closes_row() {
+        let mut b = Bank::new();
+        b.record_act(7, Picos::from_ns(10));
+        b.finish_precharge(Picos::from_ns(60));
+        assert_eq!(b.open_row(), None);
+        assert_eq!(b.free_at(), Picos::from_ns(60));
+    }
+
+    #[test]
+    fn keep_open_retains_row() {
+        let mut b = Bank::new();
+        b.record_act(3, Picos::from_ns(10));
+        b.finish_keep_open(3, Picos::from_ns(40));
+        assert_eq!(b.open_row(), Some(3));
+        assert_eq!(b.free_at(), Picos::from_ns(40));
+    }
+
+    #[test]
+    fn stall_only_moves_forward() {
+        let mut b = Bank::new();
+        b.stall_until(Picos::from_ns(100));
+        b.stall_until(Picos::from_ns(50));
+        assert_eq!(b.free_at(), Picos::from_ns(100));
+    }
+
+    #[test]
+    fn hit_window_arms_and_reopens() {
+        let mut b = Bank::new();
+        b.record_act(5, Picos::ZERO);
+        b.finish_precharge(Picos::from_ns(50));
+        let w = HitWindow {
+            row: 5,
+            cas_from: Picos::from_ns(20),
+            until: Picos::from_ns(15),
+        };
+        b.arm_hit_window(w);
+        assert_eq!(b.hit_window(), Some(w));
+        b.reopen(5);
+        assert_eq!(b.open_row(), Some(5));
+        assert_eq!(b.hit_window(), None);
+    }
+
+    #[test]
+    fn act_and_close_clear_hit_window() {
+        let mut b = Bank::new();
+        b.arm_hit_window(HitWindow {
+            row: 1,
+            cas_from: Picos::ZERO,
+            until: Picos::from_ns(10),
+        });
+        b.record_act(2, Picos::ZERO);
+        assert_eq!(b.hit_window(), None);
+        b.arm_hit_window(HitWindow {
+            row: 2,
+            cas_from: Picos::ZERO,
+            until: Picos::from_ns(10),
+        });
+        b.close();
+        assert_eq!(b.hit_window(), None);
+    }
+}

@@ -1,0 +1,502 @@
+//! The per-channel access engine.
+//!
+//! A [`DramChannel`] owns its ranks and the shared data bus, and resolves
+//! each dispatched access into an [`AccessTimeline`]. The engine implements
+//! the transfer-blocking structure of the paper's queueing model (Fig 4): a
+//! request occupies its bank from activate to precharge and cannot complete
+//! until the data bus accepts its burst.
+
+use crate::rank::{PowerDownMode, Rank};
+use crate::stats::ChannelStats;
+use crate::timing::TimingSet;
+use memscale_types::config::DramTimingConfig;
+use memscale_types::freq::MemFreq;
+use memscale_types::ids::{BankId, RankId};
+use memscale_types::time::Picos;
+use serde::{Deserialize, Serialize};
+
+/// Whether an access reads a cache line from DRAM or writes one back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// LLC miss fill (demand read).
+    Read,
+    /// LLC writeback.
+    Write,
+}
+
+/// How an access met the row buffer (feeds the paper's RBHC/OBMC/CBMC
+/// counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RowOutcome {
+    /// Target row already open — CAS only.
+    Hit,
+    /// A different row was open — precharge, activate, CAS.
+    OpenMiss,
+    /// Bank was precharged — activate, CAS (the common closed-page case).
+    ClosedMiss,
+}
+
+/// The resolved schedule of one access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessTimeline {
+    /// Row-buffer outcome.
+    pub outcome: RowOutcome,
+    /// Whether servicing required a powerdown exit.
+    pub pd_exit: bool,
+    /// When the ACT command issued (None on a row hit).
+    pub act_at: Option<Picos>,
+    /// When the column access effectively issued (after bus back-pressure).
+    pub cas_at: Picos,
+    /// First beat of the data burst on the bus.
+    pub data_start: Picos,
+    /// Last beat of the data burst; a read's fill reaches the LLC here.
+    pub data_end: Picos,
+    /// When the bank can begin its next operation.
+    pub bank_free_at: Picos,
+}
+
+/// One memory channel: ranks, the shared data bus, and the current
+/// frequency-resolved timing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DramChannel {
+    cfg: DramTimingConfig,
+    timing: TimingSet,
+    ranks: Vec<Rank>,
+    bus_free_at: Picos,
+    stats: ChannelStats,
+}
+
+impl DramChannel {
+    /// Creates a channel of `ranks` ranks × `banks` banks at `freq`, with
+    /// refresh schedules staggered across ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ranks` or `banks` is zero.
+    pub fn new(cfg: &DramTimingConfig, ranks: usize, banks: usize, freq: MemFreq) -> Self {
+        assert!(ranks > 0 && banks > 0, "channel needs ranks and banks");
+        let timing = TimingSet::resolve(cfg, freq);
+        let ranks = (0..ranks)
+            .map(|i| {
+                let stagger = Picos::from_ps(
+                    timing.t_refi.as_ps() * (i as u64 + 1) / ranks as u64,
+                );
+                Rank::new(banks, stagger)
+            })
+            .collect();
+        DramChannel {
+            cfg: cfg.clone(),
+            timing,
+            ranks,
+            bus_free_at: Picos::ZERO,
+            stats: ChannelStats::new(),
+        }
+    }
+
+    /// Current operating point.
+    #[inline]
+    pub fn frequency(&self) -> MemFreq {
+        self.timing.freq
+    }
+
+    /// Current frequency-resolved timing.
+    #[inline]
+    pub fn timing(&self) -> &TimingSet {
+        &self.timing
+    }
+
+    /// Cumulative channel statistics.
+    #[inline]
+    pub fn stats(&self) -> &ChannelStats {
+        &self.stats
+    }
+
+    /// Cumulative statistics of one rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    #[inline]
+    pub fn rank_stats(&self, rank: RankId) -> &crate::stats::RankStats {
+        self.ranks[rank.index()].stats()
+    }
+
+    /// Number of ranks on the channel.
+    #[inline]
+    pub fn rank_count(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Earliest time the data bus is free.
+    #[inline]
+    pub fn bus_free_at(&self) -> Picos {
+        self.bus_free_at
+    }
+
+    /// Earliest time `bank` on `rank` can begin a new operation, ignoring
+    /// powerdown/refresh (used by the controller's dispatch heuristics).
+    #[inline]
+    pub fn bank_free_at(&self, rank: RankId, bank: BankId) -> Picos {
+        self.ranks[rank.index()]
+            .bank(bank.index().into())
+            .free_at()
+            .max(self.ranks[rank.index()].busy_until())
+    }
+
+    /// Services one access dispatched at `now`, reserving bank, rank-window
+    /// and bus resources. `keep_open` tells the engine that the controller
+    /// already holds another request for the *same row*, so the row should
+    /// stay open (closed-page policy, §4.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank`/`bank` are out of range.
+    pub fn service(
+        &mut self,
+        rank: RankId,
+        bank: BankId,
+        row: u64,
+        kind: AccessKind,
+        now: Picos,
+        keep_open: bool,
+    ) -> AccessTimeline {
+        let t = self.timing;
+        let r = &mut self.ranks[rank.index()];
+        // Wake first (powerdown exit + residency accounting anchors at the
+        // pre-refresh idle horizon), then catch up on refresh arrears.
+        let (ready, pd_exit) = r.ensure_awake(now, &t);
+        r.catch_up_refresh(now, &t);
+        let ready = ready.max(r.busy_until());
+
+        // A same-row request arriving before the previous access's CAS
+        // cancels that access's auto-precharge (closed-page keep-open).
+        let reopen = r
+            .bank(bank)
+            .hit_window()
+            .filter(|w| w.row == row && now < w.until);
+
+        // Resolve the row-buffer outcome and the command schedule.
+        let (outcome, act_at, cas_ready) = if let Some(w) = reopen {
+            r.bank_mut(bank).reopen(row);
+            (RowOutcome::Hit, None, ready.max(w.cas_from))
+        } else {
+            let t0 = ready.max(r.bank(bank).free_at());
+            match r.bank(bank).open_row() {
+                Some(open) if open == row => (RowOutcome::Hit, None, t0),
+                Some(_) => {
+                    // Explicit precharge, then activate.
+                    let last_act = r.bank(bank).last_act().unwrap_or(t0);
+                    let pre_at = t0.max(last_act + t.t_ras);
+                    let act = r.earliest_act(pre_at + t.t_rp, &t);
+                    (RowOutcome::OpenMiss, Some(act), act + t.t_rcd)
+                }
+                None => {
+                    let act = r.earliest_act(t0, &t);
+                    (RowOutcome::ClosedMiss, Some(act), act + t.t_rcd)
+                }
+            }
+        };
+        if let Some(act) = act_at {
+            r.record_act(act);
+            r.bank_mut(bank).record_act(row, act);
+        }
+
+        // Data burst: CAS latency, then wait for the bus (transfer blocking).
+        let data_ready = cas_ready + t.t_cl;
+        let data_start = data_ready.max(self.bus_free_at);
+        let data_end = data_start + t.burst;
+        self.bus_free_at = data_end;
+        // The CAS the device actually saw, accounting for bus back-pressure.
+        let cas_at = data_start - t.t_cl;
+
+        // Row management: keep open for a pending same-row request, else
+        // auto-precharge and arm a reopen opportunity.
+        let activity_start = act_at.unwrap_or(cas_at);
+        let bank_free_at;
+        if keep_open {
+            bank_free_at = data_end;
+            r.bank_mut(bank).finish_keep_open(row, bank_free_at);
+            r.stats_mut().add_active_interval(activity_start, data_end);
+        } else {
+            let anchor = act_at.or(r.bank(bank).last_act()).unwrap_or(cas_at);
+            let pre_at = match kind {
+                AccessKind::Read => (cas_at + t.t_rtp).max(anchor + t.t_ras),
+                AccessKind::Write => (data_end + t.t_wr).max(anchor + t.t_ras),
+            };
+            bank_free_at = pre_at + t.t_rp;
+            r.bank_mut(bank).finish_precharge(bank_free_at);
+            r.bank_mut(bank).arm_hit_window(crate::bank::HitWindow {
+                row,
+                cas_from: cas_at + t.burst,
+                until: cas_at,
+            });
+            r.stats_mut().add_active_interval(activity_start, bank_free_at);
+        }
+        r.note_activity(bank_free_at.max(data_end));
+
+        // Statistics.
+        match kind {
+            AccessKind::Read => {
+                r.stats_mut().record_read_burst(t.burst);
+                self.stats.reads += 1;
+            }
+            AccessKind::Write => {
+                r.stats_mut().record_write_burst(t.burst);
+                self.stats.writes += 1;
+            }
+        }
+        self.stats.burst_time += t.burst;
+        match outcome {
+            RowOutcome::Hit => self.stats.row_hits += 1,
+            RowOutcome::OpenMiss => self.stats.open_row_misses += 1,
+            RowOutcome::ClosedMiss => self.stats.closed_misses += 1,
+        }
+
+        AccessTimeline {
+            outcome,
+            pd_exit,
+            act_at,
+            cas_at,
+            data_start,
+            data_end,
+            bank_free_at,
+        }
+    }
+
+    /// Re-locks the channel to `freq` starting at `now`, returning when the
+    /// channel is operational again. The window is spent in precharge
+    /// powerdown (§3.1); all banks close and the bus stalls.
+    pub fn set_frequency(&mut self, freq: MemFreq, now: Picos) -> Picos {
+        if freq == self.timing.freq {
+            return now;
+        }
+        let penalty = TimingSet::relock_penalty(&self.cfg, freq);
+        let ready = now + penalty;
+        self.timing = TimingSet::resolve(&self.cfg, freq);
+        for rank in &mut self.ranks {
+            rank.relock(now, ready);
+        }
+        self.bus_free_at = self.bus_free_at.max(ready);
+        self.stats.relocks += 1;
+        self.stats.relock_time += penalty;
+        ready
+    }
+
+    /// Whether `rank` is idle enough to enter powerdown at `now`.
+    #[inline]
+    pub fn can_power_down(&self, rank: RankId, now: Picos) -> bool {
+        self.ranks[rank.index()].can_power_down(now)
+    }
+
+    /// Puts `rank` into powerdown at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rank is not idle (see
+    /// [`can_power_down`](Self::can_power_down)).
+    pub fn enter_power_down(&mut self, rank: RankId, mode: PowerDownMode, now: Picos) {
+        self.ranks[rank.index()].enter_power_down(mode, now);
+    }
+
+    /// Whether `rank` is currently powered down.
+    #[inline]
+    pub fn is_powered_down(&self, rank: RankId) -> bool {
+        self.ranks[rank.index()].is_powered_down()
+    }
+
+    /// Enables or disables the aggressive idle-powerdown policy on every
+    /// rank of the channel (the Fast-PD / Slow-PD baselines of §4.2.3).
+    pub fn set_auto_power_down(&mut self, mode: Option<PowerDownMode>) {
+        for rank in &mut self.ranks {
+            rank.set_auto_power_down(mode);
+        }
+    }
+
+    /// Flushes time-based accounting (powerdown residency) up to `now` on
+    /// every rank. Call at sampling boundaries before reading statistics.
+    pub fn sync(&mut self, now: Picos) {
+        for rank in &mut self.ranks {
+            rank.sync(now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn channel() -> DramChannel {
+        DramChannel::new(&DramTimingConfig::default(), 4, 8, MemFreq::F800)
+    }
+
+    fn read(ch: &mut DramChannel, rank: usize, bank: usize, row: u64, now: u64) -> AccessTimeline {
+        ch.service(
+            RankId(rank),
+            BankId(bank),
+            row,
+            AccessKind::Read,
+            Picos::from_ns(now),
+            false,
+        )
+    }
+
+    #[test]
+    fn closed_read_takes_trcd_tcl_burst() {
+        let mut ch = channel();
+        let t = read(&mut ch, 0, 0, 1, 0);
+        assert_eq!(t.outcome, RowOutcome::ClosedMiss);
+        assert_eq!(t.act_at, Some(Picos::ZERO));
+        assert_eq!(t.data_end, Picos::from_ns(35)); // 15 + 15 + 5
+    }
+
+    #[test]
+    fn row_hit_skips_activate() {
+        let mut ch = channel();
+        // First access keeps the row open for a pending same-row request.
+        ch.service(
+            RankId(0),
+            BankId(0),
+            7,
+            AccessKind::Read,
+            Picos::ZERO,
+            true,
+        );
+        let t = read(&mut ch, 0, 0, 7, 40);
+        assert_eq!(t.outcome, RowOutcome::Hit);
+        assert_eq!(t.act_at, None);
+        // CAS + burst only.
+        assert_eq!(t.data_end, Picos::from_ns(40 + 15 + 5));
+    }
+
+    #[test]
+    fn open_miss_pays_precharge() {
+        let mut ch = channel();
+        ch.service(
+            RankId(0),
+            BankId(0),
+            7,
+            AccessKind::Read,
+            Picos::ZERO,
+            true,
+        );
+        // Different row: must wait tRAS from ACT(0), precharge, activate.
+        let t = read(&mut ch, 0, 0, 9, 40);
+        assert_eq!(t.outcome, RowOutcome::OpenMiss);
+        // pre at max(40, 0+35)=40, act at 55, cas 70, data 85..90.
+        assert_eq!(t.act_at, Some(Picos::from_ns(55)));
+        assert_eq!(t.data_end, Picos::from_ns(90));
+    }
+
+    #[test]
+    fn bus_serializes_bursts_across_banks() {
+        let mut ch = channel();
+        let a = read(&mut ch, 0, 0, 1, 0);
+        let b = read(&mut ch, 0, 1, 1, 0);
+        // Both banks proceed in parallel but bursts may not overlap.
+        assert!(b.data_start >= a.data_end);
+        assert_eq!(ch.stats().burst_time, Picos::from_ns(10));
+    }
+
+    #[test]
+    fn same_bank_requests_serialize_on_the_bank() {
+        let mut ch = channel();
+        let a = read(&mut ch, 0, 0, 1, 0);
+        let b = read(&mut ch, 0, 0, 2, 0);
+        assert!(b.act_at.unwrap() >= a.bank_free_at);
+    }
+
+    #[test]
+    fn trrd_spaces_activates_across_banks() {
+        let mut ch = channel();
+        let a = read(&mut ch, 0, 0, 1, 0);
+        let b = read(&mut ch, 0, 1, 1, 0);
+        assert_eq!(a.act_at, Some(Picos::ZERO));
+        assert_eq!(b.act_at, Some(Picos::from_ns(5))); // tRRD
+    }
+
+    #[test]
+    fn ranks_have_independent_act_windows() {
+        let mut ch = channel();
+        let a = read(&mut ch, 0, 0, 1, 0);
+        let b = read(&mut ch, 1, 0, 1, 0);
+        assert_eq!(a.act_at, Some(Picos::ZERO));
+        assert_eq!(b.act_at, Some(Picos::ZERO)); // no tRRD across ranks
+    }
+
+    #[test]
+    fn writes_use_write_recovery() {
+        let mut ch = channel();
+        let w = ch.service(
+            RankId(0),
+            BankId(0),
+            1,
+            AccessKind::Write,
+            Picos::ZERO,
+            false,
+        );
+        // Bank free = data_end + tWR + tRP.
+        assert_eq!(w.bank_free_at, w.data_end + Picos::from_ns(30));
+        assert_eq!(ch.stats().writes, 1);
+    }
+
+    #[test]
+    fn powerdown_exit_penalty_applies() {
+        let mut ch = channel();
+        ch.enter_power_down(RankId(0), PowerDownMode::Fast, Picos::ZERO);
+        let t = read(&mut ch, 0, 0, 1, 100);
+        assert!(t.pd_exit);
+        assert_eq!(t.act_at, Some(Picos::from_ns(106))); // + tXP
+        assert!(!ch.is_powered_down(RankId(0)));
+    }
+
+    #[test]
+    fn frequency_change_stalls_and_slows_bursts() {
+        let mut ch = channel();
+        let ready = ch.set_frequency(MemFreq::F200, Picos::from_us(1));
+        // 512 cycles at 5 ns + 28 ns = 2588 ns.
+        assert_eq!(ready, Picos::from_us(1) + Picos::from_ns(2588));
+        assert_eq!(ch.frequency(), MemFreq::F200);
+        let t = read(&mut ch, 0, 0, 1, 1);
+        assert!(t.act_at.unwrap() >= ready);
+        assert_eq!(t.data_end - t.data_start, Picos::from_ns(20));
+        assert_eq!(ch.stats().relocks, 1);
+    }
+
+    #[test]
+    fn set_same_frequency_is_free() {
+        let mut ch = channel();
+        let ready = ch.set_frequency(MemFreq::F800, Picos::from_us(1));
+        assert_eq!(ready, Picos::from_us(1));
+        assert_eq!(ch.stats().relocks, 0);
+    }
+
+    #[test]
+    fn refresh_eventually_stalls_accesses() {
+        let mut ch = channel();
+        // Access far past the first scheduled refresh of rank 0.
+        let t = read(&mut ch, 0, 0, 1, 20_000); // 20 us
+        // At least one refresh must have been processed.
+        assert!(ch.rank_stats(RankId(0)).refresh_count >= 1);
+        assert!(t.act_at.unwrap() >= Picos::from_us(20));
+    }
+
+    #[test]
+    fn row_outcome_counters_track() {
+        let mut ch = channel();
+        ch.service(RankId(0), BankId(0), 7, AccessKind::Read, Picos::ZERO, true);
+        read(&mut ch, 0, 0, 7, 40);
+        read(&mut ch, 0, 1, 1, 80);
+        let s = ch.stats();
+        assert_eq!(s.row_hits, 1);
+        assert_eq!(s.closed_misses, 2);
+        assert_eq!(s.total_accesses(), 3);
+    }
+
+    #[test]
+    fn sync_flushes_pd_time() {
+        let mut ch = channel();
+        ch.enter_power_down(RankId(2), PowerDownMode::Slow, Picos::ZERO);
+        ch.sync(Picos::from_us(3));
+        assert_eq!(ch.rank_stats(RankId(2)).slow_pd_time, Picos::from_us(3));
+    }
+}

@@ -1,0 +1,440 @@
+//! Rank state: banks, activate-window constraints, refresh and powerdown.
+//!
+//! A rank is the unit of power management in DDR3 (§1 of the paper): CKE-low
+//! powerdown states apply to all chips of the rank at once, and the
+//! tRRD/tFAW activate constraints are rank-wide.
+
+use crate::bank::Bank;
+use crate::stats::RankStats;
+use crate::timing::TimingSet;
+use memscale_types::ids::BankId;
+use memscale_types::time::Picos;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Which precharge-powerdown flavor a rank is put into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PowerDownMode {
+    /// Fast-exit precharge powerdown (exit costs tXP ≈ 6 ns).
+    Fast,
+    /// Slow-exit precharge powerdown (exit costs tXPDLL ≈ 24 ns).
+    Slow,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum PowerState {
+    Up,
+    Down(PowerDownMode),
+}
+
+/// Maximum refresh commands a rank catches up with in one burst; DDR3
+/// permits postponing at most eight REF commands.
+const MAX_PENDING_REFRESH: u64 = 8;
+
+/// One DRAM rank: a set of banks plus rank-wide constraints and state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Rank {
+    banks: Vec<Bank>,
+    /// Issue times of recent ACTs (bounded by 4 for the tFAW window).
+    act_window: VecDeque<Picos>,
+    last_act: Option<Picos>,
+    state: PowerState,
+    /// When the current powerdown interval started (valid while Down).
+    pd_since: Picos,
+    /// Next scheduled refresh command.
+    next_refresh: Picos,
+    /// Rank-wide stall horizon (refresh, relock).
+    busy_until: Picos,
+    /// Aggressive powerdown policy: the rank is considered to drop into this
+    /// mode the instant it goes idle (today's MCs; §4.2.3 Fast-PD/Slow-PD).
+    auto_pd: Option<PowerDownMode>,
+    /// End of the last known activity (bank busy, burst, refresh, relock);
+    /// beyond this point an auto-powerdown rank is CKE-low.
+    activity_horizon: Picos,
+    /// Time up to which auto-powerdown residency has been accounted.
+    pd_accounted_until: Picos,
+    stats: RankStats,
+}
+
+impl Rank {
+    /// Creates a powered-up rank of `banks` closed banks whose first refresh
+    /// is due at `first_refresh` (staggered across ranks by the channel).
+    pub fn new(banks: usize, first_refresh: Picos) -> Self {
+        Rank {
+            banks: vec![Bank::new(); banks],
+            act_window: VecDeque::with_capacity(4),
+            last_act: None,
+            state: PowerState::Up,
+            pd_since: Picos::ZERO,
+            next_refresh: first_refresh,
+            busy_until: Picos::ZERO,
+            auto_pd: None,
+            activity_horizon: Picos::ZERO,
+            pd_accounted_until: Picos::ZERO,
+            stats: RankStats::new(),
+        }
+    }
+
+    /// Enables or disables the aggressive idle-powerdown policy: with a mode
+    /// set, the rank enters that powerdown state the instant all its banks
+    /// are precharged and idle, and pays the exit latency on the next
+    /// access.
+    pub fn set_auto_power_down(&mut self, mode: Option<PowerDownMode>) {
+        self.auto_pd = mode;
+    }
+
+    /// Extends the known-activity horizon (the channel calls this for every
+    /// access, refresh and relock it schedules on this rank).
+    pub fn note_activity(&mut self, until: Picos) {
+        self.activity_horizon = self.activity_horizon.max(until);
+    }
+
+    /// Accounts auto-powerdown residency in `[horizon, now)` and reports
+    /// whether the rank had actually dropped into powerdown.
+    fn settle_auto_pd(&mut self, now: Picos) -> bool {
+        let Some(mode) = self.auto_pd else {
+            return false;
+        };
+        if !matches!(self.state, PowerState::Up) {
+            return false;
+        }
+        let was_down = self.activity_horizon < now;
+        let start = self.activity_horizon.max(self.pd_accounted_until);
+        if start < now {
+            let dur = now - start;
+            match mode {
+                PowerDownMode::Fast => self.stats.fast_pd_time += dur,
+                PowerDownMode::Slow => self.stats.slow_pd_time += dur,
+            }
+            self.pd_accounted_until = now;
+        }
+        was_down
+    }
+
+    /// Shared view of a bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    #[inline]
+    pub fn bank(&self, bank: BankId) -> &Bank {
+        &self.banks[bank.index()]
+    }
+
+    /// Mutable view of a bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    #[inline]
+    pub fn bank_mut(&mut self, bank: BankId) -> &mut Bank {
+        &mut self.banks[bank.index()]
+    }
+
+    /// Number of banks in this rank.
+    #[inline]
+    pub fn bank_count(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Rank-wide stall horizon.
+    #[inline]
+    pub fn busy_until(&self) -> Picos {
+        self.busy_until
+    }
+
+    /// The rank's cumulative statistics.
+    #[inline]
+    pub fn stats(&self) -> &RankStats {
+        &self.stats
+    }
+
+    /// Mutable statistics access (the channel records per-access activity).
+    #[inline]
+    pub(crate) fn stats_mut(&mut self) -> &mut RankStats {
+        &mut self.stats
+    }
+
+    /// Whether the rank is currently in a powerdown state.
+    #[inline]
+    pub fn is_powered_down(&self) -> bool {
+        matches!(self.state, PowerState::Down(_))
+    }
+
+    /// Earliest time an ACT may issue given a `candidate` time and the
+    /// rank's tRRD / tFAW history.
+    pub fn earliest_act(&self, candidate: Picos, t: &TimingSet) -> Picos {
+        let mut at = candidate;
+        if let Some(last) = self.last_act {
+            at = at.max(last + t.t_rrd);
+        }
+        if self.act_window.len() == 4 {
+            at = at.max(self.act_window[0] + t.t_faw);
+        }
+        at
+    }
+
+    /// Records an ACT at `at` in the rank-wide history.
+    pub fn record_act(&mut self, at: Picos) {
+        self.last_act = Some(at);
+        if self.act_window.len() == 4 {
+            self.act_window.pop_front();
+        }
+        self.act_window.push_back(at);
+        self.stats.act_count += 1;
+    }
+
+    /// Processes refresshes that became due at or before `now`, stalling the
+    /// rank for tRFC per command (up to the DDR3 postponing limit of eight;
+    /// further arrears are dropped, as their energy is modeled analytically
+    /// from wall time by the power crate).
+    pub fn catch_up_refresh(&mut self, now: Picos, t: &TimingSet) {
+        if self.next_refresh > now {
+            return;
+        }
+        // Refreshes that became due while the rank sat idle completed in the
+        // background at their scheduled times; bulk-account truly ancient
+        // arrears without touching the stall horizon.
+        let refi = t.t_refi.as_ps().max(1);
+        let behind = (now - self.next_refresh).as_ps() / refi;
+        if behind > 2 * MAX_PENDING_REFRESH {
+            let skip = behind - MAX_PENDING_REFRESH;
+            self.stats.refresh_count += skip;
+            self.stats.refresh_time += t.t_rfc * skip;
+            self.next_refresh += Picos::from_ps(skip * refi);
+        }
+        // Remaining commands run back-to-back from their due times; only a
+        // refresh still in flight at `now` stalls the arriving request.
+        while self.next_refresh <= now {
+            let start = self.next_refresh.max(self.busy_until);
+            let end = start + t.t_rfc;
+            self.busy_until = self.busy_until.max(end);
+            self.stats.refresh_count += 1;
+            self.stats.refresh_time += t.t_rfc;
+            self.next_refresh += t.t_refi;
+        }
+        self.note_activity(self.busy_until);
+    }
+
+    /// Makes sure the rank is out of powerdown, returning the time at which
+    /// it can accept a command and whether an exit was performed (explicit
+    /// powerdown state *or* the auto-powerdown policy).
+    pub fn ensure_awake(&mut self, now: Picos, t: &TimingSet) -> (Picos, bool) {
+        match self.state {
+            PowerState::Up => {
+                if self.settle_auto_pd(now) {
+                    let exit = match self.auto_pd.expect("settled implies mode") {
+                        PowerDownMode::Fast => t.t_xp,
+                        PowerDownMode::Slow => t.t_xpdll,
+                    };
+                    self.stats.pd_exits += 1;
+                    (now.max(self.busy_until) + exit, true)
+                } else {
+                    (now.max(self.busy_until), false)
+                }
+            }
+            PowerState::Down(mode) => {
+                let exit = match mode {
+                    PowerDownMode::Fast => t.t_xp,
+                    PowerDownMode::Slow => t.t_xpdll,
+                };
+                self.flush_pd(now);
+                self.state = PowerState::Up;
+                self.stats.pd_exits += 1;
+                (now.max(self.busy_until) + exit, true)
+            }
+        }
+    }
+
+    /// Whether the rank may enter powerdown at `now`: powered up, every bank
+    /// precharged and idle, and no rank-wide stall pending.
+    pub fn can_power_down(&self, now: Picos) -> bool {
+        matches!(self.state, PowerState::Up)
+            && self.busy_until <= now
+            && self
+                .banks
+                .iter()
+                .all(|b| b.open_row().is_none() && b.free_at() <= now)
+    }
+
+    /// Enters powerdown at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`can_power_down`](Self::can_power_down) is false.
+    pub fn enter_power_down(&mut self, mode: PowerDownMode, now: Picos) {
+        assert!(self.can_power_down(now), "rank not idle at {now}");
+        self.state = PowerState::Down(mode);
+        self.pd_since = now;
+    }
+
+    /// Flushes accumulated powerdown residency into the statistics without
+    /// changing state. Call at sampling boundaries.
+    pub fn sync(&mut self, now: Picos) {
+        self.flush_pd(now);
+        self.settle_auto_pd(now);
+    }
+
+    fn flush_pd(&mut self, now: Picos) {
+        if let PowerState::Down(mode) = self.state {
+            let dur = now.saturating_sub(self.pd_since);
+            match mode {
+                PowerDownMode::Fast => self.stats.fast_pd_time += dur,
+                PowerDownMode::Slow => self.stats.slow_pd_time += dur,
+            }
+            self.pd_since = now;
+        }
+    }
+
+    /// Quiesces the rank for a frequency re-lock spanning `[now, ready)`:
+    /// exits powerdown bookkeeping, closes all banks, stalls until `ready`,
+    /// and accounts the window as fast-exit powerdown residency (the paper
+    /// re-locks from precharge powerdown, §3.1).
+    pub fn relock(&mut self, now: Picos, ready: Picos) {
+        self.flush_pd(now);
+        self.settle_auto_pd(now);
+        self.state = PowerState::Up;
+        for bank in &mut self.banks {
+            bank.close();
+            bank.stall_until(ready);
+        }
+        self.busy_until = self.busy_until.max(ready);
+        self.stats.fast_pd_time += ready.saturating_sub(now);
+        self.note_activity(ready);
+        self.pd_accounted_until = self.pd_accounted_until.max(ready);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memscale_types::config::DramTimingConfig;
+    use memscale_types::freq::MemFreq;
+
+    fn timing() -> TimingSet {
+        TimingSet::resolve(&DramTimingConfig::default(), MemFreq::F800)
+    }
+
+    fn rank() -> Rank {
+        Rank::new(8, Picos::from_us(7))
+    }
+
+    #[test]
+    fn trrd_spaces_activates() {
+        let t = timing();
+        let mut r = rank();
+        r.record_act(Picos::from_ns(100));
+        let earliest = r.earliest_act(Picos::from_ns(100), &t);
+        assert_eq!(earliest, Picos::from_ns(105)); // tRRD = 5 ns
+    }
+
+    #[test]
+    fn tfaw_limits_four_activates() {
+        let t = timing();
+        let mut r = rank();
+        for i in 0..4 {
+            r.record_act(Picos::from_ns(i * 5));
+        }
+        // Fifth ACT must wait until first + tFAW = 0 + 25 ns.
+        let earliest = r.earliest_act(Picos::from_ns(16), &t);
+        assert_eq!(earliest, Picos::from_ns(25));
+    }
+
+    #[test]
+    fn in_flight_refresh_stalls_rank() {
+        let t = timing();
+        let mut r = Rank::new(8, Picos::from_us(1));
+        // Arrive 50 ns after the refresh became due: it is still running.
+        r.catch_up_refresh(Picos::from_us(1) + Picos::from_ns(50), &t);
+        assert_eq!(r.stats().refresh_count, 1);
+        assert_eq!(r.busy_until(), Picos::from_us(1) + t.t_rfc);
+    }
+
+    #[test]
+    fn completed_background_refresh_does_not_stall() {
+        let t = timing();
+        let mut r = Rank::new(8, Picos::from_us(1));
+        // Arrive long after the refresh finished in the background.
+        let now = Picos::from_us(5);
+        r.catch_up_refresh(now, &t);
+        assert_eq!(r.stats().refresh_count, 1);
+        assert!(r.busy_until() < now, "background refresh must not stall");
+    }
+
+    #[test]
+    fn long_idle_accounts_all_refreshes_without_stalling() {
+        let t = timing();
+        let mut r = Rank::new(8, Picos::from_us(1));
+        // Rank idle for a full millisecond: ~128 refreshes ran in the
+        // background; all are counted, none stalls the arriving request.
+        r.catch_up_refresh(Picos::from_ms(1), &t);
+        let count = r.stats().refresh_count;
+        assert!((120..=130).contains(&count), "count {count}");
+        assert!(r.busy_until() < Picos::from_ms(1));
+        // Idempotent at the same instant.
+        r.catch_up_refresh(Picos::from_ms(1), &t);
+        assert_eq!(r.stats().refresh_count, count);
+    }
+
+    #[test]
+    fn powerdown_accounting_and_exit_latency() {
+        let t = timing();
+        let mut r = rank();
+        assert!(r.can_power_down(Picos::from_ns(50)));
+        r.enter_power_down(PowerDownMode::Fast, Picos::from_ns(50));
+        assert!(r.is_powered_down());
+        let (ready, exited) = r.ensure_awake(Picos::from_ns(150), &t);
+        assert!(exited);
+        assert_eq!(ready, Picos::from_ns(156)); // + tXP
+        assert_eq!(r.stats().fast_pd_time, Picos::from_ns(100));
+        assert_eq!(r.stats().pd_exits, 1);
+        assert!(!r.is_powered_down());
+    }
+
+    #[test]
+    fn slow_powerdown_has_longer_exit() {
+        let t = timing();
+        let mut r = rank();
+        r.enter_power_down(PowerDownMode::Slow, Picos::ZERO);
+        let (ready, _) = r.ensure_awake(Picos::from_ns(100), &t);
+        assert_eq!(ready, Picos::from_ns(124)); // + tXPDLL
+        assert_eq!(r.stats().slow_pd_time, Picos::from_ns(100));
+    }
+
+    #[test]
+    fn cannot_power_down_with_open_bank() {
+        let mut r = rank();
+        r.bank_mut(BankId(0)).record_act(5, Picos::ZERO);
+        assert!(!r.can_power_down(Picos::from_ns(100)));
+    }
+
+    #[test]
+    fn sync_flushes_residency_without_exiting() {
+        let mut r = rank();
+        r.enter_power_down(PowerDownMode::Fast, Picos::ZERO);
+        r.sync(Picos::from_us(1));
+        assert_eq!(r.stats().fast_pd_time, Picos::from_us(1));
+        assert!(r.is_powered_down());
+        r.sync(Picos::from_us(2));
+        assert_eq!(r.stats().fast_pd_time, Picos::from_us(2));
+    }
+
+    #[test]
+    fn relock_counts_as_fast_pd_and_stalls() {
+        let mut r = rank();
+        r.relock(Picos::from_ns(100), Picos::from_ns(768));
+        assert_eq!(r.stats().fast_pd_time, Picos::from_ns(668));
+        assert_eq!(r.busy_until(), Picos::from_ns(768));
+        assert!(!r.is_powered_down());
+    }
+
+    #[test]
+    fn awake_rank_respects_busy_until() {
+        let t = timing();
+        let mut r = rank();
+        r.relock(Picos::ZERO, Picos::from_ns(500));
+        let (ready, exited) = r.ensure_awake(Picos::from_ns(100), &t);
+        assert!(!exited);
+        assert_eq!(ready, Picos::from_ns(500));
+    }
+}

@@ -1,0 +1,237 @@
+//! Monotonic activity accumulators consumed by the power model.
+//!
+//! Every counter only ever increases; callers snapshot (`Clone`) at window
+//! boundaries and subtract with [`RankStats::delta`] / [`ChannelStats::delta`]
+//! to obtain per-window activity — exactly how the paper's PTC/PTCKEL/ATCKEL
+//! power-modeling counters are sampled each epoch (§3.1).
+
+use memscale_types::time::Picos;
+use serde::{Deserialize, Serialize};
+
+/// Activity accumulated by one rank since construction.
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RankStats {
+    /// ACT commands issued.
+    pub act_count: u64,
+    /// Read bursts serviced.
+    pub read_bursts: u64,
+    /// Write bursts serviced.
+    pub write_bursts: u64,
+    /// Total wall time spent driving read bursts.
+    pub read_burst_time: Picos,
+    /// Total wall time spent driving write bursts.
+    pub write_burst_time: Picos,
+    /// Union of intervals during which at least one bank held an open row
+    /// or was activating/precharging ("some bank active", 1 − PTC).
+    pub active_time: Picos,
+    /// Time spent in fast-exit precharge powerdown (CKE low), including
+    /// frequency-relock windows.
+    pub fast_pd_time: Picos,
+    /// Time spent in slow-exit precharge powerdown (CKE low).
+    pub slow_pd_time: Picos,
+    /// Powerdown exits (the paper's EPDC counter).
+    pub pd_exits: u64,
+    /// Refresh commands issued.
+    pub refresh_count: u64,
+    /// Wall time spent refreshing.
+    pub refresh_time: Picos,
+    /// High-water mark of the interval-union accumulator (internal).
+    active_until: Picos,
+}
+
+impl RankStats {
+    /// Fresh, all-zero statistics.
+    pub fn new() -> Self {
+        RankStats::default()
+    }
+
+    /// Adds a bank-activity interval `[start, end)` to the union.
+    ///
+    /// Intervals are expected to arrive with (approximately) nondecreasing
+    /// start times, which holds for dispatch-ordered access streams. An
+    /// interval starting before the current high-water mark contributes only
+    /// its portion beyond the mark, so overlapping bank activity is not
+    /// double-counted.
+    pub fn add_active_interval(&mut self, start: Picos, end: Picos) {
+        if end <= start {
+            return;
+        }
+        if start >= self.active_until {
+            self.active_time += end - start;
+            self.active_until = end;
+        } else if end > self.active_until {
+            self.active_time += end - self.active_until;
+            self.active_until = end;
+        }
+    }
+
+    /// Total CKE-low (powerdown) time.
+    #[inline]
+    pub fn pd_time(&self) -> Picos {
+        self.fast_pd_time + self.slow_pd_time
+    }
+
+    /// Per-window activity: `self` minus an `earlier` snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is not actually an earlier
+    /// snapshot of the same accumulator (a counter would underflow).
+    pub fn delta(&self, earlier: &RankStats) -> RankStats {
+        RankStats {
+            act_count: self.act_count - earlier.act_count,
+            read_bursts: self.read_bursts - earlier.read_bursts,
+            write_bursts: self.write_bursts - earlier.write_bursts,
+            read_burst_time: self.read_burst_time - earlier.read_burst_time,
+            write_burst_time: self.write_burst_time - earlier.write_burst_time,
+            active_time: self.active_time - earlier.active_time,
+            fast_pd_time: self.fast_pd_time - earlier.fast_pd_time,
+            slow_pd_time: self.slow_pd_time - earlier.slow_pd_time,
+            pd_exits: self.pd_exits - earlier.pd_exits,
+            refresh_count: self.refresh_count - earlier.refresh_count,
+            refresh_time: self.refresh_time - earlier.refresh_time,
+            active_until: self.active_until,
+        }
+    }
+
+    /// Record a read burst of duration `burst`.
+    pub fn record_read_burst(&mut self, burst: Picos) {
+        self.read_bursts += 1;
+        self.read_burst_time += burst;
+    }
+
+    /// Record a write burst of duration `burst`.
+    pub fn record_write_burst(&mut self, burst: Picos) {
+        self.write_bursts += 1;
+        self.write_burst_time += burst;
+    }
+}
+
+/// Activity accumulated by one channel since construction.
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelStats {
+    /// Read requests serviced.
+    pub reads: u64,
+    /// Write requests serviced.
+    pub writes: u64,
+    /// Total data-bus busy time (read + write bursts).
+    pub burst_time: Picos,
+    /// Frequency re-lock events.
+    pub relocks: u64,
+    /// Wall time lost to frequency re-locks.
+    pub relock_time: Picos,
+    /// Row-buffer hits (same row already open; the paper's RBHC).
+    pub row_hits: u64,
+    /// Accesses that found a *different* row open (the paper's OBMC).
+    pub open_row_misses: u64,
+    /// Accesses that found the bank closed (the paper's CBMC).
+    pub closed_misses: u64,
+}
+
+impl ChannelStats {
+    /// Fresh, all-zero statistics.
+    pub fn new() -> Self {
+        ChannelStats::default()
+    }
+
+    /// Per-window activity: `self` minus an `earlier` snapshot.
+    pub fn delta(&self, earlier: &ChannelStats) -> ChannelStats {
+        ChannelStats {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            burst_time: self.burst_time - earlier.burst_time,
+            relocks: self.relocks - earlier.relocks,
+            relock_time: self.relock_time - earlier.relock_time,
+            row_hits: self.row_hits - earlier.row_hits,
+            open_row_misses: self.open_row_misses - earlier.open_row_misses,
+            closed_misses: self.closed_misses - earlier.closed_misses,
+        }
+    }
+
+    /// Total accesses classified by row-buffer outcome.
+    #[inline]
+    pub fn total_accesses(&self) -> u64 {
+        self.row_hits + self.open_row_misses + self.closed_misses
+    }
+
+    /// Data-bus utilization over a window of length `window`.
+    #[inline]
+    pub fn utilization(&self, window: Picos) -> f64 {
+        self.burst_time.ratio(window).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_union_disjoint() {
+        let mut s = RankStats::new();
+        s.add_active_interval(Picos::from_ns(0), Picos::from_ns(10));
+        s.add_active_interval(Picos::from_ns(20), Picos::from_ns(30));
+        assert_eq!(s.active_time, Picos::from_ns(20));
+    }
+
+    #[test]
+    fn interval_union_overlapping() {
+        let mut s = RankStats::new();
+        s.add_active_interval(Picos::from_ns(0), Picos::from_ns(10));
+        s.add_active_interval(Picos::from_ns(5), Picos::from_ns(15));
+        assert_eq!(s.active_time, Picos::from_ns(15));
+    }
+
+    #[test]
+    fn interval_union_contained() {
+        let mut s = RankStats::new();
+        s.add_active_interval(Picos::from_ns(0), Picos::from_ns(30));
+        s.add_active_interval(Picos::from_ns(5), Picos::from_ns(15));
+        assert_eq!(s.active_time, Picos::from_ns(30));
+    }
+
+    #[test]
+    fn empty_or_inverted_intervals_ignored() {
+        let mut s = RankStats::new();
+        s.add_active_interval(Picos::from_ns(10), Picos::from_ns(10));
+        s.add_active_interval(Picos::from_ns(10), Picos::from_ns(5));
+        assert_eq!(s.active_time, Picos::ZERO);
+    }
+
+    #[test]
+    fn rank_delta_subtracts() {
+        let mut s = RankStats::new();
+        s.act_count = 5;
+        s.record_read_burst(Picos::from_ns(5));
+        let snap = s.clone();
+        s.act_count = 9;
+        s.record_read_burst(Picos::from_ns(5));
+        let d = s.delta(&snap);
+        assert_eq!(d.act_count, 4);
+        assert_eq!(d.read_bursts, 1);
+        assert_eq!(d.read_burst_time, Picos::from_ns(5));
+    }
+
+    #[test]
+    fn channel_delta_and_utilization() {
+        let mut s = ChannelStats::new();
+        s.burst_time = Picos::from_ns(50);
+        s.reads = 10;
+        let snap = s.clone();
+        s.burst_time = Picos::from_ns(150);
+        s.reads = 30;
+        let d = s.delta(&snap);
+        assert_eq!(d.reads, 20);
+        assert_eq!(d.utilization(Picos::from_ns(200)), 0.5);
+        assert_eq!(d.utilization(Picos::ZERO), 0.0);
+    }
+
+    #[test]
+    fn pd_time_sums_modes() {
+        let s = RankStats {
+            fast_pd_time: Picos::from_ns(10),
+            slow_pd_time: Picos::from_ns(5),
+            ..RankStats::new()
+        };
+        assert_eq!(s.pd_time(), Picos::from_ns(15));
+    }
+}

@@ -1,0 +1,150 @@
+//! Frequency-resolved timing parameters.
+//!
+//! A [`TimingSet`] is a [`DramTimingConfig`] evaluated at one operating point
+//! of the [`MemFreq`] grid: DRAM-core latencies stay at their wall-clock
+//! values while burst and MC-pipeline latencies are converted from cycles at
+//! the selected frequency (§2.2 of the paper).
+
+use memscale_types::config::DramTimingConfig;
+use memscale_types::freq::MemFreq;
+use memscale_types::time::Picos;
+use serde::{Deserialize, Serialize};
+
+/// All latencies the access engine needs, resolved at one frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimingSet {
+    /// The operating point these latencies were resolved at.
+    pub freq: MemFreq,
+    /// ACT → CAS.
+    pub t_rcd: Picos,
+    /// PRE duration.
+    pub t_rp: Picos,
+    /// CAS → first data beat.
+    pub t_cl: Picos,
+    /// Minimum ACT → PRE.
+    pub t_ras: Picos,
+    /// Minimum ACT → ACT, same rank.
+    pub t_rrd: Picos,
+    /// Four-activate window, same rank.
+    pub t_faw: Picos,
+    /// Read CAS → PRE.
+    pub t_rtp: Picos,
+    /// End of write burst → PRE.
+    pub t_wr: Picos,
+    /// Data burst duration (scales with bus period).
+    pub burst: Picos,
+    /// MC request-processing latency (scales with MC period).
+    pub mc_proc: Picos,
+    /// Fast-exit powerdown exit latency.
+    pub t_xp: Picos,
+    /// Slow-exit powerdown exit latency.
+    pub t_xpdll: Picos,
+    /// Mean refresh-command interval.
+    pub t_refi: Picos,
+    /// Refresh-command duration.
+    pub t_rfc: Picos,
+}
+
+impl TimingSet {
+    /// Resolves `cfg` at `freq`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use memscale_dram::timing::TimingSet;
+    /// use memscale_types::{config::DramTimingConfig, freq::MemFreq, time::Picos};
+    ///
+    /// let slow = TimingSet::resolve(&DramTimingConfig::default(), MemFreq::F400);
+    /// let fast = TimingSet::resolve(&DramTimingConfig::default(), MemFreq::F800);
+    /// assert_eq!(slow.t_rcd, fast.t_rcd);        // DRAM core unaffected
+    /// assert_eq!(slow.burst, fast.burst * 2);    // bursts stretch linearly
+    /// ```
+    pub fn resolve(cfg: &DramTimingConfig, freq: MemFreq) -> Self {
+        TimingSet {
+            freq,
+            t_rcd: cfg.t_rcd(),
+            t_rp: cfg.t_rp(),
+            t_cl: cfg.t_cl(),
+            t_ras: cfg.t_ras(),
+            t_rrd: cfg.t_rrd(),
+            t_faw: cfg.t_faw(),
+            t_rtp: cfg.t_rtp(),
+            t_wr: cfg.t_wr(),
+            burst: freq.cycle() * cfg.burst_cycles as u64,
+            mc_proc: freq.mc_cycle() * cfg.mc_pipeline_cycles as u64,
+            t_xp: cfg.t_xp(),
+            t_xpdll: cfg.t_xpdll(),
+            t_refi: cfg.t_refi(),
+            t_rfc: cfg.t_rfc(),
+        }
+    }
+
+    /// Latency of a frequency re-lock *to* `freq`: `relock_cycles` at the new
+    /// bus period plus the fixed overhead (§4.1: 512 cycles + 28 ns).
+    pub fn relock_penalty(cfg: &DramTimingConfig, freq: MemFreq) -> Picos {
+        freq.cycle() * cfg.relock_cycles + Picos::from_ns_f64(cfg.relock_extra_ns)
+    }
+
+    /// The raw device access latency of a closed-bank read without any
+    /// queueing: tRCD + tCL + burst.
+    pub fn closed_read_latency(&self) -> Picos {
+        self.t_rcd + self.t_cl + self.burst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DramTimingConfig {
+        DramTimingConfig::default()
+    }
+
+    #[test]
+    fn core_timings_are_frequency_invariant() {
+        for f in MemFreq::ALL {
+            let t = TimingSet::resolve(&cfg(), f);
+            assert_eq!(t.t_rcd, Picos::from_ns(15));
+            assert_eq!(t.t_rp, Picos::from_ns(15));
+            assert_eq!(t.t_cl, Picos::from_ns(15));
+            assert_eq!(t.t_ras, Picos::from_ns(35));
+        }
+    }
+
+    #[test]
+    fn burst_scales_with_period() {
+        let t800 = TimingSet::resolve(&cfg(), MemFreq::F800);
+        let t200 = TimingSet::resolve(&cfg(), MemFreq::F200);
+        assert_eq!(t800.burst, Picos::from_ns(5));
+        assert_eq!(t200.burst, Picos::from_ns(20));
+    }
+
+    #[test]
+    fn mc_latency_scales_with_mc_period() {
+        let t800 = TimingSet::resolve(&cfg(), MemFreq::F800);
+        // 5 cycles at 1600 MHz = 5 * 625 ps.
+        assert_eq!(t800.mc_proc, Picos::from_ps(3_125));
+        let t400 = TimingSet::resolve(&cfg(), MemFreq::F400);
+        assert_eq!(t400.mc_proc, t800.mc_proc * 2);
+    }
+
+    #[test]
+    fn relock_penalty_matches_paper() {
+        // 512 cycles at 800 MHz = 640 ns, plus 28 ns.
+        assert_eq!(
+            TimingSet::relock_penalty(&cfg(), MemFreq::F800),
+            Picos::from_ns(668)
+        );
+        // Slower target -> longer relock.
+        assert!(
+            TimingSet::relock_penalty(&cfg(), MemFreq::F200)
+                > TimingSet::relock_penalty(&cfg(), MemFreq::F800)
+        );
+    }
+
+    #[test]
+    fn closed_read_latency_is_the_sum() {
+        let t = TimingSet::resolve(&cfg(), MemFreq::F800);
+        assert_eq!(t.closed_read_latency(), Picos::from_ns(35));
+    }
+}

@@ -1,0 +1,186 @@
+//! Property-based tests of the DDR3 access engine's timing invariants.
+
+use memscale_dram::channel::{AccessKind, DramChannel};
+use memscale_dram::timing::TimingSet;
+use memscale_types::config::DramTimingConfig;
+use memscale_types::freq::MemFreq;
+use memscale_types::ids::{BankId, RankId};
+use memscale_types::time::Picos;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Access {
+    rank: usize,
+    bank: usize,
+    row: u64,
+    write: bool,
+    gap_ns: u64,
+}
+
+fn access_strategy() -> impl Strategy<Value = Access> {
+    (0usize..4, 0usize..8, 0u64..64, any::<bool>(), 0u64..200).prop_map(
+        |(rank, bank, row, write, gap_ns)| Access {
+            rank,
+            bank,
+            row,
+            write,
+            gap_ns,
+        },
+    )
+}
+
+fn freq_strategy() -> impl Strategy<Value = MemFreq> {
+    (0usize..MemFreq::ALL.len()).prop_map(|i| MemFreq::ALL[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every access's schedule is internally ordered and the shared data
+    /// bus never carries two bursts at once.
+    #[test]
+    fn schedules_are_ordered_and_bus_is_exclusive(
+        accesses in prop::collection::vec(access_strategy(), 1..120),
+        freq in freq_strategy(),
+    ) {
+        let cfg = DramTimingConfig::default();
+        let mut ch = DramChannel::new(&cfg, 4, 8, freq);
+        let mut now = Picos::ZERO;
+        let mut last_burst_end = Picos::ZERO;
+        for a in &accesses {
+            now += Picos::from_ns(a.gap_ns);
+            let kind = if a.write { AccessKind::Write } else { AccessKind::Read };
+            let t = ch.service(RankId(a.rank), BankId(a.bank), a.row, kind, now, false);
+            // Internal ordering.
+            prop_assert!(t.data_start >= t.cas_at);
+            prop_assert_eq!(t.data_end - t.data_start, ch.timing().burst);
+            if let Some(act) = t.act_at {
+                prop_assert!(act >= now);
+                prop_assert!(t.cas_at >= act + ch.timing().t_rcd);
+            }
+            // Bus exclusivity: bursts are issued in dispatch order and must
+            // not overlap.
+            prop_assert!(t.data_start >= last_burst_end);
+            last_burst_end = t.data_end;
+            // The bank is reserved at least until after its column access
+            // (auto-precharge may legally overlap a slow burst's tail, so
+            // `bank_free_at` can precede `data_end` at low frequencies).
+            prop_assert!(t.bank_free_at > t.cas_at);
+        }
+    }
+
+    /// Rank-level ACT constraints (tRRD and tFAW) hold for any stream.
+    #[test]
+    fn act_spacing_respects_trrd_and_tfaw(
+        accesses in prop::collection::vec(access_strategy(), 1..120),
+        freq in freq_strategy(),
+    ) {
+        let cfg = DramTimingConfig::default();
+        let t = TimingSet::resolve(&cfg, freq);
+        let mut ch = DramChannel::new(&cfg, 4, 8, freq);
+        let mut now = Picos::ZERO;
+        let mut acts: Vec<Vec<Picos>> = vec![Vec::new(); 4];
+        for a in &accesses {
+            now += Picos::from_ns(a.gap_ns);
+            let tl = ch.service(
+                RankId(a.rank),
+                BankId(a.bank),
+                a.row,
+                AccessKind::Read,
+                now,
+                false,
+            );
+            if let Some(act) = tl.act_at {
+                let hist = &mut acts[a.rank];
+                if let Some(&prev) = hist.last() {
+                    prop_assert!(act >= prev + t.t_rrd, "tRRD violated: {prev} -> {act}");
+                }
+                if hist.len() >= 4 {
+                    let fourth_back = hist[hist.len() - 4];
+                    prop_assert!(
+                        act >= fourth_back + t.t_faw,
+                        "tFAW violated: {fourth_back} -> {act}"
+                    );
+                }
+                hist.push(act);
+            }
+        }
+    }
+
+    /// Cumulative statistics are consistent with the access stream.
+    #[test]
+    fn stats_match_the_stream(
+        accesses in prop::collection::vec(access_strategy(), 1..100),
+        freq in freq_strategy(),
+    ) {
+        let cfg = DramTimingConfig::default();
+        let mut ch = DramChannel::new(&cfg, 4, 8, freq);
+        let mut now = Picos::ZERO;
+        let mut reads = 0u64;
+        let mut writes = 0u64;
+        for a in &accesses {
+            now += Picos::from_ns(a.gap_ns);
+            let kind = if a.write { AccessKind::Write } else { AccessKind::Read };
+            ch.service(RankId(a.rank), BankId(a.bank), a.row, kind, now, false);
+            if a.write { writes += 1 } else { reads += 1 }
+        }
+        let s = ch.stats();
+        prop_assert_eq!(s.reads, reads);
+        prop_assert_eq!(s.writes, writes);
+        prop_assert_eq!(s.total_accesses(), reads + writes);
+        prop_assert_eq!(s.burst_time, ch.timing().burst * (reads + writes));
+        // Per-rank burst counts must add up too.
+        let rank_bursts: u64 = (0..4)
+            .map(|r| {
+                let rs = ch.rank_stats(RankId(r));
+                rs.read_bursts + rs.write_bursts
+            })
+            .sum();
+        prop_assert_eq!(rank_bursts, reads + writes);
+    }
+
+    /// Identical access streams at lower frequency never finish earlier.
+    #[test]
+    fn lower_frequency_is_never_faster(
+        accesses in prop::collection::vec(access_strategy(), 1..80),
+    ) {
+        let cfg = DramTimingConfig::default();
+        let mut fast = DramChannel::new(&cfg, 4, 8, MemFreq::F800);
+        let mut slow = DramChannel::new(&cfg, 4, 8, MemFreq::F267);
+        let mut now = Picos::ZERO;
+        for a in &accesses {
+            now += Picos::from_ns(a.gap_ns);
+            let kind = if a.write { AccessKind::Write } else { AccessKind::Read };
+            let tf = fast.service(RankId(a.rank), BankId(a.bank), a.row, kind, now, false);
+            let ts = slow.service(RankId(a.rank), BankId(a.bank), a.row, kind, now, false);
+            prop_assert!(ts.data_end >= tf.data_end, "slow {} < fast {}", ts.data_end, tf.data_end);
+        }
+    }
+
+    /// Activity accounting never exceeds wall-clock time per rank.
+    #[test]
+    fn active_time_bounded_by_wall_clock(
+        accesses in prop::collection::vec(access_strategy(), 1..100),
+        freq in freq_strategy(),
+    ) {
+        let cfg = DramTimingConfig::default();
+        let mut ch = DramChannel::new(&cfg, 4, 8, freq);
+        let mut now = Picos::ZERO;
+        let mut horizon = Picos::ZERO;
+        for a in &accesses {
+            now += Picos::from_ns(a.gap_ns);
+            let t = ch.service(RankId(a.rank), BankId(a.bank), a.row, AccessKind::Read, now, false);
+            horizon = horizon.max(t.bank_free_at).max(t.data_end);
+        }
+        ch.sync(horizon);
+        for r in 0..4 {
+            let s = ch.rank_stats(RankId(r));
+            prop_assert!(
+                s.active_time <= horizon,
+                "rank {r} active {} > horizon {horizon}",
+                s.active_time
+            );
+            prop_assert!(s.pd_time() <= horizon);
+        }
+    }
+}

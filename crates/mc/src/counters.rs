@@ -1,0 +1,173 @@
+//! The §3.1 memory-controller performance counters.
+//!
+//! One set of counters exists for the whole controller — the paper stresses
+//! that averages (not per-bank/per-channel counts) suffice for the model.
+
+use memscale_types::time::Picos;
+use serde::{Deserialize, Serialize};
+
+/// Monotonic controller counters; snapshot and subtract with
+/// [`McCounters::delta`] at epoch/profiling boundaries.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct McCounters {
+    /// Bank Transactions Outstanding: sum over arrivals of the number of
+    /// requests already queued/in service for the same bank.
+    pub bto: u64,
+    /// Bank Transaction Counter: arrivals.
+    pub btc: u64,
+    /// Channel Transactions Outstanding (same, for the channel data bus).
+    pub cto: u64,
+    /// Channel Transactions Counter.
+    pub ctc: u64,
+    /// Row Buffer Hit Counter.
+    pub rbhc: u64,
+    /// Open-row Buffer Miss Counter (different row was open).
+    pub obmc: u64,
+    /// Closed-row Buffer Miss Counter (bank precharged; the common case).
+    pub cbmc: u64,
+    /// Exit-PowerDown Counter.
+    pub epdc: u64,
+    /// Page open/close command pairs (the paper's POCC).
+    pub pocc: u64,
+    /// Demand reads serviced.
+    pub reads: u64,
+    /// Writebacks serviced.
+    pub writes: u64,
+    /// Sum of read latencies (arrival → data end), for diagnostics.
+    pub read_latency_sum: Picos,
+}
+
+impl McCounters {
+    /// Fresh counters.
+    pub fn new() -> Self {
+        McCounters::default()
+    }
+
+    /// Counter activity since an `earlier` snapshot.
+    pub fn delta(&self, earlier: &McCounters) -> McCounters {
+        McCounters {
+            bto: self.bto - earlier.bto,
+            btc: self.btc - earlier.btc,
+            cto: self.cto - earlier.cto,
+            ctc: self.ctc - earlier.ctc,
+            rbhc: self.rbhc - earlier.rbhc,
+            obmc: self.obmc - earlier.obmc,
+            cbmc: self.cbmc - earlier.cbmc,
+            epdc: self.epdc - earlier.epdc,
+            pocc: self.pocc - earlier.pocc,
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            read_latency_sum: self.read_latency_sum - earlier.read_latency_sum,
+        }
+    }
+
+    /// Average number of same-bank requests an arrival finds ahead of it
+    /// (BTO/BTC; the paper's ξ_bank minus the request itself).
+    pub fn bank_queue_avg(&self) -> f64 {
+        if self.btc == 0 {
+            0.0
+        } else {
+            self.bto as f64 / self.btc as f64
+        }
+    }
+
+    /// Average number of same-channel requests an arrival finds ahead of it
+    /// (CTO/CTC).
+    pub fn channel_queue_avg(&self) -> f64 {
+        if self.ctc == 0 {
+            0.0
+        } else {
+            self.cto as f64 / self.ctc as f64
+        }
+    }
+
+    /// Total row-buffer-classified accesses.
+    pub fn row_classified(&self) -> u64 {
+        self.rbhc + self.obmc + self.cbmc
+    }
+
+    /// Row-buffer hit rate in [0, 1].
+    pub fn row_hit_rate(&self) -> f64 {
+        let n = self.row_classified();
+        if n == 0 {
+            0.0
+        } else {
+            self.rbhc as f64 / n as f64
+        }
+    }
+
+    /// Mean read latency, if any read was serviced.
+    pub fn mean_read_latency(&self) -> Option<Picos> {
+        if self.reads == 0 {
+            None
+        } else {
+            Some(self.read_latency_sum / self.reads)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_subtracts_fieldwise() {
+        let a = McCounters {
+            bto: 10,
+            btc: 5,
+            reads: 3,
+            read_latency_sum: Picos::from_ns(100),
+            ..McCounters::new()
+        };
+        let b = McCounters {
+            bto: 25,
+            btc: 10,
+            reads: 9,
+            read_latency_sum: Picos::from_ns(400),
+            ..McCounters::new()
+        };
+        let d = b.delta(&a);
+        assert_eq!(d.bto, 15);
+        assert_eq!(d.btc, 5);
+        assert_eq!(d.reads, 6);
+        assert_eq!(d.read_latency_sum, Picos::from_ns(300));
+    }
+
+    #[test]
+    fn queue_averages() {
+        let c = McCounters {
+            bto: 30,
+            btc: 10,
+            cto: 5,
+            ctc: 10,
+            ..McCounters::new()
+        };
+        assert_eq!(c.bank_queue_avg(), 3.0);
+        assert_eq!(c.channel_queue_avg(), 0.5);
+        assert_eq!(McCounters::new().bank_queue_avg(), 0.0);
+    }
+
+    #[test]
+    fn row_hit_rate() {
+        let c = McCounters {
+            rbhc: 1,
+            obmc: 1,
+            cbmc: 8,
+            ..McCounters::new()
+        };
+        assert_eq!(c.row_classified(), 10);
+        assert!((c.row_hit_rate() - 0.1).abs() < 1e-12);
+        assert_eq!(McCounters::new().row_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn mean_read_latency() {
+        let c = McCounters {
+            reads: 4,
+            read_latency_sum: Picos::from_ns(200),
+            ..McCounters::new()
+        };
+        assert_eq!(c.mean_read_latency(), Some(Picos::from_ns(50)));
+        assert_eq!(McCounters::new().mean_read_latency(), None);
+    }
+}

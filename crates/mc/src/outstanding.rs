@@ -1,0 +1,85 @@
+//! Outstanding-transaction tracking behind the BTO/CTO accumulators.
+//!
+//! Each resource (bank or channel) keeps a FIFO of the *completion times* of
+//! requests dispatched to it. When a new request arrives, entries whose
+//! completion lies in the past are pruned and the remaining count is the
+//! number of requests the arrival finds ahead of it — exactly what the
+//! paper's hardware accumulators add to BTO/CTO on each arrival.
+
+use memscale_types::time::Picos;
+use std::collections::VecDeque;
+
+/// Completion-time FIFO for one resource.
+#[derive(Debug, Default, Clone)]
+pub struct OutstandingTracker {
+    completions: VecDeque<Picos>,
+}
+
+impl OutstandingTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        OutstandingTracker::default()
+    }
+
+    /// Registers an arrival at `now` that will complete at `completion`,
+    /// returning how many earlier requests are still outstanding.
+    ///
+    /// Completion times must be registered in non-decreasing order per
+    /// resource (true for FCFS dispatch); out-of-order completions are
+    /// tolerated but may briefly over-count.
+    pub fn arrive(&mut self, now: Picos, completion: Picos) -> u64 {
+        while let Some(&front) = self.completions.front() {
+            if front <= now {
+                self.completions.pop_front();
+            } else {
+                break;
+            }
+        }
+        let ahead = self.completions.len() as u64;
+        self.completions.push_back(completion);
+        ahead
+    }
+
+    /// Requests still outstanding at `now` (without registering anything).
+    pub fn outstanding_at(&self, now: Picos) -> u64 {
+        self.completions.iter().filter(|&&c| c > now).count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_requests_ahead() {
+        let mut t = OutstandingTracker::new();
+        assert_eq!(t.arrive(Picos::ZERO, Picos::from_ns(50)), 0);
+        assert_eq!(t.arrive(Picos::from_ns(10), Picos::from_ns(90)), 1);
+        assert_eq!(t.arrive(Picos::from_ns(20), Picos::from_ns(130)), 2);
+    }
+
+    #[test]
+    fn prunes_completed_requests() {
+        let mut t = OutstandingTracker::new();
+        t.arrive(Picos::ZERO, Picos::from_ns(50));
+        t.arrive(Picos::ZERO, Picos::from_ns(60));
+        // Both completed by 100 ns.
+        assert_eq!(t.arrive(Picos::from_ns(100), Picos::from_ns(150)), 0);
+    }
+
+    #[test]
+    fn outstanding_at_is_non_destructive() {
+        let mut t = OutstandingTracker::new();
+        t.arrive(Picos::ZERO, Picos::from_ns(50));
+        assert_eq!(t.outstanding_at(Picos::from_ns(10)), 1);
+        assert_eq!(t.outstanding_at(Picos::from_ns(50)), 0);
+        assert_eq!(t.outstanding_at(Picos::from_ns(10)), 1); // unchanged
+    }
+
+    #[test]
+    fn boundary_completion_counts_as_done() {
+        let mut t = OutstandingTracker::new();
+        t.arrive(Picos::ZERO, Picos::from_ns(50));
+        assert_eq!(t.arrive(Picos::from_ns(50), Picos::from_ns(100)), 0);
+    }
+}

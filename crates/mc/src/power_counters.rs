@@ -1,0 +1,114 @@
+//! The §3.1 power-modeling counters: PTC, PTCKEL, ATCKEL and POCC.
+//!
+//! The paper instantiates its Micron power model from four counters: the
+//! Precharge Time Counter (percentage of time all banks of a rank are
+//! precharged), Precharge Time With CKE Low, Active Time With CKE Low, and
+//! the Page Open/Close Counter. In this implementation the underlying
+//! quantities live in the DRAM crate's [`RankStats`] accumulators; this
+//! module presents them under the paper's names, averaged across ranks the
+//! way the paper's single counter set is ("only a single set of these
+//! counters is needed to model power accurately").
+
+use memscale_dram::stats::RankStats;
+use memscale_types::time::Picos;
+use serde::{Deserialize, Serialize};
+
+/// The paper's power-model counter sample over one window.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerCounters {
+    /// PTC: fraction of time all banks of a rank are precharged
+    /// (rank-averaged), in `[0, 1]`.
+    pub ptc: f64,
+    /// PTCKEL: fraction of time precharged *and* CKE low (powerdown).
+    pub ptckel: f64,
+    /// ATCKEL: fraction of time some bank active and CKE low. Always zero
+    /// here — only precharge powerdown is modeled, as in the paper's
+    /// evaluation (active powerdown is never entered by its policies).
+    pub atckel: f64,
+    /// POCC: page open/close command pairs in the window.
+    pub pocc: u64,
+}
+
+impl PowerCounters {
+    /// Samples the counters from per-rank activity deltas over `window`,
+    /// with `pocc` page open/close pairs observed by the controller.
+    ///
+    /// Returns the zero sample for an empty window or rank set.
+    pub fn sample(rank_deltas: &[RankStats], pocc: u64, window: Picos) -> Self {
+        if window == Picos::ZERO || rank_deltas.is_empty() {
+            return PowerCounters {
+                pocc,
+                ..PowerCounters::default()
+            };
+        }
+        let w = window.as_secs_f64();
+        let n = rank_deltas.len() as f64;
+        let active: f64 = rank_deltas
+            .iter()
+            .map(|d| (d.active_time.as_secs_f64() / w).min(1.0))
+            .sum::<f64>()
+            / n;
+        let pd: f64 = rank_deltas
+            .iter()
+            .map(|d| (d.pd_time().as_secs_f64() / w).min(1.0))
+            .sum::<f64>()
+            / n;
+        PowerCounters {
+            ptc: (1.0 - active).clamp(0.0, 1.0),
+            ptckel: pd.min(1.0),
+            atckel: 0.0,
+            pocc,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn delta(active_us: u64, pd_us: u64) -> RankStats {
+        let mut d = RankStats::new();
+        d.active_time = Picos::from_us(active_us);
+        d.fast_pd_time = Picos::from_us(pd_us);
+        d
+    }
+
+    #[test]
+    fn idle_rank_is_fully_precharged() {
+        let p = PowerCounters::sample(&[RankStats::new()], 0, Picos::from_ms(1));
+        assert_eq!(p.ptc, 1.0);
+        assert_eq!(p.ptckel, 0.0);
+        assert_eq!(p.atckel, 0.0);
+    }
+
+    #[test]
+    fn active_time_reduces_ptc() {
+        let p = PowerCounters::sample(&[delta(400, 0)], 7, Picos::from_ms(1));
+        assert!((p.ptc - 0.6).abs() < 1e-12);
+        assert_eq!(p.pocc, 7);
+    }
+
+    #[test]
+    fn powerdown_time_shows_as_ptckel() {
+        let p = PowerCounters::sample(&[delta(0, 900)], 0, Picos::from_ms(1));
+        assert!((p.ptckel - 0.9).abs() < 1e-12);
+        assert_eq!(p.atckel, 0.0);
+    }
+
+    #[test]
+    fn averages_across_ranks() {
+        let p = PowerCounters::sample(
+            &[delta(1_000, 0), delta(0, 0)],
+            0,
+            Picos::from_ms(1),
+        );
+        assert!((p.ptc - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_window_is_zero() {
+        let p = PowerCounters::sample(&[delta(1, 1)], 3, Picos::ZERO);
+        assert_eq!(p.ptc, 0.0);
+        assert_eq!(p.pocc, 3);
+    }
+}

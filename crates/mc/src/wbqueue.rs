@@ -1,0 +1,118 @@
+//! Per-channel writeback queue.
+//!
+//! §4.1: "Reads are given priority over writebacks until the writeback queue
+//! is half-full." Writebacks park here and are drained either *forcibly*
+//! (whenever occupancy reaches half capacity) or *opportunistically* (when
+//! the channel's data bus is idle at a read's arrival).
+
+use memscale_types::address::PhysAddr;
+use memscale_types::time::Picos;
+use std::collections::VecDeque;
+
+/// A pending writeback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingWriteback {
+    /// The dirty line's address.
+    pub addr: PhysAddr,
+    /// When the writeback entered the queue.
+    pub arrived: Picos,
+}
+
+/// Bounded writeback queue for one channel.
+#[derive(Debug, Clone)]
+pub struct WritebackQueue {
+    entries: VecDeque<PendingWriteback>,
+    capacity: usize,
+}
+
+impl WritebackQueue {
+    /// Creates a queue of `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "writeback queue needs capacity");
+        WritebackQueue {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Queue capacity.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current occupancy.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether occupancy has reached the half-full priority threshold.
+    #[inline]
+    pub fn over_half(&self) -> bool {
+        self.entries.len() * 2 >= self.capacity
+    }
+
+    /// Enqueues a writeback.
+    pub fn push(&mut self, addr: PhysAddr, now: Picos) {
+        self.entries.push_back(PendingWriteback { addr, arrived: now });
+    }
+
+    /// Removes the oldest writeback for servicing.
+    pub fn pop(&mut self) -> Option<PendingWriteback> {
+        self.entries.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = WritebackQueue::new(8);
+        q.push(PhysAddr::new(0x40), Picos::ZERO);
+        q.push(PhysAddr::new(0x80), Picos::from_ns(1));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().addr, PhysAddr::new(0x40));
+        assert_eq!(q.pop().unwrap().addr, PhysAddr::new(0x80));
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn half_full_threshold() {
+        let mut q = WritebackQueue::new(4);
+        assert!(!q.over_half());
+        q.push(PhysAddr::new(0), Picos::ZERO);
+        assert!(!q.over_half());
+        q.push(PhysAddr::new(64), Picos::ZERO);
+        assert!(q.over_half()); // 2 of 4
+    }
+
+    #[test]
+    fn odd_capacity_threshold_rounds_up() {
+        let mut q = WritebackQueue::new(5);
+        q.push(PhysAddr::new(0), Picos::ZERO);
+        q.push(PhysAddr::new(64), Picos::ZERO);
+        assert!(!q.over_half()); // 2*2=4 < 5
+        q.push(PhysAddr::new(128), Picos::ZERO);
+        assert!(q.over_half()); // 3*2=6 >= 5
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        WritebackQueue::new(0);
+    }
+}

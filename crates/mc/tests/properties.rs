@@ -1,0 +1,152 @@
+//! Property-based tests of the memory controller's counters and scheduling.
+
+use memscale_mc::MemoryController;
+use memscale_types::address::PhysAddr;
+use memscale_types::config::SystemConfig;
+use memscale_types::freq::MemFreq;
+use memscale_types::time::Picos;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Op {
+    line: u64,
+    write: bool,
+    gap_ns: u64,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0u64..4096, any::<bool>(), 0u64..300).prop_map(|(line, write, gap_ns)| Op {
+        line,
+        write,
+        gap_ns,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Counter identities hold for arbitrary request streams.
+    #[test]
+    fn counter_identities(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let mut mc = MemoryController::new(&SystemConfig::default(), MemFreq::F800);
+        let mut now = Picos::ZERO;
+        let mut reads = 0u64;
+        for op in &ops {
+            now += Picos::from_ns(op.gap_ns);
+            if op.write {
+                mc.writeback(PhysAddr::from_cache_line(op.line), now);
+            } else {
+                mc.read(PhysAddr::from_cache_line(op.line), now);
+                reads += 1;
+            }
+        }
+        mc.drain_all_writebacks(now);
+        let c = mc.counters();
+        prop_assert_eq!(c.reads, reads);
+        prop_assert_eq!(c.btc, reads);
+        prop_assert_eq!(c.ctc, reads);
+        prop_assert_eq!(c.reads + c.writes, ops.len() as u64);
+        prop_assert_eq!(c.row_classified(), c.reads + c.writes);
+        prop_assert_eq!(c.pocc, c.obmc + c.cbmc);
+        prop_assert!(c.epdc == 0, "no powerdown policy must mean no exits");
+    }
+
+    /// Read completions are causal and bounded below by the raw latency.
+    #[test]
+    fn read_latency_bounds(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let mut mc = MemoryController::new(&SystemConfig::default(), MemFreq::F800);
+        // Raw closed-page read: T_MC + tRCD + tCL + burst = 38.125 ns.
+        let floor = Picos::from_ps(38_125);
+        let mut now = Picos::ZERO;
+        for op in &ops {
+            now += Picos::from_ns(op.gap_ns);
+            if op.write {
+                mc.writeback(PhysAddr::from_cache_line(op.line), now);
+            } else {
+                let r = mc.read(PhysAddr::from_cache_line(op.line), now);
+                prop_assert!(r.completion >= now + Picos::from_ns(15));
+                // A row hit skips tRCD, so the absolute floor is lower, but
+                // a closed miss must pay the full pipeline.
+                if r.timeline.outcome == memscale_dram::RowOutcome::ClosedMiss {
+                    prop_assert!(
+                        r.completion >= now + floor,
+                        "completion {} < floor {} after {}",
+                        r.completion,
+                        now + floor,
+                        now
+                    );
+                }
+            }
+        }
+    }
+
+    /// The controller is deterministic: identical streams, identical state.
+    #[test]
+    fn deterministic_replay(ops in prop::collection::vec(op_strategy(), 1..100)) {
+        let run = || {
+            let mut mc = MemoryController::new(&SystemConfig::default(), MemFreq::F800);
+            let mut now = Picos::ZERO;
+            let mut completions = Vec::new();
+            for op in &ops {
+                now += Picos::from_ns(op.gap_ns);
+                if op.write {
+                    mc.writeback(PhysAddr::from_cache_line(op.line), now);
+                } else {
+                    completions.push(mc.read(PhysAddr::from_cache_line(op.line), now).completion);
+                }
+            }
+            (completions, *mc.counters())
+        };
+        let (ca, sa) = run();
+        let (cb, sb) = run();
+        prop_assert_eq!(ca, cb);
+        prop_assert_eq!(sa, sb);
+    }
+
+    /// Frequency changes never reorder causality: post-change reads
+    /// complete after the relock horizon.
+    #[test]
+    fn relock_is_a_barrier(
+        ops in prop::collection::vec(op_strategy(), 1..60),
+        freq_idx in 0usize..9,
+    ) {
+        let target = MemFreq::ALL[freq_idx]; // anything but a guaranteed 800
+        let mut mc = MemoryController::new(&SystemConfig::default(), MemFreq::F800);
+        let mut now = Picos::ZERO;
+        for op in &ops {
+            now += Picos::from_ns(op.gap_ns);
+            mc.read(PhysAddr::from_cache_line(op.line), now);
+        }
+        let ready = mc.set_frequency(target, now);
+        if target != MemFreq::F800 {
+            prop_assert!(ready > now);
+        }
+        let r = mc.read(PhysAddr::from_cache_line(1), now);
+        prop_assert!(r.timeline.cas_at >= now);
+        prop_assert!(r.completion >= ready.min(now + Picos::from_us(10)));
+        prop_assert_eq!(mc.frequency(), target);
+    }
+
+    /// Writebacks never get lost: queued == pushed − dispatched.
+    #[test]
+    fn writebacks_conserved(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let mut mc = MemoryController::new(&SystemConfig::default(), MemFreq::F800);
+        let mut now = Picos::ZERO;
+        let mut pushed = 0u64;
+        for op in &ops {
+            now += Picos::from_ns(op.gap_ns);
+            if op.write {
+                mc.writeback(PhysAddr::from_cache_line(op.line), now);
+                pushed += 1;
+            } else {
+                mc.read(PhysAddr::from_cache_line(op.line), now);
+            }
+        }
+        let queued: usize = (0..4)
+            .map(|c| mc.pending_writebacks(memscale_types::ids::ChannelId(c)))
+            .sum();
+        prop_assert_eq!(mc.counters().writes + queued as u64, pushed);
+        mc.drain_all_writebacks(now);
+        prop_assert_eq!(mc.counters().writes, pushed);
+    }
+}

@@ -1,0 +1,122 @@
+//! Power-breakdown structs matching the categories of Figs 2 and 10.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign};
+
+/// Instantaneous memory-subsystem power, split by the paper's categories
+/// (W). Fig 2 plots exactly these six components.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryPowerBreakdown {
+    /// DRAM background power: standby + powerdown + refresh.
+    pub background_w: f64,
+    /// DRAM activate/precharge power.
+    pub act_pre_w: f64,
+    /// DRAM read/write burst power.
+    pub rd_wr_w: f64,
+    /// Termination power on non-target DIMMs.
+    pub term_w: f64,
+    /// DIMM PLL power.
+    pub pll_w: f64,
+    /// DIMM register power.
+    pub reg_w: f64,
+    /// Memory-controller power.
+    pub mc_w: f64,
+}
+
+impl MemoryPowerBreakdown {
+    /// Total memory-subsystem power (W).
+    #[inline]
+    pub fn total_w(&self) -> f64 {
+        self.background_w
+            + self.act_pre_w
+            + self.rd_wr_w
+            + self.term_w
+            + self.pll_w
+            + self.reg_w
+            + self.mc_w
+    }
+
+    /// Combined PLL + register power (the paper's "PLL/REG" category).
+    #[inline]
+    pub fn pll_reg_w(&self) -> f64 {
+        self.pll_w + self.reg_w
+    }
+
+    /// DRAM-device power only (background + act/pre + rd/wr + termination).
+    #[inline]
+    pub fn dram_w(&self) -> f64 {
+        self.background_w + self.act_pre_w + self.rd_wr_w + self.term_w
+    }
+
+    /// Scales every component by `factor` (e.g. to convert a per-channel
+    /// figure to a system figure, or power × time to energy).
+    #[inline]
+    pub fn scaled(&self, factor: f64) -> MemoryPowerBreakdown {
+        MemoryPowerBreakdown {
+            background_w: self.background_w * factor,
+            act_pre_w: self.act_pre_w * factor,
+            rd_wr_w: self.rd_wr_w * factor,
+            term_w: self.term_w * factor,
+            pll_w: self.pll_w * factor,
+            reg_w: self.reg_w * factor,
+            mc_w: self.mc_w * factor,
+        }
+    }
+}
+
+impl Add for MemoryPowerBreakdown {
+    type Output = MemoryPowerBreakdown;
+    fn add(self, rhs: MemoryPowerBreakdown) -> MemoryPowerBreakdown {
+        MemoryPowerBreakdown {
+            background_w: self.background_w + rhs.background_w,
+            act_pre_w: self.act_pre_w + rhs.act_pre_w,
+            rd_wr_w: self.rd_wr_w + rhs.rd_wr_w,
+            term_w: self.term_w + rhs.term_w,
+            pll_w: self.pll_w + rhs.pll_w,
+            reg_w: self.reg_w + rhs.reg_w,
+            mc_w: self.mc_w + rhs.mc_w,
+        }
+    }
+}
+
+impl AddAssign for MemoryPowerBreakdown {
+    fn add_assign(&mut self, rhs: MemoryPowerBreakdown) {
+        *self = *self + rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MemoryPowerBreakdown {
+        MemoryPowerBreakdown {
+            background_w: 10.0,
+            act_pre_w: 2.0,
+            rd_wr_w: 3.0,
+            term_w: 1.0,
+            pll_w: 4.0,
+            reg_w: 2.0,
+            mc_w: 8.0,
+        }
+    }
+
+    #[test]
+    fn totals() {
+        let b = sample();
+        assert_eq!(b.total_w(), 30.0);
+        assert_eq!(b.pll_reg_w(), 6.0);
+        assert_eq!(b.dram_w(), 16.0);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let b = sample();
+        let doubled = b + b;
+        assert_eq!(doubled.total_w(), 60.0);
+        assert_eq!(b.scaled(0.5).total_w(), 15.0);
+        let mut acc = MemoryPowerBreakdown::default();
+        acc += b;
+        assert_eq!(acc, b);
+    }
+}

@@ -1,0 +1,231 @@
+//! Micron-methodology DDR3 device power.
+//!
+//! Every figure is derived from the Table 2 per-chip currents at `vdd`,
+//! multiplied by the chips participating in a rank. Background currents
+//! scale linearly with channel frequency (§2.2: "lowering frequency lowers
+//! background power linearly"), while per-event energies (activate/precharge)
+//! and burst *power* are frequency-independent — a slower burst therefore
+//! costs proportionally more **energy**, exactly the paper's "read/write and
+//! termination energy increase almost linearly" behaviour.
+
+use memscale_dram::stats::RankStats;
+use memscale_types::config::{DramTimingConfig, PowerConfig};
+use memscale_types::freq::MemFreq;
+use memscale_types::time::Picos;
+
+/// Per-rank DRAM power at one instant/window (W).
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct RankPower {
+    /// State-dependent background power including refresh.
+    pub background_w: f64,
+    /// Activate/precharge event power.
+    pub act_pre_w: f64,
+    /// Read/write burst power.
+    pub rd_wr_w: f64,
+}
+
+/// DRAM-device power calculator for one rank geometry.
+#[derive(Debug, Clone)]
+pub struct DramPowerCalc {
+    cfg: PowerConfig,
+    chips: f64,
+    /// Refresh duty cycle tRFC/tREFI (refresh runs at a fixed rate).
+    refresh_duty: f64,
+    /// Energy of one ACT+PRE pair for the whole rank (J).
+    act_pre_energy_j: f64,
+}
+
+impl DramPowerCalc {
+    /// Builds a calculator for ranks of `chips_per_rank` chips.
+    pub fn new(power: &PowerConfig, timing: &DramTimingConfig, chips_per_rank: u8) -> Self {
+        let chips = chips_per_rank as f64;
+        let refresh_duty = timing.t_rfc_ns / (timing.t_refi().as_ns_f64());
+        // Micron-style: (IDD0 - IDD3N) over the tRC = tRAS + tRP window.
+        let delta_i_a = ((power.i_act_pre_ma - power.i_act_stby_ma) / 1_000.0).max(0.0);
+        let t_rc_s = (timing.t_ras_ns + timing.t_rp_ns) * 1e-9;
+        let act_pre_energy_j = chips * power.vdd * delta_i_a * t_rc_s;
+        DramPowerCalc {
+            cfg: power.clone(),
+            chips,
+            refresh_duty,
+            act_pre_energy_j,
+        }
+    }
+
+    /// Energy of one rank-wide ACT+PRE pair (J).
+    #[inline]
+    pub fn act_pre_energy_j(&self) -> f64 {
+        self.act_pre_energy_j
+    }
+
+    /// Power drawn by a rank driving a read or write burst, above its
+    /// active-standby background (W). Frequency-independent.
+    #[inline]
+    pub fn burst_power_w(&self, write: bool) -> f64 {
+        let i = if write {
+            self.cfg.i_wr_ma
+        } else {
+            self.cfg.i_rd_ma
+        };
+        self.chips * self.cfg.vdd * ((i - self.cfg.i_act_stby_ma) / 1_000.0).max(0.0)
+    }
+
+    /// Refresh power of one rank (W). Runs at a fixed duty cycle regardless
+    /// of activity, so it is computed analytically from wall time.
+    #[inline]
+    pub fn refresh_power_w(&self) -> f64 {
+        self.chips
+            * self.cfg.vdd
+            * ((self.cfg.i_ref_ma - self.cfg.i_pre_stby_ma) / 1_000.0).max(0.0)
+            * self.refresh_duty
+    }
+
+    /// Average power of one rank over a window of length `window`, given the
+    /// rank's activity `delta` in that window, at channel frequency `freq`.
+    ///
+    /// Returns all-zero for an empty window.
+    pub fn rank_power(&self, delta: &RankStats, window: Picos, freq: MemFreq) -> RankPower {
+        if window == Picos::ZERO {
+            return RankPower::default();
+        }
+        let w = window.as_secs_f64();
+        let scale = freq.relative();
+        let v = self.cfg.vdd;
+        let ma = 1.0 / 1_000.0;
+
+        // State fractions (clamped: the interval-union accounting may spill
+        // a few nanoseconds across window boundaries).
+        let f_pd = (delta.pd_time().as_secs_f64() / w).min(1.0);
+        let f_act = (delta.active_time.as_secs_f64() / w).min(1.0 - f_pd);
+        let f_pre = (1.0 - f_pd - f_act).max(0.0);
+
+        let standby_w = self.chips
+            * v
+            * (self.cfg.i_act_stby_ma * f_act
+                + self.cfg.i_pre_stby_ma * f_pre
+                + self.cfg.i_pre_pd_ma * f_pd)
+            * ma
+            * scale;
+        let background_w = standby_w + self.refresh_power_w();
+
+        let act_pre_w = self.act_pre_energy_j * delta.act_count as f64 / w;
+
+        let rd_w = self.burst_power_w(false) * delta.read_burst_time.as_secs_f64() / w;
+        let wr_w = self.burst_power_w(true) * delta.write_burst_time.as_secs_f64() / w;
+
+        RankPower {
+            background_w,
+            act_pre_w,
+            rd_wr_w: rd_w + wr_w,
+        }
+    }
+
+    /// All-precharged standby power of an idle rank at `freq` (W), including
+    /// refresh — the floor the Fast-PD/Slow-PD policies push below.
+    pub fn idle_standby_power_w(&self, freq: MemFreq) -> f64 {
+        self.chips * self.cfg.vdd * (self.cfg.i_pre_stby_ma / 1_000.0) * freq.relative()
+            + self.refresh_power_w()
+    }
+
+    /// Powerdown power of an idle rank at `freq` (W), including refresh.
+    pub fn powerdown_power_w(&self, freq: MemFreq) -> f64 {
+        self.chips * self.cfg.vdd * (self.cfg.i_pre_pd_ma / 1_000.0) * freq.relative()
+            + self.refresh_power_w()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn calc() -> DramPowerCalc {
+        DramPowerCalc::new(
+            &PowerConfig::default(),
+            &DramTimingConfig::default(),
+            9,
+        )
+    }
+
+    #[test]
+    fn act_pre_energy_is_sane() {
+        // (120-67) mA * 1.575 V * 9 chips * 50 ns ≈ 37.6 nJ.
+        let e = calc().act_pre_energy_j();
+        assert!(e > 30e-9 && e < 45e-9, "got {e}");
+    }
+
+    #[test]
+    fn burst_power_is_sane() {
+        // (250-67) mA * 1.575 V * 9 ≈ 2.59 W.
+        let p = calc().burst_power_w(false);
+        assert!(p > 2.0 && p < 3.2, "got {p}");
+        assert_eq!(p, calc().burst_power_w(true)); // same current in Table 2
+    }
+
+    #[test]
+    fn idle_rank_draws_precharge_standby() {
+        let c = calc();
+        let delta = RankStats::new();
+        let p = c.rank_power(&delta, Picos::from_ms(1), MemFreq::F800);
+        // 70 mA * 1.575 V * 9 ≈ 0.99 W + refresh.
+        assert!(p.background_w > 0.9 && p.background_w < 1.3, "{p:?}");
+        assert_eq!(p.act_pre_w, 0.0);
+        assert_eq!(p.rd_wr_w, 0.0);
+        assert!((p.background_w - c.idle_standby_power_w(MemFreq::F800)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn background_scales_linearly_with_frequency() {
+        let c = calc();
+        let delta = RankStats::new();
+        let w = Picos::from_ms(1);
+        let hi = c.rank_power(&delta, w, MemFreq::F800).background_w - c.refresh_power_w();
+        let lo = c.rank_power(&delta, w, MemFreq::F400).background_w - c.refresh_power_w();
+        assert!((lo / hi - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn powerdown_cuts_background() {
+        let c = calc();
+        let w = Picos::from_ms(1);
+        let mut delta = RankStats::new();
+        delta.fast_pd_time = w; // fully powered down
+        let pd = c.rank_power(&delta, w, MemFreq::F800).background_w;
+        let up = c.rank_power(&RankStats::new(), w, MemFreq::F800).background_w;
+        assert!(pd < up);
+        assert_eq!(pd, c.powerdown_power_w(MemFreq::F800));
+    }
+
+    #[test]
+    fn activity_adds_dynamic_power() {
+        let c = calc();
+        let w = Picos::from_ms(1);
+        let mut delta = RankStats::new();
+        delta.act_count = 10_000;
+        delta.record_read_burst(Picos::from_us(100));
+        delta.active_time = Picos::from_us(400);
+        let p = c.rank_power(&delta, w, MemFreq::F800);
+        assert!(p.act_pre_w > 0.0);
+        assert!(p.rd_wr_w > 0.0);
+        // 10k acts * 37.6 nJ / 1 ms ≈ 0.376 W.
+        assert!((p.act_pre_w - 1e4 * c.act_pre_energy_j() / 1e-3).abs() < 1e-9);
+        // 10% of the window bursting at ~2.59 W ≈ 0.259 W.
+        assert!((p.rd_wr_w - 0.1 * c.burst_power_w(false)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_window_is_zero() {
+        let p = calc().rank_power(&RankStats::new(), Picos::ZERO, MemFreq::F800);
+        assert_eq!(p, RankPower::default());
+    }
+
+    #[test]
+    fn refresh_power_constant_across_frequency() {
+        let c = calc();
+        // Refresh term does not scale with channel frequency.
+        let r = c.refresh_power_w();
+        assert!(r > 0.0);
+        let idle_hi = c.idle_standby_power_w(MemFreq::F800);
+        let idle_lo = c.idle_standby_power_w(MemFreq::F200);
+        assert!((idle_hi - r) / (idle_lo - r) > 3.9);
+    }
+}

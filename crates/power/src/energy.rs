@@ -1,0 +1,137 @@
+//! Energy integration over a run.
+//!
+//! The simulator calls [`EnergyAccount::add`] once per accounting segment
+//! (epoch or sub-epoch window), accumulating joules per power category plus
+//! rest-of-system energy. Savings comparisons against a baseline run
+//! implement the percentages of Figs 5, 9, 12–15.
+
+use crate::breakdown::MemoryPowerBreakdown;
+use memscale_types::time::Picos;
+use serde::{Deserialize, Serialize};
+
+/// Accumulated energy of one run, by component (joules).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyAccount {
+    /// Per-category memory energy; field values are joules, not watts.
+    pub memory_j: MemoryPowerBreakdown,
+    /// Rest-of-system energy (J).
+    pub rest_j: f64,
+    /// Total simulated time covered.
+    pub elapsed: Picos,
+}
+
+impl EnergyAccount {
+    /// An empty account.
+    pub fn new() -> Self {
+        EnergyAccount::default()
+    }
+
+    /// Integrates `power` (W) and `rest_w` (W) over `dt`.
+    pub fn add(&mut self, power: &MemoryPowerBreakdown, rest_w: f64, dt: Picos) {
+        let s = dt.as_secs_f64();
+        self.memory_j += power.scaled(s);
+        self.rest_j += rest_w * s;
+        self.elapsed += dt;
+    }
+
+    /// Total memory-subsystem energy (J).
+    #[inline]
+    pub fn memory_total_j(&self) -> f64 {
+        self.memory_j.total_w()
+    }
+
+    /// Total full-system energy (J).
+    #[inline]
+    pub fn system_total_j(&self) -> f64 {
+        self.memory_total_j() + self.rest_j
+    }
+
+    /// Average memory power over the run (W).
+    #[inline]
+    pub fn memory_avg_w(&self) -> f64 {
+        let s = self.elapsed.as_secs_f64();
+        if s == 0.0 {
+            0.0
+        } else {
+            self.memory_total_j() / s
+        }
+    }
+
+    /// Fractional memory-energy savings of `self` versus `baseline`
+    /// (positive = `self` used less). Returns 0 for a zero baseline.
+    pub fn memory_savings_vs(&self, baseline: &EnergyAccount) -> f64 {
+        savings(self.memory_total_j(), baseline.memory_total_j())
+    }
+
+    /// Fractional full-system energy savings of `self` versus `baseline`.
+    pub fn system_savings_vs(&self, baseline: &EnergyAccount) -> f64 {
+        savings(self.system_total_j(), baseline.system_total_j())
+    }
+}
+
+fn savings(ours: f64, baseline: f64) -> f64 {
+    if baseline == 0.0 {
+        0.0
+    } else {
+        1.0 - ours / baseline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn power(total: f64) -> MemoryPowerBreakdown {
+        MemoryPowerBreakdown {
+            background_w: total,
+            ..MemoryPowerBreakdown::default()
+        }
+    }
+
+    #[test]
+    fn integrates_power_over_time() {
+        let mut acc = EnergyAccount::new();
+        acc.add(&power(10.0), 60.0, Picos::from_ms(100));
+        assert!((acc.memory_total_j() - 1.0).abs() < 1e-12); // 10 W x 0.1 s
+        assert!((acc.rest_j - 6.0).abs() < 1e-12);
+        assert!((acc.system_total_j() - 7.0).abs() < 1e-12);
+        assert_eq!(acc.elapsed, Picos::from_ms(100));
+        assert!((acc.memory_avg_w() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accumulates_segments() {
+        let mut acc = EnergyAccount::new();
+        acc.add(&power(10.0), 0.0, Picos::from_ms(50));
+        acc.add(&power(20.0), 0.0, Picos::from_ms(50));
+        assert!((acc.memory_total_j() - 1.5).abs() < 1e-12);
+        assert!((acc.memory_avg_w() - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn savings_comparisons() {
+        let mut base = EnergyAccount::new();
+        base.add(&power(20.0), 30.0, Picos::from_ms(100));
+        let mut ours = EnergyAccount::new();
+        ours.add(&power(10.0), 30.0, Picos::from_ms(100));
+        assert!((ours.memory_savings_vs(&base) - 0.5).abs() < 1e-12);
+        // System: base 5 J vs ours 4 J -> 20%.
+        assert!((ours.system_savings_vs(&base) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_baseline_and_empty_account() {
+        let empty = EnergyAccount::new();
+        assert_eq!(empty.memory_avg_w(), 0.0);
+        assert_eq!(empty.memory_savings_vs(&EnergyAccount::new()), 0.0);
+    }
+
+    #[test]
+    fn negative_savings_when_worse() {
+        let mut base = EnergyAccount::new();
+        base.add(&power(10.0), 0.0, Picos::from_ms(100));
+        let mut ours = EnergyAccount::new();
+        ours.add(&power(11.0), 0.0, Picos::from_ms(100));
+        assert!(ours.memory_savings_vs(&base) < 0.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! Power and energy models for the MemScale memory subsystem.
+//!
+//! Implements the three §2.1 power categories the paper manages:
+//!
+//! * **DRAM power** via the public Micron DDR3 methodology — state-fraction
+//!   background power (active/precharged standby, precharge powerdown),
+//!   per-event activate/precharge energy, read/write burst power,
+//!   termination on non-target DIMMs, and refresh ([`dram_power`]).
+//! * **Register/PLL power** per DIMM — register power scales with channel
+//!   utilization between idle and peak, PLL power is utilization-independent;
+//!   both scale linearly with channel frequency (§4.1).
+//! * **Memory-controller power** — scales with utilization between idle and
+//!   peak, and with `V²·f` across DVFS operating points (§2.2).
+//!
+//! The same model serves two callers: the simulator computes *actual* power
+//! from observed [`memscale_dram::stats`] deltas, and the MemScale policy
+//! *predicts* power at candidate frequencies from a profiled
+//! [`summary::ActivitySummary`] (Eq 10's `P_Mem(f)`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod breakdown;
+pub mod dram_power;
+pub mod energy;
+pub mod model;
+pub mod summary;
+
+pub use breakdown::MemoryPowerBreakdown;
+pub use energy::EnergyAccount;
+pub use model::PowerModel;
+pub use summary::ActivitySummary;

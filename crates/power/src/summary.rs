@@ -1,0 +1,185 @@
+//! Aggregated activity summaries for power prediction.
+//!
+//! The MemScale policy predicts `P_Mem(f)` for every candidate frequency
+//! from one profiled window (Eq 10). An [`ActivitySummary`] condenses the
+//! per-rank/per-channel counters of that window into system-level rates and
+//! fractions, and [`ActivitySummary::rescale`] projects them to a different
+//! frequency and predicted time dilation.
+
+use memscale_dram::stats::{ChannelStats, RankStats};
+use memscale_types::time::Picos;
+use serde::{Deserialize, Serialize};
+
+/// System-level memory activity over one window.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ActivitySummary {
+    /// Window length.
+    pub window: Picos,
+    /// Total ACT commands per second across all ranks.
+    pub act_rate_hz: f64,
+    /// Average per-rank fraction of time driving read bursts.
+    pub read_burst_frac: f64,
+    /// Average per-rank fraction of time driving write bursts.
+    pub write_burst_frac: f64,
+    /// Average per-rank fraction of time with some bank active.
+    pub active_frac: f64,
+    /// Average per-rank fraction of time in powerdown (CKE low).
+    pub pd_frac: f64,
+    /// Average channel data-bus utilization.
+    pub bus_util: f64,
+}
+
+impl ActivitySummary {
+    /// Builds a summary from per-window deltas.
+    ///
+    /// `rank_deltas` holds one [`RankStats`] delta per rank (all channels),
+    /// `channel_deltas` one [`ChannelStats`] delta per channel.
+    ///
+    /// Returns the zero summary for an empty window or empty slices.
+    pub fn from_deltas(
+        rank_deltas: &[RankStats],
+        channel_deltas: &[ChannelStats],
+        window: Picos,
+    ) -> Self {
+        if window == Picos::ZERO || rank_deltas.is_empty() || channel_deltas.is_empty() {
+            return ActivitySummary::default();
+        }
+        let w = window.as_secs_f64();
+        let n_ranks = rank_deltas.len() as f64;
+        let n_ch = channel_deltas.len() as f64;
+
+        let acts: u64 = rank_deltas.iter().map(|d| d.act_count).sum();
+        let read_t: f64 = rank_deltas
+            .iter()
+            .map(|d| d.read_burst_time.as_secs_f64())
+            .sum();
+        let write_t: f64 = rank_deltas
+            .iter()
+            .map(|d| d.write_burst_time.as_secs_f64())
+            .sum();
+        let active_t: f64 = rank_deltas
+            .iter()
+            .map(|d| d.active_time.as_secs_f64())
+            .sum();
+        let pd_t: f64 = rank_deltas.iter().map(|d| d.pd_time().as_secs_f64()).sum();
+        let bus_t: f64 = channel_deltas
+            .iter()
+            .map(|d| d.burst_time.as_secs_f64())
+            .sum();
+
+        ActivitySummary {
+            window,
+            act_rate_hz: acts as f64 / w,
+            read_burst_frac: (read_t / (w * n_ranks)).min(1.0),
+            write_burst_frac: (write_t / (w * n_ranks)).min(1.0),
+            active_frac: (active_t / (w * n_ranks)).min(1.0),
+            pd_frac: (pd_t / (w * n_ranks)).min(1.0),
+            bus_util: (bus_t / (w * n_ch)).min(1.0),
+        }
+    }
+
+    /// Projects this summary to a hypothetical operating point.
+    ///
+    /// * `burst_ratio` — burst duration at the candidate frequency divided
+    ///   by burst duration at the profiled frequency (≥ 1 when slowing
+    ///   down).
+    /// * `dilation` — predicted wall-time ratio `T(f) / T(profiled)` for the
+    ///   same work (≥ 1 when slowing down).
+    ///
+    /// The same number of accesses spreads over `dilation`× the time, each
+    /// burst stretched by `burst_ratio`; bank-active time (dominated by
+    /// frequency-invariant DRAM-core operations) and powerdown residency
+    /// keep their absolute durations, so their fractions divide by
+    /// `dilation`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst_ratio` or `dilation` is not positive.
+    pub fn rescale(&self, burst_ratio: f64, dilation: f64) -> ActivitySummary {
+        assert!(burst_ratio > 0.0 && dilation > 0.0, "ratios must be > 0");
+        let stretch = burst_ratio / dilation;
+        ActivitySummary {
+            window: self.window.scale(dilation),
+            act_rate_hz: self.act_rate_hz / dilation,
+            read_burst_frac: (self.read_burst_frac * stretch).min(1.0),
+            write_burst_frac: (self.write_burst_frac * stretch).min(1.0),
+            active_frac: (self.active_frac / dilation).min(1.0),
+            pd_frac: (self.pd_frac / dilation).min(1.0),
+            bus_util: (self.bus_util * stretch).min(1.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rank_delta(acts: u64, read_us: u64, active_us: u64, pd_us: u64) -> RankStats {
+        let mut d = RankStats::new();
+        d.act_count = acts;
+        d.read_burst_time = Picos::from_us(read_us);
+        d.active_time = Picos::from_us(active_us);
+        d.fast_pd_time = Picos::from_us(pd_us);
+        d
+    }
+
+    fn channel_delta(burst_us: u64) -> ChannelStats {
+        ChannelStats {
+            burst_time: Picos::from_us(burst_us),
+            ..ChannelStats::new()
+        }
+    }
+
+    #[test]
+    fn from_deltas_averages() {
+        let ranks = vec![rank_delta(1_000, 100, 300, 0), rank_delta(0, 0, 100, 200)];
+        let channels = vec![channel_delta(100), channel_delta(300)];
+        let s = ActivitySummary::from_deltas(&ranks, &channels, Picos::from_ms(1));
+        assert_eq!(s.act_rate_hz, 1_000.0 / 1e-3);
+        assert!((s.read_burst_frac - 0.05).abs() < 1e-12); // 100us over 2 ranks x 1ms
+        assert!((s.active_frac - 0.2).abs() < 1e-12);
+        assert!((s.pd_frac - 0.1).abs() < 1e-12);
+        assert!((s.bus_util - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_give_zero() {
+        let s = ActivitySummary::from_deltas(&[], &[], Picos::from_ms(1));
+        assert_eq!(s, ActivitySummary::default());
+        let s = ActivitySummary::from_deltas(
+            &[RankStats::new()],
+            &[ChannelStats::new()],
+            Picos::ZERO,
+        );
+        assert_eq!(s, ActivitySummary::default());
+    }
+
+    #[test]
+    fn rescale_halving_frequency() {
+        let ranks = vec![rank_delta(1_000, 100, 300, 0)];
+        let channels = vec![channel_delta(100)];
+        let s = ActivitySummary::from_deltas(&ranks, &channels, Picos::from_ms(1));
+        // Half frequency: bursts 2x longer, suppose 10% dilation.
+        let r = s.rescale(2.0, 1.1);
+        assert!((r.act_rate_hz - s.act_rate_hz / 1.1).abs() < 1e-9);
+        assert!((r.bus_util - s.bus_util * 2.0 / 1.1).abs() < 1e-12);
+        assert!((r.active_frac - s.active_frac / 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rescale_clamps_to_one() {
+        let s = ActivitySummary {
+            window: Picos::from_ms(1),
+            bus_util: 0.8,
+            ..ActivitySummary::default()
+        };
+        let r = s.rescale(4.0, 1.0);
+        assert_eq!(r.bus_util, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratios must be > 0")]
+    fn rescale_rejects_zero() {
+        ActivitySummary::default().rescale(0.0, 1.0);
+    }
+}

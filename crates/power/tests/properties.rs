@@ -1,0 +1,152 @@
+//! Property-based tests of the power model's physical invariants.
+
+use memscale_dram::stats::{ChannelStats, RankStats};
+use memscale_power::{ActivitySummary, PowerModel};
+use memscale_types::config::SystemConfig;
+use memscale_types::freq::MemFreq;
+use memscale_types::time::Picos;
+use proptest::prelude::*;
+
+fn model() -> PowerModel {
+    PowerModel::new(&SystemConfig::default())
+}
+
+#[derive(Debug, Clone)]
+struct Activity {
+    acts: u64,
+    read_us: u64,
+    write_us: u64,
+    active_us: u64,
+    pd_us: u64,
+    bus_us: u64,
+}
+
+const WINDOW_US: u64 = 1_000;
+
+fn activity_strategy() -> impl Strategy<Value = Activity> {
+    (
+        0u64..2_000_000,
+        0u64..WINDOW_US,
+        0u64..WINDOW_US / 4,
+        0u64..WINDOW_US,
+        0u64..WINDOW_US,
+        0u64..WINDOW_US,
+    )
+        .prop_map(|(acts, read_us, write_us, active_us, pd_us, bus_us)| Activity {
+            acts,
+            read_us,
+            write_us,
+            active_us: active_us.min(WINDOW_US - pd_us.min(WINDOW_US)),
+            pd_us: pd_us.min(WINDOW_US),
+            bus_us,
+        })
+}
+
+fn build(a: &Activity) -> (Vec<RankStats>, Vec<ChannelStats>, Picos) {
+    let window = Picos::from_us(WINDOW_US);
+    let mut rank = RankStats::new();
+    rank.act_count = a.acts;
+    rank.record_read_burst(Picos::from_us(a.read_us.min(WINDOW_US)));
+    rank.record_write_burst(Picos::from_us(a.write_us));
+    rank.active_time = Picos::from_us(a.active_us);
+    rank.fast_pd_time = Picos::from_us(a.pd_us);
+    let ranks = vec![rank; 16];
+    let chan = ChannelStats {
+        burst_time: Picos::from_us(a.bus_us.min(WINDOW_US)),
+        ..ChannelStats::new()
+    };
+    (ranks, vec![chan; 4], window)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Power is always positive and finite.
+    #[test]
+    fn power_is_positive_and_finite(
+        a in activity_strategy(),
+        fi in 0usize..MemFreq::ALL.len(),
+    ) {
+        let m = model();
+        let (ranks, chans, w) = build(&a);
+        let p = m.memory_power(&ranks, &chans, w, MemFreq::ALL[fi]);
+        prop_assert!(p.total_w().is_finite());
+        prop_assert!(p.total_w() > 0.0, "at least refresh + idle power");
+        prop_assert!(p.background_w >= 0.0);
+        prop_assert!(p.act_pre_w >= 0.0);
+        prop_assert!(p.rd_wr_w >= 0.0);
+        prop_assert!(p.term_w >= 0.0);
+    }
+
+    /// For identical activity, lower frequency means lower total power.
+    #[test]
+    fn power_is_monotone_in_frequency(a in activity_strategy()) {
+        let m = model();
+        let (ranks, chans, w) = build(&a);
+        let mut last = f64::INFINITY;
+        for f in MemFreq::ALL.iter().rev() {
+            let p = m.memory_power(&ranks, &chans, w, *f).total_w();
+            prop_assert!(p <= last + 1e-9, "{f}: {p} > {last}");
+            last = p;
+        }
+    }
+
+    /// More activity never reduces power at a fixed frequency.
+    #[test]
+    fn power_is_monotone_in_activity(a in activity_strategy()) {
+        let m = model();
+        let (ranks, chans, w) = build(&a);
+        let p1 = m.memory_power(&ranks, &chans, w, MemFreq::F800).total_w();
+        let mut busier = a.clone();
+        busier.acts += 10_000;
+        busier.bus_us = (busier.bus_us + 50).min(WINDOW_US);
+        let (ranks2, chans2, _) = build(&busier);
+        let p2 = m.memory_power(&ranks2, &chans2, w, MemFreq::F800).total_w();
+        prop_assert!(p2 >= p1 - 1e-9);
+    }
+
+    /// The governor's summary-based prediction tracks the exact model.
+    #[test]
+    fn summary_prediction_tracks_exact(a in activity_strategy()) {
+        let m = model();
+        let (ranks, chans, w) = build(&a);
+        let exact = m.memory_power(&ranks, &chans, w, MemFreq::F800).total_w();
+        let summary = ActivitySummary::from_deltas(&ranks, &chans, w);
+        let predicted = m.memory_power_from_summary(&summary, MemFreq::F800).total_w();
+        let err = (exact - predicted).abs() / exact;
+        prop_assert!(err < 0.02, "exact {exact} vs predicted {predicted}");
+    }
+
+    /// Powerdown residency strictly reduces background power.
+    #[test]
+    fn powerdown_saves_background(a in activity_strategy()) {
+        let m = model();
+        let mut no_pd = a.clone();
+        no_pd.pd_us = 0;
+        no_pd.active_us = 0;
+        let mut full_pd = no_pd.clone();
+        full_pd.pd_us = WINDOW_US;
+        let (r1, c1, w) = build(&no_pd);
+        let (r2, c2, _) = build(&full_pd);
+        let p1 = m.memory_power(&r1, &c1, w, MemFreq::F800).background_w;
+        let p2 = m.memory_power(&r2, &c2, w, MemFreq::F800).background_w;
+        prop_assert!(p2 < p1, "powerdown {p2} !< standby {p1}");
+    }
+
+    /// The Decoupled split: device frequency only affects DRAM categories,
+    /// interface frequency only affects PLL/REG/MC.
+    #[test]
+    fn split_power_partitions_cleanly(a in activity_strategy()) {
+        let m = model();
+        let (ranks, chans, w) = build(&a);
+        let base = m.memory_power_split(&ranks, &chans, w, MemFreq::F800, MemFreq::F800);
+        let dev_slow = m.memory_power_split(&ranks, &chans, w, MemFreq::F400, MemFreq::F800);
+        // Interface-side categories unchanged.
+        prop_assert!((dev_slow.pll_w - base.pll_w).abs() < 1e-12);
+        prop_assert!((dev_slow.reg_w - base.reg_w).abs() < 1e-12);
+        prop_assert!((dev_slow.mc_w - base.mc_w).abs() < 1e-12);
+        prop_assert!((dev_slow.term_w - base.term_w).abs() < 1e-12);
+        // Device-side background drops.
+        prop_assert!(dev_slow.background_w <= base.background_w + 1e-12);
+    }
+}

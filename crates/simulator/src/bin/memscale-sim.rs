@@ -1,0 +1,246 @@
+//! `memscale-sim` — command-line front-end to the MemScale simulator.
+//!
+//! ```text
+//! memscale-sim [OPTIONS]
+//!
+//!   --mix NAME          Table 1 workload (default MID1)
+//!   --policy NAME       baseline | fast-pd | slow-pd | static:<mhz> |
+//!                       decoupled | memscale | mem-energy | memscale-pd |
+//!                       per-channel            (default memscale)
+//!   --duration-ms N     baseline horizon in milliseconds (default 20)
+//!   --gamma PCT         CPI degradation bound in percent (default 10)
+//!   --cores N           core count (default 16)
+//!   --channels N        memory channels (default 4)
+//!   --epoch-ms N        epoch length (default 5)
+//!   --seed N            trace seed (default fixed)
+//!   --json              emit the result as JSON instead of text
+//!   --list              list workloads and exit
+//! ```
+//!
+//! Runs the baseline calibration followed by the chosen policy over the
+//! same work, then prints savings, CPI degradation and frequency residency.
+
+use memscale::policies::PolicyKind;
+use memscale_simulator::harness::Experiment;
+use memscale_simulator::SimConfig;
+use memscale_types::freq::MemFreq;
+use memscale_types::time::Picos;
+use memscale_workloads::Mix;
+use std::process::ExitCode;
+
+#[derive(Debug)]
+struct Args {
+    mix: String,
+    policy: String,
+    duration_ms: u64,
+    gamma_pct: f64,
+    cores: usize,
+    channels: u8,
+    epoch_ms: u64,
+    seed: Option<u64>,
+    json: bool,
+    list: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            mix: "MID1".into(),
+            policy: "memscale".into(),
+            duration_ms: 20,
+            gamma_pct: 10.0,
+            cores: 16,
+            channels: 4,
+            epoch_ms: 5,
+            seed: None,
+            json: false,
+            list: false,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--mix" => args.mix = value("--mix")?,
+            "--policy" => args.policy = value("--policy")?,
+            "--duration-ms" => {
+                args.duration_ms = value("--duration-ms")?
+                    .parse()
+                    .map_err(|e| format!("--duration-ms: {e}"))?
+            }
+            "--gamma" => {
+                args.gamma_pct = value("--gamma")?
+                    .parse()
+                    .map_err(|e| format!("--gamma: {e}"))?
+            }
+            "--cores" => {
+                args.cores = value("--cores")?
+                    .parse()
+                    .map_err(|e| format!("--cores: {e}"))?
+            }
+            "--channels" => {
+                args.channels = value("--channels")?
+                    .parse()
+                    .map_err(|e| format!("--channels: {e}"))?
+            }
+            "--epoch-ms" => {
+                args.epoch_ms = value("--epoch-ms")?
+                    .parse()
+                    .map_err(|e| format!("--epoch-ms: {e}"))?
+            }
+            "--seed" => {
+                args.seed = Some(
+                    value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?,
+                )
+            }
+            "--json" => args.json = true,
+            "--list" => args.list = true,
+            "--help" | "-h" => return Err("help".into()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_policy(name: &str) -> Result<PolicyKind, String> {
+    Ok(match name {
+        "baseline" => PolicyKind::Baseline,
+        "fast-pd" => PolicyKind::FastPd,
+        "slow-pd" => PolicyKind::SlowPd,
+        "decoupled" => PolicyKind::Decoupled {
+            device: MemFreq::F400,
+        },
+        "memscale" => PolicyKind::MemScale,
+        "mem-energy" => PolicyKind::MemScaleMemEnergy,
+        "memscale-pd" => PolicyKind::MemScaleFastPd,
+        "per-channel" => PolicyKind::MemScalePerChannel,
+        other => {
+            if let Some(mhz) = other.strip_prefix("static:") {
+                let mhz: u32 = mhz.parse().map_err(|e| format!("static:<mhz>: {e}"))?;
+                let freq = MemFreq::ceil_from_mhz(mhz)
+                    .ok_or_else(|| format!("{mhz} MHz exceeds the 800 MHz grid"))?;
+                PolicyKind::Static(freq)
+            } else {
+                return Err(format!(
+                    "unknown policy {other}; see `memscale-sim --help`"
+                ));
+            }
+        }
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            if e != "help" {
+                eprintln!("error: {e}\n");
+            }
+            eprintln!(
+                "usage: memscale-sim [--mix NAME] [--policy NAME] [--duration-ms N]\n\
+                 \x20                  [--gamma PCT] [--cores N] [--channels N]\n\
+                 \x20                  [--epoch-ms N] [--seed N] [--json] [--list]\n\
+                 policies: baseline fast-pd slow-pd static:<mhz> decoupled\n\
+                 \x20         memscale mem-energy memscale-pd per-channel"
+            );
+            return if e == "help" {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(2)
+            };
+        }
+    };
+
+    if args.list {
+        for mix in Mix::table1() {
+            println!("{mix}  apps: {}", mix.apps.join(", "));
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let Some(mix) = Mix::by_name(&args.mix) else {
+        eprintln!("unknown workload {}; try --list", args.mix);
+        return ExitCode::from(2);
+    };
+    let policy = match parse_policy(&args.policy) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut cfg = SimConfig::default().with_duration(Picos::from_ms(args.duration_ms));
+    cfg.governor.gamma = args.gamma_pct / 100.0;
+    cfg.governor.epoch = Picos::from_ms(args.epoch_ms);
+    cfg.system.cpu.cores = args.cores;
+    cfg.system.topology.channels = args.channels;
+    if let Some(seed) = args.seed {
+        cfg.seed = seed;
+    }
+    if let Err(e) = cfg.system.validate() {
+        eprintln!("error: {e}");
+        return ExitCode::from(2);
+    }
+
+    eprintln!("calibrating baseline for {mix} ({} ms) ...", args.duration_ms);
+    let exp = Experiment::calibrate(&mix, &cfg);
+    eprintln!("running {} ...", policy.name());
+    let (run, cmp) = exp.evaluate(policy);
+
+    if args.json {
+        let out = serde_json::json!({
+            "mix": run.mix,
+            "policy": run.policy,
+            "gamma": cfg.governor.gamma,
+            "baseline_duration_ms": exp.baseline().duration.as_ms_f64(),
+            "run_duration_ms": run.duration.as_ms_f64(),
+            "memory_savings": cmp.memory_savings,
+            "system_savings": cmp.system_savings,
+            "cpi_increase_avg": cmp.avg_cpi_increase(),
+            "cpi_increase_max": cmp.max_cpi_increase(),
+            "mean_frequency_mhz": run.mean_frequency_mhz(),
+            "reads": run.counters.reads,
+            "writebacks": run.counters.writes,
+            "memory_energy_j": run.energy.memory_total_j(),
+            "system_energy_j": run.energy.system_total_j(),
+            "rest_of_system_w": run.rest_w,
+        });
+        println!("{}", serde_json::to_string_pretty(&out).expect("serialize"));
+    } else {
+        println!("workload            : {}", run.mix);
+        println!("policy              : {}", run.policy);
+        println!(
+            "memory energy saved : {:+.1}%",
+            cmp.memory_savings * 100.0
+        );
+        println!(
+            "system energy saved : {:+.1}%",
+            cmp.system_savings * 100.0
+        );
+        println!(
+            "CPI increase        : avg {:.1}%, worst {:.1}% (bound {:.0}%)",
+            cmp.avg_cpi_increase() * 100.0,
+            cmp.max_cpi_increase() * 100.0,
+            args.gamma_pct
+        );
+        println!(
+            "mean bus frequency  : {:.0} MHz",
+            run.mean_frequency_mhz()
+        );
+        println!(
+            "memory traffic      : {} reads, {} writebacks",
+            run.counters.reads, run.counters.writes
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,89 @@
+//! Simulation-run configuration.
+
+use memscale::governor::GovernorConfig;
+use memscale_mc::RowPolicy;
+use memscale_types::config::SystemConfig;
+use memscale_types::time::Picos;
+use serde::{Deserialize, Serialize};
+
+/// Everything one simulation run needs besides the mix and the policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Hardware configuration (Table 2 defaults).
+    pub system: SystemConfig,
+    /// Policy parameters for the MemScale variants.
+    pub governor: GovernorConfig,
+    /// Baseline run length; policy runs match the baseline's *work*, so
+    /// they may take up to (1 + γ) times longer.
+    pub duration: Picos,
+    /// Master seed for trace generation.
+    pub seed: u64,
+    /// Cache lines in each application instance's private address slice.
+    pub slice_lines: u64,
+    /// Timeline sampling interval for Figs 7/8 (None = no timeline).
+    pub timeline_interval: Option<Picos>,
+    /// Row-buffer management (closed-page per §4.1; open-page is the
+    /// DESIGN.md §5 ablation).
+    pub row_policy: RowPolicy,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            system: SystemConfig::default(),
+            governor: GovernorConfig::default(),
+            duration: Picos::from_ms(20),
+            seed: 0x5EED_CA5E,
+            // 2 GB per DIMM x 8 DIMMs / 16 apps = 1 GB per app = 2^24 lines.
+            slice_lines: 1 << 24,
+            timeline_interval: None,
+            row_policy: RowPolicy::ClosedPage,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A configuration with a shorter horizon for fast tests.
+    pub fn quick() -> Self {
+        SimConfig {
+            duration: Picos::from_ms(6),
+            ..SimConfig::default()
+        }
+    }
+
+    /// Enables timeline capture at `interval`.
+    #[must_use]
+    pub fn with_timeline(mut self, interval: Picos) -> Self {
+        self.timeline_interval = Some(interval);
+        self
+    }
+
+    /// Sets the baseline duration.
+    #[must_use]
+    pub fn with_duration(mut self, duration: Picos) -> Self {
+        self.duration = duration;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = SimConfig::default();
+        assert!(c.duration >= c.governor.epoch);
+        assert!(c.system.validate().is_ok());
+        assert_eq!(c.timeline_interval, None);
+    }
+
+    #[test]
+    fn builders() {
+        let c = SimConfig::quick()
+            .with_timeline(Picos::from_ms(1))
+            .with_duration(Picos::from_ms(10));
+        assert_eq!(c.duration, Picos::from_ms(10));
+        assert_eq!(c.timeline_interval, Some(Picos::from_ms(1)));
+    }
+}

@@ -1,0 +1,555 @@
+//! The event-driven simulation engine.
+//!
+//! Cores alternate between analytic compute intervals and blocking memory
+//! waits; a binary heap orders their transitions. Epoch machinery (profiling
+//! at +300 µs, decision + re-lock, end-of-epoch slack update), timeline
+//! sampling and per-segment energy integration run at deterministic
+//! boundaries interleaved with the event stream.
+
+use crate::config::SimConfig;
+use crate::result::{RunResult, TimelineSample};
+use memscale::policies::{Policy, PolicyKind};
+use memscale::profile::{AppSample, EpochProfile};
+use memscale_cpu::{CoreCounters, CoreState, InOrderCore};
+use memscale_mc::{McCounters, MemoryController};
+use memscale_power::{ActivitySummary, EnergyAccount, PowerModel};
+use memscale_types::freq::MemFreq;
+use memscale_types::time::Picos;
+use memscale_workloads::{Mix, MissEvent};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CorePhase {
+    Computing,
+    WaitingMemory,
+}
+
+/// A configured, runnable simulation of one mix under one policy.
+#[derive(Debug)]
+pub struct Simulation {
+    cfg: SimConfig,
+    mix: Mix,
+    policy: Policy,
+    power: PowerModel,
+
+    now: Picos,
+    cores: Vec<InOrderCore>,
+    traces: Vec<memscale_workloads::AppTrace>,
+    pending: Vec<Option<MissEvent>>,
+    phase: Vec<CorePhase>,
+    heap: BinaryHeap<Reverse<(Picos, usize)>>,
+    mc: MemoryController,
+
+    // Epoch machinery.
+    epoch_start: Picos,
+    profile_pending: bool,
+    epoch_cores: Vec<CoreCounters>,
+    epoch_mc: McCounters,
+    epoch_ranks: Vec<memscale_dram::RankStats>,
+    epoch_chans: Vec<memscale_dram::ChannelStats>,
+
+    // Energy segments.
+    seg_start: Picos,
+    seg_ranks: Vec<memscale_dram::RankStats>,
+    seg_chans: Vec<memscale_dram::ChannelStats>,
+    energy: EnergyAccount,
+    freq_residency_ps: Vec<u64>,
+
+    // Timeline.
+    timeline: Vec<TimelineSample>,
+    tl_next: Option<Picos>,
+    tl_cores: Vec<CoreCounters>,
+    tl_chans: Vec<memscale_dram::ChannelStats>,
+
+    // Work targets (None = fixed-duration baseline mode).
+    targets: Option<Vec<u64>>,
+    completion: Vec<Option<Picos>>,
+    remaining_targets: usize,
+}
+
+impl Simulation {
+    /// Builds a simulation of `mix` under `policy_kind`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration.
+    pub fn new(mix: &Mix, policy_kind: PolicyKind, cfg: &SimConfig) -> Self {
+        cfg.system.validate().expect("valid system configuration");
+        let mut system = cfg.system.clone();
+        let policy = Policy::new(policy_kind, &system, cfg.governor);
+
+        // Decoupled DIMMs: the synchronization buffer adds the slow device
+        // burst behind the fast channel burst; fold it into the CAS path.
+        let lag = policy.device_lag_ns(system.timing.burst_cycles);
+        if lag > 0.0 {
+            system.timing.t_cl_ns += lag;
+        }
+
+        let traces = mix.traces(system.cpu.cores, cfg.slice_lines, cfg.seed);
+        let cores = (0..system.cpu.cores)
+            .map(|i| {
+                let cpi = traces[i].profile().base_cpi;
+                InOrderCore::new(i.into(), cpi, system.cpu.cycle())
+            })
+            .collect::<Vec<_>>();
+        let mut mc = MemoryController::new(&system, policy.initial_frequency());
+        mc.set_auto_power_down(policy.auto_power_down());
+        mc.set_row_policy(cfg.row_policy);
+
+        let n = system.cpu.cores;
+        let rank_zero = mc.rank_stats();
+        let chan_zero = mc.channel_stats();
+        // Power is always computed against the *unmodified* system config.
+        let power = PowerModel::new(&cfg.system);
+        Simulation {
+            cfg: SimConfig {
+                system,
+                ..cfg.clone()
+            },
+            mix: mix.clone(),
+            policy,
+            power,
+            now: Picos::ZERO,
+            cores,
+            traces,
+            pending: vec![None; n],
+            phase: vec![CorePhase::Computing; n],
+            heap: BinaryHeap::with_capacity(n + 1),
+            mc,
+            epoch_start: Picos::ZERO,
+            profile_pending: true,
+            epoch_cores: vec![CoreCounters::default(); n],
+            epoch_mc: McCounters::new(),
+            epoch_ranks: rank_zero.clone(),
+            epoch_chans: chan_zero.clone(),
+            seg_start: Picos::ZERO,
+            seg_ranks: rank_zero.clone(),
+            seg_chans: chan_zero.clone(),
+            energy: EnergyAccount::new(),
+            freq_residency_ps: vec![0; MemFreq::ALL.len()],
+            timeline: Vec::new(),
+            tl_next: cfg.timeline_interval.map(|i| Picos::ZERO + i),
+            tl_cores: vec![CoreCounters::default(); n],
+            tl_chans: chan_zero,
+            targets: None,
+            completion: vec![None; n],
+            remaining_targets: 0,
+        }
+    }
+
+    /// Sets the governor's rest-of-system power (from baseline calibration).
+    pub fn set_rest_of_system_w(&mut self, rest_w: f64) {
+        self.policy.set_rest_of_system_w(rest_w);
+    }
+
+    /// Runs for a fixed duration (baseline mode) and reports the result
+    /// with `rest_w` rest-of-system power applied post-hoc.
+    pub fn run_for(mut self, duration: Picos, rest_w: f64) -> RunResult {
+        self.targets = None;
+        self.run_loop(Some(duration));
+        self.finish(duration, rest_w)
+    }
+
+    /// Runs until every core has retired its target instruction count
+    /// (fixed-work policy mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets` length differs from the core count.
+    pub fn run_until_work(mut self, targets: &[u64], rest_w: f64) -> RunResult {
+        assert_eq!(targets.len(), self.cores.len(), "one target per core");
+        self.remaining_targets = targets.iter().filter(|&&t| t > 0).count();
+        for (i, &t) in targets.iter().enumerate() {
+            if t == 0 {
+                self.completion[i] = Some(Picos::ZERO);
+            }
+        }
+        self.targets = Some(targets.to_vec());
+        self.run_loop(None);
+        let end = self
+            .completion
+            .iter()
+            .map(|c| c.unwrap_or(self.now))
+            .max()
+            .unwrap_or(self.now);
+        self.finish(end, rest_w)
+    }
+
+    fn run_loop(&mut self, deadline: Option<Picos>) {
+        // Seed every core with its first compute interval.
+        for c in 0..self.cores.len() {
+            let ev = self.traces[c].next_miss();
+            let done = self.cores[c].start_compute(Picos::ZERO, ev.gap_instructions);
+            self.pending[c] = Some(ev);
+            self.phase[c] = CorePhase::Computing;
+            self.heap.push(Reverse((done, c)));
+        }
+
+        loop {
+            let boundary = self.next_boundary(deadline);
+            while let Some(&Reverse((t, c))) = self.heap.peek() {
+                if t > boundary {
+                    break;
+                }
+                self.heap.pop();
+                self.advance_core(c, t);
+                if self.targets.is_some() && self.remaining_targets == 0 {
+                    return;
+                }
+            }
+            self.now = boundary;
+            self.handle_boundary(boundary);
+            if let Some(d) = deadline {
+                if boundary >= d {
+                    return;
+                }
+            }
+        }
+    }
+
+    fn next_boundary(&self, deadline: Option<Picos>) -> Picos {
+        let epoch_b = if self.profile_pending {
+            self.epoch_start + self.cfg.governor.profile_len
+        } else {
+            self.epoch_start + self.cfg.governor.epoch
+        };
+        let mut b = epoch_b;
+        if let Some(t) = self.tl_next {
+            b = b.min(t);
+        }
+        if let Some(d) = deadline {
+            b = b.min(d);
+        }
+        b
+    }
+
+    fn advance_core(&mut self, c: usize, t: Picos) {
+        self.now = t;
+        match self.phase[c] {
+            CorePhase::Computing => {
+                // Work-target crossing with intra-interval interpolation.
+                if let (Some(targets), CoreState::Computing { since, until, instructions }) =
+                    (self.targets.as_ref(), self.cores[c].state())
+                {
+                    let before = self.cores[c].instructions_retired();
+                    let after = before + instructions;
+                    let target = targets[c];
+                    if self.completion[c].is_none() && after >= target {
+                        let need = target.saturating_sub(before);
+                        let frac = if instructions == 0 {
+                            0.0
+                        } else {
+                            need as f64 / instructions as f64
+                        };
+                        let cross = since + (until - since).scale(frac);
+                        self.completion[c] = Some(cross);
+                        self.remaining_targets -= 1;
+                    }
+                }
+                self.cores[c].finish_compute(t);
+                let ev = self.pending[c].take().expect("pending miss");
+                if let Some(wb) = ev.writeback {
+                    self.mc.writeback(wb, t);
+                }
+                let res = self.mc.read(ev.addr, t);
+                self.cores[c].start_memory_wait(t);
+                self.phase[c] = CorePhase::WaitingMemory;
+                self.heap.push(Reverse((res.completion, c)));
+            }
+            CorePhase::WaitingMemory => {
+                self.cores[c].finish_memory_wait(t);
+                let ev = self.traces[c].next_miss();
+                let done = self.cores[c].start_compute(t, ev.gap_instructions);
+                self.pending[c] = Some(ev);
+                self.phase[c] = CorePhase::Computing;
+                self.heap.push(Reverse((done, c)));
+            }
+        }
+    }
+
+    fn handle_boundary(&mut self, b: Picos) {
+        self.mc.sync(b);
+        self.integrate_segment(b);
+
+        if self.tl_next == Some(b) {
+            self.sample_timeline(b);
+            self.tl_next = self.cfg.timeline_interval.map(|i| b + i);
+        }
+
+        let profile_b = self.epoch_start + self.cfg.governor.profile_len;
+        let epoch_b = self.epoch_start + self.cfg.governor.epoch;
+        if self.profile_pending && b == profile_b {
+            self.profile_pending = false;
+            if self.policy.is_adaptive() {
+                let profile = self.epoch_profile(b);
+                if self.policy.is_per_channel() {
+                    // §6 extension: independent operating points per channel.
+                    let window = b - self.epoch_start;
+                    let utils = self.mc.channel_utilizations(&self.epoch_chans, window);
+                    let freqs = self.policy.decide_per_channel(&profile, &utils);
+                    for (ch, freq) in freqs.into_iter().enumerate() {
+                        self.mc
+                            .set_channel_frequency(memscale_types::ids::ChannelId(ch), freq, b);
+                    }
+                } else {
+                    let freq = self.policy.decide(&profile);
+                    self.mc.set_frequency(freq, b);
+                }
+            }
+        } else if b == epoch_b {
+            if self.policy.is_adaptive() {
+                let measured = self.epoch_profile(b);
+                self.policy.end_epoch(&measured);
+            }
+            self.epoch_start = b;
+            self.profile_pending = true;
+            self.snapshot_epoch(b);
+        }
+    }
+
+    fn snapshot_epoch(&mut self, at: Picos) {
+        for (i, core) in self.cores.iter().enumerate() {
+            self.epoch_cores[i] = core.counters_at(at);
+        }
+        self.epoch_mc = *self.mc.counters();
+        self.epoch_ranks = self.mc.rank_stats();
+        self.epoch_chans = self.mc.channel_stats();
+    }
+
+    fn epoch_profile(&self, at: Picos) -> EpochProfile {
+        let window = at - self.epoch_start;
+        let apps = self
+            .cores
+            .iter()
+            .enumerate()
+            .map(|(i, core)| {
+                let d = core.counters_at(at).delta(&self.epoch_cores[i]);
+                AppSample {
+                    tic: d.tic,
+                    tlm: d.tlm,
+                }
+            })
+            .collect();
+        let mc = self.mc.counters().delta(&self.epoch_mc);
+        let ranks = self.mc.rank_stats();
+        let chans = self.mc.channel_stats();
+        let rank_d: Vec<_> = ranks
+            .iter()
+            .zip(&self.epoch_ranks)
+            .map(|(now, then)| now.delta(then))
+            .collect();
+        let chan_d: Vec<_> = chans
+            .iter()
+            .zip(&self.epoch_chans)
+            .map(|(now, then)| now.delta(then))
+            .collect();
+        let freq = self
+            .mc
+            .channel_frequencies()
+            .into_iter()
+            .max()
+            .unwrap_or_else(|| self.mc.frequency());
+        EpochProfile {
+            window,
+            freq,
+            apps,
+            mc,
+            activity: ActivitySummary::from_deltas(&rank_d, &chan_d, window),
+        }
+    }
+
+    fn integrate_segment(&mut self, b: Picos) {
+        let window = b.saturating_sub(self.seg_start);
+        if window == Picos::ZERO {
+            return;
+        }
+        let ranks = self.mc.rank_stats();
+        let chans = self.mc.channel_stats();
+        let rank_d: Vec<_> = ranks
+            .iter()
+            .zip(&self.seg_ranks)
+            .map(|(now, then)| now.delta(then))
+            .collect();
+        let chan_d: Vec<_> = chans
+            .iter()
+            .zip(&self.seg_chans)
+            .map(|(now, then)| now.delta(then))
+            .collect();
+        let freqs = self.mc.channel_frequencies();
+        let heterogeneous = freqs.windows(2).any(|w| w[0] != w[1]);
+        let p = if heterogeneous {
+            self.power
+                .memory_power_heterogeneous(&rank_d, &chan_d, window, &freqs)
+        } else {
+            let interface = freqs[0];
+            let device = self.policy.device_power_freq(interface);
+            self.power
+                .memory_power_split(&rank_d, &chan_d, window, device, interface)
+        };
+        self.energy.add(&p, 0.0, window);
+        // Residency: average across channels (identical for tandem scaling).
+        let share = window.as_ps() / freqs.len() as u64;
+        for f in &freqs {
+            self.freq_residency_ps[f.index()] += share;
+        }
+        self.seg_ranks = ranks;
+        self.seg_chans = chans;
+        self.seg_start = b;
+    }
+
+    fn sample_timeline(&mut self, b: Picos) {
+        let interval = self.cfg.timeline_interval.expect("timeline enabled");
+        let window = interval.min(b);
+        let cpu_cycle = self.cfg.system.cpu.cycle();
+        let core_cpi = self
+            .cores
+            .iter()
+            .enumerate()
+            .map(|(i, core)| {
+                let d = core.counters_at(b).delta(&self.tl_cores[i]);
+                if d.tic == 0 {
+                    0.0
+                } else {
+                    window.ratio(cpu_cycle) / d.tic as f64
+                }
+            })
+            .collect();
+        let chans = self.mc.channel_stats();
+        let channel_util = chans
+            .iter()
+            .zip(&self.tl_chans)
+            .map(|(now, then)| now.delta(then).utilization(window))
+            .collect();
+        for (i, core) in self.cores.iter().enumerate() {
+            self.tl_cores[i] = core.counters_at(b);
+        }
+        self.tl_chans = chans;
+        self.timeline.push(TimelineSample {
+            at: b,
+            bus_mhz: self.mc.frequency().mhz(),
+            core_cpi,
+            channel_util,
+        });
+    }
+
+    fn finish(mut self, end: Picos, rest_w: f64) -> RunResult {
+        self.mc.sync(end.max(self.now));
+        self.integrate_segment(end.max(self.seg_start));
+        let mut energy = self.energy;
+        energy.rest_j = rest_w * energy.elapsed.as_secs_f64();
+        let work = self
+            .cores
+            .iter()
+            .map(|c| c.instructions_at(end))
+            .collect::<Vec<_>>();
+        let completion = self
+            .completion
+            .iter()
+            .map(|c| c.unwrap_or(end))
+            .collect();
+        RunResult {
+            policy: self.policy.name().to_string(),
+            mix: self.mix.name.to_string(),
+            duration: end,
+            energy,
+            rest_w,
+            work,
+            completion,
+            counters: *self.mc.counters(),
+            freq_residency_ps: self.freq_residency_ps,
+            timeline: self.timeline,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> SimConfig {
+        SimConfig::quick()
+    }
+
+    #[test]
+    fn baseline_run_completes_and_accounts_energy() {
+        let mix = Mix::by_name("MID1").unwrap();
+        let sim = Simulation::new(&mix, PolicyKind::Baseline, &quick());
+        let r = sim.run_for(Picos::from_ms(6), 60.0);
+        assert_eq!(r.duration, Picos::from_ms(6));
+        assert!(r.energy.memory_total_j() > 0.0);
+        assert!(r.energy.rest_j > 0.0);
+        assert!(r.work.iter().all(|&w| w > 0));
+        assert!(r.counters.reads > 1_000);
+        // Baseline never leaves 800 MHz.
+        assert!((r.residency(MemFreq::F800) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memscale_changes_frequency_on_ilp() {
+        let mix = Mix::by_name("ILP2").unwrap();
+        let sim = Simulation::new(&mix, PolicyKind::MemScale, &quick());
+        let r = sim.run_for(Picos::from_ms(6), 60.0);
+        assert!(
+            r.mean_frequency_mhz() < 700.0,
+            "expected deep scaling, mean {} MHz",
+            r.mean_frequency_mhz()
+        );
+    }
+
+    #[test]
+    fn fixed_work_mode_completes_targets() {
+        let mix = Mix::by_name("MID1").unwrap();
+        let base = Simulation::new(&mix, PolicyKind::Baseline, &quick())
+            .run_for(Picos::from_ms(6), 60.0);
+        let sim = Simulation::new(&mix, PolicyKind::Baseline, &quick());
+        let r = sim.run_until_work(&base.work, 60.0);
+        // Identical policy and seed: completion within a whisker of 6 ms.
+        let diff = r.duration.as_ms_f64() - 6.0;
+        assert!(diff.abs() < 0.5, "duration {} ms", r.duration.as_ms_f64());
+        for (w, t) in base.work.iter().zip(&r.work) {
+            assert!(t >= w);
+        }
+    }
+
+    #[test]
+    fn timeline_capture_produces_samples() {
+        let mix = Mix::by_name("MID1").unwrap();
+        let cfg = quick().with_timeline(Picos::from_ms(1));
+        let sim = Simulation::new(&mix, PolicyKind::Baseline, &cfg);
+        let r = sim.run_for(Picos::from_ms(6), 60.0);
+        assert_eq!(r.timeline.len(), 6);
+        let s = &r.timeline[2];
+        assert_eq!(s.bus_mhz, 800);
+        assert_eq!(s.core_cpi.len(), 16);
+        assert_eq!(s.channel_util.len(), 4);
+        assert!(s.core_cpi.iter().any(|&c| c > 0.5));
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let mix = Mix::by_name("MEM4").unwrap();
+        let a = Simulation::new(&mix, PolicyKind::MemScale, &quick())
+            .run_for(Picos::from_ms(6), 60.0);
+        let b = Simulation::new(&mix, PolicyKind::MemScale, &quick())
+            .run_for(Picos::from_ms(6), 60.0);
+        assert_eq!(a.work, b.work);
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.freq_residency_ps, b.freq_residency_ps);
+        assert!((a.energy.memory_total_j() - b.energy.memory_total_j()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fast_pd_accumulates_powerdown_residency() {
+        let mix = Mix::by_name("ILP2").unwrap();
+        let base = Simulation::new(&mix, PolicyKind::Baseline, &quick())
+            .run_for(Picos::from_ms(6), 60.0);
+        let pd = Simulation::new(&mix, PolicyKind::FastPd, &quick())
+            .run_for(Picos::from_ms(6), 60.0);
+        assert!(pd.counters.epdc > 0, "no powerdown exits recorded");
+        assert!(
+            pd.energy.memory_total_j() < base.energy.memory_total_j(),
+            "fast powerdown should save DRAM energy"
+        );
+    }
+}

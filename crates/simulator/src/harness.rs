@@ -1,0 +1,222 @@
+//! Fixed-work experiment harness.
+//!
+//! [`Experiment::calibrate`] performs the baseline run (maximum frequency,
+//! no management) for the configured duration, recording each core's work
+//! and calibrating the rest-of-system power from the §4.1 memory-power
+//! fraction. [`Experiment::evaluate`] then runs any policy until the same
+//! work completes and reports energy savings and CPI degradation relative
+//! to the baseline — the quantities plotted in Figs 5, 6, 9, 11 and the
+//! sensitivity studies.
+
+use crate::config::SimConfig;
+use crate::engine::Simulation;
+use crate::result::RunResult;
+use memscale::policies::PolicyKind;
+use memscale_power::PowerModel;
+use memscale_workloads::Mix;
+use serde::{Deserialize, Serialize};
+
+/// Policy-vs-baseline summary for one workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Comparison {
+    /// Policy display name.
+    pub policy: String,
+    /// Workload name.
+    pub mix: String,
+    /// Fractional memory-subsystem energy savings (positive = better).
+    pub memory_savings: f64,
+    /// Fractional full-system energy savings.
+    pub system_savings: f64,
+    /// Per-core CPI increase versus baseline.
+    pub per_core_cpi_increase: Vec<f64>,
+    /// Per-application CPI increase (instances of each of the mix's four
+    /// applications averaged together), in mix order.
+    pub per_app_cpi_increase: Vec<f64>,
+}
+
+impl Comparison {
+    /// Mean CPI increase across the mix's applications ("Multiprogram
+    /// Average" in Fig 6).
+    pub fn avg_cpi_increase(&self) -> f64 {
+        if self.per_app_cpi_increase.is_empty() {
+            0.0
+        } else {
+            self.per_app_cpi_increase.iter().sum::<f64>()
+                / self.per_app_cpi_increase.len() as f64
+        }
+    }
+
+    /// Worst application's CPI increase ("Worst Program in Mix" in Fig 6).
+    pub fn max_cpi_increase(&self) -> f64 {
+        self.per_app_cpi_increase
+            .iter()
+            .copied()
+            .fold(0.0, f64::max)
+    }
+}
+
+/// A calibrated baseline against which policies are evaluated.
+#[derive(Debug)]
+pub struct Experiment {
+    mix: Mix,
+    cfg: SimConfig,
+    baseline: RunResult,
+    rest_w: f64,
+}
+
+impl Experiment {
+    /// Runs the baseline and calibrates the rest-of-system power so that
+    /// the *DIMMs* account for the configured fraction of server power.
+    /// §4.1 states the fraction in terms of DIMM power, and §1 notes such
+    /// estimates "do not consider the memory controller's energy" — so the
+    /// MC is part of the memory subsystem but outside the 40 % calibration.
+    pub fn calibrate(mix: &Mix, cfg: &SimConfig) -> Self {
+        let sim = Simulation::new(mix, PolicyKind::Baseline, cfg);
+        let mut baseline = sim.run_for(cfg.duration, 0.0);
+        let power = PowerModel::new(&cfg.system);
+        let elapsed = baseline.energy.elapsed.as_secs_f64();
+        let dimm_avg_w =
+            (baseline.energy.memory_total_j() - baseline.energy.memory_j.mc_w) / elapsed;
+        let rest_w = power.rest_of_system_w(dimm_avg_w);
+        baseline.energy.rest_j = rest_w * elapsed;
+        baseline.rest_w = rest_w;
+        Experiment {
+            mix: mix.clone(),
+            cfg: cfg.clone(),
+            baseline,
+            rest_w,
+        }
+    }
+
+    /// The calibrated baseline run.
+    #[inline]
+    pub fn baseline(&self) -> &RunResult {
+        &self.baseline
+    }
+
+    /// The calibrated rest-of-system power (W).
+    #[inline]
+    pub fn rest_w(&self) -> f64 {
+        self.rest_w
+    }
+
+    /// The workload under study.
+    #[inline]
+    pub fn mix(&self) -> &Mix {
+        &self.mix
+    }
+
+    /// Runs `policy` over the baseline's work and compares.
+    pub fn evaluate(&self, policy: PolicyKind) -> (RunResult, Comparison) {
+        self.evaluate_configured(policy, &self.cfg)
+    }
+
+    /// Runs `policy` with an overridden configuration (e.g. a different γ
+    /// or epoch length) against this baseline. The hardware system must be
+    /// unchanged or the comparison is meaningless.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` changes the hardware system or the trace seed.
+    pub fn evaluate_configured(&self, policy: PolicyKind, cfg: &SimConfig) -> (RunResult, Comparison) {
+        assert_eq!(cfg.system, self.cfg.system, "hardware must match baseline");
+        assert_eq!(cfg.seed, self.cfg.seed, "seed must match baseline");
+        let mut sim = Simulation::new(&self.mix, policy, cfg);
+        sim.set_rest_of_system_w(self.rest_w);
+        let run = sim.run_until_work(&self.baseline.work, self.rest_w);
+        let cmp = self.compare(&run);
+        (run, cmp)
+    }
+
+    /// Compares an already-completed fixed-work run against the baseline.
+    pub fn compare(&self, run: &RunResult) -> Comparison {
+        let base_t = self.baseline.duration.as_secs_f64();
+        let per_core_cpi_increase: Vec<f64> = run
+            .completion
+            .iter()
+            .map(|t| (t.as_secs_f64() / base_t - 1.0).max(-1.0))
+            .collect();
+
+        // Average the instances of each distinct application.
+        let per_app_cpi_increase = (0..4)
+            .map(|a| {
+                let vals: Vec<f64> = per_core_cpi_increase
+                    .iter()
+                    .enumerate()
+                    .filter(|(c, _)| c % 4 == a)
+                    .map(|(_, &v)| v)
+                    .collect();
+                if vals.is_empty() {
+                    0.0
+                } else {
+                    vals.iter().sum::<f64>() / vals.len() as f64
+                }
+            })
+            .collect();
+
+        Comparison {
+            policy: run.policy.clone(),
+            mix: run.mix.clone(),
+            memory_savings: run.energy.memory_savings_vs(&self.baseline.energy),
+            system_savings: run.energy.system_savings_vs(&self.baseline.energy),
+            per_core_cpi_increase,
+            per_app_cpi_increase,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_sets_dimm_fraction() {
+        let mix = Mix::by_name("MID1").unwrap();
+        let exp = Experiment::calibrate(&mix, &SimConfig::quick());
+        let e = &exp.baseline().energy;
+        let dimm = e.memory_total_j() - e.memory_j.mc_w;
+        let total = dimm + e.rest_j; // DIMMs vs DIMMs + rest (MC excluded)
+        assert!(
+            (dimm / total - 0.4).abs() < 1e-6,
+            "DIMM fraction {}",
+            dimm / total
+        );
+        assert!(exp.rest_w() > 0.0);
+    }
+
+    #[test]
+    fn memscale_saves_energy_within_bound_on_ilp() {
+        let mix = Mix::by_name("ILP2").unwrap();
+        let exp = Experiment::calibrate(&mix, &SimConfig::quick());
+        let (_, cmp) = exp.evaluate(PolicyKind::MemScale);
+        assert!(
+            cmp.memory_savings > 0.10,
+            "ILP memory savings {}",
+            cmp.memory_savings
+        );
+        assert!(
+            cmp.system_savings > 0.0,
+            "ILP system savings {}",
+            cmp.system_savings
+        );
+        assert!(
+            cmp.max_cpi_increase() < 0.14,
+            "CPI bound violated: {}",
+            cmp.max_cpi_increase()
+        );
+    }
+
+    #[test]
+    fn comparison_aggregates() {
+        let c = Comparison {
+            policy: "x".into(),
+            mix: "y".into(),
+            memory_savings: 0.0,
+            system_savings: 0.0,
+            per_core_cpi_increase: vec![],
+            per_app_cpi_increase: vec![0.02, 0.04, 0.0, 0.06],
+        };
+        assert!((c.avg_cpi_increase() - 0.03).abs() < 1e-12);
+        assert!((c.max_cpi_increase() - 0.06).abs() < 1e-12);
+    }
+}

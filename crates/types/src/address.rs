@@ -1,0 +1,258 @@
+//! Physical-address decomposition onto the DRAM topology.
+//!
+//! The paper's memory controller "exploits bank interleaving" (§4.1) and
+//! channels "access disjoint regions of the physical address space in
+//! parallel" (§2.1). We use the standard server mapping for such systems:
+//! consecutive cache lines rotate across channels, then across the banks of a
+//! channel (covering every rank), and only then advance the row — maximizing
+//! channel and bank parallelism for streaming access patterns.
+
+use crate::config::Topology;
+use crate::ids::{BankId, ChannelId, RankId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A byte-granularity physical address.
+///
+/// # Example
+///
+/// ```
+/// use memscale_types::address::PhysAddr;
+///
+/// let a = PhysAddr::new(0x1040);
+/// assert_eq!(a.cache_line(), 0x41);
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct PhysAddr(pub u64);
+
+impl PhysAddr {
+    /// Cache-line size assumed throughout the system (Table 2).
+    pub const CACHE_LINE_BYTES: u64 = 64;
+
+    /// Creates a physical address from a raw byte address.
+    #[inline]
+    pub const fn new(addr: u64) -> Self {
+        PhysAddr(addr)
+    }
+
+    /// Creates the address of the start of cache line `line`.
+    #[inline]
+    pub const fn from_cache_line(line: u64) -> Self {
+        PhysAddr(line * Self::CACHE_LINE_BYTES)
+    }
+
+    /// The cache-line index containing this address.
+    #[inline]
+    pub const fn cache_line(self) -> u64 {
+        self.0 / Self::CACHE_LINE_BYTES
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// The DRAM coordinates of one cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Location {
+    /// The channel servicing this line.
+    pub channel: ChannelId,
+    /// The rank within that channel.
+    pub rank: RankId,
+    /// The bank within that rank.
+    pub bank: BankId,
+    /// The DRAM row within that bank.
+    pub row: u64,
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{}/{}/row{}",
+            self.channel, self.rank, self.bank, self.row
+        )
+    }
+}
+
+/// Decodes physical addresses onto a [`Topology`].
+///
+/// Mapping (line-interleaved, closed-page friendly):
+///
+/// ```text
+/// line = addr / 64
+/// channel =  line                          % channels
+/// bank    = (line / channels)              % banks_per_rank     (within rank)
+/// rank    = (line / channels / banks)      % ranks_per_channel
+/// row     = (line / channels / banks / ranks) % rows  (col folded into row)
+/// ```
+///
+/// # Example
+///
+/// ```
+/// use memscale_types::address::{AddressMap, PhysAddr};
+/// use memscale_types::config::Topology;
+///
+/// let map = AddressMap::new(Topology::default());
+/// let loc = map.decode(PhysAddr::from_cache_line(5));
+/// assert_eq!(loc.channel.index(), 5 % 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddressMap {
+    topology: Topology,
+}
+
+impl AddressMap {
+    /// Creates a map over `topology`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any topology dimension is zero.
+    pub fn new(topology: Topology) -> Self {
+        topology.validate().expect("invalid topology");
+        AddressMap { topology }
+    }
+
+    /// The topology this map decodes onto.
+    #[inline]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Decodes `addr` to its DRAM location.
+    pub fn decode(&self, addr: PhysAddr) -> Location {
+        let t = &self.topology;
+        let line = addr.cache_line();
+        let channels = t.channels as u64;
+        let banks = t.banks_per_rank as u64;
+        let ranks = t.ranks_per_channel() as u64;
+
+        let channel = ChannelId((line % channels) as usize);
+        let in_channel = line / channels;
+        let bank = BankId((in_channel % banks) as usize);
+        let in_bank = in_channel / banks;
+        let rank = RankId((in_bank % ranks) as usize);
+        let row = (in_bank / ranks) % t.rows_per_bank;
+        Location {
+            channel,
+            rank,
+            bank,
+            row,
+        }
+    }
+
+    /// Builds the physical address of the cache line at the given DRAM
+    /// coordinates — the inverse of [`decode`](Self::decode) for in-range
+    /// coordinates.
+    pub fn encode(&self, loc: Location) -> PhysAddr {
+        let t = &self.topology;
+        let channels = t.channels as u64;
+        let banks = t.banks_per_rank as u64;
+        let ranks = t.ranks_per_channel() as u64;
+        let line = ((loc.row * ranks + loc.rank.index() as u64) * banks
+            + loc.bank.index() as u64)
+            * channels
+            + loc.channel.index() as u64;
+        PhysAddr::from_cache_line(line)
+    }
+
+    /// Total number of ranks across all channels.
+    #[inline]
+    pub fn total_ranks(&self) -> usize {
+        self.topology.channels as usize * self.topology.ranks_per_channel() as usize
+    }
+
+    /// Total number of banks across all channels.
+    #[inline]
+    pub fn total_banks(&self) -> usize {
+        self.total_ranks() * self.topology.banks_per_rank as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn map() -> AddressMap {
+        AddressMap::new(Topology::default())
+    }
+
+    #[test]
+    fn consecutive_lines_rotate_channels() {
+        let m = map();
+        for line in 0..16u64 {
+            let loc = m.decode(PhysAddr::from_cache_line(line));
+            assert_eq!(loc.channel.index() as u64, line % 4);
+        }
+    }
+
+    #[test]
+    fn lines_within_channel_rotate_banks_then_ranks() {
+        let m = map();
+        // Lines 0, 4, 8, ... all hit channel 0 with ascending banks.
+        for i in 0..8u64 {
+            let loc = m.decode(PhysAddr::from_cache_line(i * 4));
+            assert_eq!(loc.bank.index() as u64, i % 8);
+            assert_eq!(loc.rank.index(), 0);
+            assert_eq!(loc.row, 0);
+        }
+        // After all 8 banks, the rank advances.
+        let loc = m.decode(PhysAddr::from_cache_line(8 * 4));
+        assert_eq!(loc.bank.index(), 0);
+        assert_eq!(loc.rank.index(), 1);
+    }
+
+    #[test]
+    fn row_advances_after_all_banks_and_ranks() {
+        let m = map();
+        let t = m.topology().clone();
+        let lines_per_row_step =
+            t.channels as u64 * t.banks_per_rank as u64 * t.ranks_per_channel() as u64;
+        let loc = m.decode(PhysAddr::from_cache_line(lines_per_row_step));
+        assert_eq!(loc.row, 1);
+        assert_eq!(loc.bank.index(), 0);
+        assert_eq!(loc.rank.index(), 0);
+        assert_eq!(loc.channel.index(), 0);
+    }
+
+    #[test]
+    fn totals() {
+        let m = map();
+        assert_eq!(m.total_ranks(), 4 * 4); // 4 channels x 2 DIMMs x 2 ranks
+        assert_eq!(m.total_banks(), 16 * 8);
+    }
+
+    proptest! {
+        #[test]
+        fn encode_decode_round_trip(line in 0u64..1_000_000_000) {
+            let m = map();
+            let addr = PhysAddr::from_cache_line(line);
+            let loc = m.decode(addr);
+            let encoded = m.encode(loc);
+            // Round trip is exact as long as the row did not wrap.
+            let t = m.topology();
+            let span = t.channels as u64
+                * t.banks_per_rank as u64
+                * t.ranks_per_channel() as u64
+                * t.rows_per_bank;
+            prop_assert_eq!(encoded.cache_line(), line % span);
+        }
+
+        #[test]
+        fn decode_stays_in_bounds(line in 0u64..=u64::MAX / PhysAddr::CACHE_LINE_BYTES) {
+            let m = map();
+            let loc = m.decode(PhysAddr::from_cache_line(line));
+            let t = m.topology();
+            prop_assert!(loc.channel.index() < t.channels as usize);
+            prop_assert!(loc.rank.index() < t.ranks_per_channel() as usize);
+            prop_assert!(loc.bank.index() < t.banks_per_rank as usize);
+            prop_assert!(loc.row < t.rows_per_bank);
+        }
+    }
+}

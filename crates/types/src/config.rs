@@ -1,0 +1,578 @@
+//! System configuration mirroring Table 2 of the paper.
+//!
+//! All structs here are plain data: the DRAM crate interprets
+//! [`DramTimingConfig`], the power crate interprets [`PowerConfig`], and the
+//! simulator wires everything together from one [`SystemConfig`].
+
+use crate::time::Picos;
+use serde::{Deserialize, Serialize};
+
+/// Errors raised when validating a configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    fn new(message: impl Into<String>) -> Self {
+        ConfigError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid configuration: {}", self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Physical organization of the memory subsystem.
+///
+/// Defaults to Table 2: 4 DDR3 channels, each with two registered dual-rank
+/// DIMMs of 18 x8 DRAM chips (ECC), 8 banks per rank.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Number of independent memory channels.
+    pub channels: u8,
+    /// DIMMs per channel.
+    pub dimms_per_channel: u8,
+    /// Ranks per DIMM.
+    pub ranks_per_dimm: u8,
+    /// Banks per rank (8 for DDR3).
+    pub banks_per_rank: u8,
+    /// Rows per bank (folds column bits; used only for address wrapping).
+    pub rows_per_bank: u64,
+    /// DRAM chips participating in each rank access (9 for x8 + ECC).
+    pub chips_per_rank: u8,
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology {
+            channels: 4,
+            dimms_per_channel: 2,
+            ranks_per_dimm: 2,
+            banks_per_rank: 8,
+            rows_per_bank: 32_768,
+            chips_per_rank: 9,
+        }
+    }
+}
+
+impl Topology {
+    /// Ranks per channel (DIMMs × ranks-per-DIMM).
+    #[inline]
+    pub fn ranks_per_channel(&self) -> u8 {
+        self.dimms_per_channel * self.ranks_per_dimm
+    }
+
+    /// Total ranks in the system.
+    #[inline]
+    pub fn total_ranks(&self) -> usize {
+        self.channels as usize * self.ranks_per_channel() as usize
+    }
+
+    /// Total DIMMs in the system.
+    #[inline]
+    pub fn total_dimms(&self) -> usize {
+        self.channels as usize * self.dimms_per_channel as usize
+    }
+
+    /// Checks that every dimension is non-zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the offending field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.channels == 0 {
+            return Err(ConfigError::new("channels must be > 0"));
+        }
+        if self.dimms_per_channel == 0 {
+            return Err(ConfigError::new("dimms_per_channel must be > 0"));
+        }
+        if self.ranks_per_dimm == 0 {
+            return Err(ConfigError::new("ranks_per_dimm must be > 0"));
+        }
+        if self.banks_per_rank == 0 {
+            return Err(ConfigError::new("banks_per_rank must be > 0"));
+        }
+        if self.rows_per_bank == 0 {
+            return Err(ConfigError::new("rows_per_bank must be > 0"));
+        }
+        if self.chips_per_rank == 0 {
+            return Err(ConfigError::new("chips_per_rank must be > 0"));
+        }
+        Ok(())
+    }
+}
+
+/// CPU-side parameters (Table 2: 16 in-order single-thread cores at 4 GHz).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuConfig {
+    /// Number of cores; one application instance per core.
+    pub cores: usize,
+    /// Core clock in GHz.
+    pub freq_ghz: f64,
+    /// Default cycles-per-instruction of non-LLC-missing work (the paper's
+    /// fixed `E[TPI_cpu]·F_cpu`). Application profiles may override it.
+    pub base_cpi: f64,
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        CpuConfig {
+            cores: 16,
+            freq_ghz: 4.0,
+            base_cpi: 1.0,
+        }
+    }
+}
+
+impl CpuConfig {
+    /// Duration of one core cycle.
+    #[inline]
+    pub fn cycle(&self) -> Picos {
+        Picos::from_ps((1_000.0 / self.freq_ghz).round() as u64)
+    }
+
+    /// Checks for physically sensible values.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the offending field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.cores == 0 {
+            return Err(ConfigError::new("cores must be > 0"));
+        }
+        if self.freq_ghz <= 0.0 || !self.freq_ghz.is_finite() {
+            return Err(ConfigError::new("freq_ghz must be > 0"));
+        }
+        if self.base_cpi <= 0.0 || !self.base_cpi.is_finite() {
+            return Err(ConfigError::new("base_cpi must be > 0"));
+        }
+        Ok(())
+    }
+}
+
+/// DDR3 timing parameters (Table 2).
+///
+/// DRAM-core operations are stored in wall-clock nanoseconds because scaling
+/// the channel frequency does not change them (§2.2); parameters given in
+/// cycles in Table 2 are converted at the 800 MHz reference. Burst length and
+/// MC pipeline depth are stored in cycles because they *do* scale.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DramTimingConfig {
+    /// Row activate: RAS-to-CAS delay (ns).
+    pub t_rcd_ns: f64,
+    /// Row precharge time (ns).
+    pub t_rp_ns: f64,
+    /// Column access (CAS) latency (ns).
+    pub t_cl_ns: f64,
+    /// Minimum ACT-to-PRE interval (ns; 28 cycles @ 800 MHz).
+    pub t_ras_ns: f64,
+    /// ACT-to-ACT different banks, same rank (ns; 4 cycles @ 800 MHz).
+    pub t_rrd_ns: f64,
+    /// Four-activate window per rank (ns; 20 cycles @ 800 MHz).
+    pub t_faw_ns: f64,
+    /// Read-to-precharge (ns; 5 cycles @ 800 MHz).
+    pub t_rtp_ns: f64,
+    /// Write recovery time before precharge (ns).
+    pub t_wr_ns: f64,
+    /// Data burst length in bus cycles (4 for a 64-byte line on DDR3).
+    pub burst_cycles: u32,
+    /// Exit latency from fast-exit (precharge) powerdown (ns).
+    pub t_xp_ns: f64,
+    /// Exit latency from slow-exit powerdown / DLL-off (ns).
+    pub t_xpdll_ns: f64,
+    /// All-rows refresh period (ms); per-rank refreshes are spread evenly.
+    pub refresh_period_ms: f64,
+    /// Number of refresh commands per refresh period (rows of refresh).
+    pub refresh_commands: u64,
+    /// Duration of one refresh command, tRFC (ns).
+    pub t_rfc_ns: f64,
+    /// Frequency-relock penalty: memory cycles (at the *new* frequency)...
+    pub relock_cycles: u64,
+    /// ...plus this fixed overhead (ns). Paper: 512 cycles + 28 ns.
+    pub relock_extra_ns: f64,
+    /// MC request-processing pipeline depth in MC cycles (§3.3: five).
+    pub mc_pipeline_cycles: u32,
+}
+
+impl Default for DramTimingConfig {
+    fn default() -> Self {
+        // Cycle-denominated Table 2 entries converted at 800 MHz (1.25 ns).
+        DramTimingConfig {
+            t_rcd_ns: 15.0,
+            t_rp_ns: 15.0,
+            t_cl_ns: 15.0,
+            t_ras_ns: 28.0 * 1.25,
+            t_rrd_ns: 4.0 * 1.25,
+            t_faw_ns: 20.0 * 1.25,
+            t_rtp_ns: 5.0 * 1.25,
+            t_wr_ns: 15.0,
+            burst_cycles: 4,
+            t_xp_ns: 6.0,
+            t_xpdll_ns: 24.0,
+            refresh_period_ms: 64.0,
+            refresh_commands: 8_192,
+            t_rfc_ns: 110.0,
+            relock_cycles: 512,
+            relock_extra_ns: 28.0,
+            mc_pipeline_cycles: 5,
+        }
+    }
+}
+
+impl DramTimingConfig {
+    /// tRCD as simulator time.
+    #[inline]
+    pub fn t_rcd(&self) -> Picos {
+        Picos::from_ns_f64(self.t_rcd_ns)
+    }
+    /// tRP as simulator time.
+    #[inline]
+    pub fn t_rp(&self) -> Picos {
+        Picos::from_ns_f64(self.t_rp_ns)
+    }
+    /// tCL as simulator time.
+    #[inline]
+    pub fn t_cl(&self) -> Picos {
+        Picos::from_ns_f64(self.t_cl_ns)
+    }
+    /// tRAS as simulator time.
+    #[inline]
+    pub fn t_ras(&self) -> Picos {
+        Picos::from_ns_f64(self.t_ras_ns)
+    }
+    /// tRRD as simulator time.
+    #[inline]
+    pub fn t_rrd(&self) -> Picos {
+        Picos::from_ns_f64(self.t_rrd_ns)
+    }
+    /// tFAW as simulator time.
+    #[inline]
+    pub fn t_faw(&self) -> Picos {
+        Picos::from_ns_f64(self.t_faw_ns)
+    }
+    /// tRTP as simulator time.
+    #[inline]
+    pub fn t_rtp(&self) -> Picos {
+        Picos::from_ns_f64(self.t_rtp_ns)
+    }
+    /// tWR as simulator time.
+    #[inline]
+    pub fn t_wr(&self) -> Picos {
+        Picos::from_ns_f64(self.t_wr_ns)
+    }
+    /// Fast-exit powerdown exit latency.
+    #[inline]
+    pub fn t_xp(&self) -> Picos {
+        Picos::from_ns_f64(self.t_xp_ns)
+    }
+    /// Slow-exit powerdown exit latency.
+    #[inline]
+    pub fn t_xpdll(&self) -> Picos {
+        Picos::from_ns_f64(self.t_xpdll_ns)
+    }
+    /// tRFC as simulator time.
+    #[inline]
+    pub fn t_rfc(&self) -> Picos {
+        Picos::from_ns_f64(self.t_rfc_ns)
+    }
+    /// Average interval between refresh commands (tREFI).
+    #[inline]
+    pub fn t_refi(&self) -> Picos {
+        Picos::from_ns_f64(self.refresh_period_ms * 1e6 / self.refresh_commands as f64)
+    }
+
+    /// Checks for physically sensible values.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the offending field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let positive = [
+            ("t_rcd_ns", self.t_rcd_ns),
+            ("t_rp_ns", self.t_rp_ns),
+            ("t_cl_ns", self.t_cl_ns),
+            ("t_ras_ns", self.t_ras_ns),
+            ("t_rrd_ns", self.t_rrd_ns),
+            ("t_faw_ns", self.t_faw_ns),
+            ("t_rtp_ns", self.t_rtp_ns),
+            ("t_wr_ns", self.t_wr_ns),
+            ("t_xp_ns", self.t_xp_ns),
+            ("t_xpdll_ns", self.t_xpdll_ns),
+            ("refresh_period_ms", self.refresh_period_ms),
+            ("t_rfc_ns", self.t_rfc_ns),
+        ];
+        for (name, v) in positive {
+            if v <= 0.0 || !v.is_finite() {
+                return Err(ConfigError::new(format!("{name} must be positive")));
+            }
+        }
+        if self.burst_cycles == 0 {
+            return Err(ConfigError::new("burst_cycles must be > 0"));
+        }
+        if self.refresh_commands == 0 {
+            return Err(ConfigError::new("refresh_commands must be > 0"));
+        }
+        if self.mc_pipeline_cycles == 0 {
+            return Err(ConfigError::new("mc_pipeline_cycles must be > 0"));
+        }
+        Ok(())
+    }
+}
+
+/// Power-model constants (Table 2 currents plus §4.1 MC/register/PLL data).
+///
+/// DRAM currents are per chip, in milliamps, at the 800 MHz reference
+/// frequency and `vdd` volts. Background (standby/powerdown) currents scale
+/// linearly with channel frequency, following §2.2 ("lowering frequency
+/// lowers background and register/PLL powers linearly").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerConfig {
+    /// DRAM supply voltage (V).
+    pub vdd: f64,
+    /// Activate-precharge current, IDD0-like (mA).
+    pub i_act_pre_ma: f64,
+    /// Precharge standby current, IDD2N (mA).
+    pub i_pre_stby_ma: f64,
+    /// Precharge powerdown current, IDD2P (mA).
+    pub i_pre_pd_ma: f64,
+    /// Active standby current, IDD3N (mA).
+    pub i_act_stby_ma: f64,
+    /// Active powerdown current, IDD3P (mA).
+    pub i_act_pd_ma: f64,
+    /// Burst read current, IDD4R (mA).
+    pub i_rd_ma: f64,
+    /// Burst write current, IDD4W (mA).
+    pub i_wr_ma: f64,
+    /// Refresh current, IDD5 (mA).
+    pub i_ref_ma: f64,
+    /// Termination power dissipated in each *non-target* DIMM on a channel
+    /// while a burst is in flight (W per DIMM).
+    pub term_w_per_dimm: f64,
+    /// PLL power per DIMM at 800 MHz (W); scales linearly with frequency,
+    /// not with utilization.
+    pub pll_w: f64,
+    /// Register peak power per DIMM at 800 MHz and full utilization (W).
+    pub reg_w_peak: f64,
+    /// Memory-controller peak power at 800 MHz bus / 1.2 V and full
+    /// utilization (W). §4.1: 15 W (AMD ACP data).
+    pub mc_w_peak: f64,
+    /// Idle power of the MC and registers as a fraction of peak (Fig 15
+    /// knob; §4.1 default 50 %).
+    pub mc_reg_idle_fraction: f64,
+    /// Fraction of total server power attributed to the memory subsystem at
+    /// the baseline (Fig 14 knob; §4.1 default 40 %).
+    pub mem_power_fraction: f64,
+}
+
+impl Default for PowerConfig {
+    fn default() -> Self {
+        PowerConfig {
+            vdd: 1.575,
+            i_act_pre_ma: 120.0,
+            i_pre_stby_ma: 70.0,
+            i_pre_pd_ma: 45.0,
+            i_act_stby_ma: 67.0,
+            i_act_pd_ma: 45.0,
+            i_rd_ma: 250.0,
+            i_wr_ma: 250.0,
+            i_ref_ma: 240.0,
+            term_w_per_dimm: 0.5,
+            pll_w: 0.5,
+            reg_w_peak: 0.5,
+            mc_w_peak: 15.0,
+            mc_reg_idle_fraction: 0.5,
+            mem_power_fraction: 0.4,
+        }
+    }
+}
+
+impl PowerConfig {
+    /// Register idle power per DIMM (W) at 800 MHz.
+    #[inline]
+    pub fn reg_w_idle(&self) -> f64 {
+        self.reg_w_peak * self.mc_reg_idle_fraction
+    }
+
+    /// MC idle power (W) at 800 MHz / 1.2 V.
+    #[inline]
+    pub fn mc_w_idle(&self) -> f64 {
+        self.mc_w_peak * self.mc_reg_idle_fraction
+    }
+
+    /// Checks for physically sensible values.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the offending field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let non_negative = [
+            ("i_act_pre_ma", self.i_act_pre_ma),
+            ("i_pre_stby_ma", self.i_pre_stby_ma),
+            ("i_pre_pd_ma", self.i_pre_pd_ma),
+            ("i_act_stby_ma", self.i_act_stby_ma),
+            ("i_act_pd_ma", self.i_act_pd_ma),
+            ("i_rd_ma", self.i_rd_ma),
+            ("i_wr_ma", self.i_wr_ma),
+            ("i_ref_ma", self.i_ref_ma),
+            ("term_w_per_dimm", self.term_w_per_dimm),
+            ("pll_w", self.pll_w),
+            ("reg_w_peak", self.reg_w_peak),
+            ("mc_w_peak", self.mc_w_peak),
+        ];
+        for (name, v) in non_negative {
+            if v < 0.0 || !v.is_finite() {
+                return Err(ConfigError::new(format!("{name} must be >= 0")));
+            }
+        }
+        if self.vdd <= 0.0 || !self.vdd.is_finite() {
+            return Err(ConfigError::new("vdd must be > 0"));
+        }
+        if !(0.0..=1.0).contains(&self.mc_reg_idle_fraction) {
+            return Err(ConfigError::new("mc_reg_idle_fraction must be in [0, 1]"));
+        }
+        if !(self.mem_power_fraction > 0.0 && self.mem_power_fraction < 1.0) {
+            return Err(ConfigError::new("mem_power_fraction must be in (0, 1)"));
+        }
+        Ok(())
+    }
+}
+
+/// Complete hardware configuration of the simulated server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SystemConfig {
+    /// Memory-subsystem organization.
+    pub topology: Topology,
+    /// CPU organization.
+    pub cpu: CpuConfig,
+    /// DDR3 timing parameters.
+    pub timing: DramTimingConfig,
+    /// Power-model constants.
+    pub power: PowerConfig,
+}
+
+impl SystemConfig {
+    /// Validates every section.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found in any section.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.topology.validate()?;
+        self.cpu.validate()?;
+        self.timing.validate()?;
+        self.power.validate()?;
+        Ok(())
+    }
+
+    /// A configuration with `channels` memory channels and everything else
+    /// at Table 2 defaults (Fig 13 sweeps this).
+    pub fn with_channels(channels: u8) -> Self {
+        let mut cfg = SystemConfig::default();
+        cfg.topology.channels = channels;
+        cfg
+    }
+
+    /// A configuration with `cores` CPU cores and everything else at Table 2
+    /// defaults (§4.2.4's 8- and 32-core studies sweep this).
+    pub fn with_cores(cores: usize) -> Self {
+        let mut cfg = SystemConfig::default();
+        cfg.cpu.cores = cores;
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table2() {
+        let cfg = SystemConfig::default();
+        assert_eq!(cfg.topology.channels, 4);
+        assert_eq!(cfg.topology.total_dimms(), 8);
+        assert_eq!(cfg.topology.banks_per_rank, 8);
+        assert_eq!(cfg.cpu.cores, 16);
+        assert_eq!(cfg.cpu.freq_ghz, 4.0);
+        assert_eq!(cfg.timing.t_rcd_ns, 15.0);
+        assert_eq!(cfg.timing.t_ras_ns, 35.0);
+        assert_eq!(cfg.timing.t_faw_ns, 25.0);
+        assert_eq!(cfg.power.vdd, 1.575);
+        assert_eq!(cfg.power.i_ref_ma, 240.0);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn refresh_interval_is_7_8_us() {
+        let t = DramTimingConfig::default();
+        let refi = t.t_refi();
+        assert!(refi > Picos::from_ns(7_800) && refi < Picos::from_ns(7_820));
+    }
+
+    #[test]
+    fn cpu_cycle_at_4ghz_is_250ps() {
+        assert_eq!(CpuConfig::default().cycle(), Picos::from_ps(250));
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let t = Topology {
+            channels: 0,
+            ..Topology::default()
+        };
+        assert!(t.validate().is_err());
+
+        let c = CpuConfig {
+            freq_ghz: 0.0,
+            ..CpuConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let d = DramTimingConfig {
+            t_cl_ns: -1.0,
+            ..DramTimingConfig::default()
+        };
+        assert!(d.validate().is_err());
+
+        let p = PowerConfig {
+            mem_power_fraction: 1.0,
+            ..PowerConfig::default()
+        };
+        assert!(p.validate().is_err());
+        let p = PowerConfig {
+            mc_reg_idle_fraction: 1.5,
+            ..PowerConfig::default()
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn idle_power_derivation() {
+        let p = PowerConfig::default();
+        assert_eq!(p.mc_w_idle(), 7.5);
+        assert_eq!(p.reg_w_idle(), 0.25);
+    }
+
+    #[test]
+    fn channel_and_core_sweep_constructors() {
+        assert_eq!(SystemConfig::with_channels(2).topology.channels, 2);
+        assert_eq!(SystemConfig::with_cores(32).cpu.cores, 32);
+    }
+
+    #[test]
+    fn config_error_displays() {
+        let err = Topology {
+            channels: 0,
+            ..Topology::default()
+        }
+        .validate()
+        .unwrap_err();
+        assert!(err.to_string().contains("channels"));
+    }
+}

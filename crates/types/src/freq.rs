@@ -1,0 +1,236 @@
+//! The MemScale frequency grid.
+//!
+//! The paper evaluates ten bus/DIMM frequencies — 800 MHz down to 200 MHz in
+//! ~67 MHz steps (§4.1). The memory controller (MC) always runs at twice the
+//! bus frequency and its supply voltage scales linearly with its frequency
+//! over the 0.65 V – 1.2 V range of contemporary server cores (§3.1, §4.1).
+
+use crate::time::Picos;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One operating point of the memory subsystem: the bus/DIMM/DRAM-device
+/// frequency. The MC frequency and voltage are derived.
+///
+/// Variants are ordered from slowest to fastest so that `MemFreq::F200 <
+/// MemFreq::F800` and iteration over [`MemFreq::ALL`] ascends.
+///
+/// # Example
+///
+/// ```
+/// use memscale_types::freq::MemFreq;
+///
+/// assert!(MemFreq::F200 < MemFreq::F800);
+/// assert_eq!(MemFreq::F800.mc_mhz(), 1600);
+/// assert_eq!(MemFreq::MAX, MemFreq::F800);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[allow(missing_docs)]
+pub enum MemFreq {
+    F200,
+    F267,
+    F333,
+    F400,
+    F467,
+    F533,
+    F600,
+    F667,
+    F733,
+    #[default]
+    F800,
+}
+
+impl MemFreq {
+    /// All operating points, ascending in frequency.
+    pub const ALL: [MemFreq; 10] = [
+        MemFreq::F200,
+        MemFreq::F267,
+        MemFreq::F333,
+        MemFreq::F400,
+        MemFreq::F467,
+        MemFreq::F533,
+        MemFreq::F600,
+        MemFreq::F667,
+        MemFreq::F733,
+        MemFreq::F800,
+    ];
+
+    /// The slowest operating point (200 MHz).
+    pub const MIN: MemFreq = MemFreq::F200;
+    /// The fastest operating point (800 MHz); the paper's baseline.
+    pub const MAX: MemFreq = MemFreq::F800;
+
+    /// Bus/DIMM frequency in MHz.
+    #[inline]
+    pub const fn mhz(self) -> u32 {
+        match self {
+            MemFreq::F200 => 200,
+            MemFreq::F267 => 267,
+            MemFreq::F333 => 333,
+            MemFreq::F400 => 400,
+            MemFreq::F467 => 467,
+            MemFreq::F533 => 533,
+            MemFreq::F600 => 600,
+            MemFreq::F667 => 667,
+            MemFreq::F733 => 733,
+            MemFreq::F800 => 800,
+        }
+    }
+
+    /// Memory-controller frequency in MHz (always 2× the bus, §3.1).
+    #[inline]
+    pub const fn mc_mhz(self) -> u32 {
+        self.mhz() * 2
+    }
+
+    /// Bus clock period.
+    #[inline]
+    pub fn cycle(self) -> Picos {
+        Picos::from_ps(1_000_000 / self.mhz() as u64)
+    }
+
+    /// MC clock period.
+    #[inline]
+    pub fn mc_cycle(self) -> Picos {
+        Picos::from_ps(1_000_000 / self.mc_mhz() as u64)
+    }
+
+    /// Fraction of the maximum frequency, in (0, 1].
+    #[inline]
+    pub fn relative(self) -> f64 {
+        self.mhz() as f64 / MemFreq::MAX.mhz() as f64
+    }
+
+    /// MC supply voltage at this operating point, in volts.
+    ///
+    /// Linear in MC frequency between 0.65 V (at 200 MHz bus) and 1.2 V (at
+    /// 800 MHz bus), matching §4.1's "the voltage of the memory controller
+    /// varies over the same range as the cores (0.65 V–1.2 V)".
+    #[inline]
+    pub fn mc_voltage(self) -> f64 {
+        const V_MIN: f64 = 0.65;
+        const V_MAX: f64 = 1.2;
+        let lo = MemFreq::MIN.mhz() as f64;
+        let hi = MemFreq::MAX.mhz() as f64;
+        let t = (self.mhz() as f64 - lo) / (hi - lo);
+        V_MIN + t * (V_MAX - V_MIN)
+    }
+
+    /// Zero-based index into [`MemFreq::ALL`] (0 = 200 MHz … 9 = 800 MHz).
+    #[inline]
+    pub fn index(self) -> usize {
+        MemFreq::ALL.iter().position(|&f| f == self).expect("in ALL")
+    }
+
+    /// The operating point at `index` in [`MemFreq::ALL`], if in range.
+    #[inline]
+    pub fn from_index(index: usize) -> Option<MemFreq> {
+        MemFreq::ALL.get(index).copied()
+    }
+
+    /// The next-faster operating point, or `None` at 800 MHz.
+    #[inline]
+    pub fn step_up(self) -> Option<MemFreq> {
+        MemFreq::from_index(self.index() + 1)
+    }
+
+    /// The next-slower operating point, or `None` at 200 MHz.
+    #[inline]
+    pub fn step_down(self) -> Option<MemFreq> {
+        self.index().checked_sub(1).and_then(MemFreq::from_index)
+    }
+
+    /// The nearest operating point at or above `mhz`, or `None` if `mhz`
+    /// exceeds 800.
+    pub fn ceil_from_mhz(mhz: u32) -> Option<MemFreq> {
+        MemFreq::ALL.iter().copied().find(|f| f.mhz() >= mhz)
+    }
+}
+
+impl fmt::Display for MemFreq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}MHz", self.mhz())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_matches_paper() {
+        let mhz: Vec<u32> = MemFreq::ALL.iter().map(|f| f.mhz()).collect();
+        assert_eq!(mhz, vec![200, 267, 333, 400, 467, 533, 600, 667, 733, 800]);
+    }
+
+    #[test]
+    fn ordering_ascends_with_frequency() {
+        for pair in MemFreq::ALL.windows(2) {
+            assert!(pair[0] < pair[1]);
+            assert!(pair[0].mhz() < pair[1].mhz());
+        }
+    }
+
+    #[test]
+    fn mc_runs_at_double_bus() {
+        for f in MemFreq::ALL {
+            assert_eq!(f.mc_mhz(), 2 * f.mhz());
+            // MC cycle must be half the bus cycle (to picosecond truncation).
+            assert!(f.mc_cycle() <= f.cycle());
+        }
+    }
+
+    #[test]
+    fn cycle_times() {
+        assert_eq!(MemFreq::F800.cycle(), Picos::from_ps(1_250));
+        assert_eq!(MemFreq::F200.cycle(), Picos::from_ps(5_000));
+        assert_eq!(MemFreq::F733.cycle(), Picos::from_ps(1_364));
+    }
+
+    #[test]
+    fn voltage_range_and_monotonicity() {
+        assert!((MemFreq::MIN.mc_voltage() - 0.65).abs() < 1e-12);
+        assert!((MemFreq::MAX.mc_voltage() - 1.2).abs() < 1e-12);
+        for pair in MemFreq::ALL.windows(2) {
+            assert!(pair[0].mc_voltage() < pair[1].mc_voltage());
+        }
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for (i, f) in MemFreq::ALL.iter().enumerate() {
+            assert_eq!(f.index(), i);
+            assert_eq!(MemFreq::from_index(i), Some(*f));
+        }
+        assert_eq!(MemFreq::from_index(10), None);
+    }
+
+    #[test]
+    fn stepping() {
+        assert_eq!(MemFreq::F200.step_down(), None);
+        assert_eq!(MemFreq::F800.step_up(), None);
+        assert_eq!(MemFreq::F200.step_up(), Some(MemFreq::F267));
+        assert_eq!(MemFreq::F800.step_down(), Some(MemFreq::F733));
+    }
+
+    #[test]
+    fn ceil_from_mhz_picks_nearest_above() {
+        assert_eq!(MemFreq::ceil_from_mhz(1), Some(MemFreq::F200));
+        assert_eq!(MemFreq::ceil_from_mhz(400), Some(MemFreq::F400));
+        assert_eq!(MemFreq::ceil_from_mhz(401), Some(MemFreq::F467));
+        assert_eq!(MemFreq::ceil_from_mhz(801), None);
+    }
+
+    #[test]
+    fn relative_fraction() {
+        assert_eq!(MemFreq::F800.relative(), 1.0);
+        assert_eq!(MemFreq::F400.relative(), 0.5);
+    }
+
+    #[test]
+    fn default_is_max() {
+        assert_eq!(MemFreq::default(), MemFreq::MAX);
+    }
+}

@@ -1,0 +1,101 @@
+//! Typed identifiers for the components of the simulated system.
+//!
+//! Newtypes prevent accidentally indexing a rank table with a bank number
+//! (C-NEWTYPE). All IDs are dense, zero-based `usize` indices.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
+            Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub usize);
+
+        impl $name {
+            /// The raw zero-based index.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(value: usize) -> Self {
+                $name(value)
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(value: $name) -> usize {
+                value.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A CPU core (0-based).
+    CoreId,
+    "core"
+);
+id_type!(
+    /// A memory channel (0-based).
+    ChannelId,
+    "ch"
+);
+id_type!(
+    /// A rank *within its channel* (0-based across the channel's DIMMs).
+    RankId,
+    "rank"
+);
+id_type!(
+    /// A bank *within its rank* (0-based).
+    BankId,
+    "bank"
+);
+id_type!(
+    /// An application instance within a multiprogrammed mix (0-based).
+    /// With one thread per core, `AppId(i)` runs on `CoreId(i)`.
+    AppId,
+    "app"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_usize() {
+        let c = CoreId::from(3);
+        assert_eq!(c.index(), 3);
+        assert_eq!(usize::from(c), 3);
+    }
+
+    #[test]
+    fn display_is_tagged() {
+        assert_eq!(CoreId(2).to_string(), "core2");
+        assert_eq!(ChannelId(0).to_string(), "ch0");
+        assert_eq!(RankId(1).to_string(), "rank1");
+        assert_eq!(BankId(7).to_string(), "bank7");
+        assert_eq!(AppId(15).to_string(), "app15");
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(BankId(1) < BankId(2));
+        assert_eq!(RankId::default(), RankId(0));
+    }
+}

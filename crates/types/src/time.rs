@@ -1,0 +1,319 @@
+//! Picosecond-resolution simulated time.
+//!
+//! The MemScale frequency grid mixes frequencies whose periods are not
+//! integral nanoseconds (e.g. 733 MHz ≈ 1364.3 ps), so the simulator clock is
+//! kept in picoseconds. A `u64` of picoseconds covers ~213 days of simulated
+//! time — far beyond the multi-second horizons of any experiment here.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+/// A point in simulated time, or a duration, in picoseconds.
+///
+/// `Picos` is used for both instants and durations: the simulator starts at
+/// `Picos::ZERO` and durations are plain differences. All arithmetic is
+/// checked in debug builds through the standard integer operators.
+///
+/// # Example
+///
+/// ```
+/// use memscale_types::time::Picos;
+///
+/// let t = Picos::from_ns(15) + Picos::from_ns(15); // tRCD + tRP
+/// assert_eq!(t.as_ns_f64(), 30.0);
+/// assert!(t < Picos::from_us(1));
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Picos(pub u64);
+
+impl Picos {
+    /// Zero time; the simulation epoch.
+    pub const ZERO: Picos = Picos(0);
+    /// The maximum representable time (used as an "infinitely far" sentinel).
+    pub const MAX: Picos = Picos(u64::MAX);
+
+    /// Creates a duration from whole picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        Picos(ps)
+    }
+
+    /// Creates a duration from whole nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        Picos(ns * 1_000)
+    }
+
+    /// Creates a duration from whole microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        Picos(us * 1_000_000)
+    }
+
+    /// Creates a duration from whole milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        Picos(ms * 1_000_000_000)
+    }
+
+    /// Creates a duration from fractional nanoseconds, rounding to the
+    /// nearest picosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ns` is negative or not finite.
+    #[inline]
+    pub fn from_ns_f64(ns: f64) -> Self {
+        assert!(ns.is_finite() && ns >= 0.0, "invalid duration: {ns} ns");
+        Picos((ns * 1_000.0).round() as u64)
+    }
+
+    /// Raw picosecond count.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// This time as fractional nanoseconds.
+    #[inline]
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// This time as fractional microseconds.
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// This time as fractional milliseconds.
+    #[inline]
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// This time as fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// Saturating subtraction: returns [`Picos::ZERO`] instead of
+    /// underflowing.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Picos) -> Picos {
+        Picos(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition.
+    #[inline]
+    pub fn checked_add(self, rhs: Picos) -> Option<Picos> {
+        self.0.checked_add(rhs.0).map(Picos)
+    }
+
+    /// The larger of two times.
+    #[inline]
+    pub fn max(self, rhs: Picos) -> Picos {
+        Picos(self.0.max(rhs.0))
+    }
+
+    /// The smaller of two times.
+    #[inline]
+    pub fn min(self, rhs: Picos) -> Picos {
+        Picos(self.0.min(rhs.0))
+    }
+
+    /// Multiplies by a non-negative float, rounding to the nearest
+    /// picosecond. Useful for scaling durations by utilization factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    #[inline]
+    pub fn scale(self, factor: f64) -> Picos {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "invalid scale factor: {factor}"
+        );
+        Picos((self.0 as f64 * factor).round() as u64)
+    }
+
+    /// Ratio of two durations as a float. Returns 0 when `denom` is zero.
+    #[inline]
+    pub fn ratio(self, denom: Picos) -> f64 {
+        if denom.0 == 0 {
+            0.0
+        } else {
+            self.0 as f64 / denom.0 as f64
+        }
+    }
+
+    /// Rounds this instant *up* to the next multiple of `quantum`.
+    /// A `quantum` of zero returns `self`.
+    #[inline]
+    pub fn round_up_to(self, quantum: Picos) -> Picos {
+        if quantum.0 == 0 {
+            return self;
+        }
+        let rem = self.0 % quantum.0;
+        if rem == 0 {
+            self
+        } else {
+            Picos(self.0 + (quantum.0 - rem))
+        }
+    }
+}
+
+impl Add for Picos {
+    type Output = Picos;
+    #[inline]
+    fn add(self, rhs: Picos) -> Picos {
+        Picos(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Picos {
+    #[inline]
+    fn add_assign(&mut self, rhs: Picos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Picos {
+    type Output = Picos;
+    #[inline]
+    fn sub(self, rhs: Picos) -> Picos {
+        Picos(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Picos {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Picos) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Picos {
+    type Output = Picos;
+    #[inline]
+    fn mul(self, rhs: u64) -> Picos {
+        Picos(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Picos {
+    type Output = Picos;
+    #[inline]
+    fn div(self, rhs: u64) -> Picos {
+        Picos(self.0 / rhs)
+    }
+}
+
+impl Rem<Picos> for Picos {
+    type Output = Picos;
+    #[inline]
+    fn rem(self, rhs: Picos) -> Picos {
+        Picos(self.0 % rhs.0)
+    }
+}
+
+impl Sum for Picos {
+    fn sum<I: Iterator<Item = Picos>>(iter: I) -> Picos {
+        iter.fold(Picos::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Picos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.0;
+        if ps == 0 {
+            write!(f, "0")
+        } else if ps.is_multiple_of(1_000_000_000) {
+            write!(f, "{}ms", ps / 1_000_000_000)
+        } else if ps.is_multiple_of(1_000_000) {
+            write!(f, "{}us", ps / 1_000_000)
+        } else if ps.is_multiple_of(1_000) {
+            write!(f, "{}ns", ps / 1_000)
+        } else {
+            write!(f, "{ps}ps")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(Picos::from_ns(1), Picos::from_ps(1_000));
+        assert_eq!(Picos::from_us(1), Picos::from_ns(1_000));
+        assert_eq!(Picos::from_ms(1), Picos::from_us(1_000));
+        assert_eq!(Picos::from_ms(5).as_ms_f64(), 5.0);
+        assert_eq!(Picos::from_us(300).as_us_f64(), 300.0);
+    }
+
+    #[test]
+    fn from_ns_f64_rounds() {
+        assert_eq!(Picos::from_ns_f64(1.3643), Picos::from_ps(1364));
+        assert_eq!(Picos::from_ns_f64(0.0), Picos::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid duration")]
+    fn from_ns_f64_rejects_negative() {
+        let _ = Picos::from_ns_f64(-1.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Picos::from_ns(10);
+        let b = Picos::from_ns(4);
+        assert_eq!(a + b, Picos::from_ns(14));
+        assert_eq!(a - b, Picos::from_ns(6));
+        assert_eq!(a * 3, Picos::from_ns(30));
+        assert_eq!(a / 2, Picos::from_ns(5));
+        assert_eq!(b.saturating_sub(a), Picos::ZERO);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn scale_and_ratio() {
+        let a = Picos::from_ns(10);
+        assert_eq!(a.scale(0.5), Picos::from_ns(5));
+        assert_eq!(a.scale(0.0), Picos::ZERO);
+        assert_eq!(a.ratio(Picos::from_ns(20)), 0.5);
+        assert_eq!(a.ratio(Picos::ZERO), 0.0);
+    }
+
+    #[test]
+    fn round_up_to_quantum() {
+        let q = Picos::from_us(5);
+        assert_eq!(Picos::ZERO.round_up_to(q), Picos::ZERO);
+        assert_eq!(Picos::from_us(5).round_up_to(q), Picos::from_us(5));
+        assert_eq!(Picos::from_us(6).round_up_to(q), Picos::from_us(10));
+        assert_eq!(Picos::from_us(6).round_up_to(Picos::ZERO), Picos::from_us(6));
+    }
+
+    #[test]
+    fn display_picks_units() {
+        assert_eq!(Picos::from_ms(5).to_string(), "5ms");
+        assert_eq!(Picos::from_us(300).to_string(), "300us");
+        assert_eq!(Picos::from_ns(15).to_string(), "15ns");
+        assert_eq!(Picos::from_ps(1364).to_string(), "1364ps");
+        assert_eq!(Picos::ZERO.to_string(), "0");
+    }
+
+    #[test]
+    fn sum_folds() {
+        let total: Picos = (1..=4).map(Picos::from_ns).sum();
+        assert_eq!(total, Picos::from_ns(10));
+    }
+}

@@ -1,0 +1,275 @@
+//! Deterministic synthetic miss-stream generation.
+//!
+//! Each [`AppTrace`] owns a seeded ChaCha PRNG (reproducible across runs and
+//! platforms) and turns its [`AppProfile`] into a stream of [`MissEvent`]s:
+//! geometric inter-miss instruction gaps whose mean follows the profile's
+//! current phase, addresses that either continue a sequential stream (cache
+//! lines rotate across channels and banks under the system's interleaving)
+//! or jump to a random location in the application's address slice, and
+//! occasional dirty-line writebacks at the profile's WPKI/RPKI ratio.
+
+use crate::profile::AppProfile;
+use memscale_types::address::PhysAddr;
+use memscale_types::ids::AppId;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// One LLC miss produced by a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MissEvent {
+    /// Instructions the core retires *before* issuing this miss (≥ 1).
+    pub gap_instructions: u64,
+    /// Physical address of the missing cache line.
+    pub addr: PhysAddr,
+    /// Dirty line evicted alongside this miss, if any.
+    pub writeback: Option<PhysAddr>,
+}
+
+/// A deterministic synthetic LLC miss/writeback stream for one application
+/// instance.
+#[derive(Debug, Clone)]
+pub struct AppTrace {
+    profile: AppProfile,
+    app: AppId,
+    rng: ChaCha8Rng,
+    /// First cache line of this instance's address slice.
+    slice_start: u64,
+    /// Number of cache lines in the slice.
+    slice_len: u64,
+    /// Next sequential line within the slice (relative).
+    cursor: u64,
+    instructions: u64,
+    misses: u64,
+    writebacks: u64,
+}
+
+impl AppTrace {
+    /// Creates the trace for application instance `app`, owning a slice of
+    /// `slice_len` cache lines starting at line `app.index() * slice_len`.
+    ///
+    /// Identical `(profile, app, slice_len, seed)` inputs always produce the
+    /// identical stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice_len` is zero.
+    pub fn new(profile: AppProfile, app: AppId, slice_len: u64, seed: u64) -> Self {
+        assert!(slice_len > 0, "address slice must be non-empty");
+        let mut key = [0u8; 32];
+        key[..8].copy_from_slice(&seed.to_le_bytes());
+        key[8..16].copy_from_slice(&(app.index() as u64).to_le_bytes());
+        let slice_start = app.index() as u64 * slice_len;
+        AppTrace {
+            profile,
+            app,
+            rng: ChaCha8Rng::from_seed(key),
+            slice_start,
+            slice_len,
+            cursor: 0,
+            instructions: 0,
+            misses: 0,
+            writebacks: 0,
+        }
+    }
+
+    /// The application instance this trace belongs to.
+    #[inline]
+    pub fn app(&self) -> AppId {
+        self.app
+    }
+
+    /// The profile driving this trace.
+    #[inline]
+    pub fn profile(&self) -> &AppProfile {
+        &self.profile
+    }
+
+    /// Instructions emitted so far (including gaps already handed out).
+    #[inline]
+    pub fn instructions_emitted(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Misses emitted so far.
+    #[inline]
+    pub fn misses_emitted(&self) -> u64 {
+        self.misses
+    }
+
+    /// Writebacks emitted so far.
+    #[inline]
+    pub fn writebacks_emitted(&self) -> u64 {
+        self.writebacks
+    }
+
+    /// Observed RPKI of the emitted stream so far.
+    pub fn observed_rpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.misses as f64 * 1_000.0 / self.instructions as f64
+        }
+    }
+
+    /// Observed WPKI of the emitted stream so far.
+    pub fn observed_wpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.writebacks as f64 * 1_000.0 / self.instructions as f64
+        }
+    }
+
+    /// Produces the next miss event. The stream is infinite.
+    pub fn next_miss(&mut self) -> MissEvent {
+        let phase = *self.profile.phase_at(self.instructions);
+        let rpki = phase.rpki.max(1e-6);
+        let mean_gap = 1_000.0 / rpki;
+        // Geometric gap via inverse-transform sampling of an exponential.
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let gap = 1 + (-mean_gap * u.ln()) as u64;
+
+        // Address: continue the sequential stream or jump.
+        let line = if self.rng.gen_bool(self.profile.locality) {
+            self.cursor = (self.cursor + 1) % self.slice_len;
+            self.slice_start + self.cursor
+        } else {
+            self.cursor = self.rng.gen_range(0..self.slice_len);
+            self.slice_start + self.cursor
+        };
+        let addr = PhysAddr::from_cache_line(line);
+
+        // Writeback with probability WPKI/RPKI (a miss evicting dirty data).
+        let wb_prob = (phase.wpki / phase.rpki).clamp(0.0, 1.0);
+        let writeback = if phase.wpki > 0.0 && self.rng.gen_bool(wb_prob) {
+            self.writebacks += 1;
+            let wb_line = self.slice_start + self.rng.gen_range(0..self.slice_len);
+            Some(PhysAddr::from_cache_line(wb_line))
+        } else {
+            None
+        };
+
+        self.instructions += gap;
+        self.misses += 1;
+        MissEvent {
+            gap_instructions: gap,
+            addr,
+            writeback,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Phase;
+    use crate::spec;
+
+    fn trace(name: &str, seed: u64) -> AppTrace {
+        AppTrace::new(spec::profile(name).unwrap(), AppId(0), 1 << 20, seed)
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let mut a = trace("swim", 7);
+        let mut b = trace("swim", 7);
+        for _ in 0..1_000 {
+            assert_eq!(a.next_miss(), b.next_miss());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = trace("swim", 7);
+        let mut b = trace("swim", 8);
+        let same = (0..100).filter(|_| a.next_miss() == b.next_miss()).count();
+        assert!(same < 5);
+    }
+
+    #[test]
+    fn observed_rpki_matches_profile() {
+        let mut t = trace("swim", 1);
+        for _ in 0..200_000 {
+            t.next_miss();
+        }
+        let target = spec::profile("swim").unwrap().average_rpki();
+        let got = t.observed_rpki();
+        assert!(
+            (got - target).abs() / target < 0.05,
+            "rpki {got} vs {target}"
+        );
+    }
+
+    #[test]
+    fn observed_wpki_matches_profile() {
+        let mut t = trace("swim", 1);
+        for _ in 0..200_000 {
+            t.next_miss();
+        }
+        let p = spec::profile("swim").unwrap();
+        let got = t.observed_wpki();
+        let target = p.phases[0].wpki;
+        assert!(
+            (got - target).abs() / target < 0.10,
+            "wpki {got} vs {target}"
+        );
+    }
+
+    #[test]
+    fn addresses_stay_in_slice() {
+        let slice_len = 1 << 16;
+        let mut t = AppTrace::new(
+            spec::profile("art").unwrap(),
+            AppId(3),
+            slice_len,
+            9,
+        );
+        for _ in 0..10_000 {
+            let ev = t.next_miss();
+            let line = ev.addr.cache_line();
+            assert!(line >= 3 * slice_len && line < 4 * slice_len);
+            if let Some(wb) = ev.writeback {
+                let wl = wb.cache_line();
+                assert!(wl >= 3 * slice_len && wl < 4 * slice_len);
+            }
+        }
+    }
+
+    #[test]
+    fn high_locality_produces_sequential_runs() {
+        let p = AppProfile::steady("seq", 10.0, 0.0).with_locality(1.0);
+        let mut t = AppTrace::new(p, AppId(0), 1 << 20, 5);
+        let first = t.next_miss().addr.cache_line();
+        let second = t.next_miss().addr.cache_line();
+        assert_eq!(second, first + 1);
+    }
+
+    #[test]
+    fn phase_change_shifts_intensity() {
+        let p = AppProfile::steady("p", 1.0, 0.0).with_phases(vec![
+            Phase::bounded(100_000, 1.0, 0.0),
+            Phase::steady(20.0, 0.0),
+        ]);
+        let mut t = AppTrace::new(p, AppId(0), 1 << 20, 11);
+        // Drain phase 1.
+        while t.instructions_emitted() < 100_000 {
+            t.next_miss();
+        }
+        let i0 = t.instructions_emitted();
+        let m0 = t.misses_emitted();
+        for _ in 0..10_000 {
+            t.next_miss();
+        }
+        let rpki2 =
+            (t.misses_emitted() - m0) as f64 * 1_000.0 / (t.instructions_emitted() - i0) as f64;
+        assert!(rpki2 > 15.0, "phase-2 rpki {rpki2}");
+    }
+
+    #[test]
+    fn gaps_are_at_least_one_instruction() {
+        let mut t = trace("swim", 2);
+        for _ in 0..10_000 {
+            assert!(t.next_miss().gap_instructions >= 1);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Synthetic SPEC-like workloads for the MemScale evaluation.
+//!
+//! The paper drives its memory-system simulator with M5-collected LLC
+//! miss/writeback traces of SPEC CPU2000/2006 mixes (Table 1). Those traces
+//! are not redistributable, so this crate substitutes deterministic synthetic
+//! generators whose *statistics* match Table 1: per-application LLC misses
+//! and writebacks per kilo-instruction (RPKI/WPKI, calibrated so every mix
+//! reproduces its published mix-level averages), spatial locality, and the
+//! phase behaviour the paper highlights (apsi's Fig 7 phase change).
+//!
+//! The policy under study never sees instructions — only the miss/writeback
+//! stream and its counter statistics — so matching the stream's rate,
+//! burstiness and locality exercises identical code paths (see DESIGN.md §4).
+//!
+//! # Example
+//!
+//! ```
+//! use memscale_workloads::mix::Mix;
+//!
+//! let mixes = Mix::table1();
+//! assert_eq!(mixes.len(), 12);
+//! let mid3 = Mix::by_name("MID3").unwrap();
+//! let mut traces = mid3.traces(16, 1 << 24, 42);
+//! let ev = traces[0].next_miss();
+//! assert!(ev.gap_instructions >= 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod mix;
+pub mod profile;
+pub mod spec;
+
+pub use generator::{AppTrace, MissEvent};
+pub use mix::{Mix, WorkloadClass};
+pub use profile::{AppProfile, Phase};

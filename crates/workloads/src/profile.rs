@@ -1,0 +1,177 @@
+//! Application behaviour profiles.
+
+use serde::{Deserialize, Serialize};
+
+/// One execution phase of an application: a memory-intensity level held for
+/// a number of instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Instructions this phase lasts; `None` = until the end of execution.
+    pub instructions: Option<u64>,
+    /// LLC misses per kilo-instruction during this phase.
+    pub rpki: f64,
+    /// LLC writebacks per kilo-instruction during this phase.
+    pub wpki: f64,
+}
+
+impl Phase {
+    /// A phase running forever at the given intensities.
+    pub const fn steady(rpki: f64, wpki: f64) -> Self {
+        Phase {
+            instructions: None,
+            rpki,
+            wpki,
+        }
+    }
+
+    /// A bounded phase.
+    pub const fn bounded(instructions: u64, rpki: f64, wpki: f64) -> Self {
+        Phase {
+            instructions: Some(instructions),
+            rpki,
+            wpki,
+        }
+    }
+}
+
+/// Statistical profile of one application.
+///
+/// # Example
+///
+/// ```
+/// use memscale_workloads::profile::AppProfile;
+///
+/// let p = AppProfile::steady("swim", 20.8, 6.4).with_locality(0.8);
+/// assert_eq!(p.average_rpki(), 20.8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppProfile {
+    /// SPEC-style application name.
+    pub name: String,
+    /// Cycles per instruction of non-missing work (`E[TPI_cpu]·F_cpu`).
+    pub base_cpi: f64,
+    /// Probability that a miss continues the current sequential stream
+    /// rather than jumping to a random location.
+    pub locality: f64,
+    /// Phase schedule; the last phase should be unbounded.
+    pub phases: Vec<Phase>,
+}
+
+impl AppProfile {
+    /// A single-phase profile with default CPU behaviour.
+    pub fn steady(name: &str, rpki: f64, wpki: f64) -> Self {
+        AppProfile {
+            name: name.to_owned(),
+            base_cpi: 1.0,
+            locality: 0.5,
+            phases: vec![Phase::steady(rpki, wpki)],
+        }
+    }
+
+    /// Sets the sequential-stream locality (clamped to `[0, 1]`).
+    #[must_use]
+    pub fn with_locality(mut self, locality: f64) -> Self {
+        self.locality = locality.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the non-miss CPI.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpi` is not positive.
+    #[must_use]
+    pub fn with_base_cpi(mut self, cpi: f64) -> Self {
+        assert!(cpi > 0.0, "base CPI must be positive");
+        self.base_cpi = cpi;
+        self
+    }
+
+    /// Replaces the phase schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty.
+    #[must_use]
+    pub fn with_phases(mut self, phases: Vec<Phase>) -> Self {
+        assert!(!phases.is_empty(), "need at least one phase");
+        self.phases = phases;
+        self
+    }
+
+    /// The phase in effect after `instructions` retired instructions.
+    pub fn phase_at(&self, instructions: u64) -> &Phase {
+        let mut consumed = 0u64;
+        for phase in &self.phases {
+            match phase.instructions {
+                Some(n) if instructions >= consumed + n => consumed += n,
+                _ => return phase,
+            }
+        }
+        self.phases.last().expect("non-empty phases")
+    }
+
+    /// RPKI of the first unbounded phase (or the last phase), i.e. the
+    /// steady-state intensity.
+    pub fn average_rpki(&self) -> f64 {
+        self.phases
+            .iter()
+            .find(|p| p.instructions.is_none())
+            .unwrap_or_else(|| self.phases.last().expect("non-empty"))
+            .rpki
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_profile_has_one_phase() {
+        let p = AppProfile::steady("art", 12.3, 0.6);
+        assert_eq!(p.phases.len(), 1);
+        assert_eq!(p.phase_at(0).rpki, 12.3);
+        assert_eq!(p.phase_at(u64::MAX).rpki, 12.3);
+    }
+
+    #[test]
+    fn phase_schedule_switches_at_boundaries() {
+        let p = AppProfile::steady("apsi", 1.0, 0.1).with_phases(vec![
+            Phase::bounded(1_000, 1.0, 0.1),
+            Phase::steady(9.0, 0.5),
+        ]);
+        assert_eq!(p.phase_at(0).rpki, 1.0);
+        assert_eq!(p.phase_at(999).rpki, 1.0);
+        assert_eq!(p.phase_at(1_000).rpki, 9.0);
+        assert_eq!(p.phase_at(5_000_000).rpki, 9.0);
+    }
+
+    #[test]
+    fn multi_bounded_phases() {
+        let p = AppProfile::steady("x", 1.0, 0.0).with_phases(vec![
+            Phase::bounded(100, 1.0, 0.0),
+            Phase::bounded(100, 2.0, 0.0),
+            Phase::steady(3.0, 0.0),
+        ]);
+        assert_eq!(p.phase_at(50).rpki, 1.0);
+        assert_eq!(p.phase_at(150).rpki, 2.0);
+        assert_eq!(p.phase_at(250).rpki, 3.0);
+    }
+
+    #[test]
+    fn builders_clamp_and_validate() {
+        let p = AppProfile::steady("x", 1.0, 0.0).with_locality(1.5);
+        assert_eq!(p.locality, 1.0);
+        let p = p.with_base_cpi(1.4);
+        assert_eq!(p.base_cpi, 1.4);
+    }
+
+    #[test]
+    fn average_rpki_uses_unbounded_phase() {
+        let p = AppProfile::steady("apsi", 1.0, 0.0).with_phases(vec![
+            Phase::bounded(100, 1.0, 0.0),
+            Phase::steady(9.0, 0.0),
+        ]);
+        assert_eq!(p.average_rpki(), 9.0);
+    }
+}

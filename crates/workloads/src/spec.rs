@@ -1,0 +1,141 @@
+//! The catalog of SPEC-named application profiles.
+//!
+//! Per-application RPKI/WPKI values were calibrated (iterative proportional
+//! fitting over the Table 1 constraints) so that the *mix-level* averages of
+//! all twelve workloads reproduce Table 1 of the paper; applications shared
+//! between mixes receive a single consistent value. Locality and CPU CPI are
+//! assigned by workload class: streaming memory hogs (swim, applu, …) get
+//! high sequential locality, ILP applications get low memory intensity and
+//! slightly lower CPI.
+//!
+//! `apsi` carries the Fig 7 phase schedule: a compute-dominated first phase
+//! followed by a memory-intensive phase, producing the mid-run frequency
+//! bump the paper's timeline shows.
+
+use crate::profile::{AppProfile, Phase};
+
+/// Calibrated `(name, rpki, wpki, locality, base_cpi)` table.
+///
+/// `base_cpi` is the non-missing-instruction CPI of the in-order core
+/// (floating-point dependency stalls, L1/L2 hit latency); it is calibrated
+/// per class so that whole-run CPIs and per-core bandwidth demands land in
+/// the regime of the paper's Figs 7/8 timelines (MEM applications run at
+/// CPI ≈ 5-15 there, not at IPC 1).
+const CATALOG: &[(&str, f64, f64, f64, f64)] = &[
+    // ILP class.
+    ("vortex", 0.2996, 0.2013, 0.40, 1.0),
+    ("gcc", 0.4509, 0.0248, 0.45, 1.1),
+    ("sixtrack", 0.4196, 0.0013, 0.50, 1.2),
+    ("mesa", 0.3100, 0.0126, 0.45, 1.0),
+    ("perlbmk", 0.1752, 0.0131, 0.40, 0.9),
+    ("crafty", 0.1752, 0.0131, 0.35, 0.9),
+    ("gzip", 0.1448, 0.0069, 0.55, 0.9),
+    ("eon", 0.1448, 0.0069, 0.40, 1.0),
+    // MID class.
+    ("ammp", 1.8574, 0.0115, 0.50, 1.4),
+    ("gap", 1.8574, 0.0115, 0.50, 1.2),
+    ("wupwise", 1.5826, 0.0085, 0.55, 1.3),
+    ("vpr", 1.5826, 0.0085, 0.40, 1.2),
+    ("astar", 2.6374, 0.1315, 0.35, 1.3),
+    ("parser", 2.6374, 0.1315, 0.40, 1.2),
+    ("twolf", 2.5826, 0.0485, 0.35, 1.4),
+    ("facerec", 2.5826, 0.0485, 0.60, 1.3),
+    ("bzip2", 2.9626, 0.3085, 0.55, 1.2),
+    // MEM class.
+    ("swim", 20.7786, 6.3630, 0.85, 3.0),
+    ("applu", 20.7786, 6.3630, 0.85, 2.8),
+    ("art", 12.3096, 0.6002, 0.75, 2.4),
+    ("lucas", 12.3096, 0.6002, 0.70, 2.2),
+    ("fma3d", 5.8717, 0.0155, 0.70, 1.8),
+    ("mgrid", 5.8717, 0.0155, 0.80, 1.8),
+    ("galgel", 10.8763, 0.5590, 0.75, 2.0),
+    ("equake", 10.8763, 0.5590, 0.70, 2.0),
+];
+
+/// Instructions of apsi's compute-dominated opening phase (≈45 ms at 4 GHz
+/// and CPI ≈ 1.3, matching the Fig 7 timeline).
+const APSI_PHASE1_INSTRUCTIONS: u64 = 130_000_000;
+
+/// Looks up an application profile by SPEC name.
+///
+/// Returns `None` for unknown names.
+///
+/// # Example
+///
+/// ```
+/// use memscale_workloads::spec::profile;
+///
+/// let swim = profile("swim").unwrap();
+/// assert!(swim.average_rpki() > 20.0);
+/// assert!(profile("doom").is_none());
+/// ```
+pub fn profile(name: &str) -> Option<AppProfile> {
+    if name == "apsi" {
+        // Calibrated long-run average ≈ 2.96 RPKI; split into a quiet phase
+        // and a memory-heavy phase (Fig 7's behaviour).
+        return Some(
+            AppProfile::steady("apsi", 2.9626, 0.3085)
+                .with_locality(0.55)
+                .with_base_cpi(1.4)
+                .with_phases(vec![
+                    Phase::bounded(APSI_PHASE1_INSTRUCTIONS, 1.2, 0.12),
+                    Phase::steady(9.0, 0.95),
+                ]),
+        );
+    }
+    CATALOG
+        .iter()
+        .find(|(n, ..)| *n == name)
+        .map(|&(n, rpki, wpki, locality, cpi)| {
+            AppProfile::steady(n, rpki, wpki)
+                .with_locality(locality)
+                .with_base_cpi(cpi)
+        })
+}
+
+/// Every application name in the catalog (including `apsi`).
+pub fn all_names() -> Vec<&'static str> {
+    let mut names: Vec<&'static str> = CATALOG.iter().map(|(n, ..)| *n).collect();
+    names.push("apsi");
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_26_applications() {
+        assert_eq!(all_names().len(), 26);
+    }
+
+    #[test]
+    fn every_name_resolves() {
+        for name in all_names() {
+            let p = profile(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(p.name, name);
+            assert!(p.average_rpki() > 0.0);
+        }
+    }
+
+    #[test]
+    fn apsi_has_a_phase_change() {
+        let apsi = profile("apsi").unwrap();
+        assert_eq!(apsi.phases.len(), 2);
+        assert!(apsi.phase_at(0).rpki < 2.0);
+        assert!(apsi.phase_at(200_000_000).rpki > 8.0);
+    }
+
+    #[test]
+    fn classes_have_expected_intensity_ordering() {
+        let ilp = profile("perlbmk").unwrap().average_rpki();
+        let mid = profile("astar").unwrap().average_rpki();
+        let mem = profile("swim").unwrap().average_rpki();
+        assert!(ilp < mid && mid < mem);
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(profile("quake3").is_none());
+    }
+}

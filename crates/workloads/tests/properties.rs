@@ -1,0 +1,99 @@
+//! Property-based tests of the synthetic workload generator.
+
+use memscale_types::ids::AppId;
+use memscale_workloads::profile::{AppProfile, Phase};
+use memscale_workloads::AppTrace;
+use proptest::prelude::*;
+
+fn profile_strategy() -> impl Strategy<Value = AppProfile> {
+    (0.05f64..30.0, 0.0f64..5.0, 0.0f64..1.0, 0.5f64..3.0).prop_map(
+        |(rpki, wpki_ratio, locality, cpi)| {
+            let wpki = rpki * wpki_ratio.min(1.0);
+            AppProfile::steady("prop", rpki, wpki)
+                .with_locality(locality)
+                .with_base_cpi(cpi)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Gaps are always at least one instruction; addresses stay in the
+    /// app's slice; the stream never stalls.
+    #[test]
+    fn stream_is_well_formed(
+        profile in profile_strategy(),
+        app in 0usize..16,
+        seed in any::<u64>(),
+    ) {
+        let slice = 1u64 << 18;
+        let mut t = AppTrace::new(profile, AppId(app), slice, seed);
+        for _ in 0..2_000 {
+            let ev = t.next_miss();
+            prop_assert!(ev.gap_instructions >= 1);
+            let line = ev.addr.cache_line();
+            prop_assert!(line >= app as u64 * slice && line < (app as u64 + 1) * slice);
+            if let Some(wb) = ev.writeback {
+                let wl = wb.cache_line();
+                prop_assert!(wl >= app as u64 * slice && wl < (app as u64 + 1) * slice);
+            }
+        }
+        prop_assert!(t.instructions_emitted() >= 2_000);
+        prop_assert_eq!(t.misses_emitted(), 2_000);
+    }
+
+    /// Long-run observed RPKI converges to the profile's setting.
+    #[test]
+    fn rpki_converges(profile in profile_strategy(), seed in any::<u64>()) {
+        let target = profile.average_rpki();
+        let mut t = AppTrace::new(profile, AppId(0), 1 << 18, seed);
+        for _ in 0..60_000 {
+            t.next_miss();
+        }
+        let got = t.observed_rpki();
+        let err = (got - target).abs() / target;
+        prop_assert!(err < 0.12, "rpki {got} vs target {target}");
+    }
+
+    /// WPKI never exceeds RPKI (a writeback accompanies a miss).
+    #[test]
+    fn wpki_bounded_by_rpki(profile in profile_strategy(), seed in any::<u64>()) {
+        let mut t = AppTrace::new(profile, AppId(0), 1 << 18, seed);
+        for _ in 0..20_000 {
+            t.next_miss();
+        }
+        prop_assert!(t.writebacks_emitted() <= t.misses_emitted());
+    }
+
+    /// The stream is a pure function of (profile, app, slice, seed).
+    #[test]
+    fn identical_inputs_identical_streams(
+        profile in profile_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let mut a = AppTrace::new(profile.clone(), AppId(3), 1 << 18, seed);
+        let mut b = AppTrace::new(profile, AppId(3), 1 << 18, seed);
+        for _ in 0..500 {
+            prop_assert_eq!(a.next_miss(), b.next_miss());
+        }
+    }
+
+    /// Phase boundaries are honored regardless of where the instruction
+    /// counter lands relative to them.
+    #[test]
+    fn phases_switch_at_declared_boundaries(
+        len in 1_000u64..100_000,
+        rpki1 in 0.5f64..5.0,
+        rpki2 in 10.0f64..30.0,
+    ) {
+        let p = AppProfile::steady("phased", rpki1, 0.0).with_phases(vec![
+            Phase::bounded(len, rpki1, 0.0),
+            Phase::steady(rpki2, 0.0),
+        ]);
+        prop_assert_eq!(p.phase_at(0).rpki, rpki1);
+        prop_assert_eq!(p.phase_at(len - 1).rpki, rpki1);
+        prop_assert_eq!(p.phase_at(len).rpki, rpki2);
+        prop_assert_eq!(p.phase_at(u64::MAX).rpki, rpki2);
+    }
+}

@@ -1,0 +1,84 @@
+//! Datacenter scenario: how much energy does MemScale return across a rack
+//! whose servers host different workload classes?
+//!
+//! ```bash
+//! cargo run --release -p memscale-simulator --example datacenter_consolidation
+//! ```
+//!
+//! The paper's motivation (§1) is server fleets whose memory accounts for up
+//! to 40% of power. This example models a small rack slice: some servers run
+//! compute-heavy services (ILP), some balanced ones (MID), some memory-bound
+//! analytics (MEM), each with a per-tenant SLA expressed as the maximum CPI
+//! degradation (γ). It totals the rack-level savings and verifies every
+//! tenant's SLA.
+
+use memscale::policies::PolicyKind;
+use memscale_simulator::harness::Experiment;
+use memscale_simulator::SimConfig;
+use memscale_types::time::Picos;
+use memscale_workloads::Mix;
+
+struct Server {
+    name: &'static str,
+    mix: &'static str,
+    /// SLA: tolerated CPI degradation.
+    gamma: f64,
+}
+
+fn main() {
+    // A rack slice: latency-sensitive front-ends get tight SLAs, batch
+    // analytics are lenient.
+    let servers = [
+        Server { name: "web-1 (front-end)", mix: "ILP2", gamma: 0.05 },
+        Server { name: "web-2 (front-end)", mix: "ILP4", gamma: 0.05 },
+        Server { name: "app-1 (business logic)", mix: "MID1", gamma: 0.10 },
+        Server { name: "app-2 (business logic)", mix: "MID4", gamma: 0.10 },
+        Server { name: "batch-1 (analytics)", mix: "MEM2", gamma: 0.15 },
+        Server { name: "batch-2 (analytics)", mix: "MEM4", gamma: 0.15 },
+    ];
+
+    let mut base_total_j = 0.0;
+    let mut managed_total_j = 0.0;
+    let mut sla_violations = 0;
+
+    println!(
+        "{:<26} {:>6} {:>10} {:>10} {:>9} {:>8}",
+        "server", "SLA", "base (J)", "saved (J)", "sys sav", "worstCPI"
+    );
+    for server in &servers {
+        let mix = Mix::by_name(server.mix).expect("table 1 mix");
+        let mut cfg = SimConfig::default().with_duration(Picos::from_ms(15));
+        cfg.governor.gamma = server.gamma;
+        let exp = Experiment::calibrate(&mix, &cfg);
+        let (run, cmp) = exp.evaluate(PolicyKind::MemScale);
+
+        let base_j = exp.baseline().energy.system_total_j();
+        let run_j = run.energy.system_total_j();
+        base_total_j += base_j;
+        managed_total_j += run_j;
+        let violated = cmp.max_cpi_increase() > server.gamma + 0.015;
+        if violated {
+            sla_violations += 1;
+        }
+        println!(
+            "{:<26} {:>5.0}% {:>10.2} {:>10.2} {:>8.1}% {:>7.1}%{}",
+            server.name,
+            server.gamma * 100.0,
+            base_j,
+            base_j - run_j,
+            cmp.system_savings * 100.0,
+            cmp.max_cpi_increase() * 100.0,
+            if violated { "  <-- SLA MISS" } else { "" }
+        );
+    }
+
+    let saved = 1.0 - managed_total_j / base_total_j;
+    println!(
+        "\nrack slice: {:.2} J -> {:.2} J  ({:.1}% system energy returned)",
+        base_total_j,
+        managed_total_j,
+        saved * 100.0
+    );
+    println!("SLA violations: {sla_violations}");
+    assert_eq!(sla_violations, 0, "MemScale must respect every tenant SLA");
+}

@@ -1,0 +1,64 @@
+//! Policy shootout: every §4.2.3 energy-management scheme on one workload.
+//!
+//! ```bash
+//! cargo run --release -p memscale-simulator --example policy_shootout [MIX]
+//! ```
+//!
+//! Runs the full comparison zoo — Fast-PD, Slow-PD, Decoupled DIMMs, Static,
+//! MemScale, MemScale(MemEnergy) and MemScale+Fast-PD — against the max-
+//! frequency baseline on the chosen Table 1 workload (default MID3) and
+//! prints the Fig 9/11-style summary.
+
+use memscale::policies::PolicyKind;
+use memscale_simulator::harness::Experiment;
+use memscale_simulator::SimConfig;
+use memscale_types::time::Picos;
+use memscale_workloads::Mix;
+
+fn main() {
+    let mix_name = std::env::args().nth(1).unwrap_or_else(|| "MID3".into());
+    let Some(mix) = Mix::by_name(&mix_name) else {
+        eprintln!(
+            "unknown workload {mix_name}; pick one of: {}",
+            Mix::table1()
+                .iter()
+                .map(|m| m.name)
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        std::process::exit(2);
+    };
+
+    let cfg = SimConfig::default().with_duration(Picos::from_ms(20));
+    println!("calibrating baseline for {mix} ...");
+    let exp = Experiment::calibrate(&mix, &cfg);
+    println!(
+        "baseline: {:.1} W memory, {:.1} W rest, {} reads\n",
+        exp.baseline().energy.memory_avg_w(),
+        exp.rest_w(),
+        exp.baseline().counters.reads
+    );
+
+    println!(
+        "{:<22} {:>8} {:>8} {:>8} {:>8} {:>9}",
+        "policy", "mem sav", "sys sav", "avg CPI", "max CPI", "mean MHz"
+    );
+    let mut best: Option<(String, f64)> = None;
+    for policy in PolicyKind::comparison_set() {
+        let (run, cmp) = exp.evaluate(policy);
+        println!(
+            "{:<22} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}% {:>9.0}",
+            run.policy,
+            cmp.memory_savings * 100.0,
+            cmp.system_savings * 100.0,
+            cmp.avg_cpi_increase() * 100.0,
+            cmp.max_cpi_increase() * 100.0,
+            run.mean_frequency_mhz()
+        );
+        if best.as_ref().is_none_or(|(_, s)| cmp.system_savings > *s) {
+            best = Some((run.policy.clone(), cmp.system_savings));
+        }
+    }
+    let (name, savings) = best.expect("at least one policy");
+    println!("\nwinner: {name} at {:.1}% system energy savings", savings * 100.0);
+}

@@ -1,0 +1,71 @@
+//! Quickstart: run one workload under MemScale and print what happened.
+//!
+//! ```bash
+//! cargo run --release -p memscale-simulator --example quickstart
+//! ```
+//!
+//! This walks the library's main path end-to-end: build a Table 1 workload,
+//! calibrate a baseline at maximum memory frequency, run the MemScale OS
+//! policy over the same work, and report energy savings, per-application
+//! slowdown and the frequencies the governor chose.
+
+use memscale::policies::PolicyKind;
+use memscale_simulator::harness::Experiment;
+use memscale_simulator::SimConfig;
+use memscale_types::freq::MemFreq;
+use memscale_types::time::Picos;
+use memscale_workloads::Mix;
+
+fn main() {
+    // 1. Pick a workload: MID1 = ammp, gap, wupwise, vpr (x4 instances each
+    //    on the default 16-core server of Table 2).
+    let mix = Mix::by_name("MID1").expect("MID1 is a Table 1 workload");
+    println!("workload: {mix}  (apps: {})", mix.apps.join(", "));
+
+    // 2. Calibrate the baseline: memory pinned at 800 MHz, no management.
+    //    This also derives the fixed rest-of-system power from the paper's
+    //    40% DIMM power fraction.
+    let cfg = SimConfig::default().with_duration(Picos::from_ms(20));
+    let exp = Experiment::calibrate(&mix, &cfg);
+    println!(
+        "baseline: {:.1} W memory average, {:.1} W rest of system",
+        exp.baseline().energy.memory_avg_w(),
+        exp.rest_w(),
+    );
+
+    // 3. Run the MemScale policy over the exact same work (fixed-work
+    //    comparison) with the default 10% CPI-degradation bound.
+    let (run, cmp) = exp.evaluate(PolicyKind::MemScale);
+
+    println!("\nMemScale results vs baseline:");
+    println!("  memory energy saved : {:.1}%", cmp.memory_savings * 100.0);
+    println!("  system energy saved : {:.1}%", cmp.system_savings * 100.0);
+    println!(
+        "  CPI increase        : avg {:.1}%, worst {:.1}% (bound 10%)",
+        cmp.avg_cpi_increase() * 100.0,
+        cmp.max_cpi_increase() * 100.0,
+    );
+    println!(
+        "  mean bus frequency  : {:.0} MHz (residency below)",
+        run.mean_frequency_mhz()
+    );
+    for f in MemFreq::ALL.iter().rev() {
+        let share = run.residency(*f);
+        if share > 0.005 {
+            println!("    {f}: {:5.1}%  {}", share * 100.0, bar(share));
+        }
+    }
+    println!(
+        "\nmemory accesses: {} reads, {} writebacks, mean read latency {}",
+        run.counters.reads,
+        run.counters.writes,
+        run.counters
+            .mean_read_latency()
+            .map(|l| l.to_string())
+            .unwrap_or_else(|| "n/a".into())
+    );
+}
+
+fn bar(frac: f64) -> String {
+    "#".repeat((frac * 40.0).round() as usize)
+}

@@ -1,0 +1,137 @@
+//! End-to-end integration: full simulations spanning every crate.
+
+use memscale::policies::PolicyKind;
+use memscale_simulator::harness::Experiment;
+use memscale_simulator::{SimConfig, Simulation};
+use memscale_types::freq::MemFreq;
+use memscale_types::time::Picos;
+use memscale_workloads::{Mix, WorkloadClass};
+
+fn quick() -> SimConfig {
+    SimConfig::default().with_duration(Picos::from_ms(6))
+}
+
+#[test]
+fn every_table1_mix_simulates() {
+    for mix in Mix::table1() {
+        let run = Simulation::new(&mix, PolicyKind::Baseline, &quick())
+            .run_for(Picos::from_ms(6), 50.0);
+        assert!(run.counters.reads > 100, "{}: too few reads", mix.name);
+        assert!(
+            run.energy.memory_total_j() > 0.0,
+            "{}: no energy accounted",
+            mix.name
+        );
+        assert!(
+            run.work.iter().all(|&w| w > 10_000),
+            "{}: cores barely progressed",
+            mix.name
+        );
+    }
+}
+
+#[test]
+fn class_ordering_of_memory_traffic() {
+    // MEM mixes must produce far more memory traffic than ILP mixes.
+    let reads = |name: &str| {
+        Simulation::new(
+            &Mix::by_name(name).unwrap(),
+            PolicyKind::Baseline,
+            &quick(),
+        )
+        .run_for(Picos::from_ms(6), 0.0)
+        .counters
+        .reads
+    };
+    let ilp = reads("ILP2");
+    let mid = reads("MID1");
+    let mem = reads("MEM1");
+    assert!(mid > 2 * ilp, "MID {mid} vs ILP {ilp}");
+    assert!(mem > 2 * mid, "MEM {mem} vs MID {mid}");
+}
+
+#[test]
+fn memscale_full_loop_on_each_class() {
+    for (name, min_mem_savings) in [("ILP3", 0.4), ("MID2", 0.15), ("MEM2", 0.02)] {
+        let mix = Mix::by_name(name).unwrap();
+        let exp = Experiment::calibrate(&mix, &quick());
+        let (run, cmp) = exp.evaluate(PolicyKind::MemScale);
+        assert!(
+            cmp.memory_savings > min_mem_savings,
+            "{name}: memory savings {:.3}",
+            cmp.memory_savings
+        );
+        assert!(
+            cmp.max_cpi_increase() < 0.115,
+            "{name}: bound violated {:.3}",
+            cmp.max_cpi_increase()
+        );
+        assert!(run.duration >= exp.baseline().duration);
+    }
+}
+
+#[test]
+fn ilp_runs_at_min_frequency_most_of_the_time() {
+    let mix = Mix::by_name("ILP2").unwrap();
+    let exp = Experiment::calibrate(&mix, &quick());
+    let (run, _) = exp.evaluate(PolicyKind::MemScale);
+    assert!(
+        run.residency(MemFreq::F200) > 0.5,
+        "ILP should park at 200 MHz; residency {:.2}",
+        run.residency(MemFreq::F200)
+    );
+}
+
+#[test]
+fn energy_conservation_across_components() {
+    // Total memory energy must equal the sum of its categories.
+    let mix = Mix::by_name("MID3").unwrap();
+    let run = Simulation::new(&mix, PolicyKind::MemScale, &quick())
+        .run_for(Picos::from_ms(6), 40.0);
+    let e = &run.energy.memory_j;
+    let sum = e.background_w + e.act_pre_w + e.rd_wr_w + e.term_w + e.pll_w + e.reg_w + e.mc_w;
+    assert!((sum - run.energy.memory_total_j()).abs() < 1e-9);
+    // System = memory + rest.
+    assert!(
+        (run.energy.system_total_j() - run.energy.memory_total_j() - run.energy.rest_j).abs()
+            < 1e-9
+    );
+}
+
+#[test]
+fn work_matched_runs_do_the_requested_work() {
+    let mix = Mix::by_name("MID4").unwrap();
+    let exp = Experiment::calibrate(&mix, &quick());
+    for policy in [PolicyKind::MemScale, PolicyKind::Static(MemFreq::F467)] {
+        let (run, _) = exp.evaluate(policy);
+        for (i, (&target, &done)) in exp
+            .baseline()
+            .work
+            .iter()
+            .zip(&run.work)
+            .enumerate()
+        {
+            assert!(done >= target, "core {i}: {done} < {target}");
+        }
+    }
+}
+
+#[test]
+fn all_classes_have_four_mixes_that_run_under_every_policy() {
+    // A broad smoke matrix: one mix per class x every comparison policy.
+    for class in [WorkloadClass::Ilp, WorkloadClass::Mid, WorkloadClass::Mem] {
+        let mix = &Mix::by_class(class)[0];
+        let exp = Experiment::calibrate(mix, &quick());
+        for policy in PolicyKind::comparison_set() {
+            let (run, cmp) = exp.evaluate(policy);
+            assert!(run.counters.reads > 0, "{}/{:?}", mix.name, policy);
+            assert!(
+                cmp.memory_savings > -0.35,
+                "{}/{:?}: implausible loss {:.2}",
+                mix.name,
+                policy,
+                cmp.memory_savings
+            );
+        }
+    }
+}

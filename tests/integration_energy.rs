@@ -1,0 +1,148 @@
+//! Energy-model integration: physical sanity of the integrated power
+//! accounting across the full stack.
+
+use memscale::policies::PolicyKind;
+use memscale_simulator::harness::Experiment;
+use memscale_simulator::{SimConfig, Simulation};
+use memscale_types::freq::MemFreq;
+use memscale_types::time::Picos;
+use memscale_workloads::Mix;
+
+fn quick() -> SimConfig {
+    SimConfig::default().with_duration(Picos::from_ms(6))
+}
+
+#[test]
+fn memory_power_is_in_a_plausible_server_band() {
+    // 8 DIMMs + MC: idle floor tens of watts, loaded well under 100 W.
+    for name in ["ILP1", "MID2", "MEM3"] {
+        let mix = Mix::by_name(name).unwrap();
+        let run = Simulation::new(&mix, PolicyKind::Baseline, &quick())
+            .run_for(Picos::from_ms(6), 0.0);
+        let avg = run.energy.memory_avg_w();
+        assert!(
+            (20.0..90.0).contains(&avg),
+            "{name}: implausible memory power {avg:.1} W"
+        );
+    }
+}
+
+#[test]
+fn memory_power_orders_by_class() {
+    let avg = |name: &str| {
+        Simulation::new(&Mix::by_name(name).unwrap(), PolicyKind::Baseline, &quick())
+            .run_for(Picos::from_ms(6), 0.0)
+            .energy
+            .memory_avg_w()
+    };
+    let ilp = avg("ILP2");
+    let mid = avg("MID1");
+    let mem = avg("MEM1");
+    assert!(ilp < mid && mid < mem, "ilp {ilp:.1} mid {mid:.1} mem {mem:.1}");
+}
+
+#[test]
+fn static_low_frequency_cuts_memory_power() {
+    let mix = Mix::by_name("ILP1").unwrap();
+    let base = Simulation::new(&mix, PolicyKind::Baseline, &quick())
+        .run_for(Picos::from_ms(6), 0.0);
+    let slow = Simulation::new(&mix, PolicyKind::Static(MemFreq::F200), &quick())
+        .run_for(Picos::from_ms(6), 0.0);
+    // ILP work barely stretches, while background/PLL/REG/MC power drops.
+    assert!(
+        slow.energy.memory_avg_w() < 0.6 * base.energy.memory_avg_w(),
+        "200 MHz {:.1} W vs 800 MHz {:.1} W",
+        slow.energy.memory_avg_w(),
+        base.energy.memory_avg_w()
+    );
+}
+
+#[test]
+fn mc_energy_falls_superlinearly_with_dvfs() {
+    let mix = Mix::by_name("ILP2").unwrap();
+    let base = Simulation::new(&mix, PolicyKind::Baseline, &quick())
+        .run_for(Picos::from_ms(6), 0.0);
+    let slow = Simulation::new(&mix, PolicyKind::Static(MemFreq::F400), &quick())
+        .run_for(Picos::from_ms(6), 0.0);
+    let ratio = slow.energy.memory_j.mc_w / base.energy.memory_j.mc_w;
+    // V^2*f at 400 MHz: (0.833/1.2)^2 * 0.5 = 0.24; allow dilation slack.
+    assert!(ratio < 0.35, "MC energy ratio {ratio:.3}");
+}
+
+#[test]
+fn fast_pd_cuts_background_but_not_mc() {
+    let mix = Mix::by_name("ILP2").unwrap();
+    let base = Simulation::new(&mix, PolicyKind::Baseline, &quick())
+        .run_for(Picos::from_ms(6), 0.0);
+    let pd = Simulation::new(&mix, PolicyKind::FastPd, &quick())
+        .run_for(Picos::from_ms(6), 0.0);
+    assert!(
+        pd.energy.memory_j.background_w < base.energy.memory_j.background_w,
+        "powerdown must cut background energy"
+    );
+    let mc_ratio = pd.energy.memory_j.mc_w / base.energy.memory_j.mc_w;
+    assert!(
+        (0.95..1.05).contains(&mc_ratio),
+        "Fast-PD must not change MC energy: ratio {mc_ratio:.3}"
+    );
+}
+
+#[test]
+fn refresh_energy_is_frequency_independent() {
+    // Refresh runs at a fixed duty cycle; its contribution is folded into
+    // background power and should not vanish at low frequency.
+    let mix = Mix::by_name("ILP2").unwrap();
+    let hi = Simulation::new(&mix, PolicyKind::Baseline, &quick())
+        .run_for(Picos::from_ms(6), 0.0);
+    let lo = Simulation::new(&mix, PolicyKind::Static(MemFreq::F200), &quick())
+        .run_for(Picos::from_ms(6), 0.0);
+    // Background at 200 MHz keeps more than the pure-linear 25% share
+    // because refresh (and powerdown floors) do not scale.
+    let ratio = lo.energy.memory_j.background_w / hi.energy.memory_j.background_w;
+    assert!(ratio > 0.25, "background ratio {ratio:.3}");
+}
+
+#[test]
+fn system_savings_never_exceed_memory_share() {
+    // System savings are memory savings diluted by the rest-of-system.
+    let mix = Mix::by_name("MID3").unwrap();
+    let exp = Experiment::calibrate(&mix, &quick());
+    let (_, cmp) = exp.evaluate(PolicyKind::MemScale);
+    assert!(cmp.system_savings < cmp.memory_savings);
+    assert!(cmp.system_savings > 0.25 * cmp.memory_savings);
+}
+
+#[test]
+fn higher_memory_fraction_raises_system_savings() {
+    let mix = Mix::by_name("MID1").unwrap();
+    let mut lo_cfg = quick();
+    lo_cfg.system.power.mem_power_fraction = 0.3;
+    let mut hi_cfg = quick();
+    hi_cfg.system.power.mem_power_fraction = 0.5;
+    let lo = Experiment::calibrate(&mix, &lo_cfg)
+        .evaluate(PolicyKind::MemScale)
+        .1;
+    let hi = Experiment::calibrate(&mix, &hi_cfg)
+        .evaluate(PolicyKind::MemScale)
+        .1;
+    assert!(
+        hi.system_savings > lo.system_savings,
+        "50% fraction {:.3} vs 30% fraction {:.3}",
+        hi.system_savings,
+        lo.system_savings
+    );
+}
+
+#[test]
+fn relock_windows_are_charged_as_powerdown_residency() {
+    // MemScale's frequency transitions spend 512 cycles + 28 ns in
+    // precharge powerdown; the energy account must reflect *some* CKE-low
+    // residency even without a powerdown policy.
+    let mix = Mix::by_name("MID3").unwrap();
+    let cfg = quick();
+    let sim = Simulation::new(&mix, PolicyKind::MemScale, &cfg);
+    let run = sim.run_for(Picos::from_ms(6), 0.0);
+    // At least one frequency change happened...
+    let changes: u64 = run.freq_residency_ps.iter().filter(|&&ps| ps > 0).count() as u64;
+    assert!(changes >= 2, "expected frequency changes, got {changes} level(s)");
+}
