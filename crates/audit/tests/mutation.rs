@@ -1,0 +1,240 @@
+//! Mutation self-test of the conformance checker.
+//!
+//! Each case drives the real `DramChannel` engine with a deliberately
+//! *weakened* timing configuration (the channel trusts whatever numbers it is
+//! given), records the command stream, and replays it against the *strict*
+//! default configuration. The auditor must flag the specific rule that was
+//! relaxed — proving the checker actually detects timing bugs rather than
+//! rubber-stamping whatever the engine emits.
+
+use memscale_audit::{AuditReport, ProtocolAuditor, Rule};
+use memscale_dram::channel::{AccessKind, DramChannel};
+use memscale_dram::rank::PowerDownMode;
+use memscale_types::config::DramTimingConfig;
+use memscale_types::freq::MemFreq;
+use memscale_types::ids::{BankId, RankId};
+use memscale_types::time::Picos;
+
+const RANKS: usize = 2;
+const BANKS: usize = 8;
+
+/// Runs `drive` against a channel built from `cfg`, then audits the recorded
+/// stream against the strict default configuration.
+fn audit_with(cfg: &DramTimingConfig, drive: impl FnOnce(&mut DramChannel)) -> AuditReport {
+    let mut ch = DramChannel::new(cfg, RANKS, BANKS, MemFreq::F800);
+    ch.set_event_recording(true);
+    drive(&mut ch);
+    let events = ch.drain_events();
+    assert!(!events.is_empty(), "the scenario must emit commands");
+    let strict = DramTimingConfig::default();
+    let mut auditor = ProtocolAuditor::new(&strict, 1, RANKS, BANKS, MemFreq::F800);
+    auditor.ingest(&events);
+    auditor.finalize()
+}
+
+fn weakened(mutate: impl FnOnce(&mut DramTimingConfig)) -> DramTimingConfig {
+    let mut cfg = DramTimingConfig::default();
+    mutate(&mut cfg);
+    cfg
+}
+
+fn read(ch: &mut DramChannel, rank: usize, bank: usize, row: u64, now_ns: u64) {
+    ch.service(
+        RankId(rank),
+        BankId(bank),
+        row,
+        AccessKind::Read,
+        Picos::from_ns(now_ns),
+        false,
+    );
+}
+
+fn rules(report: &AuditReport) -> Vec<Rule> {
+    report.violations.iter().map(|v| v.rule).collect()
+}
+
+/// The unperturbed engine must produce a conformant stream across every
+/// command class: reads, writes, row hits, powerdown and a relock.
+#[test]
+fn strict_engine_is_clean() {
+    let report = audit_with(&DramTimingConfig::default(), |ch| {
+        read(ch, 0, 0, 1, 0);
+        ch.service(
+            RankId(0),
+            BankId(1),
+            2,
+            AccessKind::Write,
+            Picos::from_ns(100),
+            false,
+        );
+        // Keep-open row hit pair.
+        ch.service(
+            RankId(1),
+            BankId(0),
+            3,
+            AccessKind::Read,
+            Picos::from_ns(200),
+            true,
+        );
+        read(ch, 1, 0, 3, 300);
+        // Explicit powerdown round-trip.
+        ch.enter_power_down(RankId(0), PowerDownMode::Slow, Picos::from_us(1));
+        read(ch, 0, 2, 5, 2_000);
+        // Frequency relock, then traffic at the new operating point.
+        ch.set_frequency(MemFreq::F400, Picos::from_us(3));
+        read(ch, 0, 3, 6, 7_000);
+        read(ch, 1, 4, 7, 7_100);
+    });
+    assert!(report.is_clean(), "{report}");
+    assert!(report.commands_checked > 10);
+}
+
+#[test]
+fn detects_trcd_mutation() {
+    let cfg = weakened(|c| c.t_rcd_ns = 5.0);
+    let report = audit_with(&cfg, |ch| read(ch, 0, 0, 1, 0));
+    assert!(rules(&report).contains(&Rule::TRcd), "{report}");
+}
+
+#[test]
+fn detects_trp_mutation() {
+    let cfg = weakened(|c| c.t_rp_ns = 2.0);
+    let report = audit_with(&cfg, |ch| {
+        read(ch, 0, 0, 1, 0);
+        // Same bank again: the engine re-activates tRP=2 after the
+        // auto-precharge instead of the strict 15.
+        read(ch, 0, 0, 2, 30);
+    });
+    assert!(rules(&report).contains(&Rule::TRp), "{report}");
+}
+
+#[test]
+fn detects_tras_mutation() {
+    let cfg = weakened(|c| c.t_ras_ns = 10.0);
+    let report = audit_with(&cfg, |ch| read(ch, 0, 0, 1, 0));
+    assert!(rules(&report).contains(&Rule::TRas), "{report}");
+}
+
+#[test]
+fn detects_trtp_mutation() {
+    let cfg = weakened(|c| {
+        c.t_rtp_ns = 1.0;
+        c.t_ras_ns = 1.0; // so tRTP, not tRAS, gates the auto-precharge
+    });
+    let report = audit_with(&cfg, |ch| read(ch, 0, 0, 1, 0));
+    assert!(rules(&report).contains(&Rule::TRtp), "{report}");
+}
+
+#[test]
+fn detects_twr_mutation() {
+    let cfg = weakened(|c| {
+        c.t_wr_ns = 1.0;
+        c.t_ras_ns = 1.0; // so tWR, not tRAS, gates the auto-precharge
+    });
+    let report = audit_with(&cfg, |ch| {
+        ch.service(
+            RankId(0),
+            BankId(0),
+            1,
+            AccessKind::Write,
+            Picos::ZERO,
+            false,
+        );
+    });
+    assert!(rules(&report).contains(&Rule::TWr), "{report}");
+}
+
+#[test]
+fn detects_trrd_mutation() {
+    let cfg = weakened(|c| c.t_rrd_ns = 1.0);
+    let report = audit_with(&cfg, |ch| {
+        read(ch, 0, 0, 1, 0);
+        read(ch, 0, 1, 1, 0);
+    });
+    assert!(rules(&report).contains(&Rule::TRrd), "{report}");
+}
+
+#[test]
+fn detects_tfaw_mutation() {
+    let cfg = weakened(|c| c.t_faw_ns = 12.0);
+    let report = audit_with(&cfg, |ch| {
+        for bank in 0..5 {
+            read(ch, 0, bank, 1, 0);
+        }
+    });
+    let rs = rules(&report);
+    assert!(rs.contains(&Rule::TFaw), "{report}");
+    // tRRD itself was left strict, so the window rule is the one that fires.
+    assert!(!rs.contains(&Rule::TRrd), "{report}");
+}
+
+#[test]
+fn detects_txp_mutation() {
+    let cfg = weakened(|c| c.t_xp_ns = 1.0);
+    let report = audit_with(&cfg, |ch| {
+        ch.enter_power_down(RankId(0), PowerDownMode::Fast, Picos::ZERO);
+        read(ch, 0, 0, 1, 100);
+    });
+    assert!(rules(&report).contains(&Rule::TXp), "{report}");
+}
+
+#[test]
+fn detects_txpdll_mutation() {
+    let cfg = weakened(|c| c.t_xpdll_ns = 2.0);
+    let report = audit_with(&cfg, |ch| {
+        ch.enter_power_down(RankId(0), PowerDownMode::Slow, Picos::ZERO);
+        read(ch, 0, 0, 1, 100);
+    });
+    assert!(rules(&report).contains(&Rule::TXpdll), "{report}");
+}
+
+#[test]
+fn detects_tcl_mutation() {
+    let cfg = weakened(|c| c.t_cl_ns = 5.0);
+    let report = audit_with(&cfg, |ch| read(ch, 0, 0, 1, 0));
+    assert!(rules(&report).contains(&Rule::TCl), "{report}");
+}
+
+#[test]
+fn detects_relock_penalty_mutation() {
+    let cfg = weakened(|c| {
+        c.relock_cycles = 0;
+        c.relock_extra_ns = 1.0;
+    });
+    let report = audit_with(&cfg, |ch| {
+        ch.set_frequency(MemFreq::F200, Picos::from_us(1));
+        read(ch, 0, 0, 1, 1_200);
+    });
+    assert!(rules(&report).contains(&Rule::RelockPenalty), "{report}");
+}
+
+#[test]
+fn detects_trfc_mutation() {
+    let cfg = weakened(|c| c.t_rfc_ns = 10.0);
+    let report = audit_with(&cfg, |ch| {
+        // Far enough past the first scheduled refresh that REFs were issued.
+        read(ch, 0, 0, 1, 30_000);
+    });
+    assert!(rules(&report).contains(&Rule::TRfc), "{report}");
+}
+
+/// The violation report carries enough structure to localize the bug: the
+/// rule, the rank/bank, the offending timestamp and the reference instant.
+#[test]
+fn violations_are_structured() {
+    let cfg = weakened(|c| c.t_rcd_ns = 5.0);
+    let report = audit_with(&cfg, |ch| read(ch, 1, 3, 9, 50));
+    let v = report
+        .violations
+        .iter()
+        .find(|v| v.rule == Rule::TRcd)
+        .expect("tRCD violation");
+    assert_eq!(v.rank, RankId(1));
+    assert_eq!(v.bank, Some(BankId(3)));
+    // ACT at 50 ns, mutated CAS 5 ns later; strict tRCD is 15 ns.
+    assert_eq!(v.reference, Picos::from_ns(50));
+    assert_eq!(v.at, Picos::from_ns(55));
+    assert!(v.detail.contains("tRCD"), "{}", v.detail);
+    let line = v.to_string();
+    assert!(line.contains("rank1") && line.contains("bank3"), "{line}");
+}

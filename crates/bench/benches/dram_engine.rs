@@ -66,5 +66,10 @@ fn bench_frequency_relock(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_service, bench_powerdown_cycle, bench_frequency_relock);
+criterion_group!(
+    benches,
+    bench_service,
+    bench_powerdown_cycle,
+    bench_frequency_relock
+);
 criterion_main!(benches);

@@ -16,7 +16,13 @@ fn profile() -> EpochProfile {
     EpochProfile {
         window: Picos::from_us(300),
         freq: MemFreq::F800,
-        apps: vec![AppSample { tic: 400_000, tlm: 800 }; 16],
+        apps: vec![
+            AppSample {
+                tic: 400_000,
+                tlm: 800
+            };
+            16
+        ],
         mc: McCounters {
             btc: 12_800,
             bto: 4_000,
@@ -80,5 +86,10 @@ fn bench_governor_decide(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_perf_model, bench_power_model, bench_governor_decide);
+criterion_group!(
+    benches,
+    bench_perf_model,
+    bench_power_model,
+    bench_governor_decide
+);
 criterion_main!(benches);

@@ -1,4 +1,7 @@
 //! Regenerates the `ablation_row_policy` extension/ablation artifact. See DESIGN.md.
 fn main() {
-    println!("{}", memscale_bench::exp::ablation_row_policy().to_markdown());
+    println!(
+        "{}",
+        memscale_bench::exp::ablation_row_policy().to_markdown()
+    );
 }

@@ -5,7 +5,7 @@ use memscale_types::time::Picos;
 
 /// Simulated horizon for the headline (Figs 5/6, 9–11) experiments.
 ///
-/// The paper replays 100 M-instruction SimPoints; at our scale a 20 ms
+/// The paper replays 100 M-instruction `SimPoints`; at our scale a 20 ms
 /// baseline (≈ 60–80 M instructions per core) reaches the same steady state
 /// in a fraction of the simulation cost. Fig 7/8 timelines use 100 ms to
 /// expose the apsi phase change.

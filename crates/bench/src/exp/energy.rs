@@ -34,7 +34,11 @@ pub fn fig5(data: &HeadlineDataset) -> Table {
     let mut t = Table::new(
         "fig5",
         "MemScale energy savings per workload, gamma = 10% (Fig 5)",
-        &["Workload", "Full-system energy saved", "Memory energy saved"],
+        &[
+            "Workload",
+            "Full-system energy saved",
+            "Memory energy saved",
+        ],
     );
     let mut mem = Vec::new();
     let mut sys = Vec::new();
@@ -54,11 +58,7 @@ pub fn fig5(data: &HeadlineDataset) -> Table {
             _ => {}
         }
     }
-    t.row(vec![
-        "AVERAGE".into(),
-        pct(mean(&sys)),
-        pct(mean(&mem)),
-    ]);
+    t.row(vec!["AVERAGE".into(), pct(mean(&sys)), pct(mean(&mem))]);
     let min_mem = mem.iter().copied().fold(f64::INFINITY, f64::min);
     let max_mem = mem.iter().copied().fold(0.0f64, f64::max);
     t.check(
@@ -97,11 +97,7 @@ pub fn fig6(data: &HeadlineDataset) -> Table {
         avg_all.push(avg);
         t.row(vec![mix.name.to_string(), pct(avg), pct(worst)]);
     }
-    t.row(vec![
-        "AVERAGE".into(),
-        pct(mean(&avg_all)),
-        String::new(),
-    ]);
+    t.row(vec!["AVERAGE".into(), pct(mean(&avg_all)), String::new()]);
     t.check(
         &format!(
             "no application exceeds the 10% bound plus modeling tolerance (worst {:.1}%)",

@@ -57,7 +57,9 @@ pub fn ext_per_channel() -> Table {
         "per-channel selection respects the performance bound",
         per_ch_worst < 0.115,
     );
-    t.note("Exploratory heuristic (cold channels one step lower); the paper left this to future work.");
+    t.note(
+        "Exploratory heuristic (cold channels one step lower); the paper left this to future work.",
+    );
     t
 }
 
@@ -79,15 +81,17 @@ pub fn ablation_row_policy() -> Table {
     for mix in Mix::by_class(WorkloadClass::Mid) {
         let mut lat = [0.0f64; 2];
         let mut hits = [0u64; 2];
-        for (i, policy) in [RowPolicy::ClosedPage, RowPolicy::OpenPage].iter().enumerate() {
+        for (i, policy) in [RowPolicy::ClosedPage, RowPolicy::OpenPage]
+            .iter()
+            .enumerate()
+        {
             let mut cfg = sweep_cfg();
             cfg.row_policy = *policy;
-            let run = Simulation::new(&mix, PolicyKind::Baseline, &cfg)
-                .run_for(cfg.duration, 0.0);
+            let run = Simulation::new(&mix, PolicyKind::Baseline, &cfg).run_for(cfg.duration, 0.0);
             lat[i] = run
                 .counters
                 .mean_read_latency()
-                .map(|l| l.as_ns_f64())
+                .map(memscale_types::Picos::as_ns_f64)
                 .unwrap_or(0.0);
             hits[i] = run.counters.rbhc;
         }
@@ -146,7 +150,10 @@ pub fn ablation_slack() -> Table {
         "carrying slack across epochs is no worse than resetting",
         mean(&carry_all) >= mean(&reset_all) - 0.01,
     );
-    t.check("reset variant still respects the bound", reset_worst < 0.115);
+    t.check(
+        "reset variant still respects the bound",
+        reset_worst < 0.115,
+    );
     t.note("Fig 3's slack banking lets quiet epochs subsidize deeper scaling later.");
     t
 }

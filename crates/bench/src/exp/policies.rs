@@ -25,10 +25,7 @@ pub fn policy_dataset() -> PolicyDataset {
     let results = PolicyKind::comparison_set()
         .into_iter()
         .map(|policy| {
-            let runs = experiments
-                .iter()
-                .map(|exp| exp.evaluate(policy))
-                .collect();
+            let runs = experiments.iter().map(|exp| exp.evaluate(policy)).collect();
             (policy, runs)
         })
         .collect();
@@ -39,8 +36,18 @@ pub fn policy_dataset() -> PolicyDataset {
 }
 
 fn avg_savings(runs: &[(RunResult, Comparison)]) -> (f64, f64) {
-    let sys = mean(&runs.iter().map(|(_, c)| c.system_savings).collect::<Vec<_>>());
-    let mem = mean(&runs.iter().map(|(_, c)| c.memory_savings).collect::<Vec<_>>());
+    let sys = mean(
+        &runs
+            .iter()
+            .map(|(_, c)| c.system_savings)
+            .collect::<Vec<_>>(),
+    );
+    let mem = mean(
+        &runs
+            .iter()
+            .map(|(_, c)| c.memory_savings)
+            .collect::<Vec<_>>(),
+    );
     (sys, mem)
 }
 
@@ -70,7 +77,10 @@ pub fn fig9(data: &PolicyDataset) -> Table {
         "Fast-PD saves little (paper: 0.3-7.4%)",
         by_name["Fast-PD"] < 0.10 && by_name["Fast-PD"] > -0.02,
     );
-    t.check("Slow-PD loses energy (paper: negative)", by_name["Slow-PD"] < 0.02);
+    t.check(
+        "Slow-PD loses energy (paper: negative)",
+        by_name["Slow-PD"] < 0.02,
+    );
     t.check(
         "adding Fast-PD to MemScale changes little (paper: ~unchanged)",
         (by_name["MemScale + Fast-PD"] - memscale).abs() < 0.05,
@@ -117,7 +127,10 @@ pub fn fig10(data: &PolicyDataset) -> Table {
     };
     add_row(
         "Baseline",
-        data.experiments.iter().map(|e| e.baseline()).collect(),
+        data.experiments
+            .iter()
+            .map(memscale_simulator::Experiment::baseline)
+            .collect(),
     );
     let mut memscale_total = 1.0;
     let mut static_total = 1.0;
@@ -146,7 +159,12 @@ pub fn fig11(data: &PolicyDataset) -> Table {
     );
     let mut worst_by_name = std::collections::HashMap::new();
     for (policy, runs) in &data.results {
-        let avg = mean(&runs.iter().map(|(_, c)| c.avg_cpi_increase()).collect::<Vec<_>>());
+        let avg = mean(
+            &runs
+                .iter()
+                .map(|(_, c)| c.avg_cpi_increase())
+                .collect::<Vec<_>>(),
+        );
         let worst = runs
             .iter()
             .map(|(_, c)| c.max_cpi_increase())

@@ -54,7 +54,11 @@ pub fn fig12() -> Table {
     let mut t = Table::new(
         "fig12",
         "Impact of the CPI bound gamma (Fig 12, MID average)",
-        &["Bound", "System energy reduction", "Worst-case CPI increase"],
+        &[
+            "Bound",
+            "System energy reduction",
+            "Worst-case CPI increase",
+        ],
     );
     let mut by_gamma = Vec::new();
     for gamma in [0.01, 0.05, 0.10, 0.15] {
@@ -81,7 +85,11 @@ pub fn fig13() -> Table {
     let mut t = Table::new(
         "fig13",
         "Impact of the number of channels (Fig 13, MID average)",
-        &["Channels", "System energy reduction", "Worst-case CPI increase"],
+        &[
+            "Channels",
+            "System energy reduction",
+            "Worst-case CPI increase",
+        ],
     );
     let mut series = Vec::new();
     for channels in [4u8, 3, 2] {
@@ -111,7 +119,11 @@ pub fn fig14() -> Table {
     let mut t = Table::new(
         "fig14",
         "Impact of the memory power fraction (Fig 14, MID average)",
-        &["Memory fraction", "System energy reduction", "Worst-case CPI increase"],
+        &[
+            "Memory fraction",
+            "System energy reduction",
+            "Worst-case CPI increase",
+        ],
     );
     let mut series = Vec::new();
     for frac in [0.3, 0.4, 0.5] {
@@ -137,7 +149,11 @@ pub fn fig15() -> Table {
     let mut t = Table::new(
         "fig15",
         "Impact of MC/register power proportionality (Fig 15, MID average)",
-        &["Idle power (of peak)", "System energy reduction", "Worst-case CPI increase"],
+        &[
+            "Idle power (of peak)",
+            "System energy reduction",
+            "Worst-case CPI increase",
+        ],
     );
     let mut series = Vec::new();
     for idle in [0.0, 0.5, 1.0] {
@@ -166,7 +182,12 @@ pub fn sens_epoch() -> Table {
     let mut t = Table::new(
         "sens_epoch",
         "Epoch and profiling-length sensitivity (section 4.2.4, MID average)",
-        &["Epoch", "Profiling", "System energy reduction", "Worst-case CPI increase"],
+        &[
+            "Epoch",
+            "Profiling",
+            "System energy reduction",
+            "Worst-case CPI increase",
+        ],
     );
     let points = [
         (Picos::from_ms(1), Picos::from_us(300)),
@@ -207,7 +228,11 @@ pub fn sens_cores() -> Table {
     let mut t = Table::new(
         "sens_cores",
         "Core-count sensitivity (section 4.2.4, MID average)",
-        &["Cores", "System energy reduction", "Worst-case CPI increase"],
+        &[
+            "Cores",
+            "System energy reduction",
+            "Worst-case CPI increase",
+        ],
     );
     let mut series = Vec::new();
     for cores in [8usize, 16, 32] {

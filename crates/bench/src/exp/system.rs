@@ -43,7 +43,10 @@ pub fn table2() -> Table {
         ("tRTP", format!("{} ns", cfg.timing.t_rtp_ns)),
         ("tRAS", format!("{} ns", cfg.timing.t_ras_ns)),
         ("tRRD", format!("{} ns", cfg.timing.t_rrd_ns)),
-        ("Exit fast powerdown (tXP)", format!("{} ns", cfg.timing.t_xp_ns)),
+        (
+            "Exit fast powerdown (tXP)",
+            format!("{} ns", cfg.timing.t_xp_ns),
+        ),
         (
             "Exit slow powerdown (tXPDLL)",
             format!("{} ns", cfg.timing.t_xpdll_ns),
@@ -67,7 +70,10 @@ pub fn table2() -> Table {
         ),
         (
             "Standby currents (act, pre)",
-            format!("{} mA, {} mA", cfg.power.i_act_stby_ma, cfg.power.i_pre_stby_ma),
+            format!(
+                "{} mA, {} mA",
+                cfg.power.i_act_stby_ma, cfg.power.i_pre_stby_ma
+            ),
         ),
         (
             "Powerdown currents (act, pre)",

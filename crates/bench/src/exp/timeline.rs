@@ -92,23 +92,23 @@ pub fn fig7() -> Table {
             .collect::<Vec<_>>(),
     );
     let freq_early = crate::exp::common::mean(
-        &first_third.iter().map(|s| s.bus_mhz as f64).collect::<Vec<_>>(),
+        &first_third
+            .iter()
+            .map(|s| s.bus_mhz as f64)
+            .collect::<Vec<_>>(),
     );
     let freq_late = crate::exp::common::mean(
-        &last_third.iter().map(|s| s.bus_mhz as f64).collect::<Vec<_>>(),
+        &last_third
+            .iter()
+            .map(|s| s.bus_mhz as f64)
+            .collect::<Vec<_>>(),
     );
     t.check(
-        &format!(
-            "apsi phase change raises its CPI ({:.1} -> {:.1})",
-            apsi_early, apsi_late
-        ),
+        &format!("apsi phase change raises its CPI ({apsi_early:.1} -> {apsi_late:.1})"),
         apsi_late > 1.5 * apsi_early,
     );
     t.check(
-        &format!(
-            "the policy reacts by raising frequency ({:.0} -> {:.0} MHz)",
-            freq_early, freq_late
-        ),
+        &format!("the policy reacts by raising frequency ({freq_early:.0} -> {freq_late:.0} MHz)"),
         freq_late > freq_early,
     );
     t.check(

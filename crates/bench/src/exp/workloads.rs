@@ -67,7 +67,10 @@ pub fn table1() -> Table {
         ]);
     }
     t.check(
-        &format!("mix RPKI within 15% of Table 1 (worst {:.1}%)", worst_err * 100.0),
+        &format!(
+            "mix RPKI within 15% of Table 1 (worst {:.1}%)",
+            worst_err * 100.0
+        ),
         worst_err < 0.15,
     );
     t.note("MID3 differs by design: apsi carries the Fig 7 phase schedule.");

@@ -1,10 +1,9 @@
 //! Result tables and markdown rendering.
 
-use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
 /// One regenerated table/figure.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table {
     /// Experiment id (`fig5`, `table1`, `sens_epoch`, …).
     pub id: String,
@@ -24,7 +23,7 @@ impl Table {
         Table {
             id: id.to_string(),
             title: title.to_string(),
-            header: header.iter().map(|s| s.to_string()).collect(),
+            header: header.iter().map(ToString::to_string).collect(),
             rows: Vec::new(),
             notes: Vec::new(),
         }
@@ -54,7 +53,11 @@ impl Table {
         let _ = writeln!(
             out,
             "|{}|",
-            self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.header
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));

@@ -14,10 +14,9 @@ use memscale_power::PowerModel;
 use memscale_types::config::SystemConfig;
 use memscale_types::freq::MemFreq;
 use memscale_types::time::Picos;
-use serde::{Deserialize, Serialize};
 
 /// What the governor minimizes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EnergyObjective {
     /// Minimize full-system energy (the paper's MemScale).
     #[default]
@@ -27,7 +26,7 @@ pub enum EnergyObjective {
 }
 
 /// Governor parameters (§3.2 defaults).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GovernorConfig {
     /// Maximum allowed CPI degradation γ (default 10 %).
     pub gamma: f64,
@@ -72,7 +71,7 @@ pub struct MemScaleGovernor {
     power: PowerModel,
     slack: SlackTracker,
     rest_w: f64,
-    /// Last measured (ξ_bank, ξ_bus) per operating point, for the §3.3
+    /// Last measured (`ξ_bank`, `ξ_bus`) per operating point, for the §3.3
     /// queue-interpolation refinement.
     xi_observed: [Option<(f64, f64)>; MemFreq::ALL.len()],
 }
@@ -87,8 +86,9 @@ impl MemScaleGovernor {
     pub fn new(sys: &SystemConfig, cfg: GovernorConfig) -> Self {
         let power = PowerModel::new(sys);
         // Provisional rest-of-system estimate from idle memory power.
-        let idle_mem =
-            power.memory_power(&[], &[], Picos::from_ms(1), MemFreq::MAX).total_w();
+        let idle_mem = power
+            .memory_power(&[], &[], Picos::from_ms(1), MemFreq::MAX)
+            .total_w();
         let rest_w = power.rest_of_system_w(idle_mem.max(1.0) + 20.0);
         MemScaleGovernor {
             cfg,
@@ -114,8 +114,7 @@ impl MemScaleGovernor {
         let known: Vec<(f64, f64, f64)> = MemFreq::ALL
             .iter()
             .filter_map(|&g| {
-                self.xi_observed[g.index()]
-                    .map(|(b, c)| (g.cycle().as_ns_f64(), b, c))
+                self.xi_observed[g.index()].map(|(b, c)| (g.cycle().as_ns_f64(), b, c))
             })
             .collect();
         if known.len() < 2 {
@@ -125,7 +124,10 @@ impl MemScaleGovernor {
         let x = f.cycle().as_ns_f64();
         let mut sorted = known;
         sorted.sort_by(|a, b| {
-            (a.0 - x).abs().partial_cmp(&(b.0 - x).abs()).expect("finite")
+            (a.0 - x)
+                .abs()
+                .partial_cmp(&(b.0 - x).abs())
+                .expect("finite")
         });
         let (x0, b0, c0) = sorted[0];
         let (x1, b1, c1) = sorted[1];
@@ -134,14 +136,12 @@ impl MemScaleGovernor {
         }
         let t = (x - x0) / (x1 - x0);
         let _ = profile;
-        Some((
-            (b0 + t * (b1 - b0)).max(1.0),
-            (c0 + t * (c1 - c0)).max(1.0),
-        ))
+        Some(((b0 + t * (b1 - b0)).max(1.0), (c0 + t * (c1 - c0)).max(1.0)))
     }
 
     /// A profile whose controller counters are adjusted so the performance
     /// model sees the interpolated queue factors for frequency `f`.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)] // clamped non-negative
     fn profile_for(&self, profile: &EpochProfile, f: MemFreq) -> EpochProfile {
         let Some((xi_bank, xi_bus)) = self.interpolated_xi(profile, f) else {
             return profile.clone();
@@ -319,7 +319,13 @@ mod tests {
         EpochProfile {
             window: Picos::from_us(300),
             freq: MemFreq::F800,
-            apps: vec![AppSample { tic: 1_000_000, tlm: 200 }; 16],
+            apps: vec![
+                AppSample {
+                    tic: 1_000_000,
+                    tlm: 200
+                };
+                16
+            ],
             mc: McCounters {
                 btc: 3_200,
                 bto: 100,
@@ -345,7 +351,13 @@ mod tests {
         EpochProfile {
             window: Picos::from_us(300),
             freq: MemFreq::F800,
-            apps: vec![AppSample { tic: 60_000, tlm: 1_020 }; 16],
+            apps: vec![
+                AppSample {
+                    tic: 60_000,
+                    tlm: 1_020
+                };
+                16
+            ],
             mc: McCounters {
                 btc: 16_320,
                 bto: 20_000,
@@ -400,7 +412,7 @@ mod tests {
         let mut g = governor(EnergyObjective::FullSystem);
         let p = ilp_profile();
         g.decide(&p); // size the tracker
-        // Simulate epochs that badly overshot: massive negative slack.
+                      // Simulate epochs that badly overshot: massive negative slack.
         for app in 0..16 {
             g.slack.update(app, 1e-3, Picos::from_ms(5));
         }
@@ -456,10 +468,15 @@ mod tests {
         at400.mc.cto *= 3;
         g.end_epoch(&at400);
         // Interpolation must now produce finite, >= 1 factors between them.
-        let xi = g.interpolated_xi(&at800, MemFreq::F600).expect("two points");
+        let xi = g
+            .interpolated_xi(&at800, MemFreq::F600)
+            .expect("two points");
         let lo = 1.0 + at800.mc.bank_queue_avg();
         let hi = 1.0 + at400.mc.bank_queue_avg();
-        assert!(xi.0 >= lo.min(hi) - 1e-9 && xi.0 <= lo.max(hi) + 1e-9, "{xi:?}");
+        assert!(
+            xi.0 >= lo.min(hi) - 1e-9 && xi.0 <= lo.max(hi) + 1e-9,
+            "{xi:?}"
+        );
         // And decide() still returns a safe choice.
         let f = g.decide(&at800);
         assert!(f >= MemFreq::F200);

@@ -10,7 +10,7 @@
 //!
 //! * [`profile`] — the per-epoch counter sample the OS reads (§3.1/§3.2).
 //! * [`perf_model`] — Eqs 2–9: CPI decomposition and the counter-based
-//!   queueing model with transfer blocking (ξ_bank, ξ_bus).
+//!   queueing model with transfer blocking (`ξ_bank`, `ξ_bus`).
 //! * [`slack`] — Eq 1's per-application performance slack, carried across
 //!   epochs.
 //! * [`governor`] — frequency selection: exhaustive search of the ten

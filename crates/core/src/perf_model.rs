@@ -89,8 +89,13 @@ impl PerfModel {
     /// frequency the window ran at: `TPI_cpu = TPI_total − α·TPI_mem(f)`.
     ///
     /// Returns `None` when the app retired no instruction in the window.
-    pub fn tpi_cpu(&self, app: &AppSample, window: Picos, mc: &McCounters, freq: MemFreq)
-        -> Option<f64> {
+    pub fn tpi_cpu(
+        &self,
+        app: &AppSample,
+        window: Picos,
+        mc: &McCounters,
+        freq: MemFreq,
+    ) -> Option<f64> {
         let tpi_total = app.tpi_secs(window)?;
         let mem = app.alpha() * self.tpi_mem(mc, freq);
         // Clamp: measurement noise can make the memory share exceed the
@@ -102,8 +107,7 @@ impl PerfModel {
     /// `target`, from a window profiled at `profile.freq`.
     ///
     /// Returns `None` when the app retired no instruction in the window.
-    pub fn predict_cpi(&self, profile: &EpochProfile, app: usize, target: MemFreq)
-        -> Option<f64> {
+    pub fn predict_cpi(&self, profile: &EpochProfile, app: usize, target: MemFreq) -> Option<f64> {
         let sample = profile.apps.get(app)?;
         let tpi_cpu = self.tpi_cpu(sample, profile.window, &profile.mc, profile.freq)?;
         let tpi = tpi_cpu + sample.alpha() * self.tpi_mem(&profile.mc, target);
@@ -112,8 +116,12 @@ impl PerfModel {
 
     /// Predicted slowdown of `app` at `target` relative to the maximum
     /// frequency: `CPI(target) / CPI(800 MHz)`. ≥ 1 for slower targets.
-    pub fn predict_dilation(&self, profile: &EpochProfile, app: usize, target: MemFreq)
-        -> Option<f64> {
+    pub fn predict_dilation(
+        &self,
+        profile: &EpochProfile,
+        app: usize,
+        target: MemFreq,
+    ) -> Option<f64> {
         let at_target = self.predict_cpi(profile, app, target)?;
         let at_max = self.predict_cpi(profile, app, MemFreq::MAX)?;
         Some(at_target / at_max)
@@ -253,7 +261,11 @@ mod tests {
             tic: 200_000,
             tlm: 3_000,
         };
-        let p = profile(vec![app], counters(2_000, 3_000, 1_500, 3_000), MemFreq::F800);
+        let p = profile(
+            vec![app],
+            counters(2_000, 3_000, 1_500, 3_000),
+            MemFreq::F800,
+        );
         let mut last = 0.0;
         for f in MemFreq::ALL.iter().rev() {
             let d = m.predict_dilation(&p, 0, *f).unwrap();

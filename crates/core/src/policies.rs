@@ -20,10 +20,9 @@ use crate::profile::EpochProfile;
 use memscale_dram::rank::PowerDownMode;
 use memscale_types::config::SystemConfig;
 use memscale_types::freq::MemFreq;
-use serde::{Deserialize, Serialize};
 
 /// Which energy-management scheme to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PolicyKind {
     /// Max frequency, no energy management (the savings reference).
     Baseline,
@@ -95,9 +94,7 @@ impl Policy {
     /// overridden per variant).
     pub fn new(kind: PolicyKind, sys: &SystemConfig, gov: GovernorConfig) -> Self {
         let governor = match kind {
-            PolicyKind::MemScale
-            | PolicyKind::MemScaleFastPd
-            | PolicyKind::MemScalePerChannel => {
+            PolicyKind::MemScale | PolicyKind::MemScaleFastPd | PolicyKind::MemScalePerChannel => {
                 Some(MemScaleGovernor::new(
                     sys,
                     GovernorConfig {
@@ -250,14 +247,17 @@ mod tests {
     fn comparison_set_has_seven_policies() {
         let set = PolicyKind::comparison_set();
         assert_eq!(set.len(), 7);
-        let names: Vec<&str> = set.iter().map(|k| k.name()).collect();
+        let names: Vec<&str> = set.iter().map(super::PolicyKind::name).collect();
         assert!(names.contains(&"MemScale"));
         assert!(names.contains(&"Decoupled"));
     }
 
     #[test]
     fn initial_frequencies() {
-        assert_eq!(policy(PolicyKind::Baseline).initial_frequency(), MemFreq::F800);
+        assert_eq!(
+            policy(PolicyKind::Baseline).initial_frequency(),
+            MemFreq::F800
+        );
         assert_eq!(
             policy(PolicyKind::Static(MemFreq::F467)).initial_frequency(),
             MemFreq::F467
@@ -322,7 +322,13 @@ mod tests {
         let profile = EpochProfile {
             window: Picos::from_us(300),
             freq: MemFreq::F800,
-            apps: vec![crate::profile::AppSample { tic: 1_000_000, tlm: 500 }; 16],
+            apps: vec![
+                crate::profile::AppSample {
+                    tic: 1_000_000,
+                    tlm: 500
+                };
+                16
+            ],
             mc: McCounters {
                 btc: 8_000,
                 ctc: 8_000,

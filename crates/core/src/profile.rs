@@ -4,10 +4,9 @@ use memscale_mc::McCounters;
 use memscale_power::ActivitySummary;
 use memscale_types::freq::MemFreq;
 use memscale_types::time::Picos;
-use serde::{Deserialize, Serialize};
 
 /// Per-application counter activity over one window (TIC/TLM deltas).
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct AppSample {
     /// Instructions committed in the window.
     pub tic: u64,
@@ -69,7 +68,10 @@ mod tests {
 
     #[test]
     fn alpha_and_tpi() {
-        let s = AppSample { tic: 1_000, tlm: 20 };
+        let s = AppSample {
+            tic: 1_000,
+            tlm: 20,
+        };
         assert!((s.alpha() - 0.02).abs() < 1e-12);
         let tpi = s.tpi_secs(Picos::from_us(1)).unwrap();
         assert!((tpi - 1e-9).abs() < 1e-18);

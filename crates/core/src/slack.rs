@@ -6,10 +6,9 @@
 //! negative slack the governor must earn back (Fig 3).
 
 use memscale_types::time::Picos;
-use serde::{Deserialize, Serialize};
 
 /// Tracks accumulated slack, in seconds, for every application of a mix.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SlackTracker {
     gamma: f64,
     slack: Vec<f64>,

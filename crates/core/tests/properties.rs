@@ -131,7 +131,7 @@ proptest! {
         if slack_us >= 0 {
             s.update(0, slack_us as f64 * 1e-6, Picos::ZERO);
         } else {
-            s.update(0, 0.0, Picos::from_us((-slack_us) as u64));
+            s.update(0, 0.0, Picos::from_us((-slack_us).cast_unsigned()));
         }
         let epoch = Picos::from_ms(5);
         let deep = d_mille as f64 / 1_000.0;

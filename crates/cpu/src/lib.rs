@@ -31,10 +31,9 @@
 
 use memscale_types::ids::CoreId;
 use memscale_types::time::Picos;
-use serde::{Deserialize, Serialize};
 
 /// What a core is doing right now.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CoreState {
     /// Retiring instructions; finishes at `until`.
     Computing {
@@ -55,7 +54,7 @@ pub enum CoreState {
 }
 
 /// Snapshot of a core's §3.1 instruction counters.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct CoreCounters {
     /// Total Instructions Committed.
     pub tic: u64,
@@ -83,7 +82,7 @@ impl CoreCounters {
 }
 
 /// One in-order core with a single outstanding LLC miss.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct InOrderCore {
     id: CoreId,
     cpi: f64,
@@ -234,6 +233,7 @@ impl InOrderCore {
 
     /// Instructions retired by time `now`, pro-rating a compute interval in
     /// progress — the basis of the TIC counter at arbitrary sampling points.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)] // frac is in [0, 1]
     pub fn instructions_at(&self, now: Picos) -> u64 {
         match self.state {
             CoreState::Computing {
@@ -244,9 +244,7 @@ impl InOrderCore {
                 let frac = (now.saturating_sub(since)).ratio(until - since);
                 self.instructions_retired + (instructions as f64 * frac) as u64
             }
-            CoreState::Computing { instructions, .. } => {
-                self.instructions_retired + instructions
-            }
+            CoreState::Computing { instructions, .. } => self.instructions_retired + instructions,
             _ => self.instructions_retired,
         }
     }
@@ -343,7 +341,10 @@ mod tests {
         // 1000 instructions in 500 ns at 4 GHz = 2000 cycles -> CPI 2.
         let cpi = c.observed_cpi(&delta, Picos::from_ns(500)).unwrap();
         assert!((cpi - 2.0).abs() < 1e-12);
-        assert_eq!(c.observed_cpi(&CoreCounters::default(), Picos::from_ns(1)), None);
+        assert_eq!(
+            c.observed_cpi(&CoreCounters::default(), Picos::from_ns(1)),
+            None
+        );
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! Offline stand-in for the [`criterion`](https://docs.rs/criterion)
+//! benchmark harness.
+//!
+//! The growth container builds without network access, so this crate
+//! provides the small API surface the workspace's `benches/` targets use:
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`], [`black_box`] and
+//! the `criterion_group!` / `criterion_main!` macros. Under `cargo test`
+//! each benchmark body runs exactly once (a smoke test); under
+//! `cargo bench` (detected via the `--bench` argument cargo passes) each
+//! benchmark is timed over a fixed iteration count and a one-line summary
+//! is printed.
+
+use std::time::Instant;
+
+/// Re-export of the standard optimization barrier.
+pub use std::hint::black_box;
+
+const BENCH_ITERS: u64 = 50;
+
+fn bench_mode() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+/// Timing context handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    bench: bool,
+}
+
+impl Bencher {
+    /// Runs `f` once (test mode) or [`BENCH_ITERS`] times while timing it
+    /// (bench mode), returning the mean wall-clock nanoseconds per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) -> Option<f64> {
+        if !self.bench {
+            black_box(f());
+            return None;
+        }
+        let start = Instant::now();
+        for _ in 0..BENCH_ITERS {
+            black_box(f());
+        }
+        #[allow(clippy::cast_precision_loss)]
+        Some(start.elapsed().as_nanos() as f64 / BENCH_ITERS as f64)
+    }
+}
+
+/// A named set of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    bench: bool,
+}
+
+impl BenchmarkGroup {
+    /// Sets the sample count (accepted for API compatibility; no-op).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Registers and immediately runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher { bench: self.bench };
+        f(&mut b);
+        if self.bench {
+            println!("bench {}/{id}: ran", self.name);
+        }
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility; no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark registry and runner.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            bench: bench_mode(),
+        }
+    }
+
+    /// Registers and immediately runs one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let bench = bench_mode();
+        let mut b = Bencher { bench };
+        let start = Instant::now();
+        f(&mut b);
+        if bench {
+            println!(
+                "bench {id}: {:.1} ms total",
+                start.elapsed().as_secs_f64() * 1e3
+            );
+        }
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(c: &mut Criterion) {
+        c.bench_function("add", |b| {
+            b.iter(|| black_box(2u64) + black_box(3u64));
+        });
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("mul", |b| {
+            b.iter(|| black_box(6u64) * black_box(7u64));
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample);
+
+    #[test]
+    fn runs_once_in_test_mode() {
+        benches();
+    }
+}

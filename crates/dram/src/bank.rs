@@ -6,7 +6,6 @@
 //! the row buffer and the next access is a *row hit*.
 
 use memscale_types::time::Picos;
-use serde::{Deserialize, Serialize};
 
 /// A closed-page *reopen opportunity*: after an access schedules its
 /// auto-precharge, a same-row request arriving before the CAS actually
@@ -17,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// after an access only if another access for the same bank is already
 /// pending" (§4.1) — the keep-open decision is made when the previous
 /// access's CAS (with or without auto-precharge) must be encoded.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HitWindow {
     /// The row that would stay open.
     pub row: u64,
@@ -28,7 +27,7 @@ pub struct HitWindow {
 }
 
 /// State of one DRAM bank.
-#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct Bank {
     /// The row currently latched in the row buffer, if any.
     open_row: Option<u64>,
@@ -40,6 +39,10 @@ pub struct Bank {
     activated: bool,
     /// Pending reopen opportunity (closed-page keep-open semantics).
     hit_window: Option<HitWindow>,
+    /// Earliest time the *next* precharge may issue (read-to-precharge and
+    /// write-recovery constraints, tRTP/tWR). Accumulates across row hits on
+    /// the same open row; reset by the next ACT.
+    pre_constraint: Picos,
 }
 
 impl Bank {
@@ -72,12 +75,26 @@ impl Bank {
         self.hit_window
     }
 
+    /// Earliest time the next precharge may issue (tRTP/tWR constraints of
+    /// the accesses since the last ACT).
+    #[inline]
+    pub fn pre_after(&self) -> Picos {
+        self.pre_constraint
+    }
+
+    /// Defers the next precharge to at least `t` (a read's tRTP or a write's
+    /// tWR recovery point). Accumulates the maximum across row hits.
+    pub fn defer_pre_until(&mut self, t: Picos) {
+        self.pre_constraint = self.pre_constraint.max(t);
+    }
+
     /// Records an ACT that opens `row` at `at`.
     pub fn record_act(&mut self, row: u64, at: Picos) {
         self.open_row = Some(row);
         self.last_act = at;
         self.activated = true;
         self.hit_window = None;
+        self.pre_constraint = Picos::ZERO;
     }
 
     /// Completes an access, leaving the row open (a same-row request is
@@ -182,6 +199,22 @@ mod tests {
         b.reopen(5);
         assert_eq!(b.open_row(), Some(5));
         assert_eq!(b.hit_window(), None);
+    }
+
+    #[test]
+    fn pre_constraint_accumulates_and_resets_on_act() {
+        let mut b = Bank::new();
+        b.record_act(1, Picos::ZERO);
+        b.defer_pre_until(Picos::from_ns(40));
+        b.defer_pre_until(Picos::from_ns(25));
+        assert_eq!(b.pre_after(), Picos::from_ns(40));
+        // A reopen (precharge cancelled) must keep the constraint...
+        b.finish_precharge(Picos::from_ns(60));
+        b.reopen(1);
+        assert_eq!(b.pre_after(), Picos::from_ns(40));
+        // ...but a fresh ACT starts a new window.
+        b.record_act(2, Picos::from_ns(100));
+        assert_eq!(b.pre_after(), Picos::ZERO);
     }
 
     #[test]

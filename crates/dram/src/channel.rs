@@ -10,13 +10,16 @@ use crate::rank::{PowerDownMode, Rank};
 use crate::stats::ChannelStats;
 use crate::timing::TimingSet;
 use memscale_types::config::DramTimingConfig;
+#[cfg(feature = "audit")]
+use memscale_types::events::{CmdEvent, CmdKind};
 use memscale_types::freq::MemFreq;
+#[cfg(feature = "audit")]
+use memscale_types::ids::ChannelId;
 use memscale_types::ids::{BankId, RankId};
 use memscale_types::time::Picos;
-use serde::{Deserialize, Serialize};
 
 /// Whether an access reads a cache line from DRAM or writes one back.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessKind {
     /// LLC miss fill (demand read).
     Read,
@@ -26,7 +29,7 @@ pub enum AccessKind {
 
 /// How an access met the row buffer (feeds the paper's RBHC/OBMC/CBMC
 /// counters).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RowOutcome {
     /// Target row already open — CAS only.
     Hit,
@@ -37,7 +40,7 @@ pub enum RowOutcome {
 }
 
 /// The resolved schedule of one access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AccessTimeline {
     /// Row-buffer outcome.
     pub outcome: RowOutcome,
@@ -57,13 +60,24 @@ pub struct AccessTimeline {
 
 /// One memory channel: ranks, the shared data bus, and the current
 /// frequency-resolved timing.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DramChannel {
     cfg: DramTimingConfig,
     timing: TimingSet,
     ranks: Vec<Rank>,
     bus_free_at: Picos,
     stats: ChannelStats,
+    /// Recorded command events; channel ids are placeholders re-tagged by
+    /// the controller.
+    #[cfg(feature = "audit")]
+    events: Vec<CmdEvent>,
+    /// Whether events are currently being recorded.
+    #[cfg(feature = "audit")]
+    recording: bool,
+    /// Future-dated auto-precharge events not yet committed: a same-row
+    /// reopen may still cancel them. Slot = rank index × banks + bank index.
+    #[cfg(feature = "audit")]
+    pending_pre: Vec<Option<CmdEvent>>,
 }
 
 impl DramChannel {
@@ -76,11 +90,11 @@ impl DramChannel {
     pub fn new(cfg: &DramTimingConfig, ranks: usize, banks: usize, freq: MemFreq) -> Self {
         assert!(ranks > 0 && banks > 0, "channel needs ranks and banks");
         let timing = TimingSet::resolve(cfg, freq);
+        #[cfg(feature = "audit")]
+        let slots = ranks * banks;
         let ranks = (0..ranks)
             .map(|i| {
-                let stagger = Picos::from_ps(
-                    timing.t_refi.as_ps() * (i as u64 + 1) / ranks as u64,
-                );
+                let stagger = Picos::from_ps(timing.t_refi.as_ps() * (i as u64 + 1) / ranks as u64);
                 Rank::new(banks, stagger)
             })
             .collect();
@@ -90,7 +104,54 @@ impl DramChannel {
             ranks,
             bus_free_at: Picos::ZERO,
             stats: ChannelStats::new(),
+            #[cfg(feature = "audit")]
+            events: Vec::new(),
+            #[cfg(feature = "audit")]
+            recording: false,
+            #[cfg(feature = "audit")]
+            pending_pre: vec![None; slots],
         }
+    }
+
+    /// Starts or stops recording command events for the protocol auditor on
+    /// this channel and all its ranks.
+    #[cfg(feature = "audit")]
+    pub fn set_event_recording(&mut self, on: bool) {
+        self.recording = on;
+        for rank in &mut self.ranks {
+            rank.set_event_recording(on);
+        }
+    }
+
+    /// Commits every still-pending auto-precharge into the event log (their
+    /// reopen windows are being abandoned).
+    #[cfg(feature = "audit")]
+    fn commit_pending_pre(&mut self) {
+        for slot in &mut self.pending_pre {
+            if let Some(e) = slot.take() {
+                self.events.push(e);
+            }
+        }
+    }
+
+    /// Drains all recorded events, committing outstanding auto-precharges
+    /// and re-tagging rank-level events with their rank id. Channel ids stay
+    /// `ChannelId(0)` for the controller to re-tag.
+    ///
+    /// Drain once, at end of simulation: committing an auto-precharge
+    /// forfeits its reopen window in the audit stream, so a later same-row
+    /// reopen would disagree with the replay.
+    #[cfg(feature = "audit")]
+    pub fn drain_events(&mut self) -> Vec<CmdEvent> {
+        self.commit_pending_pre();
+        let mut events = std::mem::take(&mut self.events);
+        for (i, rank) in self.ranks.iter_mut().enumerate() {
+            for mut e in rank.drain_events() {
+                e.rank = RankId(i);
+                events.push(e);
+            }
+        }
+        events
     }
 
     /// Current operating point.
@@ -161,6 +222,8 @@ impl DramChannel {
         keep_open: bool,
     ) -> AccessTimeline {
         let t = self.timing;
+        #[cfg(feature = "audit")]
+        let slot = rank.index() * self.ranks[0].bank_count() + bank.index();
         let r = &mut self.ranks[rank.index()];
         // Wake first (powerdown exit + residency accounting anchors at the
         // pre-refresh idle horizon), then catch up on refresh arrears.
@@ -175,6 +238,17 @@ impl DramChannel {
             .hit_window()
             .filter(|w| w.row == row && now < w.until);
 
+        // A reopen cancels the stashed auto-precharge event; any other
+        // access to the bank makes it definitive.
+        #[cfg(feature = "audit")]
+        if self.recording {
+            if reopen.is_some() {
+                self.pending_pre[slot] = None;
+            } else if let Some(e) = self.pending_pre[slot].take() {
+                self.events.push(e);
+            }
+        }
+
         // Resolve the row-buffer outcome and the command schedule.
         let (outcome, act_at, cas_ready) = if let Some(w) = reopen {
             r.bank_mut(bank).reopen(row);
@@ -184,9 +258,20 @@ impl DramChannel {
             match r.bank(bank).open_row() {
                 Some(open) if open == row => (RowOutcome::Hit, None, t0),
                 Some(_) => {
-                    // Explicit precharge, then activate.
+                    // Explicit precharge, then activate. The precharge must
+                    // clear the open row's tRAS/tRTP/tWR constraints.
                     let last_act = r.bank(bank).last_act().unwrap_or(t0);
-                    let pre_at = t0.max(last_act + t.t_ras);
+                    let pre_at = t0.max(last_act + t.t_ras).max(r.bank(bank).pre_after());
+                    #[cfg(feature = "audit")]
+                    if self.recording {
+                        self.events.push(CmdEvent {
+                            at: pre_at,
+                            channel: ChannelId(0),
+                            rank,
+                            bank: Some(bank),
+                            kind: CmdKind::Precharge,
+                        });
+                    }
                     let act = r.earliest_act(pre_at + t.t_rp, &t);
                     (RowOutcome::OpenMiss, Some(act), act + t.t_rcd)
                 }
@@ -199,6 +284,16 @@ impl DramChannel {
         if let Some(act) = act_at {
             r.record_act(act);
             r.bank_mut(bank).record_act(row, act);
+            #[cfg(feature = "audit")]
+            if self.recording {
+                self.events.push(CmdEvent {
+                    at: act,
+                    channel: ChannelId(0),
+                    rank,
+                    bank: Some(bank),
+                    kind: CmdKind::Activate { row },
+                });
+            }
         }
 
         // Data burst: CAS latency, then wait for the bus (transfer blocking).
@@ -208,10 +303,36 @@ impl DramChannel {
         self.bus_free_at = data_end;
         // The CAS the device actually saw, accounting for bus back-pressure.
         let cas_at = data_start - t.t_cl;
+        #[cfg(feature = "audit")]
+        if self.recording {
+            self.events.push(CmdEvent {
+                at: cas_at,
+                channel: ChannelId(0),
+                rank,
+                bank: Some(bank),
+                kind: match kind {
+                    AccessKind::Read => CmdKind::CasRead {
+                        burst_start: data_start,
+                        burst_end: data_end,
+                    },
+                    AccessKind::Write => CmdKind::CasWrite {
+                        burst_start: data_start,
+                        burst_end: data_end,
+                    },
+                },
+            });
+        }
 
         // Row management: keep open for a pending same-row request, else
-        // auto-precharge and arm a reopen opportunity.
+        // auto-precharge and arm a reopen opportunity. Either way the bank's
+        // next precharge must respect this access's read-to-precharge or
+        // write-recovery point (it accumulates across row hits).
         let activity_start = act_at.unwrap_or(cas_at);
+        let pre_term = match kind {
+            AccessKind::Read => cas_at + t.t_rtp,
+            AccessKind::Write => data_end + t.t_wr,
+        };
+        r.bank_mut(bank).defer_pre_until(pre_term);
         let bank_free_at;
         if keep_open {
             bank_free_at = data_end;
@@ -219,18 +340,26 @@ impl DramChannel {
             r.stats_mut().add_active_interval(activity_start, data_end);
         } else {
             let anchor = act_at.or(r.bank(bank).last_act()).unwrap_or(cas_at);
-            let pre_at = match kind {
-                AccessKind::Read => (cas_at + t.t_rtp).max(anchor + t.t_ras),
-                AccessKind::Write => (data_end + t.t_wr).max(anchor + t.t_ras),
-            };
+            let pre_at = r.bank(bank).pre_after().max(anchor + t.t_ras);
             bank_free_at = pre_at + t.t_rp;
             r.bank_mut(bank).finish_precharge(bank_free_at);
+            #[cfg(feature = "audit")]
+            if self.recording {
+                self.pending_pre[slot] = Some(CmdEvent {
+                    at: pre_at,
+                    channel: ChannelId(0),
+                    rank,
+                    bank: Some(bank),
+                    kind: CmdKind::Precharge,
+                });
+            }
             r.bank_mut(bank).arm_hit_window(crate::bank::HitWindow {
                 row,
                 cas_from: cas_at + t.burst,
                 until: cas_at,
             });
-            r.stats_mut().add_active_interval(activity_start, bank_free_at);
+            r.stats_mut()
+                .add_active_interval(activity_start, bank_free_at);
         }
         r.note_activity(bank_free_at.max(data_end));
 
@@ -270,13 +399,32 @@ impl DramChannel {
         if freq == self.timing.freq {
             return now;
         }
+        // The switch cannot begin while data is still in flight: drained
+        // writebacks may hold the bus past `now`.
+        let start = now.max(self.bus_free_at);
         let penalty = TimingSet::relock_penalty(&self.cfg, freq);
-        let ready = now + penalty;
+        let ready = start + penalty;
+        #[cfg(feature = "audit")]
+        if self.recording {
+            // The relock quiesces every bank, abandoning reopen windows.
+            self.commit_pending_pre();
+            self.events.push(CmdEvent {
+                at: start,
+                channel: ChannelId(0),
+                rank: RankId(0),
+                bank: None,
+                kind: CmdKind::FreqSwitch {
+                    from_mhz: self.timing.freq.mhz(),
+                    to_mhz: freq.mhz(),
+                    ready,
+                },
+            });
+        }
         self.timing = TimingSet::resolve(&self.cfg, freq);
         for rank in &mut self.ranks {
-            rank.relock(now, ready);
+            rank.relock(start, ready);
         }
-        self.bus_free_at = self.bus_free_at.max(ready);
+        self.bus_free_at = ready;
         self.stats.relocks += 1;
         self.stats.relock_time += penalty;
         ready
@@ -353,14 +501,7 @@ mod tests {
     fn row_hit_skips_activate() {
         let mut ch = channel();
         // First access keeps the row open for a pending same-row request.
-        ch.service(
-            RankId(0),
-            BankId(0),
-            7,
-            AccessKind::Read,
-            Picos::ZERO,
-            true,
-        );
+        ch.service(RankId(0), BankId(0), 7, AccessKind::Read, Picos::ZERO, true);
         let t = read(&mut ch, 0, 0, 7, 40);
         assert_eq!(t.outcome, RowOutcome::Hit);
         assert_eq!(t.act_at, None);
@@ -371,14 +512,7 @@ mod tests {
     #[test]
     fn open_miss_pays_precharge() {
         let mut ch = channel();
-        ch.service(
-            RankId(0),
-            BankId(0),
-            7,
-            AccessKind::Read,
-            Picos::ZERO,
-            true,
-        );
+        ch.service(RankId(0), BankId(0), 7, AccessKind::Read, Picos::ZERO, true);
         // Different row: must wait tRAS from ACT(0), precharge, activate.
         let t = read(&mut ch, 0, 0, 9, 40);
         assert_eq!(t.outcome, RowOutcome::OpenMiss);
@@ -475,7 +609,7 @@ mod tests {
         let mut ch = channel();
         // Access far past the first scheduled refresh of rank 0.
         let t = read(&mut ch, 0, 0, 1, 20_000); // 20 us
-        // At least one refresh must have been processed.
+                                                // At least one refresh must have been processed.
         assert!(ch.rank_stats(RankId(0)).refresh_count >= 1);
         assert!(t.act_at.unwrap() >= Picos::from_us(20));
     }

@@ -7,13 +7,16 @@
 use crate::bank::Bank;
 use crate::stats::RankStats;
 use crate::timing::TimingSet;
+#[cfg(feature = "audit")]
+use memscale_types::events::{CmdEvent, CmdKind};
 use memscale_types::ids::BankId;
+#[cfg(feature = "audit")]
+use memscale_types::ids::{ChannelId, RankId};
 use memscale_types::time::Picos;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Which precharge-powerdown flavor a rank is put into.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PowerDownMode {
     /// Fast-exit precharge powerdown (exit costs tXP ≈ 6 ns).
     Fast,
@@ -21,7 +24,7 @@ pub enum PowerDownMode {
     Slow,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum PowerState {
     Up,
     Down(PowerDownMode),
@@ -32,7 +35,7 @@ enum PowerState {
 const MAX_PENDING_REFRESH: u64 = 8;
 
 /// One DRAM rank: a set of banks plus rank-wide constraints and state.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Rank {
     banks: Vec<Bank>,
     /// Issue times of recent ACTs (bounded by 4 for the tFAW window).
@@ -54,6 +57,17 @@ pub struct Rank {
     /// Time up to which auto-powerdown residency has been accounted.
     pd_accounted_until: Picos,
     stats: RankStats,
+    /// Recorded command events; channel/rank ids are placeholders re-tagged
+    /// by the owning channel and controller.
+    #[cfg(feature = "audit")]
+    events: Vec<CmdEvent>,
+    /// Whether events are currently being recorded.
+    #[cfg(feature = "audit")]
+    recording: bool,
+    /// End of the last emitted REF event, so replayed refreshes stay
+    /// non-overlapping in the audit stream.
+    #[cfg(feature = "audit")]
+    audit_last_ref_end: Picos,
 }
 
 impl Rank {
@@ -72,6 +86,39 @@ impl Rank {
             activity_horizon: Picos::ZERO,
             pd_accounted_until: Picos::ZERO,
             stats: RankStats::new(),
+            #[cfg(feature = "audit")]
+            events: Vec::new(),
+            #[cfg(feature = "audit")]
+            recording: false,
+            #[cfg(feature = "audit")]
+            audit_last_ref_end: Picos::ZERO,
+        }
+    }
+
+    /// Starts or stops recording command events for the protocol auditor.
+    #[cfg(feature = "audit")]
+    pub fn set_event_recording(&mut self, on: bool) {
+        self.recording = on;
+    }
+
+    /// Drains the recorded events. Rank ids are left at `RankId(0)` for the
+    /// owning channel to re-tag.
+    #[cfg(feature = "audit")]
+    pub fn drain_events(&mut self) -> Vec<CmdEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Records one command event (no-op unless recording).
+    #[cfg(feature = "audit")]
+    fn emit(&mut self, at: Picos, kind: CmdKind) {
+        if self.recording {
+            self.events.push(CmdEvent {
+                at,
+                channel: ChannelId(0),
+                rank: RankId(0),
+                bank: None,
+                kind,
+            });
         }
     }
 
@@ -201,6 +248,16 @@ impl Rank {
             let skip = behind - MAX_PENDING_REFRESH;
             self.stats.refresh_count += skip;
             self.stats.refresh_time += t.t_rfc * skip;
+            #[cfg(feature = "audit")]
+            if self.recording {
+                let mut sched = self.next_refresh;
+                for _ in 0..skip {
+                    let at = sched.max(self.busy_until).max(self.audit_last_ref_end);
+                    self.emit(at, CmdKind::Refresh { end: at + t.t_rfc });
+                    self.audit_last_ref_end = at + t.t_rfc;
+                    sched += t.t_refi;
+                }
+            }
             self.next_refresh += Picos::from_ps(skip * refi);
         }
         // Remaining commands run back-to-back from their due times; only a
@@ -208,6 +265,14 @@ impl Rank {
         while self.next_refresh <= now {
             let start = self.next_refresh.max(self.busy_until);
             let end = start + t.t_rfc;
+            #[cfg(feature = "audit")]
+            {
+                let at = start.max(self.audit_last_ref_end);
+                self.emit(at, CmdKind::Refresh { end: at + t.t_rfc });
+                if self.recording {
+                    self.audit_last_ref_end = at + t.t_rfc;
+                }
+            }
             self.busy_until = self.busy_until.max(end);
             self.stats.refresh_count += 1;
             self.stats.refresh_time += t.t_rfc;
@@ -223,12 +288,30 @@ impl Rank {
         match self.state {
             PowerState::Up => {
                 if self.settle_auto_pd(now) {
-                    let exit = match self.auto_pd.expect("settled implies mode") {
+                    let mode = self.auto_pd.expect("settled implies mode");
+                    let exit = match mode {
                         PowerDownMode::Fast => t.t_xp,
                         PowerDownMode::Slow => t.t_xpdll,
                     };
                     self.stats.pd_exits += 1;
-                    (now.max(self.busy_until) + exit, true)
+                    let ready = now.max(self.busy_until) + exit;
+                    // The auto-powerdown entry is synthesized retroactively:
+                    // the rank dropped CKE at its last activity horizon.
+                    #[cfg(feature = "audit")]
+                    {
+                        let fast = matches!(mode, PowerDownMode::Fast);
+                        let entered_at = self.activity_horizon;
+                        self.emit(entered_at, CmdKind::PowerDownEnter { fast });
+                        self.emit(
+                            now,
+                            CmdKind::PowerDownExit {
+                                fast,
+                                entered_at,
+                                ready,
+                            },
+                        );
+                    }
+                    (ready, true)
                 } else {
                     (now.max(self.busy_until), false)
                 }
@@ -238,10 +321,22 @@ impl Rank {
                     PowerDownMode::Fast => t.t_xp,
                     PowerDownMode::Slow => t.t_xpdll,
                 };
+                #[cfg(feature = "audit")]
+                let entered_at = self.pd_since;
                 self.flush_pd(now);
                 self.state = PowerState::Up;
                 self.stats.pd_exits += 1;
-                (now.max(self.busy_until) + exit, true)
+                let ready = now.max(self.busy_until) + exit;
+                #[cfg(feature = "audit")]
+                self.emit(
+                    now,
+                    CmdKind::PowerDownExit {
+                        fast: matches!(mode, PowerDownMode::Fast),
+                        entered_at,
+                        ready,
+                    },
+                );
+                (ready, true)
             }
         }
     }
@@ -266,6 +361,13 @@ impl Rank {
         assert!(self.can_power_down(now), "rank not idle at {now}");
         self.state = PowerState::Down(mode);
         self.pd_since = now;
+        #[cfg(feature = "audit")]
+        self.emit(
+            now,
+            CmdKind::PowerDownEnter {
+                fast: matches!(mode, PowerDownMode::Fast),
+            },
+        );
     }
 
     /// Flushes accumulated powerdown residency into the statistics without

@@ -6,10 +6,9 @@
 //! power-modeling counters are sampled each epoch (§3.1).
 
 use memscale_types::time::Picos;
-use serde::{Deserialize, Serialize};
 
 /// Activity accumulated by one rank since construction.
-#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct RankStats {
     /// ACT commands issued.
     pub act_count: u64,
@@ -108,7 +107,7 @@ impl RankStats {
 }
 
 /// Activity accumulated by one channel since construction.
-#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct ChannelStats {
     /// Read requests serviced.
     pub reads: u64,

@@ -8,10 +8,9 @@
 use memscale_types::config::DramTimingConfig;
 use memscale_types::freq::MemFreq;
 use memscale_types::time::Picos;
-use serde::{Deserialize, Serialize};
 
 /// All latencies the access engine needs, resolved at one frequency.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TimingSet {
     /// The operating point these latencies were resolved at.
     pub freq: MemFreq,

@@ -1,0 +1,154 @@
+//! Property tests using the protocol auditor as an independent oracle.
+//!
+//! The access engine in `channel.rs` derives each command's issue time from
+//! incremental per-bank/per-rank state; the auditor replays the recorded
+//! command stream against a from-scratch model of the same DDR3 rules. Any
+//! random access stream — including streams with frequency switches landing
+//! in the middle of open `tFAW`/`tRRD` activate windows — must replay clean.
+
+use memscale_audit::{ProtocolAuditor, Rule};
+use memscale_dram::channel::{AccessKind, DramChannel};
+use memscale_types::config::DramTimingConfig;
+use memscale_types::freq::MemFreq;
+use memscale_types::ids::{BankId, RankId};
+use memscale_types::time::Picos;
+use proptest::prelude::*;
+
+const RANKS: usize = 4;
+const BANKS: usize = 8;
+
+#[derive(Debug, Clone)]
+struct Access {
+    rank: usize,
+    bank: usize,
+    row: u64,
+    write: bool,
+    keep_open: bool,
+    gap_ns: u64,
+}
+
+fn access_strategy() -> impl Strategy<Value = Access> {
+    (
+        0usize..RANKS,
+        0usize..BANKS,
+        0u64..64,
+        any::<bool>(),
+        any::<bool>(),
+        0u64..200,
+    )
+        .prop_map(|(rank, bank, row, write, keep_open, gap_ns)| Access {
+            rank,
+            bank,
+            row,
+            write,
+            keep_open,
+            gap_ns,
+        })
+}
+
+/// Replays `accesses` through a recording channel, injecting a frequency
+/// switch before every access whose index is in `switch_points` (targeting a
+/// pseudo-random operating point derived from the access), then audits the
+/// stream against the same configuration.
+fn run_and_audit(
+    accesses: &[Access],
+    switch_every: usize,
+    initial: MemFreq,
+) -> memscale_audit::AuditReport {
+    let cfg = DramTimingConfig::default();
+    let mut ch = DramChannel::new(&cfg, RANKS, BANKS, initial);
+    ch.set_event_recording(true);
+    let mut now = Picos::ZERO;
+    for (i, a) in accesses.iter().enumerate() {
+        now += Picos::from_ns(a.gap_ns);
+        if switch_every > 0 && i % switch_every == switch_every - 1 {
+            let target = MemFreq::ALL[(usize::try_from(a.row).unwrap() + i) % MemFreq::ALL.len()];
+            ch.set_frequency(target, now);
+        }
+        let kind = if a.write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        ch.service(
+            RankId(a.rank),
+            BankId(a.bank),
+            a.row,
+            kind,
+            now,
+            a.keep_open,
+        );
+    }
+    let events = ch.drain_events();
+    let mut auditor = ProtocolAuditor::new(&cfg, 1, RANKS, BANKS, initial);
+    auditor.ingest(&events);
+    auditor.finalize()
+}
+
+fn freq_strategy() -> impl Strategy<Value = MemFreq> {
+    (0usize..MemFreq::ALL.len()).prop_map(|i| MemFreq::ALL[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary read/write/keep-open streams replay with zero violations.
+    #[test]
+    fn random_streams_conform(
+        accesses in prop::collection::vec(access_strategy(), 1..150),
+        initial in freq_strategy(),
+    ) {
+        let report = run_and_audit(&accesses, 0, initial);
+        prop_assert!(report.is_clean(), "{}", report);
+        prop_assert!(report.commands_checked >= accesses.len());
+    }
+
+    /// Frequency switches landing mid-stream — including inside open tFAW
+    /// four-activate windows and tRRD spacing chains — never produce a
+    /// protocol violation: the relock must quiesce the channel first.
+    #[test]
+    fn freq_switches_inside_act_windows_conform(
+        accesses in prop::collection::vec(access_strategy(), 8..120),
+        switch_every in 2usize..9,
+        initial in freq_strategy(),
+    ) {
+        let report = run_and_audit(&accesses, switch_every, initial);
+        prop_assert!(report.is_clean(), "{}", report);
+    }
+
+    /// Dense same-rank activate bursts right up against a switch: the
+    /// specific tFAW/tRRD rules stay silent.
+    #[test]
+    fn tfaw_window_survives_a_switch(
+        rows in prop::collection::vec(0u64..64, 5..12),
+        switch_at in 1usize..5,
+        target in freq_strategy(),
+    ) {
+        let cfg = DramTimingConfig::default();
+        let mut ch = DramChannel::new(&cfg, RANKS, BANKS, MemFreq::F800);
+        ch.set_event_recording(true);
+        // All ACTs on one rank, distinct banks, dispatched at the same
+        // instant: the engine must space them by tRRD/tFAW on its own.
+        for (i, &row) in rows.iter().enumerate() {
+            if i == switch_at {
+                ch.set_frequency(target, Picos::from_ns(1));
+            }
+            ch.service(
+                RankId(0),
+                BankId(i % BANKS),
+                row,
+                AccessKind::Read,
+                Picos::from_ns(1),
+                false,
+            );
+        }
+        let events = ch.drain_events();
+        let mut auditor = ProtocolAuditor::new(&cfg, 1, RANKS, BANKS, MemFreq::F800);
+        auditor.ingest(&events);
+        let report = auditor.finalize();
+        let fired: Vec<Rule> = report.violations.iter().map(|v| v.rule).collect();
+        prop_assert!(!fired.contains(&Rule::TFaw), "{}", report);
+        prop_assert!(!fired.contains(&Rule::TRrd), "{}", report);
+        prop_assert!(report.is_clean(), "{}", report);
+    }
+}

@@ -19,7 +19,7 @@ const WB_CAPACITY: usize = 32;
 ///
 /// The paper uses closed-page management (§4.1, better for multicore);
 /// open-page is provided for the DESIGN.md §5 ablation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum RowPolicy {
     /// Precharge after every access unless a same-row request is pending.
     #[default]
@@ -274,7 +274,10 @@ impl MemoryController {
 
     /// The operating point of every channel.
     pub fn channel_frequencies(&self) -> Vec<MemFreq> {
-        self.channels.iter().map(|c| c.frequency()).collect()
+        self.channels
+            .iter()
+            .map(memscale_dram::DramChannel::frequency)
+            .collect()
     }
 
     /// Per-channel data-bus utilization over the window since `snapshots`
@@ -283,11 +286,7 @@ impl MemoryController {
     /// # Panics
     ///
     /// Panics if `snapshots` length differs from the channel count.
-    pub fn channel_utilizations(
-        &self,
-        snapshots: &[ChannelStats],
-        window: Picos,
-    ) -> Vec<f64> {
+    pub fn channel_utilizations(&self, snapshots: &[ChannelStats], window: Picos) -> Vec<f64> {
         assert_eq!(snapshots.len(), self.channels.len());
         self.channels
             .iter()
@@ -343,6 +342,30 @@ impl MemoryController {
     /// Snapshot of every channel's cumulative statistics.
     pub fn channel_stats(&self) -> Vec<ChannelStats> {
         self.channels.iter().map(|c| c.stats().clone()).collect()
+    }
+
+    /// Starts or stops DRAM command-event recording on every channel (for
+    /// the `memscale-audit` conformance checker).
+    #[cfg(feature = "audit")]
+    pub fn set_event_recording(&mut self, on: bool) {
+        for channel in &mut self.channels {
+            channel.set_event_recording(on);
+        }
+    }
+
+    /// Drains every channel's recorded command events, re-tagged with their
+    /// channel ids. Drain once, at end of simulation (see
+    /// [`DramChannel::drain_events`]).
+    #[cfg(feature = "audit")]
+    pub fn drain_command_events(&mut self) -> Vec<memscale_types::events::CmdEvent> {
+        let mut events = Vec::new();
+        for (i, channel) in self.channels.iter_mut().enumerate() {
+            for mut e in channel.drain_events() {
+                e.channel = ChannelId(i);
+                events.push(e);
+            }
+        }
+        events
     }
 }
 

@@ -4,11 +4,10 @@
 //! that averages (not per-bank/per-channel counts) suffice for the model.
 
 use memscale_types::time::Picos;
-use serde::{Deserialize, Serialize};
 
 /// Monotonic controller counters; snapshot and subtract with
 /// [`McCounters::delta`] at epoch/profiling boundaries.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct McCounters {
     /// Bank Transactions Outstanding: sum over arrivals of the number of
     /// requests already queued/in service for the same bank.
@@ -62,7 +61,7 @@ impl McCounters {
     }
 
     /// Average number of same-bank requests an arrival finds ahead of it
-    /// (BTO/BTC; the paper's ξ_bank minus the request itself).
+    /// (BTO/BTC; the paper's `ξ_bank` minus the request itself).
     pub fn bank_queue_avg(&self) -> f64 {
         if self.btc == 0 {
             0.0

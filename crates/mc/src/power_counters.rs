@@ -11,10 +11,9 @@
 
 use memscale_dram::stats::RankStats;
 use memscale_types::time::Picos;
-use serde::{Deserialize, Serialize};
 
 /// The paper's power-model counter sample over one window.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
 pub struct PowerCounters {
     /// PTC: fraction of time all banks of a rank are precharged
     /// (rank-averaged), in `[0, 1]`.
@@ -97,11 +96,7 @@ mod tests {
 
     #[test]
     fn averages_across_ranks() {
-        let p = PowerCounters::sample(
-            &[delta(1_000, 0), delta(0, 0)],
-            0,
-            Picos::from_ms(1),
-        );
+        let p = PowerCounters::sample(&[delta(1_000, 0), delta(0, 0)], 0, Picos::from_ms(1));
         assert!((p.ptc - 0.5).abs() < 1e-12);
     }
 

@@ -23,6 +23,8 @@ pub struct PendingWriteback {
 pub struct WritebackQueue {
     entries: VecDeque<PendingWriteback>,
     capacity: usize,
+    /// Highest occupancy ever reached (sizing/diagnostic counter).
+    high_water: usize,
 }
 
 impl WritebackQueue {
@@ -36,7 +38,14 @@ impl WritebackQueue {
         WritebackQueue {
             entries: VecDeque::with_capacity(capacity),
             capacity,
+            high_water: 0,
         }
+    }
+
+    /// Highest occupancy the queue has ever reached.
+    #[inline]
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 
     /// Queue capacity.
@@ -65,7 +74,9 @@ impl WritebackQueue {
 
     /// Enqueues a writeback.
     pub fn push(&mut self, addr: PhysAddr, now: Picos) {
-        self.entries.push_back(PendingWriteback { addr, arrived: now });
+        self.entries
+            .push_back(PendingWriteback { addr, arrived: now });
+        self.high_water = self.high_water.max(self.entries.len());
     }
 
     /// Removes the oldest writeback for servicing.
@@ -108,6 +119,20 @@ mod tests {
         assert!(!q.over_half()); // 2*2=4 < 5
         q.push(PhysAddr::new(128), Picos::ZERO);
         assert!(q.over_half()); // 3*2=6 >= 5
+    }
+
+    #[test]
+    fn high_water_tracks_peak_occupancy() {
+        let mut q = WritebackQueue::new(8);
+        assert_eq!(q.high_water(), 0);
+        q.push(PhysAddr::new(0), Picos::ZERO);
+        q.push(PhysAddr::new(64), Picos::ZERO);
+        q.pop();
+        q.push(PhysAddr::new(128), Picos::ZERO);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.high_water(), 2); // peak, not current
+        q.push(PhysAddr::new(192), Picos::ZERO);
+        assert_eq!(q.high_water(), 3);
     }
 
     #[test]

@@ -1,11 +1,10 @@
 //! Power-breakdown structs matching the categories of Figs 2 and 10.
 
-use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign};
 
 /// Instantaneous memory-subsystem power, split by the paper's categories
 /// (W). Fig 2 plots exactly these six components.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
 pub struct MemoryPowerBreakdown {
     /// DRAM background power: standby + powerdown + refresh.
     pub background_w: f64,

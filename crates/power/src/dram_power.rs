@@ -139,11 +139,7 @@ mod tests {
     use super::*;
 
     fn calc() -> DramPowerCalc {
-        DramPowerCalc::new(
-            &PowerConfig::default(),
-            &DramTimingConfig::default(),
-            9,
-        )
+        DramPowerCalc::new(&PowerConfig::default(), &DramTimingConfig::default(), 9)
     }
 
     #[test]
@@ -190,7 +186,9 @@ mod tests {
         let mut delta = RankStats::new();
         delta.fast_pd_time = w; // fully powered down
         let pd = c.rank_power(&delta, w, MemFreq::F800).background_w;
-        let up = c.rank_power(&RankStats::new(), w, MemFreq::F800).background_w;
+        let up = c
+            .rank_power(&RankStats::new(), w, MemFreq::F800)
+            .background_w;
         assert!(pd < up);
         assert_eq!(pd, c.powerdown_power_w(MemFreq::F800));
     }

@@ -7,10 +7,9 @@
 
 use crate::breakdown::MemoryPowerBreakdown;
 use memscale_types::time::Picos;
-use serde::{Deserialize, Serialize};
 
 /// Accumulated energy of one run, by component (joules).
-#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
 pub struct EnergyAccount {
     /// Per-category memory energy; field values are joules, not watts.
     pub memory_j: MemoryPowerBreakdown,

@@ -189,11 +189,10 @@ impl PowerModel {
         let f_pd = s.pd_frac.clamp(0.0, 1.0);
         let f_act = s.active_frac.clamp(0.0, 1.0 - f_pd);
         let f_pre = (1.0 - f_pd - f_act).max(0.0);
-        let standby_per_rank = chips
-            * v
-            * (p.i_act_stby_ma * f_act + p.i_pre_stby_ma * f_pre + p.i_pre_pd_ma * f_pd)
-            / 1_000.0
-            * scale;
+        let standby_per_rank =
+            chips * v * (p.i_act_stby_ma * f_act + p.i_pre_stby_ma * f_pre + p.i_pre_pd_ma * f_pd)
+                / 1_000.0
+                * scale;
         let background_w = (standby_per_rank + self.calc.refresh_power_w()) * n_ranks;
 
         let act_pre_w = self.calc.act_pre_energy_j() * s.act_rate_hz;
@@ -202,8 +201,7 @@ impl PowerModel {
             * n_ranks;
 
         let other_dimms = (t.dimms_per_channel as f64 - 1.0).max(0.0);
-        let term_w =
-            p.term_w_per_dimm * other_dimms * s.bus_util * t.channels as f64;
+        let term_w = p.term_w_per_dimm * other_dimms * s.bus_util * t.channels as f64;
 
         MemoryPowerBreakdown {
             background_w,
@@ -240,7 +238,7 @@ mod tests {
         let hi = m.mc_power_w(0.0, MemFreq::F800);
         let lo = m.mc_power_w(0.0, MemFreq::F200);
         assert_eq!(hi, 7.5); // idle at max V/f
-        // V scales 1.2 -> 0.65, f scales 4x: expect (0.65/1.2)^2 * 0.25.
+                             // V scales 1.2 -> 0.65, f scales 4x: expect (0.65/1.2)^2 * 0.25.
         let expect = 7.5 * (0.65f64 / 1.2).powi(2) * 0.25;
         assert!((lo - expect).abs() < 1e-9, "{lo} vs {expect}");
         assert!(lo < hi / 10.0, "MC DVFS should be super-linear");
@@ -278,7 +276,7 @@ mod tests {
         assert_eq!(p.mc_w, 7.5);
         assert_eq!(p.pll_w, 4.0); // 8 DIMMs x 0.5 W
         assert_eq!(p.reg_w, 2.0); // 8 DIMMs x 0.25 W idle
-        // Total idle memory power should be a plausible server figure.
+                                  // Total idle memory power should be a plausible server figure.
         assert!(p.total_w() > 25.0 && p.total_w() < 45.0, "{}", p.total_w());
     }
 

@@ -8,10 +8,9 @@
 
 use memscale_dram::stats::{ChannelStats, RankStats};
 use memscale_types::time::Picos;
-use serde::{Deserialize, Serialize};
 
 /// System-level memory activity over one window.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
 pub struct ActivitySummary {
     /// Window length.
     pub window: Picos,
@@ -146,11 +145,8 @@ mod tests {
     fn empty_inputs_give_zero() {
         let s = ActivitySummary::from_deltas(&[], &[], Picos::from_ms(1));
         assert_eq!(s, ActivitySummary::default());
-        let s = ActivitySummary::from_deltas(
-            &[RankStats::new()],
-            &[ChannelStats::new()],
-            Picos::ZERO,
-        );
+        let s =
+            ActivitySummary::from_deltas(&[RankStats::new()], &[ChannelStats::new()], Picos::ZERO);
         assert_eq!(s, ActivitySummary::default());
     }
 

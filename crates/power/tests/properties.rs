@@ -32,14 +32,16 @@ fn activity_strategy() -> impl Strategy<Value = Activity> {
         0u64..WINDOW_US,
         0u64..WINDOW_US,
     )
-        .prop_map(|(acts, read_us, write_us, active_us, pd_us, bus_us)| Activity {
-            acts,
-            read_us,
-            write_us,
-            active_us: active_us.min(WINDOW_US - pd_us.min(WINDOW_US)),
-            pd_us: pd_us.min(WINDOW_US),
-            bus_us,
-        })
+        .prop_map(
+            |(acts, read_us, write_us, active_us, pd_us, bus_us)| Activity {
+                acts,
+                read_us,
+                write_us,
+                active_us: active_us.min(WINDOW_US - pd_us.min(WINDOW_US)),
+                pd_us: pd_us.min(WINDOW_US),
+                bus_us,
+            },
+        )
 }
 
 fn build(a: &Activity) -> (Vec<RankStats>, Vec<ChannelStats>, Picos) {

@@ -63,44 +63,41 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("missing value for {name}"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
             "--mix" => args.mix = value("--mix")?,
             "--policy" => args.policy = value("--policy")?,
             "--duration-ms" => {
                 args.duration_ms = value("--duration-ms")?
                     .parse()
-                    .map_err(|e| format!("--duration-ms: {e}"))?
+                    .map_err(|e| format!("--duration-ms: {e}"))?;
             }
             "--gamma" => {
                 args.gamma_pct = value("--gamma")?
                     .parse()
-                    .map_err(|e| format!("--gamma: {e}"))?
+                    .map_err(|e| format!("--gamma: {e}"))?;
             }
             "--cores" => {
                 args.cores = value("--cores")?
                     .parse()
-                    .map_err(|e| format!("--cores: {e}"))?
+                    .map_err(|e| format!("--cores: {e}"))?;
             }
             "--channels" => {
                 args.channels = value("--channels")?
                     .parse()
-                    .map_err(|e| format!("--channels: {e}"))?
+                    .map_err(|e| format!("--channels: {e}"))?;
             }
             "--epoch-ms" => {
                 args.epoch_ms = value("--epoch-ms")?
                     .parse()
-                    .map_err(|e| format!("--epoch-ms: {e}"))?
+                    .map_err(|e| format!("--epoch-ms: {e}"))?;
             }
             "--seed" => {
                 args.seed = Some(
                     value("--seed")?
                         .parse()
                         .map_err(|e| format!("--seed: {e}"))?,
-                )
+                );
             }
             "--json" => args.json = true,
             "--list" => args.list = true,
@@ -130,12 +127,83 @@ fn parse_policy(name: &str) -> Result<PolicyKind, String> {
                     .ok_or_else(|| format!("{mhz} MHz exceeds the 800 MHz grid"))?;
                 PolicyKind::Static(freq)
             } else {
-                return Err(format!(
-                    "unknown policy {other}; see `memscale-sim --help`"
-                ));
+                return Err(format!("unknown policy {other}; see `memscale-sim --help`"));
             }
         }
     })
+}
+
+/// Escapes a string for inclusion in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the run summary as a pretty-printed JSON object without any
+/// external serialization dependency (the container builds offline).
+fn render_json(
+    run: &memscale_simulator::RunResult,
+    cmp: &memscale_simulator::harness::Comparison,
+    exp: &Experiment,
+    gamma: f64,
+) -> String {
+    let fields: Vec<(&str, String)> = vec![
+        ("mix", format!("\"{}\"", json_escape(&run.mix))),
+        ("policy", format!("\"{}\"", json_escape(&run.policy))),
+        ("gamma", format!("{gamma}")),
+        (
+            "baseline_duration_ms",
+            format!("{}", exp.baseline().duration.as_ms_f64()),
+        ),
+        ("run_duration_ms", format!("{}", run.duration.as_ms_f64())),
+        ("memory_savings", format!("{}", cmp.memory_savings)),
+        ("system_savings", format!("{}", cmp.system_savings)),
+        ("cpi_increase_avg", format!("{}", cmp.avg_cpi_increase())),
+        ("cpi_increase_max", format!("{}", cmp.max_cpi_increase())),
+        (
+            "mean_frequency_mhz",
+            format!("{}", run.mean_frequency_mhz()),
+        ),
+        ("reads", format!("{}", run.counters.reads)),
+        ("writebacks", format!("{}", run.counters.writes)),
+        (
+            "memory_energy_j",
+            format!("{}", run.energy.memory_total_j()),
+        ),
+        (
+            "system_energy_j",
+            format!("{}", run.energy.system_total_j()),
+        ),
+        ("rest_of_system_w", format!("{}", run.rest_w)),
+    ];
+    #[cfg(feature = "audit")]
+    let fields = {
+        let mut fields = fields;
+        if let Some(report) = &run.audit {
+            fields.push((
+                "audit_commands_checked",
+                format!("{}", report.commands_checked),
+            ));
+            fields.push(("audit_violations", format!("{}", report.violations.len())));
+        }
+        fields
+    };
+    let body: Vec<String> = fields
+        .iter()
+        .map(|(k, v)| format!("  \"{k}\": {v}"))
+        .collect();
+    format!("{{\n{}\n}}", body.join(",\n"))
 }
 
 fn main() -> ExitCode {
@@ -192,55 +260,47 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    eprintln!("calibrating baseline for {mix} ({} ms) ...", args.duration_ms);
+    eprintln!(
+        "calibrating baseline for {mix} ({} ms) ...",
+        args.duration_ms
+    );
     let exp = Experiment::calibrate(&mix, &cfg);
     eprintln!("running {} ...", policy.name());
     let (run, cmp) = exp.evaluate(policy);
 
     if args.json {
-        let out = serde_json::json!({
-            "mix": run.mix,
-            "policy": run.policy,
-            "gamma": cfg.governor.gamma,
-            "baseline_duration_ms": exp.baseline().duration.as_ms_f64(),
-            "run_duration_ms": run.duration.as_ms_f64(),
-            "memory_savings": cmp.memory_savings,
-            "system_savings": cmp.system_savings,
-            "cpi_increase_avg": cmp.avg_cpi_increase(),
-            "cpi_increase_max": cmp.max_cpi_increase(),
-            "mean_frequency_mhz": run.mean_frequency_mhz(),
-            "reads": run.counters.reads,
-            "writebacks": run.counters.writes,
-            "memory_energy_j": run.energy.memory_total_j(),
-            "system_energy_j": run.energy.system_total_j(),
-            "rest_of_system_w": run.rest_w,
-        });
-        println!("{}", serde_json::to_string_pretty(&out).expect("serialize"));
+        println!("{}", render_json(&run, &cmp, &exp, cfg.governor.gamma));
     } else {
         println!("workload            : {}", run.mix);
         println!("policy              : {}", run.policy);
-        println!(
-            "memory energy saved : {:+.1}%",
-            cmp.memory_savings * 100.0
-        );
-        println!(
-            "system energy saved : {:+.1}%",
-            cmp.system_savings * 100.0
-        );
+        println!("memory energy saved : {:+.1}%", cmp.memory_savings * 100.0);
+        println!("system energy saved : {:+.1}%", cmp.system_savings * 100.0);
         println!(
             "CPI increase        : avg {:.1}%, worst {:.1}% (bound {:.0}%)",
             cmp.avg_cpi_increase() * 100.0,
             cmp.max_cpi_increase() * 100.0,
             args.gamma_pct
         );
-        println!(
-            "mean bus frequency  : {:.0} MHz",
-            run.mean_frequency_mhz()
-        );
+        println!("mean bus frequency  : {:.0} MHz", run.mean_frequency_mhz());
         println!(
             "memory traffic      : {} reads, {} writebacks",
             run.counters.reads, run.counters.writes
         );
+        #[cfg(feature = "audit")]
+        if let Some(report) = &run.audit {
+            if report.is_clean() {
+                println!(
+                    "DDR3 conformance    : clean ({} commands audited)",
+                    report.commands_checked
+                );
+            } else {
+                println!(
+                    "DDR3 conformance    : {} violation(s)\n{}",
+                    report.violations.len(),
+                    report.summary()
+                );
+            }
+        }
     }
     ExitCode::SUCCESS
 }

@@ -4,10 +4,9 @@ use memscale::governor::GovernorConfig;
 use memscale_mc::RowPolicy;
 use memscale_types::config::SystemConfig;
 use memscale_types::time::Picos;
-use serde::{Deserialize, Serialize};
 
 /// Everything one simulation run needs besides the mix and the policy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Hardware configuration (Table 2 defaults).
     pub system: SystemConfig,

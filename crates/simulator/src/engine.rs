@@ -15,7 +15,7 @@ use memscale_mc::{McCounters, MemoryController};
 use memscale_power::{ActivitySummary, EnergyAccount, PowerModel};
 use memscale_types::freq::MemFreq;
 use memscale_types::time::Picos;
-use memscale_workloads::{Mix, MissEvent};
+use memscale_workloads::{MissEvent, Mix};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -66,6 +66,11 @@ pub struct Simulation {
     targets: Option<Vec<u64>>,
     completion: Vec<Option<Picos>>,
     remaining_targets: usize,
+
+    /// Operating point the controller started at (the auditor's initial
+    /// channel frequency).
+    #[cfg(feature = "audit")]
+    initial_freq: MemFreq,
 }
 
 impl Simulation {
@@ -96,6 +101,10 @@ impl Simulation {
         let mut mc = MemoryController::new(&system, policy.initial_frequency());
         mc.set_auto_power_down(policy.auto_power_down());
         mc.set_row_policy(cfg.row_policy);
+        #[cfg(feature = "audit")]
+        mc.set_event_recording(true);
+        #[cfg(feature = "audit")]
+        let initial_freq = policy.initial_frequency();
 
         let n = system.cpu.cores;
         let rank_zero = mc.rank_stats();
@@ -135,6 +144,8 @@ impl Simulation {
             targets: None,
             completion: vec![None; n],
             remaining_targets: 0,
+            #[cfg(feature = "audit")]
+            initial_freq,
         }
     }
 
@@ -229,8 +240,14 @@ impl Simulation {
         match self.phase[c] {
             CorePhase::Computing => {
                 // Work-target crossing with intra-interval interpolation.
-                if let (Some(targets), CoreState::Computing { since, until, instructions }) =
-                    (self.targets.as_ref(), self.cores[c].state())
+                if let (
+                    Some(targets),
+                    CoreState::Computing {
+                        since,
+                        until,
+                        instructions,
+                    },
+                ) = (self.targets.as_ref(), self.cores[c].state())
                 {
                     let before = self.cores[c].instructions_retired();
                     let after = before + instructions;
@@ -436,6 +453,23 @@ impl Simulation {
     fn finish(mut self, end: Picos, rest_w: f64) -> RunResult {
         self.mc.sync(end.max(self.now));
         self.integrate_segment(end.max(self.seg_start));
+        // Replay the run's full command stream through the independent DDR3
+        // conformance checker. The audited timing must be the *modified*
+        // system config (it includes the decoupled-DIMM CAS lag).
+        #[cfg(feature = "audit")]
+        let audit = {
+            let events = self.mc.drain_command_events();
+            let t = &self.cfg.system.topology;
+            let mut auditor = memscale_audit::ProtocolAuditor::new(
+                &self.cfg.system.timing,
+                t.channels as usize,
+                t.ranks_per_channel() as usize,
+                t.banks_per_rank as usize,
+                self.initial_freq,
+            );
+            auditor.ingest(&events);
+            Some(auditor.finalize())
+        };
         let mut energy = self.energy;
         energy.rest_j = rest_w * energy.elapsed.as_secs_f64();
         let work = self
@@ -443,11 +477,7 @@ impl Simulation {
             .iter()
             .map(|c| c.instructions_at(end))
             .collect::<Vec<_>>();
-        let completion = self
-            .completion
-            .iter()
-            .map(|c| c.unwrap_or(end))
-            .collect();
+        let completion = self.completion.iter().map(|c| c.unwrap_or(end)).collect();
         RunResult {
             policy: self.policy.name().to_string(),
             mix: self.mix.name.to_string(),
@@ -459,6 +489,8 @@ impl Simulation {
             counters: *self.mc.counters(),
             freq_residency_ps: self.freq_residency_ps,
             timeline: self.timeline,
+            #[cfg(feature = "audit")]
+            audit,
         }
     }
 }
@@ -500,8 +532,8 @@ mod tests {
     #[test]
     fn fixed_work_mode_completes_targets() {
         let mix = Mix::by_name("MID1").unwrap();
-        let base = Simulation::new(&mix, PolicyKind::Baseline, &quick())
-            .run_for(Picos::from_ms(6), 60.0);
+        let base =
+            Simulation::new(&mix, PolicyKind::Baseline, &quick()).run_for(Picos::from_ms(6), 60.0);
         let sim = Simulation::new(&mix, PolicyKind::Baseline, &quick());
         let r = sim.run_until_work(&base.work, 60.0);
         // Identical policy and seed: completion within a whisker of 6 ms.
@@ -529,10 +561,10 @@ mod tests {
     #[test]
     fn runs_are_deterministic() {
         let mix = Mix::by_name("MEM4").unwrap();
-        let a = Simulation::new(&mix, PolicyKind::MemScale, &quick())
-            .run_for(Picos::from_ms(6), 60.0);
-        let b = Simulation::new(&mix, PolicyKind::MemScale, &quick())
-            .run_for(Picos::from_ms(6), 60.0);
+        let a =
+            Simulation::new(&mix, PolicyKind::MemScale, &quick()).run_for(Picos::from_ms(6), 60.0);
+        let b =
+            Simulation::new(&mix, PolicyKind::MemScale, &quick()).run_for(Picos::from_ms(6), 60.0);
         assert_eq!(a.work, b.work);
         assert_eq!(a.counters, b.counters);
         assert_eq!(a.freq_residency_ps, b.freq_residency_ps);
@@ -542,10 +574,10 @@ mod tests {
     #[test]
     fn fast_pd_accumulates_powerdown_residency() {
         let mix = Mix::by_name("ILP2").unwrap();
-        let base = Simulation::new(&mix, PolicyKind::Baseline, &quick())
-            .run_for(Picos::from_ms(6), 60.0);
-        let pd = Simulation::new(&mix, PolicyKind::FastPd, &quick())
-            .run_for(Picos::from_ms(6), 60.0);
+        let base =
+            Simulation::new(&mix, PolicyKind::Baseline, &quick()).run_for(Picos::from_ms(6), 60.0);
+        let pd =
+            Simulation::new(&mix, PolicyKind::FastPd, &quick()).run_for(Picos::from_ms(6), 60.0);
         assert!(pd.counters.epdc > 0, "no powerdown exits recorded");
         assert!(
             pd.energy.memory_total_j() < base.energy.memory_total_j(),

@@ -14,10 +14,9 @@ use crate::result::RunResult;
 use memscale::policies::PolicyKind;
 use memscale_power::PowerModel;
 use memscale_workloads::Mix;
-use serde::{Deserialize, Serialize};
 
 /// Policy-vs-baseline summary for one workload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Comparison {
     /// Policy display name.
     pub policy: String,
@@ -41,8 +40,7 @@ impl Comparison {
         if self.per_app_cpi_increase.is_empty() {
             0.0
         } else {
-            self.per_app_cpi_increase.iter().sum::<f64>()
-                / self.per_app_cpi_increase.len() as f64
+            self.per_app_cpi_increase.iter().sum::<f64>() / self.per_app_cpi_increase.len() as f64
         }
     }
 
@@ -118,7 +116,11 @@ impl Experiment {
     /// # Panics
     ///
     /// Panics if `cfg` changes the hardware system or the trace seed.
-    pub fn evaluate_configured(&self, policy: PolicyKind, cfg: &SimConfig) -> (RunResult, Comparison) {
+    pub fn evaluate_configured(
+        &self,
+        policy: PolicyKind,
+        cfg: &SimConfig,
+    ) -> (RunResult, Comparison) {
         assert_eq!(cfg.system, self.cfg.system, "hardware must match baseline");
         assert_eq!(cfg.seed, self.cfg.seed, "seed must match baseline");
         let mut sim = Simulation::new(&self.mix, policy, cfg);

@@ -4,11 +4,10 @@ use memscale_mc::McCounters;
 use memscale_power::EnergyAccount;
 use memscale_types::freq::MemFreq;
 use memscale_types::time::Picos;
-use serde::{Deserialize, Serialize};
 
 /// One timeline sample (Figs 7/8): the state of the run over the interval
 /// ending at `at`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimelineSample {
     /// End of the sampled interval.
     pub at: Picos,
@@ -21,7 +20,7 @@ pub struct TimelineSample {
 }
 
 /// The complete outcome of one simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunResult {
     /// Policy display name.
     pub policy: String,
@@ -44,6 +43,10 @@ pub struct RunResult {
     pub freq_residency_ps: Vec<u64>,
     /// Captured timeline (empty unless requested).
     pub timeline: Vec<TimelineSample>,
+    /// DDR3 protocol conformance report for the run's full command stream
+    /// (feature `audit`; `None` only if auditing was disabled mid-run).
+    #[cfg(feature = "audit")]
+    pub audit: Option<memscale_audit::AuditReport>,
 }
 
 impl RunResult {
@@ -103,6 +106,8 @@ mod tests {
             counters: McCounters::new(),
             freq_residency_ps: residency,
             timeline: vec![],
+            #[cfg(feature = "audit")]
+            audit: None,
         }
     }
 

@@ -9,7 +9,6 @@
 
 use crate::config::Topology;
 use crate::ids::{BankId, ChannelId, RankId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A byte-granularity physical address.
@@ -22,10 +21,7 @@ use std::fmt;
 /// let a = PhysAddr::new(0x1040);
 /// assert_eq!(a.cache_line(), 0x41);
 /// ```
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PhysAddr(pub u64);
 
 impl PhysAddr {
@@ -58,7 +54,7 @@ impl fmt::Display for PhysAddr {
 }
 
 /// The DRAM coordinates of one cache line.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Location {
     /// The channel servicing this line.
     pub channel: ChannelId,
@@ -102,7 +98,7 @@ impl fmt::Display for Location {
 /// let loc = map.decode(PhysAddr::from_cache_line(5));
 /// assert_eq!(loc.channel.index(), 5 % 4);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AddressMap {
     topology: Topology,
 }
@@ -125,6 +121,7 @@ impl AddressMap {
     }
 
     /// Decodes `addr` to its DRAM location.
+    #[allow(clippy::cast_possible_truncation)] // each modulus is a small topology dimension
     pub fn decode(&self, addr: PhysAddr) -> Location {
         let t = &self.topology;
         let line = addr.cache_line();
@@ -154,8 +151,7 @@ impl AddressMap {
         let channels = t.channels as u64;
         let banks = t.banks_per_rank as u64;
         let ranks = t.ranks_per_channel() as u64;
-        let line = ((loc.row * ranks + loc.rank.index() as u64) * banks
-            + loc.bank.index() as u64)
+        let line = ((loc.row * ranks + loc.rank.index() as u64) * banks + loc.bank.index() as u64)
             * channels
             + loc.channel.index() as u64;
         PhysAddr::from_cache_line(line)

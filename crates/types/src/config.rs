@@ -5,7 +5,6 @@
 //! simulator wires everything together from one [`SystemConfig`].
 
 use crate::time::Picos;
-use serde::{Deserialize, Serialize};
 
 /// Errors raised when validating a configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,7 +32,7 @@ impl std::error::Error for ConfigError {}
 ///
 /// Defaults to Table 2: 4 DDR3 channels, each with two registered dual-rank
 /// DIMMs of 18 x8 DRAM chips (ECC), 8 banks per rank.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Topology {
     /// Number of independent memory channels.
     pub channels: u8,
@@ -110,7 +109,7 @@ impl Topology {
 }
 
 /// CPU-side parameters (Table 2: 16 in-order single-thread cores at 4 GHz).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CpuConfig {
     /// Number of cores; one application instance per core.
     pub cores: usize,
@@ -134,6 +133,7 @@ impl Default for CpuConfig {
 impl CpuConfig {
     /// Duration of one core cycle.
     #[inline]
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)] // freq_ghz is validated positive
     pub fn cycle(&self) -> Picos {
         Picos::from_ps((1_000.0 / self.freq_ghz).round() as u64)
     }
@@ -163,7 +163,7 @@ impl CpuConfig {
 /// the channel frequency does not change them (§2.2); parameters given in
 /// cycles in Table 2 are converted at the 800 MHz reference. Burst length and
 /// MC pipeline depth are stored in cycles because they *do* scale.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DramTimingConfig {
     /// Row activate: RAS-to-CAS delay (ns).
     pub t_rcd_ns: f64,
@@ -322,6 +322,34 @@ impl DramTimingConfig {
         if self.mc_pipeline_cycles == 0 {
             return Err(ConfigError::new("mc_pipeline_cycles must be > 0"));
         }
+        // Cross-parameter consistency: individually plausible values can
+        // still describe a device no DDR3 datasheet would permit, and the
+        // timing engine (and the protocol auditor checking it) assume these
+        // orderings hold.
+        if self.t_ras_ns < self.t_rcd_ns + self.t_rtp_ns {
+            return Err(ConfigError::new(format!(
+                "t_ras_ns ({}) must be >= t_rcd_ns + t_rtp_ns ({}): a read \
+                 could otherwise precharge before the row finished activating",
+                self.t_ras_ns,
+                self.t_rcd_ns + self.t_rtp_ns
+            )));
+        }
+        if self.t_faw_ns < 2.0 * self.t_rrd_ns {
+            return Err(ConfigError::new(format!(
+                "t_faw_ns ({}) must be >= 2 * t_rrd_ns ({}): a four-activate \
+                 window shorter than two ACT-to-ACT gaps never constrains",
+                self.t_faw_ns,
+                2.0 * self.t_rrd_ns
+            )));
+        }
+        let refi_ns = self.refresh_period_ms * 1e6 / self.refresh_commands as f64;
+        if self.t_rfc_ns >= refi_ns {
+            return Err(ConfigError::new(format!(
+                "t_rfc_ns ({}) must be < the refresh interval tREFI ({refi_ns} \
+                 ns): refresh would otherwise consume the whole device",
+                self.t_rfc_ns
+            )));
+        }
         Ok(())
     }
 }
@@ -332,7 +360,7 @@ impl DramTimingConfig {
 /// frequency and `vdd` volts. Background (standby/powerdown) currents scale
 /// linearly with channel frequency, following §2.2 ("lowering frequency
 /// lowers background and register/PLL powers linearly").
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerConfig {
     /// DRAM supply voltage (V).
     pub vdd: f64,
@@ -445,7 +473,7 @@ impl PowerConfig {
 }
 
 /// Complete hardware configuration of the simulated server.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct SystemConfig {
     /// Memory-subsystem organization.
     pub topology: Topology,
@@ -550,6 +578,41 @@ mod tests {
             ..PowerConfig::default()
         };
         assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn cross_parameter_checks_reject_inconsistent_timing() {
+        // tRAS shorter than tRCD + tRTP: a read could precharge before the
+        // activate completed.
+        let d = DramTimingConfig {
+            t_ras_ns: 20.0,
+            ..DramTimingConfig::default()
+        };
+        let err = d.validate().unwrap_err();
+        assert!(err.to_string().contains("t_ras_ns"), "{err}");
+
+        // tFAW below 2·tRRD never constrains anything.
+        let d = DramTimingConfig {
+            t_faw_ns: 9.0,
+            ..DramTimingConfig::default()
+        };
+        let err = d.validate().unwrap_err();
+        assert!(err.to_string().contains("t_faw_ns"), "{err}");
+
+        // tRFC at or above tREFI leaves no time between refreshes.
+        let d = DramTimingConfig {
+            t_rfc_ns: 8_000.0,
+            ..DramTimingConfig::default()
+        };
+        let err = d.validate().unwrap_err();
+        assert!(err.to_string().contains("t_rfc_ns"), "{err}");
+
+        // The boundary itself is accepted.
+        let d = DramTimingConfig {
+            t_ras_ns: DramTimingConfig::default().t_rcd_ns + DramTimingConfig::default().t_rtp_ns,
+            ..DramTimingConfig::default()
+        };
+        assert!(d.validate().is_ok());
     }
 
     #[test]

@@ -6,7 +6,6 @@
 //! over the 0.65 V – 1.2 V range of contemporary server cores (§3.1, §4.1).
 
 use crate::time::Picos;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One operating point of the memory subsystem: the bus/DIMM/DRAM-device
@@ -24,9 +23,7 @@ use std::fmt;
 /// assert_eq!(MemFreq::F800.mc_mhz(), 1600);
 /// assert_eq!(MemFreq::MAX, MemFreq::F800);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 #[allow(missing_docs)]
 pub enum MemFreq {
     F200,
@@ -121,7 +118,10 @@ impl MemFreq {
     /// Zero-based index into [`MemFreq::ALL`] (0 = 200 MHz … 9 = 800 MHz).
     #[inline]
     pub fn index(self) -> usize {
-        MemFreq::ALL.iter().position(|&f| f == self).expect("in ALL")
+        MemFreq::ALL
+            .iter()
+            .position(|&f| f == self)
+            .expect("in ALL")
     }
 
     /// The operating point at `index` in [`MemFreq::ALL`], if in range.

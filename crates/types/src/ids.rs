@@ -3,7 +3,6 @@
 //! Newtypes prevent accidentally indexing a rank table with a bank number
 //! (C-NEWTYPE). All IDs are dense, zero-based `usize` indices.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 macro_rules! id_type {
@@ -11,9 +10,7 @@ macro_rules! id_type {
         $(#[$doc])*
         #[derive(
             Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
-            Serialize, Deserialize,
         )]
-        #[serde(transparent)]
         pub struct $name(pub usize);
 
         impl $name {

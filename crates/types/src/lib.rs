@@ -33,12 +33,14 @@
 
 pub mod address;
 pub mod config;
+pub mod events;
 pub mod freq;
 pub mod ids;
 pub mod time;
 
 pub use address::{AddressMap, Location, PhysAddr};
 pub use config::{CpuConfig, DramTimingConfig, PowerConfig, SystemConfig, Topology};
+pub use events::{CmdEvent, CmdKind};
 pub use freq::MemFreq;
 pub use ids::{AppId, BankId, ChannelId, CoreId, RankId};
 pub use time::Picos;

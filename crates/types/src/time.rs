@@ -5,7 +5,6 @@
 //! kept in picoseconds. A `u64` of picoseconds covers ~213 days of simulated
 //! time — far beyond the multi-second horizons of any experiment here.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
@@ -25,10 +24,7 @@ use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
 /// assert_eq!(t.as_ns_f64(), 30.0);
 /// assert!(t < Picos::from_us(1));
 /// ```
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Picos(pub u64);
 
 impl Picos {
@@ -68,6 +64,7 @@ impl Picos {
     ///
     /// Panics if `ns` is negative or not finite.
     #[inline]
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)] // asserted finite, non-negative
     pub fn from_ns_f64(ns: f64) -> Self {
         assert!(ns.is_finite() && ns >= 0.0, "invalid duration: {ns} ns");
         Picos((ns * 1_000.0).round() as u64)
@@ -135,6 +132,7 @@ impl Picos {
     ///
     /// Panics if `factor` is negative or not finite.
     #[inline]
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)] // asserted finite, non-negative
     pub fn scale(self, factor: f64) -> Picos {
         assert!(
             factor.is_finite() && factor >= 0.0,
@@ -299,7 +297,10 @@ mod tests {
         assert_eq!(Picos::ZERO.round_up_to(q), Picos::ZERO);
         assert_eq!(Picos::from_us(5).round_up_to(q), Picos::from_us(5));
         assert_eq!(Picos::from_us(6).round_up_to(q), Picos::from_us(10));
-        assert_eq!(Picos::from_us(6).round_up_to(Picos::ZERO), Picos::from_us(6));
+        assert_eq!(
+            Picos::from_us(6).round_up_to(Picos::ZERO),
+            Picos::from_us(6)
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Deterministic synthetic miss-stream generation.
 //!
-//! Each [`AppTrace`] owns a seeded ChaCha PRNG (reproducible across runs and
-//! platforms) and turns its [`AppProfile`] into a stream of [`MissEvent`]s:
+//! Each [`AppTrace`] owns a seeded [`ChaCha8`] PRNG (reproducible across runs
+//! and platforms) and turns its [`AppProfile`] into a stream of [`MissEvent`]s:
 //! geometric inter-miss instruction gaps whose mean follows the profile's
 //! current phase, addresses that either continue a sequential stream (cache
 //! lines rotate across channels and banks under the system's interleaving)
@@ -9,10 +9,9 @@
 //! occasional dirty-line writebacks at the profile's WPKI/RPKI ratio.
 
 use crate::profile::AppProfile;
+use crate::rng::ChaCha8;
 use memscale_types::address::PhysAddr;
 use memscale_types::ids::AppId;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
 
 /// One LLC miss produced by a trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,7 +30,7 @@ pub struct MissEvent {
 pub struct AppTrace {
     profile: AppProfile,
     app: AppId,
-    rng: ChaCha8Rng,
+    rng: ChaCha8,
     /// First cache line of this instance's address slice.
     slice_start: u64,
     /// Number of cache lines in the slice.
@@ -62,7 +61,7 @@ impl AppTrace {
         AppTrace {
             profile,
             app,
-            rng: ChaCha8Rng::from_seed(key),
+            rng: ChaCha8::from_seed(key),
             slice_start,
             slice_len,
             cursor: 0,
@@ -121,29 +120,30 @@ impl AppTrace {
     }
 
     /// Produces the next miss event. The stream is infinite.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)] // -ln(u) >= 0 for u in (0,1)
     pub fn next_miss(&mut self) -> MissEvent {
         let phase = *self.profile.phase_at(self.instructions);
         let rpki = phase.rpki.max(1e-6);
         let mean_gap = 1_000.0 / rpki;
         // Geometric gap via inverse-transform sampling of an exponential.
-        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u: f64 = self.rng.next_unit_open();
         let gap = 1 + (-mean_gap * u.ln()) as u64;
 
         // Address: continue the sequential stream or jump.
-        let line = if self.rng.gen_bool(self.profile.locality) {
+        let line = if self.rng.next_bool(self.profile.locality) {
             self.cursor = (self.cursor + 1) % self.slice_len;
             self.slice_start + self.cursor
         } else {
-            self.cursor = self.rng.gen_range(0..self.slice_len);
+            self.cursor = self.rng.next_below(self.slice_len);
             self.slice_start + self.cursor
         };
         let addr = PhysAddr::from_cache_line(line);
 
         // Writeback with probability WPKI/RPKI (a miss evicting dirty data).
         let wb_prob = (phase.wpki / phase.rpki).clamp(0.0, 1.0);
-        let writeback = if phase.wpki > 0.0 && self.rng.gen_bool(wb_prob) {
+        let writeback = if phase.wpki > 0.0 && self.rng.next_bool(wb_prob) {
             self.writebacks += 1;
-            let wb_line = self.slice_start + self.rng.gen_range(0..self.slice_len);
+            let wb_line = self.slice_start + self.rng.next_below(self.slice_len);
             Some(PhysAddr::from_cache_line(wb_line))
         } else {
             None
@@ -218,12 +218,7 @@ mod tests {
     #[test]
     fn addresses_stay_in_slice() {
         let slice_len = 1 << 16;
-        let mut t = AppTrace::new(
-            spec::profile("art").unwrap(),
-            AppId(3),
-            slice_len,
-            9,
-        );
+        let mut t = AppTrace::new(spec::profile("art").unwrap(), AppId(3), slice_len, 9);
         for _ in 0..10_000 {
             let ev = t.next_miss();
             let line = ev.addr.cache_line();

@@ -31,6 +31,7 @@
 pub mod generator;
 pub mod mix;
 pub mod profile;
+pub mod rng;
 pub mod spec;
 
 pub use generator::{AppTrace, MissEvent};

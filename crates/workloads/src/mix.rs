@@ -3,11 +3,10 @@
 use crate::generator::AppTrace;
 use crate::spec;
 use memscale_types::ids::AppId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Workload class per Table 1's grouping.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WorkloadClass {
     /// Computation-intensive (low memory traffic).
     Ilp,
@@ -29,7 +28,7 @@ impl fmt::Display for WorkloadClass {
 
 /// One multiprogrammed workload: four applications, replicated to fill the
 /// core count (Table 1: "x4 each" on 16 cores).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Mix {
     /// Workload name (e.g. `MID3`).
     pub name: &'static str,
@@ -119,7 +118,11 @@ impl Mix {
 
     /// The workloads of one class, in paper order.
     pub fn by_class(class: WorkloadClass) -> Vec<Mix> {
-        TABLE1.iter().filter(|m| m.class == class).cloned().collect()
+        TABLE1
+            .iter()
+            .filter(|m| m.class == class)
+            .cloned()
+            .collect()
     }
 
     /// The application running on core `core` when this mix fills `cores`
@@ -141,8 +144,8 @@ impl Mix {
         (0..cores)
             .map(|core| {
                 let name = self.app_on_core(core);
-                let profile = spec::profile(name)
-                    .unwrap_or_else(|| panic!("unknown application {name}"));
+                let profile =
+                    spec::profile(name).unwrap_or_else(|| panic!("unknown application {name}"));
                 AppTrace::new(profile, AppId(core), slice_lines, seed)
             })
             .collect()
@@ -188,9 +191,7 @@ mod tests {
         let m = Mix::by_name("MID3").unwrap();
         let traces = m.traces(16, 1 << 20, 1);
         assert_eq!(traces.len(), 16);
-        let apsis = (0..16)
-            .filter(|&c| m.app_on_core(c) == "apsi")
-            .count();
+        let apsis = (0..16).filter(|&c| m.app_on_core(c) == "apsi").count();
         assert_eq!(apsis, 4);
         // Each trace owns its own slice.
         assert_eq!(traces[0].app(), AppId(0));

@@ -1,10 +1,8 @@
 //! Application behaviour profiles.
 
-use serde::{Deserialize, Serialize};
-
 /// One execution phase of an application: a memory-intensity level held for
 /// a number of instructions.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Phase {
     /// Instructions this phase lasts; `None` = until the end of execution.
     pub instructions: Option<u64>,
@@ -44,7 +42,7 @@ impl Phase {
 /// let p = AppProfile::steady("swim", 20.8, 6.4).with_locality(0.8);
 /// assert_eq!(p.average_rpki(), 20.8);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AppProfile {
     /// SPEC-style application name.
     pub name: String,
@@ -168,10 +166,8 @@ mod tests {
 
     #[test]
     fn average_rpki_uses_unbounded_phase() {
-        let p = AppProfile::steady("apsi", 1.0, 0.0).with_phases(vec![
-            Phase::bounded(100, 1.0, 0.0),
-            Phase::steady(9.0, 0.0),
-        ]);
+        let p = AppProfile::steady("apsi", 1.0, 0.0)
+            .with_phases(vec![Phase::bounded(100, 1.0, 0.0), Phase::steady(9.0, 0.0)]);
         assert_eq!(p.average_rpki(), 9.0);
     }
 }

@@ -1,0 +1,64 @@
+//! Demonstrates the DDR3 protocol conformance checker.
+//!
+//! Drives the real channel engine twice — once with the strict default
+//! timing and once with a deliberately corrupted `tRCD` — and replays both
+//! recorded command streams through `memscale-audit`. The first stream
+//! audits clean; the second produces a structured violation report naming
+//! the rule, the rank/bank and the offending timestamps.
+//!
+//! Run with:
+//! `cargo run -p memscale-simulator --features audit --example audit_demo`
+
+use memscale_audit::ProtocolAuditor;
+use memscale_dram::channel::{AccessKind, DramChannel};
+use memscale_types::config::DramTimingConfig;
+use memscale_types::freq::MemFreq;
+use memscale_types::ids::{BankId, RankId};
+use memscale_types::time::Picos;
+
+const RANKS: usize = 2;
+const BANKS: usize = 8;
+
+/// Runs a short mixed workload on `cfg`, then audits the recorded stream
+/// against the strict default timing.
+fn replay(label: &str, cfg: &DramTimingConfig) {
+    let mut ch = DramChannel::new(cfg, RANKS, BANKS, MemFreq::F800);
+    ch.set_event_recording(true);
+    for i in 0..6usize {
+        ch.service(
+            RankId(i % RANKS),
+            BankId(i % BANKS),
+            i as u64,
+            AccessKind::Read,
+            Picos::from_ns(40 * i as u64),
+            false,
+        );
+    }
+    ch.set_frequency(MemFreq::F400, Picos::from_us(1));
+    ch.service(
+        RankId(0),
+        BankId(0),
+        9,
+        AccessKind::Write,
+        Picos::from_us(2),
+        false,
+    );
+
+    let events = ch.drain_events();
+    let mut auditor =
+        ProtocolAuditor::new(&DramTimingConfig::default(), 1, RANKS, BANKS, MemFreq::F800);
+    auditor.ingest(&events);
+    let report = auditor.finalize();
+    println!("{label}:\n{}\n", report.summary());
+}
+
+fn main() {
+    replay("engine with strict timing", &DramTimingConfig::default());
+
+    let broken = DramTimingConfig {
+        // A silent off-by-several in the row-activate latency.
+        t_rcd_ns: 3.0,
+        ..DramTimingConfig::default()
+    };
+    replay("engine with corrupted tRCD", &broken);
+}

@@ -29,12 +29,36 @@ fn main() {
     // A rack slice: latency-sensitive front-ends get tight SLAs, batch
     // analytics are lenient.
     let servers = [
-        Server { name: "web-1 (front-end)", mix: "ILP2", gamma: 0.05 },
-        Server { name: "web-2 (front-end)", mix: "ILP4", gamma: 0.05 },
-        Server { name: "app-1 (business logic)", mix: "MID1", gamma: 0.10 },
-        Server { name: "app-2 (business logic)", mix: "MID4", gamma: 0.10 },
-        Server { name: "batch-1 (analytics)", mix: "MEM2", gamma: 0.15 },
-        Server { name: "batch-2 (analytics)", mix: "MEM4", gamma: 0.15 },
+        Server {
+            name: "web-1 (front-end)",
+            mix: "ILP2",
+            gamma: 0.05,
+        },
+        Server {
+            name: "web-2 (front-end)",
+            mix: "ILP4",
+            gamma: 0.05,
+        },
+        Server {
+            name: "app-1 (business logic)",
+            mix: "MID1",
+            gamma: 0.10,
+        },
+        Server {
+            name: "app-2 (business logic)",
+            mix: "MID4",
+            gamma: 0.10,
+        },
+        Server {
+            name: "batch-1 (analytics)",
+            mix: "MEM2",
+            gamma: 0.15,
+        },
+        Server {
+            name: "batch-2 (analytics)",
+            mix: "MEM4",
+            gamma: 0.15,
+        },
     ];
 
     let mut base_total_j = 0.0;

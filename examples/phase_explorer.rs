@@ -43,8 +43,7 @@ fn main() {
         } else {
             apsi.iter().sum::<f64>() / apsi.len() as f64
         };
-        let util =
-            s.channel_util.iter().sum::<f64>() / s.channel_util.len().max(1) as f64;
+        let util = s.channel_util.iter().sum::<f64>() / s.channel_util.len().max(1) as f64;
         let ladder_pos = MemFreq::ALL
             .iter()
             .position(|f| f.mhz() == s.bus_mhz)
@@ -76,10 +75,7 @@ fn main() {
         .map(|s| s.bus_mhz)
         .collect();
     let avg = |v: &[u32]| v.iter().map(|&x| x as f64).sum::<f64>() / v.len().max(1) as f64;
-    println!(
-        "\nquiet phase mean frequency : {:.0} MHz",
-        avg(&early)
-    );
+    println!("\nquiet phase mean frequency : {:.0} MHz", avg(&early));
     println!("memory phase mean frequency: {:.0} MHz", avg(&late));
     println!(
         "governor reaction: {}",

@@ -60,5 +60,8 @@ fn main() {
         }
     }
     let (name, savings) = best.expect("at least one policy");
-    println!("\nwinner: {name} at {:.1}% system energy savings", savings * 100.0);
+    println!(
+        "\nwinner: {name} at {:.1}% system energy savings",
+        savings * 100.0
+    );
 }

@@ -66,6 +66,7 @@ fn main() {
     );
 }
 
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)] // frac is in [0, 1]
 fn bar(frac: f64) -> String {
     "#".repeat((frac * 40.0).round() as usize)
 }

@@ -21,6 +21,8 @@ fn drive(
     let mix = Mix::by_name(mix_name).unwrap();
     let mut traces = mix.traces(16, 1 << 24, 7);
     let mut mc = MemoryController::new(&sys, freq);
+    #[cfg(feature = "audit")]
+    mc.set_event_recording(true);
     let mut cores: Vec<memscale_cpu::InOrderCore> = (0..16)
         .map(|i| {
             memscale_cpu::InOrderCore::new(i.into(), traces[i].profile().base_cpi, sys.cpu.cycle())
@@ -168,6 +170,28 @@ fn epdc_counts_only_under_powerdown_policies() {
     mc.read(PhysAddr::from_cache_line(0), Picos::ZERO);
     mc.read(PhysAddr::from_cache_line(0), Picos::from_ms(1));
     assert_eq!(mc.counters().epdc, 2);
+}
+
+#[cfg(feature = "audit")]
+#[test]
+fn standalone_controller_stream_is_ddr3_conformant() {
+    // Replay the MC's recorded command stream through the independent DDR3
+    // conformance checker: a heavy MEM mix must audit clean.
+    let (mut mc, _, _) = drive("MEM1", MemFreq::F800, Picos::from_ms(1));
+    let events = mc.drain_command_events();
+    let sys = SystemConfig::default();
+    let t = &sys.topology;
+    let mut auditor = memscale_audit::ProtocolAuditor::new(
+        &sys.timing,
+        t.channels as usize,
+        t.ranks_per_channel() as usize,
+        t.banks_per_rank as usize,
+        MemFreq::F800,
+    );
+    auditor.ingest(&events);
+    let report = auditor.finalize();
+    assert!(report.is_clean(), "{report}");
+    assert!(report.commands_checked > 1_000);
 }
 
 #[test]

@@ -14,8 +14,8 @@ fn quick() -> SimConfig {
 #[test]
 fn every_table1_mix_simulates() {
     for mix in Mix::table1() {
-        let run = Simulation::new(&mix, PolicyKind::Baseline, &quick())
-            .run_for(Picos::from_ms(6), 50.0);
+        let run =
+            Simulation::new(&mix, PolicyKind::Baseline, &quick()).run_for(Picos::from_ms(6), 50.0);
         assert!(run.counters.reads > 100, "{}: too few reads", mix.name);
         assert!(
             run.energy.memory_total_j() > 0.0,
@@ -34,14 +34,10 @@ fn every_table1_mix_simulates() {
 fn class_ordering_of_memory_traffic() {
     // MEM mixes must produce far more memory traffic than ILP mixes.
     let reads = |name: &str| {
-        Simulation::new(
-            &Mix::by_name(name).unwrap(),
-            PolicyKind::Baseline,
-            &quick(),
-        )
-        .run_for(Picos::from_ms(6), 0.0)
-        .counters
-        .reads
+        Simulation::new(&Mix::by_name(name).unwrap(), PolicyKind::Baseline, &quick())
+            .run_for(Picos::from_ms(6), 0.0)
+            .counters
+            .reads
     };
     let ilp = reads("ILP2");
     let mid = reads("MID1");
@@ -86,8 +82,8 @@ fn ilp_runs_at_min_frequency_most_of_the_time() {
 fn energy_conservation_across_components() {
     // Total memory energy must equal the sum of its categories.
     let mix = Mix::by_name("MID3").unwrap();
-    let run = Simulation::new(&mix, PolicyKind::MemScale, &quick())
-        .run_for(Picos::from_ms(6), 40.0);
+    let run =
+        Simulation::new(&mix, PolicyKind::MemScale, &quick()).run_for(Picos::from_ms(6), 40.0);
     let e = &run.energy.memory_j;
     let sum = e.background_w + e.act_pre_w + e.rd_wr_w + e.term_w + e.pll_w + e.reg_w + e.mc_w;
     assert!((sum - run.energy.memory_total_j()).abs() < 1e-9);
@@ -104,15 +100,24 @@ fn work_matched_runs_do_the_requested_work() {
     let exp = Experiment::calibrate(&mix, &quick());
     for policy in [PolicyKind::MemScale, PolicyKind::Static(MemFreq::F467)] {
         let (run, _) = exp.evaluate(policy);
-        for (i, (&target, &done)) in exp
-            .baseline()
-            .work
-            .iter()
-            .zip(&run.work)
-            .enumerate()
-        {
+        for (i, (&target, &done)) in exp.baseline().work.iter().zip(&run.work).enumerate() {
             assert!(done >= target, "core {i}: {done} < {target}");
         }
+    }
+}
+
+#[cfg(feature = "audit")]
+#[test]
+fn full_runs_replay_clean_through_the_conformance_checker() {
+    // Every `RunResult` carries the DDR3 conformance audit of its own
+    // command stream; a full baseline and a full MemScale run (with its
+    // frequency transitions) must both report zero violations.
+    let mix = Mix::by_name("MID1").unwrap();
+    for policy in [PolicyKind::Baseline, PolicyKind::MemScale] {
+        let run = Simulation::new(&mix, policy, &quick()).run_for(Picos::from_ms(6), 40.0);
+        let audit = run.audit.as_ref().expect("audit enabled in test builds");
+        assert!(audit.is_clean(), "{policy:?}: {}", audit.summary());
+        assert!(audit.commands_checked > 1_000);
     }
 }
 

@@ -17,8 +17,8 @@ fn memory_power_is_in_a_plausible_server_band() {
     // 8 DIMMs + MC: idle floor tens of watts, loaded well under 100 W.
     for name in ["ILP1", "MID2", "MEM3"] {
         let mix = Mix::by_name(name).unwrap();
-        let run = Simulation::new(&mix, PolicyKind::Baseline, &quick())
-            .run_for(Picos::from_ms(6), 0.0);
+        let run =
+            Simulation::new(&mix, PolicyKind::Baseline, &quick()).run_for(Picos::from_ms(6), 0.0);
         let avg = run.energy.memory_avg_w();
         assert!(
             (20.0..90.0).contains(&avg),
@@ -38,14 +38,17 @@ fn memory_power_orders_by_class() {
     let ilp = avg("ILP2");
     let mid = avg("MID1");
     let mem = avg("MEM1");
-    assert!(ilp < mid && mid < mem, "ilp {ilp:.1} mid {mid:.1} mem {mem:.1}");
+    assert!(
+        ilp < mid && mid < mem,
+        "ilp {ilp:.1} mid {mid:.1} mem {mem:.1}"
+    );
 }
 
 #[test]
 fn static_low_frequency_cuts_memory_power() {
     let mix = Mix::by_name("ILP1").unwrap();
-    let base = Simulation::new(&mix, PolicyKind::Baseline, &quick())
-        .run_for(Picos::from_ms(6), 0.0);
+    let base =
+        Simulation::new(&mix, PolicyKind::Baseline, &quick()).run_for(Picos::from_ms(6), 0.0);
     let slow = Simulation::new(&mix, PolicyKind::Static(MemFreq::F200), &quick())
         .run_for(Picos::from_ms(6), 0.0);
     // ILP work barely stretches, while background/PLL/REG/MC power drops.
@@ -60,8 +63,8 @@ fn static_low_frequency_cuts_memory_power() {
 #[test]
 fn mc_energy_falls_superlinearly_with_dvfs() {
     let mix = Mix::by_name("ILP2").unwrap();
-    let base = Simulation::new(&mix, PolicyKind::Baseline, &quick())
-        .run_for(Picos::from_ms(6), 0.0);
+    let base =
+        Simulation::new(&mix, PolicyKind::Baseline, &quick()).run_for(Picos::from_ms(6), 0.0);
     let slow = Simulation::new(&mix, PolicyKind::Static(MemFreq::F400), &quick())
         .run_for(Picos::from_ms(6), 0.0);
     let ratio = slow.energy.memory_j.mc_w / base.energy.memory_j.mc_w;
@@ -72,10 +75,9 @@ fn mc_energy_falls_superlinearly_with_dvfs() {
 #[test]
 fn fast_pd_cuts_background_but_not_mc() {
     let mix = Mix::by_name("ILP2").unwrap();
-    let base = Simulation::new(&mix, PolicyKind::Baseline, &quick())
-        .run_for(Picos::from_ms(6), 0.0);
-    let pd = Simulation::new(&mix, PolicyKind::FastPd, &quick())
-        .run_for(Picos::from_ms(6), 0.0);
+    let base =
+        Simulation::new(&mix, PolicyKind::Baseline, &quick()).run_for(Picos::from_ms(6), 0.0);
+    let pd = Simulation::new(&mix, PolicyKind::FastPd, &quick()).run_for(Picos::from_ms(6), 0.0);
     assert!(
         pd.energy.memory_j.background_w < base.energy.memory_j.background_w,
         "powerdown must cut background energy"
@@ -92,8 +94,7 @@ fn refresh_energy_is_frequency_independent() {
     // Refresh runs at a fixed duty cycle; its contribution is folded into
     // background power and should not vanish at low frequency.
     let mix = Mix::by_name("ILP2").unwrap();
-    let hi = Simulation::new(&mix, PolicyKind::Baseline, &quick())
-        .run_for(Picos::from_ms(6), 0.0);
+    let hi = Simulation::new(&mix, PolicyKind::Baseline, &quick()).run_for(Picos::from_ms(6), 0.0);
     let lo = Simulation::new(&mix, PolicyKind::Static(MemFreq::F200), &quick())
         .run_for(Picos::from_ms(6), 0.0);
     // Background at 200 MHz keeps more than the pure-linear 25% share
@@ -133,6 +134,25 @@ fn higher_memory_fraction_raises_system_savings() {
     );
 }
 
+#[cfg(feature = "audit")]
+#[test]
+fn scaled_and_decoupled_runs_are_protocol_conformant() {
+    // Static low-frequency operation and the decoupled-DIMM mode (whose CAS
+    // lag is folded into the audited tCL) must both replay clean.
+    let mix = Mix::by_name("ILP2").unwrap();
+    for policy in [
+        PolicyKind::Static(MemFreq::F200),
+        PolicyKind::Decoupled {
+            device: MemFreq::F400,
+        },
+    ] {
+        let run = Simulation::new(&mix, policy, &quick()).run_for(Picos::from_ms(6), 0.0);
+        let audit = run.audit.as_ref().expect("audit enabled in test builds");
+        assert!(audit.is_clean(), "{policy:?}: {}", audit.summary());
+        assert!(audit.commands_checked > 0);
+    }
+}
+
 #[test]
 fn relock_windows_are_charged_as_powerdown_residency() {
     // MemScale's frequency transitions spend 512 cycles + 28 ns in
@@ -144,5 +164,8 @@ fn relock_windows_are_charged_as_powerdown_residency() {
     let run = sim.run_for(Picos::from_ms(6), 0.0);
     // At least one frequency change happened...
     let changes: u64 = run.freq_residency_ps.iter().filter(|&&ps| ps > 0).count() as u64;
-    assert!(changes >= 2, "expected frequency changes, got {changes} level(s)");
+    assert!(
+        changes >= 2,
+        "expected frequency changes, got {changes} level(s)"
+    );
 }

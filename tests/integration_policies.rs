@@ -152,7 +152,11 @@ fn per_channel_extension_is_safe_and_competitive() {
     let exp = experiment("MID2");
     let (run, cmp) = exp.evaluate(PolicyKind::MemScalePerChannel);
     let (_, tandem) = exp.evaluate(PolicyKind::MemScale);
-    assert!(cmp.max_cpi_increase() < 0.115, "worst {:.3}", cmp.max_cpi_increase());
+    assert!(
+        cmp.max_cpi_increase() < 0.115,
+        "worst {:.3}",
+        cmp.max_cpi_increase()
+    );
     assert!(
         (cmp.system_savings - tandem.system_savings).abs() < 0.05,
         "per-channel {:.3} vs tandem {:.3}",
@@ -162,6 +166,43 @@ fn per_channel_extension_is_safe_and_competitive() {
     // The heterogeneous path actually ran (some residency off channel 0's
     // base point or matching tandem's spread).
     assert!(run.counters.reads > 0);
+}
+
+#[cfg(feature = "audit")]
+#[test]
+fn powerdown_and_per_channel_streams_are_conformant() {
+    // The powerdown policies exercise tXP/tXPDLL exit latencies and the
+    // per-channel extension drives heterogeneous relocks; all must audit
+    // clean against the DDR3 rules.
+    use memscale_simulator::Simulation;
+    let cfg = SimConfig::default().with_duration(Picos::from_ms(4));
+    let mix = Mix::by_name("MID1").unwrap();
+    for policy in [
+        PolicyKind::FastPd,
+        PolicyKind::SlowPd,
+        PolicyKind::MemScalePerChannel,
+    ] {
+        let run = Simulation::new(&mix, policy, &cfg).run_for(Picos::from_ms(4), 30.0);
+        let audit = run.audit.as_ref().expect("audit enabled in test builds");
+        assert!(audit.is_clean(), "{policy:?}: {}", audit.summary());
+        assert!(audit.commands_checked > 0);
+    }
+}
+
+#[cfg(feature = "audit")]
+#[test]
+fn open_page_streams_are_conformant() {
+    // Open-page management defers precharges past row hits; the deferred
+    // PRE placement still has to satisfy tRAS/tRTP/tWR.
+    use memscale_mc::RowPolicy;
+    use memscale_simulator::Simulation;
+    let mix = Mix::by_name("MID1").unwrap();
+    let mut cfg = SimConfig::default().with_duration(Picos::from_ms(2));
+    cfg.row_policy = RowPolicy::OpenPage;
+    let run = Simulation::new(&mix, PolicyKind::Baseline, &cfg).run_for(Picos::from_ms(2), 0.0);
+    let audit = run.audit.as_ref().expect("audit enabled in test builds");
+    assert!(audit.is_clean(), "{}", audit.summary());
+    assert!(audit.commands_checked > 0);
 }
 
 #[test]
@@ -174,10 +215,10 @@ fn open_page_changes_row_hit_behaviour() {
     open_cfg.row_policy = RowPolicy::OpenPage;
     let closed_cfg = SimConfig::default().with_duration(Picos::from_ms(4));
 
-    let open = Simulation::new(&mix, PolicyKind::Baseline, &open_cfg)
-        .run_for(Picos::from_ms(4), 0.0);
-    let closed = Simulation::new(&mix, PolicyKind::Baseline, &closed_cfg)
-        .run_for(Picos::from_ms(4), 0.0);
+    let open =
+        Simulation::new(&mix, PolicyKind::Baseline, &open_cfg).run_for(Picos::from_ms(4), 0.0);
+    let closed =
+        Simulation::new(&mix, PolicyKind::Baseline, &closed_cfg).run_for(Picos::from_ms(4), 0.0);
     // Open-page must produce strictly more row hits and also open-row
     // conflicts, which closed-page avoids almost entirely.
     assert!(open.counters.rbhc > closed.counters.rbhc);

@@ -46,10 +46,7 @@ fn fewer_channels_still_respect_the_bound() {
             "{channels} channels: worst {:.3}",
             cmp.max_cpi_increase()
         );
-        assert!(
-            cmp.system_savings > 0.0,
-            "{channels} channels: no savings"
-        );
+        assert!(cmp.system_savings > 0.0, "{channels} channels: no savings");
     }
 }
 
@@ -81,7 +78,11 @@ fn shorter_epochs_still_work() {
     let mut cfg = quick();
     cfg.governor.epoch = Picos::from_ms(1);
     let (_, cmp) = exp.evaluate_configured(PolicyKind::MemScale, &cfg);
-    assert!(cmp.system_savings > 0.05, "1 ms epochs: {:.3}", cmp.system_savings);
+    assert!(
+        cmp.system_savings > 0.05,
+        "1 ms epochs: {:.3}",
+        cmp.system_savings
+    );
     assert!(cmp.max_cpi_increase() < 0.115);
 }
 
@@ -139,6 +140,21 @@ fn eight_core_system_scales_deeper() {
         run8.mean_frequency_mhz(),
         run16.mean_frequency_mhz()
     );
+}
+
+#[cfg(feature = "audit")]
+#[test]
+fn narrow_topologies_replay_clean() {
+    // The auditor is built from the run's own (possibly narrowed) topology;
+    // a two-channel MemScale run must still replay with zero violations.
+    use memscale_simulator::Simulation;
+    let mix = Mix::by_name("MID2").unwrap();
+    let mut cfg = quick();
+    cfg.system.topology.channels = 2;
+    let run = Simulation::new(&mix, PolicyKind::MemScale, &cfg).run_for(Picos::from_ms(6), 30.0);
+    let audit = run.audit.as_ref().expect("audit enabled in test builds");
+    assert!(audit.is_clean(), "{}", audit.summary());
+    assert!(audit.commands_checked > 0);
 }
 
 #[test]
