@@ -1,4 +1,5 @@
-//! Standalone DDR3 protocol conformance checker.
+//! Standalone DRAM protocol conformance checker with per-generation rule
+//! packs (DDR3, DDR4, LPDDR3).
 //!
 //! The DRAM and memory-controller crates can emit one [`CmdEvent`] per
 //! device-level command they schedule (behind their `audit` features). A
@@ -10,6 +11,13 @@
 //! rank or inside a re-lock window, no overlapping bursts on the shared data
 //! bus). Any discrepancy becomes a structured [`Violation`] naming the
 //! [`Rule`], location and both timestamps involved.
+//!
+//! The generation tag of the [`DramTimingConfig`] selects additional rule
+//! packs: DDR4 configurations (bank groups) also enforce same-bank-group
+//! `tCCD_L` CAS spacing and `tRRD_L` ACT spacing; LPDDR3 configurations also
+//! check the deep power-down lifecycle (`tXDPD` exit latency) and per-bank
+//! refresh (`tRFCpb` duration, bank-addressed REF commands, `tREFI / banks`
+//! postponement bound).
 //!
 //! The checker is deliberately decoupled: it depends only on `memscale-types`
 //! and recomputes every latency from the raw [`DramTimingConfig`], so a bug
@@ -95,6 +103,15 @@ pub enum Rule {
     /// Event addresses a channel/rank/bank outside the configured topology,
     /// or an unknown operating point.
     Topology,
+    /// Same-bank-group CAS-to-CAS spacing (DDR4 `tCCD_L`).
+    TCcdL,
+    /// Same-bank-group ACT-to-ACT spacing (DDR4 `tRRD_L`).
+    TRrdL,
+    /// Deep power-down exit latency (LPDDR `tXDPD`), and deep power-down
+    /// events on a generation without the state.
+    TXdpd,
+    /// Per-bank refresh duration / addressing (LPDDR `tRFCpb`).
+    TRfcPb,
 }
 
 impl Rule {
@@ -120,6 +137,10 @@ impl Rule {
             Rule::BusOverlap => "bus-overlap",
             Rule::BurstLength => "burst-length",
             Rule::Topology => "topology",
+            Rule::TCcdL => "tCCD_L",
+            Rule::TRrdL => "tRRD_L",
+            Rule::TXdpd => "tXDPD",
+            Rule::TRfcPb => "tRFCpb",
         }
     }
 }
@@ -221,6 +242,7 @@ enum BankState {
 enum Power {
     Up,
     Down { fast: bool, since: Picos },
+    DeepDown { since: Picos },
 }
 
 #[derive(Debug, Clone)]
@@ -230,17 +252,25 @@ struct RankState {
     ready_at: Picos,
     /// Up to four most recent ACT issue times (`tRRD`/`tFAW` history).
     acts: VecDeque<Picos>,
+    /// Most recent ACT per bank group (`tRRD_L`; one slot when the
+    /// generation has no bank groups).
+    group_acts: Vec<Option<Picos>>,
+    /// Most recent CAS per bank group (`tCCD_L`).
+    group_cas: Vec<Option<Picos>>,
     /// Issue time and completion of the most recent REF.
     last_ref: Option<(Picos, Picos)>,
     banks: Vec<BankState>,
 }
 
 impl RankState {
-    fn new(banks: usize) -> Self {
+    fn new(banks: usize, groups: usize) -> Self {
+        let groups = groups.max(1);
         RankState {
             power: Power::Up,
             ready_at: Picos::ZERO,
             acts: VecDeque::with_capacity(4),
+            group_acts: vec![None; groups],
+            group_cas: vec![None; groups],
             last_ref: None,
             banks: vec![BankState::Closed { ready: Picos::ZERO }; banks],
         }
@@ -343,13 +373,13 @@ impl ProtocolAuditor {
 /// the commands themselves; powerdown entry replays last.
 fn replay_priority(kind: &CmdKind) -> u8 {
     match kind {
-        CmdKind::PowerDownExit { .. } => 0,
+        CmdKind::PowerDownExit { .. } | CmdKind::DeepPowerDownExit { .. } => 0,
         CmdKind::FreqSwitch { .. } => 1,
         CmdKind::Refresh { .. } => 2,
         CmdKind::Precharge => 3,
         CmdKind::Activate { .. } => 4,
         CmdKind::CasRead { .. } | CmdKind::CasWrite { .. } => 5,
-        CmdKind::PowerDownEnter { .. } => 6,
+        CmdKind::PowerDownEnter { .. } | CmdKind::DeepPowerDownEnter => 6,
     }
 }
 
@@ -375,7 +405,7 @@ impl Replay {
                     bus_busy_until: Picos::ZERO,
                     relock: None,
                     ranks: (0..ranks_per_channel)
-                        .map(|_| RankState::new(banks_per_rank))
+                        .map(|_| RankState::new(banks_per_rank, usize::from(cfg.bank_groups)))
                         .collect(),
                 })
                 .collect(),
@@ -447,7 +477,7 @@ impl Replay {
             }
         }
         match power {
-            Power::Down { since, .. } => {
+            Power::Down { since, .. } | Power::DeepDown { since } => {
                 self.violate(
                     e,
                     Rule::RankPowerState,
@@ -499,6 +529,10 @@ impl Replay {
             } => {
                 self.on_pd_exit(e, fast, entered_at, ready);
             }
+            CmdKind::DeepPowerDownEnter => self.on_dpd_enter(e),
+            CmdKind::DeepPowerDownExit { entered_at, ready } => {
+                self.on_dpd_exit(e, entered_at, ready);
+            }
             CmdKind::FreqSwitch {
                 from_mhz,
                 to_mhz,
@@ -523,9 +557,11 @@ impl Replay {
             );
             return;
         };
+        let group = self.cfg.bank_group_of(bank_id);
         let rank = &self.channels[e.channel.index()].ranks[e.rank.index()];
         let bank_state = rank.banks[bank_id.index()];
         let last_act = rank.acts.back().copied();
+        let last_group_act = rank.group_acts[group % rank.group_acts.len()];
         let four_deep = (rank.acts.len() == 4).then(|| rank.acts[0]);
 
         // Bank must be precharged, and the precharge must have completed.
@@ -580,11 +616,31 @@ impl Replay {
             }
         }
 
+        // DDR4 rule pack: same-bank-group ACTs must also respect tRRD_L.
+        if self.cfg.bank_groups > 1 {
+            let t_rrd_l = self.cfg.t_rrd_l();
+            if let Some(last) = last_group_act {
+                if e.at < last + t_rrd_l {
+                    self.violate(
+                        e,
+                        Rule::TRrdL,
+                        last,
+                        format!(
+                            "ACT {} within tRRD_L {t_rrd_l} of the same-group ACT at {last}",
+                            e.at
+                        ),
+                    );
+                }
+            }
+        }
+
         let rank = &mut self.channels[e.channel.index()].ranks[e.rank.index()];
         if rank.acts.len() == 4 {
             rank.acts.pop_front();
         }
         rank.acts.push_back(e.at);
+        let slot = group % rank.group_acts.len();
+        rank.group_acts[slot] = Some(e.at);
         rank.banks[bank_id.index()] = BankState::Open {
             row,
             act_at: e.at,
@@ -611,6 +667,27 @@ impl Replay {
         let burst = self.burst_len(freq);
         let bus_free = self.channels[ch_idx].bus_busy_until;
         let bank_state = self.channels[ch_idx].ranks[e.rank.index()].banks[bank_id.index()];
+        let group = self.cfg.bank_group_of(bank_id);
+
+        // DDR4 rule pack: same-bank-group CAS pairs must respect tCCD_L,
+        // which exceeds the burst (tCCD_S) that bus serialization enforces.
+        if self.cfg.bank_groups > 1 {
+            let t_ccd_l = freq.cycle() * u64::from(self.cfg.t_ccd_l_cycles);
+            let rank = &self.channels[ch_idx].ranks[e.rank.index()];
+            if let Some(last) = rank.group_cas[group % rank.group_cas.len()] {
+                if e.at < last + t_ccd_l {
+                    self.violate(
+                        e,
+                        Rule::TCcdL,
+                        last,
+                        format!(
+                            "CAS {} within tCCD_L {t_ccd_l} of the same-group CAS at {last}",
+                            e.at
+                        ),
+                    );
+                }
+            }
+        }
 
         match bank_state {
             BankState::Closed { ready } => {
@@ -667,6 +744,9 @@ impl Replay {
 
         let ch = &mut self.channels[ch_idx];
         ch.bus_busy_until = ch.bus_busy_until.max(burst_end);
+        let rank = &mut ch.ranks[e.rank.index()];
+        let slot = group % rank.group_cas.len();
+        rank.group_cas[slot] = Some(e.at);
         if let BankState::Open {
             last_read_cas,
             last_write_end,
@@ -701,7 +781,7 @@ impl Replay {
         let rank = &self.channels[e.channel.index()].ranks[e.rank.index()];
         let power = rank.power;
         let bank_state = rank.banks[bank_id.index()];
-        if let Power::Down { since, .. } = power {
+        if let Power::Down { since, .. } | Power::DeepDown { since } = power {
             self.violate(
                 e,
                 Rule::RankPowerState,
@@ -758,13 +838,44 @@ impl Replay {
     fn on_refresh(&mut self, e: &CmdEvent, end: Picos) {
         // REF is exempt from power-state and command-overlap checks
         // (documented approximations) but must not sit inside a re-lock
-        // window, must last exactly tRFC, must not overlap the previous REF,
-        // and must respect the eight-command postponement bound.
-        let t_rfc = self.cfg.t_rfc();
-        let t_refi = self.cfg.t_refi();
+        // window, must last exactly tRFC (tRFCpb for LPDDR per-bank
+        // refresh), must not overlap the previous REF, and must respect the
+        // eight-command postponement bound. Per-bank refresh shrinks the
+        // effective interval to tREFI / banks and requires a bank tag.
+        let per_bank = self.cfg.per_bank_refresh;
+        let gen = self.cfg.generation;
+        let (t_rfc, dur_rule) = if per_bank {
+            (self.cfg.t_rfc_pb(), Rule::TRfcPb)
+        } else {
+            (self.cfg.t_rfc(), Rule::TRfc)
+        };
+        let banks = self.channels[e.channel.index()].ranks[e.rank.index()]
+            .banks
+            .len();
+        let t_refi = if per_bank {
+            self.cfg.t_refi().scale(1.0 / banks as f64)
+        } else {
+            self.cfg.t_refi()
+        };
         let ch = &self.channels[e.channel.index()];
         let relock = ch.relock;
         let last_ref = ch.ranks[e.rank.index()].last_ref;
+        if per_bank && e.bank.is_none() {
+            self.violate(
+                e,
+                Rule::TRfcPb,
+                e.at,
+                format!("{gen}: per-bank REF without a target bank"),
+            );
+        }
+        if !per_bank && e.bank.is_some() {
+            self.violate(
+                e,
+                Rule::TRfc,
+                e.at,
+                format!("{gen}: all-bank REF carries a bank tag"),
+            );
+        }
         if let Some((start, until)) = relock {
             if e.at >= start && e.at < until {
                 self.violate(
@@ -779,16 +890,16 @@ impl Replay {
             let got = end.saturating_sub(e.at);
             self.violate(
                 e,
-                Rule::TRfc,
+                dur_rule,
                 end,
-                format!("REF spans {got}, expected tRFC {t_rfc}"),
+                format!("REF spans {got}, expected {} {t_rfc}", dur_rule.name()),
             );
         }
         if let Some((last_at, last_end)) = last_ref {
             if e.at < last_end {
                 self.violate(
                     e,
-                    Rule::TRfc,
+                    dur_rule,
                     last_end,
                     format!("REF {} overlaps the previous REF ending {last_end}", e.at),
                 );
@@ -800,7 +911,7 @@ impl Replay {
                     Rule::TRefi,
                     last_at,
                     format!(
-                        "REF {} more than nine tREFI after the previous REF at {last_at}",
+                        "REF {} more than nine refresh intervals after the previous REF at {last_at}",
                         e.at
                     ),
                 );
@@ -813,7 +924,7 @@ impl Replay {
         let rank = &self.channels[e.channel.index()].ranks[e.rank.index()];
         let power = rank.power;
         let banks = rank.banks.clone();
-        if let Power::Down { since, .. } = power {
+        if let Power::Down { since, .. } | Power::DeepDown { since } = power {
             self.violate(
                 e,
                 Rule::RankPowerState,
@@ -894,6 +1005,17 @@ impl Replay {
                     );
                 }
             }
+            Power::DeepDown { since } => {
+                self.violate(
+                    e,
+                    Rule::RankPowerState,
+                    since,
+                    format!(
+                        "precharge-powerdown exit from a rank in deep power-down \
+                         since {since}"
+                    ),
+                );
+            }
         }
         if ready < e.at + exit {
             self.violate(
@@ -903,6 +1025,107 @@ impl Replay {
                 format!(
                     "rank ready {ready} less than {} {exit} after the exit at {}",
                     rule.name(),
+                    e.at
+                ),
+            );
+        }
+        let rank = &mut self.channels[e.channel.index()].ranks[e.rank.index()];
+        rank.power = Power::Up;
+        rank.ready_at = rank.ready_at.max(ready);
+    }
+
+    fn on_dpd_enter(&mut self, e: &CmdEvent) {
+        let gen = self.cfg.generation;
+        if !gen.has_deep_power_down() {
+            self.violate(
+                e,
+                Rule::TXdpd,
+                e.at,
+                format!("{gen}: deep power-down entry on a generation without it"),
+            );
+        }
+        let rank = &self.channels[e.channel.index()].ranks[e.rank.index()];
+        let power = rank.power;
+        let banks = rank.banks.clone();
+        if let Power::Down { since, .. } | Power::DeepDown { since } = power {
+            self.violate(
+                e,
+                Rule::RankPowerState,
+                since,
+                format!("deep power-down entry while already down since {since}"),
+            );
+            return;
+        }
+        // Like precharge powerdown, deep power-down requires every bank idle
+        // and precharged.
+        for (i, bank) in banks.iter().enumerate() {
+            match *bank {
+                BankState::Open { act_at, .. } => {
+                    self.violations.push(Violation {
+                        rule: Rule::BankState,
+                        channel: e.channel,
+                        rank: e.rank,
+                        bank: Some(BankId(i)),
+                        at: e.at,
+                        reference: act_at,
+                        detail: format!(
+                            "deep power-down entry with a row open since the ACT at {act_at}"
+                        ),
+                    });
+                }
+                BankState::Closed { ready } => {
+                    if e.at < ready {
+                        self.violations.push(Violation {
+                            rule: Rule::BankState,
+                            channel: e.channel,
+                            rank: e.rank,
+                            bank: Some(BankId(i)),
+                            at: e.at,
+                            reference: ready,
+                            detail: format!(
+                                "deep power-down entry before the precharge completes at {ready}"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        self.channels[e.channel.index()].ranks[e.rank.index()].power =
+            Power::DeepDown { since: e.at };
+    }
+
+    fn on_dpd_exit(&mut self, e: &CmdEvent, entered_at: Picos, ready: Picos) {
+        let t_xdpd = self.cfg.t_xdpd();
+        let power = self.channels[e.channel.index()].ranks[e.rank.index()].power;
+        match power {
+            Power::Up => {
+                self.violate(
+                    e,
+                    Rule::RankPowerState,
+                    entered_at,
+                    "deep power-down exit from a rank that is not powered down".to_string(),
+                );
+            }
+            Power::Down { since, .. } => {
+                self.violate(
+                    e,
+                    Rule::RankPowerState,
+                    since,
+                    format!(
+                        "deep power-down exit from a rank in precharge powerdown \
+                         since {since}"
+                    ),
+                );
+            }
+            Power::DeepDown { .. } => {}
+        }
+        if ready < e.at + t_xdpd {
+            self.violate(
+                e,
+                Rule::TXdpd,
+                ready,
+                format!(
+                    "rank ready {ready} less than tXDPD {t_xdpd} after the exit at {}",
                     e.at
                 ),
             );

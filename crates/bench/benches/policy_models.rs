@@ -39,6 +39,7 @@ fn profile() -> EpochProfile {
             write_burst_frac: 0.005,
             active_frac: 0.4,
             pd_frac: 0.0,
+            deep_pd_frac: 0.0,
             bus_util: 0.5,
         },
     }

@@ -1,0 +1,102 @@
+//! Cross-generation sweep: the MemScale governor on the DDR3, DDR4 and
+//! LPDDR3 reference devices (the pluggable memory-generation subsystem).
+//!
+//! One configuration switch re-bases the whole stack — timing, bank groups,
+//! refresh mode, IDD table and available low-power states — so the same
+//! governor and workloads run unchanged across standards.
+
+use crate::exp::common::{mean, sweep_cfg};
+use crate::report::{f, pct, Table};
+use memscale::policies::PolicyKind;
+use memscale_simulator::harness::Experiment;
+use memscale_types::config::MemGeneration;
+use memscale_types::time::Picos;
+use memscale_workloads::{Mix, WorkloadClass};
+
+/// MemScale across DDR3 / DDR4 / LPDDR3 on the MID workloads, plus an
+/// LPDDR3 deep power-down baseline showing the extra idle state in use.
+pub fn generations() -> Table {
+    let mut t = Table::new(
+        "generations",
+        "Cross-generation sweep: MemScale on DDR3 / DDR4 / LPDDR3 (MID workloads)",
+        &[
+            "Generation",
+            "Workload",
+            "Mem savings",
+            "Sys savings",
+            "Worst CPI",
+            "Mean MHz",
+        ],
+    );
+    let mut worst: f64 = 0.0;
+    let mut sys_by_gen = Vec::new();
+    for generation in MemGeneration::ALL {
+        let cfg = sweep_cfg().with_generation(generation);
+        let mut sys = Vec::new();
+        for mix in Mix::by_class(WorkloadClass::Mid) {
+            let exp = Experiment::calibrate(&mix, &cfg);
+            let (run, cmp) = exp.evaluate(PolicyKind::MemScale);
+            worst = worst.max(cmp.max_cpi_increase());
+            sys.push(cmp.system_savings);
+            t.row(vec![
+                generation.to_string(),
+                mix.name.to_string(),
+                pct(cmp.memory_savings),
+                pct(cmp.system_savings),
+                pct(cmp.max_cpi_increase()),
+                f(run.mean_frequency_mhz(), 0),
+            ]);
+        }
+        t.row(vec![
+            generation.to_string(),
+            "AVERAGE".into(),
+            String::new(),
+            pct(mean(&sys)),
+            String::new(),
+            String::new(),
+        ]);
+        sys_by_gen.push(mean(&sys));
+    }
+
+    // The LPDDR3-only deep power-down baseline: today's-MC-style aggressive
+    // idling into the deepest state, at full frequency.
+    let cfg = sweep_cfg().with_generation(MemGeneration::Lpddr3);
+    let mix = Mix::by_class(WorkloadClass::Mid)
+        .into_iter()
+        .next()
+        .expect("MID workloads exist");
+    let exp = Experiment::calibrate(&mix, &cfg);
+    let (run, cmp) = exp.evaluate(PolicyKind::DeepPd);
+    let ranks = cfg.system.topology.total_ranks();
+    t.row(vec![
+        format!("{} Deep-PD", MemGeneration::Lpddr3),
+        mix.name.to_string(),
+        pct(cmp.memory_savings),
+        pct(cmp.system_savings),
+        pct(cmp.max_cpi_increase()),
+        f(run.mean_frequency_mhz(), 0),
+    ]);
+
+    t.check(
+        "MemScale respects the CPI bound on every generation",
+        worst < 0.115,
+    );
+    t.check(
+        "MemScale saves system energy on every generation",
+        sys_by_gen.iter().all(|&s| s > 0.0),
+    );
+    t.check(
+        "bank-grouped DDR4 tracks DDR3 savings within 5 pp",
+        (sys_by_gen[0] - sys_by_gen[1]).abs() < 0.05,
+    );
+    t.check(
+        "deep power-down actually engages on LPDDR3 (exits and residency)",
+        run.counters.edpc > 0 && run.deep_pd_time > Picos::ZERO,
+    );
+    t.note(format!(
+        "Deep-PD run: {} deep exits, {:.1}% average rank residency in deep power-down.",
+        run.counters.edpc,
+        run.deep_pd_residency(ranks) * 100.0
+    ));
+    t
+}

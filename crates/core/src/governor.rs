@@ -341,6 +341,7 @@ mod tests {
                 write_burst_frac: 0.0005,
                 active_frac: 0.02,
                 pd_frac: 0.0,
+                deep_pd_frac: 0.0,
                 bus_util: 0.02,
             },
         }
@@ -374,6 +375,7 @@ mod tests {
                 write_burst_frac: 0.01,
                 active_frac: 0.5,
                 pd_frac: 0.0,
+                deep_pd_frac: 0.0,
                 bus_util: 0.68,
             },
         }

@@ -8,6 +8,7 @@
 //! | `Baseline` | memory at maximum frequency, no powerdown |
 //! | `FastPd` | immediate fast-exit precharge powerdown on idle ranks |
 //! | `SlowPd` | immediate slow-exit precharge powerdown |
+//! | `DeepPd` | immediate deep power-down (LPDDR generations only) |
 //! | `Static(f)` | fixed boot-time frequency (the paper uses 467 MHz) |
 //! | `Decoupled` | devices at 400 MHz behind a sync buffer, channel at 800 |
 //! | `MemScale` | the full dynamic policy (full-system objective) |
@@ -18,7 +19,7 @@
 use crate::governor::{EnergyObjective, GovernorConfig, MemScaleGovernor};
 use crate::profile::EpochProfile;
 use memscale_dram::rank::PowerDownMode;
-use memscale_types::config::SystemConfig;
+use memscale_types::config::{MemGeneration, SystemConfig};
 use memscale_types::freq::MemFreq;
 
 /// Which energy-management scheme to run.
@@ -30,6 +31,9 @@ pub enum PolicyKind {
     FastPd,
     /// Slow-exit powerdown when idle.
     SlowPd,
+    /// Deep power-down when idle (LPDDR generations only): the lowest
+    /// background floor, paid for with the long `tXDPD` exit.
+    DeepPd,
     /// Statically selected frequency (§4.1 picks 467 MHz).
     Static(MemFreq),
     /// Decoupled DIMMs: devices at `device`, channel at 800 MHz.
@@ -56,6 +60,7 @@ impl PolicyKind {
             PolicyKind::Baseline => "Baseline",
             PolicyKind::FastPd => "Fast-PD",
             PolicyKind::SlowPd => "Slow-PD",
+            PolicyKind::DeepPd => "Deep-PD",
             PolicyKind::Static(_) => "Static",
             PolicyKind::Decoupled { .. } => "Decoupled",
             PolicyKind::MemScale => "MemScale",
@@ -78,6 +83,15 @@ impl PolicyKind {
             PolicyKind::MemScaleMemEnergy,
             PolicyKind::MemScaleFastPd,
         ]
+    }
+
+    /// Whether this scheme exists on `generation`. Deep power-down is
+    /// LPDDR-only; everything else is generation-agnostic.
+    pub fn available_on(&self, generation: MemGeneration) -> bool {
+        match self {
+            PolicyKind::DeepPd => generation.has_deep_power_down(),
+            _ => true,
+        }
     }
 }
 
@@ -148,6 +162,7 @@ impl Policy {
         match self.kind {
             PolicyKind::FastPd | PolicyKind::MemScaleFastPd => Some(PowerDownMode::Fast),
             PolicyKind::SlowPd => Some(PowerDownMode::Slow),
+            PolicyKind::DeepPd => Some(PowerDownMode::Deep),
             _ => None,
         }
     }
@@ -286,6 +301,22 @@ mod tests {
             policy(PolicyKind::MemScaleFastPd).auto_power_down(),
             Some(PowerDownMode::Fast)
         );
+        assert_eq!(
+            policy(PolicyKind::DeepPd).auto_power_down(),
+            Some(PowerDownMode::Deep)
+        );
+    }
+
+    #[test]
+    fn deep_pd_is_lpddr_only() {
+        assert!(!PolicyKind::DeepPd.available_on(MemGeneration::Ddr3));
+        assert!(!PolicyKind::DeepPd.available_on(MemGeneration::Ddr4));
+        assert!(PolicyKind::DeepPd.available_on(MemGeneration::Lpddr3));
+        for k in PolicyKind::comparison_set() {
+            for g in MemGeneration::ALL {
+                assert!(k.available_on(g), "{} on {g}", k.name());
+            }
+        }
     }
 
     #[test]

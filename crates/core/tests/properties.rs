@@ -67,6 +67,7 @@ fn profile_from(w: &Window) -> EpochProfile {
             write_burst_frac: 0.002,
             active_frac: 0.2,
             pd_frac: 0.0,
+            deep_pd_frac: 0.0,
             bus_util: 0.3,
         },
     }

@@ -28,7 +28,7 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Runs `f` once (test mode) or [`BENCH_ITERS`] times while timing it
+    /// Runs `f` once (test mode) or `BENCH_ITERS` times while timing it
     /// (bench mode), returning the mean wall-clock nanoseconds per call.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) -> Option<f64> {
         if !self.bench {

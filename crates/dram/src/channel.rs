@@ -6,6 +6,7 @@
 //! request occupies its bank from activate to precharge and cannot complete
 //! until the data bus accepts its burst.
 
+use crate::generation::GenerationModel;
 use crate::rank::{PowerDownMode, Rank};
 use crate::stats::ChannelStats;
 use crate::timing::TimingSet;
@@ -46,6 +47,8 @@ pub struct AccessTimeline {
     pub outcome: RowOutcome,
     /// Whether servicing required a powerdown exit.
     pub pd_exit: bool,
+    /// Whether the exit was from deep power-down (LPDDR generations).
+    pub deep_pd_exit: bool,
     /// When the ACT command issued (None on a row hit).
     pub act_at: Option<Picos>,
     /// When the column access effectively issued (after bus back-pressure).
@@ -64,6 +67,7 @@ pub struct AccessTimeline {
 pub struct DramChannel {
     cfg: DramTimingConfig,
     timing: TimingSet,
+    generation: GenerationModel,
     ranks: Vec<Rank>,
     bus_free_at: Picos,
     stats: ChannelStats,
@@ -90,17 +94,19 @@ impl DramChannel {
     pub fn new(cfg: &DramTimingConfig, ranks: usize, banks: usize, freq: MemFreq) -> Self {
         assert!(ranks > 0 && banks > 0, "channel needs ranks and banks");
         let timing = TimingSet::resolve(cfg, freq);
+        let generation = GenerationModel::from_config(cfg);
         #[cfg(feature = "audit")]
         let slots = ranks * banks;
         let ranks = (0..ranks)
             .map(|i| {
                 let stagger = Picos::from_ps(timing.t_refi.as_ps() * (i as u64 + 1) / ranks as u64);
-                Rank::new(banks, stagger)
+                Rank::new(banks, generation.bank_groups(), stagger)
             })
             .collect();
         DramChannel {
             cfg: cfg.clone(),
             timing,
+            generation,
             ranks,
             bus_free_at: Picos::ZERO,
             stats: ChannelStats::new(),
@@ -158,6 +164,13 @@ impl DramChannel {
     #[inline]
     pub fn frequency(&self) -> MemFreq {
         self.timing.freq
+    }
+
+    /// The generation model (bank groups, available low-power states) in
+    /// effect on this channel.
+    #[inline]
+    pub fn generation(&self) -> &GenerationModel {
+        &self.generation
     }
 
     /// Current frequency-resolved timing.
@@ -222,12 +235,13 @@ impl DramChannel {
         keep_open: bool,
     ) -> AccessTimeline {
         let t = self.timing;
+        let group = self.generation.group_of(bank);
         #[cfg(feature = "audit")]
         let slot = rank.index() * self.ranks[0].bank_count() + bank.index();
         let r = &mut self.ranks[rank.index()];
         // Wake first (powerdown exit + residency accounting anchors at the
         // pre-refresh idle horizon), then catch up on refresh arrears.
-        let (ready, pd_exit) = r.ensure_awake(now, &t);
+        let (ready, woke) = r.ensure_awake(now, &t);
         r.catch_up_refresh(now, &t);
         let ready = ready.max(r.busy_until());
 
@@ -272,17 +286,17 @@ impl DramChannel {
                             kind: CmdKind::Precharge,
                         });
                     }
-                    let act = r.earliest_act(pre_at + t.t_rp, &t);
+                    let act = r.earliest_act(group, pre_at + t.t_rp, &t);
                     (RowOutcome::OpenMiss, Some(act), act + t.t_rcd)
                 }
                 None => {
-                    let act = r.earliest_act(t0, &t);
+                    let act = r.earliest_act(group, t0, &t);
                     (RowOutcome::ClosedMiss, Some(act), act + t.t_rcd)
                 }
             }
         };
         if let Some(act) = act_at {
-            r.record_act(act);
+            r.record_act(group, act);
             r.bank_mut(bank).record_act(row, act);
             #[cfg(feature = "audit")]
             if self.recording {
@@ -296,6 +310,9 @@ impl DramChannel {
             }
         }
 
+        // Same-bank-group CAS pairs respect tCCD_L (binding on DDR4, where
+        // it exceeds the burst; elsewhere subsumed by bus serialization).
+        let cas_ready = r.earliest_cas(group, cas_ready, &t);
         // Data burst: CAS latency, then wait for the bus (transfer blocking).
         let data_ready = cas_ready + t.t_cl;
         let data_start = data_ready.max(self.bus_free_at);
@@ -303,6 +320,7 @@ impl DramChannel {
         self.bus_free_at = data_end;
         // The CAS the device actually saw, accounting for bus back-pressure.
         let cas_at = data_start - t.t_cl;
+        r.record_cas(group, cas_at);
         #[cfg(feature = "audit")]
         if self.recording {
             self.events.push(CmdEvent {
@@ -383,7 +401,8 @@ impl DramChannel {
 
         AccessTimeline {
             outcome,
-            pd_exit,
+            pd_exit: woke.is_some(),
+            deep_pd_exit: woke == Some(PowerDownMode::Deep),
             act_at,
             cas_at,
             data_start,
@@ -401,7 +420,16 @@ impl DramChannel {
         }
         // The switch cannot begin while data is still in flight: drained
         // writebacks may hold the bus past `now`.
-        let start = now.max(self.bus_free_at);
+        let mut start = now.max(self.bus_free_at);
+        // Refresh obligations gate the switch: arrears that became due
+        // before it completed in the background at the old timing, and any
+        // still in flight push the window's start — a REF may never land
+        // inside the re-lock window, nor be starved across a switch chain.
+        let old_timing = self.timing;
+        for rank in &mut self.ranks {
+            rank.catch_up_refresh(start, &old_timing);
+            start = start.max(rank.refresh_horizon());
+        }
         let penalty = TimingSet::relock_penalty(&self.cfg, freq);
         let ready = start + penalty;
         #[cfg(feature = "audit")]
@@ -632,5 +660,65 @@ mod tests {
         ch.enter_power_down(RankId(2), PowerDownMode::Slow, Picos::ZERO);
         ch.sync(Picos::from_us(3));
         assert_eq!(ch.rank_stats(RankId(2)).slow_pd_time, Picos::from_us(3));
+    }
+
+    fn ddr4_channel() -> DramChannel {
+        DramChannel::new(&DramTimingConfig::ddr4(), 2, 16, MemFreq::F800)
+    }
+
+    #[test]
+    fn ddr4_tccd_l_spaces_same_group_cas_beyond_the_burst() {
+        // Banks 0 and 4 share group 0; banks 0 and 1 do not.
+        let mut same = ddr4_channel();
+        let a = read(&mut same, 0, 0, 1, 0);
+        let b = same.service(
+            RankId(0),
+            BankId(4),
+            1,
+            AccessKind::Read,
+            Picos::ZERO,
+            false,
+        );
+        let t_ccd_l = same.timing().t_ccd_l;
+        assert!(t_ccd_l > same.timing().burst);
+        assert!(b.cas_at >= a.cas_at + t_ccd_l);
+
+        let mut cross = ddr4_channel();
+        let c = read(&mut cross, 0, 0, 1, 0);
+        let d = read(&mut cross, 0, 1, 1, 0);
+        // Cross-group pairs are limited only by the burst (tCCD_S).
+        assert!(d.cas_at < c.cas_at + t_ccd_l);
+        assert!(d.data_start >= c.data_end);
+    }
+
+    #[test]
+    fn ddr4_trrd_l_spaces_same_group_activates() {
+        let mut ch = ddr4_channel();
+        let a = read(&mut ch, 0, 0, 1, 0);
+        let b = ch.service(
+            RankId(0),
+            BankId(4),
+            1,
+            AccessKind::Read,
+            Picos::ZERO,
+            false,
+        );
+        // Same group: tRRD_L = 7.5 ns, not plain tRRD = 5 ns.
+        assert_eq!(a.act_at, Some(Picos::ZERO));
+        assert_eq!(b.act_at, Some(Picos::from_ps(7_500)));
+    }
+
+    #[test]
+    fn deep_powerdown_round_trip_counts_edpc() {
+        let mut ch = DramChannel::new(&DramTimingConfig::lpddr3(), 2, 8, MemFreq::F800);
+        ch.enter_power_down(RankId(0), PowerDownMode::Deep, Picos::ZERO);
+        assert!(ch.is_powered_down(RankId(0)));
+        let t = read(&mut ch, 0, 0, 1, 5000);
+        assert!(t.pd_exit && t.deep_pd_exit);
+        let s = ch.rank_stats(RankId(0));
+        assert_eq!(s.deep_pd_exits, 1);
+        assert_eq!(s.deep_pd_time, Picos::from_us(5));
+        // ACT waits out the 500 ns deep-powerdown exit.
+        assert!(t.act_at.unwrap() >= Picos::from_us(5) + Picos::from_ns(500));
     }
 }

@@ -1,0 +1,106 @@
+//! Engine-facing view of the memory generation in effect.
+//!
+//! [`GenerationModel`] is the single extension point through which the
+//! channel/rank state machines learn what the selected standard adds on top
+//! of the DDR3 baseline: DDR4 contributes bank groups (split `tCCD_S` /
+//! `tCCD_L` CAS spacing and same-group `tRRD_L`), LPDDR3 contributes deep
+//! power-down and per-bank refresh. The mapping from banks to groups lives
+//! in `memscale-types` ([`DramTimingConfig::bank_group_of`]) so the
+//! independent `memscale-audit` oracle shares it without depending on this
+//! crate.
+
+use crate::rank::PowerDownMode;
+use memscale_types::config::{DramTimingConfig, MemGeneration};
+use memscale_types::ids::BankId;
+
+/// Resolved per-generation behavior: which scheduling constraints and
+/// low-power states the device model enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenerationModel {
+    generation: MemGeneration,
+    bank_groups: usize,
+}
+
+impl GenerationModel {
+    /// Derives the model from a validated timing configuration.
+    pub fn from_config(cfg: &DramTimingConfig) -> Self {
+        GenerationModel {
+            generation: cfg.generation,
+            bank_groups: usize::from(cfg.bank_groups.max(1)),
+        }
+    }
+
+    /// The memory standard in effect.
+    #[inline]
+    pub fn generation(&self) -> MemGeneration {
+        self.generation
+    }
+
+    /// Number of bank groups per rank (1 on generations without them).
+    #[inline]
+    pub fn bank_groups(&self) -> usize {
+        self.bank_groups
+    }
+
+    /// The bank group `bank` belongs to (round-robin, matching the
+    /// types-level mapping the auditor uses).
+    #[inline]
+    pub fn group_of(&self, bank: BankId) -> usize {
+        bank.index() % self.bank_groups
+    }
+
+    /// The low-power states this generation's ranks can enter.
+    pub fn low_power_modes(&self) -> &'static [PowerDownMode] {
+        if self.generation.has_deep_power_down() {
+            &[
+                PowerDownMode::Fast,
+                PowerDownMode::Slow,
+                PowerDownMode::Deep,
+            ]
+        } else {
+            &[PowerDownMode::Fast, PowerDownMode::Slow]
+        }
+    }
+
+    /// Whether `mode` exists on this generation (deep power-down is
+    /// LPDDR-only; policies must check before requesting it).
+    pub fn supports_power_down(&self, mode: PowerDownMode) -> bool {
+        self.low_power_modes().contains(&mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddr3_is_the_single_group_baseline() {
+        let m = GenerationModel::from_config(&DramTimingConfig::default());
+        assert_eq!(m.generation(), MemGeneration::Ddr3);
+        assert_eq!(m.bank_groups(), 1);
+        assert_eq!(m.group_of(BankId(7)), 0);
+        assert!(!m.supports_power_down(PowerDownMode::Deep));
+    }
+
+    #[test]
+    fn ddr4_maps_banks_round_robin_over_four_groups() {
+        let m = GenerationModel::from_config(&DramTimingConfig::ddr4());
+        assert_eq!(m.bank_groups(), 4);
+        assert_eq!(m.group_of(BankId(5)), 1);
+        assert_eq!(m.group_of(BankId(15)), 3);
+        assert!(!m.supports_power_down(PowerDownMode::Deep));
+        // Engine mapping agrees with the auditor's types-level mapping.
+        let cfg = DramTimingConfig::ddr4();
+        for b in 0..16 {
+            assert_eq!(m.group_of(BankId(b)), cfg.bank_group_of(BankId(b)));
+        }
+    }
+
+    #[test]
+    fn lpddr3_adds_deep_power_down() {
+        let m = GenerationModel::from_config(&DramTimingConfig::lpddr3());
+        assert_eq!(m.low_power_modes().len(), 3);
+        assert!(m.supports_power_down(PowerDownMode::Deep));
+        assert!(m.supports_power_down(PowerDownMode::Fast));
+    }
+}

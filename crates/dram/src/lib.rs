@@ -1,4 +1,6 @@
-//! Cycle-approximate DDR3 DRAM timing model for the MemScale simulator.
+//! Cycle-approximate DRAM timing model for the MemScale simulator,
+//! pluggable across DDR3 (the paper's baseline), DDR4 and LPDDR3 via
+//! [`generation::GenerationModel`].
 //!
 //! The model is *event-analytic*: instead of stepping every DRAM clock, each
 //! access is resolved into an [`channel::AccessTimeline`] the
@@ -33,12 +35,14 @@
 
 pub mod bank;
 pub mod channel;
+pub mod generation;
 pub mod rank;
 pub mod stats;
 pub mod timing;
 
 pub use bank::HitWindow;
 pub use channel::{AccessKind, AccessTimeline, DramChannel, RowOutcome};
+pub use generation::GenerationModel;
 pub use rank::PowerDownMode;
 pub use stats::{ChannelStats, RankStats};
 pub use timing::TimingSet;

@@ -15,13 +15,16 @@ use memscale_types::ids::{ChannelId, RankId};
 use memscale_types::time::Picos;
 use std::collections::VecDeque;
 
-/// Which precharge-powerdown flavor a rank is put into.
+/// Which low-power state a rank is put into.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PowerDownMode {
     /// Fast-exit precharge powerdown (exit costs tXP ≈ 6 ns).
     Fast,
     /// Slow-exit precharge powerdown (exit costs tXPDLL ≈ 24 ns).
     Slow,
+    /// Deep power-down (LPDDR generations only): background power collapses
+    /// to the `i_dpd` floor, but exit costs `t_xdpd` ≫ tXPDLL.
+    Deep,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +44,14 @@ pub struct Rank {
     /// Issue times of recent ACTs (bounded by 4 for the tFAW window).
     act_window: VecDeque<Picos>,
     last_act: Option<Picos>,
+    /// Last ACT per bank group (`tRRD_L`; one slot on bank-group-less
+    /// generations, where it coincides with `last_act`).
+    last_act_group: Vec<Option<Picos>>,
+    /// Last CAS per bank group (`tCCD_L`).
+    last_cas_group: Vec<Option<Picos>>,
+    /// Next bank a recorded per-bank refresh addresses (round-robin).
+    #[cfg(feature = "audit")]
+    refresh_rr: usize,
     state: PowerState,
     /// When the current powerdown interval started (valid while Down).
     pd_since: Picos,
@@ -71,13 +82,20 @@ pub struct Rank {
 }
 
 impl Rank {
-    /// Creates a powered-up rank of `banks` closed banks whose first refresh
-    /// is due at `first_refresh` (staggered across ranks by the channel).
-    pub fn new(banks: usize, first_refresh: Picos) -> Self {
+    /// Creates a powered-up rank of `banks` closed banks spread over
+    /// `groups` bank groups (1 on generations without bank groups), whose
+    /// first refresh is due at `first_refresh` (staggered across ranks by
+    /// the channel).
+    pub fn new(banks: usize, groups: usize, first_refresh: Picos) -> Self {
+        let groups = groups.max(1);
         Rank {
             banks: vec![Bank::new(); banks],
             act_window: VecDeque::with_capacity(4),
             last_act: None,
+            last_act_group: vec![None; groups],
+            last_cas_group: vec![None; groups],
+            #[cfg(feature = "audit")]
+            refresh_rr: 0,
             state: PowerState::Up,
             pd_since: Picos::ZERO,
             next_refresh: first_refresh,
@@ -108,15 +126,16 @@ impl Rank {
         std::mem::take(&mut self.events)
     }
 
-    /// Records one command event (no-op unless recording).
+    /// Records one command event (no-op unless recording). `bank` is set for
+    /// per-bank refreshes; rank-wide commands leave it `None`.
     #[cfg(feature = "audit")]
-    fn emit(&mut self, at: Picos, kind: CmdKind) {
+    fn emit(&mut self, at: Picos, bank: Option<BankId>, kind: CmdKind) {
         if self.recording {
             self.events.push(CmdEvent {
                 at,
                 channel: ChannelId(0),
                 rank: RankId(0),
-                bank: None,
+                bank,
                 kind,
             });
         }
@@ -149,13 +168,28 @@ impl Rank {
         let start = self.activity_horizon.max(self.pd_accounted_until);
         if start < now {
             let dur = now - start;
-            match mode {
-                PowerDownMode::Fast => self.stats.fast_pd_time += dur,
-                PowerDownMode::Slow => self.stats.slow_pd_time += dur,
-            }
+            self.accrue_pd(mode, dur);
             self.pd_accounted_until = now;
         }
         was_down
+    }
+
+    /// Adds powerdown residency to the mode's accumulator.
+    fn accrue_pd(&mut self, mode: PowerDownMode, dur: Picos) {
+        match mode {
+            PowerDownMode::Fast => self.stats.fast_pd_time += dur,
+            PowerDownMode::Slow => self.stats.slow_pd_time += dur,
+            PowerDownMode::Deep => self.stats.deep_pd_time += dur,
+        }
+    }
+
+    /// The exit latency of `mode` at the current timing.
+    fn exit_latency(mode: PowerDownMode, t: &TimingSet) -> Picos {
+        match mode {
+            PowerDownMode::Fast => t.t_xp,
+            PowerDownMode::Slow => t.t_xpdll,
+            PowerDownMode::Deep => t.t_xdpd,
+        }
     }
 
     /// Shared view of a bank.
@@ -190,6 +224,22 @@ impl Rank {
         self.busy_until
     }
 
+    /// Horizon past every settled refresh: the stall horizon, extended under
+    /// audit recording to the end of the last *emitted* REF (bulk-accounted
+    /// arrears can replay slightly past `busy_until`). A frequency re-lock
+    /// must not begin before this point, or a REF would land in its window.
+    #[inline]
+    pub fn refresh_horizon(&self) -> Picos {
+        #[cfg(feature = "audit")]
+        {
+            self.busy_until.max(self.audit_last_ref_end)
+        }
+        #[cfg(not(feature = "audit"))]
+        {
+            self.busy_until
+        }
+    }
+
     /// The rank's cumulative statistics.
     #[inline]
     pub fn stats(&self) -> &RankStats {
@@ -208,12 +258,15 @@ impl Rank {
         matches!(self.state, PowerState::Down(_))
     }
 
-    /// Earliest time an ACT may issue given a `candidate` time and the
-    /// rank's tRRD / tFAW history.
-    pub fn earliest_act(&self, candidate: Picos, t: &TimingSet) -> Picos {
+    /// Earliest time an ACT to bank group `group` may issue given a
+    /// `candidate` time and the rank's tRRD / `tRRD_L` / tFAW history.
+    pub fn earliest_act(&self, group: usize, candidate: Picos, t: &TimingSet) -> Picos {
         let mut at = candidate;
         if let Some(last) = self.last_act {
             at = at.max(last + t.t_rrd);
+        }
+        if let Some(last) = self.last_act_group[group % self.last_act_group.len()] {
+            at = at.max(last + t.t_rrd_l);
         }
         if self.act_window.len() == 4 {
             at = at.max(self.act_window[0] + t.t_faw);
@@ -221,9 +274,12 @@ impl Rank {
         at
     }
 
-    /// Records an ACT at `at` in the rank-wide history.
-    pub fn record_act(&mut self, at: Picos) {
+    /// Records an ACT to bank group `group` at `at` in the rank-wide
+    /// history.
+    pub fn record_act(&mut self, group: usize, at: Picos) {
         self.last_act = Some(at);
+        let slot = group % self.last_act_group.len();
+        self.last_act_group[slot] = Some(at);
         if self.act_window.len() == 4 {
             self.act_window.pop_front();
         }
@@ -231,31 +287,77 @@ impl Rank {
         self.stats.act_count += 1;
     }
 
+    /// Earliest time a CAS to bank group `group` may issue given a
+    /// `candidate` time and the same-group `tCCD_L` history. On generations
+    /// without bank groups `t_ccd_l` equals the burst, which data-bus
+    /// serialization already guarantees.
+    pub fn earliest_cas(&self, group: usize, candidate: Picos, t: &TimingSet) -> Picos {
+        match self.last_cas_group[group % self.last_cas_group.len()] {
+            Some(last) => candidate.max(last + t.t_ccd_l),
+            None => candidate,
+        }
+    }
+
+    /// Records a CAS to bank group `group` at `at`.
+    pub fn record_cas(&mut self, group: usize, at: Picos) {
+        let slot = group % self.last_cas_group.len();
+        self.last_cas_group[slot] = Some(at);
+    }
+
+    /// The effective refresh interval and command duration: all-bank
+    /// tREFI/tRFC, or — under LPDDR per-bank refresh — tREFI divided across
+    /// the banks with the shorter per-bank tRFCpb.
+    fn refresh_params(&self, t: &TimingSet) -> (Picos, Picos) {
+        if t.per_bank_refresh {
+            let interval = t.t_refi.scale(1.0 / self.banks.len() as f64);
+            (interval, t.t_rfc_pb)
+        } else {
+            (t.t_refi, t.t_rfc)
+        }
+    }
+
+    /// The bank the next per-bank refresh addresses (round-robin), or `None`
+    /// for an all-bank refresh.
+    #[cfg(feature = "audit")]
+    fn next_refresh_bank(&mut self, t: &TimingSet) -> Option<BankId> {
+        if t.per_bank_refresh {
+            let bank = BankId(self.refresh_rr);
+            self.refresh_rr = (self.refresh_rr + 1) % self.banks.len();
+            Some(bank)
+        } else {
+            None
+        }
+    }
+
     /// Processes refresshes that became due at or before `now`, stalling the
     /// rank for tRFC per command (up to the DDR3 postponing limit of eight;
     /// further arrears are dropped, as their energy is modeled analytically
-    /// from wall time by the power crate).
+    /// from wall time by the power crate). Under LPDDR per-bank refresh the
+    /// same schedule runs at `tREFI / banks` with the shorter `tRFCpb` per
+    /// command, rotating through the banks.
     pub fn catch_up_refresh(&mut self, now: Picos, t: &TimingSet) {
         if self.next_refresh > now {
             return;
         }
+        let (t_refi, t_rfc) = self.refresh_params(t);
         // Refreshes that became due while the rank sat idle completed in the
         // background at their scheduled times; bulk-account truly ancient
         // arrears without touching the stall horizon.
-        let refi = t.t_refi.as_ps().max(1);
+        let refi = t_refi.as_ps().max(1);
         let behind = (now - self.next_refresh).as_ps() / refi;
         if behind > 2 * MAX_PENDING_REFRESH {
             let skip = behind - MAX_PENDING_REFRESH;
             self.stats.refresh_count += skip;
-            self.stats.refresh_time += t.t_rfc * skip;
+            self.stats.refresh_time += t_rfc * skip;
             #[cfg(feature = "audit")]
             if self.recording {
                 let mut sched = self.next_refresh;
                 for _ in 0..skip {
                     let at = sched.max(self.busy_until).max(self.audit_last_ref_end);
-                    self.emit(at, CmdKind::Refresh { end: at + t.t_rfc });
-                    self.audit_last_ref_end = at + t.t_rfc;
-                    sched += t.t_refi;
+                    let bank = self.next_refresh_bank(t);
+                    self.emit(at, bank, CmdKind::Refresh { end: at + t_rfc });
+                    self.audit_last_ref_end = at + t_rfc;
+                    sched += t_refi;
                 }
             }
             self.next_refresh += Picos::from_ps(skip * refi);
@@ -264,79 +366,109 @@ impl Rank {
         // refresh still in flight at `now` stalls the arriving request.
         while self.next_refresh <= now {
             let start = self.next_refresh.max(self.busy_until);
-            let end = start + t.t_rfc;
+            let end = start + t_rfc;
             #[cfg(feature = "audit")]
-            {
+            if self.recording {
                 let at = start.max(self.audit_last_ref_end);
-                self.emit(at, CmdKind::Refresh { end: at + t.t_rfc });
-                if self.recording {
-                    self.audit_last_ref_end = at + t.t_rfc;
-                }
+                let bank = self.next_refresh_bank(t);
+                self.emit(at, bank, CmdKind::Refresh { end: at + t_rfc });
+                self.audit_last_ref_end = at + t_rfc;
             }
             self.busy_until = self.busy_until.max(end);
             self.stats.refresh_count += 1;
-            self.stats.refresh_time += t.t_rfc;
-            self.next_refresh += t.t_refi;
+            self.stats.refresh_time += t_rfc;
+            self.next_refresh += t_refi;
         }
         self.note_activity(self.busy_until);
     }
 
+    /// The event recorded when `mode` is entered.
+    #[cfg(feature = "audit")]
+    fn enter_event(mode: PowerDownMode) -> CmdKind {
+        match mode {
+            PowerDownMode::Deep => CmdKind::DeepPowerDownEnter,
+            _ => CmdKind::PowerDownEnter {
+                fast: matches!(mode, PowerDownMode::Fast),
+            },
+        }
+    }
+
+    /// The event recorded when `mode` is exited.
+    #[cfg(feature = "audit")]
+    fn exit_event(mode: PowerDownMode, entered_at: Picos, ready: Picos) -> CmdKind {
+        match mode {
+            PowerDownMode::Deep => CmdKind::DeepPowerDownExit { entered_at, ready },
+            _ => CmdKind::PowerDownExit {
+                fast: matches!(mode, PowerDownMode::Fast),
+                entered_at,
+                ready,
+            },
+        }
+    }
+
+    /// Counts one exit from `mode` (EPDC, or EDPC for deep power-down).
+    fn count_exit(&mut self, mode: PowerDownMode) {
+        if matches!(mode, PowerDownMode::Deep) {
+            self.stats.deep_pd_exits += 1;
+        } else {
+            self.stats.pd_exits += 1;
+        }
+    }
+
     /// Makes sure the rank is out of powerdown, returning the time at which
-    /// it can accept a command and whether an exit was performed (explicit
-    /// powerdown state *or* the auto-powerdown policy).
-    pub fn ensure_awake(&mut self, now: Picos, t: &TimingSet) -> (Picos, bool) {
+    /// it can accept a command and which low-power mode (if any) was exited
+    /// (explicit powerdown state *or* the auto-powerdown policy).
+    pub fn ensure_awake(&mut self, now: Picos, t: &TimingSet) -> (Picos, Option<PowerDownMode>) {
         match self.state {
             PowerState::Up => {
                 if self.settle_auto_pd(now) {
                     let mode = self.auto_pd.expect("settled implies mode");
-                    let exit = match mode {
-                        PowerDownMode::Fast => t.t_xp,
-                        PowerDownMode::Slow => t.t_xpdll,
-                    };
-                    self.stats.pd_exits += 1;
+                    let exit = Self::exit_latency(mode, t);
+                    self.count_exit(mode);
                     let ready = now.max(self.busy_until) + exit;
                     // The auto-powerdown entry is synthesized retroactively:
                     // the rank dropped CKE at its last activity horizon.
                     #[cfg(feature = "audit")]
                     {
-                        let fast = matches!(mode, PowerDownMode::Fast);
                         let entered_at = self.activity_horizon;
-                        self.emit(entered_at, CmdKind::PowerDownEnter { fast });
-                        self.emit(
-                            now,
-                            CmdKind::PowerDownExit {
-                                fast,
-                                entered_at,
-                                ready,
-                            },
-                        );
+                        self.emit(entered_at, None, Self::enter_event(mode));
+                        self.emit(now, None, Self::exit_event(mode, entered_at, ready));
                     }
-                    (ready, true)
+                    (ready, Some(mode))
                 } else {
-                    (now.max(self.busy_until), false)
+                    (now.max(self.busy_until), None)
                 }
             }
             PowerState::Down(mode) => {
-                let exit = match mode {
-                    PowerDownMode::Fast => t.t_xp,
-                    PowerDownMode::Slow => t.t_xpdll,
-                };
+                // A wake at the very instant of entry cancels the entry: CKE
+                // never effectively dropped, so no exit latency is owed and
+                // the enter event is retracted.
+                if self.pd_since == now {
+                    self.state = PowerState::Up;
+                    #[cfg(feature = "audit")]
+                    if self.recording {
+                        if let Some(pos) = self.events.iter().rposition(|e| {
+                            e.at == now
+                                && matches!(
+                                    e.kind,
+                                    CmdKind::PowerDownEnter { .. } | CmdKind::DeepPowerDownEnter
+                                )
+                        }) {
+                            self.events.remove(pos);
+                        }
+                    }
+                    return (now.max(self.busy_until), None);
+                }
+                let exit = Self::exit_latency(mode, t);
                 #[cfg(feature = "audit")]
                 let entered_at = self.pd_since;
                 self.flush_pd(now);
                 self.state = PowerState::Up;
-                self.stats.pd_exits += 1;
+                self.count_exit(mode);
                 let ready = now.max(self.busy_until) + exit;
                 #[cfg(feature = "audit")]
-                self.emit(
-                    now,
-                    CmdKind::PowerDownExit {
-                        fast: matches!(mode, PowerDownMode::Fast),
-                        entered_at,
-                        ready,
-                    },
-                );
-                (ready, true)
+                self.emit(now, None, Self::exit_event(mode, entered_at, ready));
+                (ready, Some(mode))
             }
         }
     }
@@ -362,12 +494,7 @@ impl Rank {
         self.state = PowerState::Down(mode);
         self.pd_since = now;
         #[cfg(feature = "audit")]
-        self.emit(
-            now,
-            CmdKind::PowerDownEnter {
-                fast: matches!(mode, PowerDownMode::Fast),
-            },
-        );
+        self.emit(now, None, Self::enter_event(mode));
     }
 
     /// Flushes accumulated powerdown residency into the statistics without
@@ -380,10 +507,7 @@ impl Rank {
     fn flush_pd(&mut self, now: Picos) {
         if let PowerState::Down(mode) = self.state {
             let dur = now.saturating_sub(self.pd_since);
-            match mode {
-                PowerDownMode::Fast => self.stats.fast_pd_time += dur,
-                PowerDownMode::Slow => self.stats.slow_pd_time += dur,
-            }
+            self.accrue_pd(mode, dur);
             self.pd_since = now;
         }
     }
@@ -418,15 +542,15 @@ mod tests {
     }
 
     fn rank() -> Rank {
-        Rank::new(8, Picos::from_us(7))
+        Rank::new(8, 1, Picos::from_us(7))
     }
 
     #[test]
     fn trrd_spaces_activates() {
         let t = timing();
         let mut r = rank();
-        r.record_act(Picos::from_ns(100));
-        let earliest = r.earliest_act(Picos::from_ns(100), &t);
+        r.record_act(0, Picos::from_ns(100));
+        let earliest = r.earliest_act(0, Picos::from_ns(100), &t);
         assert_eq!(earliest, Picos::from_ns(105)); // tRRD = 5 ns
     }
 
@@ -435,17 +559,78 @@ mod tests {
         let t = timing();
         let mut r = rank();
         for i in 0..4 {
-            r.record_act(Picos::from_ns(i * 5));
+            r.record_act(0, Picos::from_ns(i * 5));
         }
         // Fifth ACT must wait until first + tFAW = 0 + 25 ns.
-        let earliest = r.earliest_act(Picos::from_ns(16), &t);
+        let earliest = r.earliest_act(0, Picos::from_ns(16), &t);
         assert_eq!(earliest, Picos::from_ns(25));
+    }
+
+    #[test]
+    fn trrd_l_binds_same_group_only() {
+        let t = TimingSet::resolve(&DramTimingConfig::ddr4(), MemFreq::F800);
+        let mut r = Rank::new(16, 4, Picos::from_us(7));
+        r.record_act(2, Picos::from_ns(100));
+        // Same group: tRRD_L = 7.5 ns; other group: plain tRRD = 5 ns.
+        assert_eq!(
+            r.earliest_act(2, Picos::from_ns(100), &t),
+            Picos::from_ps(107_500)
+        );
+        assert_eq!(
+            r.earliest_act(3, Picos::from_ns(100), &t),
+            Picos::from_ns(105)
+        );
+    }
+
+    #[test]
+    fn tccd_l_spaces_same_group_cas() {
+        let t = TimingSet::resolve(&DramTimingConfig::ddr4(), MemFreq::F800);
+        let mut r = Rank::new(16, 4, Picos::from_us(7));
+        r.record_cas(1, Picos::from_ns(200));
+        // Same group: + tCCD_L (6 × 1.25 ns); other group unconstrained.
+        assert_eq!(
+            r.earliest_cas(1, Picos::from_ns(200), &t),
+            Picos::from_ps(207_500)
+        );
+        assert_eq!(
+            r.earliest_cas(0, Picos::from_ns(200), &t),
+            Picos::from_ns(200)
+        );
+    }
+
+    #[test]
+    fn per_bank_refresh_runs_shorter_more_often() {
+        let t = TimingSet::resolve(&DramTimingConfig::lpddr3(), MemFreq::F800);
+        let mut all = Rank::new(8, 1, Picos::from_us(1));
+        let mut ddr3 = Rank::new(8, 1, Picos::from_us(1));
+        all.catch_up_refresh(Picos::from_ms(1), &t);
+        ddr3.catch_up_refresh(Picos::from_ms(1), &timing());
+        // tREFI/8 interval: about 8× the all-bank command count.
+        assert!(all.stats().refresh_count > 6 * ddr3.stats().refresh_count);
+        // Each command is the short per-bank tRFCpb.
+        let per_cmd = all.stats().refresh_time.as_ps() / all.stats().refresh_count;
+        assert_eq!(per_cmd, t.t_rfc_pb.as_ps());
+    }
+
+    #[test]
+    fn deep_powerdown_exit_pays_txdpd() {
+        let t = TimingSet::resolve(&DramTimingConfig::lpddr3(), MemFreq::F800);
+        let mut r = rank();
+        r.enter_power_down(PowerDownMode::Deep, Picos::ZERO);
+        assert!(r.is_powered_down());
+        let (ready, exited) = r.ensure_awake(Picos::from_us(10), &t);
+        assert_eq!(exited, Some(PowerDownMode::Deep));
+        assert_eq!(ready, Picos::from_us(10) + Picos::from_ns(500)); // + tXDPD
+        assert_eq!(r.stats().deep_pd_time, Picos::from_us(10));
+        assert_eq!(r.stats().pd_time(), Picos::ZERO);
+        assert_eq!(r.stats().deep_pd_exits, 1);
+        assert_eq!(r.stats().pd_exits, 0);
     }
 
     #[test]
     fn in_flight_refresh_stalls_rank() {
         let t = timing();
-        let mut r = Rank::new(8, Picos::from_us(1));
+        let mut r = Rank::new(8, 1, Picos::from_us(1));
         // Arrive 50 ns after the refresh became due: it is still running.
         r.catch_up_refresh(Picos::from_us(1) + Picos::from_ns(50), &t);
         assert_eq!(r.stats().refresh_count, 1);
@@ -455,7 +640,7 @@ mod tests {
     #[test]
     fn completed_background_refresh_does_not_stall() {
         let t = timing();
-        let mut r = Rank::new(8, Picos::from_us(1));
+        let mut r = Rank::new(8, 1, Picos::from_us(1));
         // Arrive long after the refresh finished in the background.
         let now = Picos::from_us(5);
         r.catch_up_refresh(now, &t);
@@ -466,7 +651,7 @@ mod tests {
     #[test]
     fn long_idle_accounts_all_refreshes_without_stalling() {
         let t = timing();
-        let mut r = Rank::new(8, Picos::from_us(1));
+        let mut r = Rank::new(8, 1, Picos::from_us(1));
         // Rank idle for a full millisecond: ~128 refreshes ran in the
         // background; all are counted, none stalls the arriving request.
         r.catch_up_refresh(Picos::from_ms(1), &t);
@@ -486,7 +671,7 @@ mod tests {
         r.enter_power_down(PowerDownMode::Fast, Picos::from_ns(50));
         assert!(r.is_powered_down());
         let (ready, exited) = r.ensure_awake(Picos::from_ns(150), &t);
-        assert!(exited);
+        assert_eq!(exited, Some(PowerDownMode::Fast));
         assert_eq!(ready, Picos::from_ns(156)); // + tXP
         assert_eq!(r.stats().fast_pd_time, Picos::from_ns(100));
         assert_eq!(r.stats().pd_exits, 1);
@@ -536,7 +721,7 @@ mod tests {
         let mut r = rank();
         r.relock(Picos::ZERO, Picos::from_ns(500));
         let (ready, exited) = r.ensure_awake(Picos::from_ns(100), &t);
-        assert!(!exited);
+        assert_eq!(exited, None);
         assert_eq!(ready, Picos::from_ns(500));
     }
 }

@@ -28,8 +28,14 @@ pub struct RankStats {
     pub fast_pd_time: Picos,
     /// Time spent in slow-exit precharge powerdown (CKE low).
     pub slow_pd_time: Picos,
-    /// Powerdown exits (the paper's EPDC counter).
+    /// Time spent in deep power-down (LPDDR generations). Charged at the
+    /// `i_dpd` background-current floor, so deliberately *excluded* from
+    /// [`pd_time`](Self::pd_time).
+    pub deep_pd_time: Picos,
+    /// Powerdown exits (the paper's EPDC counter; excludes deep exits).
     pub pd_exits: u64,
+    /// Deep power-down exits (the EDPC counter).
+    pub deep_pd_exits: u64,
     /// Refresh commands issued.
     pub refresh_count: u64,
     /// Wall time spent refreshing.
@@ -64,7 +70,9 @@ impl RankStats {
         }
     }
 
-    /// Total CKE-low (powerdown) time.
+    /// Total precharge-powerdown (CKE-low) time. Deep power-down residency
+    /// is tracked separately in [`deep_pd_time`](Self::deep_pd_time) because
+    /// the power model prices it at the `i_dpd` floor, not `IDD2P`.
     #[inline]
     pub fn pd_time(&self) -> Picos {
         self.fast_pd_time + self.slow_pd_time
@@ -86,7 +94,9 @@ impl RankStats {
             active_time: self.active_time - earlier.active_time,
             fast_pd_time: self.fast_pd_time - earlier.fast_pd_time,
             slow_pd_time: self.slow_pd_time - earlier.slow_pd_time,
+            deep_pd_time: self.deep_pd_time - earlier.deep_pd_time,
             pd_exits: self.pd_exits - earlier.pd_exits,
+            deep_pd_exits: self.deep_pd_exits - earlier.deep_pd_exits,
             refresh_count: self.refresh_count - earlier.refresh_count,
             refresh_time: self.refresh_time - earlier.refresh_time,
             active_until: self.active_until,
@@ -232,5 +242,22 @@ mod tests {
             ..RankStats::new()
         };
         assert_eq!(s.pd_time(), Picos::from_ns(15));
+    }
+
+    #[test]
+    fn deep_pd_time_is_excluded_from_pd_time() {
+        let mut s = RankStats {
+            fast_pd_time: Picos::from_ns(10),
+            deep_pd_time: Picos::from_us(3),
+            deep_pd_exits: 2,
+            ..RankStats::new()
+        };
+        assert_eq!(s.pd_time(), Picos::from_ns(10));
+        let snap = s.clone();
+        s.deep_pd_time += Picos::from_us(1);
+        s.deep_pd_exits += 1;
+        let d = s.delta(&snap);
+        assert_eq!(d.deep_pd_time, Picos::from_us(1));
+        assert_eq!(d.deep_pd_exits, 1);
     }
 }

@@ -42,6 +42,20 @@ pub struct TimingSet {
     pub t_refi: Picos,
     /// Refresh-command duration.
     pub t_rfc: Picos,
+    /// Same-bank-group CAS → CAS spacing (scales with the bus period; equals
+    /// the burst on generations without bank groups, where it is subsumed by
+    /// data-bus serialization).
+    pub t_ccd_l: Picos,
+    /// Same-bank-group ACT → ACT spacing (DDR4 `tRRD_L`; equals `t_rrd` on
+    /// generations without bank groups).
+    pub t_rrd_l: Picos,
+    /// Deep power-down exit latency (LPDDR generations; zero otherwise).
+    pub t_xdpd: Picos,
+    /// Whether refresh issues per bank (LPDDR `REFpb`) instead of all-bank.
+    pub per_bank_refresh: bool,
+    /// Per-bank refresh-command duration (meaningful when
+    /// `per_bank_refresh`).
+    pub t_rfc_pb: Picos,
 }
 
 impl TimingSet {
@@ -59,6 +73,13 @@ impl TimingSet {
     /// assert_eq!(slow.burst, fast.burst * 2);    // bursts stretch linearly
     /// ```
     pub fn resolve(cfg: &DramTimingConfig, freq: MemFreq) -> Self {
+        let burst = freq.cycle() * cfg.burst_cycles as u64;
+        // Bank-group spacings only bind on generations that have bank
+        // groups. With a single group they collapse to the baseline tCCD
+        // (== the burst, already enforced by data-bus serialization) and
+        // tRRD, so DDR3 scheduling is bit-identical to the pre-generation
+        // model even when the config carries stale `_l` values.
+        let grouped = cfg.bank_groups > 1;
         TimingSet {
             freq,
             t_rcd: cfg.t_rcd(),
@@ -69,12 +90,21 @@ impl TimingSet {
             t_faw: cfg.t_faw(),
             t_rtp: cfg.t_rtp(),
             t_wr: cfg.t_wr(),
-            burst: freq.cycle() * cfg.burst_cycles as u64,
+            burst,
             mc_proc: freq.mc_cycle() * cfg.mc_pipeline_cycles as u64,
             t_xp: cfg.t_xp(),
             t_xpdll: cfg.t_xpdll(),
             t_refi: cfg.t_refi(),
             t_rfc: cfg.t_rfc(),
+            t_ccd_l: if grouped {
+                freq.cycle() * u64::from(cfg.t_ccd_l_cycles)
+            } else {
+                burst
+            },
+            t_rrd_l: if grouped { cfg.t_rrd_l() } else { cfg.t_rrd() },
+            t_xdpd: cfg.t_xdpd(),
+            per_bank_refresh: cfg.per_bank_refresh,
+            t_rfc_pb: cfg.t_rfc_pb(),
         }
     }
 
@@ -145,5 +175,38 @@ mod tests {
     fn closed_read_latency_is_the_sum() {
         let t = TimingSet::resolve(&cfg(), MemFreq::F800);
         assert_eq!(t.closed_read_latency(), Picos::from_ns(35));
+    }
+
+    #[test]
+    fn ddr3_collapses_bank_group_spacings() {
+        let t = TimingSet::resolve(&cfg(), MemFreq::F800);
+        assert_eq!(t.t_ccd_l, t.burst); // tCCD == burst on DDR3
+        assert_eq!(t.t_rrd_l, t.t_rrd);
+        assert_eq!(t.t_xdpd, Picos::ZERO);
+        assert!(!t.per_bank_refresh);
+    }
+
+    #[test]
+    fn ddr4_tccd_l_scales_with_period() {
+        let ddr4 = DramTimingConfig::ddr4();
+        let t800 = TimingSet::resolve(&ddr4, MemFreq::F800);
+        let t400 = TimingSet::resolve(&ddr4, MemFreq::F400);
+        // 6 cycles at 1.25 ns / 2.5 ns.
+        assert_eq!(t800.t_ccd_l, Picos::from_ps(7_500));
+        assert_eq!(t400.t_ccd_l, Picos::from_ns(15));
+        assert!(t800.t_ccd_l > t800.burst, "tCCD_L binds beyond the burst");
+        // tRRD_L is a DRAM-core latency: frequency-invariant.
+        assert_eq!(t800.t_rrd_l, t400.t_rrd_l);
+        assert!(t800.t_rrd_l > t800.t_rrd);
+    }
+
+    #[test]
+    fn lpddr3_resolves_deep_powerdown_and_per_bank_refresh() {
+        let t = TimingSet::resolve(&DramTimingConfig::lpddr3(), MemFreq::F800);
+        assert_eq!(t.t_xdpd, Picos::from_ns(500));
+        assert!(t.t_xdpd > t.t_xpdll);
+        assert!(t.per_bank_refresh);
+        assert_eq!(t.t_rfc_pb, Picos::from_ns(60));
+        assert!(t.t_rfc_pb < t.t_rfc);
     }
 }

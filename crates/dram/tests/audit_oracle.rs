@@ -2,12 +2,15 @@
 //!
 //! The access engine in `channel.rs` derives each command's issue time from
 //! incremental per-bank/per-rank state; the auditor replays the recorded
-//! command stream against a from-scratch model of the same DDR3 rules. Any
-//! random access stream — including streams with frequency switches landing
-//! in the middle of open `tFAW`/`tRRD` activate windows — must replay clean.
+//! command stream against a from-scratch model of the same generation's
+//! rules. Any random access stream — including streams with frequency
+//! switches landing in the middle of open `tFAW`/`tRRD` activate windows,
+//! DDR4 bank-group `tCCD_L`/`tRRD_L` chains, or LPDDR3 deep power-down
+//! intervals — must replay clean.
 
 use memscale_audit::{ProtocolAuditor, Rule};
 use memscale_dram::channel::{AccessKind, DramChannel};
+use memscale_dram::rank::PowerDownMode;
 use memscale_types::config::DramTimingConfig;
 use memscale_types::freq::MemFreq;
 use memscale_types::ids::{BankId, RankId};
@@ -46,17 +49,22 @@ fn access_strategy() -> impl Strategy<Value = Access> {
         })
 }
 
-/// Replays `accesses` through a recording channel, injecting a frequency
-/// switch before every access whose index is in `switch_points` (targeting a
-/// pseudo-random operating point derived from the access), then audits the
-/// stream against the same configuration.
-fn run_and_audit(
+/// Replays `accesses` through a recording channel of `ranks` × `banks` at
+/// `cfg`, injecting a frequency switch before every `switch_every`-th access
+/// (targeting a pseudo-random operating point derived from the access) and —
+/// when `deep_pd_every` is nonzero — opportunistically dropping the access's
+/// rank into deep power-down before every `deep_pd_every`-th access, then
+/// audits the stream against the same configuration.
+fn run_and_audit_cfg(
+    cfg: &DramTimingConfig,
+    ranks: usize,
+    banks: usize,
     accesses: &[Access],
     switch_every: usize,
+    deep_pd_every: usize,
     initial: MemFreq,
 ) -> memscale_audit::AuditReport {
-    let cfg = DramTimingConfig::default();
-    let mut ch = DramChannel::new(&cfg, RANKS, BANKS, initial);
+    let mut ch = DramChannel::new(cfg, ranks, banks, initial);
     ch.set_event_recording(true);
     let mut now = Picos::ZERO;
     for (i, a) in accesses.iter().enumerate() {
@@ -65,14 +73,23 @@ fn run_and_audit(
             let target = MemFreq::ALL[(usize::try_from(a.row).unwrap() + i) % MemFreq::ALL.len()];
             ch.set_frequency(target, now);
         }
+        if deep_pd_every > 0 && i % deep_pd_every == deep_pd_every - 1 {
+            // Power down a rank other than the one about to be accessed, so
+            // the entry gets a chance to accumulate residency before a later
+            // access wakes it.
+            let rank = RankId((a.rank + 1) % ranks);
+            if ch.can_power_down(rank, now) {
+                ch.enter_power_down(rank, PowerDownMode::Deep, now);
+            }
+        }
         let kind = if a.write {
             AccessKind::Write
         } else {
             AccessKind::Read
         };
         ch.service(
-            RankId(a.rank),
-            BankId(a.bank),
+            RankId(a.rank % ranks),
+            BankId(a.bank % banks),
             a.row,
             kind,
             now,
@@ -80,9 +97,19 @@ fn run_and_audit(
         );
     }
     let events = ch.drain_events();
-    let mut auditor = ProtocolAuditor::new(&cfg, 1, RANKS, BANKS, initial);
+    let mut auditor = ProtocolAuditor::new(cfg, 1, ranks, banks, initial);
     auditor.ingest(&events);
     auditor.finalize()
+}
+
+/// DDR3 shorthand for [`run_and_audit_cfg`].
+fn run_and_audit(
+    accesses: &[Access],
+    switch_every: usize,
+    initial: MemFreq,
+) -> memscale_audit::AuditReport {
+    let cfg = DramTimingConfig::default();
+    run_and_audit_cfg(&cfg, RANKS, BANKS, accesses, switch_every, 0, initial)
 }
 
 fn freq_strategy() -> impl Strategy<Value = MemFreq> {
@@ -149,6 +176,74 @@ proptest! {
         let fired: Vec<Rule> = report.violations.iter().map(|v| v.rule).collect();
         prop_assert!(!fired.contains(&Rule::TFaw), "{}", report);
         prop_assert!(!fired.contains(&Rule::TRrd), "{}", report);
+        prop_assert!(report.is_clean(), "{}", report);
+    }
+
+    /// DDR4 bank-group scheduling: arbitrary streams — with frequency
+    /// switches landing inside open same-group tCCD_L/tRRD_L chains — replay
+    /// clean against the DDR4 rule pack. Banks 0–7 of a 16-bank rank cover
+    /// every group twice, so same-group CAS pairs occur constantly.
+    #[test]
+    fn ddr4_bank_group_streams_conform(
+        accesses in prop::collection::vec(access_strategy(), 8..150),
+        switch_every in 0usize..9,
+        initial in freq_strategy(),
+    ) {
+        let cfg = DramTimingConfig::ddr4();
+        let report = run_and_audit_cfg(&cfg, 2, 16, &accesses, switch_every, 0, initial);
+        prop_assert!(report.is_clean(), "{}", report);
+        prop_assert!(report.commands_checked >= accesses.len());
+    }
+
+    /// Dense DDR4 same-group bursts (banks 0 and 4, group 0) dispatched at
+    /// one instant across a mid-chain switch: the bank-group rules
+    /// specifically stay silent.
+    #[test]
+    fn ddr4_same_group_chain_survives_a_switch(
+        rows in prop::collection::vec(0u64..64, 4..10),
+        switch_at in 1usize..4,
+        target in freq_strategy(),
+    ) {
+        let cfg = DramTimingConfig::ddr4();
+        let mut ch = DramChannel::new(&cfg, 2, 16, MemFreq::F800);
+        ch.set_event_recording(true);
+        for (i, &row) in rows.iter().enumerate() {
+            if i == switch_at {
+                ch.set_frequency(target, Picos::from_ns(1));
+            }
+            // Alternate between the two group-0 banks of rank 0.
+            ch.service(
+                RankId(0),
+                BankId(if i % 2 == 0 { 0 } else { 4 }),
+                row,
+                AccessKind::Read,
+                Picos::from_ns(1),
+                false,
+            );
+        }
+        let events = ch.drain_events();
+        let mut auditor = ProtocolAuditor::new(&cfg, 1, 2, 16, MemFreq::F800);
+        auditor.ingest(&events);
+        let report = auditor.finalize();
+        let fired: Vec<Rule> = report.violations.iter().map(|v| v.rule).collect();
+        prop_assert!(!fired.contains(&Rule::TCcdL), "{}", report);
+        prop_assert!(!fired.contains(&Rule::TRrdL), "{}", report);
+        prop_assert!(report.is_clean(), "{}", report);
+    }
+
+    /// LPDDR3 streams with opportunistic deep power-down entries, per-bank
+    /// refresh catch-up and frequency switches replay clean — every exit
+    /// pays tXDPD and every per-bank REF lands on schedule.
+    #[test]
+    fn lpddr3_deep_pd_streams_conform(
+        accesses in prop::collection::vec(access_strategy(), 8..150),
+        switch_every in 0usize..9,
+        pd_every in 1usize..7,
+        initial in freq_strategy(),
+    ) {
+        let cfg = DramTimingConfig::lpddr3();
+        let report =
+            run_and_audit_cfg(&cfg, RANKS, BANKS, &accesses, switch_every, pd_every, initial);
         prop_assert!(report.is_clean(), "{}", report);
     }
 }

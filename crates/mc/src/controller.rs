@@ -231,7 +231,9 @@ impl MemoryController {
         if timeline.act_at.is_some() {
             self.counters.pocc += 1;
         }
-        if timeline.pd_exit {
+        if timeline.deep_pd_exit {
+            self.counters.edpc += 1;
+        } else if timeline.pd_exit {
             self.counters.epdc += 1;
         }
     }
@@ -296,7 +298,20 @@ impl MemoryController {
     }
 
     /// Enables or disables aggressive idle powerdown on every rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mode` does not exist on the configured memory generation
+    /// (deep power-down is LPDDR-only).
     pub fn set_auto_power_down(&mut self, mode: Option<PowerDownMode>) {
+        if let Some(m) = mode {
+            let generation = self.channels[0].generation();
+            assert!(
+                generation.supports_power_down(m),
+                "{}: power-down mode {m:?} is not available on this generation",
+                generation.generation()
+            );
+        }
         for channel in &mut self.channels {
             channel.set_auto_power_down(mode);
         }
@@ -488,6 +503,30 @@ mod tests {
         m.sync(Picos::from_us(200));
         let pd: Picos = m.rank_stats().iter().map(|s| s.fast_pd_time).sum();
         assert!(pd > Picos::from_us(90));
+    }
+
+    #[test]
+    fn deep_auto_powerdown_counts_deep_exits_separately() {
+        use memscale_types::config::MemGeneration;
+        let cfg = SystemConfig::for_generation(MemGeneration::Lpddr3);
+        let mut m = MemoryController::new(&cfg, MemFreq::F800);
+        m.set_auto_power_down(Some(PowerDownMode::Deep));
+        m.read(PhysAddr::from_cache_line(0), Picos::ZERO);
+        let r = m.read(PhysAddr::from_cache_line(0), Picos::from_us(100));
+        assert!(r.timeline.pd_exit);
+        assert!(r.timeline.deep_pd_exit);
+        assert_eq!(m.counters().edpc, 2);
+        assert_eq!(m.counters().epdc, 0);
+        m.sync(Picos::from_us(200));
+        let deep: Picos = m.rank_stats().iter().map(|s| s.deep_pd_time).sum();
+        assert!(deep > Picos::from_us(90));
+    }
+
+    #[test]
+    #[should_panic(expected = "DDR3: power-down mode Deep")]
+    fn deep_powerdown_is_rejected_on_ddr3() {
+        let mut m = mc();
+        m.set_auto_power_down(Some(PowerDownMode::Deep));
     }
 
     #[test]

@@ -26,6 +26,8 @@ pub struct McCounters {
     pub cbmc: u64,
     /// Exit-PowerDown Counter.
     pub epdc: u64,
+    /// Exit-Deep-PowerDown Counter (LPDDR generations; zero elsewhere).
+    pub edpc: u64,
     /// Page open/close command pairs (the paper's POCC).
     pub pocc: u64,
     /// Demand reads serviced.
@@ -53,6 +55,7 @@ impl McCounters {
             obmc: self.obmc - earlier.obmc,
             cbmc: self.cbmc - earlier.cbmc,
             epdc: self.epdc - earlier.epdc,
+            edpc: self.edpc - earlier.edpc,
             pocc: self.pocc - earlier.pocc,
             reads: self.reads - earlier.reads,
             writes: self.writes - earlier.writes,

@@ -1,4 +1,4 @@
-//! Micron-methodology DDR3 device power.
+//! Micron-methodology DRAM device power (DDR3 baseline, DDR4, LPDDR3).
 //!
 //! Every figure is derived from the Table 2 per-chip currents at `vdd`,
 //! multiplied by the chips participating in a rank. Background currents
@@ -7,6 +7,11 @@
 //! and burst *power* are frequency-independent — a slower burst therefore
 //! costs proportionally more **energy**, exactly the paper's "read/write and
 //! termination energy increase almost linearly" behaviour.
+//!
+//! Generation extensions: LPDDR3 deep power-down residency is priced at the
+//! frequency-*independent* `i_dpd_ma` floor (the clock tree is stopped, so
+//! there is nothing left to scale), and per-bank refresh replaces the
+//! all-bank tRFC/tREFI duty cycle with `banks · tRFCpb / tREFI`.
 
 use memscale_dram::stats::RankStats;
 use memscale_types::config::{DramTimingConfig, PowerConfig};
@@ -36,10 +41,21 @@ pub struct DramPowerCalc {
 }
 
 impl DramPowerCalc {
-    /// Builds a calculator for ranks of `chips_per_rank` chips.
-    pub fn new(power: &PowerConfig, timing: &DramTimingConfig, chips_per_rank: u8) -> Self {
+    /// Builds a calculator for ranks of `chips_per_rank` chips and
+    /// `banks_per_rank` banks (the bank count only matters under LPDDR
+    /// per-bank refresh, where it sets the refresh duty cycle).
+    pub fn new(
+        power: &PowerConfig,
+        timing: &DramTimingConfig,
+        chips_per_rank: u8,
+        banks_per_rank: u8,
+    ) -> Self {
         let chips = chips_per_rank as f64;
-        let refresh_duty = timing.t_rfc_ns / (timing.t_refi().as_ns_f64());
+        let refresh_duty = if timing.per_bank_refresh {
+            f64::from(banks_per_rank) * timing.t_rfc_pb_ns / timing.t_refi().as_ns_f64()
+        } else {
+            timing.t_rfc_ns / timing.t_refi().as_ns_f64()
+        };
         // Micron-style: (IDD0 - IDD3N) over the tRC = tRAS + tRP window.
         let delta_i_a = ((power.i_act_pre_ma - power.i_act_stby_ma) / 1_000.0).max(0.0);
         let t_rc_s = (timing.t_ras_ns + timing.t_rp_ns) * 1e-9;
@@ -94,10 +110,13 @@ impl DramPowerCalc {
         let ma = 1.0 / 1_000.0;
 
         // State fractions (clamped: the interval-union accounting may spill
-        // a few nanoseconds across window boundaries).
-        let f_pd = (delta.pd_time().as_secs_f64() / w).min(1.0);
-        let f_act = (delta.active_time.as_secs_f64() / w).min(1.0 - f_pd);
-        let f_pre = (1.0 - f_pd - f_act).max(0.0);
+        // a few nanoseconds across window boundaries). Deep power-down is
+        // carved out first: it is the deepest state and its current does not
+        // scale with the (stopped) clock.
+        let f_dpd = (delta.deep_pd_time.as_secs_f64() / w).min(1.0);
+        let f_pd = (delta.pd_time().as_secs_f64() / w).min(1.0 - f_dpd);
+        let f_act = (delta.active_time.as_secs_f64() / w).min(1.0 - f_dpd - f_pd);
+        let f_pre = (1.0 - f_dpd - f_pd - f_act).max(0.0);
 
         let standby_w = self.chips
             * v
@@ -106,7 +125,8 @@ impl DramPowerCalc {
                 + self.cfg.i_pre_pd_ma * f_pd)
             * ma
             * scale;
-        let background_w = standby_w + self.refresh_power_w();
+        let deep_w = self.chips * v * self.cfg.i_dpd_ma * f_dpd * ma;
+        let background_w = standby_w + deep_w + self.refresh_power_w();
 
         let act_pre_w = self.act_pre_energy_j * delta.act_count as f64 / w;
 
@@ -132,6 +152,13 @@ impl DramPowerCalc {
         self.chips * self.cfg.vdd * (self.cfg.i_pre_pd_ma / 1_000.0) * freq.relative()
             + self.refresh_power_w()
     }
+
+    /// Deep power-down power of an idle rank (W), including refresh. The
+    /// `i_dpd_ma` floor is frequency-independent; this is the deepest floor
+    /// an LPDDR policy can reach.
+    pub fn deep_powerdown_power_w(&self) -> f64 {
+        self.chips * self.cfg.vdd * (self.cfg.i_dpd_ma / 1_000.0) + self.refresh_power_w()
+    }
 }
 
 #[cfg(test)]
@@ -139,7 +166,11 @@ mod tests {
     use super::*;
 
     fn calc() -> DramPowerCalc {
-        DramPowerCalc::new(&PowerConfig::default(), &DramTimingConfig::default(), 9)
+        DramPowerCalc::new(&PowerConfig::default(), &DramTimingConfig::default(), 9, 8)
+    }
+
+    fn lpddr_calc() -> DramPowerCalc {
+        DramPowerCalc::new(&PowerConfig::lpddr3(), &DramTimingConfig::lpddr3(), 9, 8)
     }
 
     #[test]
@@ -214,6 +245,33 @@ mod tests {
     fn empty_window_is_zero() {
         let p = calc().rank_power(&RankStats::new(), Picos::ZERO, MemFreq::F800);
         assert_eq!(p, RankPower::default());
+    }
+
+    #[test]
+    fn deep_powerdown_is_the_lowest_floor_and_frequency_independent() {
+        let c = lpddr_calc();
+        let w = Picos::from_ms(1);
+        let mut delta = RankStats::new();
+        delta.deep_pd_time = w; // fully in deep power-down
+        let deep_hi = c.rank_power(&delta, w, MemFreq::F800).background_w;
+        let deep_lo = c.rank_power(&delta, w, MemFreq::F200).background_w;
+        // The stopped clock leaves nothing to scale with frequency.
+        assert!((deep_hi - deep_lo).abs() < 1e-12);
+        assert_eq!(deep_hi, c.deep_powerdown_power_w());
+        // Strictly below precharge powerdown at any frequency.
+        assert!(deep_hi < c.powerdown_power_w(MemFreq::F200));
+    }
+
+    #[test]
+    fn per_bank_refresh_sets_the_duty_cycle() {
+        // LPDDR3: 8 banks x 60 ns per tREFI vs one 130 ns all-bank REF.
+        let pb = lpddr_calc();
+        let mut all_bank = DramTimingConfig::lpddr3();
+        all_bank.per_bank_refresh = false;
+        let ab = DramPowerCalc::new(&PowerConfig::lpddr3(), &all_bank, 9, 8);
+        let ratio = pb.refresh_power_w() / ab.refresh_power_w();
+        // 8 * 60 / 130 ≈ 3.7x the busy fraction.
+        assert!((ratio - 8.0 * 60.0 / 130.0).abs() < 1e-9, "{ratio}");
     }
 
     #[test]

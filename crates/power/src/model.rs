@@ -19,7 +19,12 @@ pub struct PowerModel {
 impl PowerModel {
     /// Builds the model for one system configuration.
     pub fn new(cfg: &SystemConfig) -> Self {
-        let calc = DramPowerCalc::new(&cfg.power, &cfg.timing, cfg.topology.chips_per_rank);
+        let calc = DramPowerCalc::new(
+            &cfg.power,
+            &cfg.timing,
+            cfg.topology.chips_per_rank,
+            cfg.topology.banks_per_rank,
+        );
         PowerModel {
             cfg: cfg.clone(),
             calc,
@@ -186,14 +191,18 @@ impl PowerModel {
         let v = p.vdd;
         let chips = t.chips_per_rank as f64;
 
-        let f_pd = s.pd_frac.clamp(0.0, 1.0);
-        let f_act = s.active_frac.clamp(0.0, 1.0 - f_pd);
-        let f_pre = (1.0 - f_pd - f_act).max(0.0);
+        let f_dpd = s.deep_pd_frac.clamp(0.0, 1.0);
+        let f_pd = s.pd_frac.clamp(0.0, 1.0 - f_dpd);
+        let f_act = s.active_frac.clamp(0.0, 1.0 - f_dpd - f_pd);
+        let f_pre = (1.0 - f_dpd - f_pd - f_act).max(0.0);
         let standby_per_rank =
             chips * v * (p.i_act_stby_ma * f_act + p.i_pre_stby_ma * f_pre + p.i_pre_pd_ma * f_pd)
                 / 1_000.0
                 * scale;
-        let background_w = (standby_per_rank + self.calc.refresh_power_w()) * n_ranks;
+        // Deep power-down current does not scale with the (stopped) clock.
+        let deep_per_rank = chips * v * p.i_dpd_ma * f_dpd / 1_000.0;
+        let background_w =
+            (standby_per_rank + deep_per_rank + self.calc.refresh_power_w()) * n_ranks;
 
         let act_pre_w = self.calc.act_pre_energy_j() * s.act_rate_hz;
         let rd_wr_w = (self.calc.burst_power_w(false) * s.read_burst_frac

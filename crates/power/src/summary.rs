@@ -22,8 +22,12 @@ pub struct ActivitySummary {
     pub write_burst_frac: f64,
     /// Average per-rank fraction of time with some bank active.
     pub active_frac: f64,
-    /// Average per-rank fraction of time in powerdown (CKE low).
+    /// Average per-rank fraction of time in powerdown (CKE low), excluding
+    /// deep power-down.
     pub pd_frac: f64,
+    /// Average per-rank fraction of time in deep power-down (LPDDR
+    /// generations; zero elsewhere).
+    pub deep_pd_frac: f64,
     /// Average channel data-bus utilization.
     pub bus_util: f64,
 }
@@ -61,6 +65,10 @@ impl ActivitySummary {
             .map(|d| d.active_time.as_secs_f64())
             .sum();
         let pd_t: f64 = rank_deltas.iter().map(|d| d.pd_time().as_secs_f64()).sum();
+        let deep_t: f64 = rank_deltas
+            .iter()
+            .map(|d| d.deep_pd_time.as_secs_f64())
+            .sum();
         let bus_t: f64 = channel_deltas
             .iter()
             .map(|d| d.burst_time.as_secs_f64())
@@ -73,6 +81,7 @@ impl ActivitySummary {
             write_burst_frac: (write_t / (w * n_ranks)).min(1.0),
             active_frac: (active_t / (w * n_ranks)).min(1.0),
             pd_frac: (pd_t / (w * n_ranks)).min(1.0),
+            deep_pd_frac: (deep_t / (w * n_ranks)).min(1.0),
             bus_util: (bus_t / (w * n_ch)).min(1.0),
         }
     }
@@ -104,6 +113,7 @@ impl ActivitySummary {
             write_burst_frac: (self.write_burst_frac * stretch).min(1.0),
             active_frac: (self.active_frac / dilation).min(1.0),
             pd_frac: (self.pd_frac / dilation).min(1.0),
+            deep_pd_frac: (self.deep_pd_frac / dilation).min(1.0),
             bus_util: (self.bus_util * stretch).min(1.0),
         }
     }
@@ -139,6 +149,19 @@ mod tests {
         assert!((s.active_frac - 0.2).abs() < 1e-12);
         assert!((s.pd_frac - 0.1).abs() < 1e-12);
         assert!((s.bus_util - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deep_powerdown_tracked_separately_from_pd() {
+        let mut d = RankStats::new();
+        d.fast_pd_time = Picos::from_us(100);
+        d.deep_pd_time = Picos::from_us(400);
+        let s = ActivitySummary::from_deltas(&[d], &[channel_delta(0)], Picos::from_ms(1));
+        assert!((s.pd_frac - 0.1).abs() < 1e-12);
+        assert!((s.deep_pd_frac - 0.4).abs() < 1e-12);
+        // Residency (absolute time) is preserved under dilation.
+        let r = s.rescale(2.0, 2.0);
+        assert!((r.deep_pd_frac - 0.2).abs() < 1e-12);
     }
 
     #[test]

@@ -4,9 +4,10 @@
 //! memscale-sim [OPTIONS]
 //!
 //!   --mix NAME          Table 1 workload (default MID1)
-//!   --policy NAME       baseline | fast-pd | slow-pd | static:<mhz> |
+//!   --policy NAME       baseline | fast-pd | slow-pd | deep-pd | static:<mhz> |
 //!                       decoupled | memscale | mem-energy | memscale-pd |
 //!                       per-channel            (default memscale)
+//!   --generation NAME   ddr3 | ddr4 | lpddr3    (default ddr3)
 //!   --duration-ms N     baseline horizon in milliseconds (default 20)
 //!   --gamma PCT         CPI degradation bound in percent (default 10)
 //!   --cores N           core count (default 16)
@@ -23,6 +24,7 @@
 use memscale::policies::PolicyKind;
 use memscale_simulator::harness::Experiment;
 use memscale_simulator::SimConfig;
+use memscale_types::config::MemGeneration;
 use memscale_types::freq::MemFreq;
 use memscale_types::time::Picos;
 use memscale_workloads::Mix;
@@ -32,6 +34,7 @@ use std::process::ExitCode;
 struct Args {
     mix: String,
     policy: String,
+    generation: MemGeneration,
     duration_ms: u64,
     gamma_pct: f64,
     cores: usize,
@@ -47,6 +50,7 @@ impl Default for Args {
         Args {
             mix: "MID1".into(),
             policy: "memscale".into(),
+            generation: MemGeneration::Ddr3,
             duration_ms: 20,
             gamma_pct: 10.0,
             cores: 16,
@@ -67,6 +71,11 @@ fn parse_args() -> Result<Args, String> {
         match flag.as_str() {
             "--mix" => args.mix = value("--mix")?,
             "--policy" => args.policy = value("--policy")?,
+            "--generation" => {
+                let name = value("--generation")?;
+                args.generation = MemGeneration::parse(&name)
+                    .ok_or_else(|| format!("unknown generation {name}; use ddr3|ddr4|lpddr3"))?;
+            }
             "--duration-ms" => {
                 args.duration_ms = value("--duration-ms")?
                     .parse()
@@ -113,6 +122,7 @@ fn parse_policy(name: &str) -> Result<PolicyKind, String> {
         "baseline" => PolicyKind::Baseline,
         "fast-pd" => PolicyKind::FastPd,
         "slow-pd" => PolicyKind::SlowPd,
+        "deep-pd" => PolicyKind::DeepPd,
         "decoupled" => PolicyKind::Decoupled {
             device: MemFreq::F400,
         },
@@ -161,6 +171,7 @@ fn render_json(
     let fields: Vec<(&str, String)> = vec![
         ("mix", format!("\"{}\"", json_escape(&run.mix))),
         ("policy", format!("\"{}\"", json_escape(&run.policy))),
+        ("generation", format!("\"{}\"", run.generation)),
         ("gamma", format!("{gamma}")),
         (
             "baseline_duration_ms",
@@ -177,6 +188,12 @@ fn render_json(
         ),
         ("reads", format!("{}", run.counters.reads)),
         ("writebacks", format!("{}", run.counters.writes)),
+        ("powerdown_exits", format!("{}", run.counters.epdc)),
+        ("deep_powerdown_exits", format!("{}", run.counters.edpc)),
+        (
+            "deep_powerdown_time_ms",
+            format!("{}", run.deep_pd_time.as_ms_f64()),
+        ),
         (
             "memory_energy_j",
             format!("{}", run.energy.memory_total_j()),
@@ -215,9 +232,10 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: memscale-sim [--mix NAME] [--policy NAME] [--duration-ms N]\n\
+                 \x20                  [--generation ddr3|ddr4|lpddr3]\n\
                  \x20                  [--gamma PCT] [--cores N] [--channels N]\n\
                  \x20                  [--epoch-ms N] [--seed N] [--json] [--list]\n\
-                 policies: baseline fast-pd slow-pd static:<mhz> decoupled\n\
+                 policies: baseline fast-pd slow-pd deep-pd static:<mhz> decoupled\n\
                  \x20         memscale mem-energy memscale-pd per-channel"
             );
             return if e == "help" {
@@ -246,8 +264,17 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if !policy.available_on(args.generation) {
+        eprintln!(
+            "error: {}: policy {} is not available on this generation",
+            args.generation,
+            policy.name()
+        );
+        return ExitCode::from(2);
+    }
 
-    let mut cfg = SimConfig::default().with_duration(Picos::from_ms(args.duration_ms));
+    let mut cfg =
+        SimConfig::for_generation(args.generation).with_duration(Picos::from_ms(args.duration_ms));
     cfg.governor.gamma = args.gamma_pct / 100.0;
     cfg.governor.epoch = Picos::from_ms(args.epoch_ms);
     cfg.system.cpu.cores = args.cores;
@@ -273,6 +300,7 @@ fn main() -> ExitCode {
     } else {
         println!("workload            : {}", run.mix);
         println!("policy              : {}", run.policy);
+        println!("generation          : {}", run.generation);
         println!("memory energy saved : {:+.1}%", cmp.memory_savings * 100.0);
         println!("system energy saved : {:+.1}%", cmp.system_savings * 100.0);
         println!(
@@ -286,16 +314,24 @@ fn main() -> ExitCode {
             "memory traffic      : {} reads, {} writebacks",
             run.counters.reads, run.counters.writes
         );
+        if run.deep_pd_time > Picos::ZERO {
+            println!(
+                "deep power-down     : {} exits, {:.2} rank-ms resident",
+                run.counters.edpc,
+                run.deep_pd_time.as_ms_f64()
+            );
+        }
         #[cfg(feature = "audit")]
         if let Some(report) = &run.audit {
             if report.is_clean() {
                 println!(
-                    "DDR3 conformance    : clean ({} commands audited)",
-                    report.commands_checked
+                    "{} conformance : clean ({} commands audited)",
+                    run.generation, report.commands_checked
                 );
             } else {
                 println!(
-                    "DDR3 conformance    : {} violation(s)\n{}",
+                    "{} conformance : {} violation(s)\n{}",
+                    run.generation,
                     report.violations.len(),
                     report.summary()
                 );

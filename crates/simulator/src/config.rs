@@ -50,6 +50,23 @@ impl SimConfig {
         }
     }
 
+    /// The default configuration re-based on `generation`'s reference
+    /// device parameters (see [`SystemConfig::for_generation`]).
+    pub fn for_generation(generation: memscale_types::config::MemGeneration) -> Self {
+        SimConfig {
+            system: SystemConfig::for_generation(generation),
+            ..SimConfig::default()
+        }
+    }
+
+    /// Re-bases this configuration on `generation`, keeping every
+    /// non-hardware knob (duration, seed, governor, …).
+    #[must_use]
+    pub fn with_generation(mut self, generation: memscale_types::config::MemGeneration) -> Self {
+        self.system = SystemConfig::for_generation(generation);
+        self
+    }
+
     /// Enables timeline capture at `interval`.
     #[must_use]
     pub fn with_timeline(mut self, interval: Picos) -> Self {
@@ -75,6 +92,18 @@ mod tests {
         assert!(c.duration >= c.governor.epoch);
         assert!(c.system.validate().is_ok());
         assert_eq!(c.timeline_interval, None);
+    }
+
+    #[test]
+    fn generation_rebase_keeps_run_knobs() {
+        use memscale_types::config::MemGeneration;
+        let c = SimConfig::quick().with_generation(MemGeneration::Lpddr3);
+        assert_eq!(c.system.timing.generation, MemGeneration::Lpddr3);
+        assert_eq!(c.duration, Picos::from_ms(6));
+        assert!(c.system.validate().is_ok());
+        let d = SimConfig::for_generation(MemGeneration::Ddr4);
+        assert_eq!(d.system.timing.generation, MemGeneration::Ddr4);
+        assert_eq!(d.system.topology.banks_per_rank, 16);
     }
 
     #[test]

@@ -78,9 +78,17 @@ impl Simulation {
     ///
     /// # Panics
     ///
-    /// Panics on an invalid configuration.
+    /// Panics on an invalid configuration, or if the policy does not exist
+    /// on the configured memory generation (e.g. deep power-down outside
+    /// LPDDR).
     pub fn new(mix: &Mix, policy_kind: PolicyKind, cfg: &SimConfig) -> Self {
         cfg.system.validate().expect("valid system configuration");
+        let generation = cfg.system.timing.generation;
+        assert!(
+            policy_kind.available_on(generation),
+            "{generation}: policy {} is not available on this generation",
+            policy_kind.name()
+        );
         let mut system = cfg.system.clone();
         let policy = Policy::new(policy_kind, &system, cfg.governor);
 
@@ -453,9 +461,10 @@ impl Simulation {
     fn finish(mut self, end: Picos, rest_w: f64) -> RunResult {
         self.mc.sync(end.max(self.now));
         self.integrate_segment(end.max(self.seg_start));
-        // Replay the run's full command stream through the independent DDR3
-        // conformance checker. The audited timing must be the *modified*
-        // system config (it includes the decoupled-DIMM CAS lag).
+        // Replay the run's full command stream through the independent
+        // conformance checker, whose rule pack follows the configured
+        // generation. The audited timing must be the *modified* system
+        // config (it includes the decoupled-DIMM CAS lag).
         #[cfg(feature = "audit")]
         let audit = {
             let events = self.mc.drain_command_events();
@@ -478,9 +487,16 @@ impl Simulation {
             .map(|c| c.instructions_at(end))
             .collect::<Vec<_>>();
         let completion = self.completion.iter().map(|c| c.unwrap_or(end)).collect();
+        let deep_pd_time = self
+            .mc
+            .rank_stats()
+            .iter()
+            .map(|s| s.deep_pd_time)
+            .sum::<Picos>();
         RunResult {
             policy: self.policy.name().to_string(),
             mix: self.mix.name.to_string(),
+            generation: self.cfg.system.timing.generation,
             duration: end,
             energy,
             rest_w,
@@ -488,6 +504,7 @@ impl Simulation {
             completion,
             counters: *self.mc.counters(),
             freq_residency_ps: self.freq_residency_ps,
+            deep_pd_time,
             timeline: self.timeline,
             #[cfg(feature = "audit")]
             audit,
@@ -569,6 +586,47 @@ mod tests {
         assert_eq!(a.counters, b.counters);
         assert_eq!(a.freq_residency_ps, b.freq_residency_ps);
         assert!((a.energy.memory_total_j() - b.energy.memory_total_j()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ddr4_run_is_audit_clean() {
+        use memscale_types::config::MemGeneration;
+        let mix = Mix::by_name("MID1").unwrap();
+        let cfg = SimConfig::quick().with_generation(MemGeneration::Ddr4);
+        let r = Simulation::new(&mix, PolicyKind::MemScale, &cfg).run_for(Picos::from_ms(6), 60.0);
+        assert_eq!(r.generation, MemGeneration::Ddr4);
+        assert!(r.counters.reads > 1_000);
+        #[cfg(feature = "audit")]
+        {
+            let report = r.audit.as_ref().expect("audit report");
+            assert!(report.is_clean(), "{report}");
+        }
+    }
+
+    #[test]
+    fn lpddr3_deep_pd_run_is_audit_clean_and_tracks_residency() {
+        use memscale_types::config::MemGeneration;
+        let mix = Mix::by_name("ILP2").unwrap();
+        let cfg = SimConfig::quick().with_generation(MemGeneration::Lpddr3);
+        let r = Simulation::new(&mix, PolicyKind::DeepPd, &cfg).run_for(Picos::from_ms(6), 60.0);
+        assert_eq!(r.generation, MemGeneration::Lpddr3);
+        assert!(r.counters.edpc > 0, "no deep power-down exits recorded");
+        assert!(r.deep_pd_time > Picos::ZERO);
+        assert!(r.deep_pd_residency(16) > 0.0);
+        #[cfg(feature = "audit")]
+        {
+            let report = r.audit.as_ref().expect("audit report");
+            assert!(report.is_clean(), "{report}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "DDR4: policy Deep-PD is not available")]
+    fn deep_pd_policy_rejected_outside_lpddr() {
+        use memscale_types::config::MemGeneration;
+        let mix = Mix::by_name("MID1").unwrap();
+        let cfg = SimConfig::quick().with_generation(MemGeneration::Ddr4);
+        let _ = Simulation::new(&mix, PolicyKind::DeepPd, &cfg);
     }
 
     #[test]

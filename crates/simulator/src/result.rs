@@ -2,6 +2,7 @@
 
 use memscale_mc::McCounters;
 use memscale_power::EnergyAccount;
+use memscale_types::config::MemGeneration;
 use memscale_types::freq::MemFreq;
 use memscale_types::time::Picos;
 
@@ -26,6 +27,8 @@ pub struct RunResult {
     pub policy: String,
     /// Workload name.
     pub mix: String,
+    /// Memory generation the run was simulated with.
+    pub generation: MemGeneration,
     /// Wall-clock simulated time.
     pub duration: Picos,
     /// Integrated energy (memory per category + rest of system).
@@ -41,6 +44,9 @@ pub struct RunResult {
     pub counters: McCounters,
     /// Time spent at each operating point, indexed like [`MemFreq::ALL`].
     pub freq_residency_ps: Vec<u64>,
+    /// Total rank-time spent in deep power-down across all ranks (LPDDR
+    /// generations; zero elsewhere).
+    pub deep_pd_time: Picos,
     /// Captured timeline (empty unless requested).
     pub timeline: Vec<TimelineSample>,
     /// DDR3 protocol conformance report for the run's full command stream
@@ -76,6 +82,17 @@ impl RunResult {
             / total as f64
     }
 
+    /// Average per-rank fraction of the run spent in deep power-down, given
+    /// the total rank count.
+    ///
+    /// Returns 0.0 for an empty run or zero ranks.
+    pub fn deep_pd_residency(&self, ranks: usize) -> f64 {
+        if self.duration == Picos::ZERO || ranks == 0 {
+            return 0.0;
+        }
+        self.deep_pd_time.as_secs_f64() / (self.duration.as_secs_f64() * ranks as f64)
+    }
+
     /// Fraction of time at the operating point `freq`.
     pub fn residency(&self, freq: MemFreq) -> f64 {
         let total: u64 = self.freq_residency_ps.iter().sum();
@@ -98,6 +115,7 @@ mod tests {
         RunResult {
             policy: "Test".into(),
             mix: "MID1".into(),
+            generation: MemGeneration::Ddr3,
             duration: Picos::from_ms(4),
             energy: EnergyAccount::new(),
             rest_w: 60.0,
@@ -105,6 +123,7 @@ mod tests {
             completion: vec![Picos::from_ms(4), Picos::from_ms(4)],
             counters: McCounters::new(),
             freq_residency_ps: residency,
+            deep_pd_time: Picos::ZERO,
             timeline: vec![],
             #[cfg(feature = "audit")]
             audit: None,
@@ -135,5 +154,14 @@ mod tests {
         let mut r = result();
         r.freq_residency_ps = vec![0; 10];
         assert_eq!(r.mean_frequency_mhz(), 800.0);
+    }
+
+    #[test]
+    fn deep_pd_residency_averages_over_ranks() {
+        let mut r = result();
+        // 4 ms run, 16 ranks, 8 rank-ms in deep PD -> 1/8 average residency.
+        r.deep_pd_time = Picos::from_ms(8);
+        assert!((r.deep_pd_residency(16) - 0.125).abs() < 1e-12);
+        assert_eq!(r.deep_pd_residency(0), 0.0);
     }
 }

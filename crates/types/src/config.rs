@@ -28,6 +28,77 @@ impl std::fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
+/// The DRAM standard a [`DramTimingConfig`] describes.
+///
+/// The paper evaluates DDR3 only; the simulator keeps its mechanism
+/// (MC DVFS + channel/DIMM DFS) generation-agnostic and lets the device
+/// model plug in later standards:
+///
+/// * [`MemGeneration::Ddr3`] — Table 2's device, the default everywhere.
+/// * [`MemGeneration::Ddr4`] — adds bank groups with split CAS-to-CAS
+///   spacing (`tCCD_S`/`tCCD_L`) and same-bank-group `tRRD_L`.
+/// * [`MemGeneration::Lpddr3`] — adds deep power-down (a third rank
+///   low-power state with exit latency above `tXPDLL` but far cheaper
+///   background power) and per-bank refresh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MemGeneration {
+    /// DDR3 (the paper's Table 2 device).
+    #[default]
+    Ddr3,
+    /// DDR4: bank groups, `tCCD_S`/`tCCD_L`, `tRRD_L`, tighter `tFAW`.
+    Ddr4,
+    /// LPDDR3: deep power-down and per-bank refresh.
+    Lpddr3,
+}
+
+impl MemGeneration {
+    /// Every supported generation, in introduction order.
+    pub const ALL: [MemGeneration; 3] = [
+        MemGeneration::Ddr3,
+        MemGeneration::Ddr4,
+        MemGeneration::Lpddr3,
+    ];
+
+    /// Display name matching the JEDEC standard (`DDR3`, `DDR4`, `LPDDR3`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            MemGeneration::Ddr3 => "DDR3",
+            MemGeneration::Ddr4 => "DDR4",
+            MemGeneration::Lpddr3 => "LPDDR3",
+        }
+    }
+
+    /// Whether the standard splits banks into bank groups with a longer
+    /// same-group CAS-to-CAS spacing.
+    #[inline]
+    pub fn has_bank_groups(&self) -> bool {
+        matches!(self, MemGeneration::Ddr4)
+    }
+
+    /// Whether the standard offers a deep power-down rank state below
+    /// slow-exit precharge powerdown.
+    #[inline]
+    pub fn has_deep_power_down(&self) -> bool {
+        matches!(self, MemGeneration::Lpddr3)
+    }
+
+    /// Parses a case-insensitive generation name (`ddr3`/`ddr4`/`lpddr3`).
+    pub fn parse(name: &str) -> Option<MemGeneration> {
+        match name.to_ascii_lowercase().as_str() {
+            "ddr3" => Some(MemGeneration::Ddr3),
+            "ddr4" => Some(MemGeneration::Ddr4),
+            "lpddr3" => Some(MemGeneration::Lpddr3),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for MemGeneration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Physical organization of the memory subsystem.
 ///
 /// Defaults to Table 2: 4 DDR3 channels, each with two registered dual-rank
@@ -157,14 +228,44 @@ impl CpuConfig {
     }
 }
 
-/// DDR3 timing parameters (Table 2).
+/// DRAM timing parameters (Table 2 for the DDR3 default; see
+/// [`DramTimingConfig::ddr4`] and [`DramTimingConfig::lpddr3`] for the other
+/// generations).
 ///
 /// DRAM-core operations are stored in wall-clock nanoseconds because scaling
 /// the channel frequency does not change them (§2.2); parameters given in
-/// cycles in Table 2 are converted at the 800 MHz reference. Burst length and
-/// MC pipeline depth are stored in cycles because they *do* scale.
+/// cycles in Table 2 are converted at the 800 MHz reference. Burst length,
+/// CAS-to-CAS spacing and MC pipeline depth are stored in cycles because
+/// they *do* scale.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DramTimingConfig {
+    /// Which DRAM standard these parameters describe. Selects the audit
+    /// rule pack and enables the generation-specific engine features
+    /// (bank groups, deep power-down, per-bank refresh).
+    pub generation: MemGeneration,
+    /// Bank groups per rank (1 when the generation has none; DDR4: 4).
+    /// Banks are assigned round-robin: group = bank index mod `bank_groups`.
+    pub bank_groups: u8,
+    /// CAS-to-CAS spacing to a *different* bank group, in bus cycles
+    /// (`tCCD_S`; equals the burst length on every generation).
+    pub t_ccd_s_cycles: u32,
+    /// CAS-to-CAS spacing within the *same* bank group, in bus cycles
+    /// (`tCCD_L`; DDR4: 6 cycles — the shared bank-group datapath cannot
+    /// stream back-to-back bursts).
+    pub t_ccd_l_cycles: u32,
+    /// ACT-to-ACT spacing within the same bank group (ns, `tRRD_L`).
+    /// Generations without bank groups set it equal to `t_rrd_ns`.
+    pub t_rrd_l_ns: f64,
+    /// Exit latency from deep power-down (ns). Only meaningful when the
+    /// generation has deep power-down; must then exceed `t_xpdll_ns`.
+    pub t_xdpd_ns: f64,
+    /// Refresh one bank at a time (LPDDR per-bank refresh, `REFpb`) instead
+    /// of all-bank refresh: one REF per bank per `tREFI`, each lasting
+    /// `t_rfc_pb_ns` instead of `t_rfc_ns`.
+    pub per_bank_refresh: bool,
+    /// Duration of one per-bank refresh command (ns, `tRFCpb`); unused
+    /// unless `per_bank_refresh` is set.
+    pub t_rfc_pb_ns: f64,
     /// Row activate: RAS-to-CAS delay (ns).
     pub t_rcd_ns: f64,
     /// Row precharge time (ns).
@@ -205,6 +306,14 @@ impl Default for DramTimingConfig {
     fn default() -> Self {
         // Cycle-denominated Table 2 entries converted at 800 MHz (1.25 ns).
         DramTimingConfig {
+            generation: MemGeneration::Ddr3,
+            bank_groups: 1,
+            t_ccd_s_cycles: 4,
+            t_ccd_l_cycles: 4,
+            t_rrd_l_ns: 4.0 * 1.25,
+            t_xdpd_ns: 0.0,
+            per_bank_refresh: false,
+            t_rfc_pb_ns: 0.0,
             t_rcd_ns: 15.0,
             t_rp_ns: 15.0,
             t_cl_ns: 15.0,
@@ -227,6 +336,70 @@ impl Default for DramTimingConfig {
 }
 
 impl DramTimingConfig {
+    /// DDR4-1600-class timing: four bank groups with split CAS-to-CAS
+    /// spacing (`tCCD_S` 4 cycles / `tCCD_L` 6 cycles), same-bank-group
+    /// `tRRD_L`, and a tighter four-activate window than DDR3.
+    pub fn ddr4() -> Self {
+        DramTimingConfig {
+            generation: MemGeneration::Ddr4,
+            bank_groups: 4,
+            t_ccd_s_cycles: 4,
+            t_ccd_l_cycles: 6,
+            t_rrd_l_ns: 7.5,
+            t_rcd_ns: 13.75,
+            t_rp_ns: 13.75,
+            t_cl_ns: 13.75,
+            t_ras_ns: 35.0,
+            t_rrd_ns: 5.0,
+            t_faw_ns: 20.0,
+            t_rtp_ns: 7.5,
+            t_rfc_ns: 160.0,
+            ..DramTimingConfig::default()
+        }
+    }
+
+    /// LPDDR3-1600-class timing: deep power-down as a third rank low-power
+    /// state (exit far above `tXPDLL`, background power far below `IDD2P`)
+    /// and per-bank refresh (`tRFCpb` per bank instead of one all-bank
+    /// `tRFCab` per `tREFI`).
+    pub fn lpddr3() -> Self {
+        DramTimingConfig {
+            generation: MemGeneration::Lpddr3,
+            t_xdpd_ns: 500.0,
+            per_bank_refresh: true,
+            t_rfc_pb_ns: 60.0,
+            t_rcd_ns: 18.0,
+            t_rp_ns: 18.0,
+            t_cl_ns: 15.0,
+            t_ras_ns: 42.0,
+            t_rrd_ns: 10.0,
+            t_rrd_l_ns: 10.0,
+            t_faw_ns: 50.0,
+            t_rtp_ns: 7.5,
+            t_xp_ns: 7.5,
+            t_rfc_ns: 130.0,
+            ..DramTimingConfig::default()
+        }
+    }
+
+    /// The reference timing for `generation` (DDR3 is [`Default`]).
+    pub fn for_generation(generation: MemGeneration) -> Self {
+        match generation {
+            MemGeneration::Ddr3 => DramTimingConfig::default(),
+            MemGeneration::Ddr4 => DramTimingConfig::ddr4(),
+            MemGeneration::Lpddr3 => DramTimingConfig::lpddr3(),
+        }
+    }
+
+    /// The bank group a bank belongs to (round-robin assignment).
+    ///
+    /// Shared by the engine and the independent auditor so the two can
+    /// never disagree on the mapping.
+    #[inline]
+    pub fn bank_group_of(&self, bank: crate::ids::BankId) -> usize {
+        bank.index() % (self.bank_groups.max(1) as usize)
+    }
+
     /// tRCD as simulator time.
     #[inline]
     pub fn t_rcd(&self) -> Picos {
@@ -286,6 +459,21 @@ impl DramTimingConfig {
     #[inline]
     pub fn t_refi(&self) -> Picos {
         Picos::from_ns_f64(self.refresh_period_ms * 1e6 / self.refresh_commands as f64)
+    }
+    /// Same-bank-group ACT-to-ACT spacing (`tRRD_L`) as simulator time.
+    #[inline]
+    pub fn t_rrd_l(&self) -> Picos {
+        Picos::from_ns_f64(self.t_rrd_l_ns)
+    }
+    /// Deep power-down exit latency as simulator time.
+    #[inline]
+    pub fn t_xdpd(&self) -> Picos {
+        Picos::from_ns_f64(self.t_xdpd_ns)
+    }
+    /// Per-bank refresh duration (`tRFCpb`) as simulator time.
+    #[inline]
+    pub fn t_rfc_pb(&self) -> Picos {
+        Picos::from_ns_f64(self.t_rfc_pb_ns)
     }
 
     /// Checks for physically sensible values.
@@ -350,6 +538,81 @@ impl DramTimingConfig {
                 self.t_rfc_ns
             )));
         }
+        self.validate_generation()
+    }
+
+    /// Generation-specific cross-checks, with errors naming the generation.
+    fn validate_generation(&self) -> Result<(), ConfigError> {
+        let gen = self.generation;
+        if self.bank_groups == 0 {
+            return Err(ConfigError::new(format!("{gen}: bank_groups must be > 0")));
+        }
+        if self.t_ccd_s_cycles == 0 || self.t_ccd_l_cycles == 0 {
+            return Err(ConfigError::new(format!(
+                "{gen}: tCCD_S/tCCD_L must be > 0 cycles"
+            )));
+        }
+        if !self.t_rrd_l_ns.is_finite() || self.t_rrd_l_ns <= 0.0 {
+            return Err(ConfigError::new(format!(
+                "{gen}: t_rrd_l_ns must be positive"
+            )));
+        }
+        if gen.has_bank_groups() {
+            if self.bank_groups < 2 {
+                return Err(ConfigError::new(format!(
+                    "{gen} splits banks into groups: bank_groups must be >= 2"
+                )));
+            }
+            if self.t_ccd_l_cycles < self.t_ccd_s_cycles {
+                return Err(ConfigError::new(format!(
+                    "{gen}: t_ccd_l_cycles ({}) must be >= t_ccd_s_cycles ({}): \
+                     the same-group CAS spacing is the longer one",
+                    self.t_ccd_l_cycles, self.t_ccd_s_cycles
+                )));
+            }
+            if self.t_rrd_l_ns < self.t_rrd_ns {
+                return Err(ConfigError::new(format!(
+                    "{gen}: t_rrd_l_ns ({}) must be >= t_rrd_ns ({}): the \
+                     same-group ACT spacing is the longer one",
+                    self.t_rrd_l_ns, self.t_rrd_ns
+                )));
+            }
+        } else if self.bank_groups != 1 {
+            return Err(ConfigError::new(format!(
+                "{gen} has no bank groups: bank_groups must be 1"
+            )));
+        }
+        if gen.has_deep_power_down() {
+            if !self.t_xdpd_ns.is_finite() || self.t_xdpd_ns <= self.t_xpdll_ns {
+                return Err(ConfigError::new(format!(
+                    "{gen}: deep power-down exit t_xdpd_ns ({}) must exceed \
+                     the slow-exit latency t_xpdll_ns ({})",
+                    self.t_xdpd_ns, self.t_xpdll_ns
+                )));
+            }
+        } else if self.t_xdpd_ns != 0.0 {
+            return Err(ConfigError::new(format!(
+                "{gen} has no deep power-down state: t_xdpd_ns must be 0"
+            )));
+        }
+        if self.per_bank_refresh {
+            if gen != MemGeneration::Lpddr3 {
+                return Err(ConfigError::new(format!(
+                    "{gen} has no per-bank refresh: per_bank_refresh must be \
+                     false"
+                )));
+            }
+            if !self.t_rfc_pb_ns.is_finite()
+                || self.t_rfc_pb_ns <= 0.0
+                || self.t_rfc_pb_ns >= self.t_rfc_ns
+            {
+                return Err(ConfigError::new(format!(
+                    "{gen}: per-bank refresh t_rfc_pb_ns ({}) must be \
+                     positive and < the all-bank t_rfc_ns ({})",
+                    self.t_rfc_pb_ns, self.t_rfc_ns
+                )));
+            }
+        }
         Ok(())
     }
 }
@@ -380,6 +643,11 @@ pub struct PowerConfig {
     pub i_wr_ma: f64,
     /// Refresh current, IDD5 (mA).
     pub i_ref_ma: f64,
+    /// Deep power-down current (mA per chip). Unlike the standby and
+    /// powerdown currents it does *not* scale with channel frequency — the
+    /// clock tree is gated entirely. Zero for generations without deep
+    /// power-down.
+    pub i_dpd_ma: f64,
     /// Termination power dissipated in each *non-target* DIMM on a channel
     /// while a burst is in flight (W per DIMM).
     pub term_w_per_dimm: f64,
@@ -411,6 +679,7 @@ impl Default for PowerConfig {
             i_rd_ma: 250.0,
             i_wr_ma: 250.0,
             i_ref_ma: 240.0,
+            i_dpd_ma: 0.0,
             term_w_per_dimm: 0.5,
             pll_w: 0.5,
             reg_w_peak: 0.5,
@@ -422,6 +691,55 @@ impl Default for PowerConfig {
 }
 
 impl PowerConfig {
+    /// DDR4-class currents: 1.2 V supply with proportionally lower
+    /// background and burst currents than the 1.575 V DDR3 part.
+    pub fn ddr4() -> Self {
+        PowerConfig {
+            vdd: 1.2,
+            i_act_pre_ma: 95.0,
+            i_pre_stby_ma: 55.0,
+            i_pre_pd_ma: 32.0,
+            i_act_stby_ma: 52.0,
+            i_act_pd_ma: 32.0,
+            i_rd_ma: 210.0,
+            i_wr_ma: 210.0,
+            i_ref_ma: 200.0,
+            ..PowerConfig::default()
+        }
+    }
+
+    /// LPDDR3-class currents: 1.2 V supply, low standby currents and a
+    /// deep power-down floor two orders of magnitude below `IDD2P`.
+    pub fn lpddr3() -> Self {
+        PowerConfig {
+            vdd: 1.2,
+            i_act_pre_ma: 70.0,
+            i_pre_stby_ma: 28.0,
+            i_pre_pd_ma: 12.0,
+            i_act_stby_ma: 30.0,
+            i_act_pd_ma: 14.0,
+            i_rd_ma: 180.0,
+            i_wr_ma: 180.0,
+            i_ref_ma: 150.0,
+            i_dpd_ma: 0.4,
+            // Mobile-class DIMMs carry no registers and lighter PLLs.
+            term_w_per_dimm: 0.25,
+            pll_w: 0.25,
+            reg_w_peak: 0.25,
+            ..PowerConfig::default()
+        }
+    }
+
+    /// The reference power constants for `generation` (DDR3 is
+    /// [`Default`]).
+    pub fn for_generation(generation: MemGeneration) -> Self {
+        match generation {
+            MemGeneration::Ddr3 => PowerConfig::default(),
+            MemGeneration::Ddr4 => PowerConfig::ddr4(),
+            MemGeneration::Lpddr3 => PowerConfig::lpddr3(),
+        }
+    }
+
     /// Register idle power per DIMM (W) at 800 MHz.
     #[inline]
     pub fn reg_w_idle(&self) -> f64 {
@@ -449,6 +767,7 @@ impl PowerConfig {
             ("i_rd_ma", self.i_rd_ma),
             ("i_wr_ma", self.i_wr_ma),
             ("i_ref_ma", self.i_ref_ma),
+            ("i_dpd_ma", self.i_dpd_ma),
             ("term_w_per_dimm", self.term_w_per_dimm),
             ("pll_w", self.pll_w),
             ("reg_w_peak", self.reg_w_peak),
@@ -496,7 +815,43 @@ impl SystemConfig {
         self.cpu.validate()?;
         self.timing.validate()?;
         self.power.validate()?;
+        // Cross-section checks tying timing to topology.
+        let gen = self.timing.generation;
+        if !self.topology.banks_per_rank.is_multiple_of(self.timing.bank_groups) {
+            return Err(ConfigError::new(format!(
+                "{gen}: banks_per_rank ({}) must be divisible by bank_groups \
+                 ({}) for the round-robin group mapping",
+                self.topology.banks_per_rank, self.timing.bank_groups
+            )));
+        }
+        if self.timing.per_bank_refresh {
+            let refi_pb_ns = self.timing.refresh_period_ms * 1e6
+                / self.timing.refresh_commands as f64
+                / f64::from(self.topology.banks_per_rank);
+            if self.timing.t_rfc_pb_ns >= refi_pb_ns {
+                return Err(ConfigError::new(format!(
+                    "{gen}: t_rfc_pb_ns ({}) must be < the per-bank refresh \
+                     interval tREFI/banks ({refi_pb_ns} ns)",
+                    self.timing.t_rfc_pb_ns
+                )));
+            }
+        }
         Ok(())
+    }
+
+    /// The reference configuration for a memory generation: Table 2 with
+    /// the timing and power sections swapped for that standard's parameters
+    /// (DDR4 additionally widens each rank to 16 banks in 4 groups).
+    pub fn for_generation(generation: MemGeneration) -> Self {
+        let mut cfg = SystemConfig {
+            timing: DramTimingConfig::for_generation(generation),
+            power: PowerConfig::for_generation(generation),
+            ..SystemConfig::default()
+        };
+        if generation == MemGeneration::Ddr4 {
+            cfg.topology.banks_per_rank = 16;
+        }
+        cfg
     }
 
     /// A configuration with `channels` memory channels and everything else
@@ -626,6 +981,92 @@ mod tests {
     fn channel_and_core_sweep_constructors() {
         assert_eq!(SystemConfig::with_channels(2).topology.channels, 2);
         assert_eq!(SystemConfig::with_cores(32).cpu.cores, 32);
+    }
+
+    #[test]
+    fn generation_reference_configs_validate() {
+        for gen in MemGeneration::ALL {
+            let cfg = SystemConfig::for_generation(gen);
+            assert_eq!(cfg.timing.generation, gen);
+            assert!(cfg.validate().is_ok(), "{gen}");
+        }
+        // DDR3 stays exactly the Table 2 default.
+        assert_eq!(
+            SystemConfig::for_generation(MemGeneration::Ddr3),
+            SystemConfig::default()
+        );
+        let ddr4 = SystemConfig::for_generation(MemGeneration::Ddr4);
+        assert_eq!(ddr4.topology.banks_per_rank, 16);
+        assert_eq!(ddr4.timing.bank_groups, 4);
+        let lp = SystemConfig::for_generation(MemGeneration::Lpddr3);
+        assert!(lp.timing.per_bank_refresh);
+        assert!(lp.power.i_dpd_ma > 0.0);
+    }
+
+    #[test]
+    fn generation_cross_checks_name_the_generation() {
+        // DDR4: tCCD_L below tCCD_S.
+        let d = DramTimingConfig {
+            t_ccd_l_cycles: 2,
+            ..DramTimingConfig::ddr4()
+        };
+        let err = d.validate().unwrap_err().to_string();
+        assert!(err.contains("DDR4") && err.contains("t_ccd_l"), "{err}");
+
+        // DDR4: tRRD_L below tRRD.
+        let d = DramTimingConfig {
+            t_rrd_l_ns: 1.0,
+            ..DramTimingConfig::ddr4()
+        };
+        let err = d.validate().unwrap_err().to_string();
+        assert!(err.contains("DDR4") && err.contains("t_rrd_l"), "{err}");
+
+        // LPDDR3: deep power-down exit must exceed tXPDLL.
+        let d = DramTimingConfig {
+            t_xdpd_ns: 10.0,
+            ..DramTimingConfig::lpddr3()
+        };
+        let err = d.validate().unwrap_err().to_string();
+        assert!(err.contains("LPDDR3") && err.contains("t_xdpd"), "{err}");
+
+        // DDR3 has neither bank groups, deep power-down nor REFpb.
+        for mutate in [
+            |d: &mut DramTimingConfig| d.bank_groups = 4,
+            |d: &mut DramTimingConfig| d.t_xdpd_ns = 500.0,
+            |d: &mut DramTimingConfig| d.per_bank_refresh = true,
+        ] {
+            let mut d = DramTimingConfig::default();
+            mutate(&mut d);
+            let err = d.validate().unwrap_err().to_string();
+            assert!(err.contains("DDR3"), "{err}");
+        }
+
+        // Topology cross-check: groups must divide the bank count.
+        let mut sys = SystemConfig::for_generation(MemGeneration::Ddr4);
+        sys.topology.banks_per_rank = 6;
+        let err = sys.validate().unwrap_err().to_string();
+        assert!(err.contains("bank_groups"), "{err}");
+    }
+
+    #[test]
+    fn bank_groups_map_round_robin() {
+        let d = DramTimingConfig::ddr4();
+        assert_eq!(d.bank_group_of(crate::ids::BankId(0)), 0);
+        assert_eq!(d.bank_group_of(crate::ids::BankId(5)), 1);
+        assert_eq!(d.bank_group_of(crate::ids::BankId(15)), 3);
+        // Single-group generations collapse to one group.
+        let d3 = DramTimingConfig::default();
+        assert_eq!(d3.bank_group_of(crate::ids::BankId(7)), 0);
+    }
+
+    #[test]
+    fn generation_parse_and_display_round_trip() {
+        for gen in MemGeneration::ALL {
+            assert_eq!(MemGeneration::parse(gen.name()), Some(gen));
+            assert_eq!(MemGeneration::parse(&gen.name().to_lowercase()), Some(gen));
+        }
+        assert_eq!(MemGeneration::parse("ddr5"), None);
+        assert_eq!(MemGeneration::default(), MemGeneration::Ddr3);
     }
 
     #[test]

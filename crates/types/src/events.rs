@@ -56,6 +56,16 @@ pub enum CmdKind {
         /// First instant a command may issue (exit request + tXP/tXPDLL).
         ready: Picos,
     },
+    /// The rank enters deep power-down (LPDDR generations only): background
+    /// power collapses to the `i_dpd` floor, but exiting costs `t_xdpd`.
+    DeepPowerDownEnter,
+    /// The rank leaves deep power-down; commands may issue from `ready`.
+    DeepPowerDownExit {
+        /// When the rank entered deep power-down.
+        entered_at: Picos,
+        /// First instant a command may issue (exit request + `t_xdpd`).
+        ready: Picos,
+    },
     /// The channel re-locks its bus/DIMM frequency; no command may issue on
     /// any rank of the channel until `ready`.
     FreqSwitch {
@@ -79,6 +89,8 @@ impl CmdKind {
             CmdKind::Refresh { .. } => "REF",
             CmdKind::PowerDownEnter { .. } => "PD-ENTER",
             CmdKind::PowerDownExit { .. } => "PD-EXIT",
+            CmdKind::DeepPowerDownEnter => "DPD-ENTER",
+            CmdKind::DeepPowerDownExit { .. } => "DPD-EXIT",
             CmdKind::FreqSwitch { .. } => "FREQ-SWITCH",
         }
     }
@@ -163,6 +175,11 @@ mod tests {
             CmdKind::PowerDownEnter { fast: true },
             CmdKind::PowerDownExit {
                 fast: true,
+                entered_at: Picos::ZERO,
+                ready: Picos::ZERO,
+            },
+            CmdKind::DeepPowerDownEnter,
+            CmdKind::DeepPowerDownExit {
                 entered_at: Picos::ZERO,
                 ready: Picos::ZERO,
             },

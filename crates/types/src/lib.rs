@@ -39,7 +39,7 @@ pub mod ids;
 pub mod time;
 
 pub use address::{AddressMap, Location, PhysAddr};
-pub use config::{CpuConfig, DramTimingConfig, PowerConfig, SystemConfig, Topology};
+pub use config::{CpuConfig, DramTimingConfig, MemGeneration, PowerConfig, SystemConfig, Topology};
 pub use events::{CmdEvent, CmdKind};
 pub use freq::MemFreq;
 pub use ids::{AppId, BankId, ChannelId, CoreId, RankId};

@@ -17,7 +17,18 @@ fn drive(
     freq: MemFreq,
     window: Picos,
 ) -> (MemoryController, Vec<AppSample>, Picos) {
-    let sys = SystemConfig::default();
+    drive_on(&SystemConfig::default(), mix_name, freq, window)
+}
+
+/// Same as [`drive`] but on an explicit system configuration (used to
+/// exercise the non-DDR3 generations).
+fn drive_on(
+    sys: &SystemConfig,
+    mix_name: &str,
+    freq: MemFreq,
+    window: Picos,
+) -> (MemoryController, Vec<AppSample>, Picos) {
+    let sys = sys.clone();
     let mix = Mix::by_name(mix_name).unwrap();
     let mut traces = mix.traces(16, 1 << 24, 7);
     let mut mc = MemoryController::new(&sys, freq);
@@ -180,6 +191,29 @@ fn standalone_controller_stream_is_ddr3_conformant() {
     let (mut mc, _, _) = drive("MEM1", MemFreq::F800, Picos::from_ms(1));
     let events = mc.drain_command_events();
     let sys = SystemConfig::default();
+    let t = &sys.topology;
+    let mut auditor = memscale_audit::ProtocolAuditor::new(
+        &sys.timing,
+        t.channels as usize,
+        t.ranks_per_channel() as usize,
+        t.banks_per_rank as usize,
+        MemFreq::F800,
+    );
+    auditor.ingest(&events);
+    let report = auditor.finalize();
+    assert!(report.is_clean(), "{report}");
+    assert!(report.commands_checked > 1_000);
+}
+
+#[cfg(feature = "audit")]
+#[test]
+fn standalone_controller_stream_is_ddr4_conformant() {
+    // The same standalone replay on the DDR4 device model: sixteen banks in
+    // four groups, audited against the DDR4 rule pack (tCCD_L / tRRD_L).
+    use memscale_types::config::MemGeneration;
+    let sys = SystemConfig::for_generation(MemGeneration::Ddr4);
+    let (mut mc, _, _) = drive_on(&sys, "MEM1", MemFreq::F800, Picos::from_ms(1));
+    let events = mc.drain_command_events();
     let t = &sys.topology;
     let mut auditor = memscale_audit::ProtocolAuditor::new(
         &sys.timing,

@@ -121,6 +121,31 @@ fn full_runs_replay_clean_through_the_conformance_checker() {
     }
 }
 
+#[cfg(feature = "audit")]
+#[test]
+fn ddr4_and_lpddr3_full_runs_replay_clean() {
+    // One configuration switch selects the generation; the run is audited
+    // against that generation's rule pack (bank groups on DDR4, deep
+    // power-down and per-bank refresh on LPDDR3).
+    use memscale_types::config::MemGeneration;
+    let mix = Mix::by_name("MID1").unwrap();
+    for (generation, policy) in [
+        (MemGeneration::Ddr4, PolicyKind::MemScale),
+        (MemGeneration::Lpddr3, PolicyKind::DeepPd),
+    ] {
+        let cfg = quick().with_generation(generation);
+        let run = Simulation::new(&mix, policy, &cfg).run_for(Picos::from_ms(6), 40.0);
+        assert_eq!(run.generation, generation);
+        let audit = run.audit.as_ref().expect("audit enabled in test builds");
+        assert!(audit.is_clean(), "{generation}: {}", audit.summary());
+        assert!(audit.commands_checked > 1_000);
+        if generation == MemGeneration::Lpddr3 {
+            assert!(run.counters.edpc > 0, "deep power-down never engaged");
+            assert!(run.deep_pd_time > Picos::ZERO);
+        }
+    }
+}
+
 #[test]
 fn all_classes_have_four_mixes_that_run_under_every_policy() {
     // A broad smoke matrix: one mix per class x every comparison policy.

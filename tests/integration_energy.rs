@@ -153,6 +153,31 @@ fn scaled_and_decoupled_runs_are_protocol_conformant() {
     }
 }
 
+#[cfg(feature = "audit")]
+#[test]
+fn lpddr3_deep_powerdown_saves_background_energy_and_audits_clean() {
+    // LPDDR3's extra idle state: deep power-down must undercut fast
+    // powerdown's background energy on an idle-heavy mix, while the run
+    // (tXDPD exits, per-bank refresh) replays clean through the LPDDR pack.
+    use memscale_types::config::MemGeneration;
+    let mix = Mix::by_name("ILP2").unwrap();
+    let cfg = quick().with_generation(MemGeneration::Lpddr3);
+    let fast = Simulation::new(&mix, PolicyKind::FastPd, &cfg).run_for(Picos::from_ms(6), 0.0);
+    let deep = Simulation::new(&mix, PolicyKind::DeepPd, &cfg).run_for(Picos::from_ms(6), 0.0);
+    for run in [&fast, &deep] {
+        assert_eq!(run.generation, MemGeneration::Lpddr3);
+        let audit = run.audit.as_ref().expect("audit enabled in test builds");
+        assert!(audit.is_clean(), "{}", audit.summary());
+    }
+    assert!(deep.counters.edpc > 0, "deep power-down never engaged");
+    assert!(
+        deep.energy.memory_j.background_w < fast.energy.memory_j.background_w,
+        "deep {:.3} J vs fast {:.3} J background",
+        deep.energy.memory_j.background_w,
+        fast.energy.memory_j.background_w
+    );
+}
+
 #[test]
 fn relock_windows_are_charged_as_powerdown_residency() {
     // MemScale's frequency transitions spend 512 cycles + 28 ns in

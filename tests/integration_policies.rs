@@ -191,6 +191,27 @@ fn powerdown_and_per_channel_streams_are_conformant() {
 
 #[cfg(feature = "audit")]
 #[test]
+fn ddr4_policy_runs_are_conformant() {
+    // DDR4 adds same-group tCCD_L/tRRD_L constraints and a shorter tFAW;
+    // the governor's relocks and the powerdown baseline's tXP exits must
+    // still replay clean against the DDR4 rule pack.
+    use memscale_simulator::Simulation;
+    use memscale_types::config::MemGeneration;
+    let cfg = SimConfig::default()
+        .with_duration(Picos::from_ms(4))
+        .with_generation(MemGeneration::Ddr4);
+    let mix = Mix::by_name("MID1").unwrap();
+    for policy in [PolicyKind::MemScale, PolicyKind::FastPd] {
+        let run = Simulation::new(&mix, policy, &cfg).run_for(Picos::from_ms(4), 30.0);
+        assert_eq!(run.generation, MemGeneration::Ddr4);
+        let audit = run.audit.as_ref().expect("audit enabled in test builds");
+        assert!(audit.is_clean(), "{policy:?}: {}", audit.summary());
+        assert!(audit.commands_checked > 0);
+    }
+}
+
+#[cfg(feature = "audit")]
+#[test]
 fn open_page_streams_are_conformant() {
     // Open-page management defers precharges past row hits; the deferred
     // PRE placement still has to satisfy tRAS/tRTP/tWR.

@@ -157,6 +157,24 @@ fn narrow_topologies_replay_clean() {
     assert!(audit.commands_checked > 0);
 }
 
+#[cfg(feature = "audit")]
+#[test]
+fn narrow_lpddr3_topology_replays_clean() {
+    // Generation re-basing composes with topology narrowing: a two-channel
+    // LPDDR3 MemScale run (per-bank refresh + relocks) audits clean against
+    // the LPDDR rule pack.
+    use memscale_simulator::Simulation;
+    use memscale_types::config::MemGeneration;
+    let mix = Mix::by_name("MID2").unwrap();
+    let mut cfg = quick().with_generation(MemGeneration::Lpddr3);
+    cfg.system.topology.channels = 2;
+    let run = Simulation::new(&mix, PolicyKind::MemScale, &cfg).run_for(Picos::from_ms(6), 30.0);
+    assert_eq!(run.generation, MemGeneration::Lpddr3);
+    let audit = run.audit.as_ref().expect("audit enabled in test builds");
+    assert!(audit.is_clean(), "{}", audit.summary());
+    assert!(audit.commands_checked > 0);
+}
+
 #[test]
 fn queue_interpolation_refinement_stays_within_bound() {
     // §3.3's optional deep-queue refinement must not violate the bound and
