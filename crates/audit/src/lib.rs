@@ -202,6 +202,14 @@ impl AuditReport {
         self.violations.is_empty()
     }
 
+    /// Folds another report into this one. Fault sweeps audit many seeded
+    /// runs and want a single conformance verdict over the whole campaign;
+    /// violations keep their per-run replay order, concatenated.
+    pub fn absorb(&mut self, other: AuditReport) {
+        self.commands_checked += other.commands_checked;
+        self.violations.extend(other.violations);
+    }
+
     /// A one-line summary plus the first few violations, for test failures.
     pub fn summary(&self) -> String {
         let mut s = format!(

@@ -19,8 +19,8 @@ fn bench_simulation(c: &mut Criterion) {
         g.bench_function(label, |b| {
             b.iter(|| {
                 let cfg = SimConfig::default().with_duration(Picos::from_ms(2));
-                let sim = Simulation::new(&mix, policy, &cfg);
-                black_box(sim.run_for(cfg.duration, 50.0).counters.reads)
+                let sim = Simulation::new(&mix, policy, &cfg).unwrap();
+                black_box(sim.run_for(cfg.duration, 50.0).unwrap().counters.reads)
             });
         });
     }

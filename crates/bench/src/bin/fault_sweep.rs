@@ -1,0 +1,4 @@
+//! Regenerates the `fault_sweep` robustness artifact. See DESIGN.md.
+fn main() {
+    println!("{}", memscale_bench::exp::fault_sweep().to_markdown());
+}

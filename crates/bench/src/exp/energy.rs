@@ -21,8 +21,8 @@ pub fn headline_dataset() -> HeadlineDataset {
     let entries = Mix::table1()
         .into_iter()
         .map(|mix| {
-            let exp = Experiment::calibrate(&mix, &cfg);
-            let (run, cmp) = exp.evaluate(PolicyKind::MemScale);
+            let exp = Experiment::calibrate(&mix, &cfg).unwrap();
+            let (run, cmp) = exp.evaluate(PolicyKind::MemScale).unwrap();
             (mix, exp, run, cmp)
         })
         .collect();
@@ -127,8 +127,8 @@ mod tests {
             .iter()
             .map(|name| {
                 let mix = Mix::by_name(name).unwrap();
-                let exp = Experiment::calibrate(&mix, &cfg);
-                let (run, cmp) = exp.evaluate(PolicyKind::MemScale);
+                let exp = Experiment::calibrate(&mix, &cfg).unwrap();
+                let (run, cmp) = exp.evaluate(PolicyKind::MemScale).unwrap();
                 (mix, exp, run, cmp)
             })
             .collect();

@@ -28,9 +28,9 @@ pub fn ext_per_channel() -> Table {
     let mut per_ch = Vec::new();
     let mut per_ch_worst: f64 = 0.0;
     for mix in Mix::by_class(WorkloadClass::Mid) {
-        let exp = Experiment::calibrate(&mix, &cfg);
-        let (_, base) = exp.evaluate(PolicyKind::MemScale);
-        let (_, ext) = exp.evaluate(PolicyKind::MemScalePerChannel);
+        let exp = Experiment::calibrate(&mix, &cfg).unwrap();
+        let (_, base) = exp.evaluate(PolicyKind::MemScale).unwrap();
+        let (_, ext) = exp.evaluate(PolicyKind::MemScalePerChannel).unwrap();
         tandem.push(base.system_savings);
         per_ch.push(ext.system_savings);
         per_ch_worst = per_ch_worst.max(ext.max_cpi_increase());
@@ -87,7 +87,10 @@ pub fn ablation_row_policy() -> Table {
         {
             let mut cfg = sweep_cfg();
             cfg.row_policy = *policy;
-            let run = Simulation::new(&mix, PolicyKind::Baseline, &cfg).run_for(cfg.duration, 0.0);
+            let run = Simulation::new(&mix, PolicyKind::Baseline, &cfg)
+                .unwrap()
+                .run_for(cfg.duration, 0.0)
+                .unwrap();
             lat[i] = run
                 .counters
                 .mean_read_latency()
@@ -130,11 +133,13 @@ pub fn ablation_slack() -> Table {
     let mut reset_all = Vec::new();
     let mut reset_worst: f64 = 0.0;
     for mix in Mix::by_class(WorkloadClass::Mid) {
-        let exp = Experiment::calibrate(&mix, &cfg);
-        let (_, carry) = exp.evaluate(PolicyKind::MemScale);
+        let exp = Experiment::calibrate(&mix, &cfg).unwrap();
+        let (_, carry) = exp.evaluate(PolicyKind::MemScale).unwrap();
         let mut reset_cfg = cfg.clone();
         reset_cfg.governor.slack_carry = false;
-        let (_, reset) = exp.evaluate_configured(PolicyKind::MemScale, &reset_cfg);
+        let (_, reset) = exp
+            .evaluate_configured(PolicyKind::MemScale, &reset_cfg)
+            .unwrap();
         carry_all.push(carry.system_savings);
         reset_all.push(reset.system_savings);
         reset_worst = reset_worst.max(reset.max_cpi_increase());

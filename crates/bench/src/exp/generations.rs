@@ -34,8 +34,8 @@ pub fn generations() -> Table {
         let cfg = sweep_cfg().with_generation(generation);
         let mut sys = Vec::new();
         for mix in Mix::by_class(WorkloadClass::Mid) {
-            let exp = Experiment::calibrate(&mix, &cfg);
-            let (run, cmp) = exp.evaluate(PolicyKind::MemScale);
+            let exp = Experiment::calibrate(&mix, &cfg).unwrap();
+            let (run, cmp) = exp.evaluate(PolicyKind::MemScale).unwrap();
             worst = worst.max(cmp.max_cpi_increase());
             sys.push(cmp.system_savings);
             t.row(vec![
@@ -65,8 +65,8 @@ pub fn generations() -> Table {
         .into_iter()
         .next()
         .expect("MID workloads exist");
-    let exp = Experiment::calibrate(&mix, &cfg);
-    let (run, cmp) = exp.evaluate(PolicyKind::DeepPd);
+    let exp = Experiment::calibrate(&mix, &cfg).unwrap();
+    let (run, cmp) = exp.evaluate(PolicyKind::DeepPd).unwrap();
     let ranks = cfg.system.topology.total_ranks();
     t.row(vec![
         format!("{} Deep-PD", MemGeneration::Lpddr3),

@@ -6,6 +6,7 @@
 pub mod common;
 pub mod energy;
 pub mod extensions;
+pub mod faults;
 pub mod generations;
 pub mod policies;
 pub mod sensitivity;
@@ -15,6 +16,7 @@ pub mod workloads;
 
 pub use energy::{fig5, fig6, headline_dataset, HeadlineDataset};
 pub use extensions::{ablation_row_policy, ablation_slack, ext_per_channel};
+pub use faults::fault_sweep;
 pub use generations::generations;
 pub use policies::{fig10, fig11, fig9, policy_dataset, PolicyDataset};
 pub use sensitivity::{fig12, fig13, fig14, fig15, sens_cores, sens_epoch};

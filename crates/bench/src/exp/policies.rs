@@ -20,12 +20,15 @@ pub fn policy_dataset() -> PolicyDataset {
     let cfg = headline_cfg();
     let experiments: Vec<Experiment> = Mix::by_class(WorkloadClass::Mid)
         .iter()
-        .map(|mix| Experiment::calibrate(mix, &cfg))
+        .map(|mix| Experiment::calibrate(mix, &cfg).unwrap())
         .collect();
     let results = PolicyKind::comparison_set()
         .into_iter()
         .map(|policy| {
-            let runs = experiments.iter().map(|exp| exp.evaluate(policy)).collect();
+            let runs = experiments
+                .iter()
+                .map(|exp| exp.evaluate(policy).unwrap())
+                .collect();
             (policy, runs)
         })
         .collect();

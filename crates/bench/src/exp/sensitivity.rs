@@ -16,10 +16,10 @@ fn mid_point(cfg: &SimConfig, gov_override: Option<&SimConfig>) -> (f64, f64) {
     let mut sys = Vec::new();
     let mut worst: f64 = 0.0;
     for mix in Mix::by_class(WorkloadClass::Mid) {
-        let exp = Experiment::calibrate(&mix, cfg);
+        let exp = Experiment::calibrate(&mix, cfg).unwrap();
         let (_, cmp) = match gov_override {
-            Some(o) => exp.evaluate_configured(PolicyKind::MemScale, o),
-            None => exp.evaluate(PolicyKind::MemScale),
+            Some(o) => exp.evaluate_configured(PolicyKind::MemScale, o).unwrap(),
+            None => exp.evaluate(PolicyKind::MemScale).unwrap(),
         };
         sys.push(cmp.system_savings);
         worst = worst.max(cmp.max_cpi_increase());
@@ -33,7 +33,7 @@ fn mid_point_reuse(exps: &[Experiment], cfg: &SimConfig) -> (f64, f64) {
     let mut sys = Vec::new();
     let mut worst: f64 = 0.0;
     for exp in exps {
-        let (_, cmp) = exp.evaluate_configured(PolicyKind::MemScale, cfg);
+        let (_, cmp) = exp.evaluate_configured(PolicyKind::MemScale, cfg).unwrap();
         sys.push(cmp.system_savings);
         worst = worst.max(cmp.max_cpi_increase());
     }
@@ -43,7 +43,7 @@ fn mid_point_reuse(exps: &[Experiment], cfg: &SimConfig) -> (f64, f64) {
 fn calibrate_mid(cfg: &SimConfig) -> Vec<Experiment> {
     Mix::by_class(WorkloadClass::Mid)
         .iter()
-        .map(|m| Experiment::calibrate(m, cfg))
+        .map(|m| Experiment::calibrate(m, cfg).unwrap())
         .collect()
 }
 

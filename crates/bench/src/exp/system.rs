@@ -149,7 +149,7 @@ pub fn fig2() -> Table {
         let mixes = Mix::by_class(class);
         let mut acc = [0.0f64; 6];
         for mix in &mixes {
-            let exp = Experiment::calibrate(mix, &cfg);
+            let exp = Experiment::calibrate(mix, &cfg).unwrap();
             let e = &exp.baseline().energy;
             let s = e.elapsed.as_secs_f64();
             acc[0] += e.memory_j.background_w / s;

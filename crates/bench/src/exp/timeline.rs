@@ -11,8 +11,8 @@ fn timeline_run(mix: &Mix, cores: usize, duration_ms: u64) -> RunResult {
         .with_duration(Picos::from_ms(duration_ms))
         .with_timeline(Picos::from_ms(1));
     cfg.system.cpu.cores = cores;
-    let sim = Simulation::new(mix, PolicyKind::MemScale, &cfg);
-    sim.run_for(cfg.duration, 0.0)
+    let sim = Simulation::new(mix, PolicyKind::MemScale, &cfg).unwrap();
+    sim.run_for(cfg.duration, 0.0).unwrap()
 }
 
 fn emit_timeline(t: &mut Table, run: &RunResult, mix: &Mix, every: usize) {

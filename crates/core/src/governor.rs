@@ -63,6 +63,59 @@ impl Default for GovernorConfig {
 /// SER score); `None` when slack rules the frequency out.
 pub type CandidateScore = Option<(f64, f64, f64)>;
 
+/// Outcome of the governor's plausibility check on one [`EpochProfile`]
+/// (the clamp → last-good → `f_max` degradation ladder's first rung).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProfileVerdict {
+    /// Every counter is plausible; the profile is used as delivered.
+    Clean,
+    /// Individual counters were implausible and have been clamped into the
+    /// plausible envelope; the repaired profile is used.
+    Clamped(Box<EpochProfile>),
+    /// The profile is poisoned beyond repair (non-monotonic or overflowing
+    /// TIC, dropped read); the governor falls back to the last-good profile
+    /// or, lacking one, to `f_max`.
+    Discarded,
+}
+
+/// Degradation bookkeeping of the hardened governor, surfaced in fault
+/// reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GovernorHealth {
+    /// Poisoned profiles discarded (fell back to last-good or `f_max`).
+    pub discarded_profiles: u64,
+    /// Profiles with individually implausible counters clamped.
+    pub clamped_profiles: u64,
+    /// Epochs decided at `f_max` by force (`QoS` guard or failed switch).
+    pub forced_max_epochs: u64,
+    /// Times the `QoS` guard tripped (measured slack diverged from predicted
+    /// for two consecutive epochs).
+    pub qos_interventions: u64,
+    /// Frequency switches observed landing on a different point than
+    /// requested.
+    pub failed_switches: u64,
+}
+
+/// An application may not plausibly retire more than this many instructions
+/// per CPU cycle (real IPC tops out well under 4; the margin guarantees no
+/// legitimate profile is ever discarded).
+const MAX_PLAUSIBLE_IPC: f64 = 16.0;
+
+/// An arrival may not plausibly find more than this many requests queued
+/// ahead of it (bounded by outstanding misses, i.e. cores; generous margin).
+const MAX_PLAUSIBLE_QUEUE: f64 = 1024.0;
+
+/// Measured mean dilation may exceed the prediction by this much before an
+/// epoch counts as a `QoS` strike (model error in clean runs stays far below).
+const QOS_DIVERGENCE: f64 = 0.5;
+
+/// Consecutive strikes before the `QoS` guard forces `f_max` (hysteresis: one
+/// noisy epoch never trips it).
+const QOS_STRIKES: u32 = 2;
+
+/// Epochs spent at forced `f_max` after a `QoS` intervention.
+const QOS_FORCE_EPOCHS: u32 = 2;
+
 /// The MemScale OS governor.
 #[derive(Debug, Clone)]
 pub struct MemScaleGovernor {
@@ -74,6 +127,16 @@ pub struct MemScaleGovernor {
     /// Last measured (`ξ_bank`, `ξ_bus`) per operating point, for the §3.3
     /// queue-interpolation refinement.
     xi_observed: [Option<(f64, f64)>; MemFreq::ALL.len()],
+    /// Most recent profile that passed the plausibility check; substitutes
+    /// for a discarded one.
+    last_good: Option<EpochProfile>,
+    /// Epochs still owed to forced-`f_max` recovery.
+    force_max: u32,
+    /// Consecutive epochs whose measured dilation diverged from predicted.
+    qos_strikes: u32,
+    /// Mean dilation predicted for the frequency chosen this epoch.
+    predicted_dilation: Option<f64>,
+    health: GovernorHealth,
 }
 
 impl MemScaleGovernor {
@@ -97,6 +160,11 @@ impl MemScaleGovernor {
             slack: SlackTracker::new(0, cfg.gamma),
             rest_w,
             xi_observed: [None; MemFreq::ALL.len()],
+            last_good: None,
+            force_max: 0,
+            qos_strikes: 0,
+            predicted_dilation: None,
+            health: GovernorHealth::default(),
         }
     }
 
@@ -190,6 +258,71 @@ impl MemScaleGovernor {
         }
     }
 
+    /// Degradation counters accumulated by the hardened decision path.
+    #[inline]
+    pub fn health(&self) -> &GovernorHealth {
+        &self.health
+    }
+
+    /// Plausibility check on a delivered profile (§3.1 counters can arrive
+    /// corrupted, stale or dropped from real controller hardware).
+    ///
+    /// Thresholds are deliberately generous — no profile a correct
+    /// simulation can produce is ever clamped or discarded — so the check
+    /// only fires on genuinely poisoned reads:
+    ///
+    /// * a TIC of zero (the §3.1 counters are monotonic; a zero delta means
+    ///   the read was lost or the counter wrapped) or beyond any plausible
+    ///   retirement rate discards the profile;
+    /// * TLM exceeding TIC (more misses than instructions) clamps TLM;
+    /// * queue-occupancy averages beyond any plausible outstanding count
+    ///   clamp BTO/CTO to unit depth.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)] // bound is positive and < 2^63
+    pub fn sanitize_profile(&self, profile: &EpochProfile) -> ProfileVerdict {
+        if profile.apps.is_empty() || profile.window == Picos::ZERO {
+            return ProfileVerdict::Discarded;
+        }
+        let max_tic =
+            (profile.window.as_secs_f64() * self.perf.cpu_hz() * MAX_PLAUSIBLE_IPC) as u64;
+        let mut repaired: Option<EpochProfile> = None;
+        for (i, app) in profile.apps.iter().enumerate() {
+            if app.tic == 0 || app.tic > max_tic.max(1) {
+                return ProfileVerdict::Discarded;
+            }
+            if app.tlm > app.tic {
+                repaired.get_or_insert_with(|| profile.clone()).apps[i].tlm = app.tic;
+            }
+        }
+        if profile.mc.bank_queue_avg() > MAX_PLAUSIBLE_QUEUE
+            || profile.mc.channel_queue_avg() > MAX_PLAUSIBLE_QUEUE
+        {
+            let p = repaired.get_or_insert_with(|| profile.clone());
+            p.mc.bto = p.mc.btc;
+            p.mc.cto = p.mc.ctc;
+        }
+        match repaired {
+            Some(p) => ProfileVerdict::Clamped(Box::new(p)),
+            None => ProfileVerdict::Clean,
+        }
+    }
+
+    /// Informs the governor of the outcome of the frequency switch it
+    /// requested. A switch that lands on a *slower* point than requested
+    /// puts the `QoS` bound at risk (the slack account assumed the requested
+    /// speed), so the governor schedules a forced `f_max` retry; either way
+    /// the epoch's dilation prediction no longer matches the operating
+    /// point, so the `QoS` comparison is disarmed for this epoch.
+    pub fn note_switch_result(&mut self, requested: MemFreq, actual: MemFreq) {
+        if requested == actual {
+            return;
+        }
+        self.health.failed_switches += 1;
+        if actual < requested {
+            self.force_max = self.force_max.max(1);
+        }
+        self.predicted_dilation = None;
+    }
+
     /// Per-candidate diagnostics from one decision pass: predicted mean
     /// dilation versus max frequency, predicted memory power, and the SER
     /// numerator score (`None` when slack rules the frequency out).
@@ -249,28 +382,84 @@ impl MemScaleGovernor {
 
     /// Picks the operating point for the remainder of the epoch from the
     /// profiling window's observations.
+    ///
+    /// Hardened path: a pending forced-`f_max` recovery (`QoS` guard, failed
+    /// switch) short-circuits the search; otherwise the profile runs through
+    /// [`sanitize_profile`](Self::sanitize_profile) and a poisoned one is
+    /// clamped or replaced by the last-good profile (`f_max` when none exists)
+    /// before the normal arg-min.
     pub fn decide(&mut self, profile: &EpochProfile) -> MemFreq {
         self.ensure_slack(profile.apps.len());
+        if self.force_max > 0 {
+            self.force_max -= 1;
+            self.health.forced_max_epochs += 1;
+            self.predicted_dilation = Some(1.0);
+            return MemFreq::MAX;
+        }
+        let substitute: Option<EpochProfile> = match self.sanitize_profile(profile) {
+            ProfileVerdict::Clean => {
+                self.last_good = Some(profile.clone());
+                None
+            }
+            ProfileVerdict::Clamped(p) => {
+                self.health.clamped_profiles += 1;
+                Some(*p)
+            }
+            ProfileVerdict::Discarded => {
+                self.health.discarded_profiles += 1;
+                match &self.last_good {
+                    Some(p) => Some(p.clone()),
+                    None => {
+                        self.predicted_dilation = Some(1.0);
+                        return MemFreq::MAX;
+                    }
+                }
+            }
+        };
+        let profile = substitute.as_ref().unwrap_or(profile);
         let mut best = MemFreq::MAX;
         let mut best_score = f64::INFINITY;
+        let mut best_dilation = 1.0;
 
         for &f in &MemFreq::ALL {
             // SER numerator: relative time × power (denominator constant).
-            if let Some((_, _, score)) = self.score(profile, f) {
+            if let Some((d_max, _, score)) = self.score(profile, f) {
                 if score < best_score {
                     best_score = score;
                     best = f;
+                    best_dilation = d_max;
                 }
             }
         }
+        self.predicted_dilation = Some(best_dilation);
         best
     }
 
     /// End-of-epoch slack update (§3.2 stage 4): from the epoch's measured
     /// counters, estimate what the epoch's work would have taken at maximum
     /// frequency and roll the difference into each application's slack.
+    ///
+    /// Hardened path: the measured profile runs through the same
+    /// plausibility check as the decision profile. A discarded read skips
+    /// the slack update entirely (a poisoned measurement must not corrupt
+    /// the slack account). A `QoS` guard then compares the epoch's measured
+    /// mean dilation against the prediction the decision was based on; two
+    /// consecutive divergent epochs force `f_max` with hysteresis.
     pub fn end_epoch(&mut self, measured: &EpochProfile) {
         self.ensure_slack(measured.apps.len());
+        let substitute: Option<EpochProfile> = match self.sanitize_profile(measured) {
+            ProfileVerdict::Clean => None,
+            ProfileVerdict::Clamped(p) => {
+                self.health.clamped_profiles += 1;
+                Some(*p)
+            }
+            ProfileVerdict::Discarded => {
+                self.health.discarded_profiles += 1;
+                self.predicted_dilation = None;
+                return;
+            }
+        };
+        let measured = substitute.as_ref().unwrap_or(measured);
         // Record the queue factors observed at this operating point for the
         // interpolation refinement.
         if measured.mc.btc > 0 {
@@ -279,6 +468,8 @@ impl MemScaleGovernor {
                 1.0 + measured.mc.channel_queue_avg(),
             ));
         }
+        let mut dil_sum = 0.0;
+        let mut dil_count = 0usize;
         for app in 0..measured.apps.len() {
             let Some(cpi_actual) = measured.measured_cpi(app, self.perf.cpu_hz()) else {
                 continue;
@@ -288,6 +479,26 @@ impl MemScaleGovernor {
             };
             let t_max = measured.window.as_secs_f64() * (cpi_max / cpi_actual).min(1.0);
             self.slack.update(app, t_max, measured.window);
+            dil_sum += (cpi_actual / cpi_max).max(1.0);
+            dil_count += 1;
+        }
+        // QoS guard: measured slack consumption diverging from the decision's
+        // prediction means the model (or the hardware underneath it) is lying
+        // — stop trusting it and recover at f_max until the divergence clears.
+        if let Some(predicted) = self.predicted_dilation.take() {
+            if dil_count > 0 {
+                let actual = dil_sum / dil_count as f64;
+                if actual - predicted > QOS_DIVERGENCE {
+                    self.qos_strikes += 1;
+                    if self.qos_strikes >= QOS_STRIKES {
+                        self.qos_strikes = 0;
+                        self.force_max = self.force_max.max(QOS_FORCE_EPOCHS);
+                        self.health.qos_interventions += 1;
+                    }
+                } else {
+                    self.qos_strikes = 0;
+                }
+            }
         }
         if !self.cfg.slack_carry {
             self.slack.reset();
@@ -490,6 +701,132 @@ mod tests {
         let p = mem_profile();
         g.end_epoch(&p);
         assert!(g.interpolated_xi(&p, MemFreq::F400).is_none());
+    }
+
+    #[test]
+    fn clean_profile_passes_sanitizer_untouched() {
+        let g = governor(EnergyObjective::FullSystem);
+        assert_eq!(g.sanitize_profile(&ilp_profile()), ProfileVerdict::Clean);
+        assert_eq!(g.sanitize_profile(&mem_profile()), ProfileVerdict::Clean);
+    }
+
+    #[test]
+    fn dropped_counters_are_discarded_and_fall_back_to_last_good() {
+        let mut g = governor(EnergyObjective::FullSystem);
+        let clean = ilp_profile();
+        let chosen = g.decide(&clean); // establishes last-good
+        let mut dropped = clean.clone();
+        for app in &mut dropped.apps {
+            *app = AppSample::default();
+        }
+        dropped.mc = McCounters::new();
+        assert_eq!(g.sanitize_profile(&dropped), ProfileVerdict::Discarded);
+        // The decision from the poisoned read matches the last-good one.
+        assert_eq!(g.decide(&dropped), chosen);
+        assert_eq!(g.health().discarded_profiles, 1);
+    }
+
+    #[test]
+    fn discard_without_last_good_forces_max() {
+        let mut g = governor(EnergyObjective::FullSystem);
+        let mut poisoned = ilp_profile();
+        for app in &mut poisoned.apps {
+            app.tic = app.tic.saturating_mul(1 << 14); // overflowing TIC
+            app.tlm = app.tlm.saturating_mul(1 << 14);
+        }
+        assert_eq!(g.sanitize_profile(&poisoned), ProfileVerdict::Discarded);
+        assert_eq!(g.decide(&poisoned), MemFreq::MAX);
+        assert_eq!(g.health().discarded_profiles, 1);
+    }
+
+    #[test]
+    fn implausible_queue_counters_are_clamped() {
+        let g = governor(EnergyObjective::FullSystem);
+        let mut p = mem_profile();
+        p.mc.bto = p.mc.bto.saturating_mul(1 << 14);
+        match g.sanitize_profile(&p) {
+            ProfileVerdict::Clamped(fixed) => {
+                assert_eq!(fixed.mc.bto, fixed.mc.btc);
+                assert_eq!(fixed.mc.cto, fixed.mc.ctc);
+                assert_eq!(fixed.apps, p.apps, "apps untouched");
+            }
+            v => panic!("expected clamp, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn tlm_beyond_tic_is_clamped() {
+        let g = governor(EnergyObjective::FullSystem);
+        let mut p = ilp_profile();
+        p.apps[3].tlm = p.apps[3].tic + 17;
+        match g.sanitize_profile(&p) {
+            ProfileVerdict::Clamped(fixed) => {
+                assert_eq!(fixed.apps[3].tlm, fixed.apps[3].tic);
+                assert_eq!(fixed.apps[0], p.apps[0]);
+            }
+            v => panic!("expected clamp, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn failed_downswitch_is_benign_failed_upswitch_forces_max() {
+        let mut g = governor(EnergyObjective::FullSystem);
+        let p = ilp_profile();
+        // Wanted slower, stuck fast: no QoS risk, next decision is normal.
+        let f = g.decide(&p);
+        g.note_switch_result(f, MemFreq::MAX);
+        assert_eq!(g.health().failed_switches, 1);
+        assert_eq!(g.decide(&p), f);
+        // Wanted faster, stuck slow: forced f_max retry next epoch.
+        g.note_switch_result(MemFreq::MAX, MemFreq::F200);
+        assert_eq!(g.decide(&p), MemFreq::MAX);
+        assert_eq!(g.health().forced_max_epochs, 1);
+        // One-shot: the epoch after resumes normal selection.
+        assert_eq!(g.decide(&p), f);
+    }
+
+    #[test]
+    fn qos_guard_needs_two_consecutive_divergent_epochs() {
+        let mut g = governor(EnergyObjective::FullSystem);
+        let p = ilp_profile();
+        // A measured epoch whose actual CPI vastly exceeds the at-f_max
+        // prediction: memory-bound counters observed at the lowest grid
+        // point, so measured dilation diverges from the ~1.0 the ILP-based
+        // decision predicted.
+        let mut slow = mem_profile();
+        slow.freq = MemFreq::F200;
+        g.decide(&p);
+        g.end_epoch(&slow); // strike 1
+        assert_eq!(g.health().qos_interventions, 0);
+        g.decide(&p);
+        g.end_epoch(&slow); // strike 2 -> intervention
+        assert_eq!(g.health().qos_interventions, 1);
+        assert_eq!(g.decide(&p), MemFreq::MAX, "guard forces f_max");
+        // A clean epoch in between resets the strike counter.
+        let mut g = governor(EnergyObjective::FullSystem);
+        g.decide(&p);
+        g.end_epoch(&slow); // strike 1
+        g.decide(&p);
+        g.end_epoch(&p); // on-prediction epoch clears it
+        g.decide(&p);
+        g.end_epoch(&slow); // strike 1 again, no intervention
+        assert_eq!(g.health().qos_interventions, 0);
+    }
+
+    #[test]
+    fn poisoned_measurement_does_not_corrupt_slack() {
+        let mut g = governor(EnergyObjective::FullSystem);
+        let p = ilp_profile();
+        g.decide(&p);
+        g.end_epoch(&p);
+        let banked = g.slack().slack_secs(0);
+        let mut poisoned = p.clone();
+        for app in &mut poisoned.apps {
+            app.tic = 0;
+        }
+        g.end_epoch(&poisoned);
+        assert_eq!(g.slack().slack_secs(0), banked, "slack must be untouched");
+        assert_eq!(g.health().discarded_profiles, 1);
     }
 
     #[test]

@@ -40,7 +40,9 @@ pub mod policies;
 pub mod profile;
 pub mod slack;
 
-pub use governor::{EnergyObjective, GovernorConfig, MemScaleGovernor};
+pub use governor::{
+    EnergyObjective, GovernorConfig, GovernorHealth, MemScaleGovernor, ProfileVerdict,
+};
 pub use perf_model::PerfModel;
 pub use policies::{Policy, PolicyKind};
 pub use profile::{AppSample, EpochProfile};

@@ -248,6 +248,20 @@ impl Policy {
             g.end_epoch(measured);
         }
     }
+
+    /// Informs an adaptive policy's governor of the outcome of the switch it
+    /// requested (no-op for fixed-frequency policies). See
+    /// [`MemScaleGovernor::note_switch_result`].
+    pub fn note_switch_result(&mut self, requested: MemFreq, actual: MemFreq) {
+        if let Some(g) = self.governor.as_mut() {
+            g.note_switch_result(requested, actual);
+        }
+    }
+
+    /// The governor's degradation counters, for adaptive policies.
+    pub fn governor_health(&self) -> Option<&crate::governor::GovernorHealth> {
+        self.governor.as_ref().map(MemScaleGovernor::health)
+    }
 }
 
 #[cfg(test)]

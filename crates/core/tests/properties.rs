@@ -1,7 +1,7 @@
 //! Property-based tests of the MemScale models: slack algebra, performance
 //! model monotonicity, and governor safety.
 
-use memscale::governor::{EnergyObjective, GovernorConfig, MemScaleGovernor};
+use memscale::governor::{EnergyObjective, GovernorConfig, MemScaleGovernor, ProfileVerdict};
 use memscale::perf_model::PerfModel;
 use memscale::profile::{AppSample, EpochProfile};
 use memscale::slack::SlackTracker;
@@ -69,6 +69,72 @@ fn profile_from(w: &Window) -> EpochProfile {
             pd_frac: 0.0,
             deep_pd_frac: 0.0,
             bus_util: 0.3,
+        },
+    }
+}
+
+/// Applies one of the fault classes the injector models to a clean profile:
+/// 0 = none, 1 = corrupted magnitudes, 2 = dropped samples, 3 = implausible
+/// queue counters, 4 = misses exceeding instructions.
+fn poisoned(profile: &EpochProfile, kind: u8) -> EpochProfile {
+    let mut p = profile.clone();
+    match kind {
+        0 => {}
+        1 => {
+            for a in &mut p.apps {
+                a.tic = a.tic.saturating_mul(1 << 40);
+            }
+        }
+        2 => {
+            for a in &mut p.apps {
+                *a = AppSample::default();
+            }
+        }
+        3 => {
+            p.mc.bto = p.mc.btc.saturating_mul(1 << 20).max(1 << 40);
+        }
+        4 => {
+            for a in &mut p.apps {
+                a.tlm = a.tic + 1;
+            }
+        }
+        _ => unreachable!(),
+    }
+    p
+}
+
+/// A measured epoch at the lowest grid point with memory-dominated counters:
+/// far slower than the same work at `f_max`, so the end-of-epoch update drives
+/// every application's slack deeply negative.
+fn overrun_epoch() -> EpochProfile {
+    let window = Picos::from_us(4_700);
+    // Memory-dominated but feasible: α·tpi_mem at the profiled frequency
+    // must stay below the wall-clock TPI or the TPI_cpu floor clamps the
+    // max-frequency estimate above the measurement.
+    let tlm = 9_000;
+    let btc = tlm * 16;
+    EpochProfile {
+        window,
+        freq: MemFreq::ALL[0],
+        apps: vec![AppSample { tic: 940_000, tlm }; 16],
+        mc: McCounters {
+            btc,
+            bto: btc * 2,
+            ctc: btc,
+            cto: btc,
+            cbmc: btc - tlm,
+            rbhc: tlm,
+            ..McCounters::new()
+        },
+        activity: ActivitySummary {
+            window,
+            act_rate_hz: (btc - tlm) as f64 / window.as_secs_f64(),
+            read_burst_frac: 0.1,
+            write_burst_frac: 0.01,
+            active_frac: 0.8,
+            pd_frac: 0.0,
+            deep_pd_frac: 0.0,
+            bus_util: 0.7,
         },
     }
 }
@@ -178,5 +244,78 @@ proptest! {
         );
         mem_only.set_rest_of_system_w(50.0);
         prop_assert!(mem_only.decide(&p) <= full.decide(&p));
+    }
+
+    /// No profile a correct simulation can produce is ever clamped or
+    /// discarded: the plausibility thresholds only fire on poisoned reads.
+    #[test]
+    fn clean_profiles_are_never_flagged(w in window_strategy()) {
+        let sys = SystemConfig::default();
+        let mut gov = MemScaleGovernor::new(&sys, GovernorConfig::default());
+        gov.set_rest_of_system_w(50.0);
+        let p = profile_from(&w);
+        prop_assert!(matches!(gov.sanitize_profile(&p), ProfileVerdict::Clean));
+        let _ = gov.decide(&p);
+        gov.end_epoch(&p);
+        let h = gov.health();
+        prop_assert_eq!(h.discarded_profiles, 0);
+        prop_assert_eq!(h.clamped_profiles, 0);
+        prop_assert_eq!(h.forced_max_epochs, 0);
+    }
+
+    /// Whatever poison a profile read carries — corrupted magnitudes,
+    /// dropped samples, implausible queues, misses exceeding instructions —
+    /// the hardened decision never lands on a frequency whose predicted
+    /// dilation the slack account forbids.
+    #[test]
+    fn hardened_governor_never_violates_permits(
+        w in window_strategy(),
+        kind in 0u8..5,
+    ) {
+        let sys = SystemConfig::default();
+        let mut gov = MemScaleGovernor::new(&sys, GovernorConfig::default());
+        gov.set_rest_of_system_w(50.0);
+        let clean = profile_from(&w);
+        // Establish a last-good profile, as any real run would have.
+        let _ = gov.decide(&clean);
+        let bad = poisoned(&clean, kind);
+        // The profile the decision is actually based on after sanitising:
+        // clamped repair, or the last-good fallback for a discarded read.
+        let effective = match gov.sanitize_profile(&bad) {
+            ProfileVerdict::Clean => bad.clone(),
+            ProfileVerdict::Clamped(p) => *p,
+            ProfileVerdict::Discarded => clean.clone(),
+        };
+        let chosen = gov.decide(&bad);
+        if chosen != MemFreq::MAX {
+            let m = model();
+            let epoch = gov.config().epoch;
+            for app in 0..effective.apps.len() {
+                if let Some(d) = m.predict_dilation(&effective, app, chosen) {
+                    prop_assert!(
+                        gov.slack().permits(app, d, epoch),
+                        "app {}: dilation {} at {} violates slack", app, d, chosen
+                    );
+                }
+            }
+        }
+    }
+
+    /// Once the slack account is more than the γ allowance in debt, the
+    /// very next decision is `f_max` — no profile, however optimistic, can
+    /// talk the governor into staying slow.
+    #[test]
+    fn negative_slack_recovers_to_max_within_one_epoch(w in window_strategy()) {
+        let sys = SystemConfig::default();
+        let mut gov = MemScaleGovernor::new(&sys, GovernorConfig::default());
+        gov.set_rest_of_system_w(50.0);
+        gov.end_epoch(&overrun_epoch());
+        let epoch = gov.config().epoch;
+        let owed = gov.slack().slack_secs(0);
+        prop_assert!(
+            owed < -(gov.config().gamma * epoch.as_secs_f64()),
+            "precondition: slack {owed} not past the γ allowance"
+        );
+        prop_assert_eq!(gov.decide(&profile_from(&w)), MemFreq::MAX);
     }
 }

@@ -71,6 +71,11 @@ pub struct DramChannel {
     ranks: Vec<Rank>,
     bus_free_at: Picos,
     stats: ChannelStats,
+    /// Armed fault-injection overrun: extra latency the next frequency
+    /// re-lock pays on top of its 512-cycle + settle budget (one-shot).
+    relock_extra: Picos,
+    /// Re-locks that consumed an armed overrun.
+    relock_overruns: u64,
     /// Recorded command events; channel ids are placeholders re-tagged by
     /// the controller.
     #[cfg(feature = "audit")]
@@ -110,6 +115,8 @@ impl DramChannel {
             ranks,
             bus_free_at: Picos::ZERO,
             stats: ChannelStats::new(),
+            relock_extra: Picos::ZERO,
+            relock_overruns: 0,
             #[cfg(feature = "audit")]
             events: Vec::new(),
             #[cfg(feature = "audit")]
@@ -430,7 +437,15 @@ impl DramChannel {
             rank.catch_up_refresh(start, &old_timing);
             start = start.max(rank.refresh_horizon());
         }
-        let penalty = TimingSet::relock_penalty(&self.cfg, freq);
+        let mut penalty = TimingSet::relock_penalty(&self.cfg, freq);
+        // An armed fault-injection overrun stretches this re-lock (one-shot);
+        // the longer window flows into the emitted FreqSwitch event's `ready`
+        // horizon, keeping the audit replay consistent with the slow relock.
+        if self.relock_extra > Picos::ZERO {
+            penalty += self.relock_extra;
+            self.relock_extra = Picos::ZERO;
+            self.relock_overruns += 1;
+        }
         let ready = start + penalty;
         #[cfg(feature = "audit")]
         if self.recording {
@@ -456,6 +471,44 @@ impl DramChannel {
         self.stats.relocks += 1;
         self.stats.relock_time += penalty;
         ready
+    }
+
+    /// Fault-injection hook: arms a one-shot relock overrun the next
+    /// frequency switch pays on top of its budgeted penalty.
+    pub fn arm_relock_overrun(&mut self, extra: Picos) {
+        self.relock_extra = extra;
+    }
+
+    /// Fault-injection hook: arms a one-shot powerdown-exit latency spike on
+    /// every rank of the channel (a rank-wide VR droop).
+    pub fn arm_pd_exit_spike(&mut self, extra: Picos) {
+        for rank in &mut self.ranks {
+            rank.arm_pd_exit_spike(extra);
+        }
+    }
+
+    /// Fault-injection hook: slips the next scheduled REF on every caught-up
+    /// rank later by `by` (or, when `by` is one full tREFI, drops one
+    /// interval). Returns how many ranks the fault landed on.
+    pub fn delay_refresh(&mut self, by: Picos, now: Picos) -> u64 {
+        let mut landed = 0;
+        for rank in &mut self.ranks {
+            if rank.delay_refresh(by, now) {
+                landed += 1;
+            }
+        }
+        landed
+    }
+
+    /// Re-locks that consumed an armed fault-injection overrun.
+    #[inline]
+    pub fn relock_overruns(&self) -> u64 {
+        self.relock_overruns
+    }
+
+    /// Powerdown exits across all ranks that consumed an armed spike.
+    pub fn spiked_pd_exits(&self) -> u64 {
+        self.ranks.iter().map(Rank::spiked_pd_exits).sum()
     }
 
     /// Whether `rank` is idle enough to enter powerdown at `now`.
@@ -622,6 +675,32 @@ mod tests {
         assert!(t.act_at.unwrap() >= ready);
         assert_eq!(t.data_end - t.data_start, Picos::from_ns(20));
         assert_eq!(ch.stats().relocks, 1);
+    }
+
+    #[test]
+    fn armed_relock_overrun_is_one_shot() {
+        let mut ch = channel();
+        ch.arm_relock_overrun(Picos::from_ns(500));
+        let ready = ch.set_frequency(MemFreq::F200, Picos::from_us(1));
+        // 512 cycles at 5 ns + 28 ns + injected 500 ns.
+        assert_eq!(ready, Picos::from_us(1) + Picos::from_ns(3088));
+        assert_eq!(ch.relock_overruns(), 1);
+        // Consumed: the switch back pays only the nominal penalty.
+        let t0 = ready + Picos::from_us(1);
+        let back = ch.set_frequency(MemFreq::F800, t0);
+        assert_eq!(back, t0 + Picos::from_ps(668_000));
+        assert_eq!(ch.relock_overruns(), 1);
+    }
+
+    #[test]
+    fn channel_pd_spike_reaches_ranks() {
+        let mut ch = channel();
+        ch.enter_power_down(RankId(0), PowerDownMode::Fast, Picos::ZERO);
+        ch.arm_pd_exit_spike(Picos::from_ns(100));
+        let t = read(&mut ch, 0, 0, 1, 100);
+        assert!(t.pd_exit);
+        assert_eq!(t.act_at, Some(Picos::from_ns(206))); // tXP + 100 ns
+        assert_eq!(ch.spiked_pd_exits(), 1);
     }
 
     #[test]

@@ -67,6 +67,11 @@ pub struct Rank {
     activity_horizon: Picos,
     /// Time up to which auto-powerdown residency has been accounted.
     pd_accounted_until: Picos,
+    /// Armed fault-injection spike: extra latency the next powerdown exit
+    /// pays on top of tXP/tXPDLL/tXDPD (consumed one-shot).
+    pd_exit_extra: Picos,
+    /// Powerdown exits that consumed an armed latency spike.
+    spiked_exits: u64,
     stats: RankStats,
     /// Recorded command events; channel/rank ids are placeholders re-tagged
     /// by the owning channel and controller.
@@ -103,6 +108,8 @@ impl Rank {
             auto_pd: None,
             activity_horizon: Picos::ZERO,
             pd_accounted_until: Picos::ZERO,
+            pd_exit_extra: Picos::ZERO,
+            spiked_exits: 0,
             stats: RankStats::new(),
             #[cfg(feature = "audit")]
             events: Vec::new(),
@@ -190,6 +197,45 @@ impl Rank {
             PowerDownMode::Slow => t.t_xpdll,
             PowerDownMode::Deep => t.t_xdpd,
         }
+    }
+
+    /// Fault-injection hook: arms a one-shot latency spike the next
+    /// powerdown exit pays on top of its tXP/tXPDLL/tXDPD budget. The spike
+    /// extends the exit's `ready` horizon (and the recorded exit event), so
+    /// the overrun stays visible to the protocol auditor without violating
+    /// its lower-bound exit rule.
+    pub fn arm_pd_exit_spike(&mut self, extra: Picos) {
+        self.pd_exit_extra = extra;
+    }
+
+    /// Powerdown exits that consumed an armed latency spike so far.
+    #[inline]
+    pub fn spiked_pd_exits(&self) -> u64 {
+        self.spiked_exits
+    }
+
+    /// Consumes the armed exit spike, if any (one-shot).
+    fn take_pd_exit_spike(&mut self) -> Picos {
+        let extra = self.pd_exit_extra;
+        if extra > Picos::ZERO {
+            self.pd_exit_extra = Picos::ZERO;
+            self.spiked_exits += 1;
+        }
+        extra
+    }
+
+    /// Fault-injection hook: slips the next scheduled REF later by `by` (a
+    /// late REF; for a dropped REF the caller passes one full interval so
+    /// the command is skipped without catch-up accounting). The slip only
+    /// lands while the rank is fully caught up — never while REFs are
+    /// already in arrears — so the postponement window the audit rule packs
+    /// enforce cannot be breached. Returns whether the fault landed.
+    pub fn delay_refresh(&mut self, by: Picos, now: Picos) -> bool {
+        if self.next_refresh <= now {
+            return false;
+        }
+        self.next_refresh += by;
+        true
     }
 
     /// Shared view of a bank.
@@ -423,7 +469,7 @@ impl Rank {
             PowerState::Up => {
                 if self.settle_auto_pd(now) {
                     let mode = self.auto_pd.expect("settled implies mode");
-                    let exit = Self::exit_latency(mode, t);
+                    let exit = Self::exit_latency(mode, t) + self.take_pd_exit_spike();
                     self.count_exit(mode);
                     let ready = now.max(self.busy_until) + exit;
                     // The auto-powerdown entry is synthesized retroactively:
@@ -459,7 +505,7 @@ impl Rank {
                     }
                     return (now.max(self.busy_until), None);
                 }
-                let exit = Self::exit_latency(mode, t);
+                let exit = Self::exit_latency(mode, t) + self.take_pd_exit_spike();
                 #[cfg(feature = "audit")]
                 let entered_at = self.pd_since;
                 self.flush_pd(now);
@@ -713,6 +759,38 @@ mod tests {
         assert_eq!(r.stats().fast_pd_time, Picos::from_ns(668));
         assert_eq!(r.busy_until(), Picos::from_ns(768));
         assert!(!r.is_powered_down());
+    }
+
+    #[test]
+    fn pd_exit_spike_is_one_shot_and_extends_ready() {
+        let t = timing();
+        let mut r = rank();
+        r.enter_power_down(PowerDownMode::Fast, Picos::ZERO);
+        r.arm_pd_exit_spike(Picos::from_ns(100));
+        let (ready, _) = r.ensure_awake(Picos::from_ns(150), &t);
+        // tXP (6 ns) + injected 100 ns spike.
+        assert_eq!(ready, Picos::from_ns(256));
+        assert_eq!(r.spiked_pd_exits(), 1);
+        // Spike consumed: the next exit pays only tXP.
+        r.enter_power_down(PowerDownMode::Fast, Picos::from_ns(300));
+        let (ready, _) = r.ensure_awake(Picos::from_ns(400), &t);
+        assert_eq!(ready, Picos::from_ns(406));
+        assert_eq!(r.spiked_pd_exits(), 1);
+    }
+
+    #[test]
+    fn refresh_slip_lands_only_when_caught_up() {
+        let t = timing();
+        let mut r = Rank::new(8, 1, Picos::from_us(10));
+        // Caught up (next REF in the future): the slip lands.
+        assert!(r.delay_refresh(Picos::from_ns(500), Picos::from_us(5)));
+        r.catch_up_refresh(Picos::from_us(10), &t);
+        assert_eq!(r.stats().refresh_count, 0, "slipped REF not yet due");
+        r.catch_up_refresh(Picos::from_us(11), &t);
+        assert_eq!(r.stats().refresh_count, 1);
+        // In arrears (next REF already due): the slip is refused.
+        let mut r = Rank::new(8, 1, Picos::from_us(1));
+        assert!(!r.delay_refresh(Picos::from_ns(500), Picos::from_us(2)));
     }
 
     #[test]

@@ -325,6 +325,48 @@ impl MemoryController {
         }
     }
 
+    /// Fault-injection hook: arms a one-shot relock overrun on every
+    /// channel — the next frequency switch pays `extra` on top of its
+    /// budgeted 512-cycle + settle penalty.
+    pub fn arm_relock_overrun(&mut self, extra: Picos) {
+        for channel in &mut self.channels {
+            channel.arm_relock_overrun(extra);
+        }
+    }
+
+    /// Fault-injection hook: arms a one-shot powerdown-exit latency spike
+    /// (tXP/tXPDLL/tXDPD overrun) on every rank.
+    pub fn arm_pd_exit_spike(&mut self, extra: Picos) {
+        for channel in &mut self.channels {
+            channel.arm_pd_exit_spike(extra);
+        }
+    }
+
+    /// Fault-injection hook: slips the next scheduled REF later by `by` on
+    /// every caught-up rank. Returns how many ranks the fault landed on (a
+    /// rank already in refresh arrears refuses the slip, keeping the
+    /// postponement window conformant).
+    pub fn delay_refresh(&mut self, by: Picos, now: Picos) -> u64 {
+        self.channels
+            .iter_mut()
+            .map(|c| c.delay_refresh(by, now))
+            .sum()
+    }
+
+    /// One full refresh interval at the current timing (the magnitude of a
+    /// dropped-REF fault).
+    pub fn refresh_interval(&self) -> Picos {
+        self.channels[0].timing().t_refi
+    }
+
+    /// Applied fault-injection tallies across the device hierarchy:
+    /// `(relock overruns, spiked powerdown exits)`.
+    pub fn fault_stats(&self) -> (u64, u64) {
+        let overruns = self.channels.iter().map(DramChannel::relock_overruns).sum();
+        let spikes = self.channels.iter().map(DramChannel::spiked_pd_exits).sum();
+        (overruns, spikes)
+    }
+
     /// Samples the paper's §3.1 power-model counters (PTC/PTCKEL/ATCKEL/
     /// POCC) over the window since `earlier_ranks`/`earlier_pocc` snapshots.
     pub fn power_counters(

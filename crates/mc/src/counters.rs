@@ -3,6 +3,7 @@
 //! One set of counters exists for the whole controller — the paper stresses
 //! that averages (not per-bank/per-channel counts) suffice for the model.
 
+use memscale_types::faults::CounterFault;
 use memscale_types::time::Picos;
 
 /// Monotonic controller counters; snapshot and subtract with
@@ -106,6 +107,24 @@ impl McCounters {
             Some(self.read_latency_sum / self.reads)
         }
     }
+
+    /// Perturbs this counter *read* the way the given fault class would (the
+    /// underlying monotonic accumulators are untouched — only the value
+    /// delivered to the governor is poisoned). `Corrupt` explodes the
+    /// occupancy accumulators as an overflow-style glitch; `Drop` loses the
+    /// read entirely; `Stale` is resolved by the caller, which substitutes
+    /// the previous window's delta.
+    pub fn apply_fault(&mut self, fault: CounterFault) {
+        match fault {
+            CounterFault::Corrupt { factor } => {
+                self.bto = self.bto.saturating_mul(factor);
+                self.cto = self.cto.saturating_mul(factor);
+                self.read_latency_sum = self.read_latency_sum.scale(factor as f64);
+            }
+            CounterFault::Drop => *self = McCounters::new(),
+            CounterFault::Stale => {}
+        }
+    }
 }
 
 #[cfg(test)]
@@ -160,6 +179,30 @@ mod tests {
         assert_eq!(c.row_classified(), 10);
         assert!((c.row_hit_rate() - 0.1).abs() < 1e-12);
         assert_eq!(McCounters::new().row_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn apply_fault_perturbs_only_the_read() {
+        let base = McCounters {
+            bto: 10,
+            btc: 5,
+            cto: 4,
+            ctc: 8,
+            reads: 3,
+            read_latency_sum: Picos::from_ns(100),
+            ..McCounters::new()
+        };
+        let mut corrupted = base;
+        corrupted.apply_fault(CounterFault::Corrupt { factor: 1 << 13 });
+        assert_eq!(corrupted.bto, 10 << 13);
+        assert_eq!(corrupted.cto, 4 << 13);
+        assert_eq!(corrupted.btc, 5, "denominators untouched");
+        let mut dropped = base;
+        dropped.apply_fault(CounterFault::Drop);
+        assert_eq!(dropped, McCounters::new());
+        let mut stale = base;
+        stale.apply_fault(CounterFault::Stale);
+        assert_eq!(stale, base, "stale is substituted by the caller");
     }
 
     #[test]

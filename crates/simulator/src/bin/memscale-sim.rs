@@ -14,17 +14,24 @@
 //!   --channels N        memory channels (default 4)
 //!   --epoch-ms N        epoch length (default 5)
 //!   --seed N            trace seed (default fixed)
+//!   --faults SPEC       fault-injection plan, e.g. `all=0.05,seed=7` or
+//!                       `counter=0.1,relock=0.05,thermal=0.02` (see
+//!                       `FaultPlan::parse`; default: no faults)
 //!   --json              emit the result as JSON instead of text
 //!   --list              list workloads and exit
 //! ```
 //!
 //! Runs the baseline calibration followed by the chosen policy over the
 //! same work, then prints savings, CPI degradation and frequency residency.
+//!
+//! Exit codes: 0 success, 1 simulation error, 2 usage error, 3 fault run
+//! whose command stream failed protocol audit.
 
 use memscale::policies::PolicyKind;
 use memscale_simulator::harness::Experiment;
 use memscale_simulator::SimConfig;
 use memscale_types::config::MemGeneration;
+use memscale_types::faults::FaultPlan;
 use memscale_types::freq::MemFreq;
 use memscale_types::time::Picos;
 use memscale_workloads::Mix;
@@ -41,6 +48,7 @@ struct Args {
     channels: u8,
     epoch_ms: u64,
     seed: Option<u64>,
+    faults: Option<FaultPlan>,
     json: bool,
     list: bool,
 }
@@ -57,6 +65,7 @@ impl Default for Args {
             channels: 4,
             epoch_ms: 5,
             seed: None,
+            faults: None,
             json: false,
             list: false,
         }
@@ -107,6 +116,12 @@ fn parse_args() -> Result<Args, String> {
                         .parse()
                         .map_err(|e| format!("--seed: {e}"))?,
                 );
+            }
+            "--faults" => {
+                let spec = value("--faults")?;
+                let plan = FaultPlan::parse(&spec).map_err(|e| format!("--faults: {e}"))?;
+                plan.validate().map_err(|e| format!("--faults: {e}"))?;
+                args.faults = Some(plan);
             }
             "--json" => args.json = true,
             "--list" => args.list = true,
@@ -204,6 +219,39 @@ fn render_json(
         ),
         ("rest_of_system_w", format!("{}", run.rest_w)),
     ];
+    let fields = {
+        let mut fields = fields;
+        if let Some(f) = &run.faults {
+            fields.push(("fault_seed", format!("{}", f.seed)));
+            fields.push(("faults_injected", format!("{}", f.total_injected())));
+            fields.push((
+                "faults_counter_corrupted",
+                format!("{}", f.counter_corrupted),
+            ));
+            fields.push(("faults_counter_stale", format!("{}", f.counter_stale)));
+            fields.push(("faults_counter_dropped", format!("{}", f.counter_dropped)));
+            fields.push(("faults_relock_overruns", format!("{}", f.relock_overruns)));
+            fields.push(("faults_switch_failures", format!("{}", f.switch_failures)));
+            fields.push(("faults_refresh_slips", format!("{}", f.refresh_slips)));
+            fields.push(("faults_refresh_drops", format!("{}", f.refresh_drops)));
+            fields.push(("faults_thermal_events", format!("{}", f.thermal_events)));
+            fields.push(("faults_pd_exit_spikes", format!("{}", f.pd_exit_spikes)));
+            fields.push((
+                "governor_discarded_profiles",
+                format!("{}", f.discarded_profiles),
+            ));
+            fields.push((
+                "governor_clamped_profiles",
+                format!("{}", f.clamped_profiles),
+            ));
+            fields.push((
+                "governor_forced_max_epochs",
+                format!("{}", f.forced_max_epochs),
+            ));
+            fields.push(("governor_failed_switches", format!("{}", f.failed_switches)));
+        }
+        fields
+    };
     #[cfg(feature = "audit")]
     let fields = {
         let mut fields = fields;
@@ -234,7 +282,8 @@ fn main() -> ExitCode {
                 "usage: memscale-sim [--mix NAME] [--policy NAME] [--duration-ms N]\n\
                  \x20                  [--generation ddr3|ddr4|lpddr3]\n\
                  \x20                  [--gamma PCT] [--cores N] [--channels N]\n\
-                 \x20                  [--epoch-ms N] [--seed N] [--json] [--list]\n\
+                 \x20                  [--epoch-ms N] [--seed N] [--faults SPEC]\n\
+                 \x20                  [--json] [--list]\n\
                  policies: baseline fast-pd slow-pd deep-pd static:<mhz> decoupled\n\
                  \x20         memscale mem-energy memscale-pd per-channel"
             );
@@ -253,9 +302,12 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let Some(mix) = Mix::by_name(&args.mix) else {
-        eprintln!("unknown workload {}; try --list", args.mix);
-        return ExitCode::from(2);
+    let mix = match Mix::by_name(&args.mix) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e} (or try --list)");
+            return ExitCode::from(2);
+        }
     };
     let policy = match parse_policy(&args.policy) {
         Ok(p) => p,
@@ -282,6 +334,7 @@ fn main() -> ExitCode {
     if let Some(seed) = args.seed {
         cfg.seed = seed;
     }
+    cfg.faults = args.faults.clone();
     if let Err(e) = cfg.system.validate() {
         eprintln!("error: {e}");
         return ExitCode::from(2);
@@ -291,9 +344,21 @@ fn main() -> ExitCode {
         "calibrating baseline for {mix} ({} ms) ...",
         args.duration_ms
     );
-    let exp = Experiment::calibrate(&mix, &cfg);
+    let exp = match Experiment::calibrate(&mix, &cfg) {
+        Ok(exp) => exp,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(1);
+        }
+    };
     eprintln!("running {} ...", policy.name());
-    let (run, cmp) = exp.evaluate(policy);
+    let (run, cmp) = match exp.evaluate(policy) {
+        Ok(rc) => rc,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(1);
+        }
+    };
 
     if args.json {
         println!("{}", render_json(&run, &cmp, &exp, cfg.governor.gamma));
@@ -321,6 +386,23 @@ fn main() -> ExitCode {
                 run.deep_pd_time.as_ms_f64()
             );
         }
+        if let Some(f) = &run.faults {
+            println!(
+                "faults injected     : {} (seed {:#x}): {} counter, {} relock, {} switch-fail, {} refresh, {} thermal, {} pd-exit",
+                f.total_injected(),
+                f.seed,
+                f.counter_corrupted + f.counter_stale + f.counter_dropped,
+                f.relock_overruns,
+                f.switch_failures,
+                f.refresh_slips + f.refresh_drops,
+                f.thermal_events,
+                f.pd_exit_spikes
+            );
+            println!(
+                "governor degraded   : {} discarded, {} clamped, {} forced-max epochs, {} failed switches",
+                f.discarded_profiles, f.clamped_profiles, f.forced_max_epochs, f.failed_switches
+            );
+        }
         #[cfg(feature = "audit")]
         if let Some(report) = &run.audit {
             if report.is_clean() {
@@ -337,6 +419,14 @@ fn main() -> ExitCode {
                 );
             }
         }
+    }
+    // A fault run must still be protocol-conformant: injected perturbations
+    // are bounded so the command stream passes the audit rule pack. A dirty
+    // audit under faults is a distinct, scriptable failure.
+    #[cfg(feature = "audit")]
+    if run.faults.is_some() && run.audit.as_ref().is_some_and(|r| !r.is_clean()) {
+        eprintln!("error: fault run violated protocol conformance");
+        return ExitCode::from(3);
     }
     ExitCode::SUCCESS
 }

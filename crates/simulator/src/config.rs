@@ -3,6 +3,7 @@
 use memscale::governor::GovernorConfig;
 use memscale_mc::RowPolicy;
 use memscale_types::config::SystemConfig;
+use memscale_types::faults::FaultPlan;
 use memscale_types::time::Picos;
 
 /// Everything one simulation run needs besides the mix and the policy.
@@ -24,6 +25,9 @@ pub struct SimConfig {
     /// Row-buffer management (closed-page per §4.1; open-page is the
     /// DESIGN.md §5 ablation).
     pub row_policy: RowPolicy,
+    /// Fault-injection plan (`None` or an all-zero-rate plan leaves the
+    /// run byte-identical to a faultless build; see DESIGN.md §9).
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for SimConfig {
@@ -37,6 +41,7 @@ impl Default for SimConfig {
             slice_lines: 1 << 24,
             timeline_interval: None,
             row_policy: RowPolicy::ClosedPage,
+            faults: None,
         }
     }
 }
@@ -80,6 +85,14 @@ impl SimConfig {
         self.duration = duration;
         self
     }
+
+    /// Arms fault injection with `plan` (validated when the simulation is
+    /// built).
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -110,8 +123,11 @@ mod tests {
     fn builders() {
         let c = SimConfig::quick()
             .with_timeline(Picos::from_ms(1))
-            .with_duration(Picos::from_ms(10));
+            .with_duration(Picos::from_ms(10))
+            .with_faults(FaultPlan::uniform(1, 0.25));
         assert_eq!(c.duration, Picos::from_ms(10));
         assert_eq!(c.timeline_interval, Some(Picos::from_ms(1)));
+        assert!(c.faults.as_ref().is_some_and(FaultPlan::is_active));
+        assert_eq!(SimConfig::default().faults, None);
     }
 }

@@ -7,17 +7,29 @@
 //! boundaries interleaved with the event stream.
 
 use crate::config::SimConfig;
+use crate::error::SimError;
 use crate::result::{RunResult, TimelineSample};
 use memscale::policies::{Policy, PolicyKind};
 use memscale::profile::{AppSample, EpochProfile};
 use memscale_cpu::{CoreCounters, CoreState, InOrderCore};
+use memscale_faults::FaultInjector;
 use memscale_mc::{McCounters, MemoryController};
 use memscale_power::{ActivitySummary, EnergyAccount, PowerModel};
+use memscale_types::faults::{CounterFault, RefreshFault, SwitchFault};
 use memscale_types::freq::MemFreq;
 use memscale_types::time::Picos;
 use memscale_workloads::{MissEvent, Mix};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// Events the watchdog lets pass between forward-progress checks. Far above
+/// anything a healthy run produces at one timestamp (one event per core per
+/// compute/wait transition), far below a hang's event budget.
+const WATCHDOG_EVENTS: u64 = 1 << 16;
+
+/// Counter deltas the engine hands the governor when a stale-read fault
+/// replays the previous window.
+type StaleCache = Option<(Vec<AppSample>, McCounters)>;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum CorePhase {
@@ -67,6 +79,13 @@ pub struct Simulation {
     completion: Vec<Option<Picos>>,
     remaining_targets: usize,
 
+    // Fault injection (None unless the config carries an active plan; the
+    // clean path is then byte-identical to a build without the subsystem).
+    injector: Option<FaultInjector>,
+    epoch_faults: memscale_faults::EpochFaultSet,
+    stale_decide: StaleCache,
+    stale_measured: StaleCache,
+
     /// Operating point the controller started at (the auditor's initial
     /// channel frequency).
     #[cfg(feature = "audit")]
@@ -76,19 +95,28 @@ pub struct Simulation {
 impl Simulation {
     /// Builds a simulation of `mix` under `policy_kind`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on an invalid configuration, or if the policy does not exist
-    /// on the configured memory generation (e.g. deep power-down outside
-    /// LPDDR).
-    pub fn new(mix: &Mix, policy_kind: PolicyKind, cfg: &SimConfig) -> Self {
-        cfg.system.validate().expect("valid system configuration");
+    /// Returns [`SimError::InvalidConfig`] for an invalid configuration,
+    /// [`SimError::PolicyUnavailable`] if the policy does not exist on the
+    /// configured memory generation (e.g. deep power-down outside LPDDR),
+    /// and [`SimError::InvalidFaultPlan`] for an out-of-bounds fault plan.
+    pub fn new(mix: &Mix, policy_kind: PolicyKind, cfg: &SimConfig) -> Result<Self, SimError> {
+        cfg.system.validate()?;
         let generation = cfg.system.timing.generation;
-        assert!(
-            policy_kind.available_on(generation),
-            "{generation}: policy {} is not available on this generation",
-            policy_kind.name()
-        );
+        if !policy_kind.available_on(generation) {
+            return Err(SimError::PolicyUnavailable {
+                policy: policy_kind.name(),
+                generation,
+            });
+        }
+        let injector = match &cfg.faults {
+            Some(plan) => {
+                plan.validate()?;
+                plan.is_active().then(|| FaultInjector::new(plan.clone()))
+            }
+            None => None,
+        };
         let mut system = cfg.system.clone();
         let policy = Policy::new(policy_kind, &system, cfg.governor);
 
@@ -119,7 +147,7 @@ impl Simulation {
         let chan_zero = mc.channel_stats();
         // Power is always computed against the *unmodified* system config.
         let power = PowerModel::new(&cfg.system);
-        Simulation {
+        Ok(Simulation {
             cfg: SimConfig {
                 system,
                 ..cfg.clone()
@@ -152,9 +180,13 @@ impl Simulation {
             targets: None,
             completion: vec![None; n],
             remaining_targets: 0,
+            injector,
+            epoch_faults: memscale_faults::EpochFaultSet::default(),
+            stale_decide: None,
+            stale_measured: None,
             #[cfg(feature = "audit")]
             initial_freq,
-        }
+        })
     }
 
     /// Sets the governor's rest-of-system power (from baseline calibration).
@@ -164,20 +196,31 @@ impl Simulation {
 
     /// Runs for a fixed duration (baseline mode) and reports the result
     /// with `rest_w` rest-of-system power applied post-hoc.
-    pub fn run_for(mut self, duration: Picos, rest_w: f64) -> RunResult {
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] if the event loop violates an engine
+    /// invariant ([`SimError::MissingPendingMiss`], [`SimError::Stalled`]).
+    pub fn run_for(mut self, duration: Picos, rest_w: f64) -> Result<RunResult, SimError> {
         self.targets = None;
-        self.run_loop(Some(duration));
-        self.finish(duration, rest_w)
+        self.run_loop(Some(duration))?;
+        Ok(self.finish(duration, rest_w))
     }
 
     /// Runs until every core has retired its target instruction count
     /// (fixed-work policy mode).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `targets` length differs from the core count.
-    pub fn run_until_work(mut self, targets: &[u64], rest_w: f64) -> RunResult {
-        assert_eq!(targets.len(), self.cores.len(), "one target per core");
+    /// Returns [`SimError::TargetMismatch`] when `targets` length differs
+    /// from the core count, plus the run-time errors of [`Self::run_for`].
+    pub fn run_until_work(mut self, targets: &[u64], rest_w: f64) -> Result<RunResult, SimError> {
+        if targets.len() != self.cores.len() {
+            return Err(SimError::TargetMismatch {
+                expected: self.cores.len(),
+                got: targets.len(),
+            });
+        }
         self.remaining_targets = targets.iter().filter(|&&t| t > 0).count();
         for (i, &t) in targets.iter().enumerate() {
             if t == 0 {
@@ -185,17 +228,18 @@ impl Simulation {
             }
         }
         self.targets = Some(targets.to_vec());
-        self.run_loop(None);
+        self.run_loop(None)?;
         let end = self
             .completion
             .iter()
             .map(|c| c.unwrap_or(self.now))
             .max()
             .unwrap_or(self.now);
-        self.finish(end, rest_w)
+        Ok(self.finish(end, rest_w))
     }
 
-    fn run_loop(&mut self, deadline: Option<Picos>) {
+    fn run_loop(&mut self, deadline: Option<Picos>) -> Result<(), SimError> {
+        self.begin_epoch_faults(Picos::ZERO);
         // Seed every core with its first compute interval.
         for c in 0..self.cores.len() {
             let ev = self.traces[c].next_miss();
@@ -205,6 +249,11 @@ impl Simulation {
             self.heap.push(Reverse((done, c)));
         }
 
+        // Watchdog: simulated time must advance across any WATCHDOG_EVENTS
+        // consecutive events (core transitions or boundaries); otherwise the
+        // run is livelocked and must die with a diagnosis, not hang.
+        let mut events: u64 = 0;
+        let mut watchdog_mark = self.now;
         loop {
             let boundary = self.next_boundary(deadline);
             while let Some(&Reverse((t, c))) = self.heap.peek() {
@@ -212,16 +261,26 @@ impl Simulation {
                     break;
                 }
                 self.heap.pop();
-                self.advance_core(c, t);
+                self.advance_core(c, t)?;
+                events += 1;
+                if events.is_multiple_of(WATCHDOG_EVENTS) {
+                    if self.now <= watchdog_mark && events > WATCHDOG_EVENTS {
+                        return Err(SimError::Stalled {
+                            at: self.now,
+                            events,
+                        });
+                    }
+                    watchdog_mark = self.now;
+                }
                 if self.targets.is_some() && self.remaining_targets == 0 {
-                    return;
+                    return Ok(());
                 }
             }
             self.now = boundary;
-            self.handle_boundary(boundary);
+            self.handle_boundary(boundary)?;
             if let Some(d) = deadline {
                 if boundary >= d {
-                    return;
+                    return Ok(());
                 }
             }
         }
@@ -243,7 +302,7 @@ impl Simulation {
         b
     }
 
-    fn advance_core(&mut self, c: usize, t: Picos) {
+    fn advance_core(&mut self, c: usize, t: Picos) -> Result<(), SimError> {
         self.now = t;
         match self.phase[c] {
             CorePhase::Computing => {
@@ -273,7 +332,9 @@ impl Simulation {
                     }
                 }
                 self.cores[c].finish_compute(t);
-                let ev = self.pending[c].take().expect("pending miss");
+                let ev = self.pending[c]
+                    .take()
+                    .ok_or(SimError::MissingPendingMiss { core: c, at: t })?;
                 if let Some(wb) = ev.writeback {
                     self.mc.writeback(wb, t);
                 }
@@ -291,14 +352,15 @@ impl Simulation {
                 self.heap.push(Reverse((done, c)));
             }
         }
+        Ok(())
     }
 
-    fn handle_boundary(&mut self, b: Picos) {
+    fn handle_boundary(&mut self, b: Picos) -> Result<(), SimError> {
         self.mc.sync(b);
         self.integrate_segment(b);
 
         if self.tl_next == Some(b) {
-            self.sample_timeline(b);
+            self.sample_timeline(b)?;
             self.tl_next = self.cfg.timeline_interval.map(|i| b + i);
         }
 
@@ -307,29 +369,99 @@ impl Simulation {
         if self.profile_pending && b == profile_b {
             self.profile_pending = false;
             if self.policy.is_adaptive() {
-                let profile = self.epoch_profile(b);
+                let mut profile = self.epoch_profile(b);
+                if let Some(fault) = self.epoch_faults.counter {
+                    if apply_counter_fault(&mut profile, fault, &mut self.stale_decide) {
+                        if let Some(inj) = self.injector.as_mut() {
+                            inj.note_counter_applied(fault);
+                        }
+                    }
+                }
                 if self.policy.is_per_channel() {
                     // §6 extension: independent operating points per channel.
                     let window = b - self.epoch_start;
                     let utils = self.mc.channel_utilizations(&self.epoch_chans, window);
-                    let freqs = self.policy.decide_per_channel(&profile, &utils);
+                    let mut freqs = self.policy.decide_per_channel(&profile, &utils);
+                    if let Some(cap) = self.injector.as_ref().and_then(FaultInjector::thermal_cap) {
+                        for f in &mut freqs {
+                            *f = (*f).min(cap);
+                        }
+                    }
                     for (ch, freq) in freqs.into_iter().enumerate() {
                         self.mc
                             .set_channel_frequency(memscale_types::ids::ChannelId(ch), freq, b);
                     }
                 } else {
-                    let freq = self.policy.decide(&profile);
-                    self.mc.set_frequency(freq, b);
+                    let requested = self.policy.decide(&profile);
+                    self.apply_frequency(requested, b);
                 }
             }
         } else if b == epoch_b {
             if self.policy.is_adaptive() {
-                let measured = self.epoch_profile(b);
+                let mut measured = self.epoch_profile(b);
+                if let Some(fault) = self.epoch_faults.counter {
+                    // Same draw as the decision read; tallied once there.
+                    apply_counter_fault(&mut measured, fault, &mut self.stale_measured);
+                }
                 self.policy.end_epoch(&measured);
             }
             self.epoch_start = b;
             self.profile_pending = true;
             self.snapshot_epoch(b);
+            self.begin_epoch_faults(b);
+        }
+        Ok(())
+    }
+
+    /// Moves the memory system to `requested`, routing the switch through
+    /// the fault injector: an active thermal throttle caps the grid, a
+    /// drawn relock overrun extends the re-lock penalty, and an outright
+    /// switch failure leaves the frequency unchanged — which the governor
+    /// is told about so it can rebuild its slack account.
+    fn apply_frequency(&mut self, requested: MemFreq, b: Picos) {
+        let mut freq = requested;
+        let current = self.mc.frequency();
+        if let Some(inj) = self.injector.as_mut() {
+            if let Some(cap) = inj.thermal_cap() {
+                freq = freq.min(cap);
+            }
+            if freq != current {
+                match inj.on_switch() {
+                    Some(SwitchFault::Fail) => {
+                        self.policy.note_switch_result(freq, current);
+                        return;
+                    }
+                    Some(SwitchFault::Overrun(extra)) => self.mc.arm_relock_overrun(extra),
+                    None => {}
+                }
+            }
+        }
+        self.mc.set_frequency(freq, b);
+    }
+
+    /// Draws the fault set for the epoch starting at `at` and applies the
+    /// hardware-level perturbations that take effect immediately (refresh
+    /// slip/drop, powerdown-exit spike). Counter and switch faults are held
+    /// in `epoch_faults` until their injection points come round.
+    fn begin_epoch_faults(&mut self, at: Picos) {
+        let Some(inj) = self.injector.as_mut() else {
+            return;
+        };
+        let set = inj.begin_epoch();
+        self.epoch_faults = set;
+        if let Some(fault) = set.refresh {
+            let by = match fault {
+                RefreshFault::Slip(late) => late,
+                RefreshFault::Drop => self.mc.refresh_interval(),
+            };
+            if self.mc.delay_refresh(by, at) > 0 {
+                if let Some(inj) = self.injector.as_mut() {
+                    inj.note_refresh_applied(fault);
+                }
+            }
+        }
+        if let Some(extra) = set.pd_exit_spike {
+            self.mc.arm_pd_exit_spike(extra);
         }
     }
 
@@ -423,8 +555,11 @@ impl Simulation {
         self.seg_start = b;
     }
 
-    fn sample_timeline(&mut self, b: Picos) {
-        let interval = self.cfg.timeline_interval.expect("timeline enabled");
+    fn sample_timeline(&mut self, b: Picos) -> Result<(), SimError> {
+        let interval = self
+            .cfg
+            .timeline_interval
+            .ok_or(SimError::TimelineDisabled)?;
         let window = interval.min(b);
         let cpu_cycle = self.cfg.system.cpu.cycle();
         let core_cpi = self
@@ -456,6 +591,7 @@ impl Simulation {
             core_cpi,
             channel_util,
         });
+        Ok(())
     }
 
     fn finish(mut self, end: Picos, rest_w: f64) -> RunResult {
@@ -493,6 +629,20 @@ impl Simulation {
             .iter()
             .map(|s| s.deep_pd_time)
             .sum::<Picos>();
+        // Fold the device-level applied tallies and the governor's
+        // degradation counters into the injector's draw record.
+        let faults = self.injector.as_mut().map(|inj| {
+            let (_, pd_spikes) = self.mc.fault_stats();
+            inj.note_pd_spikes(pd_spikes);
+            let mut report = inj.report();
+            if let Some(h) = self.policy.governor_health() {
+                report.discarded_profiles = h.discarded_profiles;
+                report.clamped_profiles = h.clamped_profiles;
+                report.forced_max_epochs = h.forced_max_epochs;
+                report.failed_switches = h.failed_switches;
+            }
+            report
+        });
         RunResult {
             policy: self.policy.name().to_string(),
             mix: self.mix.name.to_string(),
@@ -506,10 +656,53 @@ impl Simulation {
             freq_residency_ps: self.freq_residency_ps,
             deep_pd_time,
             timeline: self.timeline,
+            faults,
             #[cfg(feature = "audit")]
             audit,
         }
     }
+}
+
+/// Perturbs one counter read per the drawn fault. Returns whether the fault
+/// actually landed (a stale read with no previous window to replay is a
+/// no-op). `cache` always ends up holding this window's clean values, so the
+/// next stale read replays them.
+fn apply_counter_fault(
+    profile: &mut EpochProfile,
+    fault: CounterFault,
+    cache: &mut StaleCache,
+) -> bool {
+    let clean = (profile.apps.clone(), profile.mc);
+    let applied = match fault {
+        CounterFault::Corrupt { factor } => {
+            // Overflow-style glitch: both the per-app instruction counters
+            // and the controller's occupancy counters jump by orders of
+            // magnitude, which the governor's plausibility check must trip.
+            profile.mc.apply_fault(fault);
+            for app in &mut profile.apps {
+                app.tic = app.tic.saturating_mul(factor);
+                app.tlm = app.tlm.saturating_mul(factor);
+            }
+            true
+        }
+        CounterFault::Drop => {
+            profile.mc.apply_fault(fault);
+            for app in &mut profile.apps {
+                *app = AppSample::default();
+            }
+            true
+        }
+        CounterFault::Stale => match cache.as_ref() {
+            Some((apps, mc)) if apps.len() == profile.apps.len() => {
+                profile.apps.clone_from(apps);
+                profile.mc = *mc;
+                true
+            }
+            _ => false,
+        },
+    };
+    *cache = Some(clean);
+    applied
 }
 
 #[cfg(test)]
@@ -523,8 +716,8 @@ mod tests {
     #[test]
     fn baseline_run_completes_and_accounts_energy() {
         let mix = Mix::by_name("MID1").unwrap();
-        let sim = Simulation::new(&mix, PolicyKind::Baseline, &quick());
-        let r = sim.run_for(Picos::from_ms(6), 60.0);
+        let sim = Simulation::new(&mix, PolicyKind::Baseline, &quick()).unwrap();
+        let r = sim.run_for(Picos::from_ms(6), 60.0).unwrap();
         assert_eq!(r.duration, Picos::from_ms(6));
         assert!(r.energy.memory_total_j() > 0.0);
         assert!(r.energy.rest_j > 0.0);
@@ -537,8 +730,8 @@ mod tests {
     #[test]
     fn memscale_changes_frequency_on_ilp() {
         let mix = Mix::by_name("ILP2").unwrap();
-        let sim = Simulation::new(&mix, PolicyKind::MemScale, &quick());
-        let r = sim.run_for(Picos::from_ms(6), 60.0);
+        let sim = Simulation::new(&mix, PolicyKind::MemScale, &quick()).unwrap();
+        let r = sim.run_for(Picos::from_ms(6), 60.0).unwrap();
         assert!(
             r.mean_frequency_mhz() < 700.0,
             "expected deep scaling, mean {} MHz",
@@ -549,10 +742,12 @@ mod tests {
     #[test]
     fn fixed_work_mode_completes_targets() {
         let mix = Mix::by_name("MID1").unwrap();
-        let base =
-            Simulation::new(&mix, PolicyKind::Baseline, &quick()).run_for(Picos::from_ms(6), 60.0);
-        let sim = Simulation::new(&mix, PolicyKind::Baseline, &quick());
-        let r = sim.run_until_work(&base.work, 60.0);
+        let base = Simulation::new(&mix, PolicyKind::Baseline, &quick())
+            .unwrap()
+            .run_for(Picos::from_ms(6), 60.0)
+            .unwrap();
+        let sim = Simulation::new(&mix, PolicyKind::Baseline, &quick()).unwrap();
+        let r = sim.run_until_work(&base.work, 60.0).unwrap();
         // Identical policy and seed: completion within a whisker of 6 ms.
         let diff = r.duration.as_ms_f64() - 6.0;
         assert!(diff.abs() < 0.5, "duration {} ms", r.duration.as_ms_f64());
@@ -565,8 +760,8 @@ mod tests {
     fn timeline_capture_produces_samples() {
         let mix = Mix::by_name("MID1").unwrap();
         let cfg = quick().with_timeline(Picos::from_ms(1));
-        let sim = Simulation::new(&mix, PolicyKind::Baseline, &cfg);
-        let r = sim.run_for(Picos::from_ms(6), 60.0);
+        let sim = Simulation::new(&mix, PolicyKind::Baseline, &cfg).unwrap();
+        let r = sim.run_for(Picos::from_ms(6), 60.0).unwrap();
         assert_eq!(r.timeline.len(), 6);
         let s = &r.timeline[2];
         assert_eq!(s.bus_mhz, 800);
@@ -578,10 +773,14 @@ mod tests {
     #[test]
     fn runs_are_deterministic() {
         let mix = Mix::by_name("MEM4").unwrap();
-        let a =
-            Simulation::new(&mix, PolicyKind::MemScale, &quick()).run_for(Picos::from_ms(6), 60.0);
-        let b =
-            Simulation::new(&mix, PolicyKind::MemScale, &quick()).run_for(Picos::from_ms(6), 60.0);
+        let a = Simulation::new(&mix, PolicyKind::MemScale, &quick())
+            .unwrap()
+            .run_for(Picos::from_ms(6), 60.0)
+            .unwrap();
+        let b = Simulation::new(&mix, PolicyKind::MemScale, &quick())
+            .unwrap()
+            .run_for(Picos::from_ms(6), 60.0)
+            .unwrap();
         assert_eq!(a.work, b.work);
         assert_eq!(a.counters, b.counters);
         assert_eq!(a.freq_residency_ps, b.freq_residency_ps);
@@ -593,7 +792,10 @@ mod tests {
         use memscale_types::config::MemGeneration;
         let mix = Mix::by_name("MID1").unwrap();
         let cfg = SimConfig::quick().with_generation(MemGeneration::Ddr4);
-        let r = Simulation::new(&mix, PolicyKind::MemScale, &cfg).run_for(Picos::from_ms(6), 60.0);
+        let r = Simulation::new(&mix, PolicyKind::MemScale, &cfg)
+            .unwrap()
+            .run_for(Picos::from_ms(6), 60.0)
+            .unwrap();
         assert_eq!(r.generation, MemGeneration::Ddr4);
         assert!(r.counters.reads > 1_000);
         #[cfg(feature = "audit")]
@@ -608,7 +810,10 @@ mod tests {
         use memscale_types::config::MemGeneration;
         let mix = Mix::by_name("ILP2").unwrap();
         let cfg = SimConfig::quick().with_generation(MemGeneration::Lpddr3);
-        let r = Simulation::new(&mix, PolicyKind::DeepPd, &cfg).run_for(Picos::from_ms(6), 60.0);
+        let r = Simulation::new(&mix, PolicyKind::DeepPd, &cfg)
+            .unwrap()
+            .run_for(Picos::from_ms(6), 60.0)
+            .unwrap();
         assert_eq!(r.generation, MemGeneration::Lpddr3);
         assert!(r.counters.edpc > 0, "no deep power-down exits recorded");
         assert!(r.deep_pd_time > Picos::ZERO);
@@ -621,21 +826,32 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "DDR4: policy Deep-PD is not available")]
     fn deep_pd_policy_rejected_outside_lpddr() {
         use memscale_types::config::MemGeneration;
         let mix = Mix::by_name("MID1").unwrap();
         let cfg = SimConfig::quick().with_generation(MemGeneration::Ddr4);
-        let _ = Simulation::new(&mix, PolicyKind::DeepPd, &cfg);
+        let err = Simulation::new(&mix, PolicyKind::DeepPd, &cfg).unwrap_err();
+        assert!(
+            matches!(err, SimError::PolicyUnavailable { .. }),
+            "unexpected error: {err}"
+        );
+        assert_eq!(
+            err.to_string(),
+            "DDR4: policy Deep-PD is not available on this generation"
+        );
     }
 
     #[test]
     fn fast_pd_accumulates_powerdown_residency() {
         let mix = Mix::by_name("ILP2").unwrap();
-        let base =
-            Simulation::new(&mix, PolicyKind::Baseline, &quick()).run_for(Picos::from_ms(6), 60.0);
-        let pd =
-            Simulation::new(&mix, PolicyKind::FastPd, &quick()).run_for(Picos::from_ms(6), 60.0);
+        let base = Simulation::new(&mix, PolicyKind::Baseline, &quick())
+            .unwrap()
+            .run_for(Picos::from_ms(6), 60.0)
+            .unwrap();
+        let pd = Simulation::new(&mix, PolicyKind::FastPd, &quick())
+            .unwrap()
+            .run_for(Picos::from_ms(6), 60.0)
+            .unwrap();
         assert!(pd.counters.epdc > 0, "no powerdown exits recorded");
         assert!(
             pd.energy.memory_total_j() < base.energy.memory_total_j(),

@@ -10,6 +10,7 @@
 
 use crate::config::SimConfig;
 use crate::engine::Simulation;
+use crate::error::SimError;
 use crate::result::RunResult;
 use memscale::policies::PolicyKind;
 use memscale_power::PowerModel;
@@ -68,9 +69,13 @@ impl Experiment {
     /// §4.1 states the fraction in terms of DIMM power, and §1 notes such
     /// estimates "do not consider the memory controller's energy" — so the
     /// MC is part of the memory subsystem but outside the 40 % calibration.
-    pub fn calibrate(mix: &Mix, cfg: &SimConfig) -> Self {
-        let sim = Simulation::new(mix, PolicyKind::Baseline, cfg);
-        let mut baseline = sim.run_for(cfg.duration, 0.0);
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] from building or running the baseline.
+    pub fn calibrate(mix: &Mix, cfg: &SimConfig) -> Result<Self, SimError> {
+        let sim = Simulation::new(mix, PolicyKind::Baseline, cfg)?;
+        let mut baseline = sim.run_for(cfg.duration, 0.0)?;
         let power = PowerModel::new(&cfg.system);
         let elapsed = baseline.energy.elapsed.as_secs_f64();
         let dimm_avg_w =
@@ -78,12 +83,12 @@ impl Experiment {
         let rest_w = power.rest_of_system_w(dimm_avg_w);
         baseline.energy.rest_j = rest_w * elapsed;
         baseline.rest_w = rest_w;
-        Experiment {
+        Ok(Experiment {
             mix: mix.clone(),
             cfg: cfg.clone(),
             baseline,
             rest_w,
-        }
+        })
     }
 
     /// The calibrated baseline run.
@@ -105,13 +110,21 @@ impl Experiment {
     }
 
     /// Runs `policy` over the baseline's work and compares.
-    pub fn evaluate(&self, policy: PolicyKind) -> (RunResult, Comparison) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] from building or running the policy run.
+    pub fn evaluate(&self, policy: PolicyKind) -> Result<(RunResult, Comparison), SimError> {
         self.evaluate_configured(policy, &self.cfg)
     }
 
     /// Runs `policy` with an overridden configuration (e.g. a different γ
     /// or epoch length) against this baseline. The hardware system must be
     /// unchanged or the comparison is meaningless.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] from building or running the policy run.
     ///
     /// # Panics
     ///
@@ -120,14 +133,14 @@ impl Experiment {
         &self,
         policy: PolicyKind,
         cfg: &SimConfig,
-    ) -> (RunResult, Comparison) {
+    ) -> Result<(RunResult, Comparison), SimError> {
         assert_eq!(cfg.system, self.cfg.system, "hardware must match baseline");
         assert_eq!(cfg.seed, self.cfg.seed, "seed must match baseline");
-        let mut sim = Simulation::new(&self.mix, policy, cfg);
+        let mut sim = Simulation::new(&self.mix, policy, cfg)?;
         sim.set_rest_of_system_w(self.rest_w);
-        let run = sim.run_until_work(&self.baseline.work, self.rest_w);
+        let run = sim.run_until_work(&self.baseline.work, self.rest_w)?;
         let cmp = self.compare(&run);
-        (run, cmp)
+        Ok((run, cmp))
     }
 
     /// Compares an already-completed fixed-work run against the baseline.
@@ -174,7 +187,7 @@ mod tests {
     #[test]
     fn calibration_sets_dimm_fraction() {
         let mix = Mix::by_name("MID1").unwrap();
-        let exp = Experiment::calibrate(&mix, &SimConfig::quick());
+        let exp = Experiment::calibrate(&mix, &SimConfig::quick()).unwrap();
         let e = &exp.baseline().energy;
         let dimm = e.memory_total_j() - e.memory_j.mc_w;
         let total = dimm + e.rest_j; // DIMMs vs DIMMs + rest (MC excluded)
@@ -189,8 +202,8 @@ mod tests {
     #[test]
     fn memscale_saves_energy_within_bound_on_ilp() {
         let mix = Mix::by_name("ILP2").unwrap();
-        let exp = Experiment::calibrate(&mix, &SimConfig::quick());
-        let (_, cmp) = exp.evaluate(PolicyKind::MemScale);
+        let exp = Experiment::calibrate(&mix, &SimConfig::quick()).unwrap();
+        let (_, cmp) = exp.evaluate(PolicyKind::MemScale).unwrap();
         assert!(
             cmp.memory_savings > 0.10,
             "ILP memory savings {}",

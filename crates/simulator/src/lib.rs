@@ -23,8 +23,8 @@
 //! use memscale_workloads::Mix;
 //!
 //! let mix = Mix::by_name("MID1").unwrap();
-//! let experiment = Experiment::calibrate(&mix, &SimConfig::default());
-//! let (run, cmp) = experiment.evaluate(PolicyKind::MemScale);
+//! let experiment = Experiment::calibrate(&mix, &SimConfig::default()).unwrap();
+//! let (run, cmp) = experiment.evaluate(PolicyKind::MemScale).unwrap();
 //! println!("{}: {:.1}% system energy saved", run.policy, cmp.system_savings * 100.0);
 //! ```
 
@@ -33,10 +33,13 @@
 
 pub mod config;
 pub mod engine;
+pub mod error;
 pub mod harness;
 pub mod result;
 
 pub use config::SimConfig;
 pub use engine::Simulation;
+pub use error::SimError;
 pub use harness::{Comparison, Experiment};
+pub use memscale_faults::FaultReport;
 pub use result::{RunResult, TimelineSample};

@@ -49,6 +49,9 @@ pub struct RunResult {
     pub deep_pd_time: Picos,
     /// Captured timeline (empty unless requested).
     pub timeline: Vec<TimelineSample>,
+    /// Applied-fault and degradation tally (`None` unless the run was
+    /// configured with an active fault plan).
+    pub faults: Option<memscale_faults::FaultReport>,
     /// DDR3 protocol conformance report for the run's full command stream
     /// (feature `audit`; `None` only if auditing was disabled mid-run).
     #[cfg(feature = "audit")]
@@ -125,6 +128,7 @@ mod tests {
             freq_residency_ps: residency,
             deep_pd_time: Picos::ZERO,
             timeline: vec![],
+            faults: None,
             #[cfg(feature = "audit")]
             audit: None,
         }

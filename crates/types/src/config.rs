@@ -817,7 +817,11 @@ impl SystemConfig {
         self.power.validate()?;
         // Cross-section checks tying timing to topology.
         let gen = self.timing.generation;
-        if !self.topology.banks_per_rank.is_multiple_of(self.timing.bank_groups) {
+        if !self
+            .topology
+            .banks_per_rank
+            .is_multiple_of(self.timing.bank_groups)
+        {
             return Err(ConfigError::new(format!(
                 "{gen}: banks_per_rank ({}) must be divisible by bank_groups \
                  ({}) for the round-robin group mapping",

@@ -1,0 +1,327 @@
+//! Fault-injection configuration (`FaultPlan`) and fault vocabulary.
+//!
+//! MemScale's safety argument rests on the governor recovering `QoS` even when
+//! the hardware misbehaves. This module defines the *plan* — which fault
+//! classes fire, how often, and how hard — as plain data shared by every
+//! layer. The seeded runtime injector that draws from the plan lives in the
+//! `memscale-faults` crate; this module only holds configuration and the
+//! enums naming each injected perturbation.
+//!
+//! A plan is usually parsed from a CLI spec string:
+//!
+//! ```
+//! use memscale_types::faults::FaultPlan;
+//!
+//! let plan = FaultPlan::parse("seed=7,counter=0.3,relock=0.2,cap_mhz=400").unwrap();
+//! assert_eq!(plan.seed, 7);
+//! assert!((plan.counter_rate - 0.3).abs() < 1e-12);
+//! assert!(FaultPlan::parse("bogus=1").is_err());
+//! ```
+
+use crate::freq::MemFreq;
+use crate::time::Picos;
+use std::fmt;
+
+/// A corrupted §3.1 counter read delivered to the governor at a profiling
+/// or epoch boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CounterFault {
+    /// Counters read back multiplied by `factor` (an overflow-style glitch:
+    /// TIC and the queue-occupancy accumulators explode together).
+    Corrupt {
+        /// Multiplicative corruption factor (drawn large, ≥ 2¹³).
+        factor: u64,
+    },
+    /// The previous window's values are delivered again (stale latch).
+    Stale,
+    /// The read is lost entirely: every counter reports zero.
+    Drop,
+}
+
+/// A perturbed frequency-switch attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchFault {
+    /// The DLL relock takes `extra` longer than the 512-cycle + settle
+    /// budget (VR droop, slow relock).
+    Overrun(Picos),
+    /// The switch fails outright: the channel stays at the old frequency.
+    Fail,
+}
+
+/// A perturbed refresh schedule within the postponement (arrears) window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefreshFault {
+    /// The next due REF is issued `late` later than scheduled.
+    Slip(Picos),
+    /// One REF interval is skipped outright (the due time advances by one
+    /// tREFI with no catch-up accounting).
+    Drop,
+}
+
+/// Seeded, deterministic fault-injection plan.
+///
+/// Rates are per-opportunity probabilities in `[0, 1]`: counter / refresh /
+/// thermal / powerdown-exit faults are drawn once per epoch, switch faults
+/// once per frequency-switch attempt. All draws come from one splitmix64
+/// stream seeded by `seed`, so a plan replays identically across runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the injector's private RNG stream.
+    pub seed: u64,
+    /// Per-epoch probability of a corrupted/stale/dropped counter read.
+    pub counter_rate: f64,
+    /// Per-switch probability of a relock overrun.
+    pub relock_rate: f64,
+    /// Per-switch probability of an outright switch failure.
+    pub switch_fail_rate: f64,
+    /// Per-epoch probability of a late or dropped REF.
+    pub refresh_rate: f64,
+    /// Per-epoch probability of a thermal-throttle event starting.
+    pub thermal_rate: f64,
+    /// Per-epoch probability of arming a powerdown-exit latency spike.
+    pub pd_exit_rate: f64,
+    /// Extra relock latency when an overrun fires.
+    pub relock_overrun: Picos,
+    /// How late a slipped REF may be pushed (clamped to the safe arrears
+    /// window at the injection site).
+    pub refresh_slip: Picos,
+    /// Frequency-grid cap while a thermal-throttle event is active.
+    pub thermal_cap: MemFreq,
+    /// Duration of one thermal-throttle event, in epochs.
+    pub thermal_epochs: u32,
+    /// Extra exit latency (tXP/tXPDLL overrun) when a spike fires.
+    pub pd_exit_extra: Picos,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0xFA_17,
+            counter_rate: 0.0,
+            relock_rate: 0.0,
+            switch_fail_rate: 0.0,
+            refresh_rate: 0.0,
+            thermal_rate: 0.0,
+            pd_exit_rate: 0.0,
+            relock_overrun: Picos::from_ns(500),
+            refresh_slip: Picos::from_ns(7_800),
+            thermal_cap: MemFreq::F400,
+            thermal_epochs: 2,
+            pd_exit_extra: Picos::from_ns(100),
+        }
+    }
+}
+
+/// Error from [`FaultPlan::parse`] or [`FaultPlan::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpecError {
+    msg: String,
+}
+
+impl FaultSpecError {
+    fn new(msg: impl Into<String>) -> Self {
+        FaultSpecError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid fault spec: {}; keys: seed, all, counter, relock, switch, \
+             refresh, thermal, pdexit, relock_ns, refresh_ns, cap_mhz, \
+             thermal_epochs, pdexit_ns",
+            self.msg
+        )
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
+impl FaultPlan {
+    /// A plan injecting every fault class at `rate`, with default magnitudes.
+    pub fn uniform(seed: u64, rate: f64) -> Self {
+        FaultPlan {
+            seed,
+            counter_rate: rate,
+            relock_rate: rate,
+            switch_fail_rate: rate,
+            refresh_rate: rate,
+            thermal_rate: rate,
+            pd_exit_rate: rate,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Whether any fault class can fire at all.
+    pub fn is_active(&self) -> bool {
+        [
+            self.counter_rate,
+            self.relock_rate,
+            self.switch_fail_rate,
+            self.refresh_rate,
+            self.thermal_rate,
+            self.pd_exit_rate,
+        ]
+        .iter()
+        .any(|&r| r > 0.0)
+    }
+
+    /// Parses a comma-separated `key=value` spec, e.g.
+    /// `seed=42,counter=0.3,relock=0.2,switch=0.1,cap_mhz=400`.
+    /// `all=<rate>` sets every per-class rate at once (later keys override).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FaultSpecError`] on unknown keys, malformed values, or an
+    /// out-of-range plan (see [`FaultPlan::validate`]).
+    pub fn parse(spec: &str) -> Result<Self, FaultSpecError> {
+        let mut plan = FaultPlan::default();
+        for item in spec.split(',').filter(|s| !s.trim().is_empty()) {
+            let (key, value) = item
+                .split_once('=')
+                .ok_or_else(|| FaultSpecError::new(format!("`{item}` is not key=value")))?;
+            let key = key.trim();
+            let value = value.trim();
+            let rate = |v: &str| {
+                v.parse::<f64>()
+                    .map_err(|e| FaultSpecError::new(format!("{key}: {e}")))
+            };
+            let int = |v: &str| {
+                v.parse::<u64>()
+                    .map_err(|e| FaultSpecError::new(format!("{key}: {e}")))
+            };
+            match key {
+                "seed" => plan.seed = int(value)?,
+                "all" => {
+                    let r = rate(value)?;
+                    plan.counter_rate = r;
+                    plan.relock_rate = r;
+                    plan.switch_fail_rate = r;
+                    plan.refresh_rate = r;
+                    plan.thermal_rate = r;
+                    plan.pd_exit_rate = r;
+                }
+                "counter" => plan.counter_rate = rate(value)?,
+                "relock" => plan.relock_rate = rate(value)?,
+                "switch" => plan.switch_fail_rate = rate(value)?,
+                "refresh" => plan.refresh_rate = rate(value)?,
+                "thermal" => plan.thermal_rate = rate(value)?,
+                "pdexit" => plan.pd_exit_rate = rate(value)?,
+                "relock_ns" => plan.relock_overrun = Picos::from_ns(int(value)?),
+                "refresh_ns" => plan.refresh_slip = Picos::from_ns(int(value)?),
+                "cap_mhz" => {
+                    let mhz = int(value)?;
+                    let mhz = u32::try_from(mhz)
+                        .map_err(|_| FaultSpecError::new(format!("cap_mhz: {mhz} too large")))?;
+                    plan.thermal_cap = MemFreq::ceil_from_mhz(mhz).ok_or_else(|| {
+                        FaultSpecError::new(format!("cap_mhz: {mhz} exceeds the 800 MHz grid"))
+                    })?;
+                }
+                "thermal_epochs" => {
+                    let n = int(value)?;
+                    plan.thermal_epochs = u32::try_from(n).map_err(|_| {
+                        FaultSpecError::new(format!("thermal_epochs: {n} too large"))
+                    })?;
+                }
+                "pdexit_ns" => plan.pd_exit_extra = Picos::from_ns(int(value)?),
+                other => return Err(FaultSpecError::new(format!("unknown key `{other}`"))),
+            }
+        }
+        plan.validate()?;
+        Ok(plan)
+    }
+
+    /// Checks that every rate lies in `[0, 1]` and magnitudes are sane.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FaultSpecError`] naming the offending field.
+    pub fn validate(&self) -> Result<(), FaultSpecError> {
+        for (name, r) in [
+            ("counter", self.counter_rate),
+            ("relock", self.relock_rate),
+            ("switch", self.switch_fail_rate),
+            ("refresh", self.refresh_rate),
+            ("thermal", self.thermal_rate),
+            ("pdexit", self.pd_exit_rate),
+        ] {
+            if !(0.0..=1.0).contains(&r) || r.is_nan() {
+                return Err(FaultSpecError::new(format!(
+                    "{name} rate {r} outside [0, 1]"
+                )));
+            }
+        }
+        if self.thermal_epochs == 0 {
+            return Err(FaultSpecError::new("thermal_epochs must be > 0"));
+        }
+        if self.relock_overrun > Picos::from_us(100) {
+            return Err(FaultSpecError::new("relock_ns above 100 us is implausible"));
+        }
+        if self.pd_exit_extra > Picos::from_us(100) {
+            return Err(FaultSpecError::new("pdexit_ns above 100 us is implausible"));
+        }
+        // Bounded so a slipped REF can never leave the nine-interval
+        // postponement window the audit rule packs enforce.
+        if self.refresh_slip > Picos::from_ns(15_600) {
+            return Err(FaultSpecError::new(
+                "refresh_ns above 15600 (two tREFI) would breach the arrears window",
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inert() {
+        let p = FaultPlan::default();
+        assert!(!p.is_active());
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn uniform_activates_every_class() {
+        let p = FaultPlan::uniform(1, 0.25);
+        assert!(p.is_active());
+        assert!((p.switch_fail_rate - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_round_trips_keys() {
+        let p = FaultPlan::parse(
+            "seed=9,all=0.1,counter=0.5,relock_ns=250,refresh_ns=1000,\
+             cap_mhz=333,thermal_epochs=3,pdexit_ns=50",
+        )
+        .unwrap();
+        assert_eq!(p.seed, 9);
+        assert!((p.counter_rate - 0.5).abs() < 1e-12);
+        assert!((p.relock_rate - 0.1).abs() < 1e-12);
+        assert_eq!(p.relock_overrun, Picos::from_ns(250));
+        assert_eq!(p.refresh_slip, Picos::from_ns(1000));
+        assert_eq!(p.thermal_cap, MemFreq::F333);
+        assert_eq!(p.thermal_epochs, 3);
+        assert_eq!(p.pd_exit_extra, Picos::from_ns(50));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_and_out_of_range() {
+        assert!(FaultPlan::parse("bogus=1").is_err());
+        assert!(FaultPlan::parse("counter").is_err());
+        assert!(FaultPlan::parse("counter=1.5").is_err());
+        assert!(FaultPlan::parse("refresh_ns=999999").is_err());
+        assert!(FaultPlan::parse("thermal_epochs=0").is_err());
+        assert!(FaultPlan::parse("cap_mhz=5000").is_err());
+    }
+
+    #[test]
+    fn error_display_lists_keys() {
+        let e = FaultPlan::parse("bogus=1").unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("unknown key"));
+        assert!(msg.contains("cap_mhz"));
+    }
+}

@@ -34,6 +34,7 @@
 pub mod address;
 pub mod config;
 pub mod events;
+pub mod faults;
 pub mod freq;
 pub mod ids;
 pub mod time;
@@ -41,6 +42,7 @@ pub mod time;
 pub use address::{AddressMap, Location, PhysAddr};
 pub use config::{CpuConfig, DramTimingConfig, MemGeneration, PowerConfig, SystemConfig, Topology};
 pub use events::{CmdEvent, CmdKind};
+pub use faults::{CounterFault, FaultPlan, FaultSpecError, RefreshFault, SwitchFault};
 pub use freq::MemFreq;
 pub use ids::{AppId, BankId, ChannelId, CoreId, RankId};
 pub use time::Picos;

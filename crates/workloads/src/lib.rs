@@ -35,5 +35,5 @@ pub mod rng;
 pub mod spec;
 
 pub use generator::{AppTrace, MissEvent};
-pub use mix::{Mix, WorkloadClass};
+pub use mix::{Mix, UnknownMix, WorkloadClass};
 pub use profile::{AppProfile, Phase};

@@ -102,6 +102,31 @@ const TABLE1: &[Mix] = &[
     },
 ];
 
+/// Error returned by [`Mix::by_name`] for a name outside Table 1.
+///
+/// Its `Display` lists every valid mix name, so surfacing it verbatim in a
+/// CLI error is enough for the user to self-correct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownMix {
+    /// The name that failed to resolve.
+    pub name: String,
+}
+
+impl fmt::Display for UnknownMix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown workload `{}`; valid mixes: ", self.name)?;
+        for (i, m) in TABLE1.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", m.name)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for UnknownMix {}
+
 impl Mix {
     /// All twelve Table 1 workloads, in paper order.
     pub fn table1() -> Vec<Mix> {
@@ -109,11 +134,17 @@ impl Mix {
     }
 
     /// Looks a workload up by name (case-insensitive).
-    pub fn by_name(name: &str) -> Option<Mix> {
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`UnknownMix`] (whose `Display` lists the valid names)
+    /// when `name` is not a Table 1 workload.
+    pub fn by_name(name: &str) -> Result<Mix, UnknownMix> {
         TABLE1
             .iter()
             .find(|m| m.name.eq_ignore_ascii_case(name))
             .cloned()
+            .ok_or_else(|| UnknownMix { name: name.into() })
     }
 
     /// The workloads of one class, in paper order.
@@ -183,7 +214,10 @@ mod tests {
     #[test]
     fn lookup_is_case_insensitive() {
         assert_eq!(Mix::by_name("mem1").unwrap().name, "MEM1");
-        assert!(Mix::by_name("MEM9").is_none());
+        let err = Mix::by_name("MEM9").unwrap_err();
+        assert_eq!(err.name, "MEM9");
+        let msg = err.to_string();
+        assert!(msg.contains("MEM9") && msg.contains("ILP1") && msg.contains("MEM4"));
     }
 
     #[test]

@@ -73,8 +73,8 @@ fn main() {
         let mix = Mix::by_name(server.mix).expect("table 1 mix");
         let mut cfg = SimConfig::default().with_duration(Picos::from_ms(15));
         cfg.governor.gamma = server.gamma;
-        let exp = Experiment::calibrate(&mix, &cfg);
-        let (run, cmp) = exp.evaluate(PolicyKind::MemScale);
+        let exp = Experiment::calibrate(&mix, &cfg).unwrap();
+        let (run, cmp) = exp.evaluate(PolicyKind::MemScale).unwrap();
 
         let base_j = exp.baseline().energy.system_total_j();
         let run_j = run.energy.system_total_j();

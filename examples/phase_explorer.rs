@@ -22,7 +22,10 @@ fn main() {
         .with_duration(Picos::from_ms(100))
         .with_timeline(Picos::from_ms(2));
     println!("running {mix} for 100 ms under MemScale ...\n");
-    let run = Simulation::new(&mix, PolicyKind::MemScale, &cfg).run_for(cfg.duration, 0.0);
+    let run = Simulation::new(&mix, PolicyKind::MemScale, &cfg)
+        .unwrap()
+        .run_for(cfg.duration, 0.0)
+        .unwrap();
 
     println!(
         "{:>6} {:>8} {:>9} {:>9}  frequency ladder (200..800 MHz)",

@@ -17,7 +17,7 @@ use memscale_workloads::Mix;
 
 fn main() {
     let mix_name = std::env::args().nth(1).unwrap_or_else(|| "MID3".into());
-    let Some(mix) = Mix::by_name(&mix_name) else {
+    let Ok(mix) = Mix::by_name(&mix_name) else {
         eprintln!(
             "unknown workload {mix_name}; pick one of: {}",
             Mix::table1()
@@ -31,7 +31,7 @@ fn main() {
 
     let cfg = SimConfig::default().with_duration(Picos::from_ms(20));
     println!("calibrating baseline for {mix} ...");
-    let exp = Experiment::calibrate(&mix, &cfg);
+    let exp = Experiment::calibrate(&mix, &cfg).unwrap();
     println!(
         "baseline: {:.1} W memory, {:.1} W rest, {} reads\n",
         exp.baseline().energy.memory_avg_w(),
@@ -45,7 +45,7 @@ fn main() {
     );
     let mut best: Option<(String, f64)> = None;
     for policy in PolicyKind::comparison_set() {
-        let (run, cmp) = exp.evaluate(policy);
+        let (run, cmp) = exp.evaluate(policy).unwrap();
         println!(
             "{:<22} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}% {:>9.0}",
             run.policy,

@@ -26,7 +26,7 @@ fn main() {
     //    This also derives the fixed rest-of-system power from the paper's
     //    40% DIMM power fraction.
     let cfg = SimConfig::default().with_duration(Picos::from_ms(20));
-    let exp = Experiment::calibrate(&mix, &cfg);
+    let exp = Experiment::calibrate(&mix, &cfg).unwrap();
     println!(
         "baseline: {:.1} W memory average, {:.1} W rest of system",
         exp.baseline().energy.memory_avg_w(),
@@ -35,7 +35,7 @@ fn main() {
 
     // 3. Run the MemScale policy over the exact same work (fixed-work
     //    comparison) with the default 10% CPI-degradation bound.
-    let (run, cmp) = exp.evaluate(PolicyKind::MemScale);
+    let (run, cmp) = exp.evaluate(PolicyKind::MemScale).unwrap();
 
     println!("\nMemScale results vs baseline:");
     println!("  memory energy saved : {:.1}%", cmp.memory_savings * 100.0);

@@ -14,8 +14,10 @@ fn quick() -> SimConfig {
 #[test]
 fn every_table1_mix_simulates() {
     for mix in Mix::table1() {
-        let run =
-            Simulation::new(&mix, PolicyKind::Baseline, &quick()).run_for(Picos::from_ms(6), 50.0);
+        let run = Simulation::new(&mix, PolicyKind::Baseline, &quick())
+            .unwrap()
+            .run_for(Picos::from_ms(6), 50.0)
+            .unwrap();
         assert!(run.counters.reads > 100, "{}: too few reads", mix.name);
         assert!(
             run.energy.memory_total_j() > 0.0,
@@ -35,7 +37,9 @@ fn class_ordering_of_memory_traffic() {
     // MEM mixes must produce far more memory traffic than ILP mixes.
     let reads = |name: &str| {
         Simulation::new(&Mix::by_name(name).unwrap(), PolicyKind::Baseline, &quick())
+            .unwrap()
             .run_for(Picos::from_ms(6), 0.0)
+            .unwrap()
             .counters
             .reads
     };
@@ -50,8 +54,8 @@ fn class_ordering_of_memory_traffic() {
 fn memscale_full_loop_on_each_class() {
     for (name, min_mem_savings) in [("ILP3", 0.4), ("MID2", 0.15), ("MEM2", 0.02)] {
         let mix = Mix::by_name(name).unwrap();
-        let exp = Experiment::calibrate(&mix, &quick());
-        let (run, cmp) = exp.evaluate(PolicyKind::MemScale);
+        let exp = Experiment::calibrate(&mix, &quick()).unwrap();
+        let (run, cmp) = exp.evaluate(PolicyKind::MemScale).unwrap();
         assert!(
             cmp.memory_savings > min_mem_savings,
             "{name}: memory savings {:.3}",
@@ -69,8 +73,8 @@ fn memscale_full_loop_on_each_class() {
 #[test]
 fn ilp_runs_at_min_frequency_most_of_the_time() {
     let mix = Mix::by_name("ILP2").unwrap();
-    let exp = Experiment::calibrate(&mix, &quick());
-    let (run, _) = exp.evaluate(PolicyKind::MemScale);
+    let exp = Experiment::calibrate(&mix, &quick()).unwrap();
+    let (run, _) = exp.evaluate(PolicyKind::MemScale).unwrap();
     assert!(
         run.residency(MemFreq::F200) > 0.5,
         "ILP should park at 200 MHz; residency {:.2}",
@@ -82,8 +86,10 @@ fn ilp_runs_at_min_frequency_most_of_the_time() {
 fn energy_conservation_across_components() {
     // Total memory energy must equal the sum of its categories.
     let mix = Mix::by_name("MID3").unwrap();
-    let run =
-        Simulation::new(&mix, PolicyKind::MemScale, &quick()).run_for(Picos::from_ms(6), 40.0);
+    let run = Simulation::new(&mix, PolicyKind::MemScale, &quick())
+        .unwrap()
+        .run_for(Picos::from_ms(6), 40.0)
+        .unwrap();
     let e = &run.energy.memory_j;
     let sum = e.background_w + e.act_pre_w + e.rd_wr_w + e.term_w + e.pll_w + e.reg_w + e.mc_w;
     assert!((sum - run.energy.memory_total_j()).abs() < 1e-9);
@@ -97,9 +103,9 @@ fn energy_conservation_across_components() {
 #[test]
 fn work_matched_runs_do_the_requested_work() {
     let mix = Mix::by_name("MID4").unwrap();
-    let exp = Experiment::calibrate(&mix, &quick());
+    let exp = Experiment::calibrate(&mix, &quick()).unwrap();
     for policy in [PolicyKind::MemScale, PolicyKind::Static(MemFreq::F467)] {
-        let (run, _) = exp.evaluate(policy);
+        let (run, _) = exp.evaluate(policy).unwrap();
         for (i, (&target, &done)) in exp.baseline().work.iter().zip(&run.work).enumerate() {
             assert!(done >= target, "core {i}: {done} < {target}");
         }
@@ -114,7 +120,10 @@ fn full_runs_replay_clean_through_the_conformance_checker() {
     // frequency transitions) must both report zero violations.
     let mix = Mix::by_name("MID1").unwrap();
     for policy in [PolicyKind::Baseline, PolicyKind::MemScale] {
-        let run = Simulation::new(&mix, policy, &quick()).run_for(Picos::from_ms(6), 40.0);
+        let run = Simulation::new(&mix, policy, &quick())
+            .unwrap()
+            .run_for(Picos::from_ms(6), 40.0)
+            .unwrap();
         let audit = run.audit.as_ref().expect("audit enabled in test builds");
         assert!(audit.is_clean(), "{policy:?}: {}", audit.summary());
         assert!(audit.commands_checked > 1_000);
@@ -134,7 +143,10 @@ fn ddr4_and_lpddr3_full_runs_replay_clean() {
         (MemGeneration::Lpddr3, PolicyKind::DeepPd),
     ] {
         let cfg = quick().with_generation(generation);
-        let run = Simulation::new(&mix, policy, &cfg).run_for(Picos::from_ms(6), 40.0);
+        let run = Simulation::new(&mix, policy, &cfg)
+            .unwrap()
+            .run_for(Picos::from_ms(6), 40.0)
+            .unwrap();
         assert_eq!(run.generation, generation);
         let audit = run.audit.as_ref().expect("audit enabled in test builds");
         assert!(audit.is_clean(), "{generation}: {}", audit.summary());
@@ -151,9 +163,9 @@ fn all_classes_have_four_mixes_that_run_under_every_policy() {
     // A broad smoke matrix: one mix per class x every comparison policy.
     for class in [WorkloadClass::Ilp, WorkloadClass::Mid, WorkloadClass::Mem] {
         let mix = &Mix::by_class(class)[0];
-        let exp = Experiment::calibrate(mix, &quick());
+        let exp = Experiment::calibrate(mix, &quick()).unwrap();
         for policy in PolicyKind::comparison_set() {
-            let (run, cmp) = exp.evaluate(policy);
+            let (run, cmp) = exp.evaluate(policy).unwrap();
             assert!(run.counters.reads > 0, "{}/{:?}", mix.name, policy);
             assert!(
                 cmp.memory_savings > -0.35,

@@ -17,8 +17,10 @@ fn memory_power_is_in_a_plausible_server_band() {
     // 8 DIMMs + MC: idle floor tens of watts, loaded well under 100 W.
     for name in ["ILP1", "MID2", "MEM3"] {
         let mix = Mix::by_name(name).unwrap();
-        let run =
-            Simulation::new(&mix, PolicyKind::Baseline, &quick()).run_for(Picos::from_ms(6), 0.0);
+        let run = Simulation::new(&mix, PolicyKind::Baseline, &quick())
+            .unwrap()
+            .run_for(Picos::from_ms(6), 0.0)
+            .unwrap();
         let avg = run.energy.memory_avg_w();
         assert!(
             (20.0..90.0).contains(&avg),
@@ -31,7 +33,9 @@ fn memory_power_is_in_a_plausible_server_band() {
 fn memory_power_orders_by_class() {
     let avg = |name: &str| {
         Simulation::new(&Mix::by_name(name).unwrap(), PolicyKind::Baseline, &quick())
+            .unwrap()
             .run_for(Picos::from_ms(6), 0.0)
+            .unwrap()
             .energy
             .memory_avg_w()
     };
@@ -47,10 +51,14 @@ fn memory_power_orders_by_class() {
 #[test]
 fn static_low_frequency_cuts_memory_power() {
     let mix = Mix::by_name("ILP1").unwrap();
-    let base =
-        Simulation::new(&mix, PolicyKind::Baseline, &quick()).run_for(Picos::from_ms(6), 0.0);
+    let base = Simulation::new(&mix, PolicyKind::Baseline, &quick())
+        .unwrap()
+        .run_for(Picos::from_ms(6), 0.0)
+        .unwrap();
     let slow = Simulation::new(&mix, PolicyKind::Static(MemFreq::F200), &quick())
-        .run_for(Picos::from_ms(6), 0.0);
+        .unwrap()
+        .run_for(Picos::from_ms(6), 0.0)
+        .unwrap();
     // ILP work barely stretches, while background/PLL/REG/MC power drops.
     assert!(
         slow.energy.memory_avg_w() < 0.6 * base.energy.memory_avg_w(),
@@ -63,10 +71,14 @@ fn static_low_frequency_cuts_memory_power() {
 #[test]
 fn mc_energy_falls_superlinearly_with_dvfs() {
     let mix = Mix::by_name("ILP2").unwrap();
-    let base =
-        Simulation::new(&mix, PolicyKind::Baseline, &quick()).run_for(Picos::from_ms(6), 0.0);
+    let base = Simulation::new(&mix, PolicyKind::Baseline, &quick())
+        .unwrap()
+        .run_for(Picos::from_ms(6), 0.0)
+        .unwrap();
     let slow = Simulation::new(&mix, PolicyKind::Static(MemFreq::F400), &quick())
-        .run_for(Picos::from_ms(6), 0.0);
+        .unwrap()
+        .run_for(Picos::from_ms(6), 0.0)
+        .unwrap();
     let ratio = slow.energy.memory_j.mc_w / base.energy.memory_j.mc_w;
     // V^2*f at 400 MHz: (0.833/1.2)^2 * 0.5 = 0.24; allow dilation slack.
     assert!(ratio < 0.35, "MC energy ratio {ratio:.3}");
@@ -75,9 +87,14 @@ fn mc_energy_falls_superlinearly_with_dvfs() {
 #[test]
 fn fast_pd_cuts_background_but_not_mc() {
     let mix = Mix::by_name("ILP2").unwrap();
-    let base =
-        Simulation::new(&mix, PolicyKind::Baseline, &quick()).run_for(Picos::from_ms(6), 0.0);
-    let pd = Simulation::new(&mix, PolicyKind::FastPd, &quick()).run_for(Picos::from_ms(6), 0.0);
+    let base = Simulation::new(&mix, PolicyKind::Baseline, &quick())
+        .unwrap()
+        .run_for(Picos::from_ms(6), 0.0)
+        .unwrap();
+    let pd = Simulation::new(&mix, PolicyKind::FastPd, &quick())
+        .unwrap()
+        .run_for(Picos::from_ms(6), 0.0)
+        .unwrap();
     assert!(
         pd.energy.memory_j.background_w < base.energy.memory_j.background_w,
         "powerdown must cut background energy"
@@ -94,9 +111,14 @@ fn refresh_energy_is_frequency_independent() {
     // Refresh runs at a fixed duty cycle; its contribution is folded into
     // background power and should not vanish at low frequency.
     let mix = Mix::by_name("ILP2").unwrap();
-    let hi = Simulation::new(&mix, PolicyKind::Baseline, &quick()).run_for(Picos::from_ms(6), 0.0);
+    let hi = Simulation::new(&mix, PolicyKind::Baseline, &quick())
+        .unwrap()
+        .run_for(Picos::from_ms(6), 0.0)
+        .unwrap();
     let lo = Simulation::new(&mix, PolicyKind::Static(MemFreq::F200), &quick())
-        .run_for(Picos::from_ms(6), 0.0);
+        .unwrap()
+        .run_for(Picos::from_ms(6), 0.0)
+        .unwrap();
     // Background at 200 MHz keeps more than the pure-linear 25% share
     // because refresh (and powerdown floors) do not scale.
     let ratio = lo.energy.memory_j.background_w / hi.energy.memory_j.background_w;
@@ -107,8 +129,8 @@ fn refresh_energy_is_frequency_independent() {
 fn system_savings_never_exceed_memory_share() {
     // System savings are memory savings diluted by the rest-of-system.
     let mix = Mix::by_name("MID3").unwrap();
-    let exp = Experiment::calibrate(&mix, &quick());
-    let (_, cmp) = exp.evaluate(PolicyKind::MemScale);
+    let exp = Experiment::calibrate(&mix, &quick()).unwrap();
+    let (_, cmp) = exp.evaluate(PolicyKind::MemScale).unwrap();
     assert!(cmp.system_savings < cmp.memory_savings);
     assert!(cmp.system_savings > 0.25 * cmp.memory_savings);
 }
@@ -121,10 +143,14 @@ fn higher_memory_fraction_raises_system_savings() {
     let mut hi_cfg = quick();
     hi_cfg.system.power.mem_power_fraction = 0.5;
     let lo = Experiment::calibrate(&mix, &lo_cfg)
+        .unwrap()
         .evaluate(PolicyKind::MemScale)
+        .unwrap()
         .1;
     let hi = Experiment::calibrate(&mix, &hi_cfg)
+        .unwrap()
         .evaluate(PolicyKind::MemScale)
+        .unwrap()
         .1;
     assert!(
         hi.system_savings > lo.system_savings,
@@ -146,7 +172,10 @@ fn scaled_and_decoupled_runs_are_protocol_conformant() {
             device: MemFreq::F400,
         },
     ] {
-        let run = Simulation::new(&mix, policy, &quick()).run_for(Picos::from_ms(6), 0.0);
+        let run = Simulation::new(&mix, policy, &quick())
+            .unwrap()
+            .run_for(Picos::from_ms(6), 0.0)
+            .unwrap();
         let audit = run.audit.as_ref().expect("audit enabled in test builds");
         assert!(audit.is_clean(), "{policy:?}: {}", audit.summary());
         assert!(audit.commands_checked > 0);
@@ -162,8 +191,14 @@ fn lpddr3_deep_powerdown_saves_background_energy_and_audits_clean() {
     use memscale_types::config::MemGeneration;
     let mix = Mix::by_name("ILP2").unwrap();
     let cfg = quick().with_generation(MemGeneration::Lpddr3);
-    let fast = Simulation::new(&mix, PolicyKind::FastPd, &cfg).run_for(Picos::from_ms(6), 0.0);
-    let deep = Simulation::new(&mix, PolicyKind::DeepPd, &cfg).run_for(Picos::from_ms(6), 0.0);
+    let fast = Simulation::new(&mix, PolicyKind::FastPd, &cfg)
+        .unwrap()
+        .run_for(Picos::from_ms(6), 0.0)
+        .unwrap();
+    let deep = Simulation::new(&mix, PolicyKind::DeepPd, &cfg)
+        .unwrap()
+        .run_for(Picos::from_ms(6), 0.0)
+        .unwrap();
     for run in [&fast, &deep] {
         assert_eq!(run.generation, MemGeneration::Lpddr3);
         let audit = run.audit.as_ref().expect("audit enabled in test builds");
@@ -185,8 +220,8 @@ fn relock_windows_are_charged_as_powerdown_residency() {
     // residency even without a powerdown policy.
     let mix = Mix::by_name("MID3").unwrap();
     let cfg = quick();
-    let sim = Simulation::new(&mix, PolicyKind::MemScale, &cfg);
-    let run = sim.run_for(Picos::from_ms(6), 0.0);
+    let sim = Simulation::new(&mix, PolicyKind::MemScale, &cfg).unwrap();
+    let run = sim.run_for(Picos::from_ms(6), 0.0).unwrap();
     // At least one frequency change happened...
     let changes: u64 = run.freq_residency_ps.iter().filter(|&&ps| ps > 0).count() as u64;
     assert!(

@@ -9,16 +9,18 @@ use memscale_workloads::Mix;
 
 fn experiment(name: &str) -> Experiment {
     let cfg = SimConfig::default().with_duration(Picos::from_ms(8));
-    Experiment::calibrate(&Mix::by_name(name).unwrap(), &cfg)
+    Experiment::calibrate(&Mix::by_name(name).unwrap(), &cfg).unwrap()
 }
 
 #[test]
 fn memscale_beats_decoupled_on_mid() {
     let exp = experiment("MID1");
-    let (_, ms) = exp.evaluate(PolicyKind::MemScale);
-    let (_, dc) = exp.evaluate(PolicyKind::Decoupled {
-        device: MemFreq::F400,
-    });
+    let (_, ms) = exp.evaluate(PolicyKind::MemScale).unwrap();
+    let (_, dc) = exp
+        .evaluate(PolicyKind::Decoupled {
+            device: MemFreq::F400,
+        })
+        .unwrap();
     assert!(
         ms.system_savings > dc.system_savings,
         "MemScale {:.3} vs Decoupled {:.3}",
@@ -30,8 +32,8 @@ fn memscale_beats_decoupled_on_mid() {
 #[test]
 fn memscale_beats_static_on_mid() {
     let exp = experiment("MID2");
-    let (_, ms) = exp.evaluate(PolicyKind::MemScale);
-    let (_, st) = exp.evaluate(PolicyKind::Static(MemFreq::F467));
+    let (_, ms) = exp.evaluate(PolicyKind::MemScale).unwrap();
+    let (_, st) = exp.evaluate(PolicyKind::Static(MemFreq::F467)).unwrap();
     assert!(
         ms.system_savings >= st.system_savings - 0.01,
         "MemScale {:.3} vs Static {:.3}",
@@ -43,8 +45,8 @@ fn memscale_beats_static_on_mid() {
 #[test]
 fn slow_pd_degrades_more_than_fast_pd() {
     let exp = experiment("MID1");
-    let (_, fast) = exp.evaluate(PolicyKind::FastPd);
-    let (_, slow) = exp.evaluate(PolicyKind::SlowPd);
+    let (_, fast) = exp.evaluate(PolicyKind::FastPd).unwrap();
+    let (_, slow) = exp.evaluate(PolicyKind::SlowPd).unwrap();
     assert!(
         slow.max_cpi_increase() > fast.max_cpi_increase(),
         "slow {:.3} vs fast {:.3}",
@@ -58,7 +60,7 @@ fn slow_pd_can_lose_system_energy() {
     // The paper's headline negative result: aggressive slow-exit powerdown
     // hurts performance so much the whole server wastes energy.
     let exp = experiment("MEM1");
-    let (_, slow) = exp.evaluate(PolicyKind::SlowPd);
+    let (_, slow) = exp.evaluate(PolicyKind::SlowPd).unwrap();
     assert!(
         slow.system_savings < 0.02,
         "Slow-PD should save (almost) nothing on MEM: {:.3}",
@@ -69,8 +71,8 @@ fn slow_pd_can_lose_system_energy() {
 #[test]
 fn memenergy_variant_saves_more_memory_not_more_system() {
     let exp = experiment("MID3");
-    let (_, ms) = exp.evaluate(PolicyKind::MemScale);
-    let (_, me) = exp.evaluate(PolicyKind::MemScaleMemEnergy);
+    let (_, ms) = exp.evaluate(PolicyKind::MemScale).unwrap();
+    let (_, me) = exp.evaluate(PolicyKind::MemScaleMemEnergy).unwrap();
     assert!(
         me.memory_savings >= ms.memory_savings - 0.01,
         "MemEnergy mem {:.3} vs MemScale mem {:.3}",
@@ -88,8 +90,8 @@ fn memenergy_variant_saves_more_memory_not_more_system() {
 #[test]
 fn adding_fast_pd_to_memscale_changes_little() {
     let exp = experiment("MID4");
-    let (_, ms) = exp.evaluate(PolicyKind::MemScale);
-    let (_, combo) = exp.evaluate(PolicyKind::MemScaleFastPd);
+    let (_, ms) = exp.evaluate(PolicyKind::MemScale).unwrap();
+    let (_, combo) = exp.evaluate(PolicyKind::MemScaleFastPd).unwrap();
     assert!(
         (combo.system_savings - ms.system_savings).abs() < 0.05,
         "combo {:.3} vs memscale {:.3}",
@@ -101,7 +103,7 @@ fn adding_fast_pd_to_memscale_changes_little() {
 #[test]
 fn static_frequency_obeys_its_setting() {
     let exp = experiment("MID1");
-    let (run, _) = exp.evaluate(PolicyKind::Static(MemFreq::F533));
+    let (run, _) = exp.evaluate(PolicyKind::Static(MemFreq::F533)).unwrap();
     assert!((run.residency(MemFreq::F533) - 1.0).abs() < 1e-9);
     assert!((run.mean_frequency_mhz() - 533.0).abs() < 1e-6);
 }
@@ -109,9 +111,11 @@ fn static_frequency_obeys_its_setting() {
 #[test]
 fn decoupled_runs_channel_at_max_with_device_power_at_400() {
     let exp = experiment("MID1");
-    let (run, cmp) = exp.evaluate(PolicyKind::Decoupled {
-        device: MemFreq::F400,
-    });
+    let (run, cmp) = exp
+        .evaluate(PolicyKind::Decoupled {
+            device: MemFreq::F400,
+        })
+        .unwrap();
     // Channel stays at 800 MHz...
     assert!((run.residency(MemFreq::F800) - 1.0).abs() < 1e-9);
     // ...but DRAM background power drops, so memory energy is saved.
@@ -128,12 +132,14 @@ fn decoupled_runs_channel_at_max_with_device_power_at_400() {
 fn tighter_gamma_leads_to_less_aggressive_scaling() {
     let mix = Mix::by_name("MID2").unwrap();
     let base_cfg = SimConfig::default().with_duration(Picos::from_ms(8));
-    let exp = Experiment::calibrate(&mix, &base_cfg);
+    let exp = Experiment::calibrate(&mix, &base_cfg).unwrap();
 
     let mut tight = base_cfg.clone();
     tight.governor.gamma = 0.01;
-    let (run_tight, cmp_tight) = exp.evaluate_configured(PolicyKind::MemScale, &tight);
-    let (run_loose, cmp_loose) = exp.evaluate(PolicyKind::MemScale);
+    let (run_tight, cmp_tight) = exp
+        .evaluate_configured(PolicyKind::MemScale, &tight)
+        .unwrap();
+    let (run_loose, cmp_loose) = exp.evaluate(PolicyKind::MemScale).unwrap();
 
     assert!(
         run_tight.mean_frequency_mhz() >= run_loose.mean_frequency_mhz(),
@@ -150,8 +156,8 @@ fn per_channel_extension_is_safe_and_competitive() {
     // §6 future-work extension: per-channel selection must respect the
     // bound and land near tandem MemScale's savings.
     let exp = experiment("MID2");
-    let (run, cmp) = exp.evaluate(PolicyKind::MemScalePerChannel);
-    let (_, tandem) = exp.evaluate(PolicyKind::MemScale);
+    let (run, cmp) = exp.evaluate(PolicyKind::MemScalePerChannel).unwrap();
+    let (_, tandem) = exp.evaluate(PolicyKind::MemScale).unwrap();
     assert!(
         cmp.max_cpi_increase() < 0.115,
         "worst {:.3}",
@@ -182,7 +188,10 @@ fn powerdown_and_per_channel_streams_are_conformant() {
         PolicyKind::SlowPd,
         PolicyKind::MemScalePerChannel,
     ] {
-        let run = Simulation::new(&mix, policy, &cfg).run_for(Picos::from_ms(4), 30.0);
+        let run = Simulation::new(&mix, policy, &cfg)
+            .unwrap()
+            .run_for(Picos::from_ms(4), 30.0)
+            .unwrap();
         let audit = run.audit.as_ref().expect("audit enabled in test builds");
         assert!(audit.is_clean(), "{policy:?}: {}", audit.summary());
         assert!(audit.commands_checked > 0);
@@ -202,7 +211,10 @@ fn ddr4_policy_runs_are_conformant() {
         .with_generation(MemGeneration::Ddr4);
     let mix = Mix::by_name("MID1").unwrap();
     for policy in [PolicyKind::MemScale, PolicyKind::FastPd] {
-        let run = Simulation::new(&mix, policy, &cfg).run_for(Picos::from_ms(4), 30.0);
+        let run = Simulation::new(&mix, policy, &cfg)
+            .unwrap()
+            .run_for(Picos::from_ms(4), 30.0)
+            .unwrap();
         assert_eq!(run.generation, MemGeneration::Ddr4);
         let audit = run.audit.as_ref().expect("audit enabled in test builds");
         assert!(audit.is_clean(), "{policy:?}: {}", audit.summary());
@@ -220,7 +232,10 @@ fn open_page_streams_are_conformant() {
     let mix = Mix::by_name("MID1").unwrap();
     let mut cfg = SimConfig::default().with_duration(Picos::from_ms(2));
     cfg.row_policy = RowPolicy::OpenPage;
-    let run = Simulation::new(&mix, PolicyKind::Baseline, &cfg).run_for(Picos::from_ms(2), 0.0);
+    let run = Simulation::new(&mix, PolicyKind::Baseline, &cfg)
+        .unwrap()
+        .run_for(Picos::from_ms(2), 0.0)
+        .unwrap();
     let audit = run.audit.as_ref().expect("audit enabled in test builds");
     assert!(audit.is_clean(), "{}", audit.summary());
     assert!(audit.commands_checked > 0);
@@ -236,10 +251,14 @@ fn open_page_changes_row_hit_behaviour() {
     open_cfg.row_policy = RowPolicy::OpenPage;
     let closed_cfg = SimConfig::default().with_duration(Picos::from_ms(4));
 
-    let open =
-        Simulation::new(&mix, PolicyKind::Baseline, &open_cfg).run_for(Picos::from_ms(4), 0.0);
-    let closed =
-        Simulation::new(&mix, PolicyKind::Baseline, &closed_cfg).run_for(Picos::from_ms(4), 0.0);
+    let open = Simulation::new(&mix, PolicyKind::Baseline, &open_cfg)
+        .unwrap()
+        .run_for(Picos::from_ms(4), 0.0)
+        .unwrap();
+    let closed = Simulation::new(&mix, PolicyKind::Baseline, &closed_cfg)
+        .unwrap()
+        .run_for(Picos::from_ms(4), 0.0)
+        .unwrap();
     // Open-page must produce strictly more row hits and also open-row
     // conflicts, which closed-page avoids almost entirely.
     assert!(open.counters.rbhc > closed.counters.rbhc);

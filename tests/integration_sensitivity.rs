@@ -14,12 +14,12 @@ fn quick() -> SimConfig {
 #[test]
 fn gamma_monotonicity_on_mid() {
     let mix = Mix::by_name("MID1").unwrap();
-    let exp = Experiment::calibrate(&mix, &quick());
+    let exp = Experiment::calibrate(&mix, &quick()).unwrap();
     let mut last_savings = -1.0;
     for gamma in [0.01, 0.05, 0.10] {
         let mut cfg = quick();
         cfg.governor.gamma = gamma;
-        let (_, cmp) = exp.evaluate_configured(PolicyKind::MemScale, &cfg);
+        let (_, cmp) = exp.evaluate_configured(PolicyKind::MemScale, &cfg).unwrap();
         assert!(
             cmp.system_savings >= last_savings - 0.01,
             "savings fell from {last_savings:.3} at gamma {gamma}"
@@ -39,8 +39,8 @@ fn fewer_channels_still_respect_the_bound() {
         let mut cfg = quick();
         cfg.system.topology.channels = channels;
         let mix = Mix::by_name("MID2").unwrap();
-        let exp = Experiment::calibrate(&mix, &cfg);
-        let (_, cmp) = exp.evaluate(PolicyKind::MemScale);
+        let exp = Experiment::calibrate(&mix, &cfg).unwrap();
+        let (_, cmp) = exp.evaluate(PolicyKind::MemScale).unwrap();
         assert!(
             cmp.max_cpi_increase() < 0.115,
             "{channels} channels: worst {:.3}",
@@ -58,10 +58,14 @@ fn no_proportionality_boosts_savings() {
     let mut prop = quick();
     prop.system.power.mc_reg_idle_fraction = 0.0;
     let flat_cmp = Experiment::calibrate(&mix, &flat)
+        .unwrap()
         .evaluate(PolicyKind::MemScale)
+        .unwrap()
         .1;
     let prop_cmp = Experiment::calibrate(&mix, &prop)
+        .unwrap()
         .evaluate(PolicyKind::MemScale)
+        .unwrap()
         .1;
     assert!(
         flat_cmp.system_savings > prop_cmp.system_savings,
@@ -74,10 +78,10 @@ fn no_proportionality_boosts_savings() {
 #[test]
 fn shorter_epochs_still_work() {
     let mix = Mix::by_name("MID4").unwrap();
-    let exp = Experiment::calibrate(&mix, &quick());
+    let exp = Experiment::calibrate(&mix, &quick()).unwrap();
     let mut cfg = quick();
     cfg.governor.epoch = Picos::from_ms(1);
-    let (_, cmp) = exp.evaluate_configured(PolicyKind::MemScale, &cfg);
+    let (_, cmp) = exp.evaluate_configured(PolicyKind::MemScale, &cfg).unwrap();
     assert!(
         cmp.system_savings > 0.05,
         "1 ms epochs: {:.3}",
@@ -89,12 +93,12 @@ fn shorter_epochs_still_work() {
 #[test]
 fn different_profiling_lengths_agree() {
     let mix = Mix::by_name("MID1").unwrap();
-    let exp = Experiment::calibrate(&mix, &quick());
+    let exp = Experiment::calibrate(&mix, &quick()).unwrap();
     let mut savings = Vec::new();
     for profile_us in [100u64, 300, 500] {
         let mut cfg = quick();
         cfg.governor.profile_len = Picos::from_us(profile_us);
-        let (_, cmp) = exp.evaluate_configured(PolicyKind::MemScale, &cfg);
+        let (_, cmp) = exp.evaluate_configured(PolicyKind::MemScale, &cfg).unwrap();
         savings.push(cmp.system_savings);
     }
     let spread = savings.iter().copied().fold(f64::NEG_INFINITY, f64::max)
@@ -106,11 +110,11 @@ fn different_profiling_lengths_agree() {
 fn slack_carry_ablation_is_no_better() {
     // Per-epoch slack reset (the ablation) must not beat carry-forward.
     let mix = Mix::by_name("MID3").unwrap();
-    let exp = Experiment::calibrate(&mix, &quick());
-    let (_, carry) = exp.evaluate(PolicyKind::MemScale);
+    let exp = Experiment::calibrate(&mix, &quick()).unwrap();
+    let (_, carry) = exp.evaluate(PolicyKind::MemScale).unwrap();
     let mut cfg = quick();
     cfg.governor.slack_carry = false;
-    let (_, reset) = exp.evaluate_configured(PolicyKind::MemScale, &cfg);
+    let (_, reset) = exp.evaluate_configured(PolicyKind::MemScale, &cfg).unwrap();
     assert!(
         reset.system_savings <= carry.system_savings + 0.02,
         "reset {:.3} vs carry {:.3}",
@@ -129,10 +133,14 @@ fn eight_core_system_scales_deeper() {
     let mut cfg8 = quick();
     cfg8.system.cpu.cores = 8;
     let run8 = Experiment::calibrate(&mix, &cfg8)
+        .unwrap()
         .evaluate(PolicyKind::MemScale)
+        .unwrap()
         .0;
     let run16 = Experiment::calibrate(&mix, &quick())
+        .unwrap()
         .evaluate(PolicyKind::MemScale)
+        .unwrap()
         .0;
     assert!(
         run8.mean_frequency_mhz() <= run16.mean_frequency_mhz() + 1.0,
@@ -151,7 +159,10 @@ fn narrow_topologies_replay_clean() {
     let mix = Mix::by_name("MID2").unwrap();
     let mut cfg = quick();
     cfg.system.topology.channels = 2;
-    let run = Simulation::new(&mix, PolicyKind::MemScale, &cfg).run_for(Picos::from_ms(6), 30.0);
+    let run = Simulation::new(&mix, PolicyKind::MemScale, &cfg)
+        .unwrap()
+        .run_for(Picos::from_ms(6), 30.0)
+        .unwrap();
     let audit = run.audit.as_ref().expect("audit enabled in test builds");
     assert!(audit.is_clean(), "{}", audit.summary());
     assert!(audit.commands_checked > 0);
@@ -168,7 +179,10 @@ fn narrow_lpddr3_topology_replays_clean() {
     let mix = Mix::by_name("MID2").unwrap();
     let mut cfg = quick().with_generation(MemGeneration::Lpddr3);
     cfg.system.topology.channels = 2;
-    let run = Simulation::new(&mix, PolicyKind::MemScale, &cfg).run_for(Picos::from_ms(6), 30.0);
+    let run = Simulation::new(&mix, PolicyKind::MemScale, &cfg)
+        .unwrap()
+        .run_for(Picos::from_ms(6), 30.0)
+        .unwrap();
     assert_eq!(run.generation, MemGeneration::Lpddr3);
     let audit = run.audit.as_ref().expect("audit enabled in test builds");
     assert!(audit.is_clean(), "{}", audit.summary());
@@ -180,11 +194,11 @@ fn queue_interpolation_refinement_stays_within_bound() {
     // §3.3's optional deep-queue refinement must not violate the bound and
     // should land near the default configuration's savings.
     let mix = Mix::by_name("MEM2").unwrap();
-    let exp = Experiment::calibrate(&mix, &quick());
-    let (_, base) = exp.evaluate(PolicyKind::MemScale);
+    let exp = Experiment::calibrate(&mix, &quick()).unwrap();
+    let (_, base) = exp.evaluate(PolicyKind::MemScale).unwrap();
     let mut cfg = quick();
     cfg.governor.queue_interpolation = true;
-    let (_, refined) = exp.evaluate_configured(PolicyKind::MemScale, &cfg);
+    let (_, refined) = exp.evaluate_configured(PolicyKind::MemScale, &cfg).unwrap();
     assert!(
         refined.max_cpi_increase() < 0.115,
         "refined worst {:.3}",
