@@ -2,13 +2,13 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use memscale_types::ids::AppId;
-use memscale_workloads::{spec, AppTrace};
+use memscale_workloads::{spec, MissStream};
 
 fn bench_next_miss(c: &mut Criterion) {
     let mut g = c.benchmark_group("trace_next_miss");
     for name in ["gzip", "astar", "swim", "apsi"] {
         g.bench_function(name, |b| {
-            let mut trace = AppTrace::new(spec::profile(name).unwrap(), AppId(0), 1 << 24, 42);
+            let mut trace = MissStream::new(spec::profile(name).unwrap(), AppId(0), 1 << 24, 42);
             b.iter(|| black_box(trace.next_miss()));
         });
     }

@@ -1,0 +1,325 @@
+//! Offline stand-in for the [`rayon`](https://docs.rs/rayon) crate.
+//!
+//! The growth container builds without network access, so this crate
+//! re-implements the *subset* of rayon the workspace uses: `into_par_iter()`
+//! on `Vec<T>` and ranges, `par_iter()` on slices, `map` + `collect` /
+//! `for_each` on the resulting parallel iterator, [`join`], and
+//! [`current_num_threads`]. Work items are distributed over scoped OS
+//! threads through an atomic index dispenser, so results arrive in input
+//! order and the fan-out is genuinely concurrent on multi-core hosts
+//! (degrading gracefully to sequential execution on a single core).
+//!
+//! The thread count defaults to [`std::thread::available_parallelism`] and
+//! can be overridden with the `RAYON_NUM_THREADS` environment variable,
+//! mirroring real rayon.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// The parallel-iterator traits, for `use rayon::prelude::*;`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Number of worker threads a parallel operation will use for `len` items.
+fn threads_for(len: usize) -> usize {
+    current_num_threads().min(len).max(1)
+}
+
+/// The size of the thread pool parallel operations run on.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Runs `a` and `b`, potentially concurrently, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("rayon::join worker panicked");
+        (ra, rb)
+    })
+}
+
+/// Conversion into a parallel iterator (by value).
+pub trait IntoParallelIterator {
+    /// The items the iterator yields.
+    type Item: Send;
+    /// The concrete parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Conversion into a parallel iterator over references (`par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The items the iterator yields (references into `self`).
+    type Item: Send;
+    /// The concrete parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Borrows `self` as a parallel iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+/// The minimal parallel-iterator interface: `map`, `collect`, `for_each`.
+pub trait ParallelIterator: Sized {
+    /// The items the iterator yields.
+    type Item: Send;
+
+    /// Drains the iterator into an ordered `Vec` of its items.
+    fn drain_ordered(self) -> Vec<Self::Item>;
+
+    /// Maps every item through `op` (applied on the worker threads).
+    fn map<R, F>(self, op: F) -> MapIter<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        MapIter { base: self, op }
+    }
+
+    /// Collects the items, preserving input order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_ordered_vec(self.drain_ordered())
+    }
+
+    /// Applies `op` to every item for its side effects.
+    fn for_each<F>(self, op: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        self.map(op).drain_ordered();
+    }
+}
+
+/// Collection types a parallel iterator can `collect()` into.
+pub trait FromParallelIterator<T> {
+    /// Builds the collection from the items in input order.
+    fn from_ordered_vec(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_vec(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+impl<T, E> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_ordered_vec(items: Vec<Result<T, E>>) -> Self {
+        items.into_iter().collect()
+    }
+}
+
+/// Parallel iterator over an owned list of items.
+#[derive(Debug)]
+pub struct VecIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+    fn drain_ordered(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecIter<T>;
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = VecIter<usize>;
+    fn into_par_iter(self) -> VecIter<usize> {
+        VecIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Parallel iterator over references into a slice.
+#[derive(Debug)]
+pub struct SliceIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+    fn drain_ordered(self) -> Vec<&'a T> {
+        self.items.iter().collect()
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { items: self }
+    }
+}
+
+/// Parallel iterator applying `op` to a base iterator's items. This is the
+/// stage that actually fans out: `drain_ordered` materializes the base
+/// items, then worker threads pull indices from an atomic dispenser and
+/// send `(index, result)` pairs back over a channel.
+#[derive(Debug)]
+pub struct MapIter<I, F> {
+    base: I,
+    op: F,
+}
+
+impl<I, R, F> ParallelIterator for MapIter<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn drain_ordered(self) -> Vec<R> {
+        let items = self.base.drain_ordered();
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = threads_for(n);
+        let op = &self.op;
+        if workers == 1 {
+            return items.into_iter().map(op).collect();
+        }
+        // Hand every worker shared access to the item slots: each slot is
+        // taken exactly once, guarded by the dispenser index.
+        let slots: Vec<std::sync::Mutex<Option<I::Item>>> = items
+            .into_iter()
+            .map(|i| std::sync::Mutex::new(Some(i)))
+            .collect();
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, R)>();
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let slots = &slots;
+                let next = &next;
+                s.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = slots[i]
+                        .lock()
+                        .expect("rayon slot poisoned")
+                        .take()
+                        .expect("rayon slot taken twice");
+                    // A send can only fail if the receiver is gone, which
+                    // means the collecting side already panicked.
+                    let _ = tx.send((i, op(item)));
+                });
+            }
+            drop(tx);
+            let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+            for (i, r) in rx {
+                out[i] = Some(r);
+            }
+            out.into_iter()
+                .map(|r| r.expect("rayon worker dropped an item"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..100usize)
+            .into_par_iter()
+            .map(|i| i as u64 * 2)
+            .collect();
+        assert_eq!(v, (0..100).map(|i| i * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn par_iter_over_slice() {
+        let data = vec![1u64, 2, 3, 4];
+        let doubled: Vec<u64> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        assert_eq!(data.len(), 4); // still borrowed, not consumed
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits_value() {
+        let ok: Result<Vec<u64>, String> = vec![1u64, 2, 3].into_par_iter().map(Ok).collect();
+        assert_eq!(ok.unwrap(), vec![1, 2, 3]);
+        let err: Result<Vec<u64>, String> = vec![1u64, 2, 3]
+            .into_par_iter()
+            .map(|x| {
+                if x == 2 {
+                    Err("two".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert_eq!(err.unwrap_err(), "two");
+    }
+
+    #[test]
+    fn for_each_runs_every_item() {
+        let count = AtomicUsize::new(0);
+        (0..37usize).into_par_iter().for_each(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 37);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn empty_input_collects_empty() {
+        let v: Vec<u64> = Vec::<u64>::new().into_par_iter().map(|x| x).collect();
+        assert!(v.is_empty());
+    }
+}

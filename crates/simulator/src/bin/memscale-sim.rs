@@ -1,7 +1,9 @@
 //! `memscale-sim` — command-line front-end to the MemScale simulator.
 //!
 //! ```text
-//! memscale-sim [OPTIONS]
+//! memscale-sim [OPTIONS]                 run baseline + policy (live generator)
+//! memscale-sim record --out PATH [OPTIONS]   record a replayable miss trace
+//! memscale-sim trace-info PATH           print a trace's header metadata
 //!
 //!   --mix NAME          Table 1 workload (default MID1)
 //!   --policy NAME       baseline | fast-pd | slow-pd | deep-pd | static:<mhz> |
@@ -17,28 +19,50 @@
 //!   --faults SPEC       fault-injection plan, e.g. `all=0.05,seed=7` or
 //!                       `counter=0.1,relock=0.05,thermal=0.02` (see
 //!                       `FaultPlan::parse`; default: no faults)
+//!   --replay PATH       feed the run from a recorded trace instead of the
+//!                       live generator (same seed/config ⇒ bit-identical)
+//!   --out PATH          (record) trace artifact to write
+//!   --margin PCT        (record) extra continuation events per app beyond
+//!                       what the recording runs consumed (default 50)
 //!   --json              emit the result as JSON instead of text
 //!   --list              list workloads and exit
 //! ```
 //!
-//! Runs the baseline calibration followed by the chosen policy over the
-//! same work, then prints savings, CPI degradation and frequency residency.
+//! The default command runs the baseline calibration followed by the chosen
+//! policy over the same work, then prints savings, CPI degradation and
+//! frequency residency. `record` runs a recording baseline plus recording
+//! runs of the chosen policy and the slowest static point, and writes the
+//! merged capture (plus margin) as a replayable artifact.
 //!
-//! Exit codes: 0 success, 1 simulation error, 2 usage error, 3 fault run
+//! Exit codes: 0 success, 1 simulation error, 2 usage error (including a
+//! replay trace recorded under an incompatible configuration), 3 fault run
 //! whose command stream failed protocol audit.
 
 use memscale::policies::PolicyKind;
-use memscale_simulator::harness::Experiment;
-use memscale_simulator::SimConfig;
+use memscale_simulator::harness::{record_trace, Experiment};
+use memscale_simulator::{SimConfig, SimError};
+use memscale_trace::{write_trace_file, ReplayTrace, TraceError};
 use memscale_types::config::MemGeneration;
 use memscale_types::faults::FaultPlan;
 use memscale_types::freq::MemFreq;
 use memscale_types::time::Picos;
 use memscale_workloads::Mix;
+use std::path::PathBuf;
 use std::process::ExitCode;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Command {
+    /// Baseline + policy evaluation (optionally fed from `Args::replay`).
+    Run,
+    /// Record a replayable trace to `Args::out`.
+    Record,
+    /// Print a trace's header metadata.
+    TraceInfo(PathBuf),
+}
 
 #[derive(Debug)]
 struct Args {
+    command: Command,
     mix: String,
     policy: String,
     generation: MemGeneration,
@@ -49,6 +73,9 @@ struct Args {
     epoch_ms: u64,
     seed: Option<u64>,
     faults: Option<FaultPlan>,
+    replay: Option<PathBuf>,
+    out: Option<PathBuf>,
+    margin_pct: usize,
     json: bool,
     list: bool,
 }
@@ -56,6 +83,7 @@ struct Args {
 impl Default for Args {
     fn default() -> Self {
         Args {
+            command: Command::Run,
             mix: "MID1".into(),
             policy: "memscale".into(),
             generation: MemGeneration::Ddr3,
@@ -66,6 +94,9 @@ impl Default for Args {
             epoch_ms: 5,
             seed: None,
             faults: None,
+            replay: None,
+            out: None,
+            margin_pct: 50,
             json: false,
             list: false,
         }
@@ -74,7 +105,23 @@ impl Default for Args {
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
+    match it.peek().map(String::as_str) {
+        Some("record") => {
+            args.command = Command::Record;
+            it.next();
+        }
+        Some("trace-info") => {
+            it.next();
+            let path = it.next().ok_or("trace-info requires a trace PATH")?;
+            if let Some(extra) = it.next() {
+                return Err(format!("trace-info takes exactly one PATH (got `{extra}`)"));
+            }
+            args.command = Command::TraceInfo(path.into());
+            return Ok(args);
+        }
+        _ => {}
+    }
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
@@ -123,13 +170,26 @@ fn parse_args() -> Result<Args, String> {
                 plan.validate().map_err(|e| format!("--faults: {e}"))?;
                 args.faults = Some(plan);
             }
+            "--replay" => args.replay = Some(value("--replay")?.into()),
+            "--out" => args.out = Some(value("--out")?.into()),
+            "--margin" => {
+                args.margin_pct = value("--margin")?
+                    .parse()
+                    .map_err(|e| format!("--margin: {e}"))?;
+            }
             "--json" => args.json = true,
             "--list" => args.list = true,
             "--help" | "-h" => return Err("help".into()),
             other => return Err(format!("unknown flag {other}")),
         }
     }
-    Ok(args)
+    match args.command {
+        Command::Record if args.out.is_none() => Err("record requires --out PATH".into()),
+        Command::Record if args.replay.is_some() => {
+            Err("record captures from the live generator; --replay is not allowed".into())
+        }
+        _ => Ok(args),
+    }
 }
 
 fn parse_policy(name: &str) -> Result<PolicyKind, String> {
@@ -271,6 +331,90 @@ fn render_json(
     format!("{{\n{}\n}}", body.join(",\n"))
 }
 
+/// Reports a simulation error: exit 2 for a trace/configuration mismatch
+/// (a usage problem — wrong trace for these flags), exit 1 otherwise.
+fn sim_error(e: &SimError) -> ExitCode {
+    eprintln!("error: {e}");
+    match e {
+        SimError::Trace(TraceError::ConfigMismatch { .. }) => ExitCode::from(2),
+        _ => ExitCode::from(1),
+    }
+}
+
+/// `memscale-sim record`: capture the miss streams of a recording baseline
+/// plus recording runs of `policy` and the slowest static point, extend by
+/// the margin, and write the artifact to `out`.
+fn record(
+    mix: &Mix,
+    cfg: &SimConfig,
+    policy: PolicyKind,
+    margin_pct: usize,
+    out: &std::path::Path,
+) -> ExitCode {
+    // The slowest static point stretches the run the furthest, so early
+    // finishers pull the most events; recording it makes the artifact
+    // replayable across the whole frequency grid.
+    let mut policies = vec![PolicyKind::Static(MemFreq::MIN)];
+    if policy != policies[0] && policy != PolicyKind::Baseline {
+        policies.push(policy);
+    }
+    eprintln!(
+        "recording {} under {} run(s) ...",
+        mix.name,
+        policies.len() + 1
+    );
+    let (header, streams) = match record_trace(mix, cfg, &policies, margin_pct) {
+        Ok(hs) => hs,
+        Err(e) => return sim_error(&e),
+    };
+    if let Err(e) = write_trace_file(out, &header, &streams) {
+        eprintln!("error: {e}");
+        return ExitCode::from(1);
+    }
+    let total: usize = streams.iter().map(Vec::len).sum();
+    println!(
+        "wrote {} ({} apps, {} records, config {:#018x})",
+        out.display(),
+        streams.len(),
+        total,
+        header.config_hash
+    );
+    ExitCode::SUCCESS
+}
+
+/// `memscale-sim trace-info`: parse and verify `path`, print its metadata.
+fn trace_info(path: &std::path::Path) -> ExitCode {
+    let trace = match ReplayTrace::open(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let header = trace.header();
+    let summary = trace.summary();
+    let total: u64 = summary.records_per_app.iter().sum();
+    println!("trace           : {}", path.display());
+    println!("format version  : {}", summary.version);
+    println!("generation      : {}", header.generation);
+    println!("config hash     : {:#018x}", header.config_hash);
+    println!("seed            : {:#x}", header.seed);
+    println!("slice lines     : {}", header.slice_lines);
+    println!("apps            : {}", header.apps.len());
+    for (i, app) in header.apps.iter().enumerate() {
+        println!(
+            "  app {i:>2}        : {app} ({} records)",
+            summary.records_per_app[i]
+        );
+    }
+    println!("records         : {total}");
+    println!(
+        "blocks          : {} ({} payload bytes)",
+        summary.blocks, summary.payload_bytes
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -283,7 +427,9 @@ fn main() -> ExitCode {
                  \x20                  [--generation ddr3|ddr4|lpddr3]\n\
                  \x20                  [--gamma PCT] [--cores N] [--channels N]\n\
                  \x20                  [--epoch-ms N] [--seed N] [--faults SPEC]\n\
-                 \x20                  [--json] [--list]\n\
+                 \x20                  [--replay PATH] [--json] [--list]\n\
+                 \x20      memscale-sim record --out PATH [--margin PCT] [run options]\n\
+                 \x20      memscale-sim trace-info PATH\n\
                  policies: baseline fast-pd slow-pd deep-pd static:<mhz> decoupled\n\
                  \x20         memscale mem-energy memscale-pd per-channel"
             );
@@ -294,6 +440,10 @@ fn main() -> ExitCode {
             };
         }
     };
+
+    if let Command::TraceInfo(path) = &args.command {
+        return trace_info(path);
+    }
 
     if args.list {
         for mix in Mix::table1() {
@@ -340,24 +490,41 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    eprintln!(
-        "calibrating baseline for {mix} ({} ms) ...",
-        args.duration_ms
-    );
-    let exp = match Experiment::calibrate(&mix, &cfg) {
-        Ok(exp) => exp,
-        Err(e) => {
+    if args.command == Command::Record {
+        let out = args.out.as_ref().expect("checked in parse_args");
+        return record(&mix, &cfg, policy, args.margin_pct, out);
+    }
+
+    let replay = match args.replay.as_ref().map(|p| ReplayTrace::open(p)) {
+        None => None,
+        Some(Ok(trace)) => Some(trace),
+        Some(Err(e)) => {
             eprintln!("error: {e}");
             return ExitCode::from(1);
         }
     };
+
+    eprintln!(
+        "calibrating baseline for {mix} ({} ms{}) ...",
+        args.duration_ms,
+        if replay.is_some() { ", replay" } else { "" }
+    );
+    let calibrated = match &replay {
+        None => Experiment::calibrate(&mix, &cfg),
+        Some(trace) => Experiment::calibrate_replay(&mix, &cfg, trace),
+    };
+    let exp = match calibrated {
+        Ok(exp) => exp,
+        Err(e) => return sim_error(&e),
+    };
     eprintln!("running {} ...", policy.name());
-    let (run, cmp) = match exp.evaluate(policy) {
+    let evaluated = match &replay {
+        None => exp.evaluate(policy),
+        Some(trace) => exp.evaluate_replay(policy, trace),
+    };
+    let (run, cmp) = match evaluated {
         Ok(rc) => rc,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::from(1);
-        }
+        Err(e) => return sim_error(&e),
     };
 
     if args.json {

@@ -28,6 +28,11 @@ pub struct SimConfig {
     /// Fault-injection plan (`None` or an all-zero-rate plan leaves the
     /// run byte-identical to a faultless build; see DESIGN.md §9).
     pub faults: Option<FaultPlan>,
+    /// Tee every miss event the engine pulls into a capture buffer, so the
+    /// run's exact input can be written out as a replayable trace artifact
+    /// (see DESIGN.md §11). Off by default; recording does not perturb the
+    /// simulated run in any way.
+    pub record: bool,
 }
 
 impl Default for SimConfig {
@@ -42,6 +47,7 @@ impl Default for SimConfig {
             timeline_interval: None,
             row_policy: RowPolicy::ClosedPage,
             faults: None,
+            record: false,
         }
     }
 }
@@ -92,6 +98,44 @@ impl SimConfig {
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
         self
+    }
+
+    /// Enables miss-stream recording for runs built from this config.
+    #[must_use]
+    pub fn with_recording(mut self) -> Self {
+        self.record = true;
+        self
+    }
+
+    /// A 64-bit fingerprint of every knob that shapes a run's miss stream
+    /// and results — the hardware system, governor, duration, seed, slice
+    /// size, timeline, row policy and fault plan. The `record` switch is
+    /// excluded: recording never perturbs a run, so a trace recorded from
+    /// a run replays into the identical non-recording configuration.
+    ///
+    /// Trace artifacts embed this fingerprint, and replay refuses a trace
+    /// whose fingerprint differs from the replay run's. The hash is FNV-1a
+    /// over the stable `Debug` rendering of the fields; it is a
+    /// *compatibility guard within one build of the workspace*, not a
+    /// portable schema (the trace format version covers cross-build skew).
+    pub fn fingerprint(&self) -> u64 {
+        let canonical = format!(
+            "{:?}|{:?}|{:?}|{}|{}|{:?}|{:?}|{:?}",
+            self.system,
+            self.governor,
+            self.duration,
+            self.seed,
+            self.slice_lines,
+            self.timeline_interval,
+            self.row_policy,
+            self.faults,
+        );
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in canonical.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
     }
 }
 

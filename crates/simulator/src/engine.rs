@@ -15,10 +15,11 @@ use memscale_cpu::{CoreCounters, CoreState, InOrderCore};
 use memscale_faults::FaultInjector;
 use memscale_mc::{McCounters, MemoryController};
 use memscale_power::{ActivitySummary, EnergyAccount, PowerModel};
+use memscale_trace::{Recorder, TraceError};
 use memscale_types::faults::{CounterFault, RefreshFault, SwitchFault};
 use memscale_types::freq::MemFreq;
 use memscale_types::time::Picos;
-use memscale_workloads::{MissEvent, Mix};
+use memscale_workloads::{spec, MissEvent, MissSource, Mix};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -47,7 +48,8 @@ pub struct Simulation {
 
     now: Picos,
     cores: Vec<InOrderCore>,
-    traces: Vec<memscale_workloads::AppTrace>,
+    sources: Vec<Box<dyn MissSource + Send>>,
+    recorder: Option<Recorder>,
     pending: Vec<Option<MissEvent>>,
     phase: Vec<CorePhase>,
     heap: BinaryHeap<Reverse<(Picos, usize)>>,
@@ -102,7 +104,39 @@ impl Simulation {
     /// configured memory generation (e.g. deep power-down outside LPDDR),
     /// and [`SimError::InvalidFaultPlan`] for an out-of-bounds fault plan.
     pub fn new(mix: &Mix, policy_kind: PolicyKind, cfg: &SimConfig) -> Result<Self, SimError> {
+        let sources = mix
+            .traces(cfg.system.cpu.cores, cfg.slice_lines, cfg.seed)
+            .into_iter()
+            .map(|s| Box::new(s) as Box<dyn MissSource + Send>)
+            .collect();
+        Simulation::with_sources(mix, policy_kind, cfg, sources)
+    }
+
+    /// Builds a simulation of `mix` under `policy_kind` whose miss events
+    /// come from `sources` (one per core) instead of the live generator —
+    /// the replay entry point ([`memscale_trace::ReplayTrace::streams`]
+    /// supplies such sources from a recorded artifact).
+    ///
+    /// # Errors
+    ///
+    /// The errors of [`Simulation::new`], plus
+    /// [`SimError::Trace`]/[`TraceError::ConfigMismatch`] when `sources`
+    /// does not provide exactly one stream per configured core.
+    pub fn with_sources(
+        mix: &Mix,
+        policy_kind: PolicyKind,
+        cfg: &SimConfig,
+        sources: Vec<Box<dyn MissSource + Send>>,
+    ) -> Result<Self, SimError> {
         cfg.system.validate()?;
+        if sources.len() != cfg.system.cpu.cores {
+            return Err(TraceError::ConfigMismatch {
+                field: "app count",
+                expected: cfg.system.cpu.cores.to_string(),
+                got: sources.len().to_string(),
+            }
+            .into());
+        }
         let generation = cfg.system.timing.generation;
         if !policy_kind.available_on(generation) {
             return Err(SimError::PolicyUnavailable {
@@ -127,10 +161,12 @@ impl Simulation {
             system.timing.t_cl_ns += lag;
         }
 
-        let traces = mix.traces(system.cpu.cores, cfg.slice_lines, cfg.seed);
         let cores = (0..system.cpu.cores)
             .map(|i| {
-                let cpi = traces[i].profile().base_cpi;
+                let name = mix.app_on_core(i);
+                let cpi = spec::profile(name)
+                    .unwrap_or_else(|| panic!("unknown application {name}"))
+                    .base_cpi;
                 InOrderCore::new(i.into(), cpi, system.cpu.cycle())
             })
             .collect::<Vec<_>>();
@@ -157,7 +193,8 @@ impl Simulation {
             power,
             now: Picos::ZERO,
             cores,
-            traces,
+            sources,
+            recorder: cfg.record.then(|| Recorder::new(n)),
             pending: vec![None; n],
             phase: vec![CorePhase::Computing; n],
             heap: BinaryHeap::with_capacity(n + 1),
@@ -192,6 +229,27 @@ impl Simulation {
     /// Sets the governor's rest-of-system power (from baseline calibration).
     pub fn set_rest_of_system_w(&mut self, rest_w: f64) {
         self.policy.set_rest_of_system_w(rest_w);
+    }
+
+    /// The capture buffer of a recording run ([`SimConfig::record`]), or
+    /// `None`. The returned handle shares the buffer, so it stays valid
+    /// after the run consumes the simulation.
+    pub fn recorder(&self) -> Option<Recorder> {
+        self.recorder.clone()
+    }
+
+    /// Pulls core `c`'s next miss from its source, teeing it into the
+    /// capture buffer when recording. A live [`memscale_workloads::MissStream`]
+    /// never runs dry; a replay cursor that does means the trace was
+    /// recorded with too little margin for this policy.
+    fn pull_miss(&mut self, c: usize, at: Picos) -> Result<MissEvent, SimError> {
+        let ev = self.sources[c]
+            .next_event()
+            .ok_or(SimError::TraceExhausted { app: c, at })?;
+        if let Some(rec) = &self.recorder {
+            rec.observe(c, &ev);
+        }
+        Ok(ev)
     }
 
     /// Runs for a fixed duration (baseline mode) and reports the result
@@ -242,7 +300,7 @@ impl Simulation {
         self.begin_epoch_faults(Picos::ZERO);
         // Seed every core with its first compute interval.
         for c in 0..self.cores.len() {
-            let ev = self.traces[c].next_miss();
+            let ev = self.pull_miss(c, Picos::ZERO)?;
             let done = self.cores[c].start_compute(Picos::ZERO, ev.gap_instructions);
             self.pending[c] = Some(ev);
             self.phase[c] = CorePhase::Computing;
@@ -345,7 +403,7 @@ impl Simulation {
             }
             CorePhase::WaitingMemory => {
                 self.cores[c].finish_memory_wait(t);
-                let ev = self.traces[c].next_miss();
+                let ev = self.pull_miss(c, t)?;
                 let done = self.cores[c].start_compute(t, ev.gap_instructions);
                 self.pending[c] = Some(ev);
                 self.phase[c] = CorePhase::Computing;

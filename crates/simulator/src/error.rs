@@ -5,6 +5,7 @@
 //! `memscale-sim` CLI, the experiment harness, fault-sweep drivers) can fail
 //! with a readable message and a non-zero exit instead of a backtrace.
 
+use memscale_trace::TraceError;
 use memscale_types::config::{ConfigError, MemGeneration};
 use memscale_types::faults::FaultSpecError;
 use memscale_types::time::Picos;
@@ -51,6 +52,16 @@ pub enum SimError {
         /// Events processed when the watchdog fired.
         events: u64,
     },
+    /// A replayed trace ran out of recorded events before the run finished
+    /// (the trace was recorded with too little margin for this policy).
+    TraceExhausted {
+        /// App/core whose stream ran dry.
+        app: usize,
+        /// Simulated time of the exhaustion.
+        at: Picos,
+    },
+    /// Reading, writing or validating a trace artifact failed.
+    Trace(TraceError),
 }
 
 impl fmt::Display for SimError {
@@ -86,6 +97,14 @@ impl fmt::Display for SimError {
                     at.as_ps()
                 )
             }
+            SimError::TraceExhausted { app, at } => {
+                write!(
+                    f,
+                    "replay trace for app {app} exhausted at {} ps; re-record with more margin",
+                    at.as_ps()
+                )
+            }
+            SimError::Trace(e) => write!(f, "{e}"),
         }
     }
 }
@@ -95,8 +114,15 @@ impl std::error::Error for SimError {
         match self {
             SimError::InvalidConfig(e) => Some(e),
             SimError::InvalidFaultPlan(e) => Some(e),
+            SimError::Trace(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<TraceError> for SimError {
+    fn from(e: TraceError) -> Self {
+        SimError::Trace(e)
     }
 }
 

@@ -14,7 +14,8 @@ use crate::error::SimError;
 use crate::result::RunResult;
 use memscale::policies::PolicyKind;
 use memscale_power::PowerModel;
-use memscale_workloads::Mix;
+use memscale_trace::{merge_prefixes, Recorder, ReplayTrace, TraceError, TraceHeader};
+use memscale_workloads::{MissEvent, Mix};
 
 /// Policy-vs-baseline summary for one workload.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,6 +62,7 @@ pub struct Experiment {
     cfg: SimConfig,
     baseline: RunResult,
     rest_w: f64,
+    recording: Option<Recorder>,
 }
 
 impl Experiment {
@@ -75,6 +77,32 @@ impl Experiment {
     /// Propagates any [`SimError`] from building or running the baseline.
     pub fn calibrate(mix: &Mix, cfg: &SimConfig) -> Result<Self, SimError> {
         let sim = Simulation::new(mix, PolicyKind::Baseline, cfg)?;
+        Experiment::calibrate_sim(mix, cfg, sim)
+    }
+
+    /// Like [`Experiment::calibrate`], but the baseline's miss events come
+    /// from a recorded `trace` instead of the live generator. The trace's
+    /// header must match this run's generation, configuration fingerprint
+    /// and core count; when it was recorded at the same seed the resulting
+    /// baseline is bit-identical to the live one.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Trace`] with [`TraceError::ConfigMismatch`] for a trace
+    /// recorded under a different configuration, plus the errors of
+    /// [`Experiment::calibrate`].
+    pub fn calibrate_replay(
+        mix: &Mix,
+        cfg: &SimConfig,
+        trace: &ReplayTrace,
+    ) -> Result<Self, SimError> {
+        check_trace(mix, cfg, trace)?;
+        let sim = Simulation::with_sources(mix, PolicyKind::Baseline, cfg, trace.streams())?;
+        Experiment::calibrate_sim(mix, cfg, sim)
+    }
+
+    fn calibrate_sim(mix: &Mix, cfg: &SimConfig, sim: Simulation) -> Result<Self, SimError> {
+        let recording = sim.recorder();
         let mut baseline = sim.run_for(cfg.duration, 0.0)?;
         let power = PowerModel::new(&cfg.system);
         let elapsed = baseline.energy.elapsed.as_secs_f64();
@@ -88,6 +116,7 @@ impl Experiment {
             cfg: cfg.clone(),
             baseline,
             rest_w,
+            recording,
         })
     }
 
@@ -109,6 +138,13 @@ impl Experiment {
         &self.mix
     }
 
+    /// The baseline's capture buffer when it was calibrated under a
+    /// recording configuration ([`SimConfig::with_recording`]), else `None`.
+    #[inline]
+    pub fn recording(&self) -> Option<&Recorder> {
+        self.recording.as_ref()
+    }
+
     /// Runs `policy` over the baseline's work and compares.
     ///
     /// # Errors
@@ -116,6 +152,52 @@ impl Experiment {
     /// Propagates any [`SimError`] from building or running the policy run.
     pub fn evaluate(&self, policy: PolicyKind) -> Result<(RunResult, Comparison), SimError> {
         self.evaluate_configured(policy, &self.cfg)
+    }
+
+    /// Runs `policy` over the baseline's work with recording forced on and
+    /// returns its captured miss streams alongside the usual comparison.
+    /// Because every run at one seed pulls a prefix of the same per-app
+    /// streams, the capture can be [`merge_prefixes`]-combined with other
+    /// recordings of this experiment.
+    ///
+    /// # Errors
+    ///
+    /// The errors of [`Experiment::evaluate`].
+    pub fn evaluate_recorded(
+        &self,
+        policy: PolicyKind,
+    ) -> Result<(RunResult, Comparison, Vec<Vec<MissEvent>>), SimError> {
+        let rcfg = self.cfg.clone().with_recording();
+        let mut sim = Simulation::new(&self.mix, policy, &rcfg)?;
+        let rec = sim.recorder().unwrap_or_default();
+        sim.set_rest_of_system_w(self.rest_w);
+        let run = sim.run_until_work(&self.baseline.work, self.rest_w)?;
+        let cmp = self.compare(&run);
+        Ok((run, cmp, rec.snapshot()))
+    }
+
+    /// Runs `policy` over the baseline's work with miss events replayed
+    /// from `trace`, and compares against this baseline. Replaying the
+    /// trace at its recording seed/configuration reproduces the live run
+    /// bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Trace`]/[`TraceError::ConfigMismatch`] for a trace from
+    /// a different configuration, [`SimError::TraceExhausted`] when the
+    /// trace's margin is too small for this policy, plus the errors of
+    /// [`Experiment::evaluate`].
+    pub fn evaluate_replay(
+        &self,
+        policy: PolicyKind,
+        trace: &ReplayTrace,
+    ) -> Result<(RunResult, Comparison), SimError> {
+        check_trace(&self.mix, &self.cfg, trace)?;
+        let mut sim = Simulation::with_sources(&self.mix, policy, &self.cfg, trace.streams())?;
+        sim.set_rest_of_system_w(self.rest_w);
+        let run = sim.run_until_work(&self.baseline.work, self.rest_w)?;
+        let cmp = self.compare(&run);
+        Ok((run, cmp))
     }
 
     /// Runs `policy` with an overridden configuration (e.g. a different γ
@@ -178,6 +260,94 @@ impl Experiment {
             per_app_cpi_increase,
         }
     }
+}
+
+/// The trace-header metadata a recording of `mix` under `cfg` carries: the
+/// memory generation, the [`SimConfig::fingerprint`], the seed/slice
+/// parameters and the per-core application table.
+pub fn trace_header(mix: &Mix, cfg: &SimConfig) -> TraceHeader {
+    TraceHeader {
+        generation: cfg.system.timing.generation,
+        config_hash: cfg.fingerprint(),
+        seed: cfg.seed,
+        slice_lines: cfg.slice_lines,
+        apps: (0..cfg.system.cpu.cores)
+            .map(|c| mix.app_on_core(c).to_string())
+            .collect(),
+    }
+}
+
+/// Verifies `trace` was recorded under `cfg` and `mix`: the generation,
+/// configuration fingerprint, core count and per-core application table
+/// must all match before a replay run is allowed to start.
+///
+/// # Errors
+///
+/// Returns [`SimError::Trace`] with [`TraceError::ConfigMismatch`] naming
+/// the first disagreeing field.
+pub fn check_trace(mix: &Mix, cfg: &SimConfig, trace: &ReplayTrace) -> Result<(), SimError> {
+    trace.check_compat(
+        cfg.system.timing.generation,
+        cfg.fingerprint(),
+        cfg.system.cpu.cores,
+    )?;
+    for (core, name) in trace.header().apps.iter().enumerate() {
+        let expected = mix.app_on_core(core);
+        if name != expected {
+            return Err(TraceError::ConfigMismatch {
+                field: "app table",
+                expected: format!("{expected} on core {core}"),
+                got: name.clone(),
+            }
+            .into());
+        }
+    }
+    Ok(())
+}
+
+/// Records a replayable trace of `mix` under `cfg`.
+///
+/// A recording baseline run establishes each app's event prefix; recording
+/// fixed-work runs of `policies` extend the prefixes to the longest any of
+/// them consumes (fixed work at a lower frequency takes longer, so slow
+/// policies pull more events per core). Finally `margin_pct` percent of
+/// freshly generated continuation events (with a 64-event floor) are
+/// appended per app, so policies slower than any of the recorded ones still
+/// replay without exhausting.
+///
+/// Returns the header to stamp on the artifact and the per-app streams,
+/// ready for [`memscale_trace::write_trace_file`] or
+/// [`ReplayTrace::from_streams`].
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the recording runs.
+pub fn record_trace(
+    mix: &Mix,
+    cfg: &SimConfig,
+    policies: &[PolicyKind],
+    margin_pct: usize,
+) -> Result<(TraceHeader, Vec<Vec<MissEvent>>), SimError> {
+    let rcfg = cfg.clone().with_recording();
+    let exp = Experiment::calibrate(mix, &rcfg)?;
+    let mut streams = exp.recording().map(Recorder::snapshot).unwrap_or_default();
+    for &policy in policies {
+        let (_, _, captured) = exp.evaluate_recorded(policy)?;
+        streams = merge_prefixes(streams, captured);
+    }
+    // Margin: every run at one seed pulls a prefix of the same deterministic
+    // per-app streams, so the continuation past the recorded prefix comes
+    // from regenerating the streams and skipping what was consumed.
+    let mut fresh = mix.traces(cfg.system.cpu.cores, cfg.slice_lines, cfg.seed);
+    for (stream, gen) in streams.iter_mut().zip(&mut fresh) {
+        let consumed = stream.len();
+        for _ in 0..consumed {
+            gen.next_miss();
+        }
+        let extra = consumed.saturating_mul(margin_pct) / 100 + 64;
+        stream.extend(std::iter::repeat_with(|| gen.next_miss()).take(extra));
+    }
+    Ok((trace_header(mix, cfg), streams))
 }
 
 #[cfg(test)]

@@ -36,10 +36,12 @@ pub mod engine;
 pub mod error;
 pub mod harness;
 pub mod result;
+pub mod shard;
 
 pub use config::SimConfig;
 pub use engine::Simulation;
 pub use error::SimError;
-pub use harness::{Comparison, Experiment};
+pub use harness::{check_trace, record_trace, trace_header, Comparison, Experiment};
 pub use memscale_faults::FaultReport;
 pub use result::{RunResult, TimelineSample};
+pub use shard::{default_grid, replay_sequential, replay_sharded, ShardResult, ShardSpec};

@@ -1,0 +1,172 @@
+//! Structured trace-file errors.
+//!
+//! Every failure mode of reading or writing a trace artifact — I/O,
+//! truncation, corruption, version skew, configuration mismatch — is a
+//! [`TraceError`] value. The crate never panics on malformed input: a
+//! fuzzer can feed arbitrary bytes to the reader and only ever observe an
+//! `Err`.
+
+use std::fmt;
+
+/// Everything that can go wrong producing or consuming a trace artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// An underlying I/O operation failed.
+    Io {
+        /// What the trace layer was doing when the I/O failed.
+        context: &'static str,
+        /// The OS error kind.
+        kind: std::io::ErrorKind,
+        /// The OS error message.
+        message: String,
+    },
+    /// The file does not start with the trace magic.
+    BadMagic,
+    /// The file's format version is newer than this reader understands.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u16,
+        /// Newest version this build reads.
+        supported: u16,
+    },
+    /// The header carries a memory-generation code this build doesn't know.
+    UnknownGeneration(u8),
+    /// The header failed its CRC or a header field is malformed.
+    HeaderCorrupt {
+        /// Human-readable description of the defect.
+        detail: String,
+    },
+    /// A record block failed its CRC or decoded inconsistently.
+    BlockCorrupt {
+        /// Zero-based index of the app the block belongs to (`u32::MAX`
+        /// when the defect precedes app attribution).
+        app: u32,
+        /// Human-readable description of the defect.
+        detail: String,
+    },
+    /// The file ended mid-structure.
+    Truncated {
+        /// The structure being read when the bytes ran out.
+        at: &'static str,
+    },
+    /// The blocks ended without the end-of-trace marker (the file was cut
+    /// off at a block boundary, which per-block CRCs cannot catch).
+    MissingEndMarker,
+    /// The end marker's total record count disagrees with the blocks read.
+    RecordCountMismatch {
+        /// Count the end marker promised.
+        expected: u64,
+        /// Count the blocks actually carried.
+        got: u64,
+    },
+    /// The trace was recorded under a different configuration than the one
+    /// it is being replayed into.
+    ConfigMismatch {
+        /// Which header field disagreed (`generation`, `config hash`,
+        /// `seed`, `app count`).
+        field: &'static str,
+        /// Value the replay run expects.
+        expected: String,
+        /// Value the trace header carries.
+        got: String,
+    },
+}
+
+impl TraceError {
+    /// Wraps an [`std::io::Error`] with the operation it interrupted.
+    pub fn io(context: &'static str, err: &std::io::Error) -> Self {
+        if err.kind() == std::io::ErrorKind::UnexpectedEof {
+            return TraceError::Truncated { at: context };
+        }
+        TraceError::Io {
+            context,
+            kind: err.kind(),
+            message: err.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io {
+                context,
+                kind,
+                message,
+            } => write!(f, "trace I/O failed while {context}: {message} ({kind:?})"),
+            TraceError::BadMagic => write!(f, "not a memscale trace file (bad magic)"),
+            TraceError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "trace format v{found} is newer than this reader (supports up to v{supported})"
+            ),
+            TraceError::UnknownGeneration(code) => {
+                write!(f, "trace header carries unknown memory-generation code {code}")
+            }
+            TraceError::HeaderCorrupt { detail } => write!(f, "corrupt trace header: {detail}"),
+            TraceError::BlockCorrupt { app, detail } => {
+                if *app == u32::MAX {
+                    write!(f, "corrupt trace block: {detail}")
+                } else {
+                    write!(f, "corrupt trace block for app {app}: {detail}")
+                }
+            }
+            TraceError::Truncated { at } => write!(f, "trace file truncated while reading {at}"),
+            TraceError::MissingEndMarker => {
+                write!(f, "trace file ended without its end-of-trace marker")
+            }
+            TraceError::RecordCountMismatch { expected, got } => write!(
+                f,
+                "trace end marker promises {expected} records but blocks carry {got}"
+            ),
+            TraceError::ConfigMismatch {
+                field,
+                expected,
+                got,
+            } => write!(
+                f,
+                "trace was recorded under a different {field}: run expects {expected}, trace has {got}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_readable() {
+        let e = TraceError::UnsupportedVersion {
+            found: 9,
+            supported: 1,
+        };
+        assert!(e.to_string().contains("v9"));
+        let e = TraceError::ConfigMismatch {
+            field: "config hash",
+            expected: "0xdead".into(),
+            got: "0xbeef".into(),
+        };
+        assert!(e.to_string().contains("config hash") && e.to_string().contains("0xbeef"));
+        assert!(TraceError::BadMagic.to_string().contains("magic"));
+        let e = TraceError::Truncated { at: "block header" };
+        assert!(e.to_string().contains("block header"));
+    }
+
+    #[test]
+    fn eof_maps_to_truncated() {
+        let io = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof");
+        assert_eq!(
+            TraceError::io("reading header", &io),
+            TraceError::Truncated {
+                at: "reading header"
+            }
+        );
+        let io = std::io::Error::new(std::io::ErrorKind::PermissionDenied, "nope");
+        assert!(matches!(
+            TraceError::io("opening trace", &io),
+            TraceError::Io { .. }
+        ));
+    }
+}

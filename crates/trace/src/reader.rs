@@ -1,0 +1,375 @@
+//! Trace reading and replay sources.
+
+use crate::error::TraceError;
+use crate::format::{crc32, decode_record, END_MARKER, FORMAT_VERSION, MAGIC};
+use crate::writer::TraceHeader;
+use memscale_types::config::MemGeneration;
+use memscale_types::ids::AppId;
+use memscale_workloads::{MissEvent, MissSource};
+use std::io::Read;
+use std::sync::Arc;
+
+/// Sizes and counts of a parsed trace, for `memscale-sim trace-info`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Format version the file was written with.
+    pub version: u16,
+    /// Records per app, in core order.
+    pub records_per_app: Vec<u64>,
+    /// Number of record blocks (excluding the end marker).
+    pub blocks: u64,
+    /// Total encoded payload bytes across all blocks.
+    pub payload_bytes: u64,
+}
+
+/// A fully parsed, immutable trace: the header plus one event stream per
+/// app. Streams are held behind [`Arc`], so cloning a `ReplayTrace` — or
+/// minting fresh [`ReplayStream`] cursors for many concurrent replay shards
+/// — never copies event data.
+#[derive(Debug, Clone)]
+pub struct ReplayTrace {
+    header: TraceHeader,
+    summary: TraceSummary,
+    streams: Vec<Arc<[MissEvent]>>,
+}
+
+/// Incremental parser producing a [`ReplayTrace`] from any byte source.
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    src: R,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Wraps a byte source.
+    pub fn new(src: R) -> Self {
+        TraceReader { src }
+    }
+
+    fn read_exact(&mut self, buf: &mut [u8], at: &'static str) -> Result<(), TraceError> {
+        self.src.read_exact(buf).map_err(|e| match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => TraceError::Truncated { at },
+            _ => TraceError::io(at, &e),
+        })
+    }
+
+    fn read_u16(&mut self, at: &'static str) -> Result<u16, TraceError> {
+        let mut b = [0u8; 2];
+        self.read_exact(&mut b, at)?;
+        Ok(u16::from_le_bytes(b))
+    }
+
+    fn read_u32(&mut self, at: &'static str) -> Result<u32, TraceError> {
+        let mut b = [0u8; 4];
+        self.read_exact(&mut b, at)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn read_u64(&mut self, at: &'static str) -> Result<u64, TraceError> {
+        let mut b = [0u8; 8];
+        self.read_exact(&mut b, at)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Parses the whole trace, verifying the header CRC, every block CRC
+    /// and the end marker's total record count.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] describing the first defect found; arbitrary
+    /// input bytes can never cause a panic.
+    pub fn read(mut self) -> Result<ReplayTrace, TraceError> {
+        // Header, re-serialized incrementally for the CRC check.
+        let mut header_bytes = Vec::with_capacity(128);
+        let mut magic = [0u8; 8];
+        self.read_exact(&mut magic, "trace magic")?;
+        if magic != MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        header_bytes.extend_from_slice(&magic);
+        let version = self.read_u16("format version")?;
+        header_bytes.extend_from_slice(&version.to_le_bytes());
+        if version > FORMAT_VERSION || version == 0 {
+            return Err(TraceError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let mut gen_reserved = [0u8; 2];
+        self.read_exact(&mut gen_reserved, "generation code")?;
+        header_bytes.extend_from_slice(&gen_reserved);
+        let generation = MemGeneration::from_code(gen_reserved[0])
+            .ok_or(TraceError::UnknownGeneration(gen_reserved[0]))?;
+        let config_hash = self.read_u64("config hash")?;
+        header_bytes.extend_from_slice(&config_hash.to_le_bytes());
+        let seed = self.read_u64("seed")?;
+        header_bytes.extend_from_slice(&seed.to_le_bytes());
+        let slice_lines = self.read_u64("slice size")?;
+        header_bytes.extend_from_slice(&slice_lines.to_le_bytes());
+        let app_count = self.read_u32("app count")?;
+        header_bytes.extend_from_slice(&app_count.to_le_bytes());
+        if app_count == 0 || app_count > 4096 {
+            return Err(TraceError::HeaderCorrupt {
+                detail: format!("implausible app count {app_count}"),
+            });
+        }
+        let mut apps = Vec::with_capacity(app_count as usize);
+        for _ in 0..app_count {
+            let len = self.read_u16("app name length")?;
+            header_bytes.extend_from_slice(&len.to_le_bytes());
+            let mut name = vec![0u8; usize::from(len)];
+            self.read_exact(&mut name, "app name")?;
+            header_bytes.extend_from_slice(&name);
+            let name = String::from_utf8(name).map_err(|_| TraceError::HeaderCorrupt {
+                detail: "app name is not UTF-8".into(),
+            })?;
+            apps.push(name);
+        }
+        let header_crc = self.read_u32("header CRC")?;
+        let computed = crc32(&header_bytes);
+        if header_crc != computed {
+            return Err(TraceError::HeaderCorrupt {
+                detail: format!("header CRC {header_crc:#010x} != computed {computed:#010x}"),
+            });
+        }
+        let header = TraceHeader {
+            generation,
+            config_hash,
+            seed,
+            slice_lines,
+            apps,
+        };
+
+        // Blocks.
+        let n = header.apps.len();
+        let mut streams: Vec<Vec<MissEvent>> = vec![Vec::new(); n];
+        let mut prev_line = vec![0u64; n];
+        let mut blocks = 0u64;
+        let mut payload_bytes = 0u64;
+        let mut total = 0u64;
+        loop {
+            let app_index = self.read_u32("block header")?;
+            let record_count = self.read_u32("block header")?;
+            let payload_len = self.read_u32("block header")?;
+            if payload_len > 1 << 28 {
+                return Err(TraceError::BlockCorrupt {
+                    app: app_index,
+                    detail: format!("implausible block payload of {payload_len} bytes"),
+                });
+            }
+            let mut payload = vec![0u8; payload_len as usize];
+            self.read_exact(&mut payload, "block payload")?;
+            let payload_crc = self.read_u32("block CRC")?;
+            let computed = crc32(&payload);
+            if payload_crc != computed {
+                return Err(TraceError::BlockCorrupt {
+                    app: app_index,
+                    detail: format!("payload CRC {payload_crc:#010x} != computed {computed:#010x}"),
+                });
+            }
+            if app_index == END_MARKER {
+                if payload.len() != 8 {
+                    return Err(TraceError::BlockCorrupt {
+                        app: app_index,
+                        detail: "end marker payload must be 8 bytes".into(),
+                    });
+                }
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&payload);
+                let expected = u64::from_le_bytes(b);
+                if expected != total {
+                    return Err(TraceError::RecordCountMismatch {
+                        expected,
+                        got: total,
+                    });
+                }
+                break;
+            }
+            let app = app_index as usize;
+            if app >= n {
+                return Err(TraceError::BlockCorrupt {
+                    app: app_index,
+                    detail: format!("app index out of range (header has {n} apps)"),
+                });
+            }
+            let mut pos = 0usize;
+            for _ in 0..record_count {
+                let ev = decode_record(&payload, &mut pos, &mut prev_line[app]).map_err(
+                    |e| match e {
+                        TraceError::BlockCorrupt { detail, .. } => TraceError::BlockCorrupt {
+                            app: app_index,
+                            detail,
+                        },
+                        TraceError::Truncated { .. } => TraceError::BlockCorrupt {
+                            app: app_index,
+                            detail: "records overrun the block payload".into(),
+                        },
+                        other => other,
+                    },
+                )?;
+                streams[app].push(ev);
+            }
+            if pos != payload.len() {
+                return Err(TraceError::BlockCorrupt {
+                    app: app_index,
+                    detail: format!(
+                        "{} trailing payload bytes after the last record",
+                        payload.len() - pos
+                    ),
+                });
+            }
+            blocks += 1;
+            payload_bytes += u64::from(payload_len);
+            total += u64::from(record_count);
+        }
+
+        let records_per_app = streams.iter().map(|s| s.len() as u64).collect();
+        Ok(ReplayTrace {
+            header,
+            summary: TraceSummary {
+                version,
+                records_per_app,
+                blocks,
+                payload_bytes,
+            },
+            streams: streams.into_iter().map(Arc::from).collect(),
+        })
+    }
+}
+
+impl ReplayTrace {
+    /// Reads and fully verifies the trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] if the file cannot be opened or fails any
+    /// structural or CRC check.
+    pub fn open(path: &std::path::Path) -> Result<Self, TraceError> {
+        let file =
+            std::fs::File::open(path).map_err(|e| TraceError::io("opening trace file", &e))?;
+        TraceReader::new(std::io::BufReader::new(file)).read()
+    }
+
+    /// Builds an in-memory trace from already-captured streams (the bench
+    /// path: record → replay without touching disk).
+    pub fn from_streams(header: TraceHeader, streams: Vec<Vec<MissEvent>>) -> Self {
+        let records_per_app: Vec<u64> = streams.iter().map(|s| s.len() as u64).collect();
+        let payload_bytes = 0;
+        let blocks = 0;
+        ReplayTrace {
+            summary: TraceSummary {
+                version: FORMAT_VERSION,
+                records_per_app,
+                blocks,
+                payload_bytes,
+            },
+            header,
+            streams: streams.into_iter().map(Arc::from).collect(),
+        }
+    }
+
+    /// The trace's header metadata.
+    #[inline]
+    pub fn header(&self) -> &TraceHeader {
+        &self.header
+    }
+
+    /// Parsed sizes and counts (for `trace-info`).
+    #[inline]
+    pub fn summary(&self) -> &TraceSummary {
+        &self.summary
+    }
+
+    /// Number of application streams.
+    #[inline]
+    pub fn apps(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Recorded events of app `app`.
+    pub fn events(&self, app: usize) -> &[MissEvent] {
+        &self.streams[app]
+    }
+
+    /// Mints a fresh set of replay cursors, one per app, positioned at the
+    /// start of each stream. Cheap: streams are shared, not copied.
+    pub fn streams(&self) -> Vec<Box<dyn MissSource + Send>> {
+        self.streams
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                Box::new(ReplayStream {
+                    app: AppId(i),
+                    events: Arc::clone(s),
+                    pos: 0,
+                }) as Box<dyn MissSource + Send>
+            })
+            .collect()
+    }
+
+    /// Verifies this trace was recorded under the configuration a replay
+    /// run is about to use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::ConfigMismatch`] naming the first disagreeing
+    /// field (generation, config hash, or app count).
+    pub fn check_compat(
+        &self,
+        generation: MemGeneration,
+        config_hash: u64,
+        cores: usize,
+    ) -> Result<(), TraceError> {
+        if self.header.generation != generation {
+            return Err(TraceError::ConfigMismatch {
+                field: "generation",
+                expected: generation.to_string(),
+                got: self.header.generation.to_string(),
+            });
+        }
+        if self.header.config_hash != config_hash {
+            return Err(TraceError::ConfigMismatch {
+                field: "config hash",
+                expected: format!("{config_hash:#018x}"),
+                got: format!("{:#018x}", self.header.config_hash),
+            });
+        }
+        if self.streams.len() != cores {
+            return Err(TraceError::ConfigMismatch {
+                field: "app count",
+                expected: cores.to_string(),
+                got: self.streams.len().to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One app's replay cursor over a shared recorded stream. Implements the
+/// same [`MissSource`] interface as the live generator, returning `None`
+/// when the recording is exhausted.
+#[derive(Debug, Clone)]
+pub struct ReplayStream {
+    app: AppId,
+    events: Arc<[MissEvent]>,
+    pos: usize,
+}
+
+impl ReplayStream {
+    /// Events remaining before exhaustion.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.pos
+    }
+}
+
+impl MissSource for ReplayStream {
+    fn app(&self) -> AppId {
+        self.app
+    }
+
+    fn next_event(&mut self) -> Option<MissEvent> {
+        let ev = self.events.get(self.pos).copied()?;
+        self.pos += 1;
+        Some(ev)
+    }
+}

@@ -1,0 +1,111 @@
+//! The run recorder: a cheap handle the simulation engine tees every miss
+//! event through.
+
+use memscale_workloads::MissEvent;
+use std::sync::{Arc, Mutex};
+
+/// A shared, clonable capture buffer with one event stream per app.
+///
+/// The engine calls [`Recorder::observe`] for every miss it pulls from its
+/// sources; the handle the caller kept returns the captured streams via
+/// [`Recorder::snapshot`] after the run. Because each simulation run pulls a
+/// *prefix* of the same deterministic per-app stream, recordings of two runs
+/// at the same seed/config can be combined with [`merge_prefixes`].
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    streams: Arc<Mutex<Vec<Vec<MissEvent>>>>,
+}
+
+impl Recorder {
+    /// A recorder for `apps` application streams.
+    pub fn new(apps: usize) -> Self {
+        Recorder {
+            streams: Arc::new(Mutex::new(vec![Vec::new(); apps])),
+        }
+    }
+
+    /// Captures one event of app `app`. Out-of-range apps are ignored
+    /// (the engine validates its side; a recorder must never abort a run).
+    pub fn observe(&self, app: usize, ev: &MissEvent) {
+        let mut streams = self.streams.lock().expect("recorder lock poisoned");
+        if let Some(s) = streams.get_mut(app) {
+            s.push(*ev);
+        }
+    }
+
+    /// Events captured so far per app.
+    pub fn counts(&self) -> Vec<u64> {
+        let streams = self.streams.lock().expect("recorder lock poisoned");
+        streams.iter().map(|s| s.len() as u64).collect()
+    }
+
+    /// Clones the captured streams out of the recorder.
+    pub fn snapshot(&self) -> Vec<Vec<MissEvent>> {
+        self.streams.lock().expect("recorder lock poisoned").clone()
+    }
+}
+
+/// Combines two recordings taken at the same seed and configuration: both
+/// are prefixes of the same deterministic stream, so the union is simply
+/// the longer prefix per app.
+///
+/// Debug builds verify the prefix property; release builds trust the seed.
+pub fn merge_prefixes(a: Vec<Vec<MissEvent>>, b: Vec<Vec<MissEvent>>) -> Vec<Vec<MissEvent>> {
+    debug_assert_eq!(a.len(), b.len(), "recordings must cover the same apps");
+    a.into_iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let (longer, shorter) = if x.len() >= y.len() { (x, y) } else { (y, x) };
+            debug_assert!(
+                longer[..shorter.len()] == shorter[..],
+                "recordings at one seed must be prefixes of each other"
+            );
+            longer
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memscale_types::address::PhysAddr;
+
+    fn ev(gap: u64, line: u64) -> MissEvent {
+        MissEvent {
+            gap_instructions: gap,
+            addr: PhysAddr::from_cache_line(line),
+            writeback: None,
+        }
+    }
+
+    #[test]
+    fn observe_and_snapshot() {
+        let rec = Recorder::new(2);
+        rec.observe(0, &ev(1, 10));
+        rec.observe(1, &ev(2, 20));
+        rec.observe(0, &ev(3, 11));
+        rec.observe(9, &ev(4, 0)); // out of range: ignored
+        assert_eq!(rec.counts(), vec![2, 1]);
+        let s = rec.snapshot();
+        assert_eq!(s[0], vec![ev(1, 10), ev(3, 11)]);
+        assert_eq!(s[1], vec![ev(2, 20)]);
+    }
+
+    #[test]
+    fn clones_share_the_buffer() {
+        let rec = Recorder::new(1);
+        let handle = rec.clone();
+        rec.observe(0, &ev(1, 5));
+        assert_eq!(handle.counts(), vec![1]);
+    }
+
+    #[test]
+    fn merge_takes_longer_prefix_per_app() {
+        let a = vec![vec![ev(1, 1), ev(2, 2)], vec![ev(3, 3)]];
+        let b = vec![vec![ev(1, 1)], vec![ev(3, 3), ev(4, 4), ev(5, 5)]];
+        let m = merge_prefixes(a, b);
+        assert_eq!(m[0].len(), 2);
+        assert_eq!(m[1].len(), 3);
+        assert_eq!(m[1][2], ev(5, 5));
+    }
+}

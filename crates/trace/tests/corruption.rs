@@ -1,0 +1,158 @@
+//! Adversarial-input tests: corrupt, truncated or alien bytes must come
+//! back as structured [`TraceError`]s — never a panic, never a bogus parse.
+
+use memscale_trace::{TraceError, TraceHeader, TraceReader, TraceWriter};
+use memscale_types::address::PhysAddr;
+use memscale_types::config::MemGeneration;
+use memscale_workloads::MissEvent;
+
+fn sample_trace() -> Vec<u8> {
+    let hdr = TraceHeader {
+        generation: MemGeneration::Ddr4,
+        config_hash: 0x0123_4567_89AB_CDEF,
+        seed: 7,
+        slice_lines: 1 << 16,
+        apps: vec!["ammp".into(), "gap".into()],
+    };
+    let events: Vec<MissEvent> = (0..200u64)
+        .map(|i| MissEvent {
+            gap_instructions: i % 13 + 1,
+            addr: PhysAddr::from_cache_line(i * 37 % (1 << 16)),
+            writeback: (i % 5 == 0).then(|| PhysAddr::from_cache_line(i)),
+        })
+        .collect();
+    let mut w = TraceWriter::new(Vec::new(), &hdr).unwrap();
+    w.append_stream(0, &events).unwrap();
+    w.append_stream(1, &events[..50]).unwrap();
+    w.finish().unwrap()
+}
+
+fn read(bytes: &[u8]) -> Result<memscale_trace::ReplayTrace, TraceError> {
+    TraceReader::new(bytes).read()
+}
+
+#[test]
+fn bad_magic_is_rejected() {
+    let mut bytes = sample_trace();
+    bytes[0] = b'X';
+    assert_eq!(read(&bytes).unwrap_err(), TraceError::BadMagic);
+    assert!(matches!(
+        read(b"not a trace at all").unwrap_err(),
+        TraceError::BadMagic | TraceError::Truncated { .. }
+    ));
+}
+
+#[test]
+fn future_version_is_rejected() {
+    let mut bytes = sample_trace();
+    // Version field sits right after the 8-byte magic, little-endian.
+    bytes[8] = 0xFF;
+    bytes[9] = 0x7F;
+    assert_eq!(
+        read(&bytes).unwrap_err(),
+        TraceError::UnsupportedVersion {
+            found: 0x7FFF,
+            supported: 1,
+        }
+    );
+}
+
+#[test]
+fn unknown_generation_is_rejected() {
+    let mut bytes = sample_trace();
+    // Generation code follows the version.
+    bytes[10] = 99;
+    assert_eq!(read(&bytes).unwrap_err(), TraceError::UnknownGeneration(99));
+}
+
+#[test]
+fn header_bitflip_fails_the_header_crc() {
+    let mut bytes = sample_trace();
+    // Flip a bit in the seed field (offset 20..28): CRC must catch it.
+    bytes[21] ^= 0x10;
+    assert!(matches!(
+        read(&bytes).unwrap_err(),
+        TraceError::HeaderCorrupt { .. }
+    ));
+}
+
+#[test]
+fn payload_bitflip_fails_the_block_crc() {
+    let clean = sample_trace();
+    let trace = read(&clean).unwrap();
+    // Flip one byte somewhere inside the first block's payload (the header
+    // ends well before half the file; payloads dominate the remainder).
+    let mut bytes = clean.clone();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    let err = read(&bytes).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            TraceError::BlockCorrupt { .. }
+                | TraceError::HeaderCorrupt { .. }
+                | TraceError::Truncated { .. }
+                | TraceError::RecordCountMismatch { .. }
+        ),
+        "unexpected error {err:?}"
+    );
+    drop(trace);
+}
+
+#[test]
+fn every_truncation_point_errors_cleanly() {
+    let clean = sample_trace();
+    // Any strict prefix must produce a structured error, never a panic and
+    // never a successful parse.
+    for len in 0..clean.len() {
+        let err = read(&clean[..len]).expect_err("prefix parsed as complete");
+        match err {
+            TraceError::Truncated { .. }
+            | TraceError::HeaderCorrupt { .. }
+            | TraceError::BlockCorrupt { .. }
+            | TraceError::MissingEndMarker
+            | TraceError::RecordCountMismatch { .. } => {}
+            other => panic!("truncation at {len} gave {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn wrong_end_marker_total_is_rejected() {
+    let mut bytes = sample_trace();
+    // The end marker's 8-byte total sits 12 bytes from the end (payload u64
+    // followed by the payload CRC u32). Patch it and fix up its CRC.
+    let n = bytes.len();
+    let total_at = n - 12;
+    let mut total = u64::from_le_bytes(bytes[total_at..total_at + 8].try_into().unwrap());
+    total += 1;
+    bytes[total_at..total_at + 8].copy_from_slice(&total.to_le_bytes());
+    let crc = memscale_trace::format::crc32(&bytes[total_at..total_at + 8]);
+    bytes[n - 4..].copy_from_slice(&crc.to_le_bytes());
+    assert!(matches!(
+        read(&bytes).unwrap_err(),
+        TraceError::RecordCountMismatch { .. }
+    ));
+}
+
+#[test]
+fn trailing_garbage_after_a_valid_block_is_caught() {
+    let mut bytes = sample_trace();
+    // Drop the end marker entirely (16 bytes: header 12 + payload 8 + CRC 4
+    // = 24) — cutting 24 bytes removes the whole marker block.
+    bytes.truncate(bytes.len() - 24);
+    assert!(matches!(
+        read(&bytes).unwrap_err(),
+        TraceError::Truncated { .. }
+    ));
+}
+
+#[test]
+fn errors_format_without_panicking() {
+    let clean = sample_trace();
+    for len in [0, 4, 9, 11, 30, clean.len() - 1] {
+        if let Err(e) = read(&clean[..len]) {
+            let _ = e.to_string();
+        }
+    }
+}

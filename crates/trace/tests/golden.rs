@@ -1,0 +1,95 @@
+//! Golden-fixture test: the checked-in `tests/fixtures/golden_v1.trace`
+//! pins format v1's exact bytes. If an encoder change breaks byte-level
+//! compatibility, this test fails — bump `FORMAT_VERSION` and keep reading
+//! the old bytes instead of silently changing the format.
+//!
+//! Regenerate (only alongside a deliberate version bump) with:
+//! `REGEN_GOLDEN=1 cargo test -p memscale-trace --test golden`
+
+use memscale_trace::{TraceHeader, TraceReader, TraceWriter};
+use memscale_types::address::PhysAddr;
+use memscale_types::config::MemGeneration;
+use memscale_workloads::MissEvent;
+use std::path::PathBuf;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden_v1.trace")
+}
+
+/// The fixture's contents, reproduced deterministically in code: three app
+/// streams exercising big forward/backward line deltas, writebacks and an
+/// empty stream.
+fn golden() -> (TraceHeader, Vec<Vec<MissEvent>>) {
+    let header = TraceHeader {
+        generation: MemGeneration::Lpddr3,
+        config_hash: 0x00C0_FFEE_0000_BEEF,
+        seed: 0x5EED,
+        slice_lines: 1 << 12,
+        apps: vec!["swim".into(), "art".into(), "idle".into()],
+    };
+    let mut app0 = Vec::new();
+    let mut line = 0u64;
+    for i in 0u64..100 {
+        line = (line + i * 2_654_435_761) % (1 << 30);
+        app0.push(MissEvent {
+            gap_instructions: i * i + 1,
+            addr: PhysAddr::from_cache_line(line),
+            writeback: (i % 3 == 0).then(|| PhysAddr::from_cache_line(line ^ 0xFFF)),
+        });
+    }
+    let app1 = vec![
+        MissEvent {
+            gap_instructions: 1,
+            addr: PhysAddr::from_cache_line(0),
+            writeback: None,
+        },
+        MissEvent {
+            gap_instructions: u64::MAX,
+            addr: PhysAddr::from_cache_line(u64::MAX / 64),
+            writeback: Some(PhysAddr::from_cache_line(0)),
+        },
+        MissEvent {
+            gap_instructions: 2,
+            addr: PhysAddr::from_cache_line(1),
+            writeback: None,
+        },
+    ];
+    (header, vec![app0, app1, Vec::new()])
+}
+
+fn encode() -> Vec<u8> {
+    let (header, streams) = golden();
+    let mut w = TraceWriter::new(Vec::new(), &header).unwrap();
+    for (app, events) in streams.iter().enumerate() {
+        w.append_stream(app, events).unwrap();
+    }
+    w.finish().unwrap()
+}
+
+#[test]
+fn golden_fixture_is_byte_stable() {
+    let bytes = encode();
+    let path = fixture_path();
+    if std::env::var_os("REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &bytes).unwrap();
+    }
+    let on_disk = std::fs::read(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {} ({e}); see module docs", path.display()));
+    assert_eq!(
+        on_disk, bytes,
+        "encoder output diverged from the v1 fixture — a silent format break"
+    );
+}
+
+#[test]
+fn golden_fixture_decodes_to_known_events() {
+    let on_disk = std::fs::read(fixture_path()).expect("fixture; see module docs");
+    let trace = TraceReader::new(&on_disk[..]).read().unwrap();
+    let (header, streams) = golden();
+    assert_eq!(trace.header(), &header);
+    assert_eq!(trace.summary().version, 1);
+    for (app, events) in streams.iter().enumerate() {
+        assert_eq!(trace.events(app), &events[..]);
+    }
+}

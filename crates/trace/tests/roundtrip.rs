@@ -1,0 +1,107 @@
+//! Property-based round-trip tests: writing any well-formed event streams
+//! and reading them back is the identity, through the full file format.
+
+use memscale_trace::{TraceHeader, TraceReader, TraceWriter};
+use memscale_types::address::PhysAddr;
+use memscale_types::config::MemGeneration;
+use memscale_workloads::MissEvent;
+use proptest::prelude::*;
+
+/// Cache-line indices must stay below 2^58 (byte addresses are u64).
+const MAX_LINE: u64 = u64::MAX / 64;
+
+fn event_strategy() -> impl Strategy<Value = MissEvent> {
+    (1u64..1 << 40, 0u64..MAX_LINE, 0u64..MAX_LINE, 0u8..4).prop_map(
+        |(gap, line, wb_line, wb_sel)| MissEvent {
+            gap_instructions: gap,
+            addr: PhysAddr::from_cache_line(line),
+            // ~25% of misses carry a writeback, anywhere in the space.
+            writeback: (wb_sel == 0).then(|| PhysAddr::from_cache_line(wb_line)),
+        },
+    )
+}
+
+fn header(apps: usize) -> TraceHeader {
+    TraceHeader {
+        generation: MemGeneration::Ddr3,
+        config_hash: 0xDEAD_BEEF_CAFE_F00D,
+        seed: 42,
+        slice_lines: 1 << 20,
+        apps: (0..apps).map(|i| format!("app{i}")).collect(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// encode ∘ decode = id for the whole artifact: header metadata and
+    /// every app's event stream survive a write/read cycle byte-exactly.
+    #[test]
+    fn file_round_trips(
+        streams in prop::collection::vec(
+            prop::collection::vec(event_strategy(), 0..300),
+            1..5,
+        ),
+    ) {
+        let hdr = header(streams.len());
+        let mut w = TraceWriter::new(Vec::new(), &hdr).unwrap();
+        for (app, events) in streams.iter().enumerate() {
+            w.append_stream(app, events).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+
+        let trace = TraceReader::new(&bytes[..]).read().unwrap();
+        prop_assert_eq!(trace.header(), &hdr);
+        prop_assert_eq!(trace.apps(), streams.len());
+        for (app, events) in streams.iter().enumerate() {
+            prop_assert_eq!(trace.events(app), &events[..]);
+        }
+    }
+
+    /// The writer's output is a pure function of (header, streams): two
+    /// writes of the same data are byte-identical — required for the golden
+    /// fixture to stay stable.
+    #[test]
+    fn encoding_is_deterministic(
+        events in prop::collection::vec(event_strategy(), 0..200),
+    ) {
+        let hdr = header(1);
+        let encode = || {
+            let mut w = TraceWriter::new(Vec::new(), &hdr).unwrap();
+            w.append_stream(0, &events).unwrap();
+            w.finish().unwrap()
+        };
+        prop_assert_eq!(encode(), encode());
+    }
+}
+
+#[test]
+fn block_boundaries_round_trip() {
+    // Exactly at, one under and one over the writer's block size.
+    for n in [4095usize, 4096, 4097, 8192] {
+        let events: Vec<MissEvent> = (0..n)
+            .map(|i| MissEvent {
+                gap_instructions: (i as u64 % 997) + 1,
+                addr: PhysAddr::from_cache_line((i as u64 * 131) % (1 << 24)),
+                writeback: (i % 7 == 0).then(|| PhysAddr::from_cache_line(i as u64)),
+            })
+            .collect();
+        let hdr = header(1);
+        let mut w = TraceWriter::new(Vec::new(), &hdr).unwrap();
+        w.append_stream(0, &events).unwrap();
+        let bytes = w.finish().unwrap();
+        let trace = TraceReader::new(&bytes[..]).read().unwrap();
+        assert_eq!(trace.events(0), &events[..], "n = {n}");
+        assert!(trace.summary().blocks >= (n / 4096) as u64);
+    }
+}
+
+#[test]
+fn empty_streams_round_trip() {
+    let hdr = header(3);
+    let w = TraceWriter::new(Vec::new(), &hdr).unwrap();
+    let bytes = w.finish().unwrap();
+    let trace = TraceReader::new(&bytes[..]).read().unwrap();
+    assert_eq!(trace.apps(), 3);
+    assert_eq!(trace.summary().records_per_app, vec![0, 0, 0]);
+}

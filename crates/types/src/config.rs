@@ -91,6 +91,28 @@ impl MemGeneration {
             _ => None,
         }
     }
+
+    /// Stable one-byte wire code used by serialized artifacts (trace file
+    /// headers). Codes are append-only: existing values never change, new
+    /// generations take the next free code.
+    #[inline]
+    pub const fn code(self) -> u8 {
+        match self {
+            MemGeneration::Ddr3 => 0,
+            MemGeneration::Ddr4 => 1,
+            MemGeneration::Lpddr3 => 2,
+        }
+    }
+
+    /// Decodes a [`Self::code`] wire code back into a generation.
+    pub const fn from_code(code: u8) -> Option<MemGeneration> {
+        match code {
+            0 => Some(MemGeneration::Ddr3),
+            1 => Some(MemGeneration::Ddr4),
+            2 => Some(MemGeneration::Lpddr3),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for MemGeneration {

@@ -1,6 +1,6 @@
 //! Deterministic synthetic miss-stream generation.
 //!
-//! Each [`AppTrace`] owns a seeded [`ChaCha8`] PRNG (reproducible across runs
+//! Each [`MissStream`] owns a seeded [`ChaCha8`] PRNG (reproducible across runs
 //! and platforms) and turns its [`AppProfile`] into a stream of [`MissEvent`]s:
 //! geometric inter-miss instruction gaps whose mean follows the profile's
 //! current phase, addresses that either continue a sequential stream (cache
@@ -24,10 +24,36 @@ pub struct MissEvent {
     pub writeback: Option<PhysAddr>,
 }
 
+/// Anything that can feed one application's miss/writeback stream to the
+/// simulator: the live synthetic generator ([`MissStream`]) or a recorded
+/// trace replayed from an artifact (`memscale-trace`'s replay streams).
+///
+/// The simulation engine is written against this interface only, so a run
+/// cannot tell a live generator from a bit-identical replay.
+pub trait MissSource: std::fmt::Debug {
+    /// The application instance this source belongs to.
+    fn app(&self) -> AppId;
+
+    /// Produces the next miss, or `None` when the source is exhausted.
+    /// Live generators are infinite and never return `None`; replayed
+    /// traces end when the recorded stream runs out.
+    fn next_event(&mut self) -> Option<MissEvent>;
+}
+
+impl MissSource for MissStream {
+    fn app(&self) -> AppId {
+        self.app
+    }
+
+    fn next_event(&mut self) -> Option<MissEvent> {
+        Some(self.next_miss())
+    }
+}
+
 /// A deterministic synthetic LLC miss/writeback stream for one application
 /// instance.
 #[derive(Debug, Clone)]
-pub struct AppTrace {
+pub struct MissStream {
     profile: AppProfile,
     app: AppId,
     rng: ChaCha8,
@@ -42,7 +68,7 @@ pub struct AppTrace {
     writebacks: u64,
 }
 
-impl AppTrace {
+impl MissStream {
     /// Creates the trace for application instance `app`, owning a slice of
     /// `slice_len` cache lines starting at line `app.index() * slice_len`.
     ///
@@ -58,7 +84,7 @@ impl AppTrace {
         key[..8].copy_from_slice(&seed.to_le_bytes());
         key[8..16].copy_from_slice(&(app.index() as u64).to_le_bytes());
         let slice_start = app.index() as u64 * slice_len;
-        AppTrace {
+        MissStream {
             profile,
             app,
             rng: ChaCha8::from_seed(key),
@@ -165,8 +191,8 @@ mod tests {
     use crate::profile::Phase;
     use crate::spec;
 
-    fn trace(name: &str, seed: u64) -> AppTrace {
-        AppTrace::new(spec::profile(name).unwrap(), AppId(0), 1 << 20, seed)
+    fn trace(name: &str, seed: u64) -> MissStream {
+        MissStream::new(spec::profile(name).unwrap(), AppId(0), 1 << 20, seed)
     }
 
     #[test]
@@ -218,7 +244,7 @@ mod tests {
     #[test]
     fn addresses_stay_in_slice() {
         let slice_len = 1 << 16;
-        let mut t = AppTrace::new(spec::profile("art").unwrap(), AppId(3), slice_len, 9);
+        let mut t = MissStream::new(spec::profile("art").unwrap(), AppId(3), slice_len, 9);
         for _ in 0..10_000 {
             let ev = t.next_miss();
             let line = ev.addr.cache_line();
@@ -233,7 +259,7 @@ mod tests {
     #[test]
     fn high_locality_produces_sequential_runs() {
         let p = AppProfile::steady("seq", 10.0, 0.0).with_locality(1.0);
-        let mut t = AppTrace::new(p, AppId(0), 1 << 20, 5);
+        let mut t = MissStream::new(p, AppId(0), 1 << 20, 5);
         let first = t.next_miss().addr.cache_line();
         let second = t.next_miss().addr.cache_line();
         assert_eq!(second, first + 1);
@@ -245,7 +271,7 @@ mod tests {
             Phase::bounded(100_000, 1.0, 0.0),
             Phase::steady(20.0, 0.0),
         ]);
-        let mut t = AppTrace::new(p, AppId(0), 1 << 20, 11);
+        let mut t = MissStream::new(p, AppId(0), 1 << 20, 11);
         // Drain phase 1.
         while t.instructions_emitted() < 100_000 {
             t.next_miss();

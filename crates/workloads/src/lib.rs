@@ -34,6 +34,6 @@ pub mod profile;
 pub mod rng;
 pub mod spec;
 
-pub use generator::{AppTrace, MissEvent};
+pub use generator::{MissEvent, MissSource, MissStream};
 pub use mix::{Mix, UnknownMix, WorkloadClass};
 pub use profile::{AppProfile, Phase};

@@ -1,6 +1,6 @@
 //! The twelve multiprogrammed mixes of Table 1.
 
-use crate::generator::AppTrace;
+use crate::generator::MissStream;
 use crate::spec;
 use memscale_types::ids::AppId;
 use std::fmt;
@@ -170,14 +170,14 @@ impl Mix {
     ///
     /// Panics if an application name is missing from the catalog (impossible
     /// for Table 1 mixes) or `cores` is zero.
-    pub fn traces(&self, cores: usize, slice_lines: u64, seed: u64) -> Vec<AppTrace> {
+    pub fn traces(&self, cores: usize, slice_lines: u64, seed: u64) -> Vec<MissStream> {
         assert!(cores > 0, "need at least one core");
         (0..cores)
             .map(|core| {
                 let name = self.app_on_core(core);
                 let profile =
                     spec::profile(name).unwrap_or_else(|| panic!("unknown application {name}"));
-                AppTrace::new(profile, AppId(core), slice_lines, seed)
+                MissStream::new(profile, AppId(core), slice_lines, seed)
             })
             .collect()
     }

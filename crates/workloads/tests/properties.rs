@@ -2,7 +2,7 @@
 
 use memscale_types::ids::AppId;
 use memscale_workloads::profile::{AppProfile, Phase};
-use memscale_workloads::AppTrace;
+use memscale_workloads::MissStream;
 use proptest::prelude::*;
 
 fn profile_strategy() -> impl Strategy<Value = AppProfile> {
@@ -28,7 +28,7 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let slice = 1u64 << 18;
-        let mut t = AppTrace::new(profile, AppId(app), slice, seed);
+        let mut t = MissStream::new(profile, AppId(app), slice, seed);
         for _ in 0..2_000 {
             let ev = t.next_miss();
             prop_assert!(ev.gap_instructions >= 1);
@@ -47,7 +47,7 @@ proptest! {
     #[test]
     fn rpki_converges(profile in profile_strategy(), seed in any::<u64>()) {
         let target = profile.average_rpki();
-        let mut t = AppTrace::new(profile, AppId(0), 1 << 18, seed);
+        let mut t = MissStream::new(profile, AppId(0), 1 << 18, seed);
         for _ in 0..60_000 {
             t.next_miss();
         }
@@ -59,7 +59,7 @@ proptest! {
     /// WPKI never exceeds RPKI (a writeback accompanies a miss).
     #[test]
     fn wpki_bounded_by_rpki(profile in profile_strategy(), seed in any::<u64>()) {
-        let mut t = AppTrace::new(profile, AppId(0), 1 << 18, seed);
+        let mut t = MissStream::new(profile, AppId(0), 1 << 18, seed);
         for _ in 0..20_000 {
             t.next_miss();
         }
@@ -72,8 +72,8 @@ proptest! {
         profile in profile_strategy(),
         seed in any::<u64>(),
     ) {
-        let mut a = AppTrace::new(profile.clone(), AppId(3), 1 << 18, seed);
-        let mut b = AppTrace::new(profile, AppId(3), 1 << 18, seed);
+        let mut a = MissStream::new(profile.clone(), AppId(3), 1 << 18, seed);
+        let mut b = MissStream::new(profile, AppId(3), 1 << 18, seed);
         for _ in 0..500 {
             prop_assert_eq!(a.next_miss(), b.next_miss());
         }
