@@ -115,6 +115,33 @@ pub enum Rule {
 }
 
 impl Rule {
+    /// Every rule the auditor knows, in declaration order.
+    pub const ALL: [Rule; 23] = [
+        Rule::TRcd,
+        Rule::TRp,
+        Rule::TCl,
+        Rule::TRas,
+        Rule::TRtp,
+        Rule::TWr,
+        Rule::TRrd,
+        Rule::TFaw,
+        Rule::TRefi,
+        Rule::TRfc,
+        Rule::TXp,
+        Rule::TXpdll,
+        Rule::RelockPenalty,
+        Rule::RelockWindow,
+        Rule::BankState,
+        Rule::RankPowerState,
+        Rule::BusOverlap,
+        Rule::BurstLength,
+        Rule::Topology,
+        Rule::TCcdL,
+        Rule::TRrdL,
+        Rule::TXdpd,
+        Rule::TRfcPb,
+    ];
+
     /// Short display name (`tRCD`, `bank-state`, ...).
     pub fn name(self) -> &'static str {
         match self {
@@ -142,6 +169,70 @@ impl Rule {
             Rule::TXdpd => "tXDPD",
             Rule::TRfcPb => "tRFCpb",
         }
+    }
+
+    /// The [`DramTimingConfig`] fields this rule independently re-derives a
+    /// latency from when replaying a command stream. A field listed here is
+    /// *guarded*: if the timing engine honors the wrong value, this rule's
+    /// recomputation from the raw config catches the discrepancy. Structural
+    /// rules (state machines, topology) return an empty slice — they guard
+    /// command legality, not a numeric parameter.
+    ///
+    /// Field names match `memscale_types::invariants::TimingParam::field`, so
+    /// coverage tooling can cross-reference the two universes mechanically.
+    pub fn guarded_params(self) -> &'static [&'static str] {
+        match self {
+            Rule::TRcd => &["t_rcd_ns"],
+            Rule::TRp => &["t_rp_ns"],
+            Rule::TCl => &["t_cl_ns"],
+            Rule::TRas => &["t_ras_ns"],
+            Rule::TRtp => &["t_rtp_ns"],
+            Rule::TWr => &["t_wr_ns"],
+            Rule::TRrd => &["t_rrd_ns"],
+            Rule::TFaw => &["t_faw_ns"],
+            Rule::TRefi => &["refresh_period_ms", "refresh_commands"],
+            Rule::TRfc => &["t_rfc_ns"],
+            Rule::TXp => &["t_xp_ns"],
+            Rule::TXpdll => &["t_xpdll_ns"],
+            Rule::RelockPenalty | Rule::RelockWindow => &["relock_cycles", "relock_extra_ns"],
+            // The bus-overlap check spaces bursts by the larger of the burst
+            // itself and the short CAS-to-CAS gap, so it guards both.
+            Rule::BusOverlap => &["burst_cycles", "t_ccd_s_cycles"],
+            Rule::BurstLength => &["burst_cycles"],
+            Rule::TCcdL => &["t_ccd_l_cycles", "bank_groups"],
+            Rule::TRrdL => &["t_rrd_l_ns", "bank_groups"],
+            Rule::TXdpd => &["t_xdpd_ns"],
+            Rule::TRfcPb => &["t_rfc_pb_ns", "per_bank_refresh"],
+            Rule::BankState | Rule::RankPowerState | Rule::Topology => &[],
+        }
+    }
+
+    /// The rules the auditor arms for `cfg`: the DDR3 base pack always, the
+    /// bank-group pack when the generation splits banks into groups, the
+    /// deep power-down pack when the generation has the state, and the
+    /// per-bank-refresh pack when `REFpb` is configured.
+    ///
+    /// [`TXdpd`](Rule::TXdpd) stays armed on *every* generation in the sense
+    /// that deep power-down events on a generation without the state are
+    /// violations, but the pack lists only rules that actively re-derive
+    /// latencies for the configuration, which is what coverage analysis
+    /// needs.
+    pub fn rule_pack(cfg: &DramTimingConfig) -> Vec<Rule> {
+        let mut pack: Vec<Rule> = Rule::ALL
+            .into_iter()
+            .filter(|r| !matches!(r, Rule::TCcdL | Rule::TRrdL | Rule::TXdpd | Rule::TRfcPb))
+            .collect();
+        if cfg.bank_groups > 1 {
+            pack.push(Rule::TCcdL);
+            pack.push(Rule::TRrdL);
+        }
+        if cfg.generation.has_deep_power_down() {
+            pack.push(Rule::TXdpd);
+        }
+        if cfg.per_bank_refresh {
+            pack.push(Rule::TRfcPb);
+        }
+        pack
     }
 }
 
@@ -1240,6 +1331,51 @@ mod tests {
     /// (max of CAS+tRTP = 21.25 and ACT+tRAS = 35).
     fn clean_read() -> Vec<CmdEvent> {
         vec![act(0, 0, 0, 7), read_cas(15, 0, 0), pre(35, 0, 0)]
+    }
+
+    #[test]
+    fn rule_pack_tracks_generation_features() {
+        use memscale_types::config::MemGeneration;
+        let ddr3 = Rule::rule_pack(&DramTimingConfig::default());
+        assert!(!ddr3.contains(&Rule::TCcdL));
+        assert!(!ddr3.contains(&Rule::TRrdL));
+        assert!(!ddr3.contains(&Rule::TXdpd));
+        assert!(!ddr3.contains(&Rule::TRfcPb));
+        assert!(ddr3.contains(&Rule::TRcd) && ddr3.contains(&Rule::BusOverlap));
+
+        let ddr4 = Rule::rule_pack(&DramTimingConfig::ddr4());
+        assert!(ddr4.contains(&Rule::TCcdL) && ddr4.contains(&Rule::TRrdL));
+        assert!(!ddr4.contains(&Rule::TXdpd) && !ddr4.contains(&Rule::TRfcPb));
+
+        let lpddr3 = Rule::rule_pack(&DramTimingConfig::lpddr3());
+        assert!(lpddr3.contains(&Rule::TXdpd) && lpddr3.contains(&Rule::TRfcPb));
+        assert!(!lpddr3.contains(&Rule::TCcdL));
+
+        // Every pack is drawn from the closed rule universe, no duplicates.
+        for gen in MemGeneration::ALL {
+            let pack = Rule::rule_pack(&DramTimingConfig::for_generation(gen));
+            for (i, r) in pack.iter().enumerate() {
+                assert!(Rule::ALL.contains(r));
+                assert!(!pack[i + 1..].contains(r), "{r} duplicated");
+            }
+        }
+    }
+
+    #[test]
+    fn guarded_params_name_real_config_fields() {
+        use memscale_types::invariants::TimingParam;
+        let fields: Vec<&str> = TimingParam::ALL.iter().map(|p| p.field()).collect();
+        for rule in Rule::ALL {
+            for param in rule.guarded_params() {
+                assert!(
+                    fields.contains(param),
+                    "{rule} guards unknown field {param}"
+                );
+            }
+        }
+        // Structural rules guard no numeric parameter.
+        assert!(Rule::BankState.guarded_params().is_empty());
+        assert!(Rule::Topology.guarded_params().is_empty());
     }
 
     #[test]

@@ -1,0 +1,263 @@
+//! Pass 2: model checking of declarative power-state machines.
+//!
+//! Stateful crates publish their state machines as [`FsmSpec`] transition
+//! tables (`memscale-dram`'s rank power FSM, `memscale`'s governor hardening
+//! ladder) and keep unit tests proving the executable code agrees with the
+//! table. This pass proves the *table itself* is sound for a generation, by
+//! exhaustive enumeration:
+//!
+//! * **well-formed** — every referenced state/event is declared, no
+//!   duplicate declarations, the initial and operational states exist for
+//!   the generation;
+//! * **deterministic** — at most one active transition per `(state, event)`
+//!   pair (missing pairs are intentional refusals);
+//! * **reachable** — every active state is reachable from the initial state;
+//! * **no sink** — the operational state is reachable back from every active
+//!   state (a low-power state you cannot leave is a hang);
+//! * **timed exits** — every transition leaving a low-power state carries an
+//!   exit-latency parameter that exists (is relevant and positive) in the
+//!   generation's timing table.
+
+use memscale_types::config::DramTimingConfig;
+use memscale_types::invariants::{Diagnostic, FsmSpec};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Model-checks `spec` against the generation (and timing table) of `cfg`,
+/// returning every property violation found.
+#[allow(clippy::too_many_lines)] // one property per block; splitting obscures
+pub fn check_fsm(spec: &FsmSpec, cfg: &DramTimingConfig) -> Vec<Diagnostic> {
+    let gen = cfg.generation;
+    let mut out = Vec::new();
+    let name = spec.name;
+
+    // Well-formedness of the declaration lists.
+    let mut declared: HashSet<&str> = HashSet::new();
+    for s in spec.states {
+        if !declared.insert(s) {
+            out.push(Diagnostic::new(
+                "fsm-wellformed",
+                gen,
+                format!("{name}: state `{s}` declared twice"),
+                vec![],
+            ));
+        }
+    }
+    let mut events: HashSet<&str> = HashSet::new();
+    for e in spec.events {
+        if !events.insert(e) {
+            out.push(Diagnostic::new(
+                "fsm-wellformed",
+                gen,
+                format!("{name}: event `{e}` declared twice"),
+                vec![],
+            ));
+        }
+    }
+    for (label, state) in [("initial", spec.initial), ("operational", spec.operational)] {
+        if !declared.contains(state) {
+            out.push(Diagnostic::new(
+                "fsm-wellformed",
+                gen,
+                format!("{name}: {label} state `{state}` is not declared"),
+                vec![],
+            ));
+        } else if !spec.state_active(state, gen) {
+            out.push(Diagnostic::new(
+                "fsm-wellformed",
+                gen,
+                format!("{name}: {label} state `{state}` is gated out for {gen}"),
+                vec![],
+            ));
+        }
+    }
+    for s in spec.low_power {
+        if !declared.contains(s) {
+            out.push(Diagnostic::new(
+                "fsm-wellformed",
+                gen,
+                format!("{name}: low-power state `{s}` is not declared"),
+                vec![],
+            ));
+        }
+    }
+    for (s, _) in spec.state_requires {
+        if !declared.contains(s) {
+            out.push(Diagnostic::new(
+                "fsm-wellformed",
+                gen,
+                format!("{name}: feature-gated state `{s}` is not declared"),
+                vec![],
+            ));
+        }
+    }
+    // Every row (active or not) must reference declared states and events;
+    // a typo in a gated-out row would otherwise hide until the generation
+    // enabling it is checked.
+    for t in spec.transitions {
+        for (what, v) in [("source", t.from), ("destination", t.to)] {
+            if !declared.contains(v) {
+                out.push(Diagnostic::new(
+                    "fsm-wellformed",
+                    gen,
+                    format!(
+                        "{name}: transition `{} --{}-> {}` names undeclared {what} `{v}`",
+                        t.from, t.event, t.to
+                    ),
+                    vec![],
+                ));
+            }
+        }
+        if !events.contains(t.event) {
+            out.push(Diagnostic::new(
+                "fsm-wellformed",
+                gen,
+                format!(
+                    "{name}: transition `{} --{}-> {}` names undeclared event `{}`",
+                    t.from, t.event, t.to, t.event
+                ),
+                vec![],
+            ));
+        }
+    }
+    if !out.is_empty() {
+        return out; // graph properties over a malformed table only cascade
+    }
+
+    let active: Vec<_> = spec.active_transitions(gen).collect();
+    let active_states: Vec<&str> = spec
+        .states
+        .iter()
+        .copied()
+        .filter(|s| spec.state_active(s, gen))
+        .collect();
+
+    // Determinism: one outcome per (state, event).
+    let mut seen: HashMap<(&str, &str), &str> = HashMap::new();
+    for t in &active {
+        if let Some(prev) = seen.insert((t.from, t.event), t.to) {
+            out.push(Diagnostic::new(
+                "fsm-deterministic",
+                gen,
+                format!(
+                    "{name}: state `{}` reacts to `{}` with two outcomes \
+                     (`{prev}` and `{}`)",
+                    t.from, t.event, t.to
+                ),
+                vec![],
+            ));
+        }
+    }
+
+    // Reachability from the initial state.
+    let reachable = reach(spec.initial, &active);
+    for s in &active_states {
+        if !reachable.contains(s) {
+            out.push(Diagnostic::new(
+                "fsm-unreachable",
+                gen,
+                format!("{name}: state `{s}` is unreachable from `{}`", spec.initial),
+                vec![],
+            ));
+        }
+    }
+
+    // Liveness anchor: the operational state must be reachable back from
+    // every active state.
+    for s in &active_states {
+        if !reach(s, &active).contains(spec.operational) {
+            out.push(Diagnostic::new(
+                "fsm-sink",
+                gen,
+                format!(
+                    "{name}: state `{s}` cannot reach the operational state \
+                     `{}` — a residency there would never end",
+                    spec.operational
+                ),
+                vec![],
+            ));
+        }
+    }
+
+    // Timed exits from low-power states.
+    for t in &active {
+        let leaves_low_power = spec.low_power.contains(&t.from) && !spec.low_power.contains(&t.to);
+        match t.exit_param {
+            None if leaves_low_power => out.push(Diagnostic::new(
+                "fsm-exit-missing",
+                gen,
+                format!(
+                    "{name}: transition `{} --{}-> {}` leaves a low-power \
+                     state without an exit-latency parameter",
+                    t.from, t.event, t.to
+                ),
+                vec![],
+            )),
+            Some(p) if !p.relevant_for(gen) || p.value(cfg) <= 0.0 => {
+                out.push(Diagnostic::new(
+                    "fsm-exit-param-absent",
+                    gen,
+                    format!(
+                        "{name}: transition `{} --{}-> {}` charges `{}` \
+                         which {gen}'s table does not provide",
+                        t.from,
+                        t.event,
+                        t.to,
+                        p.field()
+                    ),
+                    vec![(p.field(), p.value(cfg))],
+                ));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// States reachable from `start` (inclusive) over `transitions`.
+fn reach<'a>(
+    start: &'a str,
+    transitions: &[&'a memscale_types::invariants::FsmTransition],
+) -> HashSet<&'a str> {
+    let mut seen: HashSet<&str> = HashSet::from([start]);
+    let mut queue: VecDeque<&str> = VecDeque::from([start]);
+    while let Some(s) = queue.pop_front() {
+        for t in transitions {
+            if t.from == s && seen.insert(t.to) {
+                queue.push_back(t.to);
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memscale::GOVERNOR_LADDER_FSM;
+    use memscale_dram::rank::RANK_POWER_FSM;
+    use memscale_types::config::MemGeneration;
+
+    #[test]
+    fn published_machines_are_sound_for_every_generation() {
+        for gen in MemGeneration::ALL {
+            let cfg = DramTimingConfig::for_generation(gen);
+            for spec in [&RANK_POWER_FSM, &GOVERNOR_LADDER_FSM] {
+                let diags = check_fsm(spec, &cfg);
+                assert!(diags.is_empty(), "{} / {gen}: {diags:#?}", spec.name);
+            }
+        }
+    }
+
+    #[test]
+    fn deep_power_down_is_gated_by_generation() {
+        let ddr3 = DramTimingConfig::default();
+        let active: Vec<_> = RANK_POWER_FSM.active_transitions(ddr3.generation).collect();
+        assert!(active
+            .iter()
+            .all(|t| t.from != "deep-pd" && t.to != "deep-pd"));
+        let lp = DramTimingConfig::lpddr3();
+        assert!(RANK_POWER_FSM
+            .active_transitions(lp.generation)
+            .any(|t| t.to == "deep-pd"));
+    }
+}

@@ -13,6 +13,7 @@ use crate::slack::SlackTracker;
 use memscale_power::PowerModel;
 use memscale_types::config::SystemConfig;
 use memscale_types::freq::MemFreq;
+use memscale_types::invariants::{FsmSpec, FsmTransition};
 use memscale_types::time::Picos;
 
 /// What the governor minimizes.
@@ -115,6 +116,182 @@ const QOS_STRIKES: u32 = 2;
 
 /// Epochs spent at forced `f_max` after a `QoS` intervention.
 const QOS_FORCE_EPOCHS: u32 = 2;
+
+/// The governor hardening ladder as a declarative transition table.
+///
+/// Abstracts the counters of [`MemScaleGovernor`] into three trust states —
+/// `trusting` (`force_max == 0`, no strike armed), `strike-armed`
+/// (`qos_strikes > 0`), and `forced-max` (`force_max > 0`) — so the
+/// `memscale-check` model checker can prove the recovery structure:
+/// deterministic reactions, every state reachable, and every state able to
+/// return to `trusting` (no recovery dead-end). Unit tests below pin the
+/// table to the executable ladder.
+///
+/// Conventions mirrored from the implementation:
+///
+/// * Profile verdicts (clean / clamped / discarded) never change the trust
+///   state by themselves — a discarded profile degrades one *decision* (to
+///   last-good or `f_max`) without arming the ladder.
+/// * `qos-diverged` arms a strike; a second consecutive strike converts to
+///   forced `f_max` (`QOS_STRIKES == 2` hysteresis). `qos-within-bound`
+///   disarms.
+/// * `switch-fell-short` (the frequency switch landed below the requested
+///   point) forces `f_max` from any state.
+/// * `force-elapsed` fires when the owed forced epochs have been served;
+///   while forced, the `QoS` comparison is disarmed, so `qos-*` events
+///   self-loop.
+pub const GOVERNOR_LADDER_FSM: FsmSpec = FsmSpec {
+    name: "governor-ladder",
+    states: &["trusting", "strike-armed", "forced-max"],
+    events: &[
+        "profile-clean",
+        "profile-clamped",
+        "profile-discarded",
+        "qos-diverged",
+        "qos-within-bound",
+        "switch-fell-short",
+        "force-elapsed",
+    ],
+    initial: "trusting",
+    operational: "trusting",
+    low_power: &[],
+    state_requires: &[],
+    transitions: &[
+        FsmTransition {
+            from: "trusting",
+            event: "profile-clean",
+            to: "trusting",
+            exit_param: None,
+            requires: None,
+        },
+        FsmTransition {
+            from: "trusting",
+            event: "profile-clamped",
+            to: "trusting",
+            exit_param: None,
+            requires: None,
+        },
+        FsmTransition {
+            from: "trusting",
+            event: "profile-discarded",
+            to: "trusting",
+            exit_param: None,
+            requires: None,
+        },
+        FsmTransition {
+            from: "trusting",
+            event: "qos-diverged",
+            to: "strike-armed",
+            exit_param: None,
+            requires: None,
+        },
+        FsmTransition {
+            from: "trusting",
+            event: "qos-within-bound",
+            to: "trusting",
+            exit_param: None,
+            requires: None,
+        },
+        FsmTransition {
+            from: "trusting",
+            event: "switch-fell-short",
+            to: "forced-max",
+            exit_param: None,
+            requires: None,
+        },
+        FsmTransition {
+            from: "strike-armed",
+            event: "profile-clean",
+            to: "strike-armed",
+            exit_param: None,
+            requires: None,
+        },
+        FsmTransition {
+            from: "strike-armed",
+            event: "profile-clamped",
+            to: "strike-armed",
+            exit_param: None,
+            requires: None,
+        },
+        FsmTransition {
+            from: "strike-armed",
+            event: "profile-discarded",
+            to: "strike-armed",
+            exit_param: None,
+            requires: None,
+        },
+        FsmTransition {
+            from: "strike-armed",
+            event: "qos-diverged",
+            to: "forced-max",
+            exit_param: None,
+            requires: None,
+        },
+        FsmTransition {
+            from: "strike-armed",
+            event: "qos-within-bound",
+            to: "trusting",
+            exit_param: None,
+            requires: None,
+        },
+        FsmTransition {
+            from: "strike-armed",
+            event: "switch-fell-short",
+            to: "forced-max",
+            exit_param: None,
+            requires: None,
+        },
+        FsmTransition {
+            from: "forced-max",
+            event: "profile-clean",
+            to: "forced-max",
+            exit_param: None,
+            requires: None,
+        },
+        FsmTransition {
+            from: "forced-max",
+            event: "profile-clamped",
+            to: "forced-max",
+            exit_param: None,
+            requires: None,
+        },
+        FsmTransition {
+            from: "forced-max",
+            event: "profile-discarded",
+            to: "forced-max",
+            exit_param: None,
+            requires: None,
+        },
+        FsmTransition {
+            from: "forced-max",
+            event: "qos-diverged",
+            to: "forced-max",
+            exit_param: None,
+            requires: None,
+        },
+        FsmTransition {
+            from: "forced-max",
+            event: "qos-within-bound",
+            to: "forced-max",
+            exit_param: None,
+            requires: None,
+        },
+        FsmTransition {
+            from: "forced-max",
+            event: "switch-fell-short",
+            to: "forced-max",
+            exit_param: None,
+            requires: None,
+        },
+        FsmTransition {
+            from: "forced-max",
+            event: "force-elapsed",
+            to: "trusting",
+            exit_param: None,
+            requires: None,
+        },
+    ],
+};
 
 /// The MemScale OS governor.
 #[derive(Debug, Clone)]
@@ -303,6 +480,18 @@ impl MemScaleGovernor {
         match repaired {
             Some(p) => ProfileVerdict::Clamped(Box::new(p)),
             None => ProfileVerdict::Clean,
+        }
+    }
+
+    /// The [`GOVERNOR_LADDER_FSM`] state the ladder currently occupies
+    /// (`forced-max` dominates an armed strike).
+    pub fn ladder_state(&self) -> &'static str {
+        if self.force_max > 0 {
+            "forced-max"
+        } else if self.qos_strikes > 0 {
+            "strike-armed"
+        } else {
+            "trusting"
         }
     }
 
@@ -589,6 +778,40 @@ mod tests {
                 deep_pd_frac: 0.0,
                 bus_util: 0.68,
             },
+        }
+    }
+
+    #[test]
+    fn ladder_fsm_matches_implementation() {
+        // A failed (slower-than-requested) switch forces f_max from any
+        // state, exactly as the table's switch-fell-short rows say.
+        let mut g = governor(EnergyObjective::FullSystem);
+        assert_eq!(g.ladder_state(), GOVERNOR_LADDER_FSM.initial);
+        g.note_switch_result(MemFreq::F800, MemFreq::F200);
+        assert_eq!(g.ladder_state(), "forced-max");
+        let row = GOVERNOR_LADDER_FSM
+            .transitions
+            .iter()
+            .find(|t| t.from == "trusting" && t.event == "switch-fell-short")
+            .expect("row");
+        assert_eq!(row.to, "forced-max");
+        // Serving the owed forced epoch returns to trusting (force-elapsed).
+        let f = g.decide(&mem_profile());
+        assert_eq!(f, MemFreq::MAX);
+        assert_eq!(g.ladder_state(), "trusting");
+
+        // Two consecutive QoS strikes escalate trusting -> strike-armed ->
+        // forced-max, mirroring the qos-diverged rows.
+        let mut g = governor(EnergyObjective::FullSystem);
+        let p = ilp_profile();
+        // A measured epoch far slower than the ILP-based prediction:
+        // memory-bound counters observed at the lowest grid point.
+        let mut measured = mem_profile();
+        measured.freq = MemFreq::F200;
+        for expected in ["strike-armed", "forced-max"] {
+            g.decide(&p);
+            g.end_epoch(&measured);
+            assert_eq!(g.ladder_state(), expected);
         }
     }
 

@@ -42,6 +42,7 @@ pub mod slack;
 
 pub use governor::{
     EnergyObjective, GovernorConfig, GovernorHealth, MemScaleGovernor, ProfileVerdict,
+    GOVERNOR_LADDER_FSM,
 };
 pub use perf_model::PerfModel;
 pub use policies::{Policy, PolicyKind};

@@ -12,6 +12,7 @@ use memscale_types::events::{CmdEvent, CmdKind};
 use memscale_types::ids::BankId;
 #[cfg(feature = "audit")]
 use memscale_types::ids::{ChannelId, RankId};
+use memscale_types::invariants::{FsmFeature, FsmSpec, FsmTransition, TimingParam};
 use memscale_types::time::Picos;
 use std::collections::VecDeque;
 
@@ -31,6 +32,159 @@ pub enum PowerDownMode {
 enum PowerState {
     Up,
     Down(PowerDownMode),
+}
+
+/// The rank power-state machine as a declarative transition table.
+///
+/// This is the executable [`Rank`] machine lifted into data so the
+/// `memscale-check` model checker can enumerate it: determinism, full
+/// reachability, no sink states, and a timed exit (whose latency parameter
+/// must exist in the generation's table) for every low-power state. Unit
+/// tests below pin the table to the implementation.
+///
+/// Conventions mirrored from the implementation:
+///
+/// * `(state, event)` pairs without a row are refusals — e.g. powerdown
+///   entry from a powered-down rank asserts in [`Rank::enter_power_down`].
+/// * `refresh-due` self-loops in powerdown states because refresh
+///   bookkeeping continues while CKE is low (a documented model
+///   approximation, see the audit crate's module docs).
+/// * `relock` exits through the re-lock penalty window
+///   ([`TimingParam::RelockCycles`] plus the fixed extra), which subsumes
+///   the mode's own exit latency.
+pub const RANK_POWER_FSM: FsmSpec = FsmSpec {
+    name: "rank-power",
+    states: &["up", "fast-pd", "slow-pd", "deep-pd"],
+    events: &[
+        "access",
+        "enter-fast",
+        "enter-slow",
+        "enter-deep",
+        "relock",
+        "refresh-due",
+    ],
+    initial: "up",
+    operational: "up",
+    low_power: &["fast-pd", "slow-pd", "deep-pd"],
+    state_requires: &[("deep-pd", FsmFeature::DeepPowerDown)],
+    transitions: &[
+        FsmTransition {
+            from: "up",
+            event: "access",
+            to: "up",
+            exit_param: None,
+            requires: None,
+        },
+        FsmTransition {
+            from: "up",
+            event: "refresh-due",
+            to: "up",
+            exit_param: None,
+            requires: None,
+        },
+        FsmTransition {
+            from: "up",
+            event: "relock",
+            to: "up",
+            exit_param: Some(TimingParam::RelockCycles),
+            requires: None,
+        },
+        FsmTransition {
+            from: "up",
+            event: "enter-fast",
+            to: "fast-pd",
+            exit_param: None,
+            requires: None,
+        },
+        FsmTransition {
+            from: "up",
+            event: "enter-slow",
+            to: "slow-pd",
+            exit_param: None,
+            requires: None,
+        },
+        FsmTransition {
+            from: "up",
+            event: "enter-deep",
+            to: "deep-pd",
+            exit_param: None,
+            requires: Some(FsmFeature::DeepPowerDown),
+        },
+        FsmTransition {
+            from: "fast-pd",
+            event: "access",
+            to: "up",
+            exit_param: Some(TimingParam::TXp),
+            requires: None,
+        },
+        FsmTransition {
+            from: "fast-pd",
+            event: "relock",
+            to: "up",
+            exit_param: Some(TimingParam::RelockCycles),
+            requires: None,
+        },
+        FsmTransition {
+            from: "fast-pd",
+            event: "refresh-due",
+            to: "fast-pd",
+            exit_param: None,
+            requires: None,
+        },
+        FsmTransition {
+            from: "slow-pd",
+            event: "access",
+            to: "up",
+            exit_param: Some(TimingParam::TXpdll),
+            requires: None,
+        },
+        FsmTransition {
+            from: "slow-pd",
+            event: "relock",
+            to: "up",
+            exit_param: Some(TimingParam::RelockCycles),
+            requires: None,
+        },
+        FsmTransition {
+            from: "slow-pd",
+            event: "refresh-due",
+            to: "slow-pd",
+            exit_param: None,
+            requires: None,
+        },
+        FsmTransition {
+            from: "deep-pd",
+            event: "access",
+            to: "up",
+            exit_param: Some(TimingParam::TXdpd),
+            requires: Some(FsmFeature::DeepPowerDown),
+        },
+        FsmTransition {
+            from: "deep-pd",
+            event: "relock",
+            to: "up",
+            exit_param: Some(TimingParam::RelockCycles),
+            requires: Some(FsmFeature::DeepPowerDown),
+        },
+        FsmTransition {
+            from: "deep-pd",
+            event: "refresh-due",
+            to: "deep-pd",
+            exit_param: None,
+            requires: Some(FsmFeature::DeepPowerDown),
+        },
+    ],
+};
+
+impl PowerDownMode {
+    /// The [`RANK_POWER_FSM`] state this mode occupies.
+    pub const fn fsm_state(self) -> &'static str {
+        match self {
+            PowerDownMode::Fast => "fast-pd",
+            PowerDownMode::Slow => "slow-pd",
+            PowerDownMode::Deep => "deep-pd",
+        }
+    }
 }
 
 /// Maximum refresh commands a rank catches up with in one burst; DDR3
@@ -589,6 +743,45 @@ mod tests {
 
     fn rank() -> Rank {
         Rank::new(8, 1, Picos::from_us(7))
+    }
+
+    #[test]
+    fn fsm_table_matches_implementation() {
+        use memscale_types::config::MemGeneration;
+        let cfg = DramTimingConfig::lpddr3();
+        let t = TimingSet::resolve(&cfg, MemFreq::F800);
+        for (mode, param) in [
+            (PowerDownMode::Fast, TimingParam::TXp),
+            (PowerDownMode::Slow, TimingParam::TXpdll),
+            (PowerDownMode::Deep, TimingParam::TXdpd),
+        ] {
+            let row = RANK_POWER_FSM
+                .transitions
+                .iter()
+                .find(|tr| tr.from == mode.fsm_state() && tr.event == "access")
+                .expect("access exit row");
+            assert_eq!(row.to, "up");
+            assert_eq!(row.exit_param, Some(param));
+            // The executable machine pays exactly that parameter.
+            let mut r = rank();
+            r.enter_power_down(mode, Picos::from_ns(10));
+            let (ready, exited) = r.ensure_awake(Picos::from_ns(100), &t);
+            assert_eq!(exited, Some(mode));
+            let expected = match param {
+                TimingParam::TXp => t.t_xp,
+                TimingParam::TXpdll => t.t_xpdll,
+                TimingParam::TXdpd => t.t_xdpd,
+                _ => unreachable!(),
+            };
+            assert_eq!(ready, Picos::from_ns(100) + expected);
+        }
+        // Deep power-down exists only behind the generation gate.
+        assert!(RANK_POWER_FSM
+            .active_transitions(MemGeneration::Ddr3)
+            .all(|tr| tr.from != "deep-pd" && tr.to != "deep-pd"));
+        assert!(RANK_POWER_FSM
+            .active_transitions(MemGeneration::Lpddr3)
+            .any(|tr| tr.to == "deep-pd"));
     }
 
     #[test]

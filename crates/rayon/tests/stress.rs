@@ -1,0 +1,211 @@
+//! Interleaving stress tests for the vendored rayon stand-in.
+//!
+//! The dispatcher hands worker threads item indices through an atomic
+//! dispenser and collects `(index, result)` pairs over a channel, so the
+//! bugs worth hunting are scheduling-order bugs: a job lost between the
+//! dispenser and the channel, an item dropped twice when workers race on a
+//! slot, a shutdown ordering that hangs the collector, or a panic that
+//! strands the remaining items. The tests below sweep worker counts and
+//! item counts through every small combination (bounded-loop exhaustion,
+//! with jittered work durations to shuffle the actual interleavings) and
+//! assert the exactly-once guarantees hold in each.
+//!
+//! `RAYON_NUM_THREADS` is process-global, so every test that varies it
+//! serializes on [`env_lock`]. The container running CI may expose a single
+//! core; forcing the thread count keeps the fan-out genuinely concurrent.
+
+use rayon::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Duration;
+
+/// Guards `RAYON_NUM_THREADS`: the variable is read by every parallel
+/// operation, so tests that set it must not overlap.
+fn env_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Runs `f` with the pool forced to `threads` workers.
+fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    let _guard = env_lock();
+    std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+    let out = f();
+    std::env::remove_var("RAYON_NUM_THREADS");
+    out
+}
+
+/// An item whose constructions and drops are counted, to catch both lost
+/// jobs (drops < constructions) and double drops (drops > constructions).
+struct Tracked {
+    id: usize,
+    drops: Arc<AtomicUsize>,
+}
+
+impl Drop for Tracked {
+    fn drop(&mut self) {
+        self.drops.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// Worker-count × item-count sweep used by the exhaustive tests: every
+/// shutdown ordering class (no items, fewer items than workers, exact
+/// match, more items than workers) at several pool sizes.
+const WORKERS: [usize; 5] = [1, 2, 3, 4, 8];
+const ITEMS: [usize; 7] = [0, 1, 2, 3, 7, 16, 64];
+
+#[test]
+fn every_job_runs_exactly_once_across_shutdown_orderings() {
+    for workers in WORKERS {
+        for items in ITEMS {
+            let hits: Vec<AtomicUsize> = (0..items).map(|_| AtomicUsize::new(0)).collect();
+            let out: Vec<usize> = with_threads(workers, || {
+                (0..items)
+                    .into_par_iter()
+                    .map(|i| {
+                        hits[i].fetch_add(1, Ordering::SeqCst);
+                        // Jitter the completion order so slow and fast
+                        // workers hit the channel shutdown differently.
+                        if i % 3 == 0 {
+                            std::thread::sleep(Duration::from_micros((i % 7) as u64));
+                        }
+                        i
+                    })
+                    .collect()
+            });
+            assert_eq!(out, (0..items).collect::<Vec<_>>(), "w={workers} n={items}");
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(
+                    h.load(Ordering::SeqCst),
+                    1,
+                    "item {i} ran {} times (w={workers} n={items})",
+                    h.load(Ordering::SeqCst)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn items_drop_exactly_once_across_shutdown_orderings() {
+    for workers in WORKERS {
+        for items in ITEMS {
+            let drops = Arc::new(AtomicUsize::new(0));
+            with_threads(workers, || {
+                let tracked: Vec<Tracked> = (0..items)
+                    .map(|id| Tracked {
+                        id,
+                        drops: Arc::clone(&drops),
+                    })
+                    .collect();
+                let ids: Vec<usize> = tracked.into_par_iter().map(|t| t.id).collect();
+                assert_eq!(ids.len(), items);
+            });
+            assert_eq!(
+                drops.load(Ordering::SeqCst),
+                items,
+                "w={workers} n={items}: lost or double-dropped an item"
+            );
+        }
+    }
+}
+
+#[test]
+fn panicking_job_propagates_and_leaks_nothing() {
+    for workers in [2, 4, 8] {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let constructed = 32;
+        let result = with_threads(workers, || {
+            let drops = Arc::clone(&drops);
+            catch_unwind(AssertUnwindSafe(move || {
+                let tracked: Vec<Tracked> = (0..constructed)
+                    .map(|id| Tracked {
+                        id,
+                        drops: Arc::clone(&drops),
+                    })
+                    .collect();
+                let _: Vec<usize> = tracked
+                    .into_par_iter()
+                    .map(|t| {
+                        assert!(t.id != 11, "deliberate stress panic");
+                        t.id
+                    })
+                    .collect();
+            }))
+        });
+        assert!(result.is_err(), "w={workers}: panic was swallowed");
+        // Every item must still be dropped exactly once: items consumed by
+        // the closure (including the panicking one) unwind through it,
+        // undispatched items unwind with the slot table.
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            constructed,
+            "w={workers}: leak or double drop after panic"
+        );
+    }
+}
+
+#[test]
+fn nested_joins_complete_at_every_pool_size() {
+    fn sum(depth: usize, base: u64) -> u64 {
+        if depth == 0 {
+            return base;
+        }
+        let (a, b) = rayon::join(|| sum(depth - 1, base), || sum(depth - 1, base + 1));
+        a + b
+    }
+    for workers in WORKERS {
+        let total = with_threads(workers, || sum(4, 0));
+        // 2^4 leaves; value depends only on the call tree, not scheduling.
+        assert_eq!(total, 32, "w={workers}");
+    }
+}
+
+#[test]
+fn for_each_side_effects_are_exactly_once_under_contention() {
+    for workers in WORKERS {
+        let n = 128;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        with_threads(workers, || {
+            (0..n).into_par_iter().for_each(|i| {
+                hits[i].fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert!(
+            hits.iter().all(|h| h.load(Ordering::SeqCst) == 1),
+            "w={workers}: a for_each side effect ran zero or multiple times"
+        );
+    }
+}
+
+#[test]
+fn result_collect_reports_an_error_from_any_slot() {
+    for workers in [1, 3, 8] {
+        for bad in [0usize, 31, 63] {
+            let out: Result<Vec<usize>, String> = with_threads(workers, || {
+                (0..64usize)
+                    .into_par_iter()
+                    .map(|i| {
+                        if i == bad {
+                            Err(format!("bad {i}"))
+                        } else {
+                            Ok(i)
+                        }
+                    })
+                    .collect()
+            });
+            assert_eq!(out.unwrap_err(), format!("bad {bad}"), "w={workers}");
+        }
+    }
+}
+
+#[test]
+fn oversubscribed_pool_still_converges() {
+    // More workers than items than cores: the dispenser must let surplus
+    // workers exit cleanly without stealing or replaying slots.
+    let out: Vec<usize> = with_threads(16, || (0..5usize).into_par_iter().map(|i| i * i).collect());
+    assert_eq!(out, vec![0, 1, 4, 9, 16]);
+}

@@ -4,6 +4,8 @@
 //! memscale-sim [OPTIONS]                 run baseline + policy (live generator)
 //! memscale-sim record --out PATH [OPTIONS]   record a replayable miss trace
 //! memscale-sim trace-info PATH           print a trace's header metadata
+//! memscale-sim check [--generation all|ddr3|ddr4|lpddr3] [--report PATH]
+//!                                        static consistency analysis
 //!
 //!   --mix NAME          Table 1 workload (default MID1)
 //!   --policy NAME       baseline | fast-pd | slow-pd | deep-pd | static:<mhz> |
@@ -32,11 +34,16 @@
 //! policy over the same work, then prints savings, CPI degradation and
 //! frequency residency. `record` runs a recording baseline plus recording
 //! runs of the chosen policy and the slowest static point, and writes the
-//! merged capture (plus margin) as a replayable artifact.
+//! merged capture (plus margin) as a replayable artifact. `check` runs the
+//! `memscale-check` static analyzer (device-table invariants at every grid
+//! frequency, power-state-machine model checking, audit rule-pack coverage)
+//! without simulating anything; `--report PATH` additionally writes the
+//! diagnostics to a file for CI artifact upload.
 //!
-//! Exit codes: 0 success, 1 simulation error, 2 usage error (including a
-//! replay trace recorded under an incompatible configuration), 3 fault run
-//! whose command stream failed protocol audit.
+//! Exit codes: 0 success, 1 simulation error (or, for `check`, at least one
+//! diagnostic), 2 usage error (including a replay trace recorded under an
+//! incompatible configuration), 3 fault run whose command stream failed
+//! protocol audit.
 
 use memscale::policies::PolicyKind;
 use memscale_simulator::harness::{record_trace, Experiment};
@@ -58,6 +65,13 @@ enum Command {
     Record,
     /// Print a trace's header metadata.
     TraceInfo(PathBuf),
+    /// Static consistency analysis (`None` = every generation).
+    Check {
+        /// Single generation to analyze, or `None` for all three.
+        generation: Option<MemGeneration>,
+        /// File to additionally write the diagnostics to.
+        report: Option<PathBuf>,
+    },
 }
 
 #[derive(Debug)]
@@ -118,6 +132,32 @@ fn parse_args() -> Result<Args, String> {
                 return Err(format!("trace-info takes exactly one PATH (got `{extra}`)"));
             }
             args.command = Command::TraceInfo(path.into());
+            return Ok(args);
+        }
+        Some("check") => {
+            it.next();
+            let mut generation = None;
+            let mut report = None;
+            while let Some(flag) = it.next() {
+                let mut value =
+                    |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+                match flag.as_str() {
+                    "--generation" => {
+                        let name = value("--generation")?;
+                        generation = if name == "all" {
+                            None
+                        } else {
+                            Some(MemGeneration::parse(&name).ok_or_else(|| {
+                                format!("unknown generation {name}; use all|ddr3|ddr4|lpddr3")
+                            })?)
+                        };
+                    }
+                    "--report" => report = Some(value("--report")?.into()),
+                    "--help" | "-h" => return Err("help".into()),
+                    other => return Err(format!("unknown check flag {other}")),
+                }
+            }
+            args.command = Command::Check { generation, report };
             return Ok(args);
         }
         _ => {}
@@ -415,6 +455,34 @@ fn trace_info(path: &std::path::Path) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `memscale-sim check`: run the static consistency analyzer over one or
+/// every generation; exit 0 only when no pass produced a diagnostic.
+fn run_check(generation: Option<MemGeneration>, report_path: Option<&std::path::Path>) -> ExitCode {
+    let reports = match generation {
+        Some(gen) => vec![memscale_check::run_generation(gen)],
+        None => memscale_check::run_all(),
+    };
+    let mut text = String::new();
+    for report in &reports {
+        text.push_str(&report.summary());
+        text.push('\n');
+    }
+    print!("{text}");
+    if let Some(path) = report_path {
+        if let Err(e) = std::fs::write(path, &text) {
+            eprintln!("error: writing {}: {e}", path.display());
+            return ExitCode::from(1);
+        }
+    }
+    let total: usize = reports.iter().map(|r| r.diagnostics.len()).sum();
+    if total == 0 {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("error: static analysis found {total} violation(s)");
+        ExitCode::from(1)
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -430,6 +498,7 @@ fn main() -> ExitCode {
                  \x20                  [--replay PATH] [--json] [--list]\n\
                  \x20      memscale-sim record --out PATH [--margin PCT] [run options]\n\
                  \x20      memscale-sim trace-info PATH\n\
+                 \x20      memscale-sim check [--generation all|ddr3|ddr4|lpddr3] [--report PATH]\n\
                  policies: baseline fast-pd slow-pd deep-pd static:<mhz> decoupled\n\
                  \x20         memscale mem-energy memscale-pd per-channel"
             );
@@ -443,6 +512,10 @@ fn main() -> ExitCode {
 
     if let Command::TraceInfo(path) = &args.command {
         return trace_info(path);
+    }
+
+    if let Command::Check { generation, report } = &args.command {
+        return run_check(*generation, report.as_deref());
     }
 
     if args.list {

@@ -13,7 +13,7 @@ pub struct ConfigError {
 }
 
 impl ConfigError {
-    fn new(message: impl Into<String>) -> Self {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
         ConfigError {
             message: message.into(),
         }
@@ -500,142 +500,19 @@ impl DramTimingConfig {
 
     /// Checks for physically sensible values.
     ///
+    /// The checks themselves live in [`crate::invariants::check_timing`],
+    /// shared with the `memscale-check` static analyzer so startup
+    /// validation and `memscale-sim check` can never disagree on what a
+    /// legal table is. This method reports the first violated invariant.
+    ///
     /// # Errors
     ///
-    /// Returns a [`ConfigError`] naming the offending field.
+    /// Returns a [`ConfigError`] naming the offending field(s).
     pub fn validate(&self) -> Result<(), ConfigError> {
-        let positive = [
-            ("t_rcd_ns", self.t_rcd_ns),
-            ("t_rp_ns", self.t_rp_ns),
-            ("t_cl_ns", self.t_cl_ns),
-            ("t_ras_ns", self.t_ras_ns),
-            ("t_rrd_ns", self.t_rrd_ns),
-            ("t_faw_ns", self.t_faw_ns),
-            ("t_rtp_ns", self.t_rtp_ns),
-            ("t_wr_ns", self.t_wr_ns),
-            ("t_xp_ns", self.t_xp_ns),
-            ("t_xpdll_ns", self.t_xpdll_ns),
-            ("refresh_period_ms", self.refresh_period_ms),
-            ("t_rfc_ns", self.t_rfc_ns),
-        ];
-        for (name, v) in positive {
-            if v <= 0.0 || !v.is_finite() {
-                return Err(ConfigError::new(format!("{name} must be positive")));
-            }
+        match crate::invariants::check_timing(self).into_iter().next() {
+            None => Ok(()),
+            Some(d) => Err(ConfigError::new(d.message)),
         }
-        if self.burst_cycles == 0 {
-            return Err(ConfigError::new("burst_cycles must be > 0"));
-        }
-        if self.refresh_commands == 0 {
-            return Err(ConfigError::new("refresh_commands must be > 0"));
-        }
-        if self.mc_pipeline_cycles == 0 {
-            return Err(ConfigError::new("mc_pipeline_cycles must be > 0"));
-        }
-        // Cross-parameter consistency: individually plausible values can
-        // still describe a device no DDR3 datasheet would permit, and the
-        // timing engine (and the protocol auditor checking it) assume these
-        // orderings hold.
-        if self.t_ras_ns < self.t_rcd_ns + self.t_rtp_ns {
-            return Err(ConfigError::new(format!(
-                "t_ras_ns ({}) must be >= t_rcd_ns + t_rtp_ns ({}): a read \
-                 could otherwise precharge before the row finished activating",
-                self.t_ras_ns,
-                self.t_rcd_ns + self.t_rtp_ns
-            )));
-        }
-        if self.t_faw_ns < 2.0 * self.t_rrd_ns {
-            return Err(ConfigError::new(format!(
-                "t_faw_ns ({}) must be >= 2 * t_rrd_ns ({}): a four-activate \
-                 window shorter than two ACT-to-ACT gaps never constrains",
-                self.t_faw_ns,
-                2.0 * self.t_rrd_ns
-            )));
-        }
-        let refi_ns = self.refresh_period_ms * 1e6 / self.refresh_commands as f64;
-        if self.t_rfc_ns >= refi_ns {
-            return Err(ConfigError::new(format!(
-                "t_rfc_ns ({}) must be < the refresh interval tREFI ({refi_ns} \
-                 ns): refresh would otherwise consume the whole device",
-                self.t_rfc_ns
-            )));
-        }
-        self.validate_generation()
-    }
-
-    /// Generation-specific cross-checks, with errors naming the generation.
-    fn validate_generation(&self) -> Result<(), ConfigError> {
-        let gen = self.generation;
-        if self.bank_groups == 0 {
-            return Err(ConfigError::new(format!("{gen}: bank_groups must be > 0")));
-        }
-        if self.t_ccd_s_cycles == 0 || self.t_ccd_l_cycles == 0 {
-            return Err(ConfigError::new(format!(
-                "{gen}: tCCD_S/tCCD_L must be > 0 cycles"
-            )));
-        }
-        if !self.t_rrd_l_ns.is_finite() || self.t_rrd_l_ns <= 0.0 {
-            return Err(ConfigError::new(format!(
-                "{gen}: t_rrd_l_ns must be positive"
-            )));
-        }
-        if gen.has_bank_groups() {
-            if self.bank_groups < 2 {
-                return Err(ConfigError::new(format!(
-                    "{gen} splits banks into groups: bank_groups must be >= 2"
-                )));
-            }
-            if self.t_ccd_l_cycles < self.t_ccd_s_cycles {
-                return Err(ConfigError::new(format!(
-                    "{gen}: t_ccd_l_cycles ({}) must be >= t_ccd_s_cycles ({}): \
-                     the same-group CAS spacing is the longer one",
-                    self.t_ccd_l_cycles, self.t_ccd_s_cycles
-                )));
-            }
-            if self.t_rrd_l_ns < self.t_rrd_ns {
-                return Err(ConfigError::new(format!(
-                    "{gen}: t_rrd_l_ns ({}) must be >= t_rrd_ns ({}): the \
-                     same-group ACT spacing is the longer one",
-                    self.t_rrd_l_ns, self.t_rrd_ns
-                )));
-            }
-        } else if self.bank_groups != 1 {
-            return Err(ConfigError::new(format!(
-                "{gen} has no bank groups: bank_groups must be 1"
-            )));
-        }
-        if gen.has_deep_power_down() {
-            if !self.t_xdpd_ns.is_finite() || self.t_xdpd_ns <= self.t_xpdll_ns {
-                return Err(ConfigError::new(format!(
-                    "{gen}: deep power-down exit t_xdpd_ns ({}) must exceed \
-                     the slow-exit latency t_xpdll_ns ({})",
-                    self.t_xdpd_ns, self.t_xpdll_ns
-                )));
-            }
-        } else if self.t_xdpd_ns != 0.0 {
-            return Err(ConfigError::new(format!(
-                "{gen} has no deep power-down state: t_xdpd_ns must be 0"
-            )));
-        }
-        if self.per_bank_refresh {
-            if gen != MemGeneration::Lpddr3 {
-                return Err(ConfigError::new(format!(
-                    "{gen} has no per-bank refresh: per_bank_refresh must be \
-                     false"
-                )));
-            }
-            if !self.t_rfc_pb_ns.is_finite()
-                || self.t_rfc_pb_ns <= 0.0
-                || self.t_rfc_pb_ns >= self.t_rfc_ns
-            {
-                return Err(ConfigError::new(format!(
-                    "{gen}: per-bank refresh t_rfc_pb_ns ({}) must be \
-                     positive and < the all-bank t_rfc_ns ({})",
-                    self.t_rfc_pb_ns, self.t_rfc_ns
-                )));
-            }
-        }
-        Ok(())
     }
 }
 
@@ -837,32 +714,15 @@ impl SystemConfig {
         self.cpu.validate()?;
         self.timing.validate()?;
         self.power.validate()?;
-        // Cross-section checks tying timing to topology.
-        let gen = self.timing.generation;
-        if !self
-            .topology
-            .banks_per_rank
-            .is_multiple_of(self.timing.bank_groups)
+        // Cross-section checks tying timing to topology, shared with the
+        // static analyzer.
+        match crate::invariants::check_system_timing(self.topology.banks_per_rank, &self.timing)
+            .into_iter()
+            .next()
         {
-            return Err(ConfigError::new(format!(
-                "{gen}: banks_per_rank ({}) must be divisible by bank_groups \
-                 ({}) for the round-robin group mapping",
-                self.topology.banks_per_rank, self.timing.bank_groups
-            )));
+            None => Ok(()),
+            Some(d) => Err(ConfigError::new(d.message)),
         }
-        if self.timing.per_bank_refresh {
-            let refi_pb_ns = self.timing.refresh_period_ms * 1e6
-                / self.timing.refresh_commands as f64
-                / f64::from(self.topology.banks_per_rank);
-            if self.timing.t_rfc_pb_ns >= refi_pb_ns {
-                return Err(ConfigError::new(format!(
-                    "{gen}: t_rfc_pb_ns ({}) must be < the per-bank refresh \
-                     interval tREFI/banks ({refi_pb_ns} ns)",
-                    self.timing.t_rfc_pb_ns
-                )));
-            }
-        }
-        Ok(())
     }
 
     /// The reference configuration for a memory generation: Table 2 with

@@ -37,6 +37,7 @@ pub mod events;
 pub mod faults;
 pub mod freq;
 pub mod ids;
+pub mod invariants;
 pub mod time;
 
 pub use address::{AddressMap, Location, PhysAddr};
@@ -45,4 +46,5 @@ pub use events::{CmdEvent, CmdKind};
 pub use faults::{CounterFault, FaultPlan, FaultSpecError, RefreshFault, SwitchFault};
 pub use freq::MemFreq;
 pub use ids::{AppId, BankId, ChannelId, CoreId, RankId};
+pub use invariants::{Diagnostic, FsmFeature, FsmSpec, FsmTransition, TimingParam};
 pub use time::Picos;
