@@ -4,6 +4,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use memscale::policies::PolicyKind;
+use memscale_bench::report::BenchArtifact;
 use memscale_simulator::harness::{record_trace, Experiment};
 use memscale_simulator::shard::{default_grid, replay_sequential, replay_sharded};
 use memscale_simulator::SimConfig;
@@ -116,20 +117,25 @@ fn bench_sharded_sweep(c: &mut Criterion) {
         "parallel and sequential sweeps must fail identically"
     );
 
-    let artifact = format!(
-        "{{\n  \"benchmark\": \"trace_replay_sharded\",\n  \"mix\": \"{}\",\n  \"generation\": \"{}\",\n  \"duration_ms\": {},\n  \"trace_records\": {},\n  \"shards\": {},\n  \"shard_errors\": {},\n  \"threads\": {},\n  \"record_s\": {:.4},\n  \"sequential_s\": {:.4},\n  \"sharded_s\": {:.4},\n  \"speedup\": {:.3}\n}}\n",
-        mix.name,
-        MemGeneration::Ddr3,
-        cfg.duration.as_ms_f64(),
-        records,
-        shards.len(),
-        errors,
-        rayon::current_num_threads(),
-        record_s,
-        sequential_s,
-        sharded_s,
-        sequential_s / sharded_s
-    );
+    // `sim_duration_ms` is the *simulated* horizon; every wall clock goes
+    // under a `_s` key, with `wall_clock_s` covering the whole sweep (the
+    // old artifact wrote the 2 ms simulated horizon as `duration_ms` next
+    // to multi-second wall clocks — see `BenchArtifact`).
+    let mut artifact = BenchArtifact::new("trace_replay_sharded");
+    artifact
+        .push_str("mix", mix.name)
+        .push_str("generation", MemGeneration::Ddr3)
+        .sim_duration_ms("duration", cfg.duration.as_ms_f64())
+        .push_count("trace_records", records)
+        .push_count("shards", shards.len())
+        .push_count("shard_errors", errors)
+        .push_count("threads", rayon::current_num_threads())
+        .seconds("record", record_s)
+        .seconds("sequential", sequential_s)
+        .seconds("sharded", sharded_s)
+        .push_f64("speedup", sequential_s / sharded_s, 3)
+        .wall_clock_s(record_s + sequential_s + sharded_s);
+    let artifact = artifact.render();
     let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_replay.json");
     std::fs::write(&out, &artifact).expect("writing BENCH_replay.json");
     eprintln!("sharded sweep: {artifact}");

@@ -10,4 +10,4 @@
 pub mod exp;
 pub mod report;
 
-pub use report::Table;
+pub use report::{BenchArtifact, Table};

@@ -85,6 +85,64 @@ impl PolicyKind {
         ]
     }
 
+    /// The stable machine-readable spelling shared by the `memscale-sim`
+    /// CLI and the serve wire protocol: `baseline`, `fast-pd`, `slow-pd`,
+    /// `deep-pd`, `static:<mhz>`, `decoupled:<mhz>`, `memscale`,
+    /// `mem-energy`, `memscale-pd`, `per-channel`.
+    /// [`PolicyKind::parse`] is its exact inverse.
+    pub fn wire_name(&self) -> String {
+        match self {
+            PolicyKind::Baseline => "baseline".into(),
+            PolicyKind::FastPd => "fast-pd".into(),
+            PolicyKind::SlowPd => "slow-pd".into(),
+            PolicyKind::DeepPd => "deep-pd".into(),
+            PolicyKind::Static(f) => format!("static:{}", f.mhz()),
+            PolicyKind::Decoupled { device } => format!("decoupled:{}", device.mhz()),
+            PolicyKind::MemScale => "memscale".into(),
+            PolicyKind::MemScaleMemEnergy => "mem-energy".into(),
+            PolicyKind::MemScaleFastPd => "memscale-pd".into(),
+            PolicyKind::MemScalePerChannel => "per-channel".into(),
+        }
+    }
+
+    /// Parses a [`PolicyKind::wire_name`] spelling (plus the bare
+    /// `decoupled`, which keeps the CLI's historical 400 MHz default).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the unknown name or out-of-grid
+    /// frequency.
+    pub fn parse(name: &str) -> Result<PolicyKind, String> {
+        let static_point = |mhz: &str, what: &str| -> Result<MemFreq, String> {
+            let mhz: u32 = mhz.parse().map_err(|e| format!("{what}:<mhz>: {e}"))?;
+            MemFreq::ceil_from_mhz(mhz).ok_or_else(|| format!("{mhz} MHz exceeds the 800 MHz grid"))
+        };
+        Ok(match name {
+            "baseline" => PolicyKind::Baseline,
+            "fast-pd" => PolicyKind::FastPd,
+            "slow-pd" => PolicyKind::SlowPd,
+            "deep-pd" => PolicyKind::DeepPd,
+            "decoupled" => PolicyKind::Decoupled {
+                device: MemFreq::F400,
+            },
+            "memscale" => PolicyKind::MemScale,
+            "mem-energy" => PolicyKind::MemScaleMemEnergy,
+            "memscale-pd" => PolicyKind::MemScaleFastPd,
+            "per-channel" => PolicyKind::MemScalePerChannel,
+            other => {
+                if let Some(mhz) = other.strip_prefix("static:") {
+                    PolicyKind::Static(static_point(mhz, "static")?)
+                } else if let Some(mhz) = other.strip_prefix("decoupled:") {
+                    PolicyKind::Decoupled {
+                        device: static_point(mhz, "decoupled")?,
+                    }
+                } else {
+                    return Err(format!("unknown policy {other}"));
+                }
+            }
+        })
+    }
+
     /// Whether this scheme exists on `generation`. Deep power-down is
     /// LPDDR-only; everything else is generation-agnostic.
     pub fn available_on(&self, generation: MemGeneration) -> bool {
@@ -270,6 +328,38 @@ mod tests {
 
     fn policy(kind: PolicyKind) -> Policy {
         Policy::new(kind, &SystemConfig::default(), GovernorConfig::default())
+    }
+
+    #[test]
+    fn wire_names_round_trip_through_parse() {
+        let mut kinds = vec![
+            PolicyKind::Baseline,
+            PolicyKind::FastPd,
+            PolicyKind::SlowPd,
+            PolicyKind::DeepPd,
+            PolicyKind::MemScale,
+            PolicyKind::MemScaleMemEnergy,
+            PolicyKind::MemScaleFastPd,
+            PolicyKind::MemScalePerChannel,
+            PolicyKind::Decoupled {
+                device: MemFreq::F467,
+            },
+        ];
+        kinds.extend(MemFreq::ALL.iter().map(|&f| PolicyKind::Static(f)));
+        for kind in kinds {
+            assert_eq!(PolicyKind::parse(&kind.wire_name()), Ok(kind));
+        }
+        // The bare CLI spelling keeps its historical default.
+        assert_eq!(
+            PolicyKind::parse("decoupled"),
+            Ok(PolicyKind::Decoupled {
+                device: MemFreq::F400
+            })
+        );
+        assert!(PolicyKind::parse("static:9000").is_err());
+        assert!(PolicyKind::parse("warp-drive")
+            .unwrap_err()
+            .contains("unknown policy"));
     }
 
     #[test]

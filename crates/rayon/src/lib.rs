@@ -13,8 +13,9 @@
 //! can be overridden with the `RAYON_NUM_THREADS` environment variable,
 //! mirroring real rayon.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 
 /// The parallel-iterator traits, for `use rayon::prelude::*;`.
 pub mod prelude {
@@ -55,6 +56,193 @@ where
         let rb = hb.join().expect("rayon::join worker panicked");
         (ra, rb)
     })
+}
+
+// --- Persistent thread pool with a bounded work queue ----------------------
+
+/// A queued unit of work.
+type PoolJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// Error returned by [`ThreadPool::try_execute`] when the work queue is at
+/// capacity — the caller's backpressure signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull {
+    /// Number of jobs waiting when the submission was rejected.
+    pub depth: usize,
+    /// The queue's configured capacity.
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "work queue full ({}/{} jobs queued)",
+            self.depth, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
+struct PoolState {
+    queue: VecDeque<PoolJob>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Signalled when work arrives or shutdown is requested.
+    work: Condvar,
+    /// Signalled when a job leaves the queue (space for blocked producers).
+    space: Condvar,
+    capacity: usize,
+    executed: AtomicUsize,
+}
+
+/// A persistent pool of worker threads pulling jobs from a **bounded** FIFO
+/// queue. Unlike the scoped fan-out of [`ParallelIterator`], the pool
+/// outlives individual submissions, so long-running services can feed it a
+/// stream of independent jobs:
+///
+/// * [`ThreadPool::try_execute`] rejects with [`QueueFull`] when the queue
+///   is at capacity — the caller can surface structured backpressure
+///   (e.g. an overload response) instead of buffering unboundedly;
+/// * [`ThreadPool::execute`] blocks the producer until space frees up.
+///
+/// Dropping the pool drains the queue (queued jobs still run) and joins the
+/// workers.
+pub struct ThreadPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.workers.len())
+            .field("capacity", &self.shared.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ThreadPool {
+    /// A pool of `threads` workers (at least one) whose queue holds at most
+    /// `queue_capacity` not-yet-started jobs (at least one).
+    pub fn new(threads: usize, queue_capacity: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            space: Condvar::new(),
+            capacity: queue_capacity.max(1),
+            executed: AtomicUsize::new(0),
+        });
+        let workers = (0..threads.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        ThreadPool { shared, workers }
+    }
+
+    /// A pool sized like the parallel iterators: [`current_num_threads`]
+    /// workers, queue capacity `queue_capacity`.
+    pub fn with_default_threads(queue_capacity: usize) -> Self {
+        ThreadPool::new(current_num_threads(), queue_capacity)
+    }
+
+    /// Jobs currently waiting in the queue (excluding running jobs).
+    pub fn queue_len(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("pool lock poisoned")
+            .queue
+            .len()
+    }
+
+    /// Total jobs that have finished executing since the pool was built.
+    pub fn jobs_executed(&self) -> usize {
+        self.shared.executed.load(Ordering::Relaxed)
+    }
+
+    /// Submits `job`, failing fast with [`QueueFull`] when the queue is at
+    /// capacity.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueFull`] carries the observed depth and the capacity.
+    pub fn try_execute<F>(&self, job: F) -> Result<(), QueueFull>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let mut state = self.shared.state.lock().expect("pool lock poisoned");
+        if state.queue.len() >= self.shared.capacity {
+            return Err(QueueFull {
+                depth: state.queue.len(),
+                capacity: self.shared.capacity,
+            });
+        }
+        state.queue.push_back(Box::new(job));
+        drop(state);
+        self.shared.work.notify_one();
+        Ok(())
+    }
+
+    /// Submits `job`, blocking while the queue is at capacity
+    /// (producer-side backpressure).
+    pub fn execute<F>(&self, job: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let mut state = self.shared.state.lock().expect("pool lock poisoned");
+        while state.queue.len() >= self.shared.capacity {
+            state = self.shared.space.wait(state).expect("pool lock poisoned");
+        }
+        state.queue.push_back(Box::new(job));
+        drop(state);
+        self.shared.work.notify_one();
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool lock poisoned");
+            state.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("pool lock poisoned");
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    shared.space.notify_one();
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared.work.wait(state).expect("pool lock poisoned");
+            }
+        };
+        // A panicking job must not take its worker thread (and eventually
+        // the whole pool) down with it; the panic payload is dropped and
+        // the job still counts as executed.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+        shared.executed.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Conversion into a parallel iterator (by value).
@@ -315,6 +503,83 @@ mod tests {
     #[test]
     fn thread_count_is_positive() {
         assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn pool_runs_every_job_exactly_once() {
+        let pool = ThreadPool::new(4, 64);
+        let count = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let count = Arc::clone(&count);
+            pool.execute(move || {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        drop(pool); // drains the queue and joins workers
+        assert_eq!(count.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn pool_try_execute_rejects_when_full() {
+        // One worker blocked on a gate, capacity 1: the second queued job
+        // fills the queue, the third is rejected with the observed depth.
+        let pool = ThreadPool::new(1, 1);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let g = Arc::clone(&gate);
+        pool.execute(move || {
+            let (lock, cv) = &*g;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+        });
+        // Wait for the worker to pick the blocker up so the queue is empty.
+        while pool.queue_len() > 0 {
+            std::thread::yield_now();
+        }
+        assert!(pool.try_execute(|| {}).is_ok());
+        let err = pool.try_execute(|| {}).unwrap_err();
+        assert_eq!(
+            err,
+            QueueFull {
+                depth: 1,
+                capacity: 1
+            }
+        );
+        assert!(err.to_string().contains("1/1"));
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        drop(pool);
+    }
+
+    #[test]
+    fn pool_execute_blocks_then_drains() {
+        // Producer-side backpressure: with capacity 1 the blocking submits
+        // must all eventually run.
+        let pool = ThreadPool::new(2, 1);
+        let count = Arc::new(AtomicUsize::new(0));
+        for _ in 0..20 {
+            let count = Arc::clone(&count);
+            pool.execute(move || {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        drop(pool);
+        assert_eq!(count.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn pool_survives_panicking_job() {
+        let pool = ThreadPool::new(1, 8);
+        pool.execute(|| panic!("job panic must not kill the worker"));
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = Arc::clone(&ran);
+        pool.execute(move || {
+            r.fetch_add(1, Ordering::Relaxed);
+        });
+        drop(pool);
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
     }
 
     #[test]

@@ -1,0 +1,199 @@
+//! The fingerprint-keyed result/calibration cache.
+//!
+//! Sweep jobs repeat: a parameter study resubmits the same configuration
+//! with one knob moved, a dashboard refreshes the same grid, N load-test
+//! clients hammer one spec. Every cacheable artifact of a job is keyed by
+//! the triple `(SimConfig::fingerprint, trace CRC, label)`:
+//!
+//! * the **configuration fingerprint** covers every knob that shapes a
+//!   run's miss stream and results (see `SimConfig::fingerprint`);
+//! * the **trace CRC** identifies the input data — the CRC-32 of the trace
+//!   file for replay-fed jobs, or of the mix name for live-recorded jobs
+//!   (the fingerprint already pins seed/duration, so the mix name is the
+//!   only missing degree of freedom);
+//! * the **label** distinguishes the artifacts of one sweep: one entry per
+//!   policy cell plus one for the calibrated baseline bundle.
+//!
+//! Eviction is least-recently-used; hit/miss counters are global to the
+//! cache, while per-job counts are tallied by the server as it looks up.
+
+use std::collections::HashMap;
+
+/// Cache key: `(config fingerprint, input CRC, cell label)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// `SimConfig::fingerprint()` of the job's run configuration.
+    pub fingerprint: u64,
+    /// CRC-32 of the job's input identity (trace bytes or mix name).
+    pub trace_crc: u32,
+    /// Which artifact of the sweep this is (policy wire name, or
+    /// [`CacheKey::BASELINE`]).
+    pub label: String,
+}
+
+impl CacheKey {
+    /// The label reserved for the calibrated baseline bundle of a
+    /// `(fingerprint, trace)` pair.
+    pub const BASELINE: &'static str = "__baseline__";
+}
+
+/// A bounded least-recently-used map with hit/miss accounting.
+#[derive(Debug)]
+pub struct LruCache<V> {
+    map: HashMap<CacheKey, Entry<V>>,
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+#[derive(Debug)]
+struct Entry<V> {
+    value: V,
+    last_used: u64,
+}
+
+impl<V> LruCache<V> {
+    /// A cache holding at most `capacity` entries (at least one).
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            map: HashMap::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Looks `key` up, counting a hit or miss and refreshing recency on a
+    /// hit.
+    pub fn get(&mut self, key: &CacheKey) -> Option<&V> {
+        self.tick += 1;
+        match self.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = self.tick;
+                self.hits += 1;
+                Some(&entry.value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) `key`, evicting the least-recently-used entry
+    /// when at capacity. Inserting counts as a use.
+    pub fn insert(&mut self, key: CacheKey, value: V) {
+        self.tick += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(
+            key,
+            Entry {
+                value,
+                last_used: self.tick,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(label: &str) -> CacheKey {
+        CacheKey {
+            fingerprint: 0xfeed,
+            trace_crc: 7,
+            label: label.into(),
+        }
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut c: LruCache<u32> = LruCache::new(4);
+        assert_eq!(c.get(&key("a")), None);
+        c.insert(key("a"), 1);
+        assert_eq!(c.get(&key("a")), Some(&1));
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+    }
+
+    #[test]
+    fn distinct_fingerprints_do_not_collide() {
+        let mut c: LruCache<u32> = LruCache::new(4);
+        c.insert(key("a"), 1);
+        let other = CacheKey {
+            fingerprint: 0xbeef,
+            ..key("a")
+        };
+        assert_eq!(c.get(&other), None);
+        let other_crc = CacheKey {
+            trace_crc: 8,
+            ..key("a")
+        };
+        assert_eq!(c.get(&other_crc), None);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c: LruCache<u32> = LruCache::new(2);
+        c.insert(key("a"), 1);
+        c.insert(key("b"), 2);
+        assert_eq!(c.get(&key("a")), Some(&1)); // refresh `a`
+        c.insert(key("c"), 3); // evicts `b`
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&key("b")), None);
+        assert_eq!(c.get(&key("a")), Some(&1));
+        assert_eq!(c.get(&key("c")), Some(&3));
+    }
+
+    #[test]
+    fn replacing_does_not_evict() {
+        let mut c: LruCache<u32> = LruCache::new(2);
+        c.insert(key("a"), 1);
+        c.insert(key("b"), 2);
+        c.insert(key("a"), 10);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&key("a")), Some(&10));
+        assert_eq!(c.get(&key("b")), Some(&2));
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut c: LruCache<u32> = LruCache::new(0);
+        c.insert(key("a"), 1);
+        assert_eq!(c.get(&key("a")), Some(&1));
+        c.insert(key("b"), 2);
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+    }
+}

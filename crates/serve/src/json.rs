@@ -1,0 +1,523 @@
+//! A minimal JSON value model, parser and renderer.
+//!
+//! The build container is offline, so the serve protocol cannot lean on
+//! `serde`; this module implements the subset of JSON the wire format needs
+//! with two properties the server relies on:
+//!
+//! * **no panics on arbitrary input** — every malformed byte sequence
+//!   becomes a [`JsonError`] naming the offset;
+//! * **integer exactness** — numbers keep their source lexeme
+//!   ([`Json::Num`] stores the text), so a `u64` seed survives a round trip
+//!   that an `f64`-only model would silently round.
+
+use std::fmt;
+
+/// A parsed JSON value. Objects preserve key order (the wire format is
+/// diffable in tests); duplicate keys are rejected at parse time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its source lexeme for integer exactness.
+    Num(String),
+    /// A string (already unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in key order.
+    Obj(Vec<(String, Json)>),
+}
+
+/// A structured parse failure: what was expected, at which byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// What the parser expected.
+    pub expected: String,
+    /// Byte offset in the input where the failure was detected.
+    pub at: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid JSON at byte {}: expected {}",
+            self.at, self.expected
+        )
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Builds a number value from anything rust can format as a number.
+    pub fn num(n: impl fmt::Display) -> Json {
+        Json::Num(n.to_string())
+    }
+
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// This number as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// This number as `u64` (exact — parses the lexeme, no float round
+    /// trip).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Renders the value as compact single-line JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(s) => out.push_str(s),
+            Json::Str(s) => render_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses one complete JSON value from `input`; trailing non-whitespace is
+/// an error (one value per protocol line).
+///
+/// # Errors
+///
+/// A [`JsonError`] naming the expected token and the byte offset; arbitrary
+/// input can never panic the parser.
+pub fn parse(input: &str) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("end of input"));
+    }
+    Ok(value)
+}
+
+const MAX_DEPTH: usize = 32;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, expected: &str) -> JsonError {
+        JsonError {
+            expected: expected.to_string(),
+            at: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8, what: &str) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(what))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            Err(self.err(kw))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err("shallower nesting"));
+        }
+        match self.peek() {
+            Some(b'n') => self.eat_keyword("null", Json::Null),
+            Some(b't') => self.eat_keyword("true", Json::Bool(true)),
+            Some(b'f') => self.eat_keyword("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.eat(b'[', "[")?;
+        self.depth += 1;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("`,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.eat(b'{', "{")?;
+        self.depth += 1;
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key_at = self.pos;
+            let key = self.string()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(JsonError {
+                    expected: format!("unique key (duplicate `{key}`)"),
+                    at: key_at,
+                });
+            }
+            self.skip_ws();
+            self.eat(b':', ":")?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("`,` or `}`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"', "\"")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("closing `\"`")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let c = self.unicode_escape()?;
+                            out.push(c);
+                            continue;
+                        }
+                        _ => return Err(self.err("a valid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => return Err(self.err("no raw control characters")),
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // byte stream is valid UTF-8 by construction).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("valid UTF-8"))?;
+                    let c = s.chars().next().ok_or_else(|| self.err("a character"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let hi = self.hex4()?;
+        // Surrogate pair handling: a high surrogate must be followed by
+        // `\u` and a low surrogate.
+        if (0xD800..=0xDBFF).contains(&hi) {
+            self.eat(b'\\', "\\ of a surrogate pair")?;
+            self.eat(b'u', "u of a surrogate pair")?;
+            let lo = self.hex4()?;
+            if !(0xDC00..=0xDFFF).contains(&lo) {
+                return Err(self.err("a low surrogate"));
+            }
+            let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+            char::from_u32(c).ok_or_else(|| self.err("a valid code point"))
+        } else {
+            char::from_u32(hi).ok_or_else(|| self.err("a valid code point"))
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v: u32 = 0;
+        for _ in 0..4 {
+            let d = match self.peek() {
+                Some(b @ b'0'..=b'9') => u32::from(b - b'0'),
+                Some(b @ b'a'..=b'f') => u32::from(b - b'a') + 10,
+                Some(b @ b'A'..=b'F') => u32::from(b - b'A') + 10,
+                _ => return Err(self.err("4 hex digits")),
+            };
+            v = (v << 4) | d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return Err(self.err("digits"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let frac_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return Err(self.err("fraction digits"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return Err(self.err("exponent digits"));
+            }
+        }
+        let lexeme =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number lexemes are ASCII");
+        // Guard against lexemes no reader could accept (overflow parses to
+        // infinity in rust, which JSON cannot represent).
+        if !lexeme.parse::<f64>().is_ok_and(f64::is_finite) {
+            return Err(JsonError {
+                expected: "a representable number".into(),
+                at: start,
+            });
+        }
+        Ok(Json::Num(lexeme.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(parse("42").unwrap().as_u64(), Some(42));
+        assert_eq!(parse("-1.5e3").unwrap().as_f64(), Some(-1500.0));
+        assert_eq!(parse("\"hi\"").unwrap().as_str(), Some("hi"));
+    }
+
+    #[test]
+    fn u64_seeds_survive_exactly() {
+        let max = u64::MAX.to_string();
+        let v = parse(&max).unwrap();
+        assert_eq!(v.as_u64(), Some(u64::MAX));
+        assert_eq!(v.render(), max);
+    }
+
+    #[test]
+    fn objects_and_arrays_round_trip() {
+        let src = r#"{"a":[1,2,3],"b":{"c":"x","d":null},"e":true}"#;
+        let v = parse(src).unwrap();
+        assert_eq!(v.render(), src);
+        assert_eq!(
+            v.get("b").and_then(|b| b.get("c")).and_then(Json::as_str),
+            Some("x")
+        );
+        assert_eq!(
+            v.get("a").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(3)
+        );
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let v = Json::Str("line\nquote\"back\\tab\tnul\u{1}".into());
+        let rendered = v.render();
+        assert_eq!(parse(&rendered).unwrap(), v);
+        assert_eq!(
+            parse(r#""\u0041\u00e9\ud83d\ude00""#).unwrap().as_str(),
+            Some("Aé😀")
+        );
+    }
+
+    #[test]
+    fn malformed_inputs_error_and_never_panic() {
+        for bad in [
+            "",
+            "{",
+            "[",
+            "\"",
+            "{\"a\"}",
+            "{\"a\":}",
+            "[1,]",
+            "tru",
+            "01x",
+            "-",
+            "1e",
+            "\"\\q\"",
+            "\"\\u12\"",
+            "\"\\ud800x\"",
+            "{\"a\":1,\"a\":2}",
+            "1 2",
+            "\u{7}",
+            "1e99999",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(parse(&deep).is_err(), "depth limit must trip");
+    }
+
+    #[test]
+    fn error_reports_offset() {
+        let e = parse("{\"a\": nope}").unwrap_err();
+        assert_eq!(e.at, 6);
+        assert!(e.to_string().contains("byte 6"));
+    }
+}

@@ -1,0 +1,36 @@
+//! memscale-serve: sweep-as-a-service for the `MemScale` simulator.
+//!
+//! This crate turns one-shot sweep runs into a long-running batch server:
+//! clients submit sweep jobs (a workload mix or pre-recorded trace, a
+//! memory generation, and a policy grid) as line-delimited JSON over TCP
+//! and receive a streamed response — one admission line, one line per
+//! completed cell, one summary line. Three serving-layer concerns live
+//! here, deliberately separated from the simulator itself:
+//!
+//! * **Caching** ([`cache`]): results and calibration baselines are kept
+//!   in an LRU keyed by `(SimConfig::fingerprint, trace CRC, policy)`, so
+//!   a resubmitted grid answers from memory and a moved knob re-simulates
+//!   only the moved cells.
+//! * **Admission control** ([`server`]): at most `queue_depth` jobs are in
+//!   service at once; excess jobs get a structured `overloaded` error with
+//!   the observed depth and limit rather than an unbounded queue or a
+//!   timeout.
+//! * **Load generation** ([`loadgen`]): a closed-loop client fleet that
+//!   measures jobs/sec, p50/p99 job latency, and cache hit rate, writing
+//!   the `BENCH_serve.json` artifact consumed by CI.
+//!
+//! The crate depends only on `memscale-types` and the worker pool; the
+//! simulation work is injected through [`server::SweepBackend`], which
+//! `memscale-simulator` implements. The wire protocol is specified in
+//! `DESIGN.md` §13.
+
+pub mod cache;
+pub mod json;
+pub mod loadgen;
+pub mod server;
+pub mod wire;
+
+pub use cache::{CacheKey, LruCache};
+pub use loadgen::{LoadgenConfig, LoadgenStats};
+pub use server::{JobPlan, ServerConfig, ServerStats, SweepBackend, SweepServer};
+pub use wire::Response;

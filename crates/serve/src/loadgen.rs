@@ -1,0 +1,373 @@
+//! Closed-loop load generator for the sweep server.
+//!
+//! Spawns `clients` threads, each holding one connection and submitting
+//! `jobs_per_client` jobs back to back — a new job is sent only after the
+//! previous job's `done` (or error) line arrives, so offered load tracks
+//! service rate (closed loop). Per-job latency is measured submit-to-done
+//! on the client side; the run report aggregates throughput, latency
+//! percentiles, cache behaviour, and protocol health into
+//! `BENCH_serve.json`.
+
+use crate::json::Json;
+use crate::wire::{decode_response, encode_job, Response};
+use memscale_types::serve::{ErrorCode, JobSpec};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// Load-generator parameters.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address, e.g. `127.0.0.1:7119`.
+    pub addr: String,
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Jobs each client submits sequentially.
+    pub jobs_per_client: usize,
+    /// Job template; each submission gets a unique id derived from it.
+    pub template: JobSpec,
+}
+
+/// Aggregated outcome of a load-generator run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LoadgenStats {
+    /// Jobs that completed with a `done` line.
+    pub jobs_ok: usize,
+    /// Jobs rejected by admission control.
+    pub jobs_overloaded: usize,
+    /// Jobs rejected or failed with any other error line.
+    pub jobs_failed: usize,
+    /// Malformed or out-of-protocol server lines, plus transport failures.
+    pub protocol_errors: usize,
+    /// Cells evaluated successfully, summed over `done` lines.
+    pub cells_ok: usize,
+    /// Cells that failed, summed over `done` lines.
+    pub cells_failed: usize,
+    /// Cache hits summed over `done` lines.
+    pub cache_hits: u64,
+    /// Cache misses summed over `done` lines.
+    pub cache_misses: u64,
+    /// Per-job submit-to-done latencies, milliseconds, unsorted.
+    pub latencies_ms: Vec<f64>,
+    /// Whole-run wall clock, seconds.
+    pub wall_s: f64,
+}
+
+impl LoadgenStats {
+    /// Completed jobs per second of run wall clock.
+    pub fn jobs_per_sec(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            #[allow(clippy::cast_precision_loss)]
+            let n = self.jobs_ok as f64;
+            n / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Cache hit rate over all lookups reported by the server, in `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            let rate = self.cache_hits as f64 / total as f64;
+            rate
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) of job latency, by nearest-rank on
+    /// the sorted sample; `0.0` when no jobs completed.
+    pub fn latency_quantile(&self, q: f64) -> f64 {
+        if self.latencies_ms.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.latencies_ms.clone();
+        sorted.sort_by(f64::total_cmp);
+        #[allow(clippy::cast_precision_loss)]
+        let n = sorted.len() as f64;
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let rank = ((q * n).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// Renders the `BENCH_serve.json` artifact (single line, stable field
+    /// order).
+    pub fn to_bench_json(&self, cfg: &LoadgenConfig) -> String {
+        let obj = Json::Obj(vec![
+            ("benchmark".into(), Json::Str("serve_loadgen".into())),
+            ("clients".into(), Json::num(cfg.clients.to_string())),
+            (
+                "jobs_per_client".into(),
+                Json::num(cfg.jobs_per_client.to_string()),
+            ),
+            ("mix".into(), Json::Str(cfg.template.mix.clone())),
+            ("jobs_ok".into(), Json::num(self.jobs_ok.to_string())),
+            (
+                "jobs_overloaded".into(),
+                Json::num(self.jobs_overloaded.to_string()),
+            ),
+            (
+                "jobs_failed".into(),
+                Json::num(self.jobs_failed.to_string()),
+            ),
+            (
+                "protocol_errors".into(),
+                Json::num(self.protocol_errors.to_string()),
+            ),
+            ("cells_ok".into(), Json::num(self.cells_ok.to_string())),
+            (
+                "cells_failed".into(),
+                Json::num(self.cells_failed.to_string()),
+            ),
+            ("cache_hits".into(), Json::num(self.cache_hits.to_string())),
+            (
+                "cache_misses".into(),
+                Json::num(self.cache_misses.to_string()),
+            ),
+            (
+                "cache_hit_rate".into(),
+                Json::num(format!("{:.4}", self.cache_hit_rate())),
+            ),
+            (
+                "jobs_per_sec".into(),
+                Json::num(format!("{:.3}", self.jobs_per_sec())),
+            ),
+            (
+                "p50_ms".into(),
+                Json::num(format!("{:.3}", self.latency_quantile(0.50))),
+            ),
+            (
+                "p99_ms".into(),
+                Json::num(format!("{:.3}", self.latency_quantile(0.99))),
+            ),
+            ("wall_s".into(), Json::num(format!("{:.3}", self.wall_s))),
+        ]);
+        obj.render()
+    }
+}
+
+/// Outcome of one submitted job, folded into [`LoadgenStats`].
+struct JobOutcome {
+    done: bool,
+    overloaded: bool,
+    failed: bool,
+    protocol_errors: usize,
+    cells_ok: usize,
+    cells_failed: usize,
+    cache_hits: u64,
+    cache_misses: u64,
+    latency_ms: f64,
+}
+
+/// Runs the closed-loop fleet to completion and aggregates the outcome.
+///
+/// # Errors
+///
+/// Only connection setup failures abort the run; every in-protocol error
+/// is counted in the returned stats instead.
+pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenStats, String> {
+    let started = Instant::now();
+    let mut handles = Vec::with_capacity(cfg.clients);
+    for client in 0..cfg.clients {
+        let addr = cfg.addr.clone();
+        let template = cfg.template.clone();
+        let jobs = cfg.jobs_per_client;
+        handles.push(std::thread::spawn(move || {
+            run_client(&addr, client, jobs, &template)
+        }));
+    }
+    let mut stats = LoadgenStats::default();
+    for handle in handles {
+        let outcomes = handle
+            .join()
+            .map_err(|_| "load-generator client panicked".to_string())??;
+        for o in outcomes {
+            if o.done {
+                stats.jobs_ok += 1;
+                stats.latencies_ms.push(o.latency_ms);
+            }
+            if o.overloaded {
+                stats.jobs_overloaded += 1;
+            }
+            if o.failed {
+                stats.jobs_failed += 1;
+            }
+            stats.protocol_errors += o.protocol_errors;
+            stats.cells_ok += o.cells_ok;
+            stats.cells_failed += o.cells_failed;
+            stats.cache_hits += o.cache_hits;
+            stats.cache_misses += o.cache_misses;
+        }
+    }
+    stats.wall_s = started.elapsed().as_secs_f64();
+    Ok(stats)
+}
+
+/// One client's closed loop: submit, read lines until `done`/error, repeat.
+fn run_client(
+    addr: &str,
+    client: usize,
+    jobs: usize,
+    template: &JobSpec,
+) -> Result<Vec<JobOutcome>, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect to {addr} failed: {e}"))?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| format!("socket clone failed: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut outcomes = Vec::with_capacity(jobs);
+    for job_idx in 0..jobs {
+        let mut spec = template.clone();
+        spec.id = format!("c{client}-j{job_idx}");
+        outcomes.push(submit_one(&mut writer, &mut reader, &spec));
+    }
+    Ok(outcomes)
+}
+
+/// Submits one job and consumes its response stream.
+fn submit_one(
+    writer: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    spec: &JobSpec,
+) -> JobOutcome {
+    let mut outcome = JobOutcome {
+        done: false,
+        overloaded: false,
+        failed: false,
+        protocol_errors: 0,
+        cells_ok: 0,
+        cells_failed: 0,
+        cache_hits: 0,
+        cache_misses: 0,
+        latency_ms: 0.0,
+    };
+    let started = Instant::now();
+    let mut line = encode_job(spec);
+    line.push('\n');
+    if writer.write_all(line.as_bytes()).is_err() {
+        outcome.protocol_errors += 1;
+        return outcome;
+    }
+    let mut expected_cells: Option<usize> = None;
+    let mut seen_cells = 0usize;
+    loop {
+        let mut buf = String::new();
+        match reader.read_line(&mut buf) {
+            Ok(0) | Err(_) => {
+                outcome.protocol_errors += 1;
+                return outcome;
+            }
+            Ok(_) => {}
+        }
+        let trimmed = buf.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let resp = match decode_response(trimmed) {
+            Ok(resp) => resp,
+            Err(_) => {
+                outcome.protocol_errors += 1;
+                continue;
+            }
+        };
+        // Every line of a job's stream must carry the job's id (errors
+        // for unparseable requests carry none, which cannot happen for a
+        // well-formed submission we just encoded ourselves).
+        if resp.id().is_some_and(|id| id != spec.id) {
+            outcome.protocol_errors += 1;
+            continue;
+        }
+        match resp {
+            Response::Admitted { cells, .. } => expected_cells = Some(cells),
+            Response::Cell { outcome: cell, .. } => {
+                seen_cells += 1;
+                if cell.result.is_ok() {
+                    outcome.cells_ok += 1;
+                } else {
+                    outcome.cells_failed += 1;
+                }
+            }
+            Response::Done { summary, .. } => {
+                outcome.done = true;
+                outcome.latency_ms = started.elapsed().as_secs_f64() * 1e3;
+                outcome.cache_hits += summary.cache_hits;
+                outcome.cache_misses += summary.cache_misses;
+                if expected_cells != Some(seen_cells) || summary.cells != seen_cells {
+                    outcome.protocol_errors += 1;
+                }
+                return outcome;
+            }
+            Response::Error { code, .. } => {
+                if code == ErrorCode::Overloaded {
+                    outcome.overloaded = true;
+                } else {
+                    outcome.failed = true;
+                }
+                return outcome;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_with(lat: &[f64]) -> LoadgenStats {
+        LoadgenStats {
+            jobs_ok: lat.len(),
+            latencies_ms: lat.to_vec(),
+            wall_s: 2.0,
+            cache_hits: 3,
+            cache_misses: 1,
+            ..LoadgenStats::default()
+        }
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let s = stats_with(&[10.0, 20.0, 30.0, 40.0]);
+        assert!((s.latency_quantile(0.50) - 20.0).abs() < 1e-12);
+        assert!((s.latency_quantile(0.99) - 40.0).abs() < 1e-12);
+        assert!((s.latency_quantile(1.0) - 40.0).abs() < 1e-12);
+        assert_eq!(LoadgenStats::default().latency_quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn derived_rates() {
+        let s = stats_with(&[10.0, 20.0]);
+        assert!((s.jobs_per_sec() - 1.0).abs() < 1e-12);
+        assert!((s.cache_hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(LoadgenStats::default().cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn bench_json_is_parseable_and_complete() {
+        let cfg = LoadgenConfig {
+            addr: "127.0.0.1:0".into(),
+            clients: 2,
+            jobs_per_client: 3,
+            template: JobSpec::for_mix("t", "MID1"),
+        };
+        let s = stats_with(&[10.0, 20.0]);
+        let rendered = s.to_bench_json(&cfg);
+        let parsed = crate::json::parse(&rendered).expect("artifact parses");
+        assert_eq!(
+            parsed.get("benchmark").and_then(Json::as_str),
+            Some("serve_loadgen")
+        );
+        assert_eq!(parsed.get("jobs_ok").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            parsed.get("protocol_errors").and_then(Json::as_u64),
+            Some(0)
+        );
+        assert_eq!(
+            parsed.get("cache_hit_rate").and_then(Json::as_f64),
+            Some(0.75)
+        );
+        assert!(parsed.get("p99_ms").is_some());
+        assert!(parsed.get("wall_s").is_some());
+    }
+}

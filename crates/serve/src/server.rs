@@ -1,0 +1,451 @@
+//! The sweep-job server: TCP accept loop, admission control, cell
+//! scheduling and result streaming.
+//!
+//! The server is generic over a [`SweepBackend`] so the serving layer
+//! (protocol, cache, backpressure) stays free of simulator types; the
+//! `memscale-simulator` crate provides the real backend over its replay
+//! and shard machinery. One connection carries any number of jobs,
+//! submitted one line at a time; responses for a job are streamed as its
+//! cells complete (completion order, not submission order — each line
+//! carries its cell label).
+//!
+//! Concurrency model:
+//!
+//! * one OS thread per connection (bounded in practice by the client
+//!   population — the load generator's closed loop keeps this small);
+//! * per-job **admission control**: at most `queue_depth` jobs in service
+//!   across all connections; a job beyond that is rejected immediately
+//!   with a structured [`ErrorCode::Overloaded`] response carrying the
+//!   observed depth and the limit — backpressure, never a hang;
+//! * admitted jobs fan their cells out on a shared bounded-queue
+//!   [`rayon::ThreadPool`]; a full cell queue blocks the producing
+//!   connection thread (producer-side backpressure), never the accept
+//!   loop.
+
+use crate::cache::{CacheKey, LruCache};
+use crate::wire::{decode_job, encode_response, Response};
+use memscale_types::serve::{CellOutcome, ErrorCode, JobSpec, JobSummary};
+use rayon::ThreadPool;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
+
+/// What a backend resolves a job to before any expensive work: the cache
+/// identity and the cell labels to evaluate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobPlan {
+    /// `SimConfig::fingerprint()` of the job's run configuration.
+    pub fingerprint: u64,
+    /// CRC-32 of the job's input identity (trace file bytes, or the mix
+    /// name for live-recorded jobs).
+    pub trace_crc: u32,
+    /// Cell labels (policy wire names), in grid order.
+    pub cells: Vec<String>,
+}
+
+/// The simulation side of the server, kept behind a trait so this crate
+/// depends only on `memscale-types` (the simulator crate implements it).
+pub trait SweepBackend: Send + Sync + 'static {
+    /// The expensive per-`(config, trace)` artifact shared by every cell
+    /// of a job: calibrated baseline plus replayable trace.
+    type Baseline: Send + Sync + 'static;
+
+    /// Validates `job` against the catalogs and invariant machinery and
+    /// resolves its plan. Called *before* admission; must be cheap relative
+    /// to a cell (opening a trace file to checksum it is acceptable,
+    /// simulating is not).
+    ///
+    /// # Errors
+    ///
+    /// A structured code plus human-readable detail; the server forwards
+    /// both verbatim.
+    fn plan(&self, job: &JobSpec) -> Result<JobPlan, (ErrorCode, String)>;
+
+    /// Produces the baseline bundle for `job` (record or load the trace,
+    /// run the calibration). Called once per cache miss.
+    ///
+    /// # Errors
+    ///
+    /// A structured code plus human-readable detail.
+    fn calibrate(&self, job: &JobSpec) -> Result<Self::Baseline, (ErrorCode, String)>;
+
+    /// Evaluates one cell against the baseline bundle.
+    ///
+    /// # Errors
+    ///
+    /// The `SimError` rendering for this cell; a failed cell must not
+    /// affect its siblings.
+    fn run_cell(
+        &self,
+        baseline: &Self::Baseline,
+        label: &str,
+    ) -> Result<memscale_types::serve::CellMetrics, String>;
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Maximum jobs in service at once; job N+1 is rejected with
+    /// [`ErrorCode::Overloaded`]. Zero rejects everything (useful to probe
+    /// a client's backpressure path).
+    pub queue_depth: usize,
+    /// Worker threads evaluating cells.
+    pub threads: usize,
+    /// Bounded cell-queue capacity of the worker pool.
+    pub cell_queue: usize,
+    /// Entries in each of the result and baseline caches.
+    pub cache_cap: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            queue_depth: 8,
+            threads: rayon::current_num_threads(),
+            cell_queue: 256,
+            cache_cap: 512,
+        }
+    }
+}
+
+/// Aggregate counters a server exposes (for logs and tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Jobs accepted and run to completion (successfully or with failed
+    /// cells).
+    pub jobs_done: usize,
+    /// Jobs rejected by admission control.
+    pub jobs_overloaded: usize,
+    /// Lines rejected before admission (parse/validation failures).
+    pub jobs_rejected: usize,
+}
+
+struct Shared<B: SweepBackend> {
+    backend: B,
+    cfg: ServerConfig,
+    pool: ThreadPool,
+    /// Result cache: one entry per completed cell.
+    cells: Mutex<LruCache<memscale_types::serve::CellMetrics>>,
+    /// Calibration cache: one entry per `(fingerprint, trace)` baseline.
+    baselines: Mutex<LruCache<Arc<B::Baseline>>>,
+    /// Jobs currently in service (admission-control gauge).
+    active: AtomicUsize,
+    jobs_done: AtomicUsize,
+    jobs_overloaded: AtomicUsize,
+    jobs_rejected: AtomicUsize,
+}
+
+/// The sweep-job server. Bind with [`SweepServer::bind`], read the bound
+/// address back with [`SweepServer::local_addr`], then run the accept
+/// loop on the current thread with [`SweepServer::run`].
+pub struct SweepServer<B: SweepBackend> {
+    shared: Arc<Shared<B>>,
+    listener: TcpListener,
+}
+
+impl<B: SweepBackend> SweepServer<B> {
+    /// Binds `addr` (e.g. `127.0.0.1:7119`; port 0 picks an ephemeral
+    /// port — read it back with [`SweepServer::local_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: &str, cfg: ServerConfig, backend: B) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let pool = ThreadPool::new(cfg.threads, cfg.cell_queue);
+        let shared = Arc::new(Shared {
+            pool,
+            cells: Mutex::new(LruCache::new(cfg.cache_cap)),
+            baselines: Mutex::new(LruCache::new(cfg.cache_cap)),
+            active: AtomicUsize::new(0),
+            jobs_done: AtomicUsize::new(0),
+            jobs_overloaded: AtomicUsize::new(0),
+            jobs_rejected: AtomicUsize::new(0),
+            cfg,
+            backend,
+        });
+        Ok(SweepServer { shared, listener })
+    }
+
+    /// The bound socket address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket introspection failure.
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Aggregate admission/completion counters.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            jobs_done: self.shared.jobs_done.load(Ordering::Relaxed),
+            jobs_overloaded: self.shared.jobs_overloaded.load(Ordering::Relaxed),
+            jobs_rejected: self.shared.jobs_rejected.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Accepts connections forever, spawning one handler thread per
+    /// connection. Returns only on an accept error.
+    ///
+    /// # Errors
+    ///
+    /// The first accept failure.
+    pub fn run(&self) -> std::io::Result<()> {
+        loop {
+            let (stream, _) = self.listener.accept()?;
+            let shared = Arc::clone(&self.shared);
+            std::thread::spawn(move || handle_connection(&shared, stream));
+        }
+    }
+}
+
+/// Serves one connection: reads request lines until EOF, streaming each
+/// job's responses back on the same socket.
+fn handle_connection<B: SweepBackend>(shared: &Arc<Shared<B>>, stream: TcpStream) {
+    let peer = stream.peer_addr().ok();
+    let reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let responses_ok = serve_line(shared, &line, &mut writer);
+        if !responses_ok {
+            break; // client went away mid-stream
+        }
+    }
+    let _ = peer; // reserved for future per-peer accounting
+}
+
+/// Handles one request line; returns `false` when the client's socket is
+/// no longer writable.
+fn serve_line<B: SweepBackend>(
+    shared: &Arc<Shared<B>>,
+    line: &str,
+    writer: &mut TcpStream,
+) -> bool {
+    let mut send = |resp: &Response| -> bool {
+        let mut encoded = encode_response(resp);
+        encoded.push('\n');
+        writer.write_all(encoded.as_bytes()).is_ok()
+    };
+
+    // Parse + shape-validate.
+    let job = match decode_job(line) {
+        Ok(job) => job,
+        Err(detail) => {
+            shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+            return send(&Response::Error {
+                id: None,
+                code: ErrorCode::BadRequest,
+                detail,
+                depth: None,
+                limit: None,
+            });
+        }
+    };
+
+    // Catalog/invariant validation, still before admission.
+    let plan = match shared.backend.plan(&job) {
+        Ok(plan) => plan,
+        Err((code, detail)) => {
+            shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+            return send(&Response::Error {
+                id: Some(job.id.clone()),
+                code,
+                detail,
+                depth: None,
+                limit: None,
+            });
+        }
+    };
+
+    // Admission control: reject — never queue unboundedly, never hang.
+    let limit = shared.cfg.queue_depth;
+    let admitted = shared
+        .active
+        .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+            (n < limit).then_some(n + 1)
+        });
+    if admitted.is_err() {
+        shared.jobs_overloaded.fetch_add(1, Ordering::Relaxed);
+        return send(&Response::Error {
+            id: Some(job.id.clone()),
+            code: ErrorCode::Overloaded,
+            detail: format!("admission queue full ({limit} jobs in service)"),
+            depth: Some(shared.active.load(Ordering::Relaxed)),
+            limit: Some(limit),
+        });
+    }
+    let ok = run_job(shared, &job, &plan, &mut send);
+    shared.active.fetch_sub(1, Ordering::AcqRel);
+    shared.jobs_done.fetch_add(1, Ordering::Relaxed);
+    ok
+}
+
+/// Runs one admitted job end to end, streaming cell lines as they land.
+fn run_job<B: SweepBackend>(
+    shared: &Arc<Shared<B>>,
+    job: &JobSpec,
+    plan: &JobPlan,
+    send: &mut impl FnMut(&Response) -> bool,
+) -> bool {
+    let started = Instant::now();
+    let id = job.id.clone();
+    if !send(&Response::Admitted {
+        id: id.clone(),
+        cells: plan.cells.len(),
+    }) {
+        return false;
+    }
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+
+    // Baseline bundle: cached per (fingerprint, trace).
+    let baseline_key = CacheKey {
+        fingerprint: plan.fingerprint,
+        trace_crc: plan.trace_crc,
+        label: CacheKey::BASELINE.into(),
+    };
+    let cached_baseline = shared
+        .baselines
+        .lock()
+        .expect("baseline cache poisoned")
+        .get(&baseline_key)
+        .cloned();
+    let baseline = match cached_baseline {
+        Some(b) => {
+            hits += 1;
+            b
+        }
+        None => {
+            misses += 1;
+            // Calibrate outside the cache lock: concurrent cold jobs may
+            // duplicate the work, but never serialize behind it.
+            match shared.backend.calibrate(job) {
+                Ok(b) => {
+                    let b = Arc::new(b);
+                    shared
+                        .baselines
+                        .lock()
+                        .expect("baseline cache poisoned")
+                        .insert(baseline_key, Arc::clone(&b));
+                    b
+                }
+                Err((code, detail)) => {
+                    return send(&Response::Error {
+                        id: Some(id),
+                        code,
+                        detail,
+                        depth: None,
+                        limit: None,
+                    });
+                }
+            }
+        }
+    };
+
+    // Split cells into cache hits (streamed immediately) and misses
+    // (fanned out on the worker pool).
+    let mut ok_cells = 0usize;
+    let mut failed_cells = 0usize;
+    let mut pending = 0usize;
+    let (tx, rx) = mpsc::channel::<(String, Result<memscale_types::serve::CellMetrics, String>)>();
+    let tx = Arc::new(Mutex::new(tx));
+    for label in &plan.cells {
+        let key = CacheKey {
+            fingerprint: plan.fingerprint,
+            trace_crc: plan.trace_crc,
+            label: label.clone(),
+        };
+        let hit = shared
+            .cells
+            .lock()
+            .expect("cell cache poisoned")
+            .get(&key)
+            .copied();
+        if let Some(metrics) = hit {
+            hits += 1;
+            ok_cells += 1;
+            if !send(&Response::Cell {
+                id: id.clone(),
+                outcome: CellOutcome {
+                    label: label.clone(),
+                    cached: true,
+                    result: Ok(metrics),
+                },
+            }) {
+                return false;
+            }
+            continue;
+        }
+        misses += 1;
+        pending += 1;
+        let backend_shared = Arc::clone(shared);
+        let baseline = Arc::clone(&baseline);
+        let label = label.clone();
+        let tx = Arc::clone(&tx);
+        // `execute` blocks when the cell queue is full: producer-side
+        // backpressure on this connection only.
+        shared.pool.execute(move || {
+            let result = backend_shared.backend.run_cell(&baseline, &label);
+            let tx = tx.lock().expect("cell channel poisoned");
+            let _ = tx.send((label, result));
+        });
+    }
+
+    // Stream results as workers finish them.
+    let mut client_gone = false;
+    for _ in 0..pending {
+        let Ok((label, result)) = rx.recv() else {
+            break;
+        };
+        match &result {
+            Ok(metrics) => {
+                ok_cells += 1;
+                shared.cells.lock().expect("cell cache poisoned").insert(
+                    CacheKey {
+                        fingerprint: plan.fingerprint,
+                        trace_crc: plan.trace_crc,
+                        label: label.clone(),
+                    },
+                    *metrics,
+                );
+            }
+            Err(_) => failed_cells += 1,
+        }
+        // Even if the client went away we must drain the channel so the
+        // workers' sends never error into a poisoned state.
+        if !client_gone {
+            client_gone = !send(&Response::Cell {
+                id: id.clone(),
+                outcome: CellOutcome {
+                    label,
+                    cached: false,
+                    result,
+                },
+            });
+        }
+    }
+    if client_gone {
+        return false;
+    }
+    send(&Response::Done {
+        id,
+        summary: JobSummary {
+            cells: plan.cells.len(),
+            ok: ok_cells,
+            failed: failed_cells,
+            cache_hits: hits,
+            cache_misses: misses,
+            wall_ms: started.elapsed().as_secs_f64() * 1e3,
+        },
+    })
+}

@@ -46,8 +46,11 @@
 //! protocol audit.
 
 use memscale::policies::PolicyKind;
+use memscale_serve::loadgen::LoadgenConfig;
+use memscale_serve::server::ServerConfig;
+use memscale_serve::SweepServer;
 use memscale_simulator::harness::{record_trace, Experiment};
-use memscale_simulator::{SimConfig, SimError};
+use memscale_simulator::{SimConfig, SimError, SimulatorBackend};
 use memscale_trace::{write_trace_file, ReplayTrace, TraceError};
 use memscale_types::config::MemGeneration;
 use memscale_types::faults::FaultPlan;
@@ -72,6 +75,48 @@ enum Command {
         /// File to additionally write the diagnostics to.
         report: Option<PathBuf>,
     },
+    /// Long-running sweep-job server (`Args::addr` and server knobs).
+    Serve(ServeArgs),
+    /// Closed-loop load generator driving a running server.
+    Loadgen(LoadgenArgs),
+}
+
+/// `memscale-sim serve` parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ServeArgs {
+    /// Listen address, e.g. `127.0.0.1:7119`.
+    addr: String,
+    /// Admission limit: jobs in service at once before `overloaded`.
+    queue_depth: usize,
+    /// Worker threads evaluating cells (0 = one per CPU).
+    threads: usize,
+    /// Entries in each of the result and baseline caches.
+    cache_cap: usize,
+    /// Bounded cell-queue capacity of the worker pool.
+    cell_queue: usize,
+}
+
+/// `memscale-sim loadgen` parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct LoadgenArgs {
+    /// Server address to connect to.
+    addr: String,
+    /// Concurrent closed-loop clients.
+    clients: usize,
+    /// Jobs each client submits sequentially.
+    jobs: usize,
+    /// Workload mix submitted by every job.
+    mix: String,
+    /// Memory generation submitted by every job.
+    generation: MemGeneration,
+    /// Baseline horizon of every job, milliseconds.
+    duration_ms: u64,
+    /// Policy cells of every job (empty = server default grid).
+    policies: Vec<String>,
+    /// Where to write the `BENCH_serve.json` artifact.
+    out: PathBuf,
+    /// Exit non-zero when the run saw no cache hits.
+    require_cache_hits: bool,
 }
 
 #[derive(Debug)]
@@ -160,6 +205,109 @@ fn parse_args() -> Result<Args, String> {
             args.command = Command::Check { generation, report };
             return Ok(args);
         }
+        Some("serve") => {
+            it.next();
+            let mut serve = ServeArgs {
+                addr: String::new(),
+                queue_depth: 8,
+                threads: 0,
+                cache_cap: 512,
+                cell_queue: 256,
+            };
+            while let Some(flag) = it.next() {
+                let mut value =
+                    |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+                match flag.as_str() {
+                    "--addr" => serve.addr = value("--addr")?,
+                    "--queue-depth" => {
+                        serve.queue_depth = value("--queue-depth")?
+                            .parse()
+                            .map_err(|e| format!("--queue-depth: {e}"))?;
+                    }
+                    "--threads" => {
+                        serve.threads = value("--threads")?
+                            .parse()
+                            .map_err(|e| format!("--threads: {e}"))?;
+                    }
+                    "--cache-cap" => {
+                        serve.cache_cap = value("--cache-cap")?
+                            .parse()
+                            .map_err(|e| format!("--cache-cap: {e}"))?;
+                    }
+                    "--cell-queue" => {
+                        serve.cell_queue = value("--cell-queue")?
+                            .parse()
+                            .map_err(|e| format!("--cell-queue: {e}"))?;
+                    }
+                    "--help" | "-h" => return Err("help".into()),
+                    other => return Err(format!("unknown serve flag {other}")),
+                }
+            }
+            if serve.addr.is_empty() {
+                return Err("serve requires --addr HOST:PORT".into());
+            }
+            args.command = Command::Serve(serve);
+            return Ok(args);
+        }
+        Some("loadgen") => {
+            it.next();
+            let mut lg = LoadgenArgs {
+                addr: String::new(),
+                clients: 4,
+                jobs: 2,
+                mix: "MID1".into(),
+                generation: MemGeneration::Ddr3,
+                duration_ms: 2,
+                policies: vec!["static:800".into(), "memscale".into()],
+                out: PathBuf::from("BENCH_serve.json"),
+                require_cache_hits: false,
+            };
+            while let Some(flag) = it.next() {
+                let mut value =
+                    |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+                match flag.as_str() {
+                    "--addr" => lg.addr = value("--addr")?,
+                    "--clients" => {
+                        lg.clients = value("--clients")?
+                            .parse()
+                            .map_err(|e| format!("--clients: {e}"))?;
+                    }
+                    "--jobs" => {
+                        lg.jobs = value("--jobs")?
+                            .parse()
+                            .map_err(|e| format!("--jobs: {e}"))?;
+                    }
+                    "--mix" => lg.mix = value("--mix")?,
+                    "--generation" => {
+                        let name = value("--generation")?;
+                        lg.generation = MemGeneration::parse(&name).ok_or_else(|| {
+                            format!("unknown generation {name}; use ddr3|ddr4|lpddr3")
+                        })?;
+                    }
+                    "--duration-ms" => {
+                        lg.duration_ms = value("--duration-ms")?
+                            .parse()
+                            .map_err(|e| format!("--duration-ms: {e}"))?;
+                    }
+                    "--policies" => {
+                        lg.policies = value("--policies")?
+                            .split(',')
+                            .filter(|s| !s.is_empty())
+                            .map(str::to_string)
+                            .collect();
+                    }
+                    "--out" => lg.out = value("--out")?.into(),
+                    "--require-cache-hits" => lg.require_cache_hits = true,
+                    "--help" | "-h" => return Err("help".into()),
+                    other => return Err(format!("unknown loadgen flag {other}")),
+                }
+            }
+            if lg.addr.is_empty() {
+                return Err("loadgen requires --addr HOST:PORT".into());
+            }
+            args.command = Command::Loadgen(lg);
+            return Ok(args);
+        }
         _ => {}
     }
     while let Some(flag) = it.next() {
@@ -232,30 +380,10 @@ fn parse_args() -> Result<Args, String> {
     }
 }
 
+/// Parses a policy wire name (the canonical grammar lives in
+/// [`PolicyKind::parse`]; this wrapper only decorates the error).
 fn parse_policy(name: &str) -> Result<PolicyKind, String> {
-    Ok(match name {
-        "baseline" => PolicyKind::Baseline,
-        "fast-pd" => PolicyKind::FastPd,
-        "slow-pd" => PolicyKind::SlowPd,
-        "deep-pd" => PolicyKind::DeepPd,
-        "decoupled" => PolicyKind::Decoupled {
-            device: MemFreq::F400,
-        },
-        "memscale" => PolicyKind::MemScale,
-        "mem-energy" => PolicyKind::MemScaleMemEnergy,
-        "memscale-pd" => PolicyKind::MemScaleFastPd,
-        "per-channel" => PolicyKind::MemScalePerChannel,
-        other => {
-            if let Some(mhz) = other.strip_prefix("static:") {
-                let mhz: u32 = mhz.parse().map_err(|e| format!("static:<mhz>: {e}"))?;
-                let freq = MemFreq::ceil_from_mhz(mhz)
-                    .ok_or_else(|| format!("{mhz} MHz exceeds the 800 MHz grid"))?;
-                PolicyKind::Static(freq)
-            } else {
-                return Err(format!("unknown policy {other}; see `memscale-sim --help`"));
-            }
-        }
-    })
+    PolicyKind::parse(name).map_err(|e| format!("{e}; see `memscale-sim --help`"))
 }
 
 /// Escapes a string for inclusion in a JSON document.
@@ -483,6 +611,93 @@ fn run_check(generation: Option<MemGeneration>, report_path: Option<&std::path::
     }
 }
 
+/// `memscale-sim serve`: bind the sweep-job server and run the accept loop
+/// until the process is killed (or the listener fails).
+fn run_serve(serve: &ServeArgs) -> ExitCode {
+    let mut cfg = ServerConfig {
+        queue_depth: serve.queue_depth,
+        cell_queue: serve.cell_queue,
+        cache_cap: serve.cache_cap,
+        ..ServerConfig::default()
+    };
+    if serve.threads > 0 {
+        cfg.threads = serve.threads;
+    }
+    let server = match SweepServer::bind(&serve.addr, cfg, SimulatorBackend) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", serve.addr);
+            return ExitCode::from(1);
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => eprintln!("memscale-serve listening on {addr}"),
+        Err(_) => eprintln!("memscale-serve listening on {}", serve.addr),
+    }
+    if let Err(e) = server.run() {
+        eprintln!("error: accept loop failed: {e}");
+    }
+    ExitCode::from(1)
+}
+
+/// `memscale-sim loadgen`: drive a running server with a closed-loop client
+/// fleet, write the `BENCH_serve.json` artifact, and summarize the run.
+///
+/// Exit 1 when any protocol error occurred, when nothing completed at all
+/// (no `done` and no structured `overloaded`), or — under
+/// `--require-cache-hits` — when the run saw no cache hits.
+fn run_loadgen(lg: &LoadgenArgs) -> ExitCode {
+    let mut template = memscale_types::serve::JobSpec::for_mix("job", &lg.mix);
+    template.generation = lg.generation;
+    template.duration_ms = lg.duration_ms;
+    template.policies = lg.policies.clone();
+    let cfg = LoadgenConfig {
+        addr: lg.addr.clone(),
+        clients: lg.clients,
+        jobs_per_client: lg.jobs,
+        template,
+    };
+    eprintln!(
+        "loadgen: {} client(s) x {} job(s) against {} ...",
+        cfg.clients, cfg.jobs_per_client, cfg.addr
+    );
+    let stats = match memscale_serve::loadgen::run(&cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let mut artifact = stats.to_bench_json(&cfg);
+    artifact.push('\n');
+    if let Err(e) = std::fs::write(&lg.out, &artifact) {
+        eprintln!("error: writing {}: {e}", lg.out.display());
+        return ExitCode::from(1);
+    }
+    println!(
+        "jobs ok {} | overloaded {} | failed {} | protocol errors {}",
+        stats.jobs_ok, stats.jobs_overloaded, stats.jobs_failed, stats.protocol_errors
+    );
+    println!(
+        "throughput {:.2} jobs/s | p50 {:.1} ms | p99 {:.1} ms | cache hit rate {:.1}%",
+        stats.jobs_per_sec(),
+        stats.latency_quantile(0.50),
+        stats.latency_quantile(0.99),
+        stats.cache_hit_rate() * 100.0
+    );
+    println!("wrote {}", lg.out.display());
+    let starved = stats.jobs_ok == 0 && stats.jobs_overloaded == 0;
+    let hits_missing = lg.require_cache_hits && stats.cache_hits == 0;
+    if stats.protocol_errors > 0 || starved || hits_missing {
+        if hits_missing {
+            eprintln!("error: --require-cache-hits: the run saw no cache hits");
+        }
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -490,6 +705,7 @@ fn main() -> ExitCode {
             if e != "help" {
                 eprintln!("error: {e}\n");
             }
+            let mixes: Vec<&str> = Mix::table1().iter().map(|m| m.name).collect();
             eprintln!(
                 "usage: memscale-sim [--mix NAME] [--policy NAME] [--duration-ms N]\n\
                  \x20                  [--generation ddr3|ddr4|lpddr3]\n\
@@ -499,8 +715,15 @@ fn main() -> ExitCode {
                  \x20      memscale-sim record --out PATH [--margin PCT] [run options]\n\
                  \x20      memscale-sim trace-info PATH\n\
                  \x20      memscale-sim check [--generation all|ddr3|ddr4|lpddr3] [--report PATH]\n\
+                 \x20      memscale-sim serve --addr HOST:PORT [--queue-depth N] [--threads N]\n\
+                 \x20                  [--cache-cap N] [--cell-queue N]\n\
+                 \x20      memscale-sim loadgen --addr HOST:PORT [--clients N] [--jobs N]\n\
+                 \x20                  [--mix NAME] [--generation G] [--duration-ms N]\n\
+                 \x20                  [--policies a,b,c] [--out PATH] [--require-cache-hits]\n\
                  policies: baseline fast-pd slow-pd deep-pd static:<mhz> decoupled\n\
-                 \x20         memscale mem-energy memscale-pd per-channel"
+                 \x20         memscale mem-energy memscale-pd per-channel\n\
+                 mixes:    {}",
+                mixes.join(" ")
             );
             return if e == "help" {
                 ExitCode::SUCCESS
@@ -516,6 +739,14 @@ fn main() -> ExitCode {
 
     if let Command::Check { generation, report } = &args.command {
         return run_check(*generation, report.as_deref());
+    }
+
+    if let Command::Serve(serve) = &args.command {
+        return run_serve(serve);
+    }
+
+    if let Command::Loadgen(lg) = &args.command {
+        return run_loadgen(lg);
     }
 
     if args.list {

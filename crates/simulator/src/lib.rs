@@ -36,6 +36,7 @@ pub mod engine;
 pub mod error;
 pub mod harness;
 pub mod result;
+pub mod service;
 pub mod shard;
 
 pub use config::SimConfig;
@@ -44,4 +45,5 @@ pub use error::SimError;
 pub use harness::{check_trace, record_trace, trace_header, Comparison, Experiment};
 pub use memscale_faults::FaultReport;
 pub use result::{RunResult, TimelineSample};
+pub use service::{ServeBaseline, SimulatorBackend};
 pub use shard::{default_grid, replay_sequential, replay_sharded, ShardResult, ShardSpec};

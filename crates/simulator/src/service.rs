@@ -1,0 +1,239 @@
+//! The simulator's [`SweepBackend`] implementation for `memscale-serve`.
+//!
+//! `memscale-serve` owns the protocol, cache and admission machinery but
+//! knows nothing about simulation; this module plugs the replay harness in
+//! behind its [`SweepBackend`] trait. A job resolves to:
+//!
+//! * a **plan** — configuration fingerprint, input CRC and policy cells —
+//!   computed before admission, so malformed jobs are rejected without
+//!   costing a simulation;
+//! * a **baseline bundle** ([`ServeBaseline`]) — the calibrated
+//!   [`Experiment`] plus the [`ReplayTrace`] every cell replays — built
+//!   once per `(fingerprint, input)` and shared via the server's
+//!   calibration cache;
+//! * per-cell evaluations — `evaluate_replay` of the cell's policy,
+//!   mirroring [`crate::shard::replay_sharded`] one cell at a time so the
+//!   server can schedule and cache cells independently.
+
+use crate::config::SimConfig;
+use crate::error::SimError;
+use crate::harness::{record_trace, Experiment};
+use crate::shard::default_grid;
+use memscale::policies::PolicyKind;
+use memscale_serve::server::{JobPlan, SweepBackend};
+use memscale_trace::{format::crc32, ReplayTrace};
+use memscale_types::freq::MemFreq;
+use memscale_types::serve::{CellMetrics, ErrorCode, JobSpec};
+use memscale_types::time::Picos;
+use memscale_workloads::Mix;
+use std::path::Path;
+
+/// The calibrated artifact shared by every cell of a job.
+#[derive(Debug)]
+pub struct ServeBaseline {
+    exp: Experiment,
+    trace: ReplayTrace,
+}
+
+/// The simulator-backed sweep backend handed to
+/// [`memscale_serve::SweepServer::bind`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimulatorBackend;
+
+/// Maps a [`SimError`] onto the wire error vocabulary.
+fn sim_error_code(e: &SimError) -> ErrorCode {
+    match e {
+        SimError::InvalidConfig(_) | SimError::InvalidFaultPlan(_) => ErrorCode::InvalidConfig,
+        SimError::PolicyUnavailable { .. } => ErrorCode::UnknownPolicy,
+        SimError::Trace(_) | SimError::TraceExhausted { .. } => ErrorCode::Trace,
+        _ => ErrorCode::Sim,
+    }
+}
+
+/// Builds the run configuration a job describes (unvalidated).
+fn build_config(job: &JobSpec) -> SimConfig {
+    let mut cfg =
+        SimConfig::for_generation(job.generation).with_duration(Picos::from_ms(job.duration_ms));
+    cfg.governor.gamma = job.gamma_pct / 100.0;
+    cfg.governor.epoch = Picos::from_ms(job.epoch_ms);
+    cfg.system.cpu.cores = job.cores;
+    cfg.system.topology.channels = job.channels;
+    if let Some(seed) = job.seed {
+        cfg.seed = seed;
+    }
+    cfg
+}
+
+impl SimulatorBackend {
+    fn resolve(&self, job: &JobSpec) -> Result<(Mix, SimConfig), (ErrorCode, String)> {
+        let mix = Mix::by_name(&job.mix).map_err(|e| (ErrorCode::UnknownMix, e.to_string()))?;
+        let cfg = build_config(job);
+        cfg.system
+            .validate()
+            .map_err(|e| (ErrorCode::InvalidConfig, e.to_string()))?;
+        Ok((mix, cfg))
+    }
+}
+
+impl SweepBackend for SimulatorBackend {
+    type Baseline = ServeBaseline;
+
+    fn plan(&self, job: &JobSpec) -> Result<JobPlan, (ErrorCode, String)> {
+        let (mix, cfg) = self.resolve(job)?;
+        let cells: Vec<String> = if job.policies.is_empty() {
+            default_grid(job.generation)
+                .iter()
+                .map(|s| s.policy.wire_name())
+                .collect()
+        } else {
+            job.policies
+                .iter()
+                .map(|name| {
+                    let policy =
+                        PolicyKind::parse(name).map_err(|e| (ErrorCode::UnknownPolicy, e))?;
+                    if !policy.available_on(job.generation) {
+                        return Err((
+                            ErrorCode::UnknownPolicy,
+                            format!(
+                                "policy {name} is not available on generation {}",
+                                job.generation
+                            ),
+                        ));
+                    }
+                    Ok(policy.wire_name())
+                })
+                .collect::<Result<_, _>>()?
+        };
+        // Input identity: trace bytes for replay jobs; the canonical mix
+        // name for live-recorded jobs (the fingerprint already pins seed,
+        // duration and hardware, so regeneration is deterministic).
+        let trace_crc = match &job.trace {
+            Some(path) => {
+                let bytes = std::fs::read(path)
+                    .map_err(|e| (ErrorCode::Trace, format!("cannot read trace {path}: {e}")))?;
+                crc32(&bytes)
+            }
+            None => crc32(mix.name.as_bytes()),
+        };
+        Ok(JobPlan {
+            fingerprint: cfg.fingerprint(),
+            trace_crc,
+            cells,
+        })
+    }
+
+    fn calibrate(&self, job: &JobSpec) -> Result<ServeBaseline, (ErrorCode, String)> {
+        let (mix, cfg) = self.resolve(job)?;
+        let sim_err = |e: SimError| (sim_error_code(&e), e.to_string());
+        let trace = match &job.trace {
+            Some(path) => {
+                ReplayTrace::open(Path::new(path)).map_err(|e| (ErrorCode::Trace, e.to_string()))?
+            }
+            None => {
+                // Record with the grid's slowest static point so every cell
+                // replays within margin (same rationale as `record_and_sweep`).
+                let (header, streams) = record_trace(
+                    &mix,
+                    &cfg,
+                    &[PolicyKind::Static(MemFreq::MIN)],
+                    job.margin_pct,
+                )
+                .map_err(sim_err)?;
+                ReplayTrace::from_streams(header, streams)
+            }
+        };
+        let exp = Experiment::calibrate_replay(&mix, &cfg, &trace).map_err(sim_err)?;
+        Ok(ServeBaseline { exp, trace })
+    }
+
+    fn run_cell(&self, baseline: &ServeBaseline, label: &str) -> Result<CellMetrics, String> {
+        let policy = PolicyKind::parse(label)?;
+        let (run, cmp) = baseline
+            .exp
+            .evaluate_replay(policy, &baseline.trace)
+            .map_err(|e| e.to_string())?;
+        Ok(CellMetrics {
+            memory_savings: cmp.memory_savings,
+            system_savings: cmp.system_savings,
+            cpi_increase_avg: cmp.avg_cpi_increase(),
+            cpi_increase_max: cmp.max_cpi_increase(),
+            mean_frequency_mhz: run.mean_frequency_mhz(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_job() -> JobSpec {
+        let mut job = JobSpec::for_mix("t1", "MID1");
+        job.duration_ms = 2;
+        job.policies = vec!["static:800".into(), "memscale".into()];
+        job
+    }
+
+    #[test]
+    fn plan_resolves_cells_and_identity() {
+        let plan = SimulatorBackend.plan(&tiny_job()).expect("plan");
+        assert_eq!(plan.cells, vec!["static:800", "memscale"]);
+        assert_eq!(plan.trace_crc, crc32(b"MID1"));
+        assert_ne!(plan.fingerprint, 0);
+    }
+
+    #[test]
+    fn plan_defaults_to_generation_grid() {
+        let mut job = tiny_job();
+        job.policies.clear();
+        let plan = SimulatorBackend.plan(&job).expect("plan");
+        assert_eq!(plan.cells.len(), default_grid(job.generation).len());
+        assert!(plan.cells.iter().any(|c| c == "memscale"));
+        assert!(plan.cells.iter().any(|c| c == "static:200"));
+    }
+
+    #[test]
+    fn plan_rejects_unknown_mix_listing_valid_names() {
+        let mut job = tiny_job();
+        job.mix = "nope".into();
+        let (code, detail) = SimulatorBackend.plan(&job).expect_err("must reject");
+        assert_eq!(code, ErrorCode::UnknownMix);
+        assert!(detail.contains("MID1"), "detail lists mixes: {detail}");
+    }
+
+    #[test]
+    fn plan_rejects_unknown_and_unavailable_policies() {
+        let mut job = tiny_job();
+        job.policies = vec!["warp-drive".into()];
+        let (code, _) = SimulatorBackend.plan(&job).expect_err("must reject");
+        assert_eq!(code, ErrorCode::UnknownPolicy);
+
+        let mut job = tiny_job();
+        job.policies = vec!["deep-pd".into()]; // LPDDR-only
+        let (code, detail) = SimulatorBackend.plan(&job).expect_err("must reject");
+        assert_eq!(code, ErrorCode::UnknownPolicy);
+        assert!(
+            detail.to_lowercase().contains("ddr3"),
+            "names the generation: {detail}"
+        );
+    }
+
+    #[test]
+    fn plan_rejects_invalid_config() {
+        let mut job = tiny_job();
+        job.channels = 0;
+        let (code, _) = SimulatorBackend.plan(&job).expect_err("must reject");
+        assert_eq!(code, ErrorCode::InvalidConfig);
+    }
+
+    #[test]
+    fn calibrate_and_run_cell_end_to_end() {
+        let job = tiny_job();
+        let baseline = SimulatorBackend.calibrate(&job).expect("calibrate");
+        let metrics = SimulatorBackend
+            .run_cell(&baseline, "memscale")
+            .expect("cell runs");
+        assert!(metrics.memory_savings > 0.0);
+        assert!(metrics.mean_frequency_mhz > 0.0);
+        assert!(SimulatorBackend.run_cell(&baseline, "warp-drive").is_err());
+    }
+}

@@ -38,6 +38,7 @@ pub mod faults;
 pub mod freq;
 pub mod ids;
 pub mod invariants;
+pub mod serve;
 pub mod time;
 
 pub use address::{AddressMap, Location, PhysAddr};
@@ -47,4 +48,5 @@ pub use faults::{CounterFault, FaultPlan, FaultSpecError, RefreshFault, SwitchFa
 pub use freq::MemFreq;
 pub use ids::{AppId, BankId, ChannelId, CoreId, RankId};
 pub use invariants::{Diagnostic, FsmFeature, FsmSpec, FsmTransition, TimingParam};
+pub use serve::{CellMetrics, CellOutcome, ErrorCode, JobSpec, JobSummary};
 pub use time::Picos;

@@ -1,0 +1,287 @@
+//! Wire-level vocabulary of the sweep-job service (`memscale-serve`).
+//!
+//! The serving layer speaks a line-delimited JSON protocol over TCP (see
+//! DESIGN.md §13). This module holds the *plain-data* shapes both sides of
+//! that protocol agree on — the job specification a client submits, the
+//! per-cell metrics and job summary the server streams back, and the
+//! structured error codes — so the server, the load generator and any other
+//! client share one vocabulary without this crate knowing anything about
+//! JSON, sockets or the simulator.
+//!
+//! Policies and workload mixes appear here as *names* (the same strings the
+//! `memscale-sim` CLI accepts); resolution against the policy/mix catalogs
+//! happens in the serving layer, where those catalogs live.
+
+use crate::config::MemGeneration;
+use std::fmt;
+
+/// A sweep job as submitted over the wire: one workload (a Table 1 mix,
+/// optionally fed from a server-side recorded trace) crossed with a list of
+/// policy cells under one run configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Client-chosen job identifier, echoed on every response line so one
+    /// connection can correlate interleaved output. Must be non-empty and
+    /// single-line.
+    pub id: String,
+    /// Table 1 workload name (e.g. `MID1`, case-insensitive).
+    pub mix: String,
+    /// Server-local path of a recorded trace to replay instead of recording
+    /// the mix live. The trace must match the job's configuration
+    /// fingerprint, exactly as `memscale-sim --replay` requires.
+    pub trace: Option<String>,
+    /// Memory generation the sweep runs on.
+    pub generation: MemGeneration,
+    /// Baseline horizon in milliseconds.
+    pub duration_ms: u64,
+    /// Trace seed; `None` keeps the server default.
+    pub seed: Option<u64>,
+    /// CPI degradation bound γ in percent.
+    pub gamma_pct: f64,
+    /// Epoch length in milliseconds.
+    pub epoch_ms: u64,
+    /// Core count.
+    pub cores: usize,
+    /// Memory channels.
+    pub channels: u8,
+    /// Policy cells to evaluate, named as the CLI names them
+    /// (`memscale`, `static:400`, …). Empty means the server's default
+    /// frequency × policy grid for the generation.
+    pub policies: Vec<String>,
+    /// Recording margin in percent (ignored for trace-fed jobs).
+    pub margin_pct: usize,
+}
+
+impl JobSpec {
+    /// A job over `mix` with the server-side defaults the CLI also uses:
+    /// DDR3, 4 ms horizon, γ = 10 %, 5 ms epochs, 16 cores, 4 channels,
+    /// default policy grid, 50 % margin.
+    pub fn for_mix(id: impl Into<String>, mix: impl Into<String>) -> Self {
+        JobSpec {
+            id: id.into(),
+            mix: mix.into(),
+            trace: None,
+            generation: MemGeneration::Ddr3,
+            duration_ms: 4,
+            seed: None,
+            gamma_pct: 10.0,
+            epoch_ms: 5,
+            cores: 16,
+            channels: 4,
+            policies: Vec::new(),
+            margin_pct: 50,
+        }
+    }
+
+    /// Shape checks that need no catalog: identifier present and
+    /// single-line, horizon/epoch non-zero, sane bounds on the grid size.
+    /// Catalog checks (mix exists, policies parse, hardware validates) are
+    /// the serving layer's job.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first malformed field.
+    pub fn validate_shape(&self) -> Result<(), String> {
+        if self.id.is_empty() || self.id.len() > 128 {
+            return Err("job id must be 1..=128 characters".into());
+        }
+        if self.id.contains(['\n', '\r']) {
+            return Err("job id must be a single line".into());
+        }
+        if self.mix.is_empty() {
+            return Err("mix name must not be empty".into());
+        }
+        if self.duration_ms == 0 {
+            return Err("duration_ms must be positive".into());
+        }
+        if self.epoch_ms == 0 {
+            return Err("epoch_ms must be positive".into());
+        }
+        if self.duration_ms > 10_000 {
+            return Err("duration_ms above 10000 is not admissible".into());
+        }
+        if self.policies.len() > 256 {
+            return Err("at most 256 policy cells per job".into());
+        }
+        Ok(())
+    }
+}
+
+/// Structured error codes of the serve protocol. The wire form
+/// ([`ErrorCode::as_str`]) is stable; clients switch on it rather than on
+/// the human-readable detail string that accompanies it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// Admission control rejected the job: the server is at its configured
+    /// queue depth. Back off and resubmit — the response carries the depth
+    /// and limit so clients can pace themselves.
+    Overloaded,
+    /// The request line was not valid JSON or not a well-formed job.
+    BadRequest,
+    /// The mix name is not in the Table 1 catalog.
+    UnknownMix,
+    /// A policy name did not parse or is unavailable on the generation.
+    UnknownPolicy,
+    /// The job's hardware configuration failed invariant validation.
+    InvalidConfig,
+    /// Opening/validating the job's trace failed (including a fingerprint
+    /// mismatch against the job configuration).
+    Trace,
+    /// The simulation itself failed after admission.
+    Sim,
+    /// An unexpected server-side failure.
+    Internal,
+}
+
+impl ErrorCode {
+    /// Every code, for table-driven tests.
+    pub const ALL: [ErrorCode; 8] = [
+        ErrorCode::Overloaded,
+        ErrorCode::BadRequest,
+        ErrorCode::UnknownMix,
+        ErrorCode::UnknownPolicy,
+        ErrorCode::InvalidConfig,
+        ErrorCode::Trace,
+        ErrorCode::Sim,
+        ErrorCode::Internal,
+    ];
+
+    /// The stable wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnknownMix => "unknown_mix",
+            ErrorCode::UnknownPolicy => "unknown_policy",
+            ErrorCode::InvalidConfig => "invalid_config",
+            ErrorCode::Trace => "trace",
+            ErrorCode::Sim => "sim",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Parses the wire spelling back.
+    pub fn parse(s: &str) -> Option<ErrorCode> {
+        ErrorCode::ALL.into_iter().find(|c| c.as_str() == s)
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The per-cell result metrics streamed back for each (frequency × policy)
+/// grid point, mirroring the headline numbers of the CLI's JSON output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellMetrics {
+    /// Fractional memory-subsystem energy savings versus baseline.
+    pub memory_savings: f64,
+    /// Fractional full-system energy savings versus baseline.
+    pub system_savings: f64,
+    /// Mean per-application CPI increase.
+    pub cpi_increase_avg: f64,
+    /// Worst per-application CPI increase.
+    pub cpi_increase_max: f64,
+    /// Mean bus frequency over the run, MHz.
+    pub mean_frequency_mhz: f64,
+}
+
+/// One evaluated cell: its policy label, whether it was served from the
+/// calibration cache, and the metrics or the structured failure message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellOutcome {
+    /// The policy name the cell ran (as given in [`JobSpec::policies`] or
+    /// expanded from the default grid).
+    pub label: String,
+    /// Whether the result came from the server's result cache.
+    pub cached: bool,
+    /// Metrics, or the `SimError` rendering for a failed cell. A failed
+    /// cell never poisons its siblings.
+    pub result: Result<CellMetrics, String>,
+}
+
+/// The final summary line of a completed job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSummary {
+    /// Total cells in the job.
+    pub cells: usize,
+    /// Cells that completed with metrics.
+    pub ok: usize,
+    /// Cells that failed with a `SimError`.
+    pub failed: usize,
+    /// Cache hits this job observed (cells plus the calibration baseline).
+    pub cache_hits: u64,
+    /// Cache misses this job observed.
+    pub cache_misses: u64,
+    /// Server-side wall-clock of the job, milliseconds.
+    pub wall_ms: f64,
+}
+
+impl JobSummary {
+    /// Fraction of this job's cache lookups that hit (0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_codes_round_trip() {
+        for code in ErrorCode::ALL {
+            assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
+            assert_eq!(code.to_string(), code.as_str());
+        }
+        assert_eq!(ErrorCode::parse("nope"), None);
+    }
+
+    #[test]
+    fn job_defaults_pass_shape_checks() {
+        let job = JobSpec::for_mix("j1", "MID1");
+        assert!(job.validate_shape().is_ok());
+        assert_eq!(job.generation, MemGeneration::Ddr3);
+        assert!(job.policies.is_empty());
+    }
+
+    #[test]
+    fn shape_checks_reject_malformed_jobs() {
+        let mut job = JobSpec::for_mix("", "MID1");
+        assert!(job.validate_shape().unwrap_err().contains("job id"));
+        job.id = "a\nb".into();
+        assert!(job.validate_shape().unwrap_err().contains("single line"));
+        job.id = "ok".into();
+        job.duration_ms = 0;
+        assert!(job.validate_shape().unwrap_err().contains("duration_ms"));
+        job.duration_ms = 4;
+        job.mix = String::new();
+        assert!(job.validate_shape().unwrap_err().contains("mix"));
+        job.mix = "MID1".into();
+        job.policies = vec!["memscale".into(); 257];
+        assert!(job.validate_shape().unwrap_err().contains("256"));
+    }
+
+    #[test]
+    fn summary_hit_rate() {
+        let mut s = JobSummary {
+            cells: 4,
+            ok: 4,
+            failed: 0,
+            cache_hits: 3,
+            cache_misses: 1,
+            wall_ms: 12.0,
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        s.cache_hits = 0;
+        s.cache_misses = 0;
+        assert_eq!(s.hit_rate(), 0.0);
+    }
+}

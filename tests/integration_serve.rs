@@ -1,0 +1,344 @@
+//! End-to-end tests of the sweep-job server over real TCP sockets.
+//!
+//! The backend here is a deterministic stub (cells either "work" in a few
+//! microseconds or fail on demand), so these tests exercise the serving
+//! layer — protocol framing, admission control, cache behaviour, error
+//! codes, the load generator — without paying for simulation. The
+//! simulator-backed path is covered by `memscale_simulator::service` unit
+//! tests and the CI `serve-smoke` job.
+
+use memscale_serve::loadgen::{self, LoadgenConfig};
+use memscale_serve::server::{JobPlan, ServerConfig, SweepBackend, SweepServer};
+use memscale_serve::wire::{decode_response, encode_job, Response};
+use memscale_types::serve::{CellMetrics, ErrorCode, JobSpec};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A backend whose "simulation" is instant and deterministic. A policy
+/// named `boom` fails its cell; a mix named `nope` fails planning; the
+/// calibration counter exposes how many baselines were actually built.
+#[derive(Default)]
+struct StubBackend {
+    calibrations: AtomicUsize,
+}
+
+/// Local newtype so the foreign trait can be implemented for a shared stub
+/// (tests keep a second `Arc` handle to inspect the counters).
+struct Stub(Arc<StubBackend>);
+
+impl SweepBackend for Stub {
+    type Baseline = u64;
+
+    fn plan(&self, job: &JobSpec) -> Result<JobPlan, (ErrorCode, String)> {
+        if job.mix == "nope" {
+            return Err((
+                ErrorCode::UnknownMix,
+                "unknown mix nope; valid mixes: MEM1 MID1 ILP1".into(),
+            ));
+        }
+        let cells = if job.policies.is_empty() {
+            vec!["static:800".to_string(), "memscale".to_string()]
+        } else {
+            job.policies.clone()
+        };
+        // Fingerprint the knobs a real backend's SimConfig would cover.
+        let fingerprint = job.duration_ms ^ (job.seed.unwrap_or(0).rotate_left(17));
+        let trace_crc = job.mix.bytes().map(u32::from).sum();
+        Ok(JobPlan {
+            fingerprint,
+            trace_crc,
+            cells,
+        })
+    }
+
+    fn calibrate(&self, job: &JobSpec) -> Result<u64, (ErrorCode, String)> {
+        self.0.calibrations.fetch_add(1, Ordering::Relaxed);
+        if job.mix == "uncalibratable" {
+            return Err((ErrorCode::Sim, "baseline run stalled".into()));
+        }
+        Ok(job.duration_ms)
+    }
+
+    fn run_cell(&self, baseline: &u64, label: &str) -> Result<CellMetrics, String> {
+        if label == "boom" {
+            return Err("trace exhausted on app 3".into());
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let f = *baseline as f64;
+        Ok(CellMetrics {
+            memory_savings: 0.2,
+            system_savings: 0.1,
+            cpi_increase_avg: 0.02,
+            cpi_increase_max: 0.05,
+            mean_frequency_mhz: 400.0 + f,
+        })
+    }
+}
+
+fn spawn_server(queue_depth: usize) -> (std::net::SocketAddr, Arc<StubBackend>) {
+    let backend = Arc::new(StubBackend::default());
+    let cfg = ServerConfig {
+        queue_depth,
+        threads: 2,
+        cell_queue: 16,
+        cache_cap: 64,
+    };
+    let server =
+        SweepServer::bind("127.0.0.1:0", cfg, Stub(Arc::clone(&backend))).expect("bind ephemeral");
+    let addr = server.local_addr().expect("local addr");
+    std::thread::spawn(move || {
+        let _ = server.run();
+    });
+    (addr, backend)
+}
+
+/// Submits one raw line and reads responses until `done` or `error`.
+fn submit_raw(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    line: &str,
+) -> Vec<Response> {
+    stream
+        .write_all(format!("{line}\n").as_bytes())
+        .expect("write job");
+    let mut responses = Vec::new();
+    loop {
+        let mut buf = String::new();
+        assert!(
+            reader.read_line(&mut buf).expect("read line") > 0,
+            "server hung up"
+        );
+        let resp = decode_response(buf.trim()).expect("decodable response");
+        let terminal = matches!(resp, Response::Done { .. } | Response::Error { .. });
+        responses.push(resp);
+        if terminal {
+            return responses;
+        }
+    }
+}
+
+fn connect(addr: std::net::SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let reader = BufReader::new(stream.try_clone().expect("clone"));
+    (stream, reader)
+}
+
+#[test]
+fn job_streams_admitted_cells_done() {
+    let (addr, _) = spawn_server(8);
+    let (mut stream, mut reader) = connect(addr);
+    let mut job = JobSpec::for_mix("j1", "MID1");
+    job.policies = vec!["static:800".into(), "memscale".into()];
+    let responses = submit_raw(&mut stream, &mut reader, &encode_job(&job));
+    assert!(
+        matches!(&responses[0], Response::Admitted { id, cells } if id == "j1" && *cells == 2),
+        "first line admits: {responses:?}"
+    );
+    let cells: Vec<_> = responses
+        .iter()
+        .filter_map(|r| match r {
+            Response::Cell { outcome, .. } => Some(outcome),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(cells.len(), 2);
+    let mut labels: Vec<&str> = cells.iter().map(|c| c.label.as_str()).collect();
+    labels.sort_unstable();
+    assert_eq!(labels, ["memscale", "static:800"]);
+    assert!(cells.iter().all(|c| !c.cached && c.result.is_ok()));
+    match responses.last().expect("non-empty") {
+        Response::Done { id, summary } => {
+            assert_eq!(id, "j1");
+            assert_eq!((summary.cells, summary.ok, summary.failed), (2, 2, 0));
+            // Cold job: baseline + 2 cells all missed.
+            assert_eq!((summary.cache_hits, summary.cache_misses), (0, 3));
+            assert!(summary.wall_ms >= 0.0);
+        }
+        other => panic!("expected done, got {other:?}"),
+    }
+}
+
+#[test]
+fn resubmitted_job_answers_from_cache() {
+    let (addr, backend) = spawn_server(8);
+    let (mut stream, mut reader) = connect(addr);
+    let job = JobSpec::for_mix("warm", "MID1");
+    let line = encode_job(&job);
+    submit_raw(&mut stream, &mut reader, &line);
+    let responses = submit_raw(&mut stream, &mut reader, &line);
+    let cached_cells = responses
+        .iter()
+        .filter(|r| matches!(r, Response::Cell { outcome, .. } if outcome.cached))
+        .count();
+    assert_eq!(
+        cached_cells, 2,
+        "both cells cached on resubmit: {responses:?}"
+    );
+    match responses.last().expect("non-empty") {
+        Response::Done { summary, .. } => {
+            assert_eq!(summary.cache_hits, 3, "baseline + 2 cells hit");
+            assert_eq!(summary.cache_misses, 0);
+            assert!((summary.hit_rate() - 1.0).abs() < 1e-12);
+        }
+        other => panic!("expected done, got {other:?}"),
+    }
+    assert_eq!(
+        backend.calibrations.load(Ordering::Relaxed),
+        1,
+        "second job reuses the cached baseline"
+    );
+}
+
+#[test]
+fn moved_knob_reuses_nothing() {
+    let (addr, backend) = spawn_server(8);
+    let (mut stream, mut reader) = connect(addr);
+    let mut job = JobSpec::for_mix("k1", "MID1");
+    submit_raw(&mut stream, &mut reader, &encode_job(&job));
+    job.id = "k2".into();
+    job.duration_ms += 1; // moves the fingerprint
+    let responses = submit_raw(&mut stream, &mut reader, &encode_job(&job));
+    match responses.last().expect("non-empty") {
+        Response::Done { summary, .. } => assert_eq!(summary.cache_hits, 0),
+        other => panic!("expected done, got {other:?}"),
+    }
+    assert_eq!(backend.calibrations.load(Ordering::Relaxed), 2);
+}
+
+#[test]
+fn failed_cell_reported_in_slot_without_poisoning_siblings() {
+    let (addr, _) = spawn_server(8);
+    let (mut stream, mut reader) = connect(addr);
+    let mut job = JobSpec::for_mix("mixed", "MID1");
+    job.policies = vec!["static:800".into(), "boom".into()];
+    let responses = submit_raw(&mut stream, &mut reader, &encode_job(&job));
+    let (mut ok, mut failed) = (0, 0);
+    for r in &responses {
+        if let Response::Cell { outcome, .. } = r {
+            match &outcome.result {
+                Ok(_) => ok += 1,
+                Err(detail) => {
+                    failed += 1;
+                    assert_eq!(outcome.label, "boom");
+                    assert!(detail.contains("exhausted"), "{detail}");
+                }
+            }
+        }
+    }
+    assert_eq!((ok, failed), (1, 1));
+    match responses.last().expect("non-empty") {
+        Response::Done { summary, .. } => {
+            assert_eq!((summary.ok, summary.failed), (1, 1));
+        }
+        other => panic!("expected done, got {other:?}"),
+    }
+
+    // A failed cell is not cached: resubmitting re-runs it.
+    job.id = "mixed2".into();
+    let responses = submit_raw(&mut stream, &mut reader, &encode_job(&job));
+    let boom_cached = responses.iter().any(
+        |r| matches!(r, Response::Cell { outcome, .. } if outcome.label == "boom" && outcome.cached),
+    );
+    assert!(!boom_cached);
+}
+
+#[test]
+fn malformed_line_gets_bad_request() {
+    let (addr, _) = spawn_server(8);
+    let (mut stream, mut reader) = connect(addr);
+    let responses = submit_raw(&mut stream, &mut reader, "{\"type\":\"job\"");
+    match &responses[0] {
+        Response::Error { id, code, .. } => {
+            assert_eq!(*code, ErrorCode::BadRequest);
+            assert!(id.is_none());
+        }
+        other => panic!("expected error, got {other:?}"),
+    }
+    // The connection survives a bad line: a good job still works.
+    let job = JobSpec::for_mix("after-bad", "MID1");
+    let responses = submit_raw(&mut stream, &mut reader, &encode_job(&job));
+    assert!(matches!(responses.last(), Some(Response::Done { .. })));
+}
+
+#[test]
+fn unknown_mix_error_names_valid_mixes() {
+    let (addr, _) = spawn_server(8);
+    let (mut stream, mut reader) = connect(addr);
+    let job = JobSpec::for_mix("m1", "nope");
+    let responses = submit_raw(&mut stream, &mut reader, &encode_job(&job));
+    match &responses[0] {
+        Response::Error {
+            id, code, detail, ..
+        } => {
+            assert_eq!(id.as_deref(), Some("m1"));
+            assert_eq!(*code, ErrorCode::UnknownMix);
+            assert!(detail.contains("MID1"), "lists valid mixes: {detail}");
+        }
+        other => panic!("expected error, got {other:?}"),
+    }
+}
+
+#[test]
+fn calibration_failure_is_structured() {
+    let (addr, _) = spawn_server(8);
+    let (mut stream, mut reader) = connect(addr);
+    let job = JobSpec::for_mix("c1", "uncalibratable");
+    let responses = submit_raw(&mut stream, &mut reader, &encode_job(&job));
+    assert!(matches!(&responses[0], Response::Admitted { .. }));
+    match responses.last().expect("non-empty") {
+        Response::Error { id, code, .. } => {
+            assert_eq!(id.as_deref(), Some("c1"));
+            assert_eq!(*code, ErrorCode::Sim);
+        }
+        other => panic!("expected error, got {other:?}"),
+    }
+}
+
+#[test]
+fn zero_depth_server_rejects_with_structured_overloaded() {
+    let (addr, _) = spawn_server(0);
+    let (mut stream, mut reader) = connect(addr);
+    let job = JobSpec::for_mix("o1", "MID1");
+    let responses = submit_raw(&mut stream, &mut reader, &encode_job(&job));
+    match &responses[0] {
+        Response::Error {
+            id,
+            code,
+            depth,
+            limit,
+            ..
+        } => {
+            assert_eq!(id.as_deref(), Some("o1"));
+            assert_eq!(*code, ErrorCode::Overloaded);
+            assert_eq!(*limit, Some(0));
+            assert!(depth.is_some());
+        }
+        other => panic!("expected overloaded, got {other:?}"),
+    }
+}
+
+#[test]
+fn loadgen_fleet_completes_with_zero_protocol_errors() {
+    let (addr, _) = spawn_server(8);
+    let cfg = LoadgenConfig {
+        addr: addr.to_string(),
+        clients: 4,
+        jobs_per_client: 3,
+        template: JobSpec::for_mix("job", "MID1"),
+    };
+    let stats = loadgen::run(&cfg).expect("loadgen run");
+    assert_eq!(stats.jobs_ok, 12);
+    assert_eq!(stats.protocol_errors, 0);
+    assert_eq!(stats.jobs_failed, 0);
+    assert_eq!(stats.cells_ok, 24);
+    assert!(
+        stats.cache_hits > 0,
+        "repeated fingerprints hit the cache: {stats:?}"
+    );
+    assert_eq!(stats.latencies_ms.len(), 12);
+    assert!(stats.jobs_per_sec() > 0.0);
+    let artifact = stats.to_bench_json(&cfg);
+    assert!(artifact.contains("\"protocol_errors\":0"));
+}

@@ -149,6 +149,40 @@ fn exhausted_trace_reports_cleanly_instead_of_panicking() {
 }
 
 #[test]
+fn failing_shard_surfaces_in_slot_without_poisoning_siblings() {
+    let cfg = SimConfig::quick();
+    let mix = Mix::by_name("MID1").unwrap();
+    // Record only the baseline prefix with zero margin: the max-frequency
+    // static shard replays the same work and fits, while the 200 MHz shard
+    // stretches the run far past the recording and must exhaust.
+    let (header, streams) = record_trace(&mix, &cfg, &[], 0).unwrap();
+    let trace = ReplayTrace::from_streams(header, streams);
+    let exp = Experiment::calibrate_replay(&mix, &cfg, &trace).unwrap();
+    let shards = vec![
+        ShardSpec::of(PolicyKind::Static(MemFreq::MAX)),
+        ShardSpec::of(PolicyKind::Static(MemFreq::MIN)),
+        ShardSpec::of(PolicyKind::Static(MemFreq::MAX)),
+    ];
+    let results = replay_sharded(&exp, &trace, &shards);
+    assert_eq!(results.len(), 3, "every shard gets a result slot");
+    for ((spec, _result), expected) in results.iter().zip(&shards) {
+        assert_eq!(spec, expected, "shard order must be preserved");
+    }
+    let (_, fast_a) = &results[0];
+    let (_, slow) = &results[1];
+    let (_, fast_b) = &results[2];
+    assert!(
+        matches!(slow, Err(SimError::TraceExhausted { .. })),
+        "the slow shard must exhaust: {slow:?}"
+    );
+    // Both sibling shards still succeed, identically to each other.
+    let (run_a, cmp_a) = fast_a.as_ref().expect("sibling shard survives");
+    let (run_b, cmp_b) = fast_b.as_ref().expect("sibling shard survives");
+    assert_identical(run_a, run_b);
+    assert!(cmp_a.memory_savings == cmp_b.memory_savings);
+}
+
+#[test]
 fn sharded_replay_matches_sequential_replay() {
     let cfg = SimConfig::quick();
     let (mix, trace) = record_mid1(&cfg);
