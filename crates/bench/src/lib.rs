@@ -7,6 +7,8 @@
 //! expectations. Binaries under `src/bin/` print individual artifacts; the
 //! `experiments` binary runs the full set and regenerates `EXPERIMENTS.md`.
 
+#![forbid(unsafe_code)]
+
 pub mod exp;
 pub mod report;
 

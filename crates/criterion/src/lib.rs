@@ -10,6 +10,8 @@
 //! benchmark is timed over a fixed iteration count and a one-line summary
 //! is printed.
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 /// Re-export of the standard optimization barrier.

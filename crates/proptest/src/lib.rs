@@ -8,6 +8,8 @@
 //! deterministic per-test PRNG; there is **no shrinking** — on failure the
 //! macro prints the generated inputs for the offending case and panics.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Debug;
 use std::ops::Range;
 

@@ -13,6 +13,8 @@
 //! can be overridden with the `RAYON_NUM_THREADS` environment variable,
 //! mirroring real rayon.
 
+#![forbid(unsafe_code)]
+
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
@@ -206,6 +208,52 @@ impl ThreadPool {
         state.queue.push_back(Box::new(job));
         drop(state);
         self.shared.work.notify_one();
+    }
+
+    /// Submits `job` like [`ThreadPool::execute`], but the producer-side
+    /// wait for queue space is bounded by a cancellation flag and an
+    /// optional deadline, and the job itself learns whether it was
+    /// cancelled while it sat in the queue.
+    ///
+    /// * While the queue is full the submitter polls `cancel` (and
+    ///   `until`); if either fires first, nothing is enqueued and the call
+    ///   returns `false`.
+    /// * Once enqueued, the flag is sampled again when a worker finally
+    ///   dequeues the job and passed as the closure's argument — a job
+    ///   cancelled while queued can report back without doing the work.
+    ///
+    /// Returns `true` iff the job was enqueued.
+    pub fn execute_cancellable<F>(
+        &self,
+        cancel: &Arc<std::sync::atomic::AtomicBool>,
+        until: Option<std::time::Instant>,
+        job: F,
+    ) -> bool
+    where
+        F: FnOnce(bool) + Send + 'static,
+    {
+        let mut state = self.shared.state.lock().expect("pool lock poisoned");
+        while state.queue.len() >= self.shared.capacity {
+            if cancel.load(Ordering::Acquire) {
+                return false;
+            }
+            if until.is_some_and(|u| std::time::Instant::now() >= u) {
+                return false;
+            }
+            let (guard, _timeout) = self
+                .shared
+                .space
+                .wait_timeout(state, std::time::Duration::from_millis(10))
+                .expect("pool lock poisoned");
+            state = guard;
+        }
+        let flag = Arc::clone(cancel);
+        state
+            .queue
+            .push_back(Box::new(move || job(flag.load(Ordering::Acquire))));
+        drop(state);
+        self.shared.work.notify_one();
+        true
     }
 }
 
@@ -580,6 +628,109 @@ mod tests {
         });
         drop(pool);
         assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn cancellable_execute_runs_and_reports_flag() {
+        use std::sync::atomic::AtomicBool;
+        let pool = ThreadPool::new(2, 8);
+        let cancel = Arc::new(AtomicBool::new(false));
+        let seen = Arc::new(AtomicUsize::new(0));
+        let s = Arc::clone(&seen);
+        assert!(pool.execute_cancellable(&cancel, None, move |cancelled| {
+            assert!(!cancelled);
+            s.fetch_add(1, Ordering::Relaxed);
+        }));
+        drop(pool);
+        assert_eq!(seen.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn cancellable_execute_gives_up_when_cancelled_while_full() {
+        use std::sync::atomic::AtomicBool;
+        // One worker stuck on a gate, capacity 1 already filled: a
+        // cancellable submit must return false once the flag raises instead
+        // of blocking forever.
+        let pool = ThreadPool::new(1, 1);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let g = Arc::clone(&gate);
+        pool.execute(move || {
+            let (lock, cv) = &*g;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+        });
+        while pool.queue_len() > 0 {
+            std::thread::yield_now();
+        }
+        pool.execute(|| {}); // fills the queue
+        let cancel = Arc::new(AtomicBool::new(true));
+        assert!(!pool.execute_cancellable(&cancel, None, |_| {}));
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        drop(pool);
+    }
+
+    #[test]
+    fn cancellable_execute_respects_deadline_while_full() {
+        use std::sync::atomic::AtomicBool;
+        let pool = ThreadPool::new(1, 1);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let g = Arc::clone(&gate);
+        pool.execute(move || {
+            let (lock, cv) = &*g;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+        });
+        while pool.queue_len() > 0 {
+            std::thread::yield_now();
+        }
+        pool.execute(|| {});
+        let cancel = Arc::new(AtomicBool::new(false));
+        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(30);
+        let t0 = std::time::Instant::now();
+        assert!(!pool.execute_cancellable(&cancel, Some(deadline), |_| {}));
+        assert!(t0.elapsed() < std::time::Duration::from_secs(5));
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        drop(pool);
+    }
+
+    #[test]
+    fn cancellable_job_sees_cancellation_raised_while_queued() {
+        use std::sync::atomic::AtomicBool;
+        // Worker blocked, job enqueued behind it, then the flag raises: the
+        // job must still run (reporting path) and observe cancelled=true.
+        let pool = ThreadPool::new(1, 4);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let g = Arc::clone(&gate);
+        pool.execute(move || {
+            let (lock, cv) = &*g;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+        });
+        while pool.queue_len() > 0 {
+            std::thread::yield_now();
+        }
+        let cancel = Arc::new(AtomicBool::new(false));
+        let observed = Arc::new(AtomicUsize::new(0));
+        let o = Arc::clone(&observed);
+        assert!(pool.execute_cancellable(&cancel, None, move |cancelled| {
+            o.store(if cancelled { 2 } else { 1 }, Ordering::Relaxed);
+        }));
+        cancel.store(true, Ordering::Release);
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        drop(pool);
+        assert_eq!(observed.load(Ordering::Relaxed), 2);
     }
 
     #[test]

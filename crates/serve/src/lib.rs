@@ -19,18 +19,28 @@
 //!   measures jobs/sec, p50/p99 job latency, and cache hit rate, writing
 //!   the `BENCH_serve.json` artifact consumed by CI.
 //!
+//! * **Fault injection** ([`chaos`]): a seeded TCP proxy that tears
+//!   frames, drops requests, stalls reads, and kills connections on the
+//!   client→server path, used by the chaos harness to prove the server
+//!   degrades into structured errors rather than hangs or leaks.
+//!
 //! The crate depends only on `memscale-types` and the worker pool; the
 //! simulation work is injected through [`server::SweepBackend`], which
 //! `memscale-simulator` implements. The wire protocol is specified in
-//! `DESIGN.md` §13.
+//! `DESIGN.md` §13; deadlines, cancellation, drain, and the chaos
+//! harness in §14.
+
+#![forbid(unsafe_code)]
 
 pub mod cache;
+pub mod chaos;
 pub mod json;
 pub mod loadgen;
 pub mod server;
 pub mod wire;
 
 pub use cache::{CacheKey, LruCache};
+pub use chaos::{open_flood, ChaosConfig, ChaosHandle, ChaosProxy, ChaosReport, ChaosRng};
 pub use loadgen::{LoadgenConfig, LoadgenStats};
 pub use server::{JobPlan, ServerConfig, ServerStats, SweepBackend, SweepServer};
 pub use wire::Response;

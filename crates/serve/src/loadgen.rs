@@ -7,13 +7,22 @@
 //! on the client side; the run report aggregates throughput, latency
 //! percentiles, cache behaviour, and protocol health into
 //! `BENCH_serve.json`.
+//!
+//! The client side is chaos-hardened to match the server (DESIGN.md §14):
+//! connects and reads are bounded by timeouts, `overloaded` rejections are
+//! retried with exponential backoff plus seeded jitter, a connection that
+//! dies mid-job is replaced for the next attempt, and the report separates
+//! *transport* failures (expected under fault injection) from *protocol*
+//! violations (never acceptable — the server sent a malformed or
+//! inconsistent stream).
 
+use crate::chaos::ChaosRng;
 use crate::json::Json;
 use crate::wire::{decode_response, encode_job, Response};
-use memscale_types::serve::{ErrorCode, JobSpec};
+use memscale_types::serve::{DoneReason, ErrorCode, JobSpec};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Load-generator parameters.
 #[derive(Debug, Clone)]
@@ -26,6 +35,44 @@ pub struct LoadgenConfig {
     pub jobs_per_client: usize,
     /// Job template; each submission gets a unique id derived from it.
     pub template: JobSpec,
+    /// TCP connect timeout, milliseconds (0 = OS default, unbounded).
+    pub connect_timeout_ms: u64,
+    /// Socket read/write timeout, milliseconds (0 = unbounded). A job
+    /// whose response stream stalls past this is counted as a transport
+    /// failure, not left hanging.
+    pub read_timeout_ms: u64,
+    /// Resubmissions attempted after an `overloaded` rejection before the
+    /// job is recorded as overloaded.
+    pub max_retries: usize,
+    /// Base of the exponential backoff between retries, milliseconds
+    /// (doubled per attempt, plus seeded jitter in `[0, backoff)`).
+    pub backoff_base_ms: u64,
+    /// Seed of the per-client jitter streams (replayable backoff).
+    pub seed: u64,
+}
+
+impl LoadgenConfig {
+    /// A config over `addr` and `template` with the defaults the CLI
+    /// uses: 3 s connect timeout, 30 s read timeout, 3 retries on
+    /// `overloaded` with 10 ms backoff base.
+    pub fn new(
+        addr: impl Into<String>,
+        clients: usize,
+        jobs_per_client: usize,
+        template: JobSpec,
+    ) -> Self {
+        LoadgenConfig {
+            addr: addr.into(),
+            clients,
+            jobs_per_client,
+            template,
+            connect_timeout_ms: 3_000,
+            read_timeout_ms: 30_000,
+            max_retries: 3,
+            backoff_base_ms: 10,
+            seed: 0x5ca1_ab1e,
+        }
+    }
 }
 
 /// Aggregated outcome of a load-generator run.
@@ -33,20 +80,36 @@ pub struct LoadgenConfig {
 pub struct LoadgenStats {
     /// Jobs that completed with a `done` line.
     pub jobs_ok: usize,
-    /// Jobs rejected by admission control.
+    /// Jobs still rejected by admission control after every retry.
     pub jobs_overloaded: usize,
     /// Jobs rejected or failed with any other error line.
     pub jobs_failed: usize,
-    /// Malformed or out-of-protocol server lines, plus transport failures.
+    /// Jobs lost to transport faults (connect/read/write failures,
+    /// timeouts, mid-stream disconnects). Expected under chaos; fatal in
+    /// a clean run.
+    pub jobs_transport: usize,
+    /// Malformed or out-of-protocol server lines — content violations
+    /// only, never transport noise. Must be zero even under chaos.
     pub protocol_errors: usize,
+    /// Resubmissions performed after `overloaded` rejections.
+    pub retries: usize,
+    /// Jobs whose `done` line carried `reason:"deadline"`.
+    pub deadline_misses: usize,
     /// Cells evaluated successfully, summed over `done` lines.
     pub cells_ok: usize,
     /// Cells that failed, summed over `done` lines.
     pub cells_failed: usize,
+    /// Cells reported as cooperatively cancelled (code `cancelled`).
+    pub cells_cancelled: usize,
+    /// Cells abandoned by the server's watchdog (code `cell_timeout`).
+    pub cells_timed_out: usize,
     /// Cache hits summed over `done` lines.
     pub cache_hits: u64,
     /// Cache misses summed over `done` lines.
     pub cache_misses: u64,
+    /// Faults a chaos proxy injected during the run, when one was in the
+    /// path (filled in by the chaos orchestrator, not by `run`).
+    pub chaos_faults_injected: u64,
     /// Per-job submit-to-done latencies, milliseconds, unsorted.
     pub latencies_ms: Vec<f64>,
     /// Whole-run wall clock, seconds.
@@ -92,11 +155,26 @@ impl LoadgenStats {
         sorted[rank - 1]
     }
 
+    /// Every job submitted is accounted for exactly once: completed,
+    /// overloaded (terminally), failed with a structured error, or lost
+    /// to transport. The chaos harness asserts this equals the offered
+    /// job count.
+    pub fn jobs_accounted(&self) -> usize {
+        self.jobs_ok + self.jobs_overloaded + self.jobs_failed + self.jobs_transport
+    }
+
     /// Renders the `BENCH_serve.json` artifact (single line, stable field
     /// order).
     pub fn to_bench_json(&self, cfg: &LoadgenConfig) -> String {
+        self.to_bench_json_named(cfg, "serve_loadgen")
+    }
+
+    /// Same artifact under a caller-chosen benchmark name (the chaos
+    /// harness writes `serve_chaos` so its reports never masquerade as a
+    /// clean loadgen run).
+    pub fn to_bench_json_named(&self, cfg: &LoadgenConfig, benchmark: &str) -> String {
         let obj = Json::Obj(vec![
-            ("benchmark".into(), Json::Str("serve_loadgen".into())),
+            ("benchmark".into(), Json::Str(benchmark.into())),
             ("clients".into(), Json::num(cfg.clients.to_string())),
             (
                 "jobs_per_client".into(),
@@ -113,13 +191,30 @@ impl LoadgenStats {
                 Json::num(self.jobs_failed.to_string()),
             ),
             (
+                "jobs_transport".into(),
+                Json::num(self.jobs_transport.to_string()),
+            ),
+            (
                 "protocol_errors".into(),
                 Json::num(self.protocol_errors.to_string()),
+            ),
+            ("retries".into(), Json::num(self.retries.to_string())),
+            (
+                "deadline_misses".into(),
+                Json::num(self.deadline_misses.to_string()),
             ),
             ("cells_ok".into(), Json::num(self.cells_ok.to_string())),
             (
                 "cells_failed".into(),
                 Json::num(self.cells_failed.to_string()),
+            ),
+            (
+                "cells_cancelled".into(),
+                Json::num(self.cells_cancelled.to_string()),
+            ),
+            (
+                "cells_timed_out".into(),
+                Json::num(self.cells_timed_out.to_string()),
             ),
             ("cache_hits".into(), Json::num(self.cache_hits.to_string())),
             (
@@ -142,6 +237,10 @@ impl LoadgenStats {
                 "p99_ms".into(),
                 Json::num(format!("{:.3}", self.latency_quantile(0.99))),
             ),
+            (
+                "chaos_faults_injected".into(),
+                Json::num(self.chaos_faults_injected.to_string()),
+            ),
             ("wall_s".into(), Json::num(format!("{:.3}", self.wall_s))),
         ]);
         obj.render()
@@ -149,54 +248,109 @@ impl LoadgenStats {
 }
 
 /// Outcome of one submitted job, folded into [`LoadgenStats`].
+#[derive(Debug, Default)]
 struct JobOutcome {
     done: bool,
     overloaded: bool,
     failed: bool,
+    transport: bool,
     protocol_errors: usize,
+    retries: usize,
+    deadline_miss: bool,
     cells_ok: usize,
     cells_failed: usize,
+    cells_cancelled: usize,
+    cells_timed_out: usize,
     cache_hits: u64,
     cache_misses: u64,
     latency_ms: f64,
+}
+
+/// One client connection: a writer half and a buffered reader half.
+struct ClientConn {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+/// Connects to `addr` with the configured timeouts.
+fn connect(
+    addr: &str,
+    connect_timeout_ms: u64,
+    read_timeout_ms: u64,
+) -> Result<ClientConn, String> {
+    use std::net::ToSocketAddrs;
+    let sock_addr = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("cannot resolve {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("cannot resolve {addr}: no addresses"))?;
+    let stream = if connect_timeout_ms > 0 {
+        TcpStream::connect_timeout(&sock_addr, Duration::from_millis(connect_timeout_ms))
+    } else {
+        TcpStream::connect(sock_addr)
+    }
+    .map_err(|e| format!("cannot connect to {addr}: {e} — is the server running?"))?;
+    if read_timeout_ms > 0 {
+        let timeout = Some(Duration::from_millis(read_timeout_ms));
+        let _ = stream.set_read_timeout(timeout);
+        let _ = stream.set_write_timeout(timeout);
+    }
+    let writer = stream
+        .try_clone()
+        .map_err(|e| format!("socket clone failed: {e}"))?;
+    Ok(ClientConn {
+        writer,
+        reader: BufReader::new(stream),
+    })
 }
 
 /// Runs the closed-loop fleet to completion and aggregates the outcome.
 ///
 /// # Errors
 ///
-/// Only connection setup failures abort the run; every in-protocol error
-/// is counted in the returned stats instead.
+/// A human-readable message when the server is unreachable (an upfront
+/// probe connection fails — e.g. connection refused); every in-protocol
+/// and per-job transport error is counted in the returned stats instead.
 pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenStats, String> {
+    // Fail fast with a clear message when nothing is listening, instead
+    // of surfacing one raw io error per client.
+    drop(connect(
+        &cfg.addr,
+        cfg.connect_timeout_ms,
+        cfg.read_timeout_ms,
+    )?);
     let started = Instant::now();
     let mut handles = Vec::with_capacity(cfg.clients);
     for client in 0..cfg.clients {
-        let addr = cfg.addr.clone();
-        let template = cfg.template.clone();
-        let jobs = cfg.jobs_per_client;
-        handles.push(std::thread::spawn(move || {
-            run_client(&addr, client, jobs, &template)
-        }));
+        let cfg = cfg.clone();
+        handles.push(std::thread::spawn(move || run_client(&cfg, client)));
     }
     let mut stats = LoadgenStats::default();
     for handle in handles {
         let outcomes = handle
             .join()
-            .map_err(|_| "load-generator client panicked".to_string())??;
+            .map_err(|_| "load-generator client panicked".to_string())?;
         for o in outcomes {
             if o.done {
                 stats.jobs_ok += 1;
                 stats.latencies_ms.push(o.latency_ms);
-            }
-            if o.overloaded {
+            } else if o.overloaded {
                 stats.jobs_overloaded += 1;
+            } else if o.transport {
+                stats.jobs_transport += 1;
             }
             if o.failed {
                 stats.jobs_failed += 1;
             }
+            if o.deadline_miss {
+                stats.deadline_misses += 1;
+            }
             stats.protocol_errors += o.protocol_errors;
+            stats.retries += o.retries;
             stats.cells_ok += o.cells_ok;
             stats.cells_failed += o.cells_failed;
+            stats.cells_cancelled += o.cells_cancelled;
+            stats.cells_timed_out += o.cells_timed_out;
             stats.cache_hits += o.cache_hits;
             stats.cache_misses += o.cache_misses;
         }
@@ -205,50 +359,65 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenStats, String> {
     Ok(stats)
 }
 
-/// One client's closed loop: submit, read lines until `done`/error, repeat.
-fn run_client(
-    addr: &str,
-    client: usize,
-    jobs: usize,
-    template: &JobSpec,
-) -> Result<Vec<JobOutcome>, String> {
-    let stream = TcpStream::connect(addr).map_err(|e| format!("connect to {addr} failed: {e}"))?;
-    let mut writer = stream
-        .try_clone()
-        .map_err(|e| format!("socket clone failed: {e}"))?;
-    let mut reader = BufReader::new(stream);
-    let mut outcomes = Vec::with_capacity(jobs);
-    for job_idx in 0..jobs {
-        let mut spec = template.clone();
-        spec.id = format!("c{client}-j{job_idx}");
-        outcomes.push(submit_one(&mut writer, &mut reader, &spec));
+/// One client's closed loop: submit, read lines until `done`/error,
+/// retry overloaded rejections with backoff, replace dead connections,
+/// repeat.
+fn run_client(cfg: &LoadgenConfig, client: usize) -> Vec<JobOutcome> {
+    let mut rng = ChaosRng::new(cfg.seed ^ (client as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut conn: Option<ClientConn> = None;
+    let mut outcomes = Vec::with_capacity(cfg.jobs_per_client);
+    for job_idx in 0..cfg.jobs_per_client {
+        let mut retries = 0usize;
+        let outcome = loop {
+            if conn.is_none() {
+                conn = connect(&cfg.addr, cfg.connect_timeout_ms, cfg.read_timeout_ms).ok();
+            }
+            let Some(c) = conn.as_mut() else {
+                break JobOutcome {
+                    transport: true,
+                    ..JobOutcome::default()
+                };
+            };
+            let mut spec = cfg.template.clone();
+            // Unique per attempt so a retried job can never be confused
+            // with stale lines of its previous incarnation.
+            spec.id = format!("c{client}-j{job_idx}-a{retries}");
+            let (mut o, usable) = submit_one(&mut c.writer, &mut c.reader, &spec);
+            if !usable {
+                conn = None;
+            }
+            if o.overloaded && retries < cfg.max_retries {
+                retries += 1;
+                let backoff = cfg
+                    .backoff_base_ms
+                    .max(1)
+                    .saturating_mul(1u64 << (retries - 1).min(6));
+                let jitter = rng.next_u64() % backoff;
+                std::thread::sleep(Duration::from_millis(backoff + jitter));
+                continue;
+            }
+            o.retries = retries;
+            break o;
+        };
+        outcomes.push(outcome);
     }
-    Ok(outcomes)
+    outcomes
 }
 
-/// Submits one job and consumes its response stream.
+/// Submits one job and consumes its response stream. Returns the outcome
+/// plus whether the connection is still usable for the next submission.
 fn submit_one(
     writer: &mut TcpStream,
     reader: &mut BufReader<TcpStream>,
     spec: &JobSpec,
-) -> JobOutcome {
-    let mut outcome = JobOutcome {
-        done: false,
-        overloaded: false,
-        failed: false,
-        protocol_errors: 0,
-        cells_ok: 0,
-        cells_failed: 0,
-        cache_hits: 0,
-        cache_misses: 0,
-        latency_ms: 0.0,
-    };
+) -> (JobOutcome, bool) {
+    let mut outcome = JobOutcome::default();
     let started = Instant::now();
     let mut line = encode_job(spec);
     line.push('\n');
     if writer.write_all(line.as_bytes()).is_err() {
-        outcome.protocol_errors += 1;
-        return outcome;
+        outcome.transport = true;
+        return (outcome, false);
     }
     let mut expected_cells: Option<usize> = None;
     let mut seen_cells = 0usize;
@@ -256,8 +425,10 @@ fn submit_one(
         let mut buf = String::new();
         match reader.read_line(&mut buf) {
             Ok(0) | Err(_) => {
-                outcome.protocol_errors += 1;
-                return outcome;
+                // EOF, reset or read timeout mid-job: the transport died,
+                // not the protocol.
+                outcome.transport = true;
+                return (outcome, false);
             }
             Ok(_) => {}
         }
@@ -272,21 +443,33 @@ fn submit_one(
                 continue;
             }
         };
-        // Every line of a job's stream must carry the job's id (errors
-        // for unparseable requests carry none, which cannot happen for a
-        // well-formed submission we just encoded ourselves).
+        // Connections serve one job at a time, so a line carrying a
+        // different id means the request was corrupted in flight (a
+        // chaos-proxy torn frame that landed inside the id): the server
+        // is processing the mutated incarnation. Its terminal line
+        // terminates this submission as failed — not a protocol
+        // violation, the server answered what it was (mis)given.
         if resp.id().is_some_and(|id| id != spec.id) {
-            outcome.protocol_errors += 1;
+            if matches!(resp, Response::Done { .. } | Response::Error { .. }) {
+                outcome.failed = true;
+                return (outcome, true);
+            }
             continue;
         }
         match resp {
             Response::Admitted { cells, .. } => expected_cells = Some(cells),
             Response::Cell { outcome: cell, .. } => {
                 seen_cells += 1;
-                if cell.result.is_ok() {
-                    outcome.cells_ok += 1;
-                } else {
-                    outcome.cells_failed += 1;
+                match &cell.result {
+                    Ok(_) => outcome.cells_ok += 1,
+                    Err(failure) => {
+                        outcome.cells_failed += 1;
+                        match failure.code {
+                            ErrorCode::Cancelled => outcome.cells_cancelled += 1,
+                            ErrorCode::CellTimeout => outcome.cells_timed_out += 1,
+                            _ => {}
+                        }
+                    }
                 }
             }
             Response::Done { summary, .. } => {
@@ -294,18 +477,18 @@ fn submit_one(
                 outcome.latency_ms = started.elapsed().as_secs_f64() * 1e3;
                 outcome.cache_hits += summary.cache_hits;
                 outcome.cache_misses += summary.cache_misses;
+                outcome.deadline_miss = summary.reason == DoneReason::Deadline;
                 if expected_cells != Some(seen_cells) || summary.cells != seen_cells {
                     outcome.protocol_errors += 1;
                 }
-                return outcome;
+                return (outcome, true);
             }
             Response::Error { code, .. } => {
-                if code == ErrorCode::Overloaded {
-                    outcome.overloaded = true;
-                } else {
-                    outcome.failed = true;
+                match code {
+                    ErrorCode::Overloaded => outcome.overloaded = true,
+                    _ => outcome.failed = true,
                 }
-                return outcome;
+                return (outcome, true);
             }
         }
     }
@@ -344,14 +527,25 @@ mod tests {
     }
 
     #[test]
-    fn bench_json_is_parseable_and_complete() {
-        let cfg = LoadgenConfig {
-            addr: "127.0.0.1:0".into(),
-            clients: 2,
-            jobs_per_client: 3,
-            template: JobSpec::for_mix("t", "MID1"),
+    fn accounting_covers_every_terminal_state() {
+        let s = LoadgenStats {
+            jobs_ok: 5,
+            jobs_overloaded: 2,
+            jobs_failed: 1,
+            jobs_transport: 3,
+            ..LoadgenStats::default()
         };
-        let s = stats_with(&[10.0, 20.0]);
+        assert_eq!(s.jobs_accounted(), 11);
+    }
+
+    #[test]
+    fn bench_json_is_parseable_and_complete() {
+        let cfg = LoadgenConfig::new("127.0.0.1:0", 2, 3, JobSpec::for_mix("t", "MID1"));
+        let mut s = stats_with(&[10.0, 20.0]);
+        s.retries = 4;
+        s.deadline_misses = 1;
+        s.jobs_transport = 2;
+        s.chaos_faults_injected = 7;
         let rendered = s.to_bench_json(&cfg);
         let parsed = crate::json::parse(&rendered).expect("artifact parses");
         assert_eq!(
@@ -363,11 +557,31 @@ mod tests {
             parsed.get("protocol_errors").and_then(Json::as_u64),
             Some(0)
         );
+        assert_eq!(parsed.get("retries").and_then(Json::as_u64), Some(4));
+        assert_eq!(
+            parsed.get("deadline_misses").and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(parsed.get("jobs_transport").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            parsed.get("chaos_faults_injected").and_then(Json::as_u64),
+            Some(7)
+        );
         assert_eq!(
             parsed.get("cache_hit_rate").and_then(Json::as_f64),
             Some(0.75)
         );
         assert!(parsed.get("p99_ms").is_some());
         assert!(parsed.get("wall_s").is_some());
+    }
+
+    #[test]
+    fn connection_refused_is_a_clear_error() {
+        // Port 1 is essentially never listening; the probe must fail with
+        // the actionable message, not a raw io error.
+        let cfg = LoadgenConfig::new("127.0.0.1:1", 1, 1, JobSpec::for_mix("t", "MID1"));
+        let err = run(&cfg).unwrap_err();
+        assert!(err.contains("cannot connect"), "{err}");
+        assert!(err.contains("is the server running"), "{err}");
     }
 }

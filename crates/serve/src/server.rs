@@ -16,21 +16,47 @@
 //! * per-job **admission control**: at most `queue_depth` jobs in service
 //!   across all connections; a job beyond that is rejected immediately
 //!   with a structured [`ErrorCode::Overloaded`] response carrying the
-//!   observed depth and the limit — backpressure, never a hang;
+//!   observed depth and the limit — backpressure, never a hang. The slot
+//!   is held by an RAII guard, so it is released on *every* exit path —
+//!   normal completion, client disconnect, and panic alike;
 //! * admitted jobs fan their cells out on a shared bounded-queue
 //!   [`rayon::ThreadPool`]; a full cell queue blocks the producing
 //!   connection thread (producer-side backpressure), never the accept
 //!   loop.
+//!
+//! Failure containment (see DESIGN.md §14):
+//!
+//! * **deadlines** — a job carrying `deadline_ms` (or the server's
+//!   `--default-deadline`) has its unfinished cells cancelled when the
+//!   budget expires; each comes back as a structured `cancelled` cell and
+//!   the job closes with `done{reason:"deadline"}`;
+//! * **cell watchdog** — a cell that ignores its [`CancelToken`] longer
+//!   than `cell_timeout_ms` is abandoned as a structured `cell_timeout`
+//!   without poisoning siblings; its late result is discarded, never
+//!   cached;
+//! * **socket timeouts** — per-connection read/write timeouts
+//!   (`io_timeout_ms`) reap slow-loris and dead clients;
+//! * **graceful drain** — [`SweepServer::run_with_shutdown`] stops
+//!   admitting once the flag raises (new jobs get a `draining` error),
+//!   waits for in-flight jobs (bounded by `drain_timeout_ms`), and
+//!   returns cleanly.
 
 use crate::cache::{CacheKey, LruCache};
 use crate::wire::{decode_job, encode_response, Response};
-use memscale_types::serve::{CellOutcome, ErrorCode, JobSpec, JobSummary};
+use memscale_types::cancel::CancelToken;
+use memscale_types::serve::{CellFailure, CellOutcome, DoneReason, ErrorCode, JobSpec, JobSummary};
 use rayon::ThreadPool;
-use std::io::{BufRead, BufReader, Write};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Longest request line the server will buffer before rejecting the
+/// connection — an unframed (newline-free) flood cannot grow memory
+/// unboundedly.
+pub const MAX_LINE_BYTES: u64 = 64 * 1024;
 
 /// What a backend resolves a job to before any expensive work: the cache
 /// identity and the cell labels to evaluate.
@@ -71,17 +97,22 @@ pub trait SweepBackend: Send + Sync + 'static {
     /// A structured code plus human-readable detail.
     fn calibrate(&self, job: &JobSpec) -> Result<Self::Baseline, (ErrorCode, String)>;
 
-    /// Evaluates one cell against the baseline bundle.
+    /// Evaluates one cell against the baseline bundle. Long-running
+    /// backends should poll `cancel` at their natural boundaries (the
+    /// simulator checks between epochs) and bail out with
+    /// [`ErrorCode::Cancelled`] when it raises — that is what lets
+    /// deadlines, disconnects and drains free worker threads promptly.
     ///
     /// # Errors
     ///
-    /// The `SimError` rendering for this cell; a failed cell must not
+    /// The structured failure for this cell; a failed cell must not
     /// affect its siblings.
     fn run_cell(
         &self,
         baseline: &Self::Baseline,
         label: &str,
-    ) -> Result<memscale_types::serve::CellMetrics, String>;
+        cancel: &CancelToken,
+    ) -> Result<memscale_types::serve::CellMetrics, CellFailure>;
 }
 
 /// Server tuning knobs.
@@ -97,6 +128,19 @@ pub struct ServerConfig {
     pub cell_queue: usize,
     /// Entries in each of the result and baseline caches.
     pub cache_cap: usize,
+    /// Deadline applied to jobs that do not carry their own
+    /// `deadline_ms`. `None` means no server-side default.
+    pub default_deadline_ms: Option<u64>,
+    /// Per-cell watchdog budget in milliseconds; a cell still running
+    /// past it is abandoned as [`ErrorCode::CellTimeout`]. Zero disables
+    /// the watchdog.
+    pub cell_timeout_ms: u64,
+    /// Read/write timeout applied to every connection socket, in
+    /// milliseconds. Zero disables socket timeouts.
+    pub io_timeout_ms: u64,
+    /// How long [`SweepServer::run_with_shutdown`] waits for in-flight
+    /// jobs before giving up on a clean drain, in milliseconds.
+    pub drain_timeout_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -106,6 +150,10 @@ impl Default for ServerConfig {
             threads: rayon::current_num_threads(),
             cell_queue: 256,
             cache_cap: 512,
+            default_deadline_ms: None,
+            cell_timeout_ms: 60_000,
+            io_timeout_ms: 30_000,
+            drain_timeout_ms: 30_000,
         }
     }
 }
@@ -118,8 +166,15 @@ pub struct ServerStats {
     pub jobs_done: usize,
     /// Jobs rejected by admission control.
     pub jobs_overloaded: usize,
-    /// Lines rejected before admission (parse/validation failures).
+    /// Lines rejected before admission (parse/validation failures and
+    /// draining rejections).
     pub jobs_rejected: usize,
+    /// Jobs whose deadline expired before every cell finished.
+    pub jobs_deadline: usize,
+    /// Cells abandoned by the per-cell watchdog.
+    pub cells_timed_out: usize,
+    /// Cells cancelled cooperatively (deadline, disconnect, drain).
+    pub cells_cancelled: usize,
 }
 
 struct Shared<B: SweepBackend> {
@@ -132,14 +187,41 @@ struct Shared<B: SweepBackend> {
     baselines: Mutex<LruCache<Arc<B::Baseline>>>,
     /// Jobs currently in service (admission-control gauge).
     active: AtomicUsize,
+    /// Raised by [`SweepServer::run_with_shutdown`]: stop admitting.
+    draining: AtomicBool,
     jobs_done: AtomicUsize,
     jobs_overloaded: AtomicUsize,
     jobs_rejected: AtomicUsize,
+    jobs_deadline: AtomicUsize,
+    cells_timed_out: AtomicUsize,
+    cells_cancelled: AtomicUsize,
+}
+
+/// Locks `m`, recovering the guard if a panicking holder poisoned it. The
+/// protected structures (LRU caches) are updated atomically under the
+/// lock, so a poisoned lock only records that *some* thread panicked — the
+/// data itself is still coherent, and refusing to serve would turn one
+/// crashed cell into a dead server.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// RAII ownership of one admission slot: dropping the guard releases the
+/// slot, so disconnects and panics can never leak queue depth.
+struct SlotGuard<'a> {
+    active: &'a AtomicUsize,
+}
+
+impl Drop for SlotGuard<'_> {
+    fn drop(&mut self) {
+        self.active.fetch_sub(1, Ordering::AcqRel);
+    }
 }
 
 /// The sweep-job server. Bind with [`SweepServer::bind`], read the bound
 /// address back with [`SweepServer::local_addr`], then run the accept
-/// loop on the current thread with [`SweepServer::run`].
+/// loop on the current thread with [`SweepServer::run`] (or
+/// [`SweepServer::run_with_shutdown`] for drain support).
 pub struct SweepServer<B: SweepBackend> {
     shared: Arc<Shared<B>>,
     listener: TcpListener,
@@ -160,9 +242,13 @@ impl<B: SweepBackend> SweepServer<B> {
             cells: Mutex::new(LruCache::new(cfg.cache_cap)),
             baselines: Mutex::new(LruCache::new(cfg.cache_cap)),
             active: AtomicUsize::new(0),
+            draining: AtomicBool::new(false),
             jobs_done: AtomicUsize::new(0),
             jobs_overloaded: AtomicUsize::new(0),
             jobs_rejected: AtomicUsize::new(0),
+            jobs_deadline: AtomicUsize::new(0),
+            cells_timed_out: AtomicUsize::new(0),
+            cells_cancelled: AtomicUsize::new(0),
             cfg,
             backend,
         });
@@ -184,44 +270,135 @@ impl<B: SweepBackend> SweepServer<B> {
             jobs_done: self.shared.jobs_done.load(Ordering::Relaxed),
             jobs_overloaded: self.shared.jobs_overloaded.load(Ordering::Relaxed),
             jobs_rejected: self.shared.jobs_rejected.load(Ordering::Relaxed),
+            jobs_deadline: self.shared.jobs_deadline.load(Ordering::Relaxed),
+            cells_timed_out: self.shared.cells_timed_out.load(Ordering::Relaxed),
+            cells_cancelled: self.shared.cells_cancelled.load(Ordering::Relaxed),
         }
     }
 
-    /// Accepts connections forever, spawning one handler thread per
-    /// connection. Returns only on an accept error.
+    /// Accepts connections until an accept error, spawning one handler
+    /// thread per connection. Equivalent to
+    /// [`SweepServer::run_with_shutdown`] with a flag that never raises.
     ///
     /// # Errors
     ///
     /// The first accept failure.
     pub fn run(&self) -> std::io::Result<()> {
-        loop {
-            let (stream, _) = self.listener.accept()?;
-            let shared = Arc::clone(&self.shared);
-            std::thread::spawn(move || handle_connection(&shared, stream));
+        self.run_with_shutdown(&AtomicBool::new(false))
+    }
+
+    /// Accepts connections until `shutdown` raises, then drains: admission
+    /// flips to [`ErrorCode::Draining`], in-flight jobs run to completion
+    /// (their `done` lines carry `reason:"draining"`), and the call
+    /// returns once the server is idle or `drain_timeout_ms` elapses.
+    ///
+    /// The accept loop polls the flag every ~20 ms, so a signal handler
+    /// only needs to store into the `AtomicBool`.
+    ///
+    /// # Errors
+    ///
+    /// The first non-transient accept failure.
+    pub fn run_with_shutdown(&self, shutdown: &AtomicBool) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        while !shutdown.load(Ordering::Acquire) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    // Handler threads use blocking reads (with socket
+                    // timeouts); only the accept loop polls.
+                    let _ = stream.set_nonblocking(false);
+                    let shared = Arc::clone(&self.shared);
+                    std::thread::spawn(move || handle_connection(&shared, stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
         }
+        self.shared.draining.store(true, Ordering::Release);
+        let drain_deadline =
+            Instant::now() + Duration::from_millis(self.shared.cfg.drain_timeout_ms.max(1));
+        while self.shared.active.load(Ordering::Acquire) > 0 && Instant::now() < drain_deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        Ok(())
     }
 }
 
-/// Serves one connection: reads request lines until EOF, streaming each
-/// job's responses back on the same socket.
+enum LineRead {
+    /// A complete (or EOF-terminated) line landed in the buffer.
+    Line,
+    /// Orderly end of stream.
+    Eof,
+    /// The line exceeded [`MAX_LINE_BYTES`] without a newline.
+    TooLong,
+    /// Read error — timeout, reset, or torn mid-line by a fault.
+    IoError,
+}
+
+/// Reads one newline-terminated line into `buf`, refusing to buffer more
+/// than [`MAX_LINE_BYTES`].
+fn read_line_bounded(reader: &mut BufReader<TcpStream>, buf: &mut String) -> LineRead {
+    let mut limited = reader.by_ref().take(MAX_LINE_BYTES);
+    match limited.read_line(buf) {
+        Ok(0) => LineRead::Eof,
+        Ok(_) => {
+            if buf.ends_with('\n') || (buf.len() as u64) < MAX_LINE_BYTES {
+                // A newline-free short read means EOF mid-line: serve the
+                // partial line; the next read reports EOF.
+                LineRead::Line
+            } else {
+                LineRead::TooLong
+            }
+        }
+        Err(_) => LineRead::IoError,
+    }
+}
+
+/// Serves one connection: reads request lines until EOF/timeout, streaming
+/// each job's responses back on the same socket.
 fn handle_connection<B: SweepBackend>(shared: &Arc<Shared<B>>, stream: TcpStream) {
-    let peer = stream.peer_addr().ok();
-    let reader = match stream.try_clone() {
+    let io_timeout =
+        (shared.cfg.io_timeout_ms > 0).then(|| Duration::from_millis(shared.cfg.io_timeout_ms));
+    // A dead or stalled client must not pin this thread: bound both
+    // directions of the socket.
+    let _ = stream.set_read_timeout(io_timeout);
+    let _ = stream.set_write_timeout(io_timeout);
+    let mut reader = match stream.try_clone() {
         Ok(s) => BufReader::new(s),
         Err(_) => return,
     };
     let mut writer = stream;
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let responses_ok = serve_line(shared, &line, &mut writer);
-        if !responses_ok {
-            break; // client went away mid-stream
+    let mut buf = String::new();
+    loop {
+        buf.clear();
+        match read_line_bounded(&mut reader, &mut buf) {
+            LineRead::Eof | LineRead::IoError => break,
+            LineRead::TooLong => {
+                shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+                let mut encoded = encode_response(&Response::Error {
+                    id: None,
+                    code: ErrorCode::BadRequest,
+                    detail: format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                    depth: None,
+                    limit: None,
+                });
+                encoded.push('\n');
+                let _ = writer.write_all(encoded.as_bytes());
+                break; // framing is lost; close the connection
+            }
+            LineRead::Line => {
+                let line = buf.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                if !serve_line(shared, line, &mut writer) {
+                    break; // client went away mid-stream
+                }
+            }
         }
     }
-    let _ = peer; // reserved for future per-peer accounting
 }
 
 /// Handles one request line; returns `false` when the client's socket is
@@ -251,6 +428,18 @@ fn serve_line<B: SweepBackend>(
             });
         }
     };
+
+    // A draining server admits nothing new (in-flight jobs keep running).
+    if shared.draining.load(Ordering::Acquire) {
+        shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+        return send(&Response::Error {
+            id: Some(job.id.clone()),
+            code: ErrorCode::Draining,
+            detail: "server is draining after a shutdown signal; resubmit elsewhere".into(),
+            depth: None,
+            limit: None,
+        });
+    }
 
     // Catalog/invariant validation, still before admission.
     let plan = match shared.backend.plan(&job) {
@@ -284,13 +473,66 @@ fn serve_line<B: SweepBackend>(
             limit: Some(limit),
         });
     }
+    // The slot is owned by the guard from here on: client disconnects and
+    // panicking backends release it on unwind just like normal returns.
+    let _slot = SlotGuard {
+        active: &shared.active,
+    };
     let ok = run_job(shared, &job, &plan, &mut send);
-    shared.active.fetch_sub(1, Ordering::AcqRel);
     shared.jobs_done.fetch_add(1, Ordering::Relaxed);
     ok
 }
 
+/// A scheduled (not yet finished) cell of an in-flight job.
+struct PendingCell {
+    label: String,
+    token: CancelToken,
+    spawned: Instant,
+}
+
+/// Cancels every still-pending cell (client gone, deadline, …); their late
+/// results are discarded by the caller's bookkeeping.
+fn cancel_all(pending: &HashMap<usize, PendingCell>) {
+    for cell in pending.values() {
+        cell.token.cancel();
+    }
+}
+
+/// Deadline expiry: cancels every pending cell and reports each to the
+/// client as a structured `cancelled` cell, in grid order. Returns `false`
+/// when the client's socket died mid-report.
+fn report_deadline_cancellations(
+    pending: &mut HashMap<usize, PendingCell>,
+    id: &str,
+    cells_cancelled: &AtomicUsize,
+    failed_cells: &mut usize,
+    send: &mut impl FnMut(&Response) -> bool,
+) -> bool {
+    let mut expired: Vec<(usize, PendingCell)> = pending.drain().collect();
+    expired.sort_by_key(|(idx, _)| *idx);
+    for (_, cell) in expired {
+        cell.token.cancel();
+        cells_cancelled.fetch_add(1, Ordering::Relaxed);
+        *failed_cells += 1;
+        if !send(&Response::Cell {
+            id: id.to_string(),
+            outcome: CellOutcome {
+                label: cell.label,
+                cached: false,
+                result: Err(CellFailure::new(
+                    ErrorCode::Cancelled,
+                    "job deadline expired",
+                )),
+            },
+        }) {
+            return false;
+        }
+    }
+    true
+}
+
 /// Runs one admitted job end to end, streaming cell lines as they land.
+#[allow(clippy::too_many_lines)]
 fn run_job<B: SweepBackend>(
     shared: &Arc<Shared<B>>,
     job: &JobSpec,
@@ -299,6 +541,12 @@ fn run_job<B: SweepBackend>(
 ) -> bool {
     let started = Instant::now();
     let id = job.id.clone();
+    let deadline = job
+        .deadline_ms
+        .or(shared.cfg.default_deadline_ms)
+        .map(|ms| started + Duration::from_millis(ms));
+    let cell_timeout =
+        (shared.cfg.cell_timeout_ms > 0).then(|| Duration::from_millis(shared.cfg.cell_timeout_ms));
     if !send(&Response::Admitted {
         id: id.clone(),
         cells: plan.cells.len(),
@@ -314,12 +562,7 @@ fn run_job<B: SweepBackend>(
         trace_crc: plan.trace_crc,
         label: CacheKey::BASELINE.into(),
     };
-    let cached_baseline = shared
-        .baselines
-        .lock()
-        .expect("baseline cache poisoned")
-        .get(&baseline_key)
-        .cloned();
+    let cached_baseline = lock_recover(&shared.baselines).get(&baseline_key).cloned();
     let baseline = match cached_baseline {
         Some(b) => {
             hits += 1;
@@ -332,11 +575,7 @@ fn run_job<B: SweepBackend>(
             match shared.backend.calibrate(job) {
                 Ok(b) => {
                     let b = Arc::new(b);
-                    shared
-                        .baselines
-                        .lock()
-                        .expect("baseline cache poisoned")
-                        .insert(baseline_key, Arc::clone(&b));
+                    lock_recover(&shared.baselines).insert(baseline_key, Arc::clone(&b));
                     b
                 }
                 Err((code, detail)) => {
@@ -353,24 +592,24 @@ fn run_job<B: SweepBackend>(
     };
 
     // Split cells into cache hits (streamed immediately) and misses
-    // (fanned out on the worker pool).
+    // (fanned out on the worker pool). Each miss gets its own cancel
+    // token so deadlines and disconnects can reach it individually.
     let mut ok_cells = 0usize;
     let mut failed_cells = 0usize;
-    let mut pending = 0usize;
-    let (tx, rx) = mpsc::channel::<(String, Result<memscale_types::serve::CellMetrics, String>)>();
-    let tx = Arc::new(Mutex::new(tx));
-    for label in &plan.cells {
+    let mut deadline_hit = false;
+    let mut pending: HashMap<usize, PendingCell> = HashMap::new();
+    type CellMsg = (
+        usize,
+        Result<memscale_types::serve::CellMetrics, CellFailure>,
+    );
+    let (tx, rx) = mpsc::channel::<CellMsg>();
+    for (idx, label) in plan.cells.iter().enumerate() {
         let key = CacheKey {
             fingerprint: plan.fingerprint,
             trace_crc: plan.trace_crc,
             label: label.clone(),
         };
-        let hit = shared
-            .cells
-            .lock()
-            .expect("cell cache poisoned")
-            .get(&key)
-            .copied();
+        let hit = lock_recover(&shared.cells).get(&key).copied();
         if let Some(metrics) = hit {
             hits += 1;
             ok_cells += 1;
@@ -382,61 +621,240 @@ fn run_job<B: SweepBackend>(
                     result: Ok(metrics),
                 },
             }) {
+                cancel_all(&pending);
                 return false;
             }
             continue;
         }
         misses += 1;
-        pending += 1;
-        let backend_shared = Arc::clone(shared);
-        let baseline = Arc::clone(&baseline);
-        let label = label.clone();
-        let tx = Arc::clone(&tx);
-        // `execute` blocks when the cell queue is full: producer-side
-        // backpressure on this connection only.
-        shared.pool.execute(move || {
-            let result = backend_shared.backend.run_cell(&baseline, &label);
-            let tx = tx.lock().expect("cell channel poisoned");
-            let _ = tx.send((label, result));
-        });
+        if !deadline_hit && deadline.is_some_and(|d| Instant::now() >= d) {
+            deadline_hit = true;
+        }
+        let mut report_unscheduled = deadline_hit;
+        if !report_unscheduled {
+            let token = CancelToken::new();
+            let worker_token = token.clone();
+            let backend_shared = Arc::clone(shared);
+            let baseline = Arc::clone(&baseline);
+            let worker_label = label.clone();
+            let tx = tx.clone();
+            // The submit itself is bounded by the job deadline: a stuffed
+            // cell queue cannot pin this connection past it.
+            let enqueued = shared.pool.execute_cancellable(
+                &token.flag(),
+                deadline,
+                move |cancelled_while_queued| {
+                    let result = if cancelled_while_queued {
+                        Err(CellFailure::new(
+                            ErrorCode::Cancelled,
+                            "cancelled before execution",
+                        ))
+                    } else {
+                        backend_shared
+                            .backend
+                            .run_cell(&baseline, &worker_label, &worker_token)
+                    };
+                    let _ = tx.send((idx, result));
+                },
+            );
+            if enqueued {
+                pending.insert(
+                    idx,
+                    PendingCell {
+                        label: label.clone(),
+                        token,
+                        spawned: Instant::now(),
+                    },
+                );
+            } else {
+                deadline_hit = true;
+                report_unscheduled = true;
+            }
+        }
+        if report_unscheduled {
+            // Deadline expired before this cell could even be scheduled.
+            shared.cells_cancelled.fetch_add(1, Ordering::Relaxed);
+            failed_cells += 1;
+            if !send(&Response::Cell {
+                id: id.clone(),
+                outcome: CellOutcome {
+                    label: label.clone(),
+                    cached: false,
+                    result: Err(CellFailure::new(
+                        ErrorCode::Cancelled,
+                        "job deadline expired before the cell was scheduled",
+                    )),
+                },
+            }) {
+                cancel_all(&pending);
+                return false;
+            }
+        }
+    }
+    // Workers hold their own sender clones; dropping ours makes a fully
+    // dead channel detectable (every remaining worker panicked).
+    drop(tx);
+
+    // A deadline that struck during scheduling must reach the cells that
+    // did get scheduled before it hit.
+    if deadline_hit
+        && !report_deadline_cancellations(
+            &mut pending,
+            &id,
+            &shared.cells_cancelled,
+            &mut failed_cells,
+            send,
+        )
+    {
+        return false;
     }
 
-    // Stream results as workers finish them.
-    let mut client_gone = false;
-    for _ in 0..pending {
-        let Ok((label, result)) = rx.recv() else {
+    // Stream results as workers finish them, waking early for the job
+    // deadline and the per-cell watchdog.
+    while !pending.is_empty() {
+        let mut wake: Option<Instant> = if deadline_hit { None } else { deadline };
+        if let Some(ct) = cell_timeout {
+            for cell in pending.values() {
+                let t = cell.spawned + ct;
+                wake = Some(wake.map_or(t, |w| w.min(t)));
+            }
+        }
+        let msg = match wake {
+            None => rx.recv().ok(),
+            Some(w) => {
+                let dur = w
+                    .saturating_duration_since(Instant::now())
+                    .max(Duration::from_millis(1));
+                match rx.recv_timeout(dur) {
+                    Ok(m) => Some(m),
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        let now = Instant::now();
+                        if !deadline_hit && deadline.is_some_and(|d| now >= d) {
+                            // Job deadline: cancel everything still in
+                            // flight and report each cell as cancelled.
+                            deadline_hit = true;
+                            if !report_deadline_cancellations(
+                                &mut pending,
+                                &id,
+                                &shared.cells_cancelled,
+                                &mut failed_cells,
+                                send,
+                            ) {
+                                return false;
+                            }
+                        }
+                        if let Some(ct) = cell_timeout {
+                            // Per-cell watchdog: abandon stuck cells
+                            // without touching their siblings.
+                            let stuck: Vec<usize> = pending
+                                .iter()
+                                .filter(|(_, c)| now.duration_since(c.spawned) >= ct)
+                                .map(|(i, _)| *i)
+                                .collect();
+                            for idx in stuck {
+                                let Some(cell) = pending.remove(&idx) else {
+                                    continue;
+                                };
+                                cell.token.cancel();
+                                shared.cells_timed_out.fetch_add(1, Ordering::Relaxed);
+                                failed_cells += 1;
+                                if !send(&Response::Cell {
+                                    id: id.clone(),
+                                    outcome: CellOutcome {
+                                        label: cell.label,
+                                        cached: false,
+                                        result: Err(CellFailure::new(
+                                            ErrorCode::CellTimeout,
+                                            format!(
+                                                "cell exceeded the {} ms watchdog and was abandoned",
+                                                shared.cfg.cell_timeout_ms
+                                            ),
+                                        )),
+                                    },
+                                }) {
+                                    cancel_all(&pending);
+                                    return false;
+                                }
+                            }
+                        }
+                        continue;
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => None,
+                }
+            }
+        };
+        let Some((idx, result)) = msg else {
+            // Every sender is gone but cells remain: their workers died
+            // without reporting (a panicking backend). Surface each as a
+            // structured internal failure.
+            let mut orphaned: Vec<(usize, PendingCell)> = pending.drain().collect();
+            orphaned.sort_by_key(|(idx, _)| *idx);
+            for (_, cell) in orphaned {
+                failed_cells += 1;
+                if !send(&Response::Cell {
+                    id: id.clone(),
+                    outcome: CellOutcome {
+                        label: cell.label,
+                        cached: false,
+                        result: Err(CellFailure::new(
+                            ErrorCode::Internal,
+                            "cell worker died before reporting a result",
+                        )),
+                    },
+                }) {
+                    return false;
+                }
+            }
             break;
+        };
+        let Some(cell) = pending.remove(&idx) else {
+            // Late result of an abandoned cell (watchdog or deadline
+            // already reported it): discard — and never cache it, the
+            // abandonment is what the client was told.
+            continue;
         };
         match &result {
             Ok(metrics) => {
                 ok_cells += 1;
-                shared.cells.lock().expect("cell cache poisoned").insert(
+                lock_recover(&shared.cells).insert(
                     CacheKey {
                         fingerprint: plan.fingerprint,
                         trace_crc: plan.trace_crc,
-                        label: label.clone(),
+                        label: cell.label.clone(),
                     },
                     *metrics,
                 );
             }
-            Err(_) => failed_cells += 1,
+            Err(failure) => {
+                if failure.code == ErrorCode::Cancelled {
+                    shared.cells_cancelled.fetch_add(1, Ordering::Relaxed);
+                }
+                failed_cells += 1;
+            }
         }
-        // Even if the client went away we must drain the channel so the
-        // workers' sends never error into a poisoned state.
-        if !client_gone {
-            client_gone = !send(&Response::Cell {
-                id: id.clone(),
-                outcome: CellOutcome {
-                    label,
-                    cached: false,
-                    result,
-                },
-            });
+        if !send(&Response::Cell {
+            id: id.clone(),
+            outcome: CellOutcome {
+                label: cell.label,
+                cached: false,
+                result,
+            },
+        }) {
+            // Client went away: stop the remaining work instead of
+            // computing into a dead socket.
+            cancel_all(&pending);
+            return false;
         }
     }
-    if client_gone {
-        return false;
-    }
+
+    let reason = if deadline_hit {
+        shared.jobs_deadline.fetch_add(1, Ordering::Relaxed);
+        DoneReason::Deadline
+    } else if shared.draining.load(Ordering::Acquire) {
+        DoneReason::Draining
+    } else {
+        DoneReason::Complete
+    };
     send(&Response::Done {
         id,
         summary: JobSummary {
@@ -446,6 +864,7 @@ fn run_job<B: SweepBackend>(
             cache_hits: hits,
             cache_misses: misses,
             wall_ms: started.elapsed().as_secs_f64() * 1e3,
+            reason,
         },
     })
 }

@@ -8,7 +8,9 @@
 
 use crate::json::{parse, Json};
 use memscale_types::config::MemGeneration;
-use memscale_types::serve::{CellMetrics, CellOutcome, ErrorCode, JobSpec, JobSummary};
+use memscale_types::serve::{
+    CellFailure, CellMetrics, CellOutcome, DoneReason, ErrorCode, JobSpec, JobSummary,
+};
 
 /// One server → client protocol line.
 #[derive(Debug, Clone, PartialEq)]
@@ -96,6 +98,9 @@ pub fn encode_job(job: &JobSpec) -> String {
         Json::Arr(job.policies.iter().map(|p| Json::Str(p.clone())).collect()),
     ));
     fields.push(("margin_pct", Json::num(job.margin_pct)));
+    if let Some(d) = job.deadline_ms {
+        fields.push(("deadline_ms", Json::num(d)));
+    }
     obj(fields).render()
 }
 
@@ -177,6 +182,7 @@ pub fn decode_job(line: &str) -> Result<JobSpec, String> {
     if let Some(m) = field_u64(&v, "margin_pct")? {
         job.margin_pct = usize::try_from(m).map_err(|_| "field `margin_pct` out of range")?;
     }
+    job.deadline_ms = field_u64(&v, "deadline_ms")?;
     if let Some(p) = v.get("policies") {
         let items = p.as_arr().ok_or("field `policies` must be an array")?;
         job.policies = items
@@ -218,21 +224,28 @@ pub fn encode_response(resp: &Response) -> String {
                 }
                 Err(e) => {
                     fields.push(("ok", Json::Bool(false)));
-                    fields.push(("error", Json::Str(e.clone())));
+                    fields.push(("code", Json::Str(e.code.as_str().into())));
+                    fields.push(("error", Json::Str(e.detail.clone())));
                 }
             }
             obj(fields)
         }
-        Response::Done { id, summary } => obj(vec![
-            ("type", Json::Str("done".into())),
-            ("id", Json::Str(id.clone())),
-            ("cells", Json::num(summary.cells)),
-            ("ok", Json::num(summary.ok)),
-            ("failed", Json::num(summary.failed)),
-            ("cache_hits", Json::num(summary.cache_hits)),
-            ("cache_misses", Json::num(summary.cache_misses)),
-            ("wall_ms", Json::num(format!("{:.3}", summary.wall_ms))),
-        ]),
+        Response::Done { id, summary } => {
+            let mut fields = vec![
+                ("type", Json::Str("done".into())),
+                ("id", Json::Str(id.clone())),
+                ("cells", Json::num(summary.cells)),
+                ("ok", Json::num(summary.ok)),
+                ("failed", Json::num(summary.failed)),
+                ("cache_hits", Json::num(summary.cache_hits)),
+                ("cache_misses", Json::num(summary.cache_misses)),
+                ("wall_ms", Json::num(format!("{:.3}", summary.wall_ms))),
+            ];
+            if summary.reason != DoneReason::Complete {
+                fields.push(("reason", Json::Str(summary.reason.as_str().into())));
+            }
+            obj(fields)
+        }
         Response::Error {
             id,
             code,
@@ -300,7 +313,13 @@ pub fn decode_response(line: &str) -> Result<Response, String> {
                         .ok_or("cell: `mean_frequency_mhz` is required")?,
                 })
             } else {
-                Err(field_str(&v, "error")?.ok_or("cell: failed cells carry `error`")?)
+                let code_str = field_str(&v, "code")?.ok_or("cell: failed cells carry `code`")?;
+                let code = ErrorCode::parse(&code_str)
+                    .ok_or_else(|| format!("cell: unknown code `{code_str}`"))?;
+                Err(CellFailure::new(
+                    code,
+                    field_str(&v, "error")?.ok_or("cell: failed cells carry `error`")?,
+                ))
             };
             Ok(Response::Cell {
                 id,
@@ -324,6 +343,11 @@ pub fn decode_response(line: &str) -> Result<Response, String> {
                 cache_misses: field_u64(&v, "cache_misses")?
                     .ok_or("done: `cache_misses` required")?,
                 wall_ms: field_f64(&v, "wall_ms")?.ok_or("done: `wall_ms` required")?,
+                reason: match field_str(&v, "reason")? {
+                    None => DoneReason::Complete,
+                    Some(r) => DoneReason::parse(&r)
+                        .ok_or_else(|| format!("done: unknown reason `{r}`"))?,
+                },
             },
         }),
         "error" => {
@@ -363,6 +387,7 @@ mod tests {
         job.channels = 2;
         job.policies = vec!["memscale".into(), "static:400".into()];
         job.margin_pct = 75;
+        job.deadline_ms = Some(1_500);
         let line = encode_job(&job);
         assert_eq!(decode_job(&line).unwrap(), job);
     }
@@ -397,6 +422,14 @@ mod tests {
                 r#"{"type":"job","id":"a","mix":"M","duration_ms":0}"#,
                 "positive",
             ),
+            (
+                r#"{"type":"job","id":"a","mix":"M","deadline_ms":0}"#,
+                "deadline_ms",
+            ),
+            (
+                r#"{"type":"job","id":"a","mix":"M","deadline_ms":-1}"#,
+                "deadline_ms",
+            ),
         ] {
             let err = decode_job(line).unwrap_err();
             assert!(err.contains(needle), "{line}: {err}");
@@ -429,7 +462,18 @@ mod tests {
                 outcome: CellOutcome {
                     label: "static:200".into(),
                     cached: false,
-                    result: Err("replay trace for app 3 exhausted".into()),
+                    result: Err(CellFailure::sim("replay trace for app 3 exhausted")),
+                },
+            },
+            Response::Cell {
+                id: "j".into(),
+                outcome: CellOutcome {
+                    label: "memscale".into(),
+                    cached: false,
+                    result: Err(CellFailure::new(
+                        ErrorCode::CellTimeout,
+                        "exceeded the 50 ms cell watchdog",
+                    )),
                 },
             },
             Response::Done {
@@ -441,6 +485,31 @@ mod tests {
                     cache_hits: 5,
                     cache_misses: 8,
                     wall_ms: 103.25,
+                    reason: DoneReason::Complete,
+                },
+            },
+            Response::Done {
+                id: "j".into(),
+                summary: JobSummary {
+                    cells: 3,
+                    ok: 1,
+                    failed: 2,
+                    cache_hits: 0,
+                    cache_misses: 3,
+                    wall_ms: 55.0,
+                    reason: DoneReason::Deadline,
+                },
+            },
+            Response::Done {
+                id: "j".into(),
+                summary: JobSummary {
+                    cells: 1,
+                    ok: 1,
+                    failed: 0,
+                    cache_hits: 1,
+                    cache_misses: 0,
+                    wall_ms: 2.5,
+                    reason: DoneReason::Draining,
                 },
             },
             Response::Error {
@@ -475,5 +544,122 @@ mod tests {
         });
         assert!(line.contains("\"code\":\"overloaded\""));
         assert!(line.contains("\"depth\":8") && line.contains("\"limit\":8"));
+    }
+
+    /// Wire-level fuzzing: arbitrary corruption of valid frames — the
+    /// torn-frame and truncation faults the chaos proxy injects — must
+    /// come back as structured decode errors (or, rarely, a differently
+    /// valid frame), never a panic or a hang.
+    mod fuzz {
+        use super::*;
+        use crate::chaos::ChaosRng;
+        use proptest::prelude::*;
+
+        /// Valid frames of every shape the protocol can produce.
+        fn sample_frames() -> Vec<String> {
+            let mut job = JobSpec::for_mix("fuzz-1", "MID1");
+            job.trace = Some("/tmp/m.trace".into());
+            job.seed = Some(42);
+            job.policies = vec!["memscale".into(), "static:400".into()];
+            job.deadline_ms = Some(250);
+            vec![
+                encode_job(&job),
+                encode_response(&Response::Admitted {
+                    id: "fuzz-1".into(),
+                    cells: 4,
+                }),
+                encode_response(&Response::Cell {
+                    id: "fuzz-1".into(),
+                    outcome: CellOutcome {
+                        label: "memscale".into(),
+                        cached: false,
+                        result: Err(CellFailure::new(ErrorCode::CellTimeout, "watchdog")),
+                    },
+                }),
+                encode_response(&Response::Done {
+                    id: "fuzz-1".into(),
+                    summary: JobSummary {
+                        cells: 4,
+                        ok: 3,
+                        failed: 1,
+                        cache_hits: 2,
+                        cache_misses: 2,
+                        wall_ms: 9.5,
+                        reason: DoneReason::Deadline,
+                    },
+                }),
+                encode_response(&Response::Error {
+                    id: None,
+                    code: ErrorCode::BadRequest,
+                    detail: "invalid JSON".into(),
+                    depth: None,
+                    limit: None,
+                }),
+            ]
+        }
+
+        /// Flips `flips` bytes of `frame` to seeded arbitrary values,
+        /// then repairs the result into a `str` the reader could have
+        /// produced (`read_line` only ever yields valid UTF-8).
+        fn mutate(frame: &str, seed: u64, flips: usize) -> String {
+            let mut bytes = frame.as_bytes().to_vec();
+            let mut rng = ChaosRng::new(seed);
+            for _ in 0..flips {
+                if bytes.is_empty() {
+                    break;
+                }
+                let idx = rng.below(bytes.len());
+                bytes[idx] = u8::try_from(rng.next_u64() & 0xff).unwrap_or(b'?');
+            }
+            String::from_utf8_lossy(&bytes).into_owned()
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(192))]
+
+            #[test]
+            fn corrupted_frames_decode_or_error_but_never_panic(
+                seed in any::<u64>(),
+                frame_idx in 0usize..5,
+                flips in 1usize..8,
+            ) {
+                let frame = &sample_frames()[frame_idx];
+                let mutated = mutate(frame, seed, flips);
+                // Outcome (Ok or Err) is irrelevant; surviving the call
+                // without panicking is the property.
+                let _ = decode_job(&mutated);
+                let _ = decode_response(&mutated);
+            }
+
+            #[test]
+            fn random_garbage_never_decodes_as_panic(seed in any::<u64>(), len in 0usize..200) {
+                let mut rng = ChaosRng::new(seed);
+                let bytes: Vec<u8> =
+                    (0..len).map(|_| u8::try_from(rng.next_u64() & 0xff).unwrap_or(0)).collect();
+                let garbage = String::from_utf8_lossy(&bytes).into_owned();
+                let _ = decode_job(&garbage);
+                let _ = decode_response(&garbage);
+            }
+        }
+
+        #[test]
+        fn every_truncation_point_is_a_structured_error() {
+            for frame in sample_frames() {
+                for cut in 0..frame.len() {
+                    if !frame.is_char_boundary(cut) {
+                        continue;
+                    }
+                    let prefix = &frame[..cut];
+                    assert!(
+                        decode_job(prefix).is_err(),
+                        "job decode accepted truncated frame: {prefix}"
+                    );
+                    assert!(
+                        decode_response(prefix).is_err(),
+                        "response decode accepted truncated frame: {prefix}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -6,6 +6,11 @@
 //! memscale-sim trace-info PATH           print a trace's header metadata
 //! memscale-sim check [--generation all|ddr3|ddr4|lpddr3] [--report PATH]
 //!                                        static consistency analysis
+//! memscale-sim serve --addr HOST:PORT    long-running sweep-job server
+//!                                        (SIGTERM drains gracefully)
+//! memscale-sim loadgen --addr HOST:PORT  closed-loop client fleet
+//! memscale-sim chaos --addr HOST:PORT    loadgen through a seeded
+//!                                        fault-injecting proxy
 //!
 //!   --mix NAME          Table 1 workload (default MID1)
 //!   --policy NAME       baseline | fast-pd | slow-pd | deep-pd | static:<mhz> |
@@ -79,6 +84,8 @@ enum Command {
     Serve(ServeArgs),
     /// Closed-loop load generator driving a running server.
     Loadgen(LoadgenArgs),
+    /// Seeded fault-injection run: loadgen through a chaos proxy.
+    Chaos(ChaosArgs),
 }
 
 /// `memscale-sim serve` parameters.
@@ -94,6 +101,14 @@ struct ServeArgs {
     cache_cap: usize,
     /// Bounded cell-queue capacity of the worker pool.
     cell_queue: usize,
+    /// Deadline applied to jobs that carry none, milliseconds (0 = none).
+    default_deadline_ms: u64,
+    /// Per-cell watchdog, milliseconds (0 disables).
+    cell_timeout_ms: u64,
+    /// Socket read/write timeout, milliseconds (0 = unbounded).
+    io_timeout_ms: u64,
+    /// SIGTERM drain bound before forced exit, milliseconds.
+    drain_timeout_ms: u64,
 }
 
 /// `memscale-sim loadgen` parameters.
@@ -113,10 +128,44 @@ struct LoadgenArgs {
     duration_ms: u64,
     /// Policy cells of every job (empty = server default grid).
     policies: Vec<String>,
+    /// Per-job deadline carried in every request (0 = none).
+    deadline_ms: u64,
+    /// Retries after `overloaded` rejections.
+    retries: usize,
+    /// Client connect timeout, milliseconds.
+    connect_timeout_ms: u64,
+    /// Client read timeout, milliseconds.
+    read_timeout_ms: u64,
     /// Where to write the `BENCH_serve.json` artifact.
     out: PathBuf,
     /// Exit non-zero when the run saw no cache hits.
     require_cache_hits: bool,
+}
+
+/// `memscale-sim chaos` parameters: a loadgen fleet pointed through a
+/// seeded fault-injecting proxy at a running server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ChaosArgs {
+    /// Upstream server address the proxy forwards to.
+    addr: String,
+    /// Fault-stream seed (same seed = same fault schedule).
+    seed: u64,
+    /// Concurrent closed-loop clients.
+    clients: usize,
+    /// Jobs each client submits sequentially.
+    jobs: usize,
+    /// Idle flood connections opened alongside the fleet.
+    flood: usize,
+    /// Workload mix submitted by every job.
+    mix: String,
+    /// Baseline horizon of every job, milliseconds.
+    duration_ms: u64,
+    /// Policy cells of every job.
+    policies: Vec<String>,
+    /// Per-job deadline carried in every request (0 = none).
+    deadline_ms: u64,
+    /// Where to write the `BENCH_chaos.json` artifact.
+    out: PathBuf,
 }
 
 #[derive(Debug)]
@@ -213,6 +262,10 @@ fn parse_args() -> Result<Args, String> {
                 threads: 0,
                 cache_cap: 512,
                 cell_queue: 256,
+                default_deadline_ms: 0,
+                cell_timeout_ms: 60_000,
+                io_timeout_ms: 30_000,
+                drain_timeout_ms: 30_000,
             };
             while let Some(flag) = it.next() {
                 let mut value =
@@ -239,6 +292,26 @@ fn parse_args() -> Result<Args, String> {
                             .parse()
                             .map_err(|e| format!("--cell-queue: {e}"))?;
                     }
+                    "--default-deadline" => {
+                        serve.default_deadline_ms = value("--default-deadline")?
+                            .parse()
+                            .map_err(|e| format!("--default-deadline: {e}"))?;
+                    }
+                    "--cell-timeout" => {
+                        serve.cell_timeout_ms = value("--cell-timeout")?
+                            .parse()
+                            .map_err(|e| format!("--cell-timeout: {e}"))?;
+                    }
+                    "--io-timeout" => {
+                        serve.io_timeout_ms = value("--io-timeout")?
+                            .parse()
+                            .map_err(|e| format!("--io-timeout: {e}"))?;
+                    }
+                    "--drain-timeout" => {
+                        serve.drain_timeout_ms = value("--drain-timeout")?
+                            .parse()
+                            .map_err(|e| format!("--drain-timeout: {e}"))?;
+                    }
                     "--help" | "-h" => return Err("help".into()),
                     other => return Err(format!("unknown serve flag {other}")),
                 }
@@ -259,6 +332,10 @@ fn parse_args() -> Result<Args, String> {
                 generation: MemGeneration::Ddr3,
                 duration_ms: 2,
                 policies: vec!["static:800".into(), "memscale".into()],
+                deadline_ms: 0,
+                retries: 3,
+                connect_timeout_ms: 3_000,
+                read_timeout_ms: 30_000,
                 out: PathBuf::from("BENCH_serve.json"),
                 require_cache_hits: false,
             };
@@ -296,6 +373,26 @@ fn parse_args() -> Result<Args, String> {
                             .map(str::to_string)
                             .collect();
                     }
+                    "--deadline-ms" => {
+                        lg.deadline_ms = value("--deadline-ms")?
+                            .parse()
+                            .map_err(|e| format!("--deadline-ms: {e}"))?;
+                    }
+                    "--retries" => {
+                        lg.retries = value("--retries")?
+                            .parse()
+                            .map_err(|e| format!("--retries: {e}"))?;
+                    }
+                    "--connect-timeout" => {
+                        lg.connect_timeout_ms = value("--connect-timeout")?
+                            .parse()
+                            .map_err(|e| format!("--connect-timeout: {e}"))?;
+                    }
+                    "--read-timeout" => {
+                        lg.read_timeout_ms = value("--read-timeout")?
+                            .parse()
+                            .map_err(|e| format!("--read-timeout: {e}"))?;
+                    }
                     "--out" => lg.out = value("--out")?.into(),
                     "--require-cache-hits" => lg.require_cache_hits = true,
                     "--help" | "-h" => return Err("help".into()),
@@ -306,6 +403,74 @@ fn parse_args() -> Result<Args, String> {
                 return Err("loadgen requires --addr HOST:PORT".into());
             }
             args.command = Command::Loadgen(lg);
+            return Ok(args);
+        }
+        Some("chaos") => {
+            it.next();
+            let mut ch = ChaosArgs {
+                addr: String::new(),
+                seed: 7,
+                clients: 8,
+                jobs: 3,
+                flood: 16,
+                mix: "MID1".into(),
+                duration_ms: 2,
+                policies: vec!["static:800".into(), "memscale".into()],
+                deadline_ms: 0,
+                out: PathBuf::from("BENCH_chaos.json"),
+            };
+            while let Some(flag) = it.next() {
+                let mut value =
+                    |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+                match flag.as_str() {
+                    "--addr" => ch.addr = value("--addr")?,
+                    "--seed" => {
+                        ch.seed = value("--seed")?
+                            .parse()
+                            .map_err(|e| format!("--seed: {e}"))?;
+                    }
+                    "--clients" => {
+                        ch.clients = value("--clients")?
+                            .parse()
+                            .map_err(|e| format!("--clients: {e}"))?;
+                    }
+                    "--jobs" => {
+                        ch.jobs = value("--jobs")?
+                            .parse()
+                            .map_err(|e| format!("--jobs: {e}"))?;
+                    }
+                    "--flood" => {
+                        ch.flood = value("--flood")?
+                            .parse()
+                            .map_err(|e| format!("--flood: {e}"))?;
+                    }
+                    "--mix" => ch.mix = value("--mix")?,
+                    "--duration-ms" => {
+                        ch.duration_ms = value("--duration-ms")?
+                            .parse()
+                            .map_err(|e| format!("--duration-ms: {e}"))?;
+                    }
+                    "--policies" => {
+                        ch.policies = value("--policies")?
+                            .split(',')
+                            .filter(|s| !s.is_empty())
+                            .map(str::to_string)
+                            .collect();
+                    }
+                    "--deadline-ms" => {
+                        ch.deadline_ms = value("--deadline-ms")?
+                            .parse()
+                            .map_err(|e| format!("--deadline-ms: {e}"))?;
+                    }
+                    "--out" => ch.out = value("--out")?.into(),
+                    "--help" | "-h" => return Err("help".into()),
+                    other => return Err(format!("unknown chaos flag {other}")),
+                }
+            }
+            if ch.addr.is_empty() {
+                return Err("chaos requires --addr HOST:PORT (a running server)".into());
+            }
+            args.command = Command::Chaos(ch);
             return Ok(args);
         }
         _ => {}
@@ -611,13 +776,63 @@ fn run_check(generation: Option<MemGeneration>, report_path: Option<&std::path::
     }
 }
 
+/// SIGTERM/SIGINT → drain flag. The handler only stores to a static
+/// atomic, which is async-signal-safe; the accept loop polls the flag.
+#[cfg(unix)]
+mod sigterm {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Raised by the signal handler; observed by the accept loop.
+    pub static TERM: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_term(_sig: i32) {
+        TERM.store(true, Ordering::Release);
+    }
+
+    /// Registers the handler for SIGTERM and SIGINT. The single `unsafe`
+    /// in the workspace: `signal(2)` with a handler that does nothing but
+    /// store to an atomic.
+    #[allow(unsafe_code)]
+    pub fn install() {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        let handler = on_term as extern "C" fn(i32) as usize;
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+    }
+}
+
+/// Non-unix stand-in: the flag exists but nothing raises it, so `serve`
+/// runs until killed (the pre-drain behaviour).
+#[cfg(not(unix))]
+mod sigterm {
+    use std::sync::atomic::AtomicBool;
+
+    /// Never raised on this platform.
+    pub static TERM: AtomicBool = AtomicBool::new(false);
+
+    /// No signal to hook; nothing to install.
+    pub fn install() {}
+}
+
 /// `memscale-sim serve`: bind the sweep-job server and run the accept loop
-/// until the process is killed (or the listener fails).
+/// until SIGTERM/SIGINT triggers a graceful drain (exit 0) or the listener
+/// fails (exit 1).
 fn run_serve(serve: &ServeArgs) -> ExitCode {
     let mut cfg = ServerConfig {
         queue_depth: serve.queue_depth,
         cell_queue: serve.cell_queue,
         cache_cap: serve.cache_cap,
+        default_deadline_ms: (serve.default_deadline_ms > 0).then_some(serve.default_deadline_ms),
+        cell_timeout_ms: serve.cell_timeout_ms,
+        io_timeout_ms: serve.io_timeout_ms,
+        drain_timeout_ms: serve.drain_timeout_ms,
         ..ServerConfig::default()
     };
     if serve.threads > 0 {
@@ -634,10 +849,17 @@ fn run_serve(serve: &ServeArgs) -> ExitCode {
         Ok(addr) => eprintln!("memscale-serve listening on {addr}"),
         Err(_) => eprintln!("memscale-serve listening on {}", serve.addr),
     }
-    if let Err(e) = server.run() {
-        eprintln!("error: accept loop failed: {e}");
+    sigterm::install();
+    match server.run_with_shutdown(&sigterm::TERM) {
+        Ok(()) => {
+            eprintln!("memscale-serve drained and exiting");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: accept loop failed: {e}");
+            ExitCode::from(1)
+        }
     }
-    ExitCode::from(1)
 }
 
 /// `memscale-sim loadgen`: drive a running server with a closed-loop client
@@ -651,12 +873,11 @@ fn run_loadgen(lg: &LoadgenArgs) -> ExitCode {
     template.generation = lg.generation;
     template.duration_ms = lg.duration_ms;
     template.policies = lg.policies.clone();
-    let cfg = LoadgenConfig {
-        addr: lg.addr.clone(),
-        clients: lg.clients,
-        jobs_per_client: lg.jobs,
-        template,
-    };
+    template.deadline_ms = (lg.deadline_ms > 0).then_some(lg.deadline_ms);
+    let mut cfg = LoadgenConfig::new(lg.addr.clone(), lg.clients, lg.jobs, template);
+    cfg.max_retries = lg.retries;
+    cfg.connect_timeout_ms = lg.connect_timeout_ms;
+    cfg.read_timeout_ms = lg.read_timeout_ms;
     eprintln!(
         "loadgen: {} client(s) x {} job(s) against {} ...",
         cfg.clients, cfg.jobs_per_client, cfg.addr
@@ -675,8 +896,16 @@ fn run_loadgen(lg: &LoadgenArgs) -> ExitCode {
         return ExitCode::from(1);
     }
     println!(
-        "jobs ok {} | overloaded {} | failed {} | protocol errors {}",
-        stats.jobs_ok, stats.jobs_overloaded, stats.jobs_failed, stats.protocol_errors
+        "jobs ok {} | overloaded {} | failed {} | transport {} | protocol errors {}",
+        stats.jobs_ok,
+        stats.jobs_overloaded,
+        stats.jobs_failed,
+        stats.jobs_transport,
+        stats.protocol_errors
+    );
+    println!(
+        "retries {} | deadline misses {} | cells cancelled {} | cells timed out {}",
+        stats.retries, stats.deadline_misses, stats.cells_cancelled, stats.cells_timed_out
     );
     println!(
         "throughput {:.2} jobs/s | p50 {:.1} ms | p99 {:.1} ms | cache hit rate {:.1}%",
@@ -698,6 +927,114 @@ fn run_loadgen(lg: &LoadgenArgs) -> ExitCode {
     }
 }
 
+/// `memscale-sim chaos`: point a loadgen fleet at a running server through
+/// an in-process seeded fault proxy, then verify the server survived.
+///
+/// The proxy tears frames, drops requests, stalls reads and kills
+/// connections on the client→server path while `--flood` idle connections
+/// sit open. Afterwards a clean one-job probe submits *directly* to the
+/// server: it proves admission slots were not leaked by the faulted jobs.
+/// Exit 0 requires zero protocol violations, every job accounted for, and
+/// a successful probe.
+fn run_chaos(ch: &ChaosArgs) -> ExitCode {
+    let mut template = memscale_types::serve::JobSpec::for_mix("job", &ch.mix);
+    template.duration_ms = ch.duration_ms;
+    template.policies = ch.policies.clone();
+    template.deadline_ms = (ch.deadline_ms > 0).then_some(ch.deadline_ms);
+
+    let proxy_cfg = memscale_serve::ChaosConfig::new(ch.addr.clone(), ch.seed);
+    let proxy = match memscale_serve::ChaosProxy::bind("127.0.0.1:0", proxy_cfg) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: cannot bind chaos proxy: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let handle = match proxy.spawn() {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: cannot start chaos proxy: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let proxy_addr = handle.addr().to_string();
+    eprintln!(
+        "chaos: seed {} | {} client(s) x {} job(s) via {} -> {} | {} flood conns",
+        ch.seed, ch.clients, ch.jobs, proxy_addr, ch.addr, ch.flood
+    );
+    let flood = memscale_serve::open_flood(&proxy_addr, ch.flood);
+
+    let mut cfg = LoadgenConfig::new(proxy_addr, ch.clients, ch.jobs, template.clone());
+    cfg.seed = ch.seed;
+    cfg.read_timeout_ms = 15_000;
+    let mut stats = match memscale_serve::loadgen::run(&cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            drop(flood);
+            handle.stop();
+            return ExitCode::from(1);
+        }
+    };
+    drop(flood);
+    let report = handle.stop();
+    stats.chaos_faults_injected = report.total_injected();
+
+    // Admission-correctness probe: after the chaos run settles, one clean
+    // job straight at the server must still be admitted and complete.
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    let mut probe_template = template;
+    probe_template.deadline_ms = None;
+    let probe_cfg = LoadgenConfig::new(ch.addr.clone(), 1, 1, probe_template);
+    let probe_ok = match memscale_serve::loadgen::run(&probe_cfg) {
+        Ok(p) => p.jobs_ok == 1,
+        Err(e) => {
+            eprintln!("error: post-chaos probe: {e}");
+            false
+        }
+    };
+
+    let mut artifact = stats.to_bench_json_named(&cfg, "serve_chaos");
+    artifact.push('\n');
+    if let Err(e) = std::fs::write(&ch.out, &artifact) {
+        eprintln!("error: writing {}: {e}", ch.out.display());
+        return ExitCode::from(1);
+    }
+    let offered = ch.clients * ch.jobs;
+    println!(
+        "faults injected {} (torn {} | dropped {} | disconnects {} | stalls {}) over {} conns",
+        report.total_injected(),
+        report.torn_frames,
+        report.dropped_frames,
+        report.disconnects,
+        report.stalls,
+        report.connections
+    );
+    println!(
+        "jobs ok {} | overloaded {} | failed {} | transport {} | accounted {}/{}",
+        stats.jobs_ok,
+        stats.jobs_overloaded,
+        stats.jobs_failed,
+        stats.jobs_transport,
+        stats.jobs_accounted(),
+        offered
+    );
+    println!(
+        "protocol errors {} | retries {} | deadline misses {} | post-chaos probe {}",
+        stats.protocol_errors,
+        stats.retries,
+        stats.deadline_misses,
+        if probe_ok { "ok" } else { "FAILED" }
+    );
+    println!("wrote {}", ch.out.display());
+    if stats.protocol_errors == 0 && stats.jobs_accounted() == offered && probe_ok {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("error: chaos run violated serving invariants");
+        ExitCode::from(1)
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -716,10 +1053,16 @@ fn main() -> ExitCode {
                  \x20      memscale-sim trace-info PATH\n\
                  \x20      memscale-sim check [--generation all|ddr3|ddr4|lpddr3] [--report PATH]\n\
                  \x20      memscale-sim serve --addr HOST:PORT [--queue-depth N] [--threads N]\n\
-                 \x20                  [--cache-cap N] [--cell-queue N]\n\
+                 \x20                  [--cache-cap N] [--cell-queue N] [--default-deadline MS]\n\
+                 \x20                  [--cell-timeout MS] [--io-timeout MS] [--drain-timeout MS]\n\
                  \x20      memscale-sim loadgen --addr HOST:PORT [--clients N] [--jobs N]\n\
                  \x20                  [--mix NAME] [--generation G] [--duration-ms N]\n\
-                 \x20                  [--policies a,b,c] [--out PATH] [--require-cache-hits]\n\
+                 \x20                  [--policies a,b,c] [--deadline-ms N] [--retries N]\n\
+                 \x20                  [--connect-timeout MS] [--read-timeout MS]\n\
+                 \x20                  [--out PATH] [--require-cache-hits]\n\
+                 \x20      memscale-sim chaos --addr HOST:PORT [--seed N] [--clients N] [--jobs N]\n\
+                 \x20                  [--flood N] [--mix NAME] [--duration-ms N]\n\
+                 \x20                  [--policies a,b,c] [--deadline-ms N] [--out PATH]\n\
                  policies: baseline fast-pd slow-pd deep-pd static:<mhz> decoupled\n\
                  \x20         memscale mem-energy memscale-pd per-channel\n\
                  mixes:    {}",
@@ -747,6 +1090,10 @@ fn main() -> ExitCode {
 
     if let Command::Loadgen(lg) = &args.command {
         return run_loadgen(lg);
+    }
+
+    if let Command::Chaos(ch) = &args.command {
+        return run_chaos(ch);
     }
 
     if args.list {

@@ -19,6 +19,7 @@ use memscale_trace::{Recorder, TraceError};
 use memscale_types::faults::{CounterFault, RefreshFault, SwitchFault};
 use memscale_types::freq::MemFreq;
 use memscale_types::time::Picos;
+use memscale_types::CancelToken;
 use memscale_workloads::{spec, MissEvent, MissSource, Mix};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -80,6 +81,10 @@ pub struct Simulation {
     targets: Option<Vec<u64>>,
     completion: Vec<Option<Picos>>,
     remaining_targets: usize,
+
+    // Cooperative cancellation: checked at epoch boundaries, so raising
+    // the token stops the run within one epoch of simulated progress.
+    cancel: CancelToken,
 
     // Fault injection (None unless the config carries an active plan; the
     // clean path is then byte-identical to a build without the subsystem).
@@ -217,6 +222,7 @@ impl Simulation {
             targets: None,
             completion: vec![None; n],
             remaining_targets: 0,
+            cancel: CancelToken::new(),
             injector,
             epoch_faults: memscale_faults::EpochFaultSet::default(),
             stale_decide: None,
@@ -229,6 +235,14 @@ impl Simulation {
     /// Sets the governor's rest-of-system power (from baseline calibration).
     pub fn set_rest_of_system_w(&mut self, rest_w: f64) {
         self.policy.set_rest_of_system_w(rest_w);
+    }
+
+    /// Installs a shared cancellation token. The run loop checks it at
+    /// every epoch boundary; once raised, the run returns
+    /// [`SimError::Cancelled`] instead of continuing to completion. The
+    /// default token is never raised, so untokened runs are unaffected.
+    pub fn set_cancel_token(&mut self, cancel: CancelToken) {
+        self.cancel = cancel;
     }
 
     /// The capture buffer of a recording run ([`SimConfig::record`]), or
@@ -336,6 +350,9 @@ impl Simulation {
             }
             self.now = boundary;
             self.handle_boundary(boundary)?;
+            if self.cancel.is_cancelled() {
+                return Err(SimError::Cancelled { at: boundary });
+            }
             if let Some(d) = deadline {
                 if boundary >= d {
                     return Ok(());

@@ -62,6 +62,13 @@ pub enum SimError {
     },
     /// Reading, writing or validating a trace artifact failed.
     Trace(TraceError),
+    /// The run's cancellation token was raised and the engine stopped
+    /// cooperatively at the next epoch boundary (serving-layer deadlines
+    /// and shutdown drains, DESIGN.md §14).
+    Cancelled {
+        /// Simulated time the run stopped at.
+        at: Picos,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -105,6 +112,9 @@ impl fmt::Display for SimError {
                 )
             }
             SimError::Trace(e) => write!(f, "{e}"),
+            SimError::Cancelled { at } => {
+                write!(f, "run cancelled at {} ps", at.as_ps())
+            }
         }
     }
 }
@@ -161,6 +171,10 @@ mod tests {
         };
         assert!(e.to_string().contains("core 5"));
         assert!(SimError::TimelineDisabled.to_string().contains("disabled"));
+        let e = SimError::Cancelled {
+            at: Picos::from_us(3),
+        };
+        assert!(e.to_string().contains("cancelled"));
     }
 
     #[test]

@@ -15,6 +15,7 @@ use crate::result::RunResult;
 use memscale::policies::PolicyKind;
 use memscale_power::PowerModel;
 use memscale_trace::{merge_prefixes, Recorder, ReplayTrace, TraceError, TraceHeader};
+use memscale_types::CancelToken;
 use memscale_workloads::{MissEvent, Mix};
 
 /// Policy-vs-baseline summary for one workload.
@@ -192,9 +193,29 @@ impl Experiment {
         policy: PolicyKind,
         trace: &ReplayTrace,
     ) -> Result<(RunResult, Comparison), SimError> {
+        self.evaluate_replay_cancellable(policy, trace, &CancelToken::new())
+    }
+
+    /// Like [`Experiment::evaluate_replay`], but the run carries `cancel`
+    /// and stops cooperatively — returning [`SimError::Cancelled`] — at
+    /// the first epoch boundary after the token is raised. The serving
+    /// layer uses this to honour job deadlines and shutdown drains without
+    /// abandoning a thread mid-simulation.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Cancelled`] when the token is raised mid-run, plus the
+    /// errors of [`Experiment::evaluate_replay`].
+    pub fn evaluate_replay_cancellable(
+        &self,
+        policy: PolicyKind,
+        trace: &ReplayTrace,
+        cancel: &CancelToken,
+    ) -> Result<(RunResult, Comparison), SimError> {
         check_trace(&self.mix, &self.cfg, trace)?;
         let mut sim = Simulation::with_sources(&self.mix, policy, &self.cfg, trace.streams())?;
         sim.set_rest_of_system_w(self.rest_w);
+        sim.set_cancel_token(cancel.clone());
         let run = sim.run_until_work(&self.baseline.work, self.rest_w)?;
         let cmp = self.compare(&run);
         Ok((run, cmp))

@@ -23,8 +23,9 @@ use memscale::policies::PolicyKind;
 use memscale_serve::server::{JobPlan, SweepBackend};
 use memscale_trace::{format::crc32, ReplayTrace};
 use memscale_types::freq::MemFreq;
-use memscale_types::serve::{CellMetrics, ErrorCode, JobSpec};
+use memscale_types::serve::{CellFailure, CellMetrics, ErrorCode, JobSpec};
 use memscale_types::time::Picos;
+use memscale_types::CancelToken;
 use memscale_workloads::Mix;
 use std::path::Path;
 
@@ -46,6 +47,7 @@ fn sim_error_code(e: &SimError) -> ErrorCode {
         SimError::InvalidConfig(_) | SimError::InvalidFaultPlan(_) => ErrorCode::InvalidConfig,
         SimError::PolicyUnavailable { .. } => ErrorCode::UnknownPolicy,
         SimError::Trace(_) | SimError::TraceExhausted { .. } => ErrorCode::Trace,
+        SimError::Cancelled { .. } => ErrorCode::Cancelled,
         _ => ErrorCode::Sim,
     }
 }
@@ -146,12 +148,18 @@ impl SweepBackend for SimulatorBackend {
         Ok(ServeBaseline { exp, trace })
     }
 
-    fn run_cell(&self, baseline: &ServeBaseline, label: &str) -> Result<CellMetrics, String> {
-        let policy = PolicyKind::parse(label)?;
+    fn run_cell(
+        &self,
+        baseline: &ServeBaseline,
+        label: &str,
+        cancel: &CancelToken,
+    ) -> Result<CellMetrics, CellFailure> {
+        let policy =
+            PolicyKind::parse(label).map_err(|e| CellFailure::new(ErrorCode::UnknownPolicy, e))?;
         let (run, cmp) = baseline
             .exp
-            .evaluate_replay(policy, &baseline.trace)
-            .map_err(|e| e.to_string())?;
+            .evaluate_replay_cancellable(policy, &baseline.trace, cancel)
+            .map_err(|e| CellFailure::new(sim_error_code(&e), e.to_string()))?;
         Ok(CellMetrics {
             memory_savings: cmp.memory_savings,
             system_savings: cmp.system_savings,
@@ -228,12 +236,29 @@ mod tests {
     #[test]
     fn calibrate_and_run_cell_end_to_end() {
         let job = tiny_job();
+        let idle = CancelToken::new();
         let baseline = SimulatorBackend.calibrate(&job).expect("calibrate");
         let metrics = SimulatorBackend
-            .run_cell(&baseline, "memscale")
+            .run_cell(&baseline, "memscale", &idle)
             .expect("cell runs");
         assert!(metrics.memory_savings > 0.0);
         assert!(metrics.mean_frequency_mhz > 0.0);
-        assert!(SimulatorBackend.run_cell(&baseline, "warp-drive").is_err());
+        let failure = SimulatorBackend
+            .run_cell(&baseline, "warp-drive", &idle)
+            .expect_err("unknown policy fails");
+        assert_eq!(failure.code, ErrorCode::UnknownPolicy);
+    }
+
+    #[test]
+    fn pre_cancelled_cell_fails_with_cancelled_code() {
+        let job = tiny_job();
+        let baseline = SimulatorBackend.calibrate(&job).expect("calibrate");
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let failure = SimulatorBackend
+            .run_cell(&baseline, "memscale", &cancel)
+            .expect_err("cancelled before the first epoch boundary");
+        assert_eq!(failure.code, ErrorCode::Cancelled);
+        assert!(failure.detail.contains("cancelled"), "{}", failure.detail);
     }
 }

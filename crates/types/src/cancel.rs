@@ -1,0 +1,68 @@
+//! Cooperative cancellation token shared between the serving layer and the
+//! simulation engine.
+//!
+//! A [`CancelToken`] is a cheap clonable flag: the owner (the sweep server's
+//! per-cell watchdog, a deadline, a drain sequence) raises it once, and the
+//! worker checks it at safe points (the engine checks between epochs). The
+//! token never interrupts anything by force — a run that ignores it keeps
+//! running, which is exactly why the server pairs it with a watchdog that
+//! converts a stuck cell into a structured `cell_timeout` result.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared one-way cancellation flag. Cloning shares the flag; once
+/// [`CancelToken::cancel`] is called every clone observes it.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, unraised token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Raises the flag. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether the flag has been raised.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// The underlying shared flag, for consumers that must stay free of
+    /// this crate's types (the vendored worker pool takes the raw
+    /// `Arc<AtomicBool>`).
+    pub fn flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.flag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!token.is_cancelled() && !clone.is_cancelled());
+        clone.cancel();
+        assert!(token.is_cancelled() && clone.is_cancelled());
+        token.cancel(); // idempotent
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn raw_flag_observes_cancellation() {
+        let token = CancelToken::new();
+        let raw = token.flag();
+        assert!(!raw.load(Ordering::Acquire));
+        token.cancel();
+        assert!(raw.load(Ordering::Acquire));
+    }
+}

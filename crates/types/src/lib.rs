@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod address;
+pub mod cancel;
 pub mod config;
 pub mod events;
 pub mod faults;
@@ -42,11 +43,14 @@ pub mod serve;
 pub mod time;
 
 pub use address::{AddressMap, Location, PhysAddr};
+pub use cancel::CancelToken;
 pub use config::{CpuConfig, DramTimingConfig, MemGeneration, PowerConfig, SystemConfig, Topology};
 pub use events::{CmdEvent, CmdKind};
 pub use faults::{CounterFault, FaultPlan, FaultSpecError, RefreshFault, SwitchFault};
 pub use freq::MemFreq;
 pub use ids::{AppId, BankId, ChannelId, CoreId, RankId};
 pub use invariants::{Diagnostic, FsmFeature, FsmSpec, FsmTransition, TimingParam};
-pub use serve::{CellMetrics, CellOutcome, ErrorCode, JobSpec, JobSummary};
+pub use serve::{
+    CellFailure, CellMetrics, CellOutcome, DoneReason, ErrorCode, JobSpec, JobSummary,
+};
 pub use time::Picos;

@@ -50,6 +50,11 @@ pub struct JobSpec {
     pub policies: Vec<String>,
     /// Recording margin in percent (ignored for trace-fed jobs).
     pub margin_pct: usize,
+    /// Wall-clock budget for the whole job in milliseconds. When it expires
+    /// the server cancels the remaining cells (they come back with code
+    /// `cancelled`) and closes the job with `done{reason:"deadline"}`.
+    /// `None` defers to the server's `--default-deadline`, if any.
+    pub deadline_ms: Option<u64>,
 }
 
 impl JobSpec {
@@ -70,6 +75,7 @@ impl JobSpec {
             channels: 4,
             policies: Vec::new(),
             margin_pct: 50,
+            deadline_ms: None,
         }
     }
 
@@ -103,6 +109,9 @@ impl JobSpec {
         if self.policies.len() > 256 {
             return Err("at most 256 policy cells per job".into());
         }
+        if self.deadline_ms == Some(0) {
+            return Err("deadline_ms must be positive when present".into());
+        }
         Ok(())
     }
 }
@@ -129,13 +138,22 @@ pub enum ErrorCode {
     Trace,
     /// The simulation itself failed after admission.
     Sim,
+    /// The cell exceeded the server's per-cell watchdog budget and was
+    /// abandoned. Siblings and the cache are unaffected.
+    CellTimeout,
+    /// The cell was cancelled cooperatively — its job's deadline expired,
+    /// the client disconnected, or the server began draining mid-run.
+    Cancelled,
+    /// The server is draining after SIGTERM: in-flight jobs finish, new
+    /// ones are rejected with this code. Resubmit to another instance.
+    Draining,
     /// An unexpected server-side failure.
     Internal,
 }
 
 impl ErrorCode {
     /// Every code, for table-driven tests.
-    pub const ALL: [ErrorCode; 8] = [
+    pub const ALL: [ErrorCode; 11] = [
         ErrorCode::Overloaded,
         ErrorCode::BadRequest,
         ErrorCode::UnknownMix,
@@ -143,6 +161,9 @@ impl ErrorCode {
         ErrorCode::InvalidConfig,
         ErrorCode::Trace,
         ErrorCode::Sim,
+        ErrorCode::CellTimeout,
+        ErrorCode::Cancelled,
+        ErrorCode::Draining,
         ErrorCode::Internal,
     ];
 
@@ -156,6 +177,9 @@ impl ErrorCode {
             ErrorCode::InvalidConfig => "invalid_config",
             ErrorCode::Trace => "trace",
             ErrorCode::Sim => "sim",
+            ErrorCode::CellTimeout => "cell_timeout",
+            ErrorCode::Cancelled => "cancelled",
+            ErrorCode::Draining => "draining",
             ErrorCode::Internal => "internal",
         }
     }
@@ -188,8 +212,41 @@ pub struct CellMetrics {
     pub mean_frequency_mhz: f64,
 }
 
+/// A structured per-cell failure: the machine-readable code clients switch
+/// on plus the human-readable detail that explains it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellFailure {
+    /// Why the cell failed ([`ErrorCode::Sim`], [`ErrorCode::Cancelled`],
+    /// [`ErrorCode::CellTimeout`], …).
+    pub code: ErrorCode,
+    /// Human-readable rendering of the underlying error.
+    pub detail: String,
+}
+
+impl CellFailure {
+    /// A failure with the given code and detail.
+    pub fn new(code: ErrorCode, detail: impl Into<String>) -> Self {
+        CellFailure {
+            code,
+            detail: detail.into(),
+        }
+    }
+
+    /// A simulation failure ([`ErrorCode::Sim`]) — the historical default
+    /// for cells that died inside the engine.
+    pub fn sim(detail: impl Into<String>) -> Self {
+        CellFailure::new(ErrorCode::Sim, detail)
+    }
+}
+
+impl fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code, self.detail)
+    }
+}
+
 /// One evaluated cell: its policy label, whether it was served from the
-/// calibration cache, and the metrics or the structured failure message.
+/// calibration cache, and the metrics or the structured failure.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CellOutcome {
     /// The policy name the cell ran (as given in [`JobSpec::policies`] or
@@ -197,9 +254,51 @@ pub struct CellOutcome {
     pub label: String,
     /// Whether the result came from the server's result cache.
     pub cached: bool,
-    /// Metrics, or the `SimError` rendering for a failed cell. A failed
+    /// Metrics, or the structured failure for a failed cell. A failed
     /// cell never poisons its siblings.
-    pub result: Result<CellMetrics, String>,
+    pub result: Result<CellMetrics, CellFailure>,
+}
+
+/// Why a job's `done` line was emitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DoneReason {
+    /// Every cell ran to its natural end.
+    #[default]
+    Complete,
+    /// The job's deadline expired; unfinished cells were cancelled.
+    Deadline,
+    /// The server was draining (SIGTERM); the job still finished its cells
+    /// but clients should move new work elsewhere.
+    Draining,
+}
+
+impl DoneReason {
+    /// Every reason, for table-driven tests.
+    pub const ALL: [DoneReason; 3] = [
+        DoneReason::Complete,
+        DoneReason::Deadline,
+        DoneReason::Draining,
+    ];
+
+    /// The stable wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DoneReason::Complete => "complete",
+            DoneReason::Deadline => "deadline",
+            DoneReason::Draining => "draining",
+        }
+    }
+
+    /// Parses the wire spelling back.
+    pub fn parse(s: &str) -> Option<DoneReason> {
+        DoneReason::ALL.into_iter().find(|r| r.as_str() == s)
+    }
+}
+
+impl fmt::Display for DoneReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
 }
 
 /// The final summary line of a completed job.
@@ -209,7 +308,7 @@ pub struct JobSummary {
     pub cells: usize,
     /// Cells that completed with metrics.
     pub ok: usize,
-    /// Cells that failed with a `SimError`.
+    /// Cells that failed (structured failure, timeout or cancellation).
     pub failed: usize,
     /// Cache hits this job observed (cells plus the calibration baseline).
     pub cache_hits: u64,
@@ -217,6 +316,8 @@ pub struct JobSummary {
     pub cache_misses: u64,
     /// Server-side wall-clock of the job, milliseconds.
     pub wall_ms: f64,
+    /// Why the job closed ([`DoneReason::Complete`] in the happy path).
+    pub reason: DoneReason,
 }
 
 impl JobSummary {
@@ -242,6 +343,32 @@ mod tests {
             assert_eq!(code.to_string(), code.as_str());
         }
         assert_eq!(ErrorCode::parse("nope"), None);
+    }
+
+    #[test]
+    fn done_reasons_round_trip() {
+        for reason in DoneReason::ALL {
+            assert_eq!(DoneReason::parse(reason.as_str()), Some(reason));
+            assert_eq!(reason.to_string(), reason.as_str());
+        }
+        assert_eq!(DoneReason::parse("nope"), None);
+        assert_eq!(DoneReason::default(), DoneReason::Complete);
+    }
+
+    #[test]
+    fn cell_failure_renders_code_and_detail() {
+        let f = CellFailure::new(ErrorCode::CellTimeout, "exceeded 50 ms");
+        assert_eq!(f.to_string(), "cell_timeout: exceeded 50 ms");
+        assert_eq!(CellFailure::sim("boom").code, ErrorCode::Sim);
+    }
+
+    #[test]
+    fn zero_deadline_is_rejected() {
+        let mut job = JobSpec::for_mix("j1", "MID1");
+        job.deadline_ms = Some(0);
+        assert!(job.validate_shape().unwrap_err().contains("deadline_ms"));
+        job.deadline_ms = Some(250);
+        assert!(job.validate_shape().is_ok());
     }
 
     #[test]
@@ -278,6 +405,7 @@ mod tests {
             cache_hits: 3,
             cache_misses: 1,
             wall_ms: 12.0,
+            reason: DoneReason::Complete,
         };
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
         s.cache_hits = 0;

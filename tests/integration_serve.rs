@@ -10,7 +10,8 @@
 use memscale_serve::loadgen::{self, LoadgenConfig};
 use memscale_serve::server::{JobPlan, ServerConfig, SweepBackend, SweepServer};
 use memscale_serve::wire::{decode_response, encode_job, Response};
-use memscale_types::serve::{CellMetrics, ErrorCode, JobSpec};
+use memscale_types::serve::{CellFailure, CellMetrics, ErrorCode, JobSpec};
+use memscale_types::CancelToken;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -61,9 +62,14 @@ impl SweepBackend for Stub {
         Ok(job.duration_ms)
     }
 
-    fn run_cell(&self, baseline: &u64, label: &str) -> Result<CellMetrics, String> {
+    fn run_cell(
+        &self,
+        baseline: &u64,
+        label: &str,
+        _cancel: &CancelToken,
+    ) -> Result<CellMetrics, CellFailure> {
         if label == "boom" {
-            return Err("trace exhausted on app 3".into());
+            return Err(CellFailure::sim("trace exhausted on app 3"));
         }
         #[allow(clippy::cast_precision_loss)]
         let f = *baseline as f64;
@@ -84,6 +90,7 @@ fn spawn_server(queue_depth: usize) -> (std::net::SocketAddr, Arc<StubBackend>) 
         threads: 2,
         cell_queue: 16,
         cache_cap: 64,
+        ..ServerConfig::default()
     };
     let server =
         SweepServer::bind("127.0.0.1:0", cfg, Stub(Arc::clone(&backend))).expect("bind ephemeral");
@@ -219,10 +226,11 @@ fn failed_cell_reported_in_slot_without_poisoning_siblings() {
         if let Response::Cell { outcome, .. } = r {
             match &outcome.result {
                 Ok(_) => ok += 1,
-                Err(detail) => {
+                Err(failure) => {
                     failed += 1;
                     assert_eq!(outcome.label, "boom");
-                    assert!(detail.contains("exhausted"), "{detail}");
+                    assert_eq!(failure.code, ErrorCode::Sim);
+                    assert!(failure.detail.contains("exhausted"), "{failure}");
                 }
             }
         }
@@ -322,16 +330,12 @@ fn zero_depth_server_rejects_with_structured_overloaded() {
 #[test]
 fn loadgen_fleet_completes_with_zero_protocol_errors() {
     let (addr, _) = spawn_server(8);
-    let cfg = LoadgenConfig {
-        addr: addr.to_string(),
-        clients: 4,
-        jobs_per_client: 3,
-        template: JobSpec::for_mix("job", "MID1"),
-    };
+    let cfg = LoadgenConfig::new(addr.to_string(), 4, 3, JobSpec::for_mix("job", "MID1"));
     let stats = loadgen::run(&cfg).expect("loadgen run");
     assert_eq!(stats.jobs_ok, 12);
     assert_eq!(stats.protocol_errors, 0);
     assert_eq!(stats.jobs_failed, 0);
+    assert_eq!(stats.jobs_transport, 0);
     assert_eq!(stats.cells_ok, 24);
     assert!(
         stats.cache_hits > 0,
