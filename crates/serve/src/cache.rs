@@ -45,6 +45,7 @@ pub struct LruCache<V> {
     tick: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 #[derive(Debug)]
@@ -62,6 +63,7 @@ impl<V> LruCache<V> {
             tick: 0,
             hits: 0,
             misses: 0,
+            evictions: 0,
         }
     }
 
@@ -85,6 +87,17 @@ impl<V> LruCache<V> {
         self.misses
     }
 
+    /// Lifetime eviction count (entries displaced at capacity, not
+    /// in-place replacements).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Maximum entries this cache holds.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Looks `key` up, counting a hit or miss and refreshing recency on a
     /// hit.
     pub fn get(&mut self, key: &CacheKey) -> Option<&V> {
@@ -103,9 +116,11 @@ impl<V> LruCache<V> {
     }
 
     /// Inserts (or replaces) `key`, evicting the least-recently-used entry
-    /// when at capacity. Inserting counts as a use.
-    pub fn insert(&mut self, key: CacheKey, value: V) {
+    /// when at capacity. Inserting counts as a use. Returns `true` when an
+    /// unrelated entry was displaced to make room.
+    pub fn insert(&mut self, key: CacheKey, value: V) -> bool {
         self.tick += 1;
+        let mut evicted = false;
         if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
             if let Some(oldest) = self
                 .map
@@ -114,6 +129,8 @@ impl<V> LruCache<V> {
                 .map(|(k, _)| k.clone())
             {
                 self.map.remove(&oldest);
+                self.evictions += 1;
+                evicted = true;
             }
         }
         self.map.insert(
@@ -123,6 +140,7 @@ impl<V> LruCache<V> {
                 last_used: self.tick,
             },
         );
+        evicted
     }
 }
 
@@ -166,10 +184,11 @@ mod tests {
     #[test]
     fn evicts_least_recently_used() {
         let mut c: LruCache<u32> = LruCache::new(2);
-        c.insert(key("a"), 1);
-        c.insert(key("b"), 2);
+        assert!(!c.insert(key("a"), 1));
+        assert!(!c.insert(key("b"), 2));
         assert_eq!(c.get(&key("a")), Some(&1)); // refresh `a`
-        c.insert(key("c"), 3); // evicts `b`
+        assert!(c.insert(key("c"), 3)); // evicts `b`
+        assert_eq!(c.evictions(), 1);
         assert_eq!(c.len(), 2);
         assert_eq!(c.get(&key("b")), None);
         assert_eq!(c.get(&key("a")), Some(&1));
@@ -181,7 +200,9 @@ mod tests {
         let mut c: LruCache<u32> = LruCache::new(2);
         c.insert(key("a"), 1);
         c.insert(key("b"), 2);
-        c.insert(key("a"), 10);
+        assert!(!c.insert(key("a"), 10));
+        assert_eq!(c.evictions(), 0);
+        assert_eq!(c.capacity(), 2);
         assert_eq!(c.len(), 2);
         assert_eq!(c.get(&key("a")), Some(&10));
         assert_eq!(c.get(&key("b")), Some(&2));

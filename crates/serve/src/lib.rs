@@ -23,6 +23,15 @@
 //!   frames, drops requests, stalls reads, and kills connections on the
 //!   client→server path, used by the chaos harness to prove the server
 //!   degrades into structured errors rather than hangs or leaks.
+//! * **Durability** ([`persist`]): with `--state-dir`, job lifecycle and
+//!   completed cells go through a write-ahead journal and calibration
+//!   bundles to an on-disk baseline log (both `memscale-store` record
+//!   logs), so a crashed server restarts with warm caches and resumable
+//!   jobs.
+//! * **Crash recovery harness** ([`recovery`]): spawns the real server
+//!   binary, SIGKILLs it mid-job at a seeded point, restarts it against
+//!   the same state directory, and asserts the recovery invariants
+//!   (warm hits, byte-identical results, a cleanly truncated journal).
 //!
 //! The crate depends only on `memscale-types` and the worker pool; the
 //! simulation work is injected through [`server::SweepBackend`], which
@@ -36,11 +45,15 @@ pub mod cache;
 pub mod chaos;
 pub mod json;
 pub mod loadgen;
+pub mod persist;
+pub mod recovery;
 pub mod server;
 pub mod wire;
 
 pub use cache::{CacheKey, LruCache};
 pub use chaos::{open_flood, ChaosConfig, ChaosHandle, ChaosProxy, ChaosReport, ChaosRng};
 pub use loadgen::{LoadgenConfig, LoadgenStats};
+pub use persist::{DurableState, JournalRecord, RecoveryReport};
+pub use recovery::{RecoveryConfig, RecoveryOutcome};
 pub use server::{JobPlan, ServerConfig, ServerStats, SweepBackend, SweepServer};
 pub use wire::Response;

@@ -47,6 +47,12 @@ pub struct LoadgenConfig {
     /// Base of the exponential backoff between retries, milliseconds
     /// (doubled per attempt, plus seeded jitter in `[0, backoff)`).
     pub backoff_base_ms: u64,
+    /// Extra connection attempts after a failed connect (upfront probe
+    /// and per-client reconnects alike), each preceded by the same
+    /// seeded-jitter backoff as `overloaded` retries. The default `0`
+    /// keeps connection refusal a fail-fast error; set it when the server
+    /// is expected to bounce (e.g. the kill-9 recovery smoke test).
+    pub reconnect_retries: usize,
     /// Seed of the per-client jitter streams (replayable backoff).
     pub seed: u64,
 }
@@ -70,6 +76,7 @@ impl LoadgenConfig {
             read_timeout_ms: 30_000,
             max_retries: 3,
             backoff_base_ms: 10,
+            reconnect_retries: 0,
             seed: 0x5ca1_ab1e,
         }
     }
@@ -107,6 +114,9 @@ pub struct LoadgenStats {
     pub cache_hits: u64,
     /// Cache misses summed over `done` lines.
     pub cache_misses: u64,
+    /// Cache evictions summed over `done` lines — how much the working
+    /// set overflowed the configured `--cache-capacity`.
+    pub evictions: u64,
     /// Faults a chaos proxy injected during the run, when one was in the
     /// path (filled in by the chaos orchestrator, not by `run`).
     pub chaos_faults_injected: u64,
@@ -221,6 +231,7 @@ impl LoadgenStats {
                 "cache_misses".into(),
                 Json::num(self.cache_misses.to_string()),
             ),
+            ("evictions".into(), Json::num(self.evictions.to_string())),
             (
                 "cache_hit_rate".into(),
                 Json::num(format!("{:.4}", self.cache_hit_rate())),
@@ -263,6 +274,7 @@ struct JobOutcome {
     cells_timed_out: usize,
     cache_hits: u64,
     cache_misses: u64,
+    evictions: u64,
     latency_ms: f64,
 }
 
@@ -304,21 +316,42 @@ fn connect(
     })
 }
 
+/// Connects with up to `cfg.reconnect_retries` extra attempts, sleeping
+/// the same exponential backoff plus seeded jitter as `overloaded`
+/// retries between them. With the default of zero retries this is a
+/// single fail-fast attempt.
+fn connect_with_retries(cfg: &LoadgenConfig, rng: &mut ChaosRng) -> Result<ClientConn, String> {
+    let mut attempt = 0usize;
+    loop {
+        match connect(&cfg.addr, cfg.connect_timeout_ms, cfg.read_timeout_ms) {
+            Ok(conn) => return Ok(conn),
+            Err(e) if attempt >= cfg.reconnect_retries => return Err(e),
+            Err(_) => {
+                attempt += 1;
+                let backoff = cfg
+                    .backoff_base_ms
+                    .max(1)
+                    .saturating_mul(1u64 << (attempt - 1).min(6));
+                let jitter = rng.next_u64() % backoff;
+                std::thread::sleep(Duration::from_millis(backoff + jitter));
+            }
+        }
+    }
+}
+
 /// Runs the closed-loop fleet to completion and aggregates the outcome.
 ///
 /// # Errors
 ///
 /// A human-readable message when the server is unreachable (an upfront
-/// probe connection fails — e.g. connection refused); every in-protocol
-/// and per-job transport error is counted in the returned stats instead.
+/// probe connection fails after `reconnect_retries` extra attempts —
+/// e.g. connection refused); every in-protocol and per-job transport
+/// error is counted in the returned stats instead.
 pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenStats, String> {
     // Fail fast with a clear message when nothing is listening, instead
     // of surfacing one raw io error per client.
-    drop(connect(
-        &cfg.addr,
-        cfg.connect_timeout_ms,
-        cfg.read_timeout_ms,
-    )?);
+    let mut probe_rng = ChaosRng::new(cfg.seed ^ 0x70b3_7059);
+    drop(connect_with_retries(cfg, &mut probe_rng)?);
     let started = Instant::now();
     let mut handles = Vec::with_capacity(cfg.clients);
     for client in 0..cfg.clients {
@@ -353,6 +386,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenStats, String> {
             stats.cells_timed_out += o.cells_timed_out;
             stats.cache_hits += o.cache_hits;
             stats.cache_misses += o.cache_misses;
+            stats.evictions += o.evictions;
         }
     }
     stats.wall_s = started.elapsed().as_secs_f64();
@@ -370,7 +404,7 @@ fn run_client(cfg: &LoadgenConfig, client: usize) -> Vec<JobOutcome> {
         let mut retries = 0usize;
         let outcome = loop {
             if conn.is_none() {
-                conn = connect(&cfg.addr, cfg.connect_timeout_ms, cfg.read_timeout_ms).ok();
+                conn = connect_with_retries(cfg, &mut rng).ok();
             }
             let Some(c) = conn.as_mut() else {
                 break JobOutcome {
@@ -477,6 +511,7 @@ fn submit_one(
                 outcome.latency_ms = started.elapsed().as_secs_f64() * 1e3;
                 outcome.cache_hits += summary.cache_hits;
                 outcome.cache_misses += summary.cache_misses;
+                outcome.evictions += summary.evictions;
                 outcome.deadline_miss = summary.reason == DoneReason::Deadline;
                 if expected_cells != Some(seen_cells) || summary.cells != seen_cells {
                     outcome.protocol_errors += 1;
@@ -545,6 +580,7 @@ mod tests {
         s.retries = 4;
         s.deadline_misses = 1;
         s.jobs_transport = 2;
+        s.evictions = 5;
         s.chaos_faults_injected = 7;
         let rendered = s.to_bench_json(&cfg);
         let parsed = crate::json::parse(&rendered).expect("artifact parses");
@@ -563,6 +599,7 @@ mod tests {
             Some(1)
         );
         assert_eq!(parsed.get("jobs_transport").and_then(Json::as_u64), Some(2));
+        assert_eq!(parsed.get("evictions").and_then(Json::as_u64), Some(5));
         assert_eq!(
             parsed.get("chaos_faults_injected").and_then(Json::as_u64),
             Some(7)
@@ -583,5 +620,17 @@ mod tests {
         let err = run(&cfg).unwrap_err();
         assert!(err.contains("cannot connect"), "{err}");
         assert!(err.contains("is the server running"), "{err}");
+    }
+
+    #[test]
+    fn reconnect_retries_are_bounded_and_still_fail_clearly() {
+        let mut cfg = LoadgenConfig::new("127.0.0.1:1", 1, 1, JobSpec::for_mix("t", "MID1"));
+        cfg.reconnect_retries = 2;
+        cfg.backoff_base_ms = 1;
+        let started = Instant::now();
+        let err = run(&cfg).unwrap_err();
+        assert!(err.contains("cannot connect"), "{err}");
+        // Two retries at 1-2 ms + 2-4 ms of backoff: bounded, not a hang.
+        assert!(started.elapsed() < Duration::from_secs(5));
     }
 }

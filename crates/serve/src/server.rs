@@ -42,13 +42,16 @@
 //!   returns cleanly.
 
 use crate::cache::{CacheKey, LruCache};
+use crate::persist::{DurableState, JournalRecord, RecoveryReport};
 use crate::wire::{decode_job, encode_response, Response};
+use memscale_store::StoreError;
 use memscale_types::cancel::CancelToken;
 use memscale_types::serve::{CellFailure, CellOutcome, DoneReason, ErrorCode, JobSpec, JobSummary};
 use rayon::ThreadPool;
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -113,6 +116,23 @@ pub trait SweepBackend: Send + Sync + 'static {
         label: &str,
         cancel: &CancelToken,
     ) -> Result<memscale_types::serve::CellMetrics, CellFailure>;
+
+    /// Serialises a baseline bundle for the on-disk calibration cache
+    /// (`--state-dir`). The default — `None` — marks the backend's
+    /// baselines as memory-only; such servers still persist cells and
+    /// the job journal, they just recalibrate cold after a restart.
+    fn encode_baseline(&self, job: &JobSpec, baseline: &Self::Baseline) -> Option<Vec<u8>> {
+        let _ = (job, baseline);
+        None
+    }
+
+    /// Reconstructs a baseline bundle persisted by
+    /// [`SweepBackend::encode_baseline`]. Returning `None` rejects the
+    /// bytes: recovery counts them as corrupt and skips the entry.
+    fn decode_baseline(&self, bytes: &[u8]) -> Option<Self::Baseline> {
+        let _ = bytes;
+        None
+    }
 }
 
 /// Server tuning knobs.
@@ -141,6 +161,9 @@ pub struct ServerConfig {
     /// How long [`SweepServer::run_with_shutdown`] waits for in-flight
     /// jobs before giving up on a clean drain, in milliseconds.
     pub drain_timeout_ms: u64,
+    /// Directory for the durable journal and baseline logs. `None` (the
+    /// default) serves purely from memory; see DESIGN.md §15.
+    pub state_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -154,6 +177,7 @@ impl Default for ServerConfig {
             cell_timeout_ms: 60_000,
             io_timeout_ms: 30_000,
             drain_timeout_ms: 30_000,
+            state_dir: None,
         }
     }
 }
@@ -187,6 +211,10 @@ struct Shared<B: SweepBackend> {
     baselines: Mutex<LruCache<Arc<B::Baseline>>>,
     /// Jobs currently in service (admission-control gauge).
     active: AtomicUsize,
+    /// The open WAL/baseline logs of a `--state-dir` server. `None` when
+    /// the server is memory-only — either unconfigured, or degraded after
+    /// a journal write failure (a full disk must not kill serving).
+    durable: Mutex<Option<DurableState>>,
     /// Raised by [`SweepServer::run_with_shutdown`]: stop admitting.
     draining: AtomicBool,
     jobs_done: AtomicUsize,
@@ -195,6 +223,47 @@ struct Shared<B: SweepBackend> {
     jobs_deadline: AtomicUsize,
     cells_timed_out: AtomicUsize,
     cells_cancelled: AtomicUsize,
+}
+
+impl<B: SweepBackend> Shared<B> {
+    /// Write-ahead step: appends and fsyncs one journal record. On an
+    /// I/O failure durability is disabled for the rest of the process —
+    /// the server keeps serving from memory rather than wedging every
+    /// job behind a dead disk.
+    fn journal(&self, rec: &JournalRecord) {
+        let mut guard = lock_recover(&self.durable);
+        if let Some(state) = guard.as_mut() {
+            if let Err(e) = state.record(rec) {
+                eprintln!(
+                    "memscale-serve: journal write failed ({e}); continuing without durability"
+                );
+                *guard = None;
+            }
+        }
+    }
+
+    /// Persists one calibration bundle. An oversized bundle is skipped
+    /// (that baseline just recalibrates after a restart); real I/O
+    /// failures disable durability like [`Shared::journal`].
+    fn persist_baseline(&self, fingerprint: u64, trace_crc: u32, payload: &[u8]) {
+        let mut guard = lock_recover(&self.durable);
+        if let Some(state) = guard.as_mut() {
+            match state.record_baseline(fingerprint, trace_crc, payload) {
+                Ok(()) => {}
+                Err(StoreError::RecordTooLarge { len }) => {
+                    eprintln!(
+                        "memscale-serve: baseline bundle of {len} bytes exceeds the frame limit; not persisted"
+                    );
+                }
+                Err(e) => {
+                    eprintln!(
+                        "memscale-serve: baseline log write failed ({e}); continuing without durability"
+                    );
+                    *guard = None;
+                }
+            }
+        }
+    }
 }
 
 /// Locks `m`, recovering the guard if a panicking holder poisoned it. The
@@ -225,23 +294,58 @@ impl Drop for SlotGuard<'_> {
 pub struct SweepServer<B: SweepBackend> {
     shared: Arc<Shared<B>>,
     listener: TcpListener,
+    recovery: Option<RecoveryReport>,
 }
 
 impl<B: SweepBackend> SweepServer<B> {
     /// Binds `addr` (e.g. `127.0.0.1:7119`; port 0 picks an ephemeral
     /// port — read it back with [`SweepServer::local_addr`]).
     ///
+    /// With `cfg.state_dir` set, this also opens the durable logs,
+    /// replays the journal into the caches (decoding persisted baselines
+    /// through the backend) and marks interrupted jobs abandoned; the
+    /// result is available from [`SweepServer::recovery_report`].
+    ///
     /// # Errors
     ///
-    /// Propagates the bind failure.
+    /// Propagates the bind failure, and unrepairable state-dir defects
+    /// (foreign files, newer formats) as [`std::io::ErrorKind::InvalidData`].
     pub fn bind(addr: &str, cfg: ServerConfig, backend: B) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let pool = ThreadPool::new(cfg.threads, cfg.cell_queue);
+        let mut cells = LruCache::new(cfg.cache_cap);
+        let mut baselines = LruCache::new(cfg.cache_cap);
+        let mut durable = None;
+        let mut recovery = None;
+        if let Some(dir) = &cfg.state_dir {
+            let (state, recovered) = DurableState::open(dir)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+            let mut report = recovered.report;
+            for (key, metrics) in recovered.cells {
+                cells.insert(key, metrics);
+            }
+            for (key, bytes) in recovered.baselines {
+                // The backend owns the bundle format; bytes it rejects
+                // (version skew) are skipped, never fatal.
+                match backend.decode_baseline(&bytes) {
+                    Some(b) => {
+                        baselines.insert(key, Arc::new(b));
+                    }
+                    None => {
+                        report.baselines_recovered -= 1;
+                        report.corrupt_records += 1;
+                    }
+                }
+            }
+            durable = Some(state);
+            recovery = Some(report);
+        }
         let shared = Arc::new(Shared {
             pool,
-            cells: Mutex::new(LruCache::new(cfg.cache_cap)),
-            baselines: Mutex::new(LruCache::new(cfg.cache_cap)),
+            cells: Mutex::new(cells),
+            baselines: Mutex::new(baselines),
             active: AtomicUsize::new(0),
+            durable: Mutex::new(durable),
             draining: AtomicBool::new(false),
             jobs_done: AtomicUsize::new(0),
             jobs_overloaded: AtomicUsize::new(0),
@@ -252,7 +356,17 @@ impl<B: SweepBackend> SweepServer<B> {
             cfg,
             backend,
         });
-        Ok(SweepServer { shared, listener })
+        Ok(SweepServer {
+            shared,
+            listener,
+            recovery,
+        })
+    }
+
+    /// What startup recovery replayed from `state_dir`; `None` for a
+    /// memory-only server.
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
     }
 
     /// The bound socket address.
@@ -479,6 +593,13 @@ fn serve_line<B: SweepBackend>(
         active: &shared.active,
     };
     let ok = run_job(shared, &job, &plan, &mut send);
+    if !ok {
+        // The client went away mid-stream: close the journal entry so a
+        // restart does not report this socket death as a crash. (Replay
+        // tolerates a duplicate close, so the rare "done recorded but the
+        // done line failed to send" overlap is harmless.)
+        shared.journal(&JournalRecord::Abandoned { id: job.id.clone() });
+    }
     shared.jobs_done.fetch_add(1, Ordering::Relaxed);
     ok
 }
@@ -547,6 +668,14 @@ fn run_job<B: SweepBackend>(
         .map(|ms| started + Duration::from_millis(ms));
     let cell_timeout =
         (shared.cfg.cell_timeout_ms > 0).then(|| Duration::from_millis(shared.cfg.cell_timeout_ms));
+    // Write-ahead: the admission is durable before it is visible, so a
+    // crash after this line reports the job as interrupted on restart.
+    shared.journal(&JournalRecord::Admitted {
+        id: id.clone(),
+        fingerprint: plan.fingerprint,
+        trace_crc: plan.trace_crc,
+        cells: plan.cells.clone(),
+    });
     if !send(&Response::Admitted {
         id: id.clone(),
         cells: plan.cells.len(),
@@ -555,54 +684,14 @@ fn run_job<B: SweepBackend>(
     }
     let mut hits = 0u64;
     let mut misses = 0u64;
-
-    // Baseline bundle: cached per (fingerprint, trace).
-    let baseline_key = CacheKey {
-        fingerprint: plan.fingerprint,
-        trace_crc: plan.trace_crc,
-        label: CacheKey::BASELINE.into(),
-    };
-    let cached_baseline = lock_recover(&shared.baselines).get(&baseline_key).cloned();
-    let baseline = match cached_baseline {
-        Some(b) => {
-            hits += 1;
-            b
-        }
-        None => {
-            misses += 1;
-            // Calibrate outside the cache lock: concurrent cold jobs may
-            // duplicate the work, but never serialize behind it.
-            match shared.backend.calibrate(job) {
-                Ok(b) => {
-                    let b = Arc::new(b);
-                    lock_recover(&shared.baselines).insert(baseline_key, Arc::clone(&b));
-                    b
-                }
-                Err((code, detail)) => {
-                    return send(&Response::Error {
-                        id: Some(id),
-                        code,
-                        detail,
-                        depth: None,
-                        limit: None,
-                    });
-                }
-            }
-        }
-    };
-
-    // Split cells into cache hits (streamed immediately) and misses
-    // (fanned out on the worker pool). Each miss gets its own cancel
-    // token so deadlines and disconnects can reach it individually.
+    let mut evictions = 0u64;
     let mut ok_cells = 0usize;
     let mut failed_cells = 0usize;
-    let mut deadline_hit = false;
-    let mut pending: HashMap<usize, PendingCell> = HashMap::new();
-    type CellMsg = (
-        usize,
-        Result<memscale_types::serve::CellMetrics, CellFailure>,
-    );
-    let (tx, rx) = mpsc::channel::<CellMsg>();
+
+    // First pass: answer cached cells immediately (a resumed or repeated
+    // job streams its warm cells without waiting on anything), collect
+    // the rest for the worker pool.
+    let mut todo: Vec<(usize, &String)> = Vec::new();
     for (idx, label) in plan.cells.iter().enumerate() {
         let key = CacheKey {
             fingerprint: plan.fingerprint,
@@ -621,12 +710,74 @@ fn run_job<B: SweepBackend>(
                     result: Ok(metrics),
                 },
             }) {
-                cancel_all(&pending);
                 return false;
             }
-            continue;
+        } else {
+            misses += 1;
+            todo.push((idx, label));
         }
-        misses += 1;
+    }
+
+    let mut deadline_hit = false;
+    let mut pending: HashMap<usize, PendingCell> = HashMap::new();
+    type CellMsg = (
+        usize,
+        Result<memscale_types::serve::CellMetrics, CellFailure>,
+    );
+    let (tx, rx) = mpsc::channel::<CellMsg>();
+
+    // Baseline bundle, resolved lazily: a fully cached job (the warm
+    // resubmit after a restart) never touches the calibration cache or
+    // the backend at all.
+    let baseline = if todo.is_empty() {
+        None
+    } else {
+        let baseline_key = CacheKey {
+            fingerprint: plan.fingerprint,
+            trace_crc: plan.trace_crc,
+            label: CacheKey::BASELINE.into(),
+        };
+        let cached_baseline = lock_recover(&shared.baselines).get(&baseline_key).cloned();
+        match cached_baseline {
+            Some(b) => {
+                hits += 1;
+                Some(b)
+            }
+            None => {
+                misses += 1;
+                // Calibrate outside the cache lock: concurrent cold jobs
+                // may duplicate the work, but never serialize behind it.
+                match shared.backend.calibrate(job) {
+                    Ok(b) => {
+                        if let Some(bundle) = shared.backend.encode_baseline(job, &b) {
+                            shared.persist_baseline(plan.fingerprint, plan.trace_crc, &bundle);
+                        }
+                        let b = Arc::new(b);
+                        if lock_recover(&shared.baselines).insert(baseline_key, Arc::clone(&b)) {
+                            evictions += 1;
+                        }
+                        Some(b)
+                    }
+                    Err((code, detail)) => {
+                        // Terminal error: close the journal entry so the
+                        // restart does not count this as a crash.
+                        shared.journal(&JournalRecord::Abandoned { id: id.clone() });
+                        return send(&Response::Error {
+                            id: Some(id),
+                            code,
+                            detail,
+                            depth: None,
+                            limit: None,
+                        });
+                    }
+                }
+            }
+        }
+    };
+
+    // Fan the misses out on the worker pool. Each gets its own cancel
+    // token so deadlines and disconnects can reach it individually.
+    for (idx, label) in todo {
         if !deadline_hit && deadline.is_some_and(|d| Instant::now() >= d) {
             deadline_hit = true;
         }
@@ -635,7 +786,7 @@ fn run_job<B: SweepBackend>(
             let token = CancelToken::new();
             let worker_token = token.clone();
             let backend_shared = Arc::clone(shared);
-            let baseline = Arc::clone(&baseline);
+            let baseline = Arc::clone(baseline.as_ref().expect("todo is non-empty"));
             let worker_label = label.clone();
             let tx = tx.clone();
             // The submit itself is bounded by the job deadline: a stuffed
@@ -816,14 +967,24 @@ fn run_job<B: SweepBackend>(
         match &result {
             Ok(metrics) => {
                 ok_cells += 1;
-                lock_recover(&shared.cells).insert(
+                // Write-ahead: the cell is durable before its line is
+                // visible — a client never sees a result a crash loses.
+                shared.journal(&JournalRecord::CellDone {
+                    fingerprint: plan.fingerprint,
+                    trace_crc: plan.trace_crc,
+                    label: cell.label.clone(),
+                    metrics: *metrics,
+                });
+                if lock_recover(&shared.cells).insert(
                     CacheKey {
                         fingerprint: plan.fingerprint,
                         trace_crc: plan.trace_crc,
                         label: cell.label.clone(),
                     },
                     *metrics,
-                );
+                ) {
+                    evictions += 1;
+                }
             }
             Err(failure) => {
                 if failure.code == ErrorCode::Cancelled {
@@ -855,6 +1016,9 @@ fn run_job<B: SweepBackend>(
     } else {
         DoneReason::Complete
     };
+    // Write-ahead: the job is closed in the journal before the client
+    // sees `done`.
+    shared.journal(&JournalRecord::JobDone { id: id.clone() });
     send(&Response::Done {
         id,
         summary: JobSummary {
@@ -863,6 +1027,7 @@ fn run_job<B: SweepBackend>(
             failed: failed_cells,
             cache_hits: hits,
             cache_misses: misses,
+            evictions,
             wall_ms: started.elapsed().as_secs_f64() * 1e3,
             reason,
         },

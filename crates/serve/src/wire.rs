@@ -239,6 +239,7 @@ pub fn encode_response(resp: &Response) -> String {
                 ("failed", Json::num(summary.failed)),
                 ("cache_hits", Json::num(summary.cache_hits)),
                 ("cache_misses", Json::num(summary.cache_misses)),
+                ("evictions", Json::num(summary.evictions)),
                 ("wall_ms", Json::num(format!("{:.3}", summary.wall_ms))),
             ];
             if summary.reason != DoneReason::Complete {
@@ -342,6 +343,8 @@ pub fn decode_response(line: &str) -> Result<Response, String> {
                 cache_hits: field_u64(&v, "cache_hits")?.ok_or("done: `cache_hits` required")?,
                 cache_misses: field_u64(&v, "cache_misses")?
                     .ok_or("done: `cache_misses` required")?,
+                // Tolerate pre-eviction-counter servers.
+                evictions: field_u64(&v, "evictions")?.unwrap_or(0),
                 wall_ms: field_f64(&v, "wall_ms")?.ok_or("done: `wall_ms` required")?,
                 reason: match field_str(&v, "reason")? {
                     None => DoneReason::Complete,
@@ -484,6 +487,7 @@ mod tests {
                     failed: 1,
                     cache_hits: 5,
                     cache_misses: 8,
+                    evictions: 2,
                     wall_ms: 103.25,
                     reason: DoneReason::Complete,
                 },
@@ -496,6 +500,7 @@ mod tests {
                     failed: 2,
                     cache_hits: 0,
                     cache_misses: 3,
+                    evictions: 0,
                     wall_ms: 55.0,
                     reason: DoneReason::Deadline,
                 },
@@ -508,6 +513,7 @@ mod tests {
                     failed: 0,
                     cache_hits: 1,
                     cache_misses: 0,
+                    evictions: 0,
                     wall_ms: 2.5,
                     reason: DoneReason::Draining,
                 },
@@ -544,6 +550,16 @@ mod tests {
         });
         assert!(line.contains("\"code\":\"overloaded\""));
         assert!(line.contains("\"depth\":8") && line.contains("\"limit\":8"));
+    }
+
+    #[test]
+    fn done_without_evictions_field_decodes_as_zero() {
+        // Lines from a pre-eviction-counter server stay decodable.
+        let line = r#"{"type":"done","id":"j","cells":2,"ok":2,"failed":0,"cache_hits":1,"cache_misses":1,"wall_ms":4.0}"#;
+        let Response::Done { summary, .. } = decode_response(line).expect("decodes") else {
+            panic!("not a done line");
+        };
+        assert_eq!(summary.evictions, 0);
     }
 
     /// Wire-level fuzzing: arbitrary corruption of valid frames — the
@@ -584,6 +600,7 @@ mod tests {
                         failed: 1,
                         cache_hits: 2,
                         cache_misses: 2,
+                        evictions: 1,
                         wall_ms: 9.5,
                         reason: DoneReason::Deadline,
                     },

@@ -7,10 +7,16 @@
 //! memscale-sim check [--generation all|ddr3|ddr4|lpddr3] [--report PATH]
 //!                                        static consistency analysis
 //! memscale-sim serve --addr HOST:PORT    long-running sweep-job server
-//!                                        (SIGTERM drains gracefully)
+//!                                        (SIGTERM drains gracefully;
+//!                                        --state-dir DIR makes caches and
+//!                                        job state crash-durable)
 //! memscale-sim loadgen --addr HOST:PORT  closed-loop client fleet
 //! memscale-sim chaos --addr HOST:PORT    loadgen through a seeded
 //!                                        fault-injecting proxy
+//! memscale-sim chaos --kill9 --state-dir DIR
+//!                                        process-level crash harness:
+//!                                        SIGKILL mid-job, restart, assert
+//!                                        recovery invariants
 //!
 //!   --mix NAME          Table 1 workload (default MID1)
 //!   --policy NAME       baseline | fast-pd | slow-pd | deep-pd | static:<mhz> |
@@ -109,6 +115,9 @@ struct ServeArgs {
     io_timeout_ms: u64,
     /// SIGTERM drain bound before forced exit, milliseconds.
     drain_timeout_ms: u64,
+    /// Durable-state directory (write-ahead journal + baseline log);
+    /// `None` keeps the server memory-only.
+    state_dir: Option<PathBuf>,
 }
 
 /// `memscale-sim loadgen` parameters.
@@ -136,6 +145,8 @@ struct LoadgenArgs {
     connect_timeout_ms: u64,
     /// Client read timeout, milliseconds.
     read_timeout_ms: u64,
+    /// Extra connection attempts after a failed connect (0 = fail fast).
+    reconnect_retries: usize,
     /// Where to write the `BENCH_serve.json` artifact.
     out: PathBuf,
     /// Exit non-zero when the run saw no cache hits.
@@ -164,8 +175,16 @@ struct ChaosArgs {
     policies: Vec<String>,
     /// Per-job deadline carried in every request (0 = none).
     deadline_ms: u64,
-    /// Where to write the `BENCH_chaos.json` artifact.
-    out: PathBuf,
+    /// Where to write the artifact (`BENCH_chaos.json`, or
+    /// `BENCH_recovery.json` under `--kill9`).
+    out: Option<PathBuf>,
+    /// Process-level fault mode: spawn the real server binary, SIGKILL it
+    /// mid-job, restart against the same state dir, assert recovery.
+    kill9: bool,
+    /// Durable-state directory for `--kill9` (required in that mode).
+    state_dir: Option<PathBuf>,
+    /// Server binary for `--kill9` (default: this `memscale-sim` binary).
+    server_bin: Option<PathBuf>,
 }
 
 #[derive(Debug)]
@@ -266,6 +285,7 @@ fn parse_args() -> Result<Args, String> {
                 cell_timeout_ms: 60_000,
                 io_timeout_ms: 30_000,
                 drain_timeout_ms: 30_000,
+                state_dir: None,
             };
             while let Some(flag) = it.next() {
                 let mut value =
@@ -282,11 +302,11 @@ fn parse_args() -> Result<Args, String> {
                             .parse()
                             .map_err(|e| format!("--threads: {e}"))?;
                     }
-                    "--cache-cap" => {
-                        serve.cache_cap = value("--cache-cap")?
-                            .parse()
-                            .map_err(|e| format!("--cache-cap: {e}"))?;
+                    "--cache-cap" | "--cache-capacity" => {
+                        serve.cache_cap =
+                            value(&flag)?.parse().map_err(|e| format!("{flag}: {e}"))?;
                     }
+                    "--state-dir" => serve.state_dir = Some(value("--state-dir")?.into()),
                     "--cell-queue" => {
                         serve.cell_queue = value("--cell-queue")?
                             .parse()
@@ -336,6 +356,7 @@ fn parse_args() -> Result<Args, String> {
                 retries: 3,
                 connect_timeout_ms: 3_000,
                 read_timeout_ms: 30_000,
+                reconnect_retries: 0,
                 out: PathBuf::from("BENCH_serve.json"),
                 require_cache_hits: false,
             };
@@ -393,6 +414,11 @@ fn parse_args() -> Result<Args, String> {
                             .parse()
                             .map_err(|e| format!("--read-timeout: {e}"))?;
                     }
+                    "--reconnect-retries" => {
+                        lg.reconnect_retries = value("--reconnect-retries")?
+                            .parse()
+                            .map_err(|e| format!("--reconnect-retries: {e}"))?;
+                    }
                     "--out" => lg.out = value("--out")?.into(),
                     "--require-cache-hits" => lg.require_cache_hits = true,
                     "--help" | "-h" => return Err("help".into()),
@@ -417,8 +443,12 @@ fn parse_args() -> Result<Args, String> {
                 duration_ms: 2,
                 policies: vec!["static:800".into(), "memscale".into()],
                 deadline_ms: 0,
-                out: PathBuf::from("BENCH_chaos.json"),
+                out: None,
+                kill9: false,
+                state_dir: None,
+                server_bin: None,
             };
+            let mut policies_set = false;
             while let Some(flag) = it.next() {
                 let mut value =
                     |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
@@ -456,18 +486,37 @@ fn parse_args() -> Result<Args, String> {
                             .filter(|s| !s.is_empty())
                             .map(str::to_string)
                             .collect();
+                        policies_set = true;
                     }
                     "--deadline-ms" => {
                         ch.deadline_ms = value("--deadline-ms")?
                             .parse()
                             .map_err(|e| format!("--deadline-ms: {e}"))?;
                     }
-                    "--out" => ch.out = value("--out")?.into(),
+                    "--out" => ch.out = Some(value("--out")?.into()),
+                    "--kill9" => ch.kill9 = true,
+                    "--state-dir" => ch.state_dir = Some(value("--state-dir")?.into()),
+                    "--server-bin" => ch.server_bin = Some(value("--server-bin")?.into()),
                     "--help" | "-h" => return Err("help".into()),
                     other => return Err(format!("unknown chaos flag {other}")),
                 }
             }
-            if ch.addr.is_empty() {
+            if ch.kill9 {
+                if ch.state_dir.is_none() {
+                    return Err("chaos --kill9 requires --state-dir DIR".into());
+                }
+                // The harness kills the server mid-job, which needs a grid
+                // wide enough to land the kill between two completed cells
+                // and the job's end; widen the 2-cell default.
+                if !policies_set {
+                    ch.policies = vec![
+                        "static:800".into(),
+                        "static:400".into(),
+                        "static:200".into(),
+                        "memscale".into(),
+                    ];
+                }
+            } else if ch.addr.is_empty() {
                 return Err("chaos requires --addr HOST:PORT (a running server)".into());
             }
             args.command = Command::Chaos(ch);
@@ -833,6 +882,7 @@ fn run_serve(serve: &ServeArgs) -> ExitCode {
         cell_timeout_ms: serve.cell_timeout_ms,
         io_timeout_ms: serve.io_timeout_ms,
         drain_timeout_ms: serve.drain_timeout_ms,
+        state_dir: serve.state_dir.clone(),
         ..ServerConfig::default()
     };
     if serve.threads > 0 {
@@ -845,6 +895,19 @@ fn run_serve(serve: &ServeArgs) -> ExitCode {
             return ExitCode::from(1);
         }
     };
+    if let Some(report) = server.recovery_report() {
+        eprintln!(
+            "memscale-serve recovered {} cell(s), {} baseline(s), {} interrupted job(s) \
+             in {} ms (corrupt records {}, journal truncated {} B, baselines truncated {} B)",
+            report.cells_recovered,
+            report.baselines_recovered,
+            report.interrupted_jobs.len(),
+            report.replay_wall_ms,
+            report.corrupt_records,
+            report.journal_truncated_bytes,
+            report.baseline_truncated_bytes
+        );
+    }
     match server.local_addr() {
         Ok(addr) => eprintln!("memscale-serve listening on {addr}"),
         Err(_) => eprintln!("memscale-serve listening on {}", serve.addr),
@@ -878,6 +941,7 @@ fn run_loadgen(lg: &LoadgenArgs) -> ExitCode {
     cfg.max_retries = lg.retries;
     cfg.connect_timeout_ms = lg.connect_timeout_ms;
     cfg.read_timeout_ms = lg.read_timeout_ms;
+    cfg.reconnect_retries = lg.reconnect_retries;
     eprintln!(
         "loadgen: {} client(s) x {} job(s) against {} ...",
         cfg.clients, cfg.jobs_per_client, cfg.addr
@@ -942,6 +1006,14 @@ fn run_chaos(ch: &ChaosArgs) -> ExitCode {
     template.policies = ch.policies.clone();
     template.deadline_ms = (ch.deadline_ms > 0).then_some(ch.deadline_ms);
 
+    if ch.kill9 {
+        return run_kill9(ch, template);
+    }
+    let out = ch
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("BENCH_chaos.json"));
+
     let proxy_cfg = memscale_serve::ChaosConfig::new(ch.addr.clone(), ch.seed);
     let proxy = match memscale_serve::ChaosProxy::bind("127.0.0.1:0", proxy_cfg) {
         Ok(p) => p,
@@ -996,8 +1068,8 @@ fn run_chaos(ch: &ChaosArgs) -> ExitCode {
 
     let mut artifact = stats.to_bench_json_named(&cfg, "serve_chaos");
     artifact.push('\n');
-    if let Err(e) = std::fs::write(&ch.out, &artifact) {
-        eprintln!("error: writing {}: {e}", ch.out.display());
+    if let Err(e) = std::fs::write(&out, &artifact) {
+        eprintln!("error: writing {}: {e}", out.display());
         return ExitCode::from(1);
     }
     let offered = ch.clients * ch.jobs;
@@ -1026,13 +1098,77 @@ fn run_chaos(ch: &ChaosArgs) -> ExitCode {
         stats.deadline_misses,
         if probe_ok { "ok" } else { "FAILED" }
     );
-    println!("wrote {}", ch.out.display());
+    println!("wrote {}", out.display());
     if stats.protocol_errors == 0 && stats.jobs_accounted() == offered && probe_ok {
         ExitCode::SUCCESS
     } else {
         eprintln!("error: chaos run violated serving invariants");
         ExitCode::from(1)
     }
+}
+
+/// `memscale-sim chaos --kill9`: process-level crash-recovery harness.
+///
+/// Spawns the real server binary with `--state-dir`, SIGKILLs it at a
+/// seeded point mid-job, tears the journal tail, restarts it against the
+/// same directory, and asserts the recovery invariants (no duplicate or
+/// corrupt cells, warm cache hits on resubmit, byte-identical results vs
+/// an uninterrupted control run). Writes `BENCH_recovery.json`.
+fn run_kill9(ch: &ChaosArgs, template: memscale_types::serve::JobSpec) -> ExitCode {
+    let state_dir = ch.state_dir.clone().expect("checked in parse_args");
+    let server_bin = match &ch.server_bin {
+        Some(path) => path.clone(),
+        None => match std::env::current_exe() {
+            Ok(path) => path,
+            Err(e) => {
+                eprintln!("error: cannot locate this binary (pass --server-bin): {e}");
+                return ExitCode::from(1);
+            }
+        },
+    };
+    let out = ch
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("BENCH_recovery.json"));
+    let mut cfg = memscale_serve::recovery::RecoveryConfig::new(server_bin, state_dir, template);
+    cfg.seed = ch.seed;
+    eprintln!(
+        "chaos --kill9: seed {} | {} cell(s) | state dir {}",
+        ch.seed,
+        ch.policies.len(),
+        cfg.state_dir.display()
+    );
+    let outcome = match memscale_serve::recovery::run(&cfg) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: recovery invariants violated: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let mut artifact = outcome.to_bench_json(ch.seed);
+    artifact.push('\n');
+    if let Err(e) = std::fs::write(&out, &artifact) {
+        eprintln!("error: writing {}: {e}", out.display());
+        return ExitCode::from(1);
+    }
+    println!(
+        "killed after {} of {} cell(s) | journal tail torn {} B | interrupted job marked: {}",
+        outcome.cells_before_kill,
+        outcome.cells,
+        outcome.torn_tail_bytes,
+        if outcome.interrupted_job { "yes" } else { "no" }
+    );
+    println!(
+        "recovery {:.1} ms | resubmit {:.1} ms | warm hits {}/{} ({:.0}%) | byte-identical {}",
+        outcome.recovery_wall_ms,
+        outcome.resubmit_wall_ms,
+        outcome.warm_hits,
+        outcome.warm_hits + outcome.warm_misses,
+        outcome.warm_hit_rate() * 100.0,
+        if outcome.byte_identical { "yes" } else { "NO" }
+    );
+    println!("wrote {}", out.display());
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -1053,16 +1189,19 @@ fn main() -> ExitCode {
                  \x20      memscale-sim trace-info PATH\n\
                  \x20      memscale-sim check [--generation all|ddr3|ddr4|lpddr3] [--report PATH]\n\
                  \x20      memscale-sim serve --addr HOST:PORT [--queue-depth N] [--threads N]\n\
-                 \x20                  [--cache-cap N] [--cell-queue N] [--default-deadline MS]\n\
+                 \x20                  [--cache-capacity N] [--cell-queue N] [--default-deadline MS]\n\
                  \x20                  [--cell-timeout MS] [--io-timeout MS] [--drain-timeout MS]\n\
+                 \x20                  [--state-dir DIR]\n\
                  \x20      memscale-sim loadgen --addr HOST:PORT [--clients N] [--jobs N]\n\
                  \x20                  [--mix NAME] [--generation G] [--duration-ms N]\n\
                  \x20                  [--policies a,b,c] [--deadline-ms N] [--retries N]\n\
                  \x20                  [--connect-timeout MS] [--read-timeout MS]\n\
-                 \x20                  [--out PATH] [--require-cache-hits]\n\
+                 \x20                  [--reconnect-retries N] [--out PATH] [--require-cache-hits]\n\
                  \x20      memscale-sim chaos --addr HOST:PORT [--seed N] [--clients N] [--jobs N]\n\
                  \x20                  [--flood N] [--mix NAME] [--duration-ms N]\n\
                  \x20                  [--policies a,b,c] [--deadline-ms N] [--out PATH]\n\
+                 \x20      memscale-sim chaos --kill9 --state-dir DIR [--seed N]\n\
+                 \x20                  [--policies a,b,c] [--server-bin PATH] [--out PATH]\n\
                  policies: baseline fast-pd slow-pd deep-pd static:<mhz> decoupled\n\
                  \x20         memscale mem-energy memscale-pd per-channel\n\
                  mixes:    {}",

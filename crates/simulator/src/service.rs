@@ -21,7 +21,9 @@ use crate::harness::{record_trace, Experiment};
 use crate::shard::default_grid;
 use memscale::policies::PolicyKind;
 use memscale_serve::server::{JobPlan, SweepBackend};
-use memscale_trace::{format::crc32, ReplayTrace};
+use memscale_serve::wire::{decode_job, encode_job};
+use memscale_trace::format::{crc32, read_varint, write_varint};
+use memscale_trace::{ReplayTrace, TraceReader, TraceWriter};
 use memscale_types::freq::MemFreq;
 use memscale_types::serve::{CellFailure, CellMetrics, ErrorCode, JobSpec};
 use memscale_types::time::Picos;
@@ -148,6 +150,39 @@ impl SweepBackend for SimulatorBackend {
         Ok(ServeBaseline { exp, trace })
     }
 
+    /// Serializes a baseline as `varint(job JSON length) | job JSON | trace
+    /// file bytes` so the server can persist it to the baseline log. The
+    /// job spec pins the mix and configuration; the trace bytes pin the
+    /// recorded input, so decoding recalibrates deterministically.
+    fn encode_baseline(&self, job: &JobSpec, baseline: &ServeBaseline) -> Option<Vec<u8>> {
+        let job_json = encode_job(job);
+        let mut out = Vec::with_capacity(job_json.len() + 64);
+        write_varint(&mut out, job_json.len() as u64);
+        out.extend_from_slice(job_json.as_bytes());
+        let mut writer = TraceWriter::new(out, baseline.trace.header()).ok()?;
+        for app in 0..baseline.trace.apps() {
+            writer.append_stream(app, baseline.trace.events(app)).ok()?;
+        }
+        writer.finish().ok()
+    }
+
+    /// Rebuilds a baseline from [`SweepBackend::encode_baseline`]'s bytes:
+    /// parse the embedded job, read the trace (CRC-checked by the trace
+    /// format), and recalibrate — which is deterministic given the same
+    /// configuration and trace, so a recovered baseline behaves exactly
+    /// like the one that was persisted. Any defect yields `None` (the
+    /// server counts it as a corrupt record and recalibrates from scratch).
+    fn decode_baseline(&self, bytes: &[u8]) -> Option<ServeBaseline> {
+        let mut pos = 0usize;
+        let json_len = usize::try_from(read_varint(bytes, &mut pos).ok()?).ok()?;
+        let job_json = bytes.get(pos..pos.checked_add(json_len)?)?;
+        let job = decode_job(std::str::from_utf8(job_json).ok()?).ok()?;
+        let trace = TraceReader::new(bytes.get(pos + json_len..)?).read().ok()?;
+        let (mix, cfg) = self.resolve(&job).ok()?;
+        let exp = Experiment::calibrate_replay(&mix, &cfg, &trace).ok()?;
+        Some(ServeBaseline { exp, trace })
+    }
+
     fn run_cell(
         &self,
         baseline: &ServeBaseline,
@@ -247,6 +282,53 @@ mod tests {
             .run_cell(&baseline, "warp-drive", &idle)
             .expect_err("unknown policy fails");
         assert_eq!(failure.code, ErrorCode::UnknownPolicy);
+    }
+
+    #[test]
+    fn baseline_round_trips_through_bytes_bit_exactly() {
+        let job = tiny_job();
+        let idle = CancelToken::new();
+        let baseline = SimulatorBackend.calibrate(&job).expect("calibrate");
+        let bytes = SimulatorBackend
+            .encode_baseline(&job, &baseline)
+            .expect("encodes");
+        let back = SimulatorBackend
+            .decode_baseline(&bytes)
+            .expect("decodes and recalibrates");
+        let a = SimulatorBackend
+            .run_cell(&baseline, "memscale", &idle)
+            .expect("original cell");
+        let b = SimulatorBackend
+            .run_cell(&back, "memscale", &idle)
+            .expect("recovered cell");
+        assert_eq!(a.memory_savings.to_bits(), b.memory_savings.to_bits());
+        assert_eq!(a.system_savings.to_bits(), b.system_savings.to_bits());
+        assert_eq!(a.cpi_increase_avg.to_bits(), b.cpi_increase_avg.to_bits());
+        assert_eq!(a.cpi_increase_max.to_bits(), b.cpi_increase_max.to_bits());
+        assert_eq!(
+            a.mean_frequency_mhz.to_bits(),
+            b.mean_frequency_mhz.to_bits()
+        );
+    }
+
+    #[test]
+    fn corrupt_baseline_bytes_decode_as_none_not_panic() {
+        let job = tiny_job();
+        let baseline = SimulatorBackend.calibrate(&job).expect("calibrate");
+        let bytes = SimulatorBackend
+            .encode_baseline(&job, &baseline)
+            .expect("encodes");
+        assert!(SimulatorBackend.decode_baseline(&[]).is_none());
+        assert!(SimulatorBackend.decode_baseline(b"garbage").is_none());
+        // Truncating anywhere must fail cleanly, never panic.
+        for cut in [1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(SimulatorBackend.decode_baseline(&bytes[..cut]).is_none());
+        }
+        // A flipped byte in the trace body trips the format CRC.
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0xff;
+        assert!(SimulatorBackend.decode_baseline(&flipped).is_none());
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Record-payload codec helpers.
+//!
+//! Frames carry opaque payloads; the layers above (the serve journal, the
+//! baseline cache) build those payloads from varints and length-prefixed
+//! byte strings using the same LEB128 encoding as the trace format. Decode
+//! helpers are total: malformed input yields `None`, never a panic —
+//! payloads sit behind a frame CRC, so a decode failure means version skew
+//! or a writer bug, and callers skip the record rather than abort.
+
+use memscale_trace::format::{read_varint, write_varint};
+
+/// Appends a varint-encoded `u64` to `out`.
+pub fn put_u64(out: &mut Vec<u8>, value: u64) {
+    write_varint(out, value);
+}
+
+/// Appends a length-prefixed byte string to `out`.
+pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    write_varint(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+/// Appends a length-prefixed UTF-8 string to `out`.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+/// A forward-only reader over a record payload.
+#[derive(Debug)]
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Starts reading `buf` from the beginning.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    /// Reads a varint-encoded `u64`, or `None` if the payload is malformed.
+    pub fn take_u64(&mut self) -> Option<u64> {
+        read_varint(self.buf, &mut self.pos).ok()
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn take_bytes(&mut self) -> Option<&'a [u8]> {
+        let len = usize::try_from(self.take_u64()?).ok()?;
+        let end = self.pos.checked_add(len)?;
+        let slice = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn take_str(&mut self) -> Option<&'a str> {
+        std::str::from_utf8(self.take_bytes()?).ok()
+    }
+
+    /// True when every byte has been consumed — decoders check this to
+    /// reject payloads with trailing garbage.
+    pub fn is_empty(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_mixed_fields() {
+        let mut out = Vec::new();
+        put_u64(&mut out, 0);
+        put_u64(&mut out, u64::MAX);
+        put_str(&mut out, "static:800");
+        put_bytes(&mut out, &[1, 2, 3]);
+        let mut cur = Cursor::new(&out);
+        assert_eq!(cur.take_u64(), Some(0));
+        assert_eq!(cur.take_u64(), Some(u64::MAX));
+        assert_eq!(cur.take_str(), Some("static:800"));
+        assert_eq!(cur.take_bytes(), Some(&[1u8, 2, 3][..]));
+        assert!(cur.is_empty());
+    }
+
+    #[test]
+    fn truncated_and_overlong_inputs_yield_none() {
+        let mut out = Vec::new();
+        put_str(&mut out, "memscale");
+        for cut in 0..out.len() {
+            let mut cur = Cursor::new(&out[..cut]);
+            assert_eq!(cur.take_str(), None, "cut at {cut}");
+        }
+        // Length prefix promising more bytes than the payload holds.
+        let mut bogus = Vec::new();
+        put_u64(&mut bogus, 1000);
+        bogus.push(b'x');
+        assert_eq!(Cursor::new(&bogus).take_bytes(), None);
+        // Invalid UTF-8 is a decode failure, not a panic.
+        let mut raw = Vec::new();
+        put_bytes(&mut raw, &[0xFF, 0xFE]);
+        assert_eq!(Cursor::new(&raw).take_str(), None);
+    }
+}

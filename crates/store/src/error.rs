@@ -1,0 +1,118 @@
+//! Structured store errors.
+//!
+//! Every failure mode of opening, scanning or appending a record log is a
+//! [`StoreError`] value. The crate never panics on malformed input: a torn
+//! or corrupted tail is *recovered* (truncated), and only defects that
+//! cannot be safely repaired — a foreign file, a newer format, real I/O
+//! failures — surface as errors.
+
+use std::fmt;
+
+/// Everything that can go wrong producing or consuming a record log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// An underlying I/O operation failed.
+    Io {
+        /// What the store layer was doing when the I/O failed.
+        context: &'static str,
+        /// The OS error kind.
+        kind: std::io::ErrorKind,
+        /// The OS error message.
+        message: String,
+    },
+    /// The file does not start with the store magic — it is not a record
+    /// log, and truncating it would destroy someone else's data.
+    BadMagic,
+    /// The file's format version is newer than this build understands.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u16,
+        /// Newest version this build reads.
+        supported: u16,
+    },
+    /// The file is a record log, but for a different purpose (e.g. a
+    /// baseline log opened where the job journal was expected).
+    WrongPurpose {
+        /// Purpose byte found in the header.
+        found: u8,
+        /// Purpose byte the caller expected.
+        expected: u8,
+    },
+    /// The header is complete but fails its CRC: the first 16 bytes were
+    /// overwritten in place, which append-only crashes cannot produce.
+    HeaderCorrupt {
+        /// Human-readable description of the defect.
+        detail: String,
+    },
+    /// A record payload exceeds [`crate::log::MAX_RECORD_BYTES`] and
+    /// cannot be framed.
+    RecordTooLarge {
+        /// Payload size that was offered.
+        len: usize,
+    },
+}
+
+impl StoreError {
+    /// Wraps an [`std::io::Error`] with the operation it interrupted.
+    pub fn io(context: &'static str, err: &std::io::Error) -> Self {
+        StoreError::Io {
+            context,
+            kind: err.kind(),
+            message: err.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io {
+                context,
+                kind,
+                message,
+            } => write!(f, "store I/O failed while {context}: {message} ({kind:?})"),
+            StoreError::BadMagic => write!(f, "not a memscale record log (bad magic)"),
+            StoreError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "record log format v{found} is newer than this build (supports up to v{supported})"
+            ),
+            StoreError::WrongPurpose { found, expected } => write!(
+                f,
+                "record log has purpose {found:#04x} but {expected:#04x} was expected"
+            ),
+            StoreError::HeaderCorrupt { detail } => {
+                write!(f, "corrupt record-log header: {detail}")
+            }
+            StoreError::RecordTooLarge { len } => {
+                write!(f, "record payload of {len} bytes exceeds the frame limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_readable() {
+        let e = StoreError::UnsupportedVersion {
+            found: 7,
+            supported: 1,
+        };
+        assert!(e.to_string().contains("v7"));
+        assert!(StoreError::BadMagic.to_string().contains("magic"));
+        let e = StoreError::WrongPurpose {
+            found: 2,
+            expected: 1,
+        };
+        assert!(e.to_string().contains("0x02") && e.to_string().contains("0x01"));
+        let e = StoreError::io(
+            "opening log",
+            &std::io::Error::new(std::io::ErrorKind::PermissionDenied, "nope"),
+        );
+        assert!(e.to_string().contains("opening log"));
+    }
+}

@@ -1,0 +1,34 @@
+//! Crash-consistent record logs for durable sweep state (`memscale-store`).
+//!
+//! MemScale's evaluation hinges on frequency×policy sweep campaigns far
+//! larger than one server process lifetime, so the sweep server's caches
+//! and job journal must survive hard crashes. This crate supplies the
+//! storage primitive they sit on:
+//!
+//! * an **append-only, CRC-framed record log** ([`RecordLog`]) — a
+//!   16-byte magic/version/purpose header followed by
+//!   `len | payload | crc32(payload)` frames, written with
+//!   fsync-on-commit semantics ([`RecordLog::commit`] is `fdatasync`);
+//! * **torn-tail recovery** — [`RecordLog::open`] scans and validates
+//!   every frame, truncates the file at the first bad one, and reports
+//!   what it kept and dropped via [`Recovery`]; arbitrary bytes can never
+//!   panic the scanner, and unrepairable defects (foreign file, newer
+//!   version, purpose mismatch) are structured [`StoreError`]s;
+//! * **payload codec helpers** ([`mod@codec`]) — the same LEB128
+//!   varint/length-prefix idioms as the trace format, re-exported so log
+//!   consumers encode records without depending on `memscale-trace`
+//!   directly.
+//!
+//! The CRC and varint primitives are shared with
+//! [`memscale_trace::format`], keeping one checksum and one integer
+//! encoding across every on-disk artifact in the workspace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod error;
+pub mod log;
+
+pub use error::StoreError;
+pub use log::{RecordLog, Recovery};

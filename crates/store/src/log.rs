@@ -1,0 +1,458 @@
+//! The append-only, CRC-framed record log.
+//!
+//! # On-disk layout
+//!
+//! ```text
+//! header (16 bytes):  magic "MEMSCSTR" | version u16 LE | purpose u8 |
+//!                     reserved u8      | crc32(first 12 bytes) u32 LE
+//! frame  (repeated):  payload_len u32 LE | payload | crc32(payload) u32 LE
+//! ```
+//!
+//! Writers append whole frames and make them durable with
+//! [`RecordLog::commit`] (`fdatasync`). A crash — including `kill -9` —
+//! can therefore leave at most a *torn tail*: zero or more complete,
+//! valid frames followed by a partial or corrupt one. [`RecordLog::open`]
+//! scans every frame, validates its CRC, and truncates the file at the
+//! first bad frame; everything after the first defect is discarded even
+//! if it happens to look valid, because appends are strictly sequential
+//! and bytes past a torn frame cannot have been produced by a sane
+//! writer. Recovery never panics: only defects that cannot be repaired
+//! safely — a foreign file, a newer format version, a purpose mismatch —
+//! surface as [`StoreError`]s.
+
+use crate::error::StoreError;
+use memscale_trace::format::crc32;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// First eight bytes of every record log.
+pub const MAGIC: [u8; 8] = *b"MEMSCSTR";
+/// Newest format version this build reads and the only one it writes.
+pub const FORMAT_VERSION: u16 = 1;
+/// Fixed size of the file header.
+pub const HEADER_LEN: usize = 16;
+/// Bytes of framing around each payload (length prefix + CRC suffix).
+pub const FRAME_OVERHEAD: usize = 8;
+/// Upper bound on a single record payload. A length prefix above this is
+/// treated as frame corruption rather than an allocation request.
+pub const MAX_RECORD_BYTES: usize = 16 * 1024 * 1024;
+
+/// What [`RecordLog::open`] found on disk.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Recovery {
+    /// Payloads of every valid frame, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Bytes discarded from the tail (partial header, torn or corrupt
+    /// final frames). Zero for a cleanly closed log.
+    pub truncated_bytes: u64,
+    /// True when the log did not exist (or held no complete header) and
+    /// was initialised fresh.
+    pub created: bool,
+}
+
+/// Encodes the 16-byte file header for `purpose`.
+pub fn encode_header(purpose: u8) -> [u8; HEADER_LEN] {
+    let mut header = [0u8; HEADER_LEN];
+    header[..8].copy_from_slice(&MAGIC);
+    header[8..10].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+    header[10] = purpose;
+    header[11] = 0;
+    let crc = crc32(&header[..12]);
+    header[12..16].copy_from_slice(&crc.to_le_bytes());
+    header
+}
+
+/// Frames `payload` as `len | payload | crc`.
+pub fn encode_frame(payload: &[u8]) -> Result<Vec<u8>, StoreError> {
+    let Ok(len) = u32::try_from(payload.len()) else {
+        return Err(StoreError::RecordTooLarge { len: payload.len() });
+    };
+    if payload.len() > MAX_RECORD_BYTES {
+        return Err(StoreError::RecordTooLarge { len: payload.len() });
+    }
+    let mut frame = Vec::with_capacity(payload.len() + FRAME_OVERHEAD);
+    frame.extend_from_slice(&len.to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame.extend_from_slice(&crc32(payload).to_le_bytes());
+    Ok(frame)
+}
+
+/// Reads a little-endian `u32` at `pos`, or `None` past the end.
+fn read_u32_le(bytes: &[u8], pos: usize) -> Option<u32> {
+    let slice = bytes.get(pos..pos.checked_add(4)?)?;
+    Some(u32::from_le_bytes([slice[0], slice[1], slice[2], slice[3]]))
+}
+
+/// Scans the frame region of a log (header already stripped), returning
+/// every valid payload and the byte length of the valid prefix. Scanning
+/// stops at the first incomplete or CRC-failing frame.
+pub fn scan_frames(bytes: &[u8]) -> (Vec<Vec<u8>>, usize) {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while let Some(len) = read_u32_le(bytes, pos) {
+        let len = len as usize;
+        if len > MAX_RECORD_BYTES {
+            break;
+        }
+        let Some(payload_end) = pos.checked_add(4).and_then(|p| p.checked_add(len)) else {
+            break;
+        };
+        let Some(payload) = bytes.get(pos + 4..payload_end) else {
+            break;
+        };
+        let Some(stored_crc) = read_u32_le(bytes, payload_end) else {
+            break;
+        };
+        if crc32(payload) != stored_crc {
+            break;
+        }
+        records.push(payload.to_vec());
+        pos = payload_end + 4;
+    }
+    (records, pos)
+}
+
+/// Makes the directory entry for `path` durable (so a freshly created log
+/// survives a crash of the *filesystem metadata*, not just its contents).
+fn sync_parent(path: &Path) -> Result<(), StoreError> {
+    let Some(parent) = path.parent() else {
+        return Ok(());
+    };
+    if parent.as_os_str().is_empty() {
+        return Ok(());
+    }
+    let dir = File::open(parent).map_err(|e| StoreError::io("opening log directory", &e))?;
+    dir.sync_all()
+        .map_err(|e| StoreError::io("syncing log directory", &e))
+}
+
+/// An open, append-positioned record log.
+#[derive(Debug)]
+pub struct RecordLog {
+    file: File,
+}
+
+impl RecordLog {
+    /// Opens (creating if absent) the log at `path`, recovers its valid
+    /// prefix, truncates any torn tail, and leaves the file positioned
+    /// for appends.
+    ///
+    /// `purpose` is an application-chosen byte distinguishing log kinds
+    /// (e.g. job journal vs. baseline cache); opening a log written with
+    /// a different purpose is an error, not a recovery.
+    pub fn open(path: &Path, purpose: u8) -> Result<(Self, Recovery), StoreError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| StoreError::io("opening record log", &e))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)
+            .map_err(|e| StoreError::io("reading record log", &e))?;
+
+        if bytes.len() < HEADER_LEN {
+            // Fresh file, or a header torn mid-write. No frame can have
+            // committed before the header did, so initialise clean.
+            let recovery = Recovery {
+                records: Vec::new(),
+                truncated_bytes: bytes.len() as u64,
+                created: true,
+            };
+            file.set_len(0)
+                .and_then(|()| file.seek(SeekFrom::Start(0)).map(|_| ()))
+                .and_then(|()| file.write_all(&encode_header(purpose)))
+                .and_then(|()| file.sync_all())
+                .map_err(|e| StoreError::io("initialising record log", &e))?;
+            sync_parent(path)?;
+            return Ok((RecordLog { file }, recovery));
+        }
+
+        if bytes[..8] != MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        let stored_crc = read_u32_le(&bytes, 12).unwrap_or(0);
+        if crc32(&bytes[..12]) != stored_crc {
+            return Err(StoreError::HeaderCorrupt {
+                detail: "header CRC mismatch".into(),
+            });
+        }
+        let version = u16::from_le_bytes([bytes[8], bytes[9]]);
+        if version > FORMAT_VERSION {
+            return Err(StoreError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        if bytes[10] != purpose {
+            return Err(StoreError::WrongPurpose {
+                found: bytes[10],
+                expected: purpose,
+            });
+        }
+
+        let (records, consumed) = scan_frames(&bytes[HEADER_LEN..]);
+        let valid_len = HEADER_LEN + consumed;
+        let truncated_bytes = (bytes.len() - valid_len) as u64;
+        if truncated_bytes > 0 {
+            file.set_len(valid_len as u64)
+                .and_then(|()| file.sync_all())
+                .map_err(|e| StoreError::io("truncating torn tail", &e))?;
+        }
+        file.seek(SeekFrom::End(0))
+            .map_err(|e| StoreError::io("seeking to log end", &e))?;
+        Ok((
+            RecordLog { file },
+            Recovery {
+                records,
+                truncated_bytes,
+                created: false,
+            },
+        ))
+    }
+
+    /// Appends one framed record. Not durable until [`Self::commit`]; a
+    /// crash in between leaves a torn tail the next open truncates.
+    pub fn append(&mut self, payload: &[u8]) -> Result<(), StoreError> {
+        let frame = encode_frame(payload)?;
+        self.file
+            .write_all(&frame)
+            .map_err(|e| StoreError::io("appending record", &e))
+    }
+
+    /// Makes every appended record durable (`fdatasync`).
+    pub fn commit(&mut self) -> Result<(), StoreError> {
+        self.file
+            .sync_data()
+            .map_err(|e| StoreError::io("committing record log", &e))
+    }
+
+    /// Appends one record and commits it — the write-ahead discipline's
+    /// common case.
+    pub fn append_commit(&mut self, payload: &[u8]) -> Result<(), StoreError> {
+        self.append(payload)?;
+        self.commit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+
+    /// A unique scratch path, removed when dropped.
+    struct Scratch(PathBuf);
+
+    impl Scratch {
+        fn new(tag: &str) -> Self {
+            let n = SEQ.fetch_add(1, Ordering::Relaxed);
+            Scratch(std::env::temp_dir().join(format!(
+                "memscale_store_{tag}_{}_{n}.log",
+                std::process::id()
+            )))
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    #[test]
+    fn fresh_log_round_trips_records() {
+        let scratch = Scratch::new("fresh");
+        let (mut log, rec) = RecordLog::open(&scratch.0, 1).expect("open");
+        assert!(rec.created && rec.records.is_empty());
+        log.append_commit(b"alpha").expect("append");
+        log.append_commit(b"").expect("append empty");
+        log.append(b"beta").expect("append");
+        log.commit().expect("commit");
+        drop(log);
+        let (_, rec) = RecordLog::open(&scratch.0, 1).expect("reopen");
+        assert!(!rec.created);
+        assert_eq!(rec.truncated_bytes, 0);
+        assert_eq!(
+            rec.records,
+            vec![b"alpha".to_vec(), Vec::new(), b"beta".to_vec()]
+        );
+    }
+
+    #[test]
+    fn every_truncation_point_of_the_tail_recovers() {
+        let scratch = Scratch::new("torn");
+        let (mut log, _) = RecordLog::open(&scratch.0, 1).expect("open");
+        let payloads: [&[u8]; 3] = [b"first-record", b"second", b"the-final-frame"];
+        for p in payloads {
+            log.append_commit(p).expect("append");
+        }
+        drop(log);
+        let full = std::fs::read(&scratch.0).expect("read back");
+        // Frame end offsets within the file.
+        let mut ends = Vec::new();
+        let mut off = HEADER_LEN;
+        for p in payloads {
+            off += p.len() + FRAME_OVERHEAD;
+            ends.push(off);
+        }
+        assert_eq!(off, full.len());
+
+        for cut in 0..full.len() {
+            let torn = Scratch::new("torn_cut");
+            std::fs::write(&torn.0, &full[..cut]).expect("write torn");
+            let (mut log, rec) = RecordLog::open(&torn.0, 1).expect("recover never errors");
+            let expect_records = ends.iter().filter(|&&e| e <= cut).count();
+            assert_eq!(rec.records.len(), expect_records, "cut at {cut}");
+            for (i, r) in rec.records.iter().enumerate() {
+                assert_eq!(r.as_slice(), payloads[i], "cut at {cut}");
+            }
+            if cut < HEADER_LEN {
+                assert!(rec.created);
+            } else {
+                let valid = ends[..expect_records].last().copied().unwrap_or(HEADER_LEN);
+                assert_eq!(rec.truncated_bytes, (cut - valid) as u64, "cut at {cut}");
+            }
+            // The recovered log must accept and retain new appends.
+            log.append_commit(b"post-recovery")
+                .expect("append after recovery");
+            drop(log);
+            let (_, rec2) = RecordLog::open(&torn.0, 1).expect("reopen");
+            assert_eq!(rec2.records.len(), expect_records + 1, "cut at {cut}");
+            assert_eq!(rec2.records.last().unwrap().as_slice(), b"post-recovery");
+        }
+    }
+
+    #[test]
+    fn corrupt_middle_frame_discards_everything_after_it() {
+        let scratch = Scratch::new("mid");
+        let (mut log, _) = RecordLog::open(&scratch.0, 1).expect("open");
+        for p in [b"aaaa".as_slice(), b"bbbb", b"cccc"] {
+            log.append_commit(p).expect("append");
+        }
+        drop(log);
+        let mut bytes = std::fs::read(&scratch.0).expect("read");
+        // Flip one payload byte of the second frame.
+        let second_payload = HEADER_LEN + (4 + FRAME_OVERHEAD) + 4;
+        bytes[second_payload] ^= 0xFF;
+        std::fs::write(&scratch.0, &bytes).expect("write corrupt");
+        let (_, rec) = RecordLog::open(&scratch.0, 1).expect("recover");
+        assert_eq!(rec.records, vec![b"aaaa".to_vec()]);
+        assert!(rec.truncated_bytes > 0);
+    }
+
+    #[test]
+    fn garbage_tail_is_truncated() {
+        let scratch = Scratch::new("garbage");
+        let (mut log, _) = RecordLog::open(&scratch.0, 3).expect("open");
+        log.append_commit(b"kept").expect("append");
+        drop(log);
+        let mut bytes = std::fs::read(&scratch.0).expect("read");
+        bytes.extend_from_slice(&[0xDE, 0xAD, 0xBE]);
+        std::fs::write(&scratch.0, &bytes).expect("write");
+        let (_, rec) = RecordLog::open(&scratch.0, 3).expect("recover");
+        assert_eq!(rec.records, vec![b"kept".to_vec()]);
+        assert_eq!(rec.truncated_bytes, 3);
+        let len = std::fs::metadata(&scratch.0).expect("meta").len();
+        assert_eq!(len, (bytes.len() - 3) as u64);
+    }
+
+    #[test]
+    fn foreign_and_mismatched_files_are_errors_not_recoveries() {
+        let scratch = Scratch::new("foreign");
+        std::fs::write(&scratch.0, b"definitely not a record log file").expect("write");
+        assert_eq!(
+            RecordLog::open(&scratch.0, 1).unwrap_err(),
+            StoreError::BadMagic
+        );
+
+        let scratch = Scratch::new("purpose");
+        let (_, _) = RecordLog::open(&scratch.0, 1).expect("create");
+        let err = RecordLog::open(&scratch.0, 2).unwrap_err();
+        assert_eq!(
+            err,
+            StoreError::WrongPurpose {
+                found: 1,
+                expected: 2
+            }
+        );
+
+        let scratch = Scratch::new("version");
+        let mut header = encode_header(1);
+        header[8..10].copy_from_slice(&99u16.to_le_bytes());
+        let crc = crc32(&header[..12]);
+        header[12..16].copy_from_slice(&crc.to_le_bytes());
+        std::fs::write(&scratch.0, header).expect("write");
+        assert!(matches!(
+            RecordLog::open(&scratch.0, 1).unwrap_err(),
+            StoreError::UnsupportedVersion { found: 99, .. }
+        ));
+
+        let scratch = Scratch::new("hdrcrc");
+        let mut header = encode_header(1);
+        header[13] ^= 0x01;
+        std::fs::write(&scratch.0, header).expect("write");
+        assert!(matches!(
+            RecordLog::open(&scratch.0, 1).unwrap_err(),
+            StoreError::HeaderCorrupt { .. }
+        ));
+    }
+
+    #[test]
+    fn oversized_payload_is_rejected() {
+        let err = encode_frame(&vec![0u8; MAX_RECORD_BYTES + 1]).unwrap_err();
+        assert!(matches!(err, StoreError::RecordTooLarge { .. }));
+    }
+
+    #[test]
+    fn bogus_length_prefix_does_not_allocate() {
+        // A length prefix of u32::MAX must be treated as corruption, not
+        // an allocation request.
+        let mut region = Vec::new();
+        region.extend_from_slice(&u32::MAX.to_le_bytes());
+        region.extend_from_slice(&[0u8; 64]);
+        let (records, consumed) = scan_frames(&region);
+        assert!(records.is_empty());
+        assert_eq!(consumed, 0);
+    }
+
+    mod fuzz {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn arbitrary_payload_sequences_round_trip(
+                payloads in prop::collection::vec(
+                    prop::collection::vec(any::<u8>(), 0..256), 0..12),
+            ) {
+                let scratch = Scratch::new("prop_rt");
+                let (mut log, rec) = RecordLog::open(&scratch.0, 7).expect("open");
+                prop_assert!(rec.created);
+                for p in &payloads {
+                    log.append(p).expect("append");
+                }
+                log.commit().expect("commit");
+                drop(log);
+                let (_, rec) = RecordLog::open(&scratch.0, 7).expect("reopen");
+                prop_assert_eq!(rec.records, payloads);
+                prop_assert_eq!(rec.truncated_bytes, 0);
+            }
+
+            #[test]
+            fn scan_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+                let (records, consumed) = scan_frames(&bytes);
+                // The valid prefix re-scans to the same records.
+                let (again, consumed_again) = scan_frames(&bytes[..consumed]);
+                prop_assert_eq!(records, again);
+                prop_assert_eq!(consumed, consumed_again);
+            }
+        }
+    }
+}

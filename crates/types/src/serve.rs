@@ -314,6 +314,8 @@ pub struct JobSummary {
     pub cache_hits: u64,
     /// Cache misses this job observed.
     pub cache_misses: u64,
+    /// Cache entries this job's inserts evicted (cells plus baselines).
+    pub evictions: u64,
     /// Server-side wall-clock of the job, milliseconds.
     pub wall_ms: f64,
     /// Why the job closed ([`DoneReason::Complete`] in the happy path).
@@ -404,6 +406,7 @@ mod tests {
             failed: 0,
             cache_hits: 3,
             cache_misses: 1,
+            evictions: 0,
             wall_ms: 12.0,
             reason: DoneReason::Complete,
         };

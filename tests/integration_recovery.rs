@@ -1,0 +1,85 @@
+//! End-to-end crash-recovery test: the harness in
+//! `memscale_serve::recovery` spawns the *real* `memscale-sim` binary,
+//! SIGKILLs it mid-job at a seeded point, tears the journal tail,
+//! restarts it against the same `--state-dir`, and asserts the recovery
+//! invariants — no duplicate or corrupt cells, warm cache hits on the
+//! resubmitted job, results byte-identical to an uninterrupted control
+//! run. This is the same path `memscale-sim chaos --kill9` and the CI
+//! `recovery-smoke` job exercise.
+
+use memscale_serve::recovery::{self, RecoveryConfig};
+use memscale_types::serve::JobSpec;
+
+/// A temp state directory removed on drop.
+struct ScratchDir(std::path::PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("memscale_rec_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ScratchDir(dir)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn tiny_grid_job() -> JobSpec {
+    let mut job = JobSpec::for_mix("recovery", "MID1");
+    job.duration_ms = 2;
+    job.policies = vec![
+        "static:800".into(),
+        "static:400".into(),
+        "static:200".into(),
+        "memscale".into(),
+    ];
+    job
+}
+
+#[test]
+fn kill9_mid_job_recovers_with_warm_cache_and_identical_results() {
+    let scratch = ScratchDir::new("kill9");
+    let server_bin = std::path::PathBuf::from(env!("CARGO_BIN_EXE_memscale-sim"));
+    let mut cfg = RecoveryConfig::new(server_bin, scratch.0.clone(), tiny_grid_job());
+    cfg.seed = 42;
+    let outcome = recovery::run(&cfg).expect("recovery invariants hold");
+
+    assert_eq!(outcome.cells, 4);
+    assert!(
+        outcome.cells_before_kill >= 2 && outcome.cells_before_kill < outcome.cells,
+        "kill landed mid-job: {outcome:?}"
+    );
+    assert!(outcome.torn_tail_bytes > 0, "the journal tail was torn");
+    assert!(
+        outcome.interrupted_job,
+        "the restarted server marked the crashed job interrupted"
+    );
+    assert!(
+        outcome.warm_hits >= 1,
+        "at least one journaled cell survives the tear: {outcome:?}"
+    );
+    assert!(outcome.byte_identical, "recovered results are bit-exact");
+    assert_eq!(outcome.protocol_errors, 0);
+    assert!(outcome.recovery_wall_ms >= 0.0);
+
+    // The artifact parses and carries the headline fields CI greps for.
+    let artifact = outcome.to_bench_json(cfg.seed);
+    assert!(artifact.contains("\"benchmark\":\"serve_recovery\""));
+    assert!(artifact.contains("\"byte_identical\":true"));
+    assert!(artifact.contains("\"warm_hit_rate\""));
+    assert!(artifact.contains("\"recovery_wall_ms\""));
+}
+
+#[test]
+fn grids_too_small_to_kill_mid_job_are_rejected() {
+    let scratch = ScratchDir::new("tiny");
+    let server_bin = std::path::PathBuf::from(env!("CARGO_BIN_EXE_memscale-sim"));
+    let mut job = tiny_grid_job();
+    job.policies.truncate(2);
+    let cfg = RecoveryConfig::new(server_bin, scratch.0.clone(), job);
+    let err = recovery::run(&cfg).expect_err("2-cell grid leaves no mid-job kill point");
+    assert!(err.contains("at least 3"), "{err}");
+}

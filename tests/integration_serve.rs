@@ -84,7 +84,6 @@ impl SweepBackend for Stub {
 }
 
 fn spawn_server(queue_depth: usize) -> (std::net::SocketAddr, Arc<StubBackend>) {
-    let backend = Arc::new(StubBackend::default());
     let cfg = ServerConfig {
         queue_depth,
         threads: 2,
@@ -92,6 +91,11 @@ fn spawn_server(queue_depth: usize) -> (std::net::SocketAddr, Arc<StubBackend>) 
         cache_cap: 64,
         ..ServerConfig::default()
     };
+    spawn_server_with(cfg)
+}
+
+fn spawn_server_with(cfg: ServerConfig) -> (std::net::SocketAddr, Arc<StubBackend>) {
+    let backend = Arc::new(StubBackend::default());
     let server =
         SweepServer::bind("127.0.0.1:0", cfg, Stub(Arc::clone(&backend))).expect("bind ephemeral");
     let addr = server.local_addr().expect("local addr");
@@ -99,6 +103,23 @@ fn spawn_server(queue_depth: usize) -> (std::net::SocketAddr, Arc<StubBackend>) 
         let _ = server.run();
     });
     (addr, backend)
+}
+
+/// A temp state directory removed on drop.
+struct ScratchDir(std::path::PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("memscale_it_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ScratchDir(dir)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
 }
 
 /// Submits one raw line and reads responses until `done` or `error`.
@@ -185,8 +206,11 @@ fn resubmitted_job_answers_from_cache() {
     );
     match responses.last().expect("non-empty") {
         Response::Done { summary, .. } => {
-            assert_eq!(summary.cache_hits, 3, "baseline + 2 cells hit");
+            // Every cell answered from cache, so the baseline is never
+            // even looked up: 2 hits, not 3.
+            assert_eq!(summary.cache_hits, 2, "2 cells hit, baseline skipped");
             assert_eq!(summary.cache_misses, 0);
+            assert_eq!(summary.evictions, 0);
             assert!((summary.hit_rate() - 1.0).abs() < 1e-12);
         }
         other => panic!("expected done, got {other:?}"),
@@ -325,6 +349,74 @@ fn zero_depth_server_rejects_with_structured_overloaded() {
         }
         other => panic!("expected overloaded, got {other:?}"),
     }
+}
+
+#[test]
+fn overflowing_cache_reports_evictions_in_done() {
+    let cfg = ServerConfig {
+        queue_depth: 8,
+        threads: 2,
+        cell_queue: 16,
+        cache_cap: 2,
+        ..ServerConfig::default()
+    };
+    let (addr, _) = spawn_server_with(cfg);
+    let (mut stream, mut reader) = connect(addr);
+    let mut job = JobSpec::for_mix("e1", "MID1");
+    submit_raw(&mut stream, &mut reader, &encode_job(&job));
+    job.id = "e2".into();
+    job.duration_ms += 1; // new fingerprint: 2 fresh cells displace e1's
+    let responses = submit_raw(&mut stream, &mut reader, &encode_job(&job));
+    match responses.last().expect("non-empty") {
+        Response::Done { summary, .. } => {
+            assert_eq!(summary.evictions, 2, "e1's two cells evicted: {summary:?}");
+        }
+        other => panic!("expected done, got {other:?}"),
+    }
+}
+
+#[test]
+fn state_dir_server_restarts_with_warm_cell_cache() {
+    let scratch = ScratchDir::new("state");
+    let cfg = ServerConfig {
+        queue_depth: 8,
+        threads: 2,
+        cell_queue: 16,
+        cache_cap: 64,
+        state_dir: Some(scratch.0.clone()),
+        ..ServerConfig::default()
+    };
+    let (addr, first_backend) = spawn_server_with(cfg.clone());
+    let (mut stream, mut reader) = connect(addr);
+    let job = JobSpec::for_mix("durable", "MID1");
+    let line = encode_job(&job);
+    let responses = submit_raw(&mut stream, &mut reader, &line);
+    assert!(matches!(responses.last(), Some(Response::Done { .. })));
+    assert_eq!(first_backend.calibrations.load(Ordering::Relaxed), 1);
+    drop((stream, reader));
+
+    // A second server over the same state dir replays the journal: the
+    // resubmitted job answers every cell from the recovered cache without
+    // a single calibration.
+    let (addr2, second_backend) = spawn_server_with(cfg);
+    let (mut stream, mut reader) = connect(addr2);
+    let responses = submit_raw(&mut stream, &mut reader, &line);
+    let cached_cells = responses
+        .iter()
+        .filter(|r| matches!(r, Response::Cell { outcome, .. } if outcome.cached))
+        .count();
+    assert_eq!(cached_cells, 2, "recovered cells serve warm: {responses:?}");
+    match responses.last().expect("non-empty") {
+        Response::Done { summary, .. } => {
+            assert_eq!((summary.cache_hits, summary.cache_misses), (2, 0));
+        }
+        other => panic!("expected done, got {other:?}"),
+    }
+    assert_eq!(
+        second_backend.calibrations.load(Ordering::Relaxed),
+        0,
+        "warm restart never recalibrates"
+    );
 }
 
 #[test]
