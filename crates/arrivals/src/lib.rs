@@ -1,0 +1,41 @@
+//! Open-loop service workloads for the MemScale simulator
+//! (`memscale-arrivals`).
+//!
+//! The paper's evaluation judges policies on *average* slowdown of batch
+//! mixes; the datacenter scenario the ROADMAP describes judges them on
+//! **tail latency under open-loop traffic**. This crate supplies that
+//! evaluation axis:
+//!
+//! * [`spec::ArrivalSpec`] — seeded deterministic arrival processes:
+//!   Poisson, bursty MMPP (on/off modulated Poisson) and piecewise-constant
+//!   diurnal rate schedules loadable from a small JSON trace;
+//! * [`process::ArrivalProcess`] — turns a spec + seed into the exact
+//!   arrival-instant sequence (exponential inverse-transform sampling with
+//!   memoryless restart at rate-segment boundaries, which is *exact* for
+//!   piecewise-constant rates);
+//! * [`source::RequestSource`] — fans each request out across cores as a
+//!   burst of LLC-miss activity, implementing the same
+//!   [`memscale_workloads::MissSource`] interface as the synthetic mix
+//!   generators, so service traffic records and replays through
+//!   `memscale-trace` like everything else;
+//! * [`tracker::RequestTracker`] — per-request submit-to-complete latency
+//!   tracking, aggregated into the p50/p95/p99 + SLO-violation statistics
+//!   of [`memscale_types::requests::RequestStats`].
+//!
+//! Randomness is domain-separated from workload content
+//! ([`memscale_workloads::rng::DOMAIN_ARRIVALS`] vs
+//! [`memscale_workloads::rng::DOMAIN_WORKLOAD`]): the same user seed never
+//! correlates *when* requests arrive with *what* they touch.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod process;
+pub mod source;
+pub mod spec;
+pub mod tracker;
+
+pub use process::ArrivalProcess;
+pub use source::{RequestModel, RequestSource};
+pub use spec::{ArrivalError, ArrivalSpec, RateSegment};
+pub use tracker::RequestTracker;

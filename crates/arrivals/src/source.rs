@@ -1,0 +1,298 @@
+//! Open-loop request traffic as a [`MissSource`].
+//!
+//! Each service request fans out across every core as a burst of
+//! `misses_per_core` LLC misses. The open-loop arrival schedule is encoded
+//! *into the stream itself*: the first miss of request *k* carries an
+//! instruction gap sized so that, at the core's nominal (base-CPI) speed,
+//! the core reaches that miss at request *k*'s arrival instant — minus the
+//! compute work of the burst it just finished. Because the stream is a pure
+//! function of `(spec, seed, core, model)` and never consults the memory
+//! policy, it records and replays through `memscale-trace` bit-exactly,
+//! and every policy in a sweep faces the *identical* request sequence.
+//!
+//! The approximation this buys: arrivals are exact at nominal speed, and a
+//! policy that slows memory down cannot consume the stream fast enough —
+//! the backlog shows up as completion drift, i.e. growing request latency,
+//! which is precisely the signal the SLO evaluation wants to observe.
+
+use crate::process::ArrivalProcess;
+use crate::spec::ArrivalSpec;
+use memscale_types::address::PhysAddr;
+use memscale_types::ids::AppId;
+use memscale_types::time::Picos;
+use memscale_workloads::generator::{MissEvent, MissSource};
+use memscale_workloads::rng::{substream_key, ChaCha8, DOMAIN_WORKLOAD};
+
+/// How much memory work one request generates on each core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestModel {
+    /// LLC misses each core serves per request (≥ 1).
+    pub misses_per_core: u64,
+    /// Instructions retired between consecutive misses of a burst (≥ 1).
+    pub gap_instructions: u64,
+    /// Probability that a burst miss continues the sequential address
+    /// stream instead of jumping within the core's slice (`[0, 1]`).
+    pub locality: f64,
+}
+
+impl Default for RequestModel {
+    /// ≈ 0.4 M instructions and 2 000 misses per core per request: a few
+    /// hundred microseconds of service time on a nominal core, so offered
+    /// rates in the hundreds-to-thousands of requests per second span the
+    /// under- to over-load range.
+    fn default() -> Self {
+        RequestModel {
+            misses_per_core: 2_000,
+            gap_instructions: 200,
+            locality: 0.6,
+        }
+    }
+}
+
+impl RequestModel {
+    /// Instructions one core retires serving one request's burst.
+    pub fn work_instructions(&self) -> u64 {
+        self.misses_per_core.saturating_mul(self.gap_instructions)
+    }
+
+    /// Panics if the model is degenerate (empty bursts, zero gaps, or a
+    /// locality outside the unit interval).
+    pub fn validate(&self) {
+        assert!(self.misses_per_core >= 1, "bursts need at least one miss");
+        assert!(self.gap_instructions >= 1, "gaps must be at least 1");
+        assert!(
+            (0.0..=1.0).contains(&self.locality),
+            "locality must be in [0, 1], got {}",
+            self.locality
+        );
+    }
+}
+
+/// One core's view of the open-loop request stream.
+///
+/// All cores built from the same `(spec, seed)` share arrival substream 0,
+/// so their request boundaries are the same instants; only the burst
+/// *content* (addresses) differs per core, drawn from the core's own
+/// [`DOMAIN_WORKLOAD`] substream. The stream is infinite, like the
+/// synthetic mix generators.
+#[derive(Debug)]
+pub struct RequestSource {
+    app: AppId,
+    arrivals: ArrivalProcess,
+    model: RequestModel,
+    /// Picoseconds one instruction takes at nominal speed (cycle × CPI).
+    ps_per_instruction: f64,
+    last_arrival: Picos,
+    /// Burst misses still to emit for the request in progress.
+    remaining: u64,
+    rng: ChaCha8,
+    slice_start: u64,
+    slice_len: u64,
+    cursor: u64,
+}
+
+impl RequestSource {
+    /// Builds the request source for `core`, owning the address slice
+    /// `[core · slice_len, (core+1) · slice_len)` of cache lines.
+    /// `base_cpi` and `cpu_cycle` must match the core model the engine
+    /// runs, so the nominal time↔instruction conversion is exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate model, an empty slice, or a non-positive
+    /// CPI/cycle.
+    pub fn new(
+        spec: &ArrivalSpec,
+        seed: u64,
+        core: usize,
+        model: RequestModel,
+        base_cpi: f64,
+        cpu_cycle: Picos,
+        slice_len: u64,
+    ) -> Self {
+        model.validate();
+        assert!(slice_len > 0, "address slice must be non-empty");
+        assert!(
+            base_cpi.is_finite() && base_cpi > 0.0,
+            "base CPI must be positive"
+        );
+        assert!(cpu_cycle > Picos::ZERO, "cpu cycle must be positive");
+        RequestSource {
+            app: AppId(core),
+            arrivals: ArrivalProcess::new(spec, seed, 0),
+            model,
+            ps_per_instruction: cpu_cycle.as_ps() as f64 * base_cpi,
+            last_arrival: Picos::ZERO,
+            remaining: 0,
+            rng: ChaCha8::from_seed(substream_key(seed, DOMAIN_WORKLOAD, core as u64)),
+            slice_start: core as u64 * slice_len,
+            slice_len,
+            cursor: 0,
+        }
+    }
+
+    /// Nominal instruction count covering a span of simulated time.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)] // non-negative, ≪ 2^63
+    fn instructions_for(&self, span: Picos) -> u64 {
+        (span.as_ps() as f64 / self.ps_per_instruction) as u64
+    }
+
+    /// The next line to touch: sequential continuation or a jump.
+    fn next_line(&mut self) -> u64 {
+        if self.rng.next_bool(self.model.locality) {
+            self.cursor = (self.cursor + 1) % self.slice_len;
+        } else {
+            self.cursor = self.rng.next_below(self.slice_len);
+        }
+        self.slice_start + self.cursor
+    }
+}
+
+impl MissSource for RequestSource {
+    fn app(&self) -> AppId {
+        self.app
+    }
+
+    fn next_event(&mut self) -> Option<MissEvent> {
+        let gap = if self.remaining == 0 {
+            // First miss of a new request: its gap is the idle time until
+            // the request's arrival, minus the compute already accounted
+            // for by the previous burst's per-miss gaps.
+            let arrival = self.arrivals.next_arrival();
+            let delta = arrival.saturating_sub(self.last_arrival);
+            self.last_arrival = arrival;
+            self.remaining = self.model.misses_per_core - 1;
+            self.instructions_for(delta)
+                .saturating_sub(self.model.work_instructions())
+                .max(1)
+        } else {
+            self.remaining -= 1;
+            self.model.gap_instructions
+        };
+        let addr = PhysAddr::from_cache_line(self.next_line());
+        Some(MissEvent {
+            gap_instructions: gap,
+            addr,
+            writeback: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn source(seed: u64, core: usize) -> RequestSource {
+        let spec = ArrivalSpec::parse("poisson:1000").unwrap();
+        RequestSource::new(
+            &spec,
+            seed,
+            core,
+            RequestModel::default(),
+            1.0,
+            Picos::from_ps(250), // 4 GHz
+            1 << 20,
+        )
+    }
+
+    fn events(src: &mut RequestSource, n: usize) -> Vec<MissEvent> {
+        (0..n).map(|_| src.next_event().unwrap()).collect()
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let a = events(&mut source(9, 0), 5_000);
+        let b = events(&mut source(9, 0), 5_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cores_share_request_boundaries_but_not_content() {
+        let a = events(&mut source(9, 0), 5_000);
+        let b = events(&mut source(9, 1), 5_000);
+        // Same arrival substream + same model ⇒ identical gap sequences...
+        let gaps_a: Vec<u64> = a.iter().map(|e| e.gap_instructions).collect();
+        let gaps_b: Vec<u64> = b.iter().map(|e| e.gap_instructions).collect();
+        assert_eq!(gaps_a, gaps_b);
+        // ...but per-core content substreams ⇒ different addresses.
+        assert!(a.iter().zip(&b).any(|(x, y)| x.addr != y.addr));
+    }
+
+    #[test]
+    fn gaps_are_at_least_one_and_addresses_stay_in_slice() {
+        let slice_len = 1u64 << 16;
+        let spec = ArrivalSpec::parse("mmpp:4000,100,2,6").unwrap();
+        let mut src = RequestSource::new(
+            &spec,
+            3,
+            2,
+            RequestModel::default(),
+            1.4,
+            Picos::from_ps(250),
+            slice_len,
+        );
+        for _ in 0..20_000 {
+            let ev = src.next_event().unwrap();
+            assert!(ev.gap_instructions >= 1);
+            let line = ev.addr.cache_line();
+            assert!(line >= 2 * slice_len && line < 3 * slice_len);
+            assert!(ev.writeback.is_none());
+        }
+    }
+
+    #[test]
+    fn first_miss_gap_encodes_the_arrival_schedule() {
+        // Sparse arrivals (100 rps ⇒ ~10 ms apart) dwarf the burst work, so
+        // each request's leading gap must be huge relative to the in-burst
+        // gap, and the burst structure must repeat every misses_per_core.
+        let spec = ArrivalSpec::parse("poisson:100").unwrap();
+        let model = RequestModel {
+            misses_per_core: 10,
+            gap_instructions: 50,
+            locality: 0.5,
+        };
+        let mut src = RequestSource::new(&spec, 1, 0, model, 1.0, Picos::from_ps(250), 1 << 20);
+        let evs = events(&mut src, 100);
+        for (i, ev) in evs.iter().enumerate() {
+            if i % 10 == 0 {
+                // ~10 ms at 4 GHz ≈ 40 M instructions ≫ 50.
+                assert!(
+                    ev.gap_instructions > 100_000,
+                    "request-leading gap {} too small at event {i}",
+                    ev.gap_instructions
+                );
+            } else {
+                assert_eq!(ev.gap_instructions, 50, "in-burst gap at event {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn leading_gap_subtracts_burst_work() {
+        // One request every ~1 ms at 1000 rps; leading gap ≈ arrival delta
+        // in instructions minus the full burst work of the previous request.
+        let spec = ArrivalSpec::parse("poisson:1000").unwrap();
+        let model = RequestModel::default();
+        let mut src = RequestSource::new(&spec, 5, 0, model, 1.0, Picos::from_ps(250), 1 << 20);
+        let mut arrivals = ArrivalProcess::new(&spec, 5, 0);
+        let a1 = arrivals.next_arrival();
+        let first = src.next_event().unwrap();
+        // First request: no previous burst, gap = arrival instant converted
+        // to instructions, minus the (not yet spent) work, floored at 1.
+        let expected = (a1.as_ps() / 250)
+            .saturating_sub(model.work_instructions())
+            .max(1);
+        assert_eq!(first.gap_instructions, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one miss")]
+    fn degenerate_model_is_rejected() {
+        let spec = ArrivalSpec::parse("poisson:1000").unwrap();
+        let model = RequestModel {
+            misses_per_core: 0,
+            ..RequestModel::default()
+        };
+        let _ = RequestSource::new(&spec, 0, 0, model, 1.0, Picos::from_ps(250), 1 << 20);
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates the `slo_diurnal` service-workload artifact. See DESIGN.md.
+fn main() {
+    println!("{}", memscale_bench::exp::slo_diurnal().to_markdown());
+}

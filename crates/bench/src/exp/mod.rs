@@ -10,6 +10,7 @@ pub mod faults;
 pub mod generations;
 pub mod policies;
 pub mod sensitivity;
+pub mod slo;
 pub mod system;
 pub mod timeline;
 pub mod workloads;
@@ -20,6 +21,7 @@ pub use faults::fault_sweep;
 pub use generations::generations;
 pub use policies::{fig10, fig11, fig9, policy_dataset, PolicyDataset};
 pub use sensitivity::{fig12, fig13, fig14, fig15, sens_cores, sens_epoch};
+pub use slo::slo_diurnal;
 pub use system::{fig2, table2};
 pub use timeline::{fig7, fig8};
 pub use workloads::table1;

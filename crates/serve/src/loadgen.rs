@@ -8,6 +8,14 @@
 //! percentiles, cache behaviour, and protocol health into
 //! `BENCH_serve.json`.
 //!
+//! With `open_loop_rps > 0` the fleet switches to an open loop: the
+//! offered rate is split evenly across clients and each client submits
+//! on a seeded Poisson arrival schedule ([`memscale_arrivals`]) instead
+//! of waiting for the previous completion — a submission whose slot has
+//! already passed goes out immediately, so a saturated server shows up
+//! as achieved throughput falling below the offered rate rather than as
+//! a silently throttled schedule.
+//!
 //! The client side is chaos-hardened to match the server (DESIGN.md §14):
 //! connects and reads are bounded by timeouts, `overloaded` rejections are
 //! retried with exponential backoff plus seeded jitter, a connection that
@@ -19,6 +27,7 @@
 use crate::chaos::ChaosRng;
 use crate::json::Json;
 use crate::wire::{decode_response, encode_job, Response};
+use memscale_arrivals::{ArrivalProcess, ArrivalSpec};
 use memscale_types::serve::{DoneReason, ErrorCode, JobSpec};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -55,6 +64,11 @@ pub struct LoadgenConfig {
     pub reconnect_retries: usize,
     /// Seed of the per-client jitter streams (replayable backoff).
     pub seed: u64,
+    /// Total offered arrival rate, requests per second, split evenly
+    /// across clients. `0.0` (the default) keeps the classic closed
+    /// loop; any positive rate switches every client to a seeded
+    /// Poisson submission schedule.
+    pub open_loop_rps: f64,
 }
 
 impl LoadgenConfig {
@@ -78,6 +92,7 @@ impl LoadgenConfig {
             backoff_base_ms: 10,
             reconnect_retries: 0,
             seed: 0x5ca1_ab1e,
+            open_loop_rps: 0.0,
         }
     }
 }
@@ -120,6 +135,10 @@ pub struct LoadgenStats {
     /// Faults a chaos proxy injected during the run, when one was in the
     /// path (filled in by the chaos orchestrator, not by `run`).
     pub chaos_faults_injected: u64,
+    /// Open-loop submissions that went out after their scheduled arrival
+    /// instant — the schedule slipped because the previous job on that
+    /// client was still in flight. Always zero in closed-loop runs.
+    pub late_submissions: usize,
     /// Per-job submit-to-done latencies, milliseconds, unsorted.
     pub latencies_ms: Vec<f64>,
     /// Whole-run wall clock, seconds.
@@ -240,6 +259,19 @@ impl LoadgenStats {
                 "jobs_per_sec".into(),
                 Json::num(format!("{:.3}", self.jobs_per_sec())),
             ),
+            ("open_loop".into(), Json::Bool(cfg.open_loop_rps > 0.0)),
+            (
+                "offered_rps".into(),
+                Json::num(format!("{:.3}", cfg.open_loop_rps)),
+            ),
+            (
+                "achieved_rps".into(),
+                Json::num(format!("{:.3}", self.jobs_per_sec())),
+            ),
+            (
+                "late_submissions".into(),
+                Json::num(self.late_submissions.to_string()),
+            ),
             (
                 "p50_ms".into(),
                 Json::num(format!("{:.3}", self.latency_quantile(0.50))),
@@ -276,6 +308,7 @@ struct JobOutcome {
     cache_misses: u64,
     evictions: u64,
     latency_ms: f64,
+    late: bool,
 }
 
 /// One client connection: a writer half and a buffered reader half.
@@ -356,7 +389,9 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenStats, String> {
     let mut handles = Vec::with_capacity(cfg.clients);
     for client in 0..cfg.clients {
         let cfg = cfg.clone();
-        handles.push(std::thread::spawn(move || run_client(&cfg, client)));
+        handles.push(std::thread::spawn(move || {
+            run_client(&cfg, client, started)
+        }));
     }
     let mut stats = LoadgenStats::default();
     for handle in handles {
@@ -380,6 +415,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenStats, String> {
             }
             stats.protocol_errors += o.protocol_errors;
             stats.retries += o.retries;
+            stats.late_submissions += usize::from(o.late);
             stats.cells_ok += o.cells_ok;
             stats.cells_failed += o.cells_failed;
             stats.cells_cancelled += o.cells_cancelled;
@@ -393,14 +429,43 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenStats, String> {
     Ok(stats)
 }
 
-/// One client's closed loop: submit, read lines until `done`/error,
-/// retry overloaded rejections with backoff, replace dead connections,
-/// repeat.
-fn run_client(cfg: &LoadgenConfig, client: usize) -> Vec<JobOutcome> {
+/// One client's loop: submit, read lines until `done`/error, retry
+/// overloaded rejections with backoff, replace dead connections, repeat.
+/// Closed loop by default; with `open_loop_rps > 0` each submission
+/// waits for its seeded Poisson arrival instant instead of the previous
+/// completion.
+fn run_client(cfg: &LoadgenConfig, client: usize, fleet_start: Instant) -> Vec<JobOutcome> {
     let mut rng = ChaosRng::new(cfg.seed ^ (client as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut schedule = (cfg.open_loop_rps > 0.0).then(|| {
+        #[allow(clippy::cast_precision_loss)]
+        let per_client = cfg.open_loop_rps / cfg.clients.max(1) as f64;
+        ArrivalProcess::new(
+            &ArrivalSpec::Poisson {
+                rate_rps: per_client,
+            },
+            cfg.seed,
+            client as u64,
+        )
+    });
     let mut conn: Option<ClientConn> = None;
     let mut outcomes = Vec::with_capacity(cfg.jobs_per_client);
     for job_idx in 0..cfg.jobs_per_client {
+        // Open loop: wait for this job's scheduled arrival. A slot that
+        // has already passed submits immediately, and the slip counts
+        // toward the job's latency — the queueing delay a real open-loop
+        // client would observe when the server cannot keep up.
+        let mut slip_ms = 0.0;
+        let mut late = false;
+        if let Some(process) = schedule.as_mut() {
+            let due = Duration::from_nanos(process.next_arrival().as_ps() / 1_000);
+            let elapsed = fleet_start.elapsed();
+            if elapsed < due {
+                std::thread::sleep(due - elapsed);
+            } else {
+                late = true;
+                slip_ms = (elapsed - due).as_secs_f64() * 1e3;
+            }
+        }
         let mut retries = 0usize;
         let outcome = loop {
             if conn.is_none() {
@@ -433,6 +498,11 @@ fn run_client(cfg: &LoadgenConfig, client: usize) -> Vec<JobOutcome> {
             o.retries = retries;
             break o;
         };
+        let mut outcome = outcome;
+        outcome.late = late;
+        if outcome.done {
+            outcome.latency_ms += slip_ms;
+        }
         outcomes.push(outcome);
     }
     outcomes
@@ -610,6 +680,28 @@ mod tests {
         );
         assert!(parsed.get("p99_ms").is_some());
         assert!(parsed.get("wall_s").is_some());
+        assert_eq!(parsed.get("open_loop").and_then(Json::as_bool), Some(false));
+        assert_eq!(parsed.get("offered_rps").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(parsed.get("achieved_rps").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(
+            parsed.get("late_submissions").and_then(Json::as_u64),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn open_loop_config_is_reported_in_the_artifact() {
+        let mut cfg = LoadgenConfig::new("127.0.0.1:0", 2, 3, JobSpec::for_mix("t", "MID1"));
+        cfg.open_loop_rps = 40.0;
+        let mut s = stats_with(&[10.0, 20.0]);
+        s.late_submissions = 3;
+        let parsed = crate::json::parse(&s.to_bench_json(&cfg)).expect("artifact parses");
+        assert_eq!(parsed.get("open_loop").and_then(Json::as_bool), Some(true));
+        assert_eq!(parsed.get("offered_rps").and_then(Json::as_f64), Some(40.0));
+        assert_eq!(
+            parsed.get("late_submissions").and_then(Json::as_u64),
+            Some(3)
+        );
     }
 
     #[test]

@@ -77,22 +77,66 @@ pub enum JournalRecord {
     },
 }
 
-/// Encodes a [`CellMetrics`] as five bit-exact `f64` images.
+/// Encodes a [`CellMetrics`] as five bit-exact `f64` images, followed —
+/// only when the cell carried service-workload results — by a flags word
+/// and the flagged optional fields. Records without service fields stay
+/// byte-identical to the pre-service format, so old logs replay
+/// unchanged and old servers can still read the common case.
 fn put_metrics(out: &mut Vec<u8>, m: &CellMetrics) {
     put_u64(out, m.memory_savings.to_bits());
     put_u64(out, m.system_savings.to_bits());
     put_u64(out, m.cpi_increase_avg.to_bits());
     put_u64(out, m.cpi_increase_max.to_bits());
     put_u64(out, m.mean_frequency_mhz.to_bits());
+    let flags = u64::from(m.p99_ms.is_some()) | (u64::from(m.slo_violations.is_some()) << 1);
+    if flags != 0 {
+        put_u64(out, flags);
+        if let Some(p) = m.p99_ms {
+            put_u64(out, p.to_bits());
+        }
+        if let Some(v) = m.slo_violations {
+            put_u64(out, v);
+        }
+    }
 }
 
 fn take_metrics(cur: &mut Cursor<'_>) -> Option<CellMetrics> {
+    let memory_savings = f64::from_bits(cur.take_u64()?);
+    let system_savings = f64::from_bits(cur.take_u64()?);
+    let cpi_increase_avg = f64::from_bits(cur.take_u64()?);
+    let cpi_increase_max = f64::from_bits(cur.take_u64()?);
+    let mean_frequency_mhz = f64::from_bits(cur.take_u64()?);
+    // Metrics are the final field of their record: an exhausted cursor is
+    // a pre-service record, anything else is the flagged tail.
+    let (p99_ms, slo_violations) = if cur.is_empty() {
+        (None, None)
+    } else {
+        let flags = cur.take_u64()?;
+        // The encoder omits the tail entirely when no field is present, so
+        // a zero flags word is corruption (e.g. a trailing garbage byte).
+        if flags == 0 || flags & !0b11 != 0 {
+            return None;
+        }
+        let p99 = if flags & 0b01 != 0 {
+            Some(f64::from_bits(cur.take_u64()?))
+        } else {
+            None
+        };
+        let violations = if flags & 0b10 != 0 {
+            Some(cur.take_u64()?)
+        } else {
+            None
+        };
+        (p99, violations)
+    };
     Some(CellMetrics {
-        memory_savings: f64::from_bits(cur.take_u64()?),
-        system_savings: f64::from_bits(cur.take_u64()?),
-        cpi_increase_avg: f64::from_bits(cur.take_u64()?),
-        cpi_increase_max: f64::from_bits(cur.take_u64()?),
-        mean_frequency_mhz: f64::from_bits(cur.take_u64()?),
+        memory_savings,
+        system_savings,
+        cpi_increase_avg,
+        cpi_increase_max,
+        mean_frequency_mhz,
+        p99_ms,
+        slo_violations,
     })
 }
 
@@ -405,6 +449,8 @@ mod tests {
             cpi_increase_avg: seed / 3.0,
             cpi_increase_max: seed / 4.0,
             mean_frequency_mhz: 800.0 - seed,
+            p99_ms: None,
+            slo_violations: None,
         }
     }
 
@@ -422,6 +468,25 @@ mod tests {
                 label: "memscale".into(),
                 metrics: metrics(17.25),
             },
+            JournalRecord::CellDone {
+                fingerprint: 0xDEAD_BEEF_u64,
+                trace_crc: 0x1234_5678,
+                label: "memscale".into(),
+                metrics: CellMetrics {
+                    p99_ms: Some(3.25),
+                    slo_violations: Some(7),
+                    ..metrics(4.5)
+                },
+            },
+            JournalRecord::CellDone {
+                fingerprint: 0xDEAD_BEEF_u64,
+                trace_crc: 0x1234_5678,
+                label: "memscale".into(),
+                metrics: CellMetrics {
+                    slo_violations: Some(0),
+                    ..metrics(4.5)
+                },
+            },
             JournalRecord::JobDone { id: "job-1".into() },
             JournalRecord::Abandoned { id: "job-2".into() },
         ]
@@ -436,9 +501,37 @@ mod tests {
             let mut padded = bytes.clone();
             padded.push(0);
             assert_eq!(JournalRecord::decode(&padded), None);
-            // Every truncation of the payload is a decode failure.
+            // Every truncation of the payload is a decode failure, with one
+            // inherent exception: cutting a service-tailed `CellDone` exactly
+            // at the pre-service boundary yields a valid legacy record (that's
+            // what backward compatibility means). Real torn writes are caught
+            // by the record-log frame CRC, not this codec.
+            let stripped = match &rec {
+                JournalRecord::CellDone {
+                    fingerprint,
+                    trace_crc,
+                    label,
+                    metrics,
+                } if metrics.p99_ms.is_some() || metrics.slo_violations.is_some() => {
+                    Some(JournalRecord::CellDone {
+                        fingerprint: *fingerprint,
+                        trace_crc: *trace_crc,
+                        label: label.clone(),
+                        metrics: CellMetrics {
+                            p99_ms: None,
+                            slo_violations: None,
+                            ..*metrics
+                        },
+                    })
+                }
+                _ => None,
+            };
             for cut in 0..bytes.len() {
-                assert_eq!(JournalRecord::decode(&bytes[..cut]), None, "cut {cut}");
+                let decoded = JournalRecord::decode(&bytes[..cut]);
+                if decoded.is_some() && decoded == stripped {
+                    continue;
+                }
+                assert_eq!(decoded, None, "cut {cut}");
             }
         }
     }
@@ -451,6 +544,8 @@ mod tests {
             cpi_increase_avg: f64::MIN_POSITIVE / 2.0, // subnormal
             cpi_increase_max: f64::INFINITY,
             mean_frequency_mhz: 1e-308,
+            p99_ms: Some(f64::from_bits(0xFFF8_0000_0000_0002)),
+            slo_violations: Some(u64::MAX),
         };
         let rec = JournalRecord::CellDone {
             fingerprint: 1,
@@ -477,6 +572,32 @@ mod tests {
             back.mean_frequency_mhz.to_bits(),
             odd.mean_frequency_mhz.to_bits()
         );
+        assert_eq!(back.p99_ms.map(f64::to_bits), odd.p99_ms.map(f64::to_bits));
+        assert_eq!(back.slo_violations, odd.slo_violations);
+    }
+
+    #[test]
+    fn pre_service_cell_records_decode_with_none_fields() {
+        // A CellDone frame written before the service-workload fields
+        // existed: tag + key + label + exactly five metric words.
+        let mut bytes = Vec::new();
+        put_u64(&mut bytes, TAG_CELL_DONE);
+        put_u64(&mut bytes, 11);
+        put_u64(&mut bytes, 22);
+        put_str(&mut bytes, "memscale");
+        for v in [0.2f64, 0.07, 0.01, 0.03, 512.5] {
+            put_u64(&mut bytes, v.to_bits());
+        }
+        let Some(JournalRecord::CellDone { metrics: m, .. }) = JournalRecord::decode(&bytes) else {
+            panic!("pre-service record must decode");
+        };
+        assert_eq!(m.p99_ms, None);
+        assert_eq!(m.slo_violations, None);
+        assert_eq!(m.mean_frequency_mhz, 512.5);
+        // An unknown flag bit in the tail is corruption, not a guess.
+        let mut flagged = bytes.clone();
+        put_u64(&mut flagged, 0b100);
+        assert_eq!(JournalRecord::decode(&flagged), None);
     }
 
     #[test]
@@ -629,13 +750,17 @@ mod tests {
             ) {
                 let mut rng = ChaosRng::new(seed);
                 let label = label_from(&mut rng);
-                let bits: Vec<u64> = (0..5).map(|_| rng.next_u64()).collect();
+                let bits: Vec<u64> = (0..7).map(|_| rng.next_u64()).collect();
+                let with_p99 = rng.next_u64() & 1 != 0;
+                let with_viol = rng.next_u64() & 1 != 0;
                 let metrics = CellMetrics {
                     memory_savings: f64::from_bits(bits[0]),
                     system_savings: f64::from_bits(bits[1]),
                     cpi_increase_avg: f64::from_bits(bits[2]),
                     cpi_increase_max: f64::from_bits(bits[3]),
                     mean_frequency_mhz: f64::from_bits(bits[4]),
+                    p99_ms: with_p99.then(|| f64::from_bits(bits[5])),
+                    slo_violations: with_viol.then_some(bits[6]),
                 };
                 let rec = JournalRecord::CellDone { fingerprint, trace_crc, label, metrics };
                 let back = JournalRecord::decode(&rec.encode()).expect("decodes");
@@ -648,6 +773,8 @@ mod tests {
                 prop_assert_eq!(m2.cpi_increase_avg.to_bits(), bits[2]);
                 prop_assert_eq!(m2.cpi_increase_max.to_bits(), bits[3]);
                 prop_assert_eq!(m2.mean_frequency_mhz.to_bits(), bits[4]);
+                prop_assert_eq!(m2.p99_ms.map(f64::to_bits), with_p99.then_some(bits[5]));
+                prop_assert_eq!(m2.slo_violations, with_viol.then_some(bits[6]));
             }
 
             #[test]

@@ -101,6 +101,12 @@ pub fn encode_job(job: &JobSpec) -> String {
     if let Some(d) = job.deadline_ms {
         fields.push(("deadline_ms", Json::num(d)));
     }
+    if let Some(a) = &job.arrivals {
+        fields.push(("arrivals", Json::Str(a.clone())));
+    }
+    if let Some(s) = job.slo_p99_ms {
+        fields.push(("slo_p99_ms", Json::num(s)));
+    }
     obj(fields).render()
 }
 
@@ -183,6 +189,8 @@ pub fn decode_job(line: &str) -> Result<JobSpec, String> {
         job.margin_pct = usize::try_from(m).map_err(|_| "field `margin_pct` out of range")?;
     }
     job.deadline_ms = field_u64(&v, "deadline_ms")?;
+    job.arrivals = field_str(&v, "arrivals")?;
+    job.slo_p99_ms = field_f64(&v, "slo_p99_ms")?;
     if let Some(p) = v.get("policies") {
         let items = p.as_arr().ok_or("field `policies` must be an array")?;
         job.policies = items
@@ -221,6 +229,12 @@ pub fn encode_response(resp: &Response) -> String {
                     fields.push(("cpi_increase_avg", Json::num(m.cpi_increase_avg)));
                     fields.push(("cpi_increase_max", Json::num(m.cpi_increase_max)));
                     fields.push(("mean_frequency_mhz", Json::num(m.mean_frequency_mhz)));
+                    if let Some(p) = m.p99_ms {
+                        fields.push(("p99_ms", Json::num(p)));
+                    }
+                    if let Some(viol) = m.slo_violations {
+                        fields.push(("slo_violations", Json::num(viol)));
+                    }
                 }
                 Err(e) => {
                     fields.push(("ok", Json::Bool(false)));
@@ -312,6 +326,8 @@ pub fn decode_response(line: &str) -> Result<Response, String> {
                         .ok_or("cell: `cpi_increase_max` is required")?,
                     mean_frequency_mhz: field_f64(&v, "mean_frequency_mhz")?
                         .ok_or("cell: `mean_frequency_mhz` is required")?,
+                    p99_ms: field_f64(&v, "p99_ms")?,
+                    slo_violations: field_u64(&v, "slo_violations")?,
                 })
             } else {
                 let code_str = field_str(&v, "code")?.ok_or("cell: failed cells carry `code`")?;
@@ -391,6 +407,8 @@ mod tests {
         job.policies = vec!["memscale".into(), "static:400".into()];
         job.margin_pct = 75;
         job.deadline_ms = Some(1_500);
+        job.arrivals = Some("diurnal:2x1000,2x3000".into());
+        job.slo_p99_ms = Some(5.0);
         let line = encode_job(&job);
         assert_eq!(decode_job(&line).unwrap(), job);
     }
@@ -457,6 +475,24 @@ mod tests {
                         cpi_increase_avg: 0.02,
                         cpi_increase_max: 0.05,
                         mean_frequency_mhz: 512.5,
+                        p99_ms: None,
+                        slo_violations: None,
+                    }),
+                },
+            },
+            Response::Cell {
+                id: "j".into(),
+                outcome: CellOutcome {
+                    label: "memscale".into(),
+                    cached: false,
+                    result: Ok(CellMetrics {
+                        memory_savings: 0.18,
+                        system_savings: 0.06,
+                        cpi_increase_avg: 0.03,
+                        cpi_increase_max: 0.07,
+                        mean_frequency_mhz: 400.0,
+                        p99_ms: Some(3.75),
+                        slo_violations: Some(2),
                     }),
                 },
             },
@@ -553,6 +589,18 @@ mod tests {
     }
 
     #[test]
+    fn cell_without_service_fields_decodes_as_none() {
+        // Lines from a pre-service-workload server stay decodable.
+        let line = r#"{"type":"cell","id":"j","label":"memscale","cached":false,"ok":true,"memory_savings":0.2,"system_savings":0.07,"cpi_increase_avg":0.01,"cpi_increase_max":0.03,"mean_frequency_mhz":500}"#;
+        let Response::Cell { outcome, .. } = decode_response(line).expect("decodes") else {
+            panic!("not a cell line");
+        };
+        let metrics = outcome.result.expect("ok cell");
+        assert_eq!(metrics.p99_ms, None);
+        assert_eq!(metrics.slo_violations, None);
+    }
+
+    #[test]
     fn done_without_evictions_field_decodes_as_zero() {
         // Lines from a pre-eviction-counter server stay decodable.
         let line = r#"{"type":"done","id":"j","cells":2,"ok":2,"failed":0,"cache_hits":1,"cache_misses":1,"wall_ms":4.0}"#;
@@ -578,6 +626,8 @@ mod tests {
             job.seed = Some(42);
             job.policies = vec!["memscale".into(), "static:400".into()];
             job.deadline_ms = Some(250);
+            job.arrivals = Some("poisson:1500".into());
+            job.slo_p99_ms = Some(5.0);
             vec![
                 encode_job(&job),
                 encode_response(&Response::Admitted {

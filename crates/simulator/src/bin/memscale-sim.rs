@@ -10,7 +10,14 @@
 //!                                        (SIGTERM drains gracefully;
 //!                                        --state-dir DIR makes caches and
 //!                                        job state crash-durable)
+//! memscale-sim slo --arrivals SPEC       open-loop service workload: run a
+//!                                        policy set against one seeded
+//!                                        arrival stream, report per-policy
+//!                                        p50/p95/p99 + SLO violations
+//!                                        (exit 1 on a p99 breach)
 //! memscale-sim loadgen --addr HOST:PORT  closed-loop client fleet
+//!                                        (--open-loop RATE switches to a
+//!                                        Poisson arrival schedule)
 //! memscale-sim chaos --addr HOST:PORT    loadgen through a seeded
 //!                                        fault-injecting proxy
 //! memscale-sim chaos --kill9 --state-dir DIR
@@ -57,11 +64,15 @@
 //! protocol audit.
 
 use memscale::policies::PolicyKind;
+use memscale_arrivals::{ArrivalSpec, RequestModel};
 use memscale_serve::loadgen::LoadgenConfig;
 use memscale_serve::server::ServerConfig;
 use memscale_serve::SweepServer;
 use memscale_simulator::harness::{record_trace, Experiment};
-use memscale_simulator::{SimConfig, SimError, SimulatorBackend};
+use memscale_simulator::slo::{
+    record_service_trace, run_slo_sweep, run_slo_sweep_replay, ServiceConfig,
+};
+use memscale_simulator::{ShardSpec, SimConfig, SimError, SimulatorBackend};
 use memscale_trace::{write_trace_file, ReplayTrace, TraceError};
 use memscale_types::config::MemGeneration;
 use memscale_types::faults::FaultPlan;
@@ -71,7 +82,7 @@ use memscale_workloads::Mix;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 enum Command {
     /// Baseline + policy evaluation (optionally fed from `Args::replay`).
     Run,
@@ -92,6 +103,30 @@ enum Command {
     Loadgen(LoadgenArgs),
     /// Seeded fault-injection run: loadgen through a chaos proxy.
     Chaos(ChaosArgs),
+    /// Open-loop SLO-judged policy sweep.
+    Slo(SloArgs),
+}
+
+/// `memscale-sim slo` parameters.
+#[derive(Debug, Clone, PartialEq)]
+struct SloArgs {
+    /// Arrival-process spec: `poisson:RATE`, `mmpp:ON,OFF,ON_MS,OFF_MS`,
+    /// `diurnal:DURxRATE,...` or `diurnal:PATH.json`.
+    arrivals: String,
+    /// p99 latency objective in milliseconds (`None` = report only).
+    slo_p99_ms: Option<f64>,
+    /// Policies to sweep.
+    policies: Vec<String>,
+    /// Per-request work model: misses per core per request.
+    misses_per_core: u64,
+    /// Per-request work model: instructions between burst misses.
+    gap_instructions: u64,
+    /// Record the service trace here and replay the sweep from it.
+    record: Option<PathBuf>,
+    /// Replay the sweep from a previously recorded service trace.
+    replay: Option<PathBuf>,
+    /// Also write the JSON report here (it always goes to stdout).
+    out: Option<PathBuf>,
 }
 
 /// `memscale-sim serve` parameters.
@@ -121,7 +156,7 @@ struct ServeArgs {
 }
 
 /// `memscale-sim loadgen` parameters.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 struct LoadgenArgs {
     /// Server address to connect to.
     addr: String,
@@ -151,6 +186,9 @@ struct LoadgenArgs {
     out: PathBuf,
     /// Exit non-zero when the run saw no cache hits.
     require_cache_hits: bool,
+    /// Total offered rate for open-loop submission, requests/second
+    /// (0 = classic closed loop).
+    open_loop_rps: f64,
 }
 
 /// `memscale-sim chaos` parameters: a loadgen fleet pointed through a
@@ -359,6 +397,7 @@ fn parse_args() -> Result<Args, String> {
                 reconnect_retries: 0,
                 out: PathBuf::from("BENCH_serve.json"),
                 require_cache_hits: false,
+                open_loop_rps: 0.0,
             };
             while let Some(flag) = it.next() {
                 let mut value =
@@ -421,6 +460,16 @@ fn parse_args() -> Result<Args, String> {
                     }
                     "--out" => lg.out = value("--out")?.into(),
                     "--require-cache-hits" => lg.require_cache_hits = true,
+                    "--open-loop" => {
+                        let raw = value("--open-loop")?;
+                        let rate: f64 = raw.parse().map_err(|e| format!("--open-loop: {e}"))?;
+                        if !rate.is_finite() || rate <= 0.0 {
+                            return Err(format!(
+                                "--open-loop must be a positive rate in requests/second, got {raw}"
+                            ));
+                        }
+                        lg.open_loop_rps = rate;
+                    }
                     "--help" | "-h" => return Err("help".into()),
                     other => return Err(format!("unknown loadgen flag {other}")),
                 }
@@ -429,6 +478,107 @@ fn parse_args() -> Result<Args, String> {
                 return Err("loadgen requires --addr HOST:PORT".into());
             }
             args.command = Command::Loadgen(lg);
+            return Ok(args);
+        }
+        Some("slo") => {
+            it.next();
+            let mut slo = SloArgs {
+                arrivals: String::new(),
+                slo_p99_ms: None,
+                policies: vec!["baseline".into(), "static:400".into(), "memscale".into()],
+                misses_per_core: 2_000,
+                gap_instructions: 200,
+                record: None,
+                replay: None,
+                out: None,
+            };
+            while let Some(flag) = it.next() {
+                let mut value =
+                    |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+                match flag.as_str() {
+                    "--arrivals" => slo.arrivals = value("--arrivals")?,
+                    "--slo-p99-ms" => {
+                        let ms: f64 = value("--slo-p99-ms")?
+                            .parse()
+                            .map_err(|e| format!("--slo-p99-ms: {e}"))?;
+                        if !ms.is_finite() || ms <= 0.0 {
+                            return Err(format!("--slo-p99-ms must be positive, got {ms}"));
+                        }
+                        slo.slo_p99_ms = Some(ms);
+                    }
+                    "--policies" => {
+                        slo.policies = value("--policies")?
+                            .split(',')
+                            .filter(|s| !s.is_empty())
+                            .map(str::to_string)
+                            .collect();
+                    }
+                    "--misses-per-request" => {
+                        slo.misses_per_core = value("--misses-per-request")?
+                            .parse()
+                            .map_err(|e| format!("--misses-per-request: {e}"))?;
+                    }
+                    "--request-gap" => {
+                        slo.gap_instructions = value("--request-gap")?
+                            .parse()
+                            .map_err(|e| format!("--request-gap: {e}"))?;
+                    }
+                    "--record" => slo.record = Some(value("--record")?.into()),
+                    "--replay" => slo.replay = Some(value("--replay")?.into()),
+                    "--out" => slo.out = Some(value("--out")?.into()),
+                    "--mix" => args.mix = value("--mix")?,
+                    "--generation" => {
+                        let name = value("--generation")?;
+                        args.generation = MemGeneration::parse(&name).ok_or_else(|| {
+                            format!("unknown generation {name}; use ddr3|ddr4|lpddr3")
+                        })?;
+                    }
+                    "--duration-ms" => {
+                        args.duration_ms = value("--duration-ms")?
+                            .parse()
+                            .map_err(|e| format!("--duration-ms: {e}"))?;
+                    }
+                    "--seed" => {
+                        args.seed = Some(
+                            value("--seed")?
+                                .parse()
+                                .map_err(|e| format!("--seed: {e}"))?,
+                        );
+                    }
+                    "--cores" => {
+                        args.cores = value("--cores")?
+                            .parse()
+                            .map_err(|e| format!("--cores: {e}"))?;
+                    }
+                    "--channels" => {
+                        args.channels = value("--channels")?
+                            .parse()
+                            .map_err(|e| format!("--channels: {e}"))?;
+                    }
+                    "--epoch-ms" => {
+                        args.epoch_ms = value("--epoch-ms")?
+                            .parse()
+                            .map_err(|e| format!("--epoch-ms: {e}"))?;
+                    }
+                    "--margin" => {
+                        args.margin_pct = value("--margin")?
+                            .parse()
+                            .map_err(|e| format!("--margin: {e}"))?;
+                    }
+                    "--help" | "-h" => return Err("help".into()),
+                    other => return Err(format!("unknown slo flag {other}")),
+                }
+            }
+            if slo.arrivals.is_empty() {
+                return Err("slo requires --arrivals SPEC (e.g. poisson:2000)".into());
+            }
+            if slo.policies.is_empty() {
+                return Err("slo requires at least one policy".into());
+            }
+            if slo.record.is_some() && slo.replay.is_some() {
+                return Err("slo takes --record or --replay, not both".into());
+            }
+            args.command = Command::Slo(slo);
             return Ok(args);
         }
         Some("chaos") => {
@@ -764,6 +914,123 @@ fn record(
     ExitCode::SUCCESS
 }
 
+/// `memscale-sim slo`: sweep a policy set against one seeded open-loop
+/// arrival stream and print the per-policy latency/SLO report as JSON.
+///
+/// With `--record PATH` the service trace is captured first and the sweep
+/// replays from it (proving the artifact reproduces the live run); with
+/// `--replay PATH` an existing artifact feeds the sweep. Exit 1 when any
+/// policy breaches the configured p99 objective.
+fn run_slo(mix: &Mix, cfg: &SimConfig, slo: &SloArgs, margin_pct: usize) -> ExitCode {
+    let spec = match ArrivalSpec::parse(&slo.arrivals) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: --arrivals: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if slo.misses_per_core == 0 || slo.gap_instructions == 0 {
+        eprintln!("error: --misses-per-request and --request-gap must be at least 1");
+        return ExitCode::from(2);
+    }
+    let mut shards = Vec::with_capacity(slo.policies.len());
+    for name in &slo.policies {
+        let policy = match parse_policy(name) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if !policy.available_on(cfg.system.timing.generation) {
+            eprintln!(
+                "error: {}: policy {} is not available on this generation",
+                cfg.system.timing.generation,
+                policy.name()
+            );
+            return ExitCode::from(2);
+        }
+        shards.push(ShardSpec::of(policy));
+    }
+    let mut svc = ServiceConfig::new(spec);
+    svc.model = RequestModel {
+        misses_per_core: slo.misses_per_core,
+        gap_instructions: slo.gap_instructions,
+        ..RequestModel::default()
+    };
+    if let Some(ms) = slo.slo_p99_ms {
+        svc = svc.with_slo(memscale_types::requests::SloSpec::p99(ms));
+    }
+
+    let report = if let Some(path) = &slo.replay {
+        let trace = match ReplayTrace::open(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        eprintln!(
+            "slo: replaying {} policy run(s) from {} ...",
+            shards.len(),
+            path.display()
+        );
+        run_slo_sweep_replay(mix, cfg, &svc, &shards, &trace)
+    } else if let Some(path) = &slo.record {
+        eprintln!("slo: recording service trace ...");
+        let (header, streams) = match record_service_trace(mix, cfg, &svc, margin_pct) {
+            Ok(hs) => hs,
+            Err(e) => return sim_error(&e),
+        };
+        if let Err(e) = write_trace_file(path, &header, &streams) {
+            eprintln!("error: {e}");
+            return ExitCode::from(1);
+        }
+        let total: usize = streams.iter().map(Vec::len).sum();
+        eprintln!(
+            "slo: wrote {} ({} records); replaying {} policy run(s) ...",
+            path.display(),
+            total,
+            shards.len()
+        );
+        let trace = ReplayTrace::from_streams(header, streams);
+        run_slo_sweep_replay(mix, cfg, &svc, &shards, &trace)
+    } else {
+        eprintln!(
+            "slo: running {} policy run(s) (live sources) ...",
+            shards.len()
+        );
+        run_slo_sweep(mix, cfg, &svc, &shards)
+    };
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => return sim_error(&e),
+    };
+    let json = report.to_json();
+    println!("{json}");
+    if let Some(out) = &slo.out {
+        let mut bytes = json;
+        bytes.push('\n');
+        if let Err(e) = std::fs::write(out, &bytes) {
+            eprintln!("error: writing {}: {e}", out.display());
+            return ExitCode::from(1);
+        }
+    }
+    if report.any_breach() {
+        let worst = report
+            .outcomes
+            .iter()
+            .filter(|o| o.breach)
+            .map(|o| format!("{} (p99 {:.2} ms)", o.label, o.stats.p99_ms))
+            .collect::<Vec<_>>()
+            .join(", ");
+        eprintln!("error: SLO breached by {worst}");
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 /// `memscale-sim trace-info`: parse and verify `path`, print its metadata.
 fn trace_info(path: &std::path::Path) -> ExitCode {
     let trace = match ReplayTrace::open(path) {
@@ -942,10 +1209,18 @@ fn run_loadgen(lg: &LoadgenArgs) -> ExitCode {
     cfg.connect_timeout_ms = lg.connect_timeout_ms;
     cfg.read_timeout_ms = lg.read_timeout_ms;
     cfg.reconnect_retries = lg.reconnect_retries;
-    eprintln!(
-        "loadgen: {} client(s) x {} job(s) against {} ...",
-        cfg.clients, cfg.jobs_per_client, cfg.addr
-    );
+    cfg.open_loop_rps = lg.open_loop_rps;
+    if cfg.open_loop_rps > 0.0 {
+        eprintln!(
+            "loadgen: {} client(s) x {} job(s) against {} (open loop, {} req/s offered) ...",
+            cfg.clients, cfg.jobs_per_client, cfg.addr, cfg.open_loop_rps
+        );
+    } else {
+        eprintln!(
+            "loadgen: {} client(s) x {} job(s) against {} ...",
+            cfg.clients, cfg.jobs_per_client, cfg.addr
+        );
+    }
     let stats = match memscale_serve::loadgen::run(&cfg) {
         Ok(s) => s,
         Err(e) => {
@@ -978,6 +1253,14 @@ fn run_loadgen(lg: &LoadgenArgs) -> ExitCode {
         stats.latency_quantile(0.99),
         stats.cache_hit_rate() * 100.0
     );
+    if lg.open_loop_rps > 0.0 {
+        println!(
+            "open loop: offered {:.2} req/s | achieved {:.2} req/s | late submissions {}",
+            lg.open_loop_rps,
+            stats.jobs_per_sec(),
+            stats.late_submissions
+        );
+    }
     println!("wrote {}", lg.out.display());
     let starved = stats.jobs_ok == 0 && stats.jobs_overloaded == 0;
     let hits_missing = lg.require_cache_hits && stats.cache_hits == 0;
@@ -1192,11 +1475,19 @@ fn main() -> ExitCode {
                  \x20                  [--cache-capacity N] [--cell-queue N] [--default-deadline MS]\n\
                  \x20                  [--cell-timeout MS] [--io-timeout MS] [--drain-timeout MS]\n\
                  \x20                  [--state-dir DIR]\n\
+                 \x20      memscale-sim slo --arrivals SPEC [--slo-p99-ms N] [--policies a,b,c]\n\
+                 \x20                  [--mix NAME] [--generation G] [--duration-ms N] [--seed N]\n\
+                 \x20                  [--cores N] [--channels N] [--epoch-ms N]\n\
+                 \x20                  [--misses-per-request N] [--request-gap N]\n\
+                 \x20                  [--record PATH | --replay PATH] [--margin PCT] [--out PATH]\n\
+                 \x20                  (SPEC: poisson:RATE | mmpp:ON,OFF,ON_MS,OFF_MS |\n\
+                 \x20                   diurnal:DURxRATE,... | diurnal:FILE.json)\n\
                  \x20      memscale-sim loadgen --addr HOST:PORT [--clients N] [--jobs N]\n\
                  \x20                  [--mix NAME] [--generation G] [--duration-ms N]\n\
                  \x20                  [--policies a,b,c] [--deadline-ms N] [--retries N]\n\
                  \x20                  [--connect-timeout MS] [--read-timeout MS]\n\
                  \x20                  [--reconnect-retries N] [--out PATH] [--require-cache-hits]\n\
+                 \x20                  [--open-loop RPS]\n\
                  \x20      memscale-sim chaos --addr HOST:PORT [--seed N] [--clients N] [--jobs N]\n\
                  \x20                  [--flood N] [--mix NAME] [--duration-ms N]\n\
                  \x20                  [--policies a,b,c] [--deadline-ms N] [--out PATH]\n\
@@ -1283,6 +1574,10 @@ fn main() -> ExitCode {
     if args.command == Command::Record {
         let out = args.out.as_ref().expect("checked in parse_args");
         return record(&mix, &cfg, policy, args.margin_pct, out);
+    }
+
+    if let Command::Slo(slo) = &args.command {
+        return run_slo(&mix, &cfg, slo, args.margin_pct);
     }
 
     let replay = match args.replay.as_ref().map(|p| ReplayTrace::open(p)) {

@@ -86,6 +86,10 @@ pub struct Simulation {
     // the token stops the run within one epoch of simulated progress.
     cancel: CancelToken,
 
+    // Open-loop request-latency tracking (None for batch runs). Fed one
+    // observation per served miss; folded into the result at finish.
+    request_tracker: Option<memscale_arrivals::RequestTracker>,
+
     // Fault injection (None unless the config carries an active plan; the
     // clean path is then byte-identical to a build without the subsystem).
     injector: Option<FaultInjector>,
@@ -223,6 +227,7 @@ impl Simulation {
             completion: vec![None; n],
             remaining_targets: 0,
             cancel: CancelToken::new(),
+            request_tracker: None,
             injector,
             epoch_faults: memscale_faults::EpochFaultSet::default(),
             stale_decide: None,
@@ -243,6 +248,16 @@ impl Simulation {
     /// default token is never raised, so untokened runs are unaffected.
     pub fn set_cancel_token(&mut self, cancel: CancelToken) {
         self.cancel = cancel;
+    }
+
+    /// Installs an open-loop request-latency tracker (service-workload
+    /// runs). The engine reports every served miss to it — tagged with the
+    /// instant the memory wait finished — and the final `RunResult` carries
+    /// the aggregated [`memscale_types::requests::RequestStats`]. The
+    /// tracker must be built for the same core count and request model as
+    /// the installed sources, or request accounting will be misaligned.
+    pub fn set_request_tracker(&mut self, tracker: memscale_arrivals::RequestTracker) {
+        self.request_tracker = Some(tracker);
     }
 
     /// The capture buffer of a recording run ([`SimConfig::record`]), or
@@ -420,6 +435,9 @@ impl Simulation {
             }
             CorePhase::WaitingMemory => {
                 self.cores[c].finish_memory_wait(t);
+                if let Some(tracker) = self.request_tracker.as_mut() {
+                    tracker.note_miss(c, t);
+                }
                 let ev = self.pull_miss(c, t)?;
                 let done = self.cores[c].start_compute(t, ev.gap_instructions);
                 self.pending[c] = Some(ev);
@@ -732,6 +750,10 @@ impl Simulation {
             deep_pd_time,
             timeline: self.timeline,
             faults,
+            requests: self
+                .request_tracker
+                .as_ref()
+                .map(memscale_arrivals::RequestTracker::finalize),
             #[cfg(feature = "audit")]
             audit,
         }

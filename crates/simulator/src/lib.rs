@@ -38,6 +38,7 @@ pub mod harness;
 pub mod result;
 pub mod service;
 pub mod shard;
+pub mod slo;
 
 pub use config::SimConfig;
 pub use engine::Simulation;
@@ -47,3 +48,7 @@ pub use memscale_faults::FaultReport;
 pub use result::{RunResult, TimelineSample};
 pub use service::{ServeBaseline, SimulatorBackend};
 pub use shard::{default_grid, replay_sequential, replay_sharded, ShardResult, ShardSpec};
+pub use slo::{
+    record_service_trace, run_service_policy, run_service_policy_replay, run_slo_sweep,
+    run_slo_sweep_replay, PolicyOutcome, ServiceConfig, SloReport,
+};

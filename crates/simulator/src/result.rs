@@ -52,6 +52,9 @@ pub struct RunResult {
     /// Applied-fault and degradation tally (`None` unless the run was
     /// configured with an active fault plan).
     pub faults: Option<memscale_faults::FaultReport>,
+    /// Per-request latency statistics (`None` unless the run carried an
+    /// open-loop service workload with a request tracker installed).
+    pub requests: Option<memscale_types::requests::RequestStats>,
     /// DDR3 protocol conformance report for the run's full command stream
     /// (feature `audit`; `None` only if auditing was disabled mid-run).
     #[cfg(feature = "audit")]
@@ -129,6 +132,7 @@ mod tests {
             deep_pd_time: Picos::ZERO,
             timeline: vec![],
             faults: None,
+            requests: None,
             #[cfg(feature = "audit")]
             audit: None,
         }

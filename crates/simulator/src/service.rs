@@ -19,7 +19,9 @@ use crate::config::SimConfig;
 use crate::error::SimError;
 use crate::harness::{record_trace, Experiment};
 use crate::shard::default_grid;
+use crate::slo::{record_service_trace, run_service_policy_replay_cancellable, ServiceConfig};
 use memscale::policies::PolicyKind;
+use memscale_arrivals::ArrivalSpec;
 use memscale_serve::server::{JobPlan, SweepBackend};
 use memscale_serve::wire::{decode_job, encode_job};
 use memscale_trace::format::{crc32, read_varint, write_varint};
@@ -36,6 +38,21 @@ use std::path::Path;
 pub struct ServeBaseline {
     exp: Experiment,
     trace: ReplayTrace,
+    /// Service-workload context for open-loop jobs (`arrivals` set):
+    /// cells replay through the SLO harness instead of the fixed-work
+    /// comparison, and their metrics carry p99/violation counts.
+    service: Option<ServiceContext>,
+}
+
+/// Everything an open-loop cell needs beyond the shared trace.
+#[derive(Debug)]
+struct ServiceContext {
+    mix: Mix,
+    cfg: SimConfig,
+    svc: ServiceConfig,
+    /// Memory energy of the Baseline policy's service run (J), the
+    /// denominator of per-cell savings.
+    baseline_memory_j: f64,
 }
 
 /// The simulator-backed sweep backend handed to
@@ -68,6 +85,31 @@ fn build_config(job: &JobSpec) -> SimConfig {
     cfg
 }
 
+/// Parses a job's optional service workload (`arrivals` + `slo_p99_ms`).
+fn service_config(job: &JobSpec) -> Result<Option<ServiceConfig>, (ErrorCode, String)> {
+    let Some(spec) = &job.arrivals else {
+        return Ok(None);
+    };
+    let arrivals =
+        ArrivalSpec::parse(spec).map_err(|e| (ErrorCode::BadRequest, format!("arrivals: {e}")))?;
+    let mut svc = ServiceConfig::new(arrivals);
+    if let Some(p99) = job.slo_p99_ms {
+        svc = svc.with_slo(memscale_types::requests::SloSpec::p99(p99));
+    }
+    Ok(Some(svc))
+}
+
+/// Identity string of a job's service workload, folded into the cache
+/// CRC: `SimConfig::fingerprint` does not cover the arrival spec or the
+/// SLO target, and cached cells store violation counts, so jobs that
+/// differ in either must never share cells.
+fn service_identity(job: &JobSpec) -> Option<String> {
+    job.arrivals.as_ref().map(|spec| match job.slo_p99_ms {
+        Some(slo) => format!("svc|{spec}|slo={slo}"),
+        None => format!("svc|{spec}|slo=none"),
+    })
+}
+
 impl SimulatorBackend {
     fn resolve(&self, job: &JobSpec) -> Result<(Mix, SimConfig), (ErrorCode, String)> {
         let mix = Mix::by_name(&job.mix).map_err(|e| (ErrorCode::UnknownMix, e.to_string()))?;
@@ -84,6 +126,9 @@ impl SweepBackend for SimulatorBackend {
 
     fn plan(&self, job: &JobSpec) -> Result<JobPlan, (ErrorCode, String)> {
         let (mix, cfg) = self.resolve(job)?;
+        // Reject malformed arrival specs before admission, like every
+        // other shape defect.
+        service_config(job)?;
         let cells: Vec<String> = if job.policies.is_empty() {
             default_grid(job.generation)
                 .iter()
@@ -111,13 +156,17 @@ impl SweepBackend for SimulatorBackend {
         // Input identity: trace bytes for replay jobs; the canonical mix
         // name for live-recorded jobs (the fingerprint already pins seed,
         // duration and hardware, so regeneration is deterministic).
-        let trace_crc = match &job.trace {
+        let base_crc = match &job.trace {
             Some(path) => {
                 let bytes = std::fs::read(path)
                     .map_err(|e| (ErrorCode::Trace, format!("cannot read trace {path}: {e}")))?;
                 crc32(&bytes)
             }
             None => crc32(mix.name.as_bytes()),
+        };
+        let trace_crc = match service_identity(job) {
+            Some(id) => crc32(format!("{base_crc:08x}|{id}").as_bytes()),
+            None => base_crc,
         };
         Ok(JobPlan {
             fingerprint: cfg.fingerprint(),
@@ -129,6 +178,42 @@ impl SweepBackend for SimulatorBackend {
     fn calibrate(&self, job: &JobSpec) -> Result<ServeBaseline, (ErrorCode, String)> {
         let (mix, cfg) = self.resolve(job)?;
         let sim_err = |e: SimError| (sim_error_code(&e), e.to_string());
+        if let Some(svc) = service_config(job)? {
+            // Open-loop job: record the policy-independent service stream
+            // (Baseline is the fastest consumer, so its prefix bounds
+            // every cell) and pin the savings denominator with one
+            // Baseline service run.
+            let trace = match &job.trace {
+                Some(path) => ReplayTrace::open(Path::new(path))
+                    .map_err(|e| (ErrorCode::Trace, e.to_string()))?,
+                None => {
+                    let (header, streams) =
+                        record_service_trace(&mix, &cfg, &svc, job.margin_pct).map_err(sim_err)?;
+                    ReplayTrace::from_streams(header, streams)
+                }
+            };
+            let exp = Experiment::calibrate_replay(&mix, &cfg, &trace).map_err(sim_err)?;
+            let baseline_run = run_service_policy_replay_cancellable(
+                &mix,
+                PolicyKind::Baseline,
+                &cfg,
+                &svc,
+                &trace,
+                &CancelToken::new(),
+            )
+            .map_err(sim_err)?;
+            let service = Some(ServiceContext {
+                mix,
+                cfg,
+                svc,
+                baseline_memory_j: baseline_run.energy.memory_total_j(),
+            });
+            return Ok(ServeBaseline {
+                exp,
+                trace,
+                service,
+            });
+        }
         let trace = match &job.trace {
             Some(path) => {
                 ReplayTrace::open(Path::new(path)).map_err(|e| (ErrorCode::Trace, e.to_string()))?
@@ -147,7 +232,11 @@ impl SweepBackend for SimulatorBackend {
             }
         };
         let exp = Experiment::calibrate_replay(&mix, &cfg, &trace).map_err(sim_err)?;
-        Ok(ServeBaseline { exp, trace })
+        Ok(ServeBaseline {
+            exp,
+            trace,
+            service: None,
+        })
     }
 
     /// Serializes a baseline as `varint(job JSON length) | job JSON | trace
@@ -180,7 +269,31 @@ impl SweepBackend for SimulatorBackend {
         let trace = TraceReader::new(bytes.get(pos + json_len..)?).read().ok()?;
         let (mix, cfg) = self.resolve(&job).ok()?;
         let exp = Experiment::calibrate_replay(&mix, &cfg, &trace).ok()?;
-        Some(ServeBaseline { exp, trace })
+        let service = match service_config(&job).ok()? {
+            Some(svc) => {
+                let run = run_service_policy_replay_cancellable(
+                    &mix,
+                    PolicyKind::Baseline,
+                    &cfg,
+                    &svc,
+                    &trace,
+                    &CancelToken::new(),
+                )
+                .ok()?;
+                Some(ServiceContext {
+                    mix,
+                    cfg,
+                    svc,
+                    baseline_memory_j: run.energy.memory_total_j(),
+                })
+            }
+            None => None,
+        };
+        Some(ServeBaseline {
+            exp,
+            trace,
+            service,
+        })
     }
 
     fn run_cell(
@@ -191,6 +304,37 @@ impl SweepBackend for SimulatorBackend {
     ) -> Result<CellMetrics, CellFailure> {
         let policy =
             PolicyKind::parse(label).map_err(|e| CellFailure::new(ErrorCode::UnknownPolicy, e))?;
+        if let Some(ctx) = &baseline.service {
+            // Open-loop cell: fixed-duration service replay judged on the
+            // request-latency distribution. Savings compare memory energy
+            // against the Baseline service run; the fixed-work CPI
+            // comparison does not apply to fixed-duration runs, so the
+            // CPI-increase fields stay zero.
+            let run = run_service_policy_replay_cancellable(
+                &ctx.mix,
+                policy,
+                &ctx.cfg,
+                &ctx.svc,
+                &baseline.trace,
+                cancel,
+            )
+            .map_err(|e| CellFailure::new(sim_error_code(&e), e.to_string()))?;
+            let stats = run.requests.unwrap_or_default();
+            let savings = if ctx.baseline_memory_j > 0.0 {
+                1.0 - run.energy.memory_total_j() / ctx.baseline_memory_j
+            } else {
+                0.0
+            };
+            return Ok(CellMetrics {
+                memory_savings: savings,
+                system_savings: savings,
+                cpi_increase_avg: 0.0,
+                cpi_increase_max: 0.0,
+                mean_frequency_mhz: run.mean_frequency_mhz(),
+                p99_ms: Some(stats.p99_ms),
+                slo_violations: Some(stats.slo_violations),
+            });
+        }
         let (run, cmp) = baseline
             .exp
             .evaluate_replay_cancellable(policy, &baseline.trace, cancel)
@@ -201,6 +345,8 @@ impl SweepBackend for SimulatorBackend {
             cpi_increase_avg: cmp.avg_cpi_increase(),
             cpi_increase_max: cmp.max_cpi_increase(),
             mean_frequency_mhz: run.mean_frequency_mhz(),
+            p99_ms: None,
+            slo_violations: None,
         })
     }
 }
@@ -329,6 +475,82 @@ mod tests {
         let last = flipped.len() - 1;
         flipped[last] ^= 0xff;
         assert!(SimulatorBackend.decode_baseline(&flipped).is_none());
+    }
+
+    #[test]
+    fn service_jobs_get_distinct_cache_identity() {
+        let mut job = tiny_job();
+        let plain = SimulatorBackend.plan(&job).expect("plain plan");
+        job.arrivals = Some("poisson:1500".into());
+        let svc1 = SimulatorBackend.plan(&job).expect("service plan");
+        job.slo_p99_ms = Some(5.0);
+        let svc2 = SimulatorBackend.plan(&job).expect("service+slo plan");
+        // Cached cells must never cross the batch/service boundary or an
+        // SLO-target change (violation counts depend on the target).
+        assert_ne!(plain.trace_crc, svc1.trace_crc);
+        assert_ne!(svc1.trace_crc, svc2.trace_crc);
+        // The hardware fingerprint is identical: only the input identity
+        // differs.
+        assert_eq!(plain.fingerprint, svc1.fingerprint);
+    }
+
+    #[test]
+    fn bad_arrivals_spec_is_rejected_at_plan_time() {
+        let mut job = tiny_job();
+        job.arrivals = Some("warp:9".into());
+        let (code, detail) = SimulatorBackend.plan(&job).expect_err("must reject");
+        assert_eq!(code, ErrorCode::BadRequest);
+        assert!(detail.contains("arrivals"), "{detail}");
+    }
+
+    #[test]
+    fn service_cells_carry_latency_metrics_end_to_end() {
+        let mut job = tiny_job();
+        job.arrivals = Some("poisson:2000".into());
+        job.slo_p99_ms = Some(50.0);
+        let idle = CancelToken::new();
+        let baseline = SimulatorBackend.calibrate(&job).expect("calibrate");
+        let m = SimulatorBackend
+            .run_cell(&baseline, "memscale", &idle)
+            .expect("service cell");
+        assert!(m.p99_ms.is_some(), "service cells report p99");
+        assert_eq!(m.slo_violations, Some(0), "50 ms SLO is generous");
+        assert_eq!(m.cpi_increase_avg, 0.0, "fixed-work CPI does not apply");
+        assert!(
+            m.memory_savings > 0.0,
+            "memscale saves memory energy under open loop: {}",
+            m.memory_savings
+        );
+        // The Baseline cell replays the recording run: zero savings by
+        // construction.
+        let b = SimulatorBackend
+            .run_cell(&baseline, "baseline", &idle)
+            .expect("baseline cell");
+        assert!(b.memory_savings.abs() < 1e-9, "{}", b.memory_savings);
+    }
+
+    #[test]
+    fn service_baseline_round_trips_with_latency_metrics() {
+        let mut job = tiny_job();
+        job.arrivals = Some("poisson:2000".into());
+        job.slo_p99_ms = Some(50.0);
+        let idle = CancelToken::new();
+        let baseline = SimulatorBackend.calibrate(&job).expect("calibrate");
+        let bytes = SimulatorBackend
+            .encode_baseline(&job, &baseline)
+            .expect("encodes");
+        let back = SimulatorBackend
+            .decode_baseline(&bytes)
+            .expect("decodes and recalibrates");
+        let a = SimulatorBackend
+            .run_cell(&baseline, "memscale", &idle)
+            .expect("original cell");
+        let b = SimulatorBackend
+            .run_cell(&back, "memscale", &idle)
+            .expect("recovered cell");
+        assert_eq!(a.p99_ms.map(f64::to_bits), b.p99_ms.map(f64::to_bits));
+        assert_eq!(a.slo_violations, b.slo_violations);
+        assert_eq!(a.memory_savings.to_bits(), b.memory_savings.to_bits());
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod faults;
 pub mod freq;
 pub mod ids;
 pub mod invariants;
+pub mod requests;
 pub mod serve;
 pub mod time;
 
@@ -50,6 +51,7 @@ pub use faults::{CounterFault, FaultPlan, FaultSpecError, RefreshFault, SwitchFa
 pub use freq::MemFreq;
 pub use ids::{AppId, BankId, ChannelId, CoreId, RankId};
 pub use invariants::{Diagnostic, FsmFeature, FsmSpec, FsmTransition, TimingParam};
+pub use requests::{RequestStats, SloSpec};
 pub use serve::{
     CellFailure, CellMetrics, CellOutcome, DoneReason, ErrorCode, JobSpec, JobSummary,
 };

@@ -55,6 +55,14 @@ pub struct JobSpec {
     /// `cancelled`) and closes the job with `done{reason:"deadline"}`.
     /// `None` defers to the server's `--default-deadline`, if any.
     pub deadline_ms: Option<u64>,
+    /// Open-loop arrival spec (`poisson:RATE`, `mmpp:...`, `diurnal:...`)
+    /// turning every cell into a service-workload run with per-request
+    /// latency percentiles. `None` keeps the classic fixed-work sweep.
+    pub arrivals: Option<String>,
+    /// p99 latency SLO in milliseconds, judged per cell when `arrivals`
+    /// is set. Cells report their violation count and p99 either way;
+    /// the target just marks which cells breached.
+    pub slo_p99_ms: Option<f64>,
 }
 
 impl JobSpec {
@@ -76,6 +84,8 @@ impl JobSpec {
             policies: Vec::new(),
             margin_pct: 50,
             deadline_ms: None,
+            arrivals: None,
+            slo_p99_ms: None,
         }
     }
 
@@ -111,6 +121,19 @@ impl JobSpec {
         }
         if self.deadline_ms == Some(0) {
             return Err("deadline_ms must be positive when present".into());
+        }
+        if let Some(spec) = &self.arrivals {
+            if spec.is_empty() || spec.len() > 1024 || spec.contains(['\n', '\r']) {
+                return Err("arrivals spec must be a non-empty single line".into());
+            }
+        }
+        if let Some(slo) = self.slo_p99_ms {
+            if !slo.is_finite() || slo <= 0.0 {
+                return Err("slo_p99_ms must be a positive, finite number".into());
+            }
+            if self.arrivals.is_none() {
+                return Err("slo_p99_ms requires an arrivals spec".into());
+            }
         }
         Ok(())
     }
@@ -210,6 +233,12 @@ pub struct CellMetrics {
     pub cpi_increase_max: f64,
     /// Mean bus frequency over the run, MHz.
     pub mean_frequency_mhz: f64,
+    /// p99 request latency in milliseconds (`None` unless the job carried
+    /// an open-loop `arrivals` spec).
+    pub p99_ms: Option<f64>,
+    /// Requests over the cell's SLO target (`None` without `arrivals`; a
+    /// zero-valued `Some` when arrivals ran without an SLO target).
+    pub slo_violations: Option<u64>,
 }
 
 /// A structured per-cell failure: the machine-readable code clients switch
@@ -362,6 +391,27 @@ mod tests {
         let f = CellFailure::new(ErrorCode::CellTimeout, "exceeded 50 ms");
         assert_eq!(f.to_string(), "cell_timeout: exceeded 50 ms");
         assert_eq!(CellFailure::sim("boom").code, ErrorCode::Sim);
+    }
+
+    #[test]
+    fn service_fields_are_shape_checked() {
+        let mut job = JobSpec::for_mix("j1", "MID1");
+        job.slo_p99_ms = Some(5.0);
+        assert!(job
+            .validate_shape()
+            .unwrap_err()
+            .contains("requires an arrivals spec"));
+        job.arrivals = Some("poisson:1500".into());
+        assert!(job.validate_shape().is_ok());
+        job.slo_p99_ms = Some(0.0);
+        assert!(job.validate_shape().unwrap_err().contains("slo_p99_ms"));
+        job.slo_p99_ms = Some(f64::NAN);
+        assert!(job.validate_shape().unwrap_err().contains("slo_p99_ms"));
+        job.slo_p99_ms = None;
+        job.arrivals = Some("poi\nsson".into());
+        assert!(job.validate_shape().unwrap_err().contains("single line"));
+        job.arrivals = Some(String::new());
+        assert!(job.validate_shape().unwrap_err().contains("non-empty"));
     }
 
     #[test]

@@ -80,9 +80,7 @@ impl MissStream {
     /// Panics if `slice_len` is zero.
     pub fn new(profile: AppProfile, app: AppId, slice_len: u64, seed: u64) -> Self {
         assert!(slice_len > 0, "address slice must be non-empty");
-        let mut key = [0u8; 32];
-        key[..8].copy_from_slice(&seed.to_le_bytes());
-        key[8..16].copy_from_slice(&(app.index() as u64).to_le_bytes());
+        let key = crate::rng::substream_key(seed, crate::rng::DOMAIN_WORKLOAD, app.index() as u64);
         let slice_start = app.index() as u64 * slice_len;
         MissStream {
             profile,

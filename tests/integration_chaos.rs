@@ -34,6 +34,8 @@ fn metrics() -> CellMetrics {
         cpi_increase_avg: 0.02,
         cpi_increase_max: 0.05,
         mean_frequency_mhz: 400.0,
+        p99_ms: None,
+        slo_violations: None,
     }
 }
 

@@ -79,6 +79,8 @@ impl SweepBackend for Stub {
             cpi_increase_avg: 0.02,
             cpi_increase_max: 0.05,
             mean_frequency_mhz: 400.0 + f,
+            p99_ms: None,
+            slo_violations: None,
         })
     }
 }
